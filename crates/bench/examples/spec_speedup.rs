@@ -1,0 +1,25 @@
+//! Runs one SPEC-like integer workload and one FP workload under both
+//! Captive and the QEMU-style baseline, printing the speedups — a miniature
+//! version of the paper's Figures 17 and 18.
+//!
+//! Run with: `cargo run --release -p bench --example spec_speedup`
+
+use workloads::Scale;
+
+fn main() {
+    let mcf = &workloads::spec_int(Scale(1))[3]; // 429.mcf: pointer chasing
+    let sphinx = &workloads::spec_fp(Scale(1))[0]; // 482.sphinx3: FP stencil
+
+    for w in [mcf, sphinx] {
+        let captive = bench::run_captive(w);
+        let qemu = bench::run_qemu(w);
+        println!(
+            "{:<14} captive: {:>12} cycles   qemu-style: {:>12} cycles   speedup: {:.2}x",
+            w.name,
+            captive.cycles,
+            qemu.cycles,
+            qemu.cycles as f64 / captive.cycles as f64
+        );
+    }
+    println!("(integer speedups come from the MMU-backed memory path; FP speedups add host-FPU mapping)");
+}

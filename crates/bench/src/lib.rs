@@ -1,0 +1,164 @@
+//! Benchmark harness shared by the Criterion benches, the `figures` binary
+//! and the examples: loads a guest program into Captive or the QEMU-style
+//! baseline, runs it to completion, and reports simulated-cycle statistics.
+
+use captive::{Captive, CaptiveConfig, FpMode, RunExit};
+use qemu_ref::QemuRef;
+use workloads::Workload;
+
+/// Maximum dispatched blocks per run (safety net against guest hangs).
+pub const BLOCK_BUDGET: u64 = 200_000_000;
+
+/// Result of running one guest program on one system.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Simulated host cycles.
+    pub cycles: u64,
+    /// Host instructions executed.
+    pub host_insns: u64,
+    /// Guest instructions attributed.
+    pub guest_insns: u64,
+    /// Translations performed.
+    pub translations: u64,
+    /// Bytes of generated host code.
+    pub code_bytes: u64,
+    /// Wall-clock seconds spent inside the JIT (all phases).
+    pub jit_seconds: f64,
+    /// JIT phase fractions (decode, translate, regalloc, encode).
+    pub jit_fractions: (f64, f64, f64, f64),
+}
+
+/// Runs a workload under Captive (hardware FP, chaining on).
+pub fn run_captive(w: &Workload) -> Measurement {
+    run_captive_with(w, FpMode::Hardware, false)
+}
+
+/// Runs a workload under Captive with explicit FP mode / per-block stats.
+pub fn run_captive_with(w: &Workload, fp: FpMode, per_block: bool) -> Measurement {
+    let mut c = Captive::new(CaptiveConfig {
+        fp_mode: fp,
+        per_block_stats: per_block,
+        ..CaptiveConfig::default()
+    });
+    c.load_program(workloads::CODE_BASE, &w.words);
+    c.set_entry(w.entry);
+    let exit = c.run(BLOCK_BUDGET);
+    assert!(
+        matches!(exit, RunExit::GuestHalted { .. }),
+        "{}: unexpected exit {exit:?}",
+        w.name
+    );
+    let s = c.stats();
+    Measurement {
+        cycles: s.cycles,
+        host_insns: s.host_insns,
+        guest_insns: s.guest_insns,
+        translations: s.translations,
+        code_bytes: s.code_bytes,
+        jit_seconds: c.timers.total().as_secs_f64(),
+        jit_fractions: c.timers.fractions(),
+    }
+}
+
+/// Runs a workload under the QEMU-style baseline.
+pub fn run_qemu(w: &Workload) -> Measurement {
+    let mut q = QemuRef::new(32 * 1024 * 1024);
+    q.load_program(workloads::CODE_BASE, &w.words);
+    q.set_entry(w.entry);
+    let exit = q.run(BLOCK_BUDGET);
+    assert!(
+        matches!(exit, qemu_ref::RunExit::GuestHalted { .. }),
+        "{}: unexpected exit {exit:?}",
+        w.name
+    );
+    let s = q.stats();
+    Measurement {
+        cycles: s.cycles,
+        host_insns: s.host_insns,
+        guest_insns: s.guest_insns,
+        translations: s.translations,
+        code_bytes: s.code_bytes,
+        jit_seconds: q.timers.total().as_secs_f64(),
+        jit_fractions: q.timers.fractions(),
+    }
+}
+
+/// Runs a raw instruction-word program (SimBench) on both systems, returning
+/// (captive cycles, qemu cycles).
+pub fn run_both_raw(name: &str, words: &[u32], entry: u64) -> (u64, u64) {
+    let w = Workload {
+        name: "micro",
+        suite: workloads::Suite::Int,
+        words: words.to_vec(),
+        entry,
+    };
+    let c = run_captive(&w);
+    let q = run_qemu(&w);
+    let _ = name;
+    (c.cycles, q.cycles)
+}
+
+/// Geometric mean of a sequence of ratios.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Simple calibrated IPC models for the two native Arm machines of Fig. 22,
+/// used only to place Captive's performance between them as the paper does.
+pub mod native_model {
+    /// Estimated cycles a Cortex-A53 (1.2 GHz, in-order) needs for a workload
+    /// that executes `guest_insns` instructions: IPC ≈ 0.8, scaled to the
+    /// host simulator's 3.5 GHz-equivalent cycle domain.
+    pub fn cortex_a53_cycles(guest_insns: u64) -> u64 {
+        let cycles_native = guest_insns as f64 / 0.8;
+        (cycles_native * (3.5 / 1.2)) as u64
+    }
+
+    /// Estimated cycles for a Cortex-A57 (2.0 GHz, out-of-order): IPC ≈ 1.9.
+    pub fn cortex_a57_cycles(guest_insns: u64) -> u64 {
+        let cycles_native = guest_insns as f64 / 1.9;
+        (cycles_native * (3.5 / 2.0)) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_identical_values() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn captive_and_qemu_agree_on_results_and_captive_is_faster_on_mcf() {
+        let w = &workloads::spec_int(workloads::Scale(1))[3]; // 429.mcf
+        assert_eq!(w.name, "429.mcf");
+        let c = run_captive(w);
+        let q = run_qemu(w);
+        assert!(c.cycles > 0 && q.cycles > 0);
+        assert!(
+            c.cycles < q.cycles,
+            "captive {} should beat qemu {} on mcf",
+            c.cycles,
+            q.cycles
+        );
+    }
+
+    #[test]
+    fn fp_workload_speedup_exceeds_integer_speedup() {
+        let int = &workloads::spec_int(workloads::Scale(1))[5]; // hmmer
+        let fp = &workloads::spec_fp(workloads::Scale(1))[0]; // sphinx3
+        let int_speedup = run_qemu(int).cycles as f64 / run_captive(int).cycles as f64;
+        let fp_speedup = run_qemu(fp).cycles as f64 / run_captive(fp).cycles as f64;
+        assert!(
+            fp_speedup > int_speedup,
+            "fp {fp_speedup:.2} vs int {int_speedup:.2}"
+        );
+    }
+}

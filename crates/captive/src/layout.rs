@@ -1,0 +1,30 @@
+//! Host physical and virtual memory layout used by the hypervisor.
+//!
+//! Mirrors Fig. 15 of the paper: the low half of the host virtual address
+//! space belongs to the guest (populated on demand from the guest's own page
+//! tables, or identity-mapped to guest physical memory while the guest MMU is
+//! off), and the upper half holds Captive's own structures — here the guest
+//! register file and the JIT spill area.
+
+/// Host physical address of the guest register file (one page).
+pub const REGFILE_PHYS: u64 = 0x0010_0000;
+/// Host physical address of the JIT spill page.
+pub const SPILL_PHYS: u64 = 0x0011_0000;
+/// Host physical range used as a pool for host page-table frames.
+pub const HOST_PT_POOL_START: u64 = 0x0020_0000;
+/// End of the host page-table frame pool.
+pub const HOST_PT_POOL_END: u64 = 0x00A0_0000;
+/// Host physical base of the emulated guest physical memory.
+pub const GUEST_PHYS_BASE: u64 = 0x0100_0000;
+
+/// Host virtual address of the guest register file (upper half of the
+/// canonical 48-bit space, so it survives low-half teardown on guest TLB
+/// flushes).  The JIT spill area sits in the page immediately below it.
+pub const REGFILE_VA: u64 = 0x0000_8000_0001_0000;
+
+/// Boundary between the guest (lower) and Captive (upper) halves of the host
+/// virtual address space.
+pub const LOWER_HALF_LIMIT: u64 = 1 << 47;
+
+/// Number of top-level page-table entries covering the lower half.
+pub const LOWER_HALF_PML4_ENTRIES: u64 = 256;

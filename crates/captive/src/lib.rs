@@ -1,0 +1,485 @@
+//! Captive: the retargetable system-level DBT hypervisor.
+//!
+//! This crate ties the substrates together into the system the paper
+//! describes: a KVM-style hypervisor ([`Captive`]) that owns a bare-metal
+//! host virtual machine (`hvm`), runs the DBT execution engine inside it,
+//! translates guest (ARMv8-lite) basic blocks through the shared `dbt`
+//! pipeline using the guest model's generator functions, and exploits the
+//! host machine's system features directly:
+//!
+//! * guest virtual memory is mapped on demand into the lower half of the
+//!   host virtual address space by handling host page faults and walking the
+//!   *guest* page tables (Section 2.7.3);
+//! * guest TLB flushes are intercepted and implemented by clearing the
+//!   low-half top-level host page-table entries (Section 2.7.4);
+//! * translated code is cached by guest *physical* address and only
+//!   invalidated when self-modifying code is detected via write protection
+//!   (Section 2.6);
+//! * guest FP/SIMD instructions map to host FP/SIMD instructions with inline
+//!   bit-accuracy fix-ups, or optionally to softfloat helper calls for the
+//!   ablation of Section 3.6.2;
+//! * the guest's exception level is tracked and guest user code runs in host
+//!   ring 3, guest system code in ring 0 (Fig. 2).
+
+pub mod layout;
+pub mod runtime;
+pub mod translator;
+
+use dbt::{CacheIndex, CodeCache, PhaseTimers};
+use guest_aarch64::Aarch64Isa;
+use hvm::{ExitReason, Gpr, Machine, MachineConfig, Ring};
+use runtime::{CaptiveRuntime, GuestEvent};
+use std::collections::HashMap;
+use translator::translate_block;
+
+/// How guest floating-point instructions are implemented.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FpMode {
+    /// Map guest FP to host FP instructions with inline fix-ups (Captive's
+    /// contribution).
+    #[default]
+    Hardware,
+    /// Call softfloat helpers for every FP operation (the QEMU approach,
+    /// used for the Section 3.6.2 ablation).
+    Software,
+}
+
+/// Hypervisor configuration.
+#[derive(Debug, Clone)]
+pub struct CaptiveConfig {
+    /// Guest RAM size in bytes.
+    pub guest_ram: u64,
+    /// Guest FP implementation strategy.
+    pub fp_mode: FpMode,
+    /// Enable block chaining (dispatch-cost credit for sequential blocks).
+    pub chaining: bool,
+    /// Maximum guest instructions per translated block.
+    pub max_block_insns: usize,
+    /// Host machine configuration.
+    pub machine: MachineConfig,
+    /// Record per-block execution cycles (needed for the Fig. 21 experiment;
+    /// adds bookkeeping overhead).
+    pub per_block_stats: bool,
+}
+
+impl Default for CaptiveConfig {
+    fn default() -> Self {
+        CaptiveConfig {
+            guest_ram: 32 * 1024 * 1024,
+            fp_mode: FpMode::Hardware,
+            chaining: true,
+            max_block_insns: 64,
+            machine: MachineConfig::default(),
+            per_block_stats: false,
+        }
+    }
+}
+
+/// Why [`Captive::run`] stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunExit {
+    /// The guest executed `HLT` or the exit hypercall.
+    GuestHalted {
+        /// Exit code passed by the guest (0 if halted without one).
+        code: u64,
+    },
+    /// The block budget given to `run` was exhausted.
+    BudgetExhausted,
+    /// Something went wrong in the execution engine.
+    Error(String),
+}
+
+/// Aggregate statistics of a run.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Simulated host cycles consumed by guest execution.
+    pub cycles: u64,
+    /// Host instructions executed.
+    pub host_insns: u64,
+    /// Guest instructions attributed (blocks entered × block length).
+    pub guest_insns: u64,
+    /// Blocks dispatched.
+    pub blocks: u64,
+    /// Translations performed.
+    pub translations: u64,
+    /// Guest exceptions delivered.
+    pub guest_exceptions: u64,
+    /// Bytes of host code generated.
+    pub code_bytes: u64,
+}
+
+/// Per-block execution record (for the code-quality scatter plot, Fig. 21).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BlockProfile {
+    /// Accumulated simulated cycles spent in the block.
+    pub cycles: u64,
+    /// Number of executions.
+    pub executions: u64,
+    /// Guest instructions in the block.
+    pub guest_insns: u64,
+}
+
+/// The hypervisor.
+pub struct Captive {
+    /// The simulated host virtual machine.
+    pub machine: Machine,
+    /// Runtime services (helpers, fault handling, devices).
+    pub runtime: CaptiveRuntime,
+    /// Translated-code cache (guest-physical indexed).
+    pub cache: CodeCache,
+    /// JIT phase timers.
+    pub timers: PhaseTimers,
+    isa: Aarch64Isa,
+    config: CaptiveConfig,
+    stats: RunStats,
+    per_block: HashMap<u64, BlockProfile>,
+}
+
+impl Captive {
+    /// Creates a hypervisor with a fresh host VM and boots the "unikernel":
+    /// host page tables for the Captive area are built and paging is enabled.
+    pub fn new(config: CaptiveConfig) -> Self {
+        let mut machine = Machine::new(config.machine.clone());
+        let runtime = CaptiveRuntime::new(&mut machine, config.guest_ram, config.fp_mode);
+        // The register-file base pointer lives in %rbp for the whole run.
+        machine.set_reg(Gpr::Rbp, layout::REGFILE_VA);
+        // Bare-metal guests boot in EL1 (kernel mode).
+        machine
+            .mem
+            .write_u64(
+                runtime.regfile_phys + guest_aarch64::CURRENT_EL_OFF as u64,
+                1,
+            )
+            .expect("register file is inside host RAM");
+        Captive {
+            machine,
+            runtime,
+            cache: CodeCache::new(CacheIndex::GuestPhysical),
+            timers: PhaseTimers::default(),
+            isa: Aarch64Isa,
+            config,
+            stats: RunStats::default(),
+            per_block: HashMap::new(),
+        }
+    }
+
+    /// Loads a guest program (little-endian instruction words) at a guest
+    /// physical address.
+    pub fn load_program(&mut self, guest_phys: u64, words: &[u32]) {
+        for (i, w) in words.iter().enumerate() {
+            self.write_guest_phys(guest_phys + i as u64 * 4, *w as u64, 4);
+        }
+    }
+
+    /// Writes bytes into guest physical memory.
+    pub fn write_guest_phys(&mut self, guest_phys: u64, value: u64, size: u64) {
+        let host = layout::GUEST_PHYS_BASE + guest_phys;
+        self.machine
+            .mem
+            .write_uint(host, value, size)
+            .expect("guest physical write within RAM");
+    }
+
+    /// Reads from guest physical memory.
+    pub fn read_guest_phys(&mut self, guest_phys: u64, size: u64) -> u64 {
+        let host = layout::GUEST_PHYS_BASE + guest_phys;
+        self.machine.mem.read_uint(host, size).unwrap_or(0)
+    }
+
+    /// Sets the guest entry point (and starts in EL1 with the MMU off).
+    pub fn set_entry(&mut self, guest_pc: u64) {
+        self.machine.set_reg(Gpr::R15, guest_pc);
+        self.machine.ring = Ring::Ring0;
+    }
+
+    /// Reads a guest general-purpose register from the register file.
+    pub fn guest_reg(&mut self, index: u32) -> u64 {
+        let addr = self.runtime.regfile_phys + guest_aarch64::x_off(index) as u64;
+        self.machine.mem.read_u64(addr).unwrap_or(0)
+    }
+
+    /// Writes a guest general-purpose register.
+    pub fn set_guest_reg(&mut self, index: u32, value: u64) {
+        let addr = self.runtime.regfile_phys + guest_aarch64::x_off(index) as u64;
+        self.machine.mem.write_u64(addr, value).expect("regfile write");
+    }
+
+    /// Console output accumulated from the guest (hypervisor UART).
+    pub fn console(&self) -> &[u8] {
+        &self.runtime.uart_output
+    }
+
+    /// Statistics of the run so far.
+    pub fn stats(&self) -> RunStats {
+        let mut s = self.stats.clone();
+        s.cycles = self.machine.perf.cycles;
+        s.host_insns = self.machine.perf.insns;
+        s.code_bytes = self.cache.total_encoded_bytes() as u64;
+        s
+    }
+
+    /// Per-block execution profile (guest physical address → profile).
+    pub fn block_profiles(&self) -> &HashMap<u64, BlockProfile> {
+        &self.per_block
+    }
+
+    /// Translates the guest virtual address of an *instruction fetch* to a
+    /// guest physical address, or reports the fault to deliver.
+    fn fetch_translate(&mut self, va: u64) -> Result<u64, GuestEvent> {
+        self.runtime.guest_va_to_pa(&mut self.machine, va, false)
+    }
+
+    /// Runs the guest until it halts or `max_blocks` blocks have been
+    /// dispatched.
+    pub fn run(&mut self, max_blocks: u64) -> RunExit {
+        for _ in 0..max_blocks {
+            if let Some(code) = self.runtime.exit_code {
+                return RunExit::GuestHalted { code };
+            }
+            let pc = self.machine.reg(Gpr::R15);
+            // Resolve the block's guest physical address (cache key).
+            let pa = match self.fetch_translate(pc) {
+                Ok(pa) => pa,
+                Err(event) => {
+                    self.deliver_event(event, pc);
+                    continue;
+                }
+            };
+            let block = match self.cache.get(pa) {
+                Some(b) => b,
+                None => {
+                    self.stats.translations += 1;
+                    let block = translate_block(
+                        &self.isa,
+                        &mut self.machine,
+                        &mut self.runtime,
+                        &mut self.timers,
+                        pc,
+                        pa,
+                        self.config.max_block_insns,
+                        self.config.fp_mode,
+                    );
+                    self.runtime.note_code_page(&mut self.machine, pa & !0xFFF);
+                    self.cache.insert(block)
+                }
+            };
+            // Track the guest's exception level in the host protection ring
+            // (guest user code runs in ring 3, guest system code in ring 0).
+            let el = self
+                .machine
+                .mem
+                .read_u64(self.runtime.regfile_phys + guest_aarch64::CURRENT_EL_OFF as u64)
+                .unwrap_or(1);
+            self.machine.ring = if el == 0 { Ring::Ring3 } else { Ring::Ring0 };
+
+            let before = self.machine.perf.cycles;
+            let code = std::sync::Arc::clone(&block.code);
+            let exit = self.machine.run_block(&code, &mut self.runtime);
+            let spent = self.machine.perf.cycles - before;
+            // Invalidate translations for any code pages the guest wrote.
+            for page in self.runtime.take_smc_dirty() {
+                self.cache.invalidate_phys_page(page);
+            }
+            self.stats.blocks += 1;
+            self.stats.guest_insns += block.guest_insns as u64;
+            if self.config.per_block_stats {
+                let p = self.per_block.entry(pa).or_default();
+                p.cycles += spent;
+                p.executions += 1;
+                p.guest_insns = block.guest_insns as u64;
+            }
+            if self.config.chaining {
+                // Chained blocks skip the dispatcher: credit its cost back
+                // when control flows guest-sequentially between cached blocks.
+                let next_pc = self.machine.reg(Gpr::R15);
+                if next_pc == pc + block.guest_bytes() {
+                    let credit = self.machine.cost.dispatch;
+                    self.machine.perf.cycles = self.machine.perf.cycles.saturating_sub(credit);
+                }
+            }
+            match exit {
+                ExitReason::BlockEnd | ExitReason::HelperExit => {
+                    if let Some(event) = self.runtime.take_pending_event() {
+                        match event {
+                            GuestEvent::Halt { code } => return RunExit::GuestHalted { code },
+                            other => {
+                                let pc_now = self.machine.reg(Gpr::R15);
+                                self.deliver_event(other, pc_now);
+                            }
+                        }
+                    }
+                }
+                ExitReason::Halted => {
+                    let code = self.runtime.exit_code.unwrap_or(0);
+                    return RunExit::GuestHalted { code };
+                }
+                ExitReason::MemFault { vaddr, write } => {
+                    // A genuine guest data abort: deliver it to the guest.
+                    let fault_pc = self.machine.reg(Gpr::R15);
+                    self.deliver_event(
+                        GuestEvent::DataAbort { vaddr, write },
+                        fault_pc,
+                    );
+                }
+                ExitReason::FuelExhausted => {
+                    return RunExit::Error("translated block did not terminate".into())
+                }
+                ExitReason::Error(e) => return RunExit::Error(e),
+            }
+        }
+        RunExit::BudgetExhausted
+    }
+
+    /// Delivers a guest-visible event (exception) by updating the guest
+    /// system registers and redirecting execution to the vector base.
+    fn deliver_event(&mut self, event: GuestEvent, faulting_pc: u64) {
+        self.stats.guest_exceptions += 1;
+        self.runtime
+            .deliver_exception(&mut self.machine, event, faulting_pc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guest_aarch64::asm;
+
+    fn boot(words: &[u32]) -> (Captive, RunExit) {
+        let mut c = Captive::new(CaptiveConfig::default());
+        c.load_program(0x1000, words);
+        c.set_entry(0x1000);
+        let exit = c.run(100_000);
+        (c, exit)
+    }
+
+    #[test]
+    fn runs_a_simple_arithmetic_program() {
+        // x0 = 40 + 2, then exit with code x0 via the exit hypercall.
+        let mut a = asm::Assembler::new();
+        a.push(asm::movz(0, 40, 0));
+        a.push(asm::addi(0, 0, 2));
+        a.push(asm::hlt());
+        let (mut c, exit) = boot(&a.finish());
+        assert_eq!(exit, RunExit::GuestHalted { code: 0 });
+        assert_eq!(c.guest_reg(0), 42);
+    }
+
+    #[test]
+    fn loops_and_flags_work() {
+        // Sum 1..=100 into x0.
+        let mut a = asm::Assembler::new();
+        a.push(asm::movz(0, 0, 0));
+        a.push(asm::movz(1, 100, 0));
+        a.label("loop");
+        a.push(asm::add(0, 0, 1));
+        a.push(asm::subi(1, 1, 1));
+        a.cbnz_to(1, "loop");
+        a.push(asm::hlt());
+        let (mut c, exit) = boot(&a.finish());
+        assert_eq!(exit, RunExit::GuestHalted { code: 0 });
+        assert_eq!(c.guest_reg(0), 5050);
+    }
+
+    #[test]
+    fn memory_access_with_mmu_off_maps_on_demand() {
+        // Store then load back through guest "physical" addresses.
+        let mut a = asm::Assembler::new();
+        a.mov_imm64(1, 0x10000);
+        a.mov_imm64(2, 0xABCD);
+        a.push(asm::str(2, 1, 8));
+        a.push(asm::ldr(3, 1, 8));
+        a.push(asm::hlt());
+        let (mut c, exit) = boot(&a.finish());
+        assert_eq!(exit, RunExit::GuestHalted { code: 0 });
+        assert_eq!(c.guest_reg(3), 0xABCD);
+        assert!(c.machine.perf.page_faults > 0, "demand mapping faulted once");
+    }
+
+    #[test]
+    fn floating_point_uses_host_fpu() {
+        // d0 = 1.5; d1 = d0 * d0; x0 = bits(d1)
+        let mut a = asm::Assembler::new();
+        a.push(asm::fmov_imm(0, 0x78)); // 1.5
+        a.push(asm::fmul(1, 0, 0));
+        a.push(asm::fmov_to_gpr(0, 1));
+        a.push(asm::hlt());
+        let (mut c, exit) = boot(&a.finish());
+        assert_eq!(exit, RunExit::GuestHalted { code: 0 });
+        assert_eq!(f64::from_bits(c.guest_reg(0)), 2.25);
+        assert!(
+            c.machine.perf.helper_calls <= 1,
+            "no FP helper calls (only the final halt hypercall)"
+        );
+    }
+
+    #[test]
+    fn fsqrt_fixup_is_bit_accurate_with_arm() {
+        // sqrt(-0.5) must be the positive default NaN, not the host's -NaN.
+        let mut a = asm::Assembler::new();
+        a.push(asm::fmov_imm(0, 0xE0)); // -0.5
+        a.push(asm::fsqrt(1, 0));
+        a.push(asm::fmov_to_gpr(0, 1));
+        a.push(asm::hlt());
+        let (mut c, exit) = boot(&a.finish());
+        assert_eq!(exit, RunExit::GuestHalted { code: 0 });
+        let mut env = softfloat::FpEnv::arm();
+        let expected = softfloat::f64_sqrt_arm((-0.5f64).to_bits(), &mut env);
+        assert_eq!(c.guest_reg(0), expected);
+    }
+
+    #[test]
+    fn svc_takes_an_exception_to_el1() {
+        // Install a vector that moves 99 into x5 then halts; cause an SVC from
+        // the main flow.
+        let mut a = asm::Assembler::new();
+        // Vector code is placed at 0x2000 (VBAR).
+        a.mov_imm64(1, 0x2000);
+        a.push(asm::msr(guest_aarch64::SysReg::Vbar as u32, 1));
+        a.push(asm::svc(3));
+        a.push(asm::hlt()); // not reached: the vector halts first
+        let main = a.finish();
+        let mut v = asm::Assembler::new();
+        v.push(asm::movz(5, 99, 0));
+        v.push(asm::mrs(6, guest_aarch64::SysReg::Esr as u32));
+        v.push(asm::hlt());
+        let vector = v.finish();
+        let mut c = Captive::new(CaptiveConfig::default());
+        c.load_program(0x1000, &main);
+        c.load_program(0x2000, &vector);
+        c.set_entry(0x1000);
+        let exit = c.run(100_000);
+        assert_eq!(exit, RunExit::GuestHalted { code: 0 });
+        assert_eq!(c.guest_reg(5), 99);
+        let esr = c.guest_reg(6);
+        assert_eq!(esr >> 26, guest_aarch64::esr_class::SVC, "ESR class is SVC");
+        assert_eq!(esr & 0xFFFF, 3, "ESR carries the SVC immediate");
+    }
+
+    #[test]
+    fn console_hypercall_collects_output() {
+        let mut a = asm::Assembler::new();
+        for ch in b"hi" {
+            a.push(asm::movz(0, *ch as u32, 0));
+            a.push(asm::svc(runtime::SVC_PUTCHAR));
+        }
+        a.push(asm::hlt());
+        let (c, exit) = boot(&a.finish());
+        assert_eq!(exit, RunExit::GuestHalted { code: 0 });
+        assert_eq!(c.console(), b"hi");
+    }
+
+    #[test]
+    fn translations_are_cached_and_reused() {
+        let mut a = asm::Assembler::new();
+        a.push(asm::movz(1, 1000, 0));
+        a.label("loop");
+        a.push(asm::subi(1, 1, 1));
+        a.cbnz_to(1, "loop");
+        a.push(asm::hlt());
+        let (c, exit) = boot(&a.finish());
+        assert_eq!(exit, RunExit::GuestHalted { code: 0 });
+        let stats = c.stats();
+        assert!(stats.translations <= 4, "loop body translated once");
+        assert!(stats.blocks > 900, "loop body re-dispatched from the cache");
+    }
+}

@@ -1,0 +1,155 @@
+//! The per-block translation driver: decode → generate → allocate → encode.
+//!
+//! This is the online pipeline of Fig. 8, timed per phase for the Fig. 20
+//! experiment.  Guest basic blocks end at the first branch/exception
+//! instruction, at a page boundary, or at the configured instruction limit.
+
+use crate::layout;
+use crate::runtime::{sf_helpers, CaptiveRuntime};
+use crate::FpMode;
+use dbt::emitter::ValueType;
+use dbt::{lower, regalloc, Emitter, GuestIsa, Phase, PhaseTimers, TranslatedBlock};
+use guest_aarch64::gen::Decoded;
+use guest_aarch64::isa::{FpKind, Insn};
+use guest_aarch64::{v_off, Aarch64Isa};
+use hvm::{Machine, MemSize};
+use std::sync::Arc;
+
+/// Translates one guest basic block starting at virtual address `pc`
+/// (physical address `pa`).
+#[allow(clippy::too_many_arguments)]
+pub fn translate_block(
+    isa: &Aarch64Isa,
+    machine: &mut Machine,
+    runtime: &mut CaptiveRuntime,
+    timers: &mut PhaseTimers,
+    pc: u64,
+    pa: u64,
+    max_insns: usize,
+    fp_mode: FpMode,
+) -> TranslatedBlock {
+    let mut emitter = Emitter::new();
+    let mut guest_insns = 0usize;
+    let mut va = pc;
+
+    loop {
+        // Stop at page boundaries so a block never spans two translations
+        // of different physical pages.
+        if guest_insns > 0 && (va & !0xFFF) != (pc & !0xFFF) {
+            break;
+        }
+        let pa_i = if guest_insns == 0 {
+            pa
+        } else {
+            match runtime.guest_va_to_pa(machine, va, false) {
+                Ok(p) => p,
+                Err(_) => break,
+            }
+        };
+        let word = machine
+            .mem
+            .read_uint(layout::GUEST_PHYS_BASE + pa_i, 4)
+            .unwrap_or(0) as u32;
+
+        let decoded = timers.time(Phase::Decode, || isa.decode(word, va));
+        let end = match decoded {
+            None => {
+                // Undefined instruction: raise a guest UNDEF exception.
+                timers.time(Phase::Translate, || {
+                    let class = emitter.const_u64(guest_aarch64::esr_class::UNDEFINED);
+                    let iss = emitter.const_u64(0);
+                    let ret = emitter.const_u64(va);
+                    emitter.call_helper(
+                        guest_aarch64::gen::helpers::TAKE_EXCEPTION,
+                        &[class, iss, ret],
+                    );
+                    emitter.set_end_of_block();
+                });
+                true
+            }
+            Some(d) => timers.time(Phase::Translate, || {
+                let end = if fp_mode == FpMode::Software {
+                    generate_maybe_soft_fp(&d, &mut emitter, isa)
+                } else {
+                    isa.generate(&d, &mut emitter)
+                };
+                if !end {
+                    emitter.inc_pc(4);
+                }
+                end
+            }),
+        };
+        guest_insns += 1;
+        va += 4;
+        if end || guest_insns >= max_insns {
+            break;
+        }
+    }
+
+    let lir = emitter.finish();
+    let lir_count = lir.len();
+    let allocation = timers.time(Phase::RegAlloc, || regalloc::allocate(&lir));
+    let (code, encoded) = timers.time(Phase::Encode, || {
+        let code = lower::lower(&lir, &allocation);
+        let encoded = hvm::encode::encode_block(&code);
+        (code, encoded)
+    });
+    timers.blocks += 1;
+    timers.guest_insns += guest_insns as u64;
+
+    TranslatedBlock {
+        key: pa,
+        guest_phys: pa,
+        guest_virt: pc,
+        guest_insns,
+        encoded_bytes: encoded.len(),
+        lir_insns: lir_count,
+        code: Arc::new(code),
+    }
+}
+
+/// In software-FP mode, scalar FP arithmetic is routed through softfloat
+/// helper calls (the Section 3.6.2 ablation); everything else uses the normal
+/// generator functions.
+fn generate_maybe_soft_fp(d: &Decoded, e: &mut Emitter, isa: &Aarch64Isa) -> bool {
+    let soft_bin = |e: &mut Emitter, helper: u16, vd: u32, vn: u32, vm: u32| {
+        let a = e.load_register(v_off(vn), ValueType::U64);
+        let b = e.load_register(v_off(vm), ValueType::U64);
+        let r = e.call_helper(helper, &[a, b]);
+        e.store_register(v_off(vd), r);
+        let zero = e.const_u64(0);
+        e.store_register_sized(v_off(vd) + 8, zero, MemSize::U64);
+        false
+    };
+    match d.insn {
+        Insn::FpReg { kind, vd, vn, vm } => {
+            let helper = match kind {
+                FpKind::Add => sf_helpers::ADD,
+                FpKind::Sub => sf_helpers::SUB,
+                FpKind::Mul => sf_helpers::MUL,
+                FpKind::Div => sf_helpers::DIV,
+            };
+            soft_bin(e, helper, vd, vn, vm)
+        }
+        Insn::Fsqrt { vd, vn } => {
+            let a = e.load_register(v_off(vn), ValueType::U64);
+            let r = e.call_helper(sf_helpers::SQRT, &[a]);
+            e.store_register(v_off(vd), r);
+            let zero = e.const_u64(0);
+            e.store_register_sized(v_off(vd) + 8, zero, MemSize::U64);
+            false
+        }
+        Insn::Fmadd { vd, vn, vm, va } => {
+            let a = e.load_register(v_off(vn), ValueType::U64);
+            let b = e.load_register(v_off(vm), ValueType::U64);
+            let prod = e.call_helper(sf_helpers::MUL, &[a, b]);
+            let c = e.load_register(v_off(va), ValueType::U64);
+            let sum = e.call_helper(sf_helpers::ADD, &[prod, c]);
+            e.store_register(v_off(vd), sum);
+            let zero = e.const_u64(0);
+            e.store_register_sized(v_off(vd) + 8, zero, MemSize::U64);
+            false
+        }
+        _ => isa.generate(d, e),
+    }
+}

@@ -1,0 +1,211 @@
+//! Translated-code cache.
+//!
+//! Captive indexes translations by guest *physical* address so they survive
+//! guest page-table changes and are shared between different virtual mappings
+//! of the same physical page; the QEMU-style baseline indexes by guest
+//! *virtual* address and must invalidate everything whenever the guest
+//! changes its page tables (Section 2.6).  Both policies are provided here so
+//! the difference is a configuration, not a reimplementation.
+
+use hvm::MachInsn;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// How blocks are keyed in the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheIndex {
+    /// Key is the guest physical address of the block's first instruction.
+    GuestPhysical,
+    /// Key is the guest virtual address of the block's first instruction.
+    GuestVirtual,
+}
+
+/// One translated guest basic block.
+#[derive(Debug)]
+pub struct TranslatedBlock {
+    /// Key under which the block is cached (physical or virtual address,
+    /// depending on the cache's indexing policy).
+    pub key: u64,
+    /// Guest physical address of the first instruction.
+    pub guest_phys: u64,
+    /// Guest virtual address of the first instruction.
+    pub guest_virt: u64,
+    /// Number of guest instructions translated.
+    pub guest_insns: usize,
+    /// Host code (interpreted by the HVM64 machine).
+    pub code: Arc<Vec<MachInsn>>,
+    /// Size of the byte-encoded host code.
+    pub encoded_bytes: usize,
+    /// Host instructions before dead-code elimination (diagnostic).
+    pub lir_insns: usize,
+}
+
+impl TranslatedBlock {
+    /// Guest bytes covered by the block (fixed 4-byte instructions).
+    pub fn guest_bytes(&self) -> u64 {
+        self.guest_insns as u64 * 4
+    }
+}
+
+/// Statistics kept by the cache.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheStats {
+    /// Lookups that found a block.
+    pub hits: u64,
+    /// Lookups that missed (a translation was required).
+    pub misses: u64,
+    /// Blocks discarded by full invalidations.
+    pub invalidated_full: u64,
+    /// Blocks discarded by per-page invalidations (self-modifying code).
+    pub invalidated_page: u64,
+}
+
+/// The translation cache.
+#[derive(Debug)]
+pub struct CodeCache {
+    index: CacheIndex,
+    blocks: HashMap<u64, Arc<TranslatedBlock>>,
+    stats: CacheStats,
+}
+
+impl CodeCache {
+    /// Creates an empty cache with the given indexing policy.
+    pub fn new(index: CacheIndex) -> Self {
+        CodeCache {
+            index,
+            blocks: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The indexing policy in force.
+    pub fn index_kind(&self) -> CacheIndex {
+        self.index
+    }
+
+    /// Looks up a block by its key.
+    pub fn get(&mut self, key: u64) -> Option<Arc<TranslatedBlock>> {
+        match self.blocks.get(&key) {
+            Some(b) => {
+                self.stats.hits += 1;
+                Some(Arc::clone(b))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a block under its key.
+    pub fn insert(&mut self, block: TranslatedBlock) -> Arc<TranslatedBlock> {
+        let arc = Arc::new(block);
+        self.blocks.insert(arc.key, Arc::clone(&arc));
+        arc
+    }
+
+    /// Number of cached blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True if no blocks are cached.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Cache statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Discards every translation (the QEMU-style response to a guest
+    /// page-table change when indexing by virtual address).
+    pub fn invalidate_all(&mut self) {
+        self.stats.invalidated_full += self.blocks.len() as u64;
+        self.blocks.clear();
+    }
+
+    /// Discards translations whose guest code lies in the given guest
+    /// physical page (Captive's response to a detected self-modifying write).
+    pub fn invalidate_phys_page(&mut self, page_base: u64) {
+        let page_end = page_base + 4096;
+        let before = self.blocks.len();
+        self.blocks.retain(|_, b| {
+            let start = b.guest_phys;
+            let end = b.guest_phys + b.guest_bytes();
+            end <= page_base || start >= page_end
+        });
+        self.stats.invalidated_page += (before - self.blocks.len()) as u64;
+    }
+
+    /// Total bytes of encoded host code currently cached.
+    pub fn total_encoded_bytes(&self) -> usize {
+        self.blocks.values().map(|b| b.encoded_bytes).sum()
+    }
+
+    /// Total guest instructions covered by cached translations.
+    pub fn total_guest_insns(&self) -> usize {
+        self.blocks.values().map(|b| b.guest_insns).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(key: u64, phys: u64, insns: usize) -> TranslatedBlock {
+        TranslatedBlock {
+            key,
+            guest_phys: phys,
+            guest_virt: key,
+            guest_insns: insns,
+            code: Arc::new(vec![MachInsn::Ret]),
+            encoded_bytes: insns * 40,
+            lir_insns: insns * 12,
+        }
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let mut c = CodeCache::new(CacheIndex::GuestPhysical);
+        assert!(c.get(0x1000).is_none());
+        c.insert(block(0x1000, 0x1000, 3));
+        assert!(c.get(0x1000).is_some());
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn full_invalidation_clears_everything() {
+        let mut c = CodeCache::new(CacheIndex::GuestVirtual);
+        c.insert(block(0x1000, 0x1000, 3));
+        c.insert(block(0x2000, 0x2000, 5));
+        c.invalidate_all();
+        assert!(c.is_empty());
+        assert_eq!(c.stats().invalidated_full, 2);
+    }
+
+    #[test]
+    fn page_invalidation_only_hits_overlapping_blocks() {
+        let mut c = CodeCache::new(CacheIndex::GuestPhysical);
+        c.insert(block(0x1000, 0x1000, 4));
+        c.insert(block(0x1FF8, 0x1FF8, 4)); // straddles into 0x2000 page
+        c.insert(block(0x3000, 0x3000, 4));
+        c.invalidate_phys_page(0x2000);
+        assert!(c.get(0x1000).is_some());
+        assert!(c.get(0x1FF8).is_none(), "straddling block invalidated");
+        assert!(c.get(0x3000).is_some());
+        assert_eq!(c.stats().invalidated_page, 1);
+    }
+
+    #[test]
+    fn aggregate_statistics() {
+        let mut c = CodeCache::new(CacheIndex::GuestPhysical);
+        c.insert(block(0x1000, 0x1000, 2));
+        c.insert(block(0x2000, 0x2000, 3));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.total_guest_insns(), 5);
+        assert_eq!(c.total_encoded_bytes(), 200);
+    }
+}

@@ -1,0 +1,90 @@
+//! The online DBT pipeline shared by Captive and the QEMU-style baseline.
+//!
+//! The paper's online stage (Section 2.3) has four phases, reproduced here as
+//! four modules:
+//!
+//! 1. **Instruction decoding** — performed by the guest model behind the
+//!    [`GuestIsa`] trait (the decoder is generated offline in the paper; here
+//!    the guest crates provide it).
+//! 2. **Translation** ([`emitter`]) — generator functions call into an
+//!    invocation-DAG builder; nodes with run-time side effects collapse the
+//!    DAG and emit low-level IR ([`lir`]) immediately (Fig. 9).
+//! 3. **Register allocation** ([`regalloc`]) — a fast two-pass live-range
+//!    allocator that also marks dead instructions.
+//! 4. **Instruction encoding** ([`lower`]) — the allocated IR is lowered to
+//!    HVM64 machine instructions, relative jumps are patched, and the block
+//!    is byte-encoded for the code-size statistics.
+//!
+//! Translated blocks are kept in a [`cache::CodeCache`] indexed either by
+//! guest *physical* address (Captive) or guest *virtual* address (QEMU-style
+//! baseline), reproducing the paper's translation-reuse argument
+//! (Section 2.6).  Wall-clock time spent in each phase is accumulated in
+//! [`timing::PhaseTimers`] for the Fig. 20 experiment.
+
+pub mod cache;
+pub mod emitter;
+pub mod lir;
+pub mod lower;
+pub mod regalloc;
+pub mod timing;
+
+pub use cache::{CacheIndex, CodeCache, TranslatedBlock};
+pub use emitter::{Emitter, Node, NodeId, ValueType};
+pub use lir::{LirInsn, Vreg, VregClass};
+pub use timing::{Phase, PhaseTimers};
+
+use hvm::MachInsn;
+use std::sync::Arc;
+
+/// A guest instruction-set architecture plugged into the DBT.
+///
+/// In the paper both the decoder and the generator functions for a guest are
+/// produced offline from the ADL description; the runtime only sees these two
+/// entry points.  The guest crates implement this trait (either with
+/// hand-materialised generator functions equivalent to the offline tool's
+/// output, or by interpreting ADL-derived generator programs).
+pub trait GuestIsa {
+    /// A decoded guest instruction.
+    type Insn: Clone + std::fmt::Debug;
+
+    /// Decodes the instruction word found at `pc`.  Returns `None` for
+    /// undefined encodings (which the hypervisor turns into an UNDEF
+    /// exception for the guest).
+    fn decode(&self, word: u32, pc: u64) -> Option<Self::Insn>;
+
+    /// Invokes the generator function for `insn`, emitting IR through the
+    /// DAG builder.  Returns `true` if the instruction ends the basic block
+    /// (branches, exception-raising instructions, ...).
+    fn generate(&self, insn: &Self::Insn, emitter: &mut Emitter) -> bool;
+
+    /// Size of one instruction word in bytes (fixed-width ISAs only).
+    fn insn_size(&self) -> u64 {
+        4
+    }
+}
+
+/// The output of translating one guest basic block.
+#[derive(Debug, Clone)]
+pub struct BlockTranslation {
+    /// Final host instructions (physical registers, jumps resolved).
+    pub code: Arc<Vec<MachInsn>>,
+    /// Byte-encoded form of `code` (for size statistics).
+    pub encoded: Vec<u8>,
+    /// Number of guest instructions covered.
+    pub guest_insns: usize,
+    /// Number of host instructions after dead-code removal.
+    pub host_insns: usize,
+    /// Host instructions emitted before register allocation dropped dead ones.
+    pub lir_insns: usize,
+}
+
+impl BlockTranslation {
+    /// Bytes of host code generated per guest instruction (Section 3.4).
+    pub fn bytes_per_guest_insn(&self) -> f64 {
+        if self.guest_insns == 0 {
+            0.0
+        } else {
+            self.encoded.len() as f64 / self.guest_insns as f64
+        }
+    }
+}

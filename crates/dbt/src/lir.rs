@@ -1,0 +1,331 @@
+//! Low-level IR: host instructions over virtual registers.
+//!
+//! This is the paper's "low-level IR [that] is effectively x86 machine
+//! instructions, but with virtual register operands in place of physical
+//! registers" (Fig. 10).  A handful of reserved physical registers appear
+//! implicitly: the guest register-file base pointer (`%rbp`) and the guest
+//! program counter (`%r15`), exactly as in the paper's examples.
+
+use hvm::{AluOp, Cond, FpOp, Gpr, MemSize, VecOp};
+
+/// Register class of a virtual register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VregClass {
+    /// General-purpose (64-bit integer).
+    Gpr,
+    /// Vector / floating-point (128-bit).
+    Xmm,
+}
+
+/// A virtual register produced by the DAG builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Vreg {
+    /// Dense id assigned by the emitter.
+    pub id: u32,
+    /// Register class.
+    pub class: VregClass,
+}
+
+impl std::fmt::Display for Vreg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.class {
+            VregClass::Gpr => write!(f, "%v{}", self.id),
+            VregClass::Xmm => write!(f, "%vx{}", self.id),
+        }
+    }
+}
+
+/// Base of a LIR memory operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LirBase {
+    /// The guest register file base pointer (physical `%rbp`).
+    RegFile,
+    /// A computed address held in a virtual register.
+    Vreg(Vreg),
+}
+
+/// A LIR memory operand: `disp + base (+ index * scale)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LirMem {
+    /// Base.
+    pub base: LirBase,
+    /// Optional scaled index.
+    pub index: Option<(Vreg, u8)>,
+    /// Displacement.
+    pub disp: i32,
+}
+
+impl LirMem {
+    /// A reference into the guest register file at byte offset `disp`.
+    pub fn regfile(disp: i32) -> Self {
+        LirMem {
+            base: LirBase::RegFile,
+            index: None,
+            disp,
+        }
+    }
+
+    /// A reference through a computed virtual-register base.
+    pub fn vreg(base: Vreg, disp: i32) -> Self {
+        LirMem {
+            base: LirBase::Vreg(base),
+            index: None,
+            disp,
+        }
+    }
+}
+
+/// A register-or-immediate LIR operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LirOperand {
+    /// Virtual register.
+    Vreg(Vreg),
+    /// Immediate.
+    Imm(u64),
+}
+
+/// One low-level IR instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LirInsn {
+    /// Pseudo-instruction marking a branch target within the block.
+    Label { id: u32 },
+    /// `dst <- imm`.
+    MovImm { dst: Vreg, imm: u64 },
+    /// `dst <- src`.
+    MovReg { dst: Vreg, src: Vreg },
+    /// Zero-extending load.
+    Load { dst: Vreg, addr: LirMem, size: MemSize },
+    /// Sign-extending load.
+    LoadSx { dst: Vreg, addr: LirMem, size: MemSize },
+    /// Store a register.
+    Store { src: Vreg, addr: LirMem, size: MemSize },
+    /// Store an immediate.
+    StoreImm { imm: u64, addr: LirMem, size: MemSize },
+    /// Address computation.
+    Lea { dst: Vreg, addr: LirMem },
+    /// Two-address ALU operation.
+    Alu { op: AluOp, dst: Vreg, src: LirOperand },
+    /// Flag-setting compare.
+    Cmp { a: Vreg, b: LirOperand },
+    /// Flag-setting bit test.
+    Test { a: Vreg, b: LirOperand },
+    /// Negate in place.
+    Neg { dst: Vreg },
+    /// Complement in place.
+    Not { dst: Vreg },
+    /// Zero-extend the low bits of `src` into `dst`.
+    MovZx { dst: Vreg, src: Vreg, size: MemSize },
+    /// Sign-extend the low bits of `src` into `dst`.
+    MovSx { dst: Vreg, src: Vreg, size: MemSize },
+    /// Materialise a condition as 0/1.
+    SetCc { cond: Cond, dst: Vreg },
+    /// Conditional move.
+    CmovCc { cond: Cond, dst: Vreg, src: Vreg },
+    /// Unconditional jump to a label.
+    Jmp { label: u32 },
+    /// Conditional jump to a label.
+    Jcc { cond: Cond, label: u32 },
+    /// Read the guest PC (held in `%r15`) into a virtual register.
+    ReadPc { dst: Vreg },
+    /// Set the guest PC from an immediate.
+    SetPcImm { imm: u64 },
+    /// Set the guest PC from a virtual register.
+    SetPcReg { src: Vreg },
+    /// Advance the guest PC by a constant (the Fig. 9 node (d) specialisation).
+    IncPc { imm: u64 },
+    /// Move a value into a helper argument slot (0 = rdi, 1 = rsi, 2 = rdx, 3 = rcx).
+    SetArg { index: u8, src: LirOperand },
+    /// Call a runtime helper.
+    CallHelper { helper: u16 },
+    /// Read a helper's return value (rax) into a virtual register.
+    ReadRet { dst: Vreg },
+    /// Return to the dispatcher.
+    Ret,
+    /// Vector/FP load.
+    LoadXmm { dst: Vreg, addr: LirMem, size: MemSize },
+    /// Vector/FP store.
+    StoreXmm { src: Vreg, addr: LirMem, size: MemSize },
+    /// GPR to XMM move.
+    GprToXmm { dst: Vreg, src: Vreg },
+    /// XMM to GPR move.
+    XmmToGpr { dst: Vreg, src: Vreg },
+    /// Scalar FP operation (two-address).
+    Fp { op: FpOp, dst: Vreg, src: Vreg },
+    /// Fused multiply-add `dst <- a * b + dst`.
+    FpFma { dst: Vreg, a: Vreg, b: Vreg },
+    /// Scalar FP compare setting integer flags.
+    FpCmp { a: Vreg, b: Vreg },
+    /// Signed integer to double conversion.
+    CvtI2D { dst: Vreg, src: Vreg },
+    /// Double to signed integer conversion.
+    CvtD2I { dst: Vreg, src: Vreg },
+    /// Single to double conversion.
+    CvtS2D { dst: Vreg, src: Vreg },
+    /// Double to single conversion.
+    CvtD2S { dst: Vreg, src: Vreg },
+    /// Packed vector operation (two-address).
+    Vec { op: VecOp, dst: Vreg, src: Vreg },
+    /// Software interrupt.
+    Int { vector: u8 },
+    /// Port write from a virtual register.
+    Out { port: u16, src: Vreg },
+    /// Port read into a virtual register.
+    In { dst: Vreg, port: u16 },
+    /// Fast system call.
+    Syscall,
+    /// Flush the host TLB (ring-0 generated code only — Captive system ops).
+    TlbFlushAll,
+    /// Flush TLB entries of the current PCID.
+    TlbFlushPcid,
+}
+
+/// Scratch registers reserved for spill handling and special lowering;
+/// excluded from the allocatable pool.
+pub const SCRATCH_GPRS: [Gpr; 3] = [Gpr::Rax, Gpr::Rdx, Gpr::Rsi];
+
+/// Helper argument registers, in argument order.
+pub const ARG_GPRS: [Gpr; 4] = [Gpr::Rdi, Gpr::Rsi, Gpr::Rdx, Gpr::Rcx];
+
+/// The pool of general-purpose registers available to the allocator.
+/// Excludes the reserved stack pointer / register-file base / guest PC and
+/// the scratch + argument registers clobbered around helper calls.
+pub const GPR_POOL: [Gpr; 8] = [
+    Gpr::Rbx,
+    Gpr::R8,
+    Gpr::R9,
+    Gpr::R10,
+    Gpr::R11,
+    Gpr::R12,
+    Gpr::R13,
+    Gpr::R14,
+];
+
+impl LirInsn {
+    /// Virtual registers read by this instruction.
+    pub fn uses(&self, out: &mut Vec<Vreg>) {
+        let mem = |m: &LirMem, out: &mut Vec<Vreg>| {
+            if let LirBase::Vreg(v) = m.base {
+                out.push(v);
+            }
+            if let Some((v, _)) = m.index {
+                out.push(v);
+            }
+        };
+        let op = |o: &LirOperand, out: &mut Vec<Vreg>| {
+            if let LirOperand::Vreg(v) = o {
+                out.push(*v);
+            }
+        };
+        match self {
+            LirInsn::MovReg { src, .. } => out.push(*src),
+            LirInsn::Load { addr, .. } | LirInsn::LoadSx { addr, .. } | LirInsn::Lea { addr, .. } => {
+                mem(addr, out)
+            }
+            LirInsn::Store { src, addr, .. } => {
+                out.push(*src);
+                mem(addr, out);
+            }
+            LirInsn::StoreImm { addr, .. } => mem(addr, out),
+            LirInsn::Alu { dst, src, .. } => {
+                out.push(*dst);
+                op(src, out);
+            }
+            LirInsn::Cmp { a, b } | LirInsn::Test { a, b } => {
+                out.push(*a);
+                op(b, out);
+            }
+            LirInsn::Neg { dst } | LirInsn::Not { dst } => out.push(*dst),
+            LirInsn::MovZx { src, .. } | LirInsn::MovSx { src, .. } => out.push(*src),
+            LirInsn::CmovCc { dst, src, .. } => {
+                out.push(*dst);
+                out.push(*src);
+            }
+            LirInsn::SetPcReg { src } => out.push(*src),
+            LirInsn::SetArg { src, .. } => op(src, out),
+            LirInsn::LoadXmm { addr, .. } => mem(addr, out),
+            LirInsn::StoreXmm { src, addr, .. } => {
+                out.push(*src);
+                mem(addr, out);
+            }
+            LirInsn::GprToXmm { src, .. } | LirInsn::XmmToGpr { src, .. } => out.push(*src),
+            LirInsn::Fp { dst, src, .. } | LirInsn::Vec { dst, src, .. } => {
+                out.push(*dst);
+                out.push(*src);
+            }
+            LirInsn::FpFma { dst, a, b } => {
+                out.push(*dst);
+                out.push(*a);
+                out.push(*b);
+            }
+            LirInsn::FpCmp { a, b } => {
+                out.push(*a);
+                out.push(*b);
+            }
+            LirInsn::CvtI2D { src, .. }
+            | LirInsn::CvtD2I { src, .. }
+            | LirInsn::CvtS2D { src, .. }
+            | LirInsn::CvtD2S { src, .. } => out.push(*src),
+            LirInsn::Out { src, .. } => out.push(*src),
+            _ => {}
+        }
+    }
+
+    /// Virtual register written by this instruction, if any.
+    pub fn def(&self) -> Option<Vreg> {
+        match self {
+            LirInsn::MovImm { dst, .. }
+            | LirInsn::MovReg { dst, .. }
+            | LirInsn::Load { dst, .. }
+            | LirInsn::LoadSx { dst, .. }
+            | LirInsn::Lea { dst, .. }
+            | LirInsn::Alu { dst, .. }
+            | LirInsn::Neg { dst }
+            | LirInsn::Not { dst }
+            | LirInsn::MovZx { dst, .. }
+            | LirInsn::MovSx { dst, .. }
+            | LirInsn::SetCc { dst, .. }
+            | LirInsn::CmovCc { dst, .. }
+            | LirInsn::ReadPc { dst }
+            | LirInsn::ReadRet { dst }
+            | LirInsn::LoadXmm { dst, .. }
+            | LirInsn::GprToXmm { dst, .. }
+            | LirInsn::XmmToGpr { dst, .. }
+            | LirInsn::Fp { dst, .. }
+            | LirInsn::FpFma { dst, .. }
+            | LirInsn::CvtI2D { dst, .. }
+            | LirInsn::CvtD2I { dst, .. }
+            | LirInsn::CvtS2D { dst, .. }
+            | LirInsn::CvtD2S { dst, .. }
+            | LirInsn::Vec { dst, .. }
+            | LirInsn::In { dst, .. } => Some(*dst),
+            _ => None,
+        }
+    }
+
+    /// True if the instruction has an effect beyond writing its destination
+    /// virtual register (memory, PC, flags consumed later, control flow, ...).
+    /// Dead-code marking in the register allocator only removes instructions
+    /// for which this returns `false` and whose destination is never read.
+    pub fn has_side_effect(&self) -> bool {
+        match self {
+            LirInsn::MovImm { .. }
+            | LirInsn::MovReg { .. }
+            | LirInsn::Load { .. }
+            | LirInsn::LoadSx { .. }
+            | LirInsn::Lea { .. }
+            | LirInsn::MovZx { .. }
+            | LirInsn::MovSx { .. }
+            | LirInsn::SetCc { .. }
+            | LirInsn::ReadPc { .. }
+            | LirInsn::LoadXmm { .. }
+            | LirInsn::GprToXmm { .. }
+            | LirInsn::XmmToGpr { .. }
+            | LirInsn::CvtI2D { .. }
+            | LirInsn::CvtS2D { .. }
+            | LirInsn::CvtD2S { .. } => false,
+            // ALU writes flags a later Jcc/SetCc might read; treating it as
+            // effectful keeps the fast allocator conservative and correct.
+            _ => true,
+        }
+    }
+}

@@ -1,0 +1,610 @@
+//! Lowering of register-allocated LIR to HVM64 machine instructions.
+//!
+//! This is the paper's final "instruction encoding" phase: dead instructions
+//! marked by the allocator are skipped, virtual registers are replaced by
+//! their physical assignments (with scratch-register reloads for spilled
+//! values), labels disappear and relative jump targets are patched once all
+//! instruction positions are known (Section 2.3.4).
+
+use crate::lir::{LirBase, LirInsn, LirMem, LirOperand, Vreg, ARG_GPRS, SCRATCH_GPRS};
+use crate::regalloc::{Allocation, Assignment};
+use hvm::{Gpr, MachInsn, MemRef, MemSize, Operand, Xmm};
+use std::collections::HashMap;
+
+/// Byte offset (relative to the register-file base pointer) of the spill
+/// area.  The hypervisor reserves this scratch region just below the guest
+/// register file.
+pub const SPILL_AREA_OFFSET: i32 = -4096;
+
+/// Scratch vector registers used for spilled XMM values.
+const XMM_SCRATCH: [Xmm; 2] = [Xmm(14), Xmm(15)];
+
+struct Lowerer<'a> {
+    alloc: &'a Allocation,
+    out: Vec<MachInsn>,
+    /// label id -> machine instruction index.
+    label_pos: HashMap<u32, usize>,
+    /// (machine index of Jmp/Jcc, label id) pairs to patch.
+    fixups: Vec<(usize, u32)>,
+    /// Scratch registers consumed so far for the current LIR instruction.
+    scratch_used: usize,
+    xmm_scratch_used: usize,
+}
+
+impl<'a> Lowerer<'a> {
+    fn new(alloc: &'a Allocation) -> Self {
+        Lowerer {
+            alloc,
+            out: Vec::new(),
+            label_pos: HashMap::new(),
+            fixups: Vec::new(),
+            scratch_used: 0,
+            xmm_scratch_used: 0,
+        }
+    }
+
+    fn spill_slot_addr(slot: u32) -> MemRef {
+        MemRef::base_disp(Gpr::Rbp, SPILL_AREA_OFFSET + (slot as i32) * 16)
+    }
+
+    /// Resolves a GPR-class vreg for *reading*, reloading from its spill slot
+    /// into a scratch register if necessary.
+    fn use_gpr(&mut self, v: Vreg) -> Gpr {
+        match self.alloc.assignment.get(&v.id) {
+            Some(Assignment::Gpr(r)) => *r,
+            Some(Assignment::Spill(slot)) => {
+                let scratch = SCRATCH_GPRS[self.scratch_used % SCRATCH_GPRS.len()];
+                self.scratch_used += 1;
+                self.out.push(MachInsn::Load {
+                    dst: scratch,
+                    addr: Self::spill_slot_addr(*slot),
+                    size: MemSize::U64,
+                });
+                scratch
+            }
+            _ => Gpr::Rax,
+        }
+    }
+
+    /// Resolves a GPR-class vreg for *writing*.  Returns the register to
+    /// write plus an optional store-back to the spill slot.
+    fn def_gpr(&mut self, v: Vreg) -> (Gpr, Option<MachInsn>) {
+        match self.alloc.assignment.get(&v.id) {
+            Some(Assignment::Gpr(r)) => (*r, None),
+            Some(Assignment::Spill(slot)) => {
+                let scratch = SCRATCH_GPRS[self.scratch_used % SCRATCH_GPRS.len()];
+                self.scratch_used += 1;
+                (
+                    scratch,
+                    Some(MachInsn::Store {
+                        src: scratch,
+                        addr: Self::spill_slot_addr(*slot),
+                        size: MemSize::U64,
+                    }),
+                )
+            }
+            _ => (Gpr::Rax, None),
+        }
+    }
+
+    fn use_xmm(&mut self, v: Vreg) -> Xmm {
+        match self.alloc.assignment.get(&v.id) {
+            Some(Assignment::Xmm(x)) => *x,
+            Some(Assignment::Spill(slot)) => {
+                let scratch = XMM_SCRATCH[self.xmm_scratch_used % XMM_SCRATCH.len()];
+                self.xmm_scratch_used += 1;
+                self.out.push(MachInsn::LoadXmm {
+                    dst: scratch,
+                    addr: Self::spill_slot_addr(*slot),
+                    size: MemSize::U128,
+                });
+                scratch
+            }
+            _ => Xmm(0),
+        }
+    }
+
+    fn def_xmm(&mut self, v: Vreg) -> (Xmm, Option<MachInsn>) {
+        match self.alloc.assignment.get(&v.id) {
+            Some(Assignment::Xmm(x)) => (*x, None),
+            Some(Assignment::Spill(slot)) => {
+                let scratch = XMM_SCRATCH[self.xmm_scratch_used % XMM_SCRATCH.len()];
+                self.xmm_scratch_used += 1;
+                (
+                    scratch,
+                    Some(MachInsn::StoreXmm {
+                        src: scratch,
+                        addr: Self::spill_slot_addr(*slot),
+                        size: MemSize::U128,
+                    }),
+                )
+            }
+            _ => (Xmm(0), None),
+        }
+    }
+
+    fn mem(&mut self, m: &LirMem) -> MemRef {
+        let base = match m.base {
+            LirBase::RegFile => Gpr::Rbp,
+            LirBase::Vreg(v) => self.use_gpr(v),
+        };
+        let index = m.index.map(|(v, scale)| (self.use_gpr(v), scale));
+        MemRef {
+            base,
+            index,
+            disp: m.disp,
+        }
+    }
+
+    fn operand(&mut self, o: &LirOperand) -> Operand {
+        match o {
+            LirOperand::Vreg(v) => Operand::Reg(self.use_gpr(*v)),
+            LirOperand::Imm(i) => Operand::Imm(*i),
+        }
+    }
+
+    fn push(&mut self, insn: MachInsn, store_back: Option<MachInsn>) {
+        self.out.push(insn);
+        if let Some(sb) = store_back {
+            self.out.push(sb);
+        }
+    }
+
+    fn lower_insn(&mut self, insn: &LirInsn) {
+        self.scratch_used = 0;
+        self.xmm_scratch_used = 0;
+        match insn {
+            LirInsn::Label { id } => {
+                self.label_pos.insert(*id, self.out.len());
+            }
+            LirInsn::MovImm { dst, imm } => {
+                let (d, sb) = self.def_gpr(*dst);
+                self.push(MachInsn::MovImm { dst: d, imm: *imm }, sb);
+            }
+            LirInsn::MovReg { dst, src } => {
+                let s = self.use_gpr(*src);
+                let (d, sb) = self.def_gpr(*dst);
+                self.push(MachInsn::MovReg { dst: d, src: s }, sb);
+            }
+            LirInsn::Load { dst, addr, size } => {
+                let a = self.mem(addr);
+                let (d, sb) = self.def_gpr(*dst);
+                self.push(
+                    MachInsn::Load {
+                        dst: d,
+                        addr: a,
+                        size: *size,
+                    },
+                    sb,
+                );
+            }
+            LirInsn::LoadSx { dst, addr, size } => {
+                let a = self.mem(addr);
+                let (d, sb) = self.def_gpr(*dst);
+                self.push(
+                    MachInsn::LoadSx {
+                        dst: d,
+                        addr: a,
+                        size: *size,
+                    },
+                    sb,
+                );
+            }
+            LirInsn::Store { src, addr, size } => {
+                let s = self.use_gpr(*src);
+                let a = self.mem(addr);
+                self.out.push(MachInsn::Store {
+                    src: s,
+                    addr: a,
+                    size: *size,
+                });
+            }
+            LirInsn::StoreImm { imm, addr, size } => {
+                let a = self.mem(addr);
+                self.out.push(MachInsn::StoreImm {
+                    imm: *imm,
+                    addr: a,
+                    size: *size,
+                });
+            }
+            LirInsn::Lea { dst, addr } => {
+                let a = self.mem(addr);
+                let (d, sb) = self.def_gpr(*dst);
+                self.push(MachInsn::Lea { dst: d, addr: a }, sb);
+            }
+            LirInsn::Alu { op, dst, src } => {
+                let s = self.operand(src);
+                // Two-address: the destination is also a source.
+                let d = self.use_gpr(*dst);
+                let sb = match self.alloc.assignment.get(&dst.id) {
+                    Some(Assignment::Spill(slot)) => Some(MachInsn::Store {
+                        src: d,
+                        addr: Self::spill_slot_addr(*slot),
+                        size: MemSize::U64,
+                    }),
+                    _ => None,
+                };
+                self.push(
+                    MachInsn::Alu {
+                        op: *op,
+                        dst: d,
+                        src: s,
+                    },
+                    sb,
+                );
+            }
+            LirInsn::Cmp { a, b } => {
+                let av = self.use_gpr(*a);
+                let bv = self.operand(b);
+                self.out.push(MachInsn::Cmp { a: av, b: bv });
+            }
+            LirInsn::Test { a, b } => {
+                let av = self.use_gpr(*a);
+                let bv = self.operand(b);
+                self.out.push(MachInsn::Test { a: av, b: bv });
+            }
+            LirInsn::Neg { dst } => {
+                let d = self.use_gpr(*dst);
+                self.out.push(MachInsn::Neg { dst: d });
+            }
+            LirInsn::Not { dst } => {
+                let d = self.use_gpr(*dst);
+                self.out.push(MachInsn::Not { dst: d });
+            }
+            LirInsn::MovZx { dst, src, size } => {
+                let s = self.use_gpr(*src);
+                let (d, sb) = self.def_gpr(*dst);
+                self.push(
+                    MachInsn::MovZx {
+                        dst: d,
+                        src: s,
+                        size: *size,
+                    },
+                    sb,
+                );
+            }
+            LirInsn::MovSx { dst, src, size } => {
+                let s = self.use_gpr(*src);
+                let (d, sb) = self.def_gpr(*dst);
+                self.push(
+                    MachInsn::MovSx {
+                        dst: d,
+                        src: s,
+                        size: *size,
+                    },
+                    sb,
+                );
+            }
+            LirInsn::SetCc { cond, dst } => {
+                let (d, sb) = self.def_gpr(*dst);
+                self.push(MachInsn::SetCc { cond: *cond, dst: d }, sb);
+            }
+            LirInsn::CmovCc { cond, dst, src } => {
+                let s = self.use_gpr(*src);
+                let d = self.use_gpr(*dst);
+                self.out.push(MachInsn::CmovCc {
+                    cond: *cond,
+                    dst: d,
+                    src: s,
+                });
+            }
+            LirInsn::Jmp { label } => {
+                self.fixups.push((self.out.len(), *label));
+                self.out.push(MachInsn::Jmp { target: 0 });
+            }
+            LirInsn::Jcc { cond, label } => {
+                self.fixups.push((self.out.len(), *label));
+                self.out.push(MachInsn::Jcc {
+                    cond: *cond,
+                    target: 0,
+                });
+            }
+            LirInsn::ReadPc { dst } => {
+                let (d, sb) = self.def_gpr(*dst);
+                self.push(
+                    MachInsn::MovReg {
+                        dst: d,
+                        src: Gpr::R15,
+                    },
+                    sb,
+                );
+            }
+            LirInsn::SetPcImm { imm } => {
+                self.out.push(MachInsn::MovImm {
+                    dst: Gpr::R15,
+                    imm: *imm,
+                });
+            }
+            LirInsn::SetPcReg { src } => {
+                let s = self.use_gpr(*src);
+                self.out.push(MachInsn::MovReg {
+                    dst: Gpr::R15,
+                    src: s,
+                });
+            }
+            LirInsn::IncPc { imm } => {
+                self.out.push(MachInsn::Alu {
+                    op: hvm::AluOp::Add,
+                    dst: Gpr::R15,
+                    src: Operand::Imm(*imm),
+                });
+            }
+            LirInsn::SetArg { index, src } => {
+                let dst = ARG_GPRS[*index as usize];
+                match self.operand(src) {
+                    Operand::Reg(r) => self.out.push(MachInsn::MovReg { dst, src: r }),
+                    Operand::Imm(i) => self.out.push(MachInsn::MovImm { dst, imm: i }),
+                }
+            }
+            LirInsn::CallHelper { helper } => {
+                self.out.push(MachInsn::CallHelper { helper: *helper });
+            }
+            LirInsn::ReadRet { dst } => {
+                let (d, sb) = self.def_gpr(*dst);
+                self.push(
+                    MachInsn::MovReg {
+                        dst: d,
+                        src: Gpr::Rax,
+                    },
+                    sb,
+                );
+            }
+            LirInsn::Ret => self.out.push(MachInsn::Ret),
+            LirInsn::LoadXmm { dst, addr, size } => {
+                let a = self.mem(addr);
+                let (d, sb) = self.def_xmm(*dst);
+                self.push(
+                    MachInsn::LoadXmm {
+                        dst: d,
+                        addr: a,
+                        size: *size,
+                    },
+                    sb,
+                );
+            }
+            LirInsn::StoreXmm { src, addr, size } => {
+                let s = self.use_xmm(*src);
+                let a = self.mem(addr);
+                self.out.push(MachInsn::StoreXmm {
+                    src: s,
+                    addr: a,
+                    size: *size,
+                });
+            }
+            LirInsn::GprToXmm { dst, src } => {
+                let s = self.use_gpr(*src);
+                let (d, sb) = self.def_xmm(*dst);
+                self.push(MachInsn::MovGprToXmm { dst: d, src: s }, sb);
+            }
+            LirInsn::XmmToGpr { dst, src } => {
+                let s = self.use_xmm(*src);
+                let (d, sb) = self.def_gpr(*dst);
+                self.push(MachInsn::MovXmmToGpr { dst: d, src: s }, sb);
+            }
+            LirInsn::Fp { op, dst, src } => {
+                let s = self.use_xmm(*src);
+                let d = self.use_xmm(*dst);
+                self.out.push(MachInsn::Fp {
+                    op: *op,
+                    dst: d,
+                    src: s,
+                });
+            }
+            LirInsn::FpFma { dst, a, b } => {
+                let av = self.use_xmm(*a);
+                let bv = self.use_xmm(*b);
+                let d = self.use_xmm(*dst);
+                self.out.push(MachInsn::FpFma { dst: d, a: av, b: bv });
+            }
+            LirInsn::FpCmp { a, b } => {
+                let av = self.use_xmm(*a);
+                let bv = self.use_xmm(*b);
+                self.out.push(MachInsn::FpCmp { a: av, b: bv });
+            }
+            LirInsn::CvtI2D { dst, src } => {
+                let s = self.use_gpr(*src);
+                let (d, sb) = self.def_xmm(*dst);
+                self.push(MachInsn::CvtI2D { dst: d, src: s }, sb);
+            }
+            LirInsn::CvtD2I { dst, src } => {
+                let s = self.use_xmm(*src);
+                let (d, sb) = self.def_gpr(*dst);
+                self.push(MachInsn::CvtD2I { dst: d, src: s }, sb);
+            }
+            LirInsn::CvtS2D { dst, src } => {
+                let s = self.use_xmm(*src);
+                let (d, sb) = self.def_xmm(*dst);
+                self.push(MachInsn::CvtS2D { dst: d, src: s }, sb);
+            }
+            LirInsn::CvtD2S { dst, src } => {
+                let s = self.use_xmm(*src);
+                let (d, sb) = self.def_xmm(*dst);
+                self.push(MachInsn::CvtD2S { dst: d, src: s }, sb);
+            }
+            LirInsn::Vec { op, dst, src } => {
+                let s = self.use_xmm(*src);
+                let d = self.use_xmm(*dst);
+                self.out.push(MachInsn::Vec {
+                    op: *op,
+                    dst: d,
+                    src: s,
+                });
+            }
+            LirInsn::Int { vector } => self.out.push(MachInsn::Int { vector: *vector }),
+            LirInsn::Out { port, src } => {
+                let s = self.use_gpr(*src);
+                self.out.push(MachInsn::Out { port: *port, src: s });
+            }
+            LirInsn::In { dst, port } => {
+                let (d, sb) = self.def_gpr(*dst);
+                self.push(MachInsn::In { dst: d, port: *port }, sb);
+            }
+            LirInsn::Syscall => self.out.push(MachInsn::Syscall),
+            LirInsn::TlbFlushAll => self.out.push(MachInsn::TlbFlushAll),
+            LirInsn::TlbFlushPcid => self.out.push(MachInsn::TlbFlushPcid),
+        }
+    }
+}
+
+/// Lowers allocated LIR to machine instructions, skipping dead instructions
+/// and patching relative jumps.
+pub fn lower(lir: &[LirInsn], alloc: &Allocation) -> Vec<MachInsn> {
+    let mut l = Lowerer::new(alloc);
+    for (i, insn) in lir.iter().enumerate() {
+        if alloc.dead.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        l.lower_insn(insn);
+    }
+    // Patch jumps: targets are relative to the jump's own index.
+    for (pos, label) in l.fixups {
+        let target_pos = l.label_pos.get(&label).copied().unwrap_or(l.out.len());
+        let rel = target_pos as i32 - pos as i32;
+        match &mut l.out[pos] {
+            MachInsn::Jmp { target } => *target = rel,
+            MachInsn::Jcc { target, .. } => *target = rel,
+            _ => {}
+        }
+    }
+    l.out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lir::{LirMem, Vreg, VregClass};
+    use crate::regalloc::allocate;
+
+    #[test]
+    fn lowers_the_add_example_to_machine_code() {
+        let v = |id| Vreg {
+            id,
+            class: VregClass::Gpr,
+        };
+        let lir = vec![
+            LirInsn::Load {
+                dst: v(0),
+                addr: LirMem::regfile(0x100),
+                size: MemSize::U64,
+            },
+            LirInsn::Load {
+                dst: v(1),
+                addr: LirMem::regfile(0x108),
+                size: MemSize::U64,
+            },
+            LirInsn::MovReg { dst: v(2), src: v(0) },
+            LirInsn::Alu {
+                op: hvm::AluOp::Add,
+                dst: v(2),
+                src: LirOperand::Vreg(v(1)),
+            },
+            LirInsn::Store {
+                src: v(2),
+                addr: LirMem::regfile(0x100),
+                size: MemSize::U64,
+            },
+            LirInsn::IncPc { imm: 4 },
+            LirInsn::Ret,
+        ];
+        let alloc = allocate(&lir);
+        let code = lower(&lir, &alloc);
+        assert!(matches!(code.last(), Some(MachInsn::Ret)));
+        // The PC increment lowers onto %r15 directly.
+        assert!(code.iter().any(|i| matches!(
+            i,
+            MachInsn::Alu {
+                dst: Gpr::R15,
+                src: Operand::Imm(4),
+                ..
+            }
+        )));
+        // Register-file accesses use %rbp as base.
+        assert!(code.iter().any(|i| matches!(
+            i,
+            MachInsn::Load { addr, .. } if addr.base == Gpr::Rbp && addr.disp == 0x108
+        )));
+    }
+
+    #[test]
+    fn dead_instructions_are_skipped() {
+        let v = |id| Vreg {
+            id,
+            class: VregClass::Gpr,
+        };
+        let lir = vec![
+            LirInsn::MovImm { dst: v(0), imm: 7 },
+            LirInsn::Ret,
+        ];
+        let alloc = allocate(&lir);
+        let code = lower(&lir, &alloc);
+        assert_eq!(code.len(), 1, "only the Ret survives");
+    }
+
+    #[test]
+    fn labels_resolve_to_relative_targets() {
+        let v = |id| Vreg {
+            id,
+            class: VregClass::Gpr,
+        };
+        let lir = vec![
+            LirInsn::MovImm { dst: v(0), imm: 1 },
+            LirInsn::Test {
+                a: v(0),
+                b: LirOperand::Vreg(v(0)),
+            },
+            LirInsn::Jcc {
+                cond: hvm::Cond::Eq,
+                label: 0,
+            },
+            LirInsn::SetPcImm { imm: 0x1000 },
+            LirInsn::Label { id: 0 },
+            LirInsn::Ret,
+        ];
+        let alloc = allocate(&lir);
+        let code = lower(&lir, &alloc);
+        let jcc_pos = code
+            .iter()
+            .position(|i| matches!(i, MachInsn::Jcc { .. }))
+            .unwrap();
+        if let MachInsn::Jcc { target, .. } = code[jcc_pos] {
+            let dest = (jcc_pos as i32 + target) as usize;
+            assert!(matches!(code[dest], MachInsn::Ret));
+        } else {
+            unreachable!();
+        }
+    }
+
+    #[test]
+    fn spilled_values_roundtrip_through_the_spill_area() {
+        let v = |id| Vreg {
+            id,
+            class: VregClass::Gpr,
+        };
+        // Create enough overlapping live ranges to force spilling, then make
+        // sure every value still reaches its store.
+        let n = crate::lir::GPR_POOL.len() as u32 + 3;
+        let mut lir = Vec::new();
+        for i in 0..n {
+            lir.push(LirInsn::MovImm {
+                dst: v(i),
+                imm: 100 + i as u64,
+            });
+        }
+        for i in 0..n {
+            lir.push(LirInsn::Store {
+                src: v(i),
+                addr: LirMem::regfile((i * 8) as i32),
+                size: MemSize::U64,
+            });
+        }
+        lir.push(LirInsn::Ret);
+        let alloc = allocate(&lir);
+        assert!(alloc.spill_slots > 0);
+        let code = lower(&lir, &alloc);
+        // Spill stores target the spill area below the register file.
+        assert!(code.iter().any(|i| matches!(
+            i,
+            MachInsn::Store { addr, .. } if addr.base == Gpr::Rbp && addr.disp < 0
+        )));
+    }
+}

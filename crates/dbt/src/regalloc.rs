@@ -1,0 +1,285 @@
+//! Register allocation over the low-level IR.
+//!
+//! As in the paper (Section 2.3.3): a forward pass discovers live ranges, a
+//! second pass assigns host registers to virtual registers by linear scan
+//! (splitting to spill slots when the pool is exhausted), and instructions
+//! whose results are never used are marked dead so the encoder skips them.
+//! The algorithm favours speed over optimality — it is part of the
+//! JIT-latency budget measured in Fig. 20.
+
+use crate::lir::{LirInsn, Vreg, VregClass, GPR_POOL};
+use hvm::{Gpr, Xmm};
+use std::collections::HashMap;
+
+/// Vector registers available to the allocator (the top two are reserved as
+/// spill scratch).
+pub const XMM_POOL: [u8; 14] = [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13];
+
+/// Where a virtual register ended up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Assignment {
+    /// A general-purpose host register.
+    Gpr(Gpr),
+    /// A vector host register.
+    Xmm(Xmm),
+    /// A spill slot (index into the per-block spill area addressed off the
+    /// register-file base pointer).
+    Spill(u32),
+}
+
+/// The result of register allocation for one block.
+#[derive(Debug, Clone, Default)]
+pub struct Allocation {
+    /// Assignment per virtual register id.
+    pub assignment: HashMap<u32, Assignment>,
+    /// `dead[i]` is true if LIR instruction `i` can be skipped by the encoder.
+    pub dead: Vec<bool>,
+    /// Number of spill slots used (GPR and XMM slots share the numbering).
+    pub spill_slots: u32,
+}
+
+/// Live range of one virtual register (instruction indices, inclusive).
+#[derive(Debug, Clone, Copy)]
+struct Range {
+    vreg: Vreg,
+    start: usize,
+    end: usize,
+}
+
+/// Runs liveness analysis, dead-code marking and linear-scan assignment.
+pub fn allocate(lir: &[LirInsn]) -> Allocation {
+    // Forward pass: first and last occurrence of every vreg, plus use counts.
+    let mut first: HashMap<u32, (Vreg, usize)> = HashMap::new();
+    let mut last: HashMap<u32, usize> = HashMap::new();
+    let mut use_count: HashMap<u32, u32> = HashMap::new();
+    let mut scratch = Vec::with_capacity(4);
+    for (i, insn) in lir.iter().enumerate() {
+        scratch.clear();
+        insn.uses(&mut scratch);
+        for v in &scratch {
+            *use_count.entry(v.id).or_default() += 1;
+            first.entry(v.id).or_insert((*v, i));
+            last.insert(v.id, i);
+        }
+        if let Some(d) = insn.def() {
+            first.entry(d.id).or_insert((d, i));
+            last.insert(d.id, i);
+        }
+    }
+
+    // Dead-code marking: pure instructions whose destination is never read.
+    let mut dead = vec![false; lir.len()];
+    for (i, insn) in lir.iter().enumerate() {
+        if insn.has_side_effect() {
+            continue;
+        }
+        if let Some(d) = insn.def() {
+            if use_count.get(&d.id).copied().unwrap_or(0) == 0 {
+                dead[i] = true;
+            }
+        }
+    }
+
+    // Build live ranges (skipping vregs only defined by dead instructions).
+    let mut ranges: Vec<Range> = first
+        .iter()
+        .map(|(&id, &(vreg, start))| Range {
+            vreg,
+            start,
+            end: last[&id],
+        })
+        .collect();
+    ranges.sort_by_key(|r| (r.start, r.vreg.id));
+
+    // Linear scan, one pool per register class.
+    let mut assignment = HashMap::new();
+    let mut active_gpr: Vec<(usize, Gpr)> = Vec::new(); // (end, reg)
+    let mut active_xmm: Vec<(usize, Xmm)> = Vec::new();
+    let mut free_gpr: Vec<Gpr> = GPR_POOL.to_vec();
+    let mut free_xmm: Vec<Xmm> = XMM_POOL.iter().rev().map(|&i| Xmm(i)).collect();
+    let mut spill_slots = 0u32;
+
+    for r in &ranges {
+        // Expire ranges that ended before this one starts.
+        active_gpr.retain(|&(end, reg)| {
+            if end < r.start {
+                free_gpr.push(reg);
+                false
+            } else {
+                true
+            }
+        });
+        active_xmm.retain(|&(end, reg)| {
+            if end < r.start {
+                free_xmm.push(reg);
+                false
+            } else {
+                true
+            }
+        });
+        match r.vreg.class {
+            VregClass::Gpr => {
+                if let Some(reg) = free_gpr.pop() {
+                    assignment.insert(r.vreg.id, Assignment::Gpr(reg));
+                    active_gpr.push((r.end, reg));
+                } else {
+                    assignment.insert(r.vreg.id, Assignment::Spill(spill_slots));
+                    spill_slots += 1;
+                }
+            }
+            VregClass::Xmm => {
+                if let Some(reg) = free_xmm.pop() {
+                    assignment.insert(r.vreg.id, Assignment::Xmm(reg));
+                    active_xmm.push((r.end, reg));
+                } else {
+                    assignment.insert(r.vreg.id, Assignment::Spill(spill_slots));
+                    spill_slots += 1;
+                }
+            }
+        }
+    }
+
+    Allocation {
+        assignment,
+        dead,
+        spill_slots,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lir::{LirMem, LirOperand};
+    use hvm::{AluOp, MemSize};
+
+    fn v(id: u32) -> Vreg {
+        Vreg {
+            id,
+            class: VregClass::Gpr,
+        }
+    }
+
+    #[test]
+    fn simple_block_gets_registers_without_spills() {
+        let lir = vec![
+            LirInsn::Load {
+                dst: v(0),
+                addr: LirMem::regfile(0x100),
+                size: MemSize::U64,
+            },
+            LirInsn::Load {
+                dst: v(1),
+                addr: LirMem::regfile(0x108),
+                size: MemSize::U64,
+            },
+            LirInsn::MovReg { dst: v(2), src: v(0) },
+            LirInsn::Alu {
+                op: AluOp::Add,
+                dst: v(2),
+                src: LirOperand::Vreg(v(1)),
+            },
+            LirInsn::Store {
+                src: v(2),
+                addr: LirMem::regfile(0x100),
+                size: MemSize::U64,
+            },
+            LirInsn::Ret,
+        ];
+        let alloc = allocate(&lir);
+        assert_eq!(alloc.spill_slots, 0);
+        for id in 0..3 {
+            assert!(matches!(alloc.assignment[&id], Assignment::Gpr(_)));
+        }
+        assert!(alloc.dead.iter().all(|d| !d));
+    }
+
+    #[test]
+    fn unused_pure_results_are_marked_dead() {
+        let lir = vec![
+            LirInsn::MovImm { dst: v(0), imm: 1 },
+            LirInsn::MovImm { dst: v(1), imm: 2 },
+            LirInsn::Store {
+                src: v(1),
+                addr: LirMem::regfile(0),
+                size: MemSize::U64,
+            },
+            LirInsn::Ret,
+        ];
+        let alloc = allocate(&lir);
+        assert!(alloc.dead[0], "v0 is never used, the MovImm is dead");
+        assert!(!alloc.dead[1]);
+        assert!(!alloc.dead[2]);
+    }
+
+    #[test]
+    fn register_reuse_after_range_ends() {
+        // Many short-lived vregs must fit in the pool by reuse.
+        let mut lir = Vec::new();
+        for i in 0..50u32 {
+            lir.push(LirInsn::MovImm {
+                dst: v(i),
+                imm: i as u64,
+            });
+            lir.push(LirInsn::Store {
+                src: v(i),
+                addr: LirMem::regfile((i * 8) as i32),
+                size: MemSize::U64,
+            });
+        }
+        lir.push(LirInsn::Ret);
+        let alloc = allocate(&lir);
+        assert_eq!(alloc.spill_slots, 0, "short ranges should all fit");
+    }
+
+    #[test]
+    fn long_overlapping_ranges_spill() {
+        // More simultaneously-live vregs than the pool size forces spills.
+        let n = GPR_POOL.len() as u32 + 4;
+        let mut lir = Vec::new();
+        for i in 0..n {
+            lir.push(LirInsn::MovImm {
+                dst: v(i),
+                imm: i as u64,
+            });
+        }
+        for i in 0..n {
+            lir.push(LirInsn::Store {
+                src: v(i),
+                addr: LirMem::regfile((i * 8) as i32),
+                size: MemSize::U64,
+            });
+        }
+        lir.push(LirInsn::Ret);
+        let alloc = allocate(&lir);
+        assert!(alloc.spill_slots >= 4);
+        let spilled = alloc
+            .assignment
+            .values()
+            .filter(|a| matches!(a, Assignment::Spill(_)))
+            .count();
+        assert_eq!(spilled as u32, alloc.spill_slots);
+    }
+
+    #[test]
+    fn xmm_class_uses_vector_registers() {
+        let xv = |id| Vreg {
+            id,
+            class: VregClass::Xmm,
+        };
+        let lir = vec![
+            LirInsn::LoadXmm {
+                dst: xv(0),
+                addr: LirMem::regfile(0x110),
+                size: MemSize::U64,
+            },
+            LirInsn::StoreXmm {
+                src: xv(0),
+                addr: LirMem::regfile(0x100),
+                size: MemSize::U64,
+            },
+            LirInsn::Ret,
+        ];
+        let alloc = allocate(&lir);
+        assert!(matches!(alloc.assignment[&0], Assignment::Xmm(_)));
+    }
+}

@@ -1,0 +1,123 @@
+//! Wall-clock timers for the four JIT compilation phases (Fig. 20).
+
+use std::time::{Duration, Instant};
+
+/// The four phases of the online pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Guest instruction decoding.
+    Decode,
+    /// Generator-function invocation / DAG collapse / LIR emission.
+    Translate,
+    /// Live-range analysis and register assignment.
+    RegAlloc,
+    /// Lowering and byte encoding.
+    Encode,
+}
+
+/// Accumulated time per phase.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimers {
+    /// Time spent decoding guest instructions.
+    pub decode: Duration,
+    /// Time spent in translation (DAG building and collapse).
+    pub translate: Duration,
+    /// Time spent in register allocation.
+    pub regalloc: Duration,
+    /// Time spent encoding machine code.
+    pub encode: Duration,
+    /// Number of blocks translated.
+    pub blocks: u64,
+    /// Number of guest instructions translated.
+    pub guest_insns: u64,
+}
+
+impl PhaseTimers {
+    /// Runs `f`, attributing its wall-clock time to `phase`.
+    pub fn time<R>(&mut self, phase: Phase, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let r = f();
+        let elapsed = start.elapsed();
+        match phase {
+            Phase::Decode => self.decode += elapsed,
+            Phase::Translate => self.translate += elapsed,
+            Phase::RegAlloc => self.regalloc += elapsed,
+            Phase::Encode => self.encode += elapsed,
+        }
+        r
+    }
+
+    /// Total JIT compilation time.
+    pub fn total(&self) -> Duration {
+        self.decode + self.translate + self.regalloc + self.encode
+    }
+
+    /// Fraction of total time spent in each phase, in the order
+    /// (decode, translate, regalloc, encode).  Returns zeros if nothing has
+    /// been timed yet.
+    pub fn fractions(&self) -> (f64, f64, f64, f64) {
+        let total = self.total().as_secs_f64();
+        if total == 0.0 {
+            return (0.0, 0.0, 0.0, 0.0);
+        }
+        (
+            self.decode.as_secs_f64() / total,
+            self.translate.as_secs_f64() / total,
+            self.regalloc.as_secs_f64() / total,
+            self.encode.as_secs_f64() / total,
+        )
+    }
+
+    /// Merges another set of timers into this one.
+    pub fn merge(&mut self, other: &PhaseTimers) {
+        self.decode += other.decode;
+        self.translate += other.translate;
+        self.regalloc += other.regalloc;
+        self.encode += other.encode;
+        self.blocks += other.blocks;
+        self.guest_insns += other.guest_insns;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_sum_to_one_when_timed() {
+        let mut t = PhaseTimers::default();
+        t.time(Phase::Decode, || std::thread::sleep(Duration::from_millis(1)));
+        t.time(Phase::Translate, || {
+            std::thread::sleep(Duration::from_millis(2))
+        });
+        t.time(Phase::RegAlloc, || std::thread::sleep(Duration::from_millis(1)));
+        t.time(Phase::Encode, || std::thread::sleep(Duration::from_millis(1)));
+        let (d, tr, r, e) = t.fractions();
+        assert!((d + tr + r + e - 1.0).abs() < 1e-9);
+        assert!(tr > 0.0);
+    }
+
+    #[test]
+    fn zero_state_reports_zero_fractions() {
+        let t = PhaseTimers::default();
+        assert_eq!(t.fractions(), (0.0, 0.0, 0.0, 0.0));
+        assert_eq!(t.total(), Duration::ZERO);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = PhaseTimers {
+            blocks: 2,
+            guest_insns: 10,
+            ..Default::default()
+        };
+        let b = PhaseTimers {
+            blocks: 3,
+            guest_insns: 7,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.blocks, 5);
+        assert_eq!(a.guest_insns, 17);
+    }
+}

@@ -1,0 +1,150 @@
+//! Physical memory of the host virtual machine.
+//!
+//! Modelled as a single flat RAM region (as KVM presents to a guest that
+//! requested one memory slot) with bounds-checked byte/word accessors.  Both
+//! the page walker and the interpreter go through this type, and the
+//! hypervisor layer uses it directly to load the unikernel image and the
+//! emulated guest physical memory (Fig. 15 of the paper).
+
+/// Flat physical memory for the host VM.
+#[derive(Debug)]
+pub struct PhysMem {
+    bytes: Vec<u8>,
+}
+
+/// Error returned for out-of-range physical accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhysAccessError {
+    /// The faulting physical address.
+    pub addr: u64,
+    /// The access size in bytes.
+    pub size: u64,
+}
+
+impl std::fmt::Display for PhysAccessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "physical access out of range: {:#x} (+{})",
+            self.addr, self.size
+        )
+    }
+}
+
+impl std::error::Error for PhysAccessError {}
+
+impl PhysMem {
+    /// Allocates `size` bytes of zeroed physical memory.
+    pub fn new(size: u64) -> Self {
+        PhysMem {
+            bytes: vec![0; size as usize],
+        }
+    }
+
+    /// Total size in bytes.
+    pub fn size(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    fn check(&self, addr: u64, size: u64) -> Result<usize, PhysAccessError> {
+        let end = addr.checked_add(size).ok_or(PhysAccessError { addr, size })?;
+        if end > self.bytes.len() as u64 {
+            return Err(PhysAccessError { addr, size });
+        }
+        Ok(addr as usize)
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`.
+    pub fn read(&self, addr: u64, buf: &mut [u8]) -> Result<(), PhysAccessError> {
+        let a = self.check(addr, buf.len() as u64)?;
+        buf.copy_from_slice(&self.bytes[a..a + buf.len()]);
+        Ok(())
+    }
+
+    /// Writes `buf` starting at `addr`.
+    pub fn write(&mut self, addr: u64, buf: &[u8]) -> Result<(), PhysAccessError> {
+        let a = self.check(addr, buf.len() as u64)?;
+        self.bytes[a..a + buf.len()].copy_from_slice(buf);
+        Ok(())
+    }
+
+    /// Reads an unsigned little-endian value of `size` bytes (1, 2, 4 or 8).
+    pub fn read_uint(&self, addr: u64, size: u64) -> Result<u64, PhysAccessError> {
+        let a = self.check(addr, size)?;
+        let mut v = 0u64;
+        for i in 0..size as usize {
+            v |= (self.bytes[a + i] as u64) << (8 * i);
+        }
+        Ok(v)
+    }
+
+    /// Writes an unsigned little-endian value of `size` bytes (1, 2, 4 or 8).
+    pub fn write_uint(&mut self, addr: u64, value: u64, size: u64) -> Result<(), PhysAccessError> {
+        let a = self.check(addr, size)?;
+        for i in 0..size as usize {
+            self.bytes[a + i] = (value >> (8 * i)) as u8;
+        }
+        Ok(())
+    }
+
+    /// Reads a 64-bit little-endian word.
+    pub fn read_u64(&self, addr: u64) -> Result<u64, PhysAccessError> {
+        self.read_uint(addr, 8)
+    }
+
+    /// Writes a 64-bit little-endian word.
+    pub fn write_u64(&mut self, addr: u64, value: u64) -> Result<(), PhysAccessError> {
+        self.write_uint(addr, value, 8)
+    }
+
+    /// Reads a 128-bit value as a `[u64; 2]` (low, high).
+    pub fn read_u128(&self, addr: u64) -> Result<[u64; 2], PhysAccessError> {
+        Ok([self.read_uint(addr, 8)?, self.read_uint(addr + 8, 8)?])
+    }
+
+    /// Writes a 128-bit value from a `[u64; 2]` (low, high).
+    pub fn write_u128(&mut self, addr: u64, value: [u64; 2]) -> Result<(), PhysAccessError> {
+        self.write_uint(addr, value[0], 8)?;
+        self.write_uint(addr + 8, value[1], 8)
+    }
+
+    /// Fills `[addr, addr+len)` with a byte value.
+    pub fn fill(&mut self, addr: u64, len: u64, value: u8) -> Result<(), PhysAccessError> {
+        let a = self.check(addr, len)?;
+        self.bytes[a..a + len as usize].fill(value);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut m = PhysMem::new(4096);
+        m.write_u64(0x100, 0x1122_3344_5566_7788).unwrap();
+        assert_eq!(m.read_u64(0x100).unwrap(), 0x1122_3344_5566_7788);
+        assert_eq!(m.read_uint(0x100, 1).unwrap(), 0x88);
+        assert_eq!(m.read_uint(0x100, 2).unwrap(), 0x7788);
+        assert_eq!(m.read_uint(0x104, 4).unwrap(), 0x1122_3344);
+    }
+
+    #[test]
+    fn out_of_range_is_an_error() {
+        let mut m = PhysMem::new(64);
+        assert!(m.read_u64(60).is_err());
+        assert!(m.write_u64(u64::MAX - 3, 0).is_err());
+        assert!(m.read_u64(56).is_ok());
+    }
+
+    #[test]
+    fn u128_roundtrip_and_fill() {
+        let mut m = PhysMem::new(256);
+        m.write_u128(16, [1, 2]).unwrap();
+        assert_eq!(m.read_u128(16).unwrap(), [1, 2]);
+        m.fill(0, 16, 0xAB).unwrap();
+        assert_eq!(m.read_uint(15, 1).unwrap(), 0xAB);
+        assert_eq!(m.read_uint(16, 1).unwrap(), 1);
+    }
+}

@@ -1,0 +1,405 @@
+//! Four-level hierarchical page tables and the hardware page-walker model.
+//!
+//! The layout mirrors x86-64 long mode: CR3 holds the physical base of the
+//! top-level table (PML4) plus a PCID in its low 12 bits; each level holds
+//! 512 eight-byte entries; virtual addresses are 48 bits split 9/9/9/9/12.
+//! Captive builds and mutates these tables directly (it owns the "bare
+//! metal"), which is the mechanism behind the paper's accelerated virtual
+//! memory system (Section 2.7).
+
+use crate::mem::PhysMem;
+
+/// Page size in bytes (4 KiB).
+pub const PAGE_SIZE: u64 = 4096;
+/// Number of entries per table level.
+pub const ENTRIES_PER_TABLE: u64 = 512;
+/// Number of levels walked (PML4, PDPT, PD, PT).
+pub const LEVELS: u32 = 4;
+/// Size of one page table in bytes.
+pub const TABLE_SIZE: u64 = ENTRIES_PER_TABLE * 8;
+
+/// Access permissions and attributes of a mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PageFlags {
+    /// Mapping exists.
+    pub present: bool,
+    /// Writes allowed.
+    pub writable: bool,
+    /// Ring-3 access allowed.
+    pub user: bool,
+}
+
+impl PageFlags {
+    /// Read/write supervisor-only mapping.
+    pub const fn kernel_rw() -> Self {
+        PageFlags {
+            present: true,
+            writable: true,
+            user: false,
+        }
+    }
+
+    /// Read/write user-accessible mapping.
+    pub const fn user_rw() -> Self {
+        PageFlags {
+            present: true,
+            writable: true,
+            user: true,
+        }
+    }
+
+    /// Read-only user-accessible mapping.
+    pub const fn user_ro() -> Self {
+        PageFlags {
+            present: true,
+            writable: false,
+            user: true,
+        }
+    }
+
+    /// Encodes the flags into the low bits of a page-table entry.
+    pub fn encode(self) -> u64 {
+        (self.present as u64) | (self.writable as u64) << 1 | (self.user as u64) << 2
+    }
+
+    /// Decodes flags from a page-table entry.
+    pub fn decode(pte: u64) -> Self {
+        PageFlags {
+            present: pte & 1 != 0,
+            writable: pte & 2 != 0,
+            user: pte & 4 != 0,
+        }
+    }
+}
+
+/// Successful translation result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageWalk {
+    /// Physical address of the page frame (page-aligned).
+    pub frame: u64,
+    /// Effective flags of the final mapping (AND of intermediate user/write
+    /// permissions, as on real hardware).
+    pub flags: PageFlags,
+    /// Number of levels the walker touched (for cost accounting).
+    pub levels: u32,
+}
+
+/// Translation failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalkError {
+    /// A table entry at the given level (4 = PML4 .. 1 = PT) was not present.
+    NotPresent {
+        /// Level at which the walk stopped.
+        level: u32,
+    },
+    /// A table pointer referenced physical memory outside RAM.
+    BadPhysAddr,
+}
+
+/// Extracts the table index for `level` (4 = PML4 .. 1 = PT).
+pub fn table_index(vaddr: u64, level: u32) -> u64 {
+    (vaddr >> (12 + 9 * (level - 1))) & 0x1FF
+}
+
+/// Physical frame number of a canonical page-table entry.
+fn pte_frame(pte: u64) -> u64 {
+    pte & 0x000F_FFFF_FFFF_F000
+}
+
+/// Walks the page tables rooted at `root` (a physical, page-aligned address)
+/// translating `vaddr`.  Does not consult or fill any TLB; that is the
+/// machine's job.
+pub fn walk(mem: &PhysMem, root: u64, vaddr: u64) -> Result<PageWalk, WalkError> {
+    let mut table = root & !0xFFF;
+    let mut flags = PageFlags {
+        present: true,
+        writable: true,
+        user: true,
+    };
+    for level in (1..=LEVELS).rev() {
+        let idx = table_index(vaddr, level);
+        let pte_addr = table + idx * 8;
+        let pte = mem.read_u64(pte_addr).map_err(|_| WalkError::BadPhysAddr)?;
+        let entry_flags = PageFlags::decode(pte);
+        if !entry_flags.present {
+            return Err(WalkError::NotPresent { level });
+        }
+        // Permissions accumulate restrictively down the hierarchy.
+        flags.writable &= entry_flags.writable;
+        flags.user &= entry_flags.user;
+        if level == 1 {
+            return Ok(PageWalk {
+                frame: pte_frame(pte),
+                flags: PageFlags {
+                    present: true,
+                    ..flags
+                },
+                levels: LEVELS,
+            });
+        }
+        table = pte_frame(pte);
+    }
+    unreachable!("loop always returns at level 1")
+}
+
+/// A bump allocator handing out physical page frames for page tables.
+///
+/// The hypervisor carves a region of host physical memory out for page
+/// tables; this mirrors Captive's unikernel-internal frame allocator.
+#[derive(Debug, Clone)]
+pub struct FrameAlloc {
+    next: u64,
+    end: u64,
+}
+
+impl FrameAlloc {
+    /// Creates an allocator over `[start, end)`; both must be page-aligned.
+    pub fn new(start: u64, end: u64) -> Self {
+        assert_eq!(start % PAGE_SIZE, 0, "start must be page aligned");
+        assert_eq!(end % PAGE_SIZE, 0, "end must be page aligned");
+        FrameAlloc { next: start, end }
+    }
+
+    /// Allocates one zeroed frame, returning its physical address.
+    pub fn alloc(&mut self, mem: &mut PhysMem) -> Option<u64> {
+        if self.next >= self.end {
+            return None;
+        }
+        let frame = self.next;
+        self.next += PAGE_SIZE;
+        mem.fill(frame, PAGE_SIZE, 0).ok()?;
+        Some(frame)
+    }
+
+    /// Number of frames still available.
+    pub fn remaining(&self) -> u64 {
+        (self.end - self.next) / PAGE_SIZE
+    }
+}
+
+/// Installs a 4 KiB mapping `vaddr -> paddr` in the table rooted at `root`,
+/// allocating intermediate tables from `alloc` as needed.
+///
+/// Returns `false` if the frame allocator is exhausted.
+pub fn map_page(
+    mem: &mut PhysMem,
+    root: u64,
+    vaddr: u64,
+    paddr: u64,
+    flags: PageFlags,
+    alloc: &mut FrameAlloc,
+) -> bool {
+    let mut table = root & !0xFFF;
+    for level in (2..=LEVELS).rev() {
+        let idx = table_index(vaddr, level);
+        let pte_addr = table + idx * 8;
+        let pte = mem.read_u64(pte_addr).unwrap_or(0);
+        if pte & 1 == 0 {
+            if pte_frame(pte) != 0 {
+                // A previously allocated table whose present bit was cleared
+                // by `clear_top_level_entries` (lazy teardown): reuse the
+                // frame instead of leaking a new one, but clear its contents
+                // so no stale lower-level mappings are revived.
+                let frame = pte_frame(pte);
+                if mem.fill(frame, TABLE_SIZE, 0).is_err() {
+                    return false;
+                }
+                let entry = frame | PageFlags::user_rw().encode();
+                if mem.write_u64(pte_addr, entry).is_err() {
+                    return false;
+                }
+                table = frame;
+                continue;
+            }
+            let Some(new_table) = alloc.alloc(mem) else {
+                return false;
+            };
+            // Intermediate entries grant full access; the leaf restricts.
+            let entry = new_table | PageFlags::user_rw().encode();
+            if mem.write_u64(pte_addr, entry).is_err() {
+                return false;
+            }
+            table = new_table;
+        } else {
+            table = pte_frame(pte);
+        }
+    }
+    let idx = table_index(vaddr, 1);
+    let pte_addr = table + idx * 8;
+    mem.write_u64(pte_addr, (paddr & !0xFFF) | flags.encode()).is_ok()
+}
+
+/// Removes the mapping for `vaddr` (clears the leaf entry's present bit).
+/// Returns `true` if a present mapping existed.
+pub fn unmap_page(mem: &mut PhysMem, root: u64, vaddr: u64) -> bool {
+    let mut table = root & !0xFFF;
+    for level in (2..=LEVELS).rev() {
+        let idx = table_index(vaddr, level);
+        let pte = match mem.read_u64(table + idx * 8) {
+            Ok(v) => v,
+            Err(_) => return false,
+        };
+        if pte & 1 == 0 {
+            return false;
+        }
+        table = pte_frame(pte);
+    }
+    let pte_addr = table + table_index(vaddr, 1) * 8;
+    match mem.read_u64(pte_addr) {
+        Ok(pte) if pte & 1 != 0 => {
+            let _ = mem.write_u64(pte_addr, pte & !1);
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Clears the present bit of the first `n` top-level (PML4) entries.
+///
+/// This is exactly the operation the paper describes for intercepted guest
+/// TLB flushes: invalidating the 256 low-half PML4 entries lazily tears down
+/// the entire guest mapping without touching lower-level tables
+/// (Section 2.7.4).
+pub fn clear_top_level_entries(mem: &mut PhysMem, root: u64, n: u64) {
+    let root = root & !0xFFF;
+    for i in 0..n.min(ENTRIES_PER_TABLE) {
+        if let Ok(pte) = mem.read_u64(root + i * 8) {
+            if pte & 1 != 0 {
+                let _ = mem.write_u64(root + i * 8, pte & !1);
+            }
+        }
+    }
+}
+
+/// Marks the leaf mapping of `vaddr` read-only (used for self-modifying-code
+/// detection via write protection).  Returns true if a mapping was present.
+pub fn write_protect_page(mem: &mut PhysMem, root: u64, vaddr: u64) -> bool {
+    set_leaf_writable(mem, root, vaddr, false)
+}
+
+/// Restores write permission on the leaf mapping of `vaddr`.
+pub fn write_unprotect_page(mem: &mut PhysMem, root: u64, vaddr: u64) -> bool {
+    set_leaf_writable(mem, root, vaddr, true)
+}
+
+fn set_leaf_writable(mem: &mut PhysMem, root: u64, vaddr: u64, writable: bool) -> bool {
+    let mut table = root & !0xFFF;
+    for level in (2..=LEVELS).rev() {
+        let idx = table_index(vaddr, level);
+        let pte = match mem.read_u64(table + idx * 8) {
+            Ok(v) => v,
+            Err(_) => return false,
+        };
+        if pte & 1 == 0 {
+            return false;
+        }
+        table = pte_frame(pte);
+    }
+    let pte_addr = table + table_index(vaddr, 1) * 8;
+    match mem.read_u64(pte_addr) {
+        Ok(pte) if pte & 1 != 0 => {
+            let new = if writable { pte | 2 } else { pte & !2 };
+            let _ = mem.write_u64(pte_addr, new);
+            true
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (PhysMem, FrameAlloc, u64) {
+        let mut mem = PhysMem::new(4 * 1024 * 1024);
+        let mut alloc = FrameAlloc::new(0x10000, 0x200000);
+        let root = alloc.alloc(&mut mem).unwrap();
+        (mem, alloc, root)
+    }
+
+    #[test]
+    fn map_then_walk_translates() {
+        let (mut mem, mut alloc, root) = setup();
+        assert!(map_page(&mut mem, root, 0x7000_1000, 0x42000, PageFlags::user_rw(), &mut alloc));
+        let w = walk(&mem, root, 0x7000_1234).unwrap();
+        assert_eq!(w.frame, 0x42000);
+        assert!(w.flags.user && w.flags.writable);
+        assert_eq!(w.levels, 4);
+    }
+
+    #[test]
+    fn missing_mapping_reports_level() {
+        let (mem, _alloc, root) = setup();
+        match walk(&mem, root, 0x1234_5000) {
+            Err(WalkError::NotPresent { level }) => assert_eq!(level, 4),
+            other => panic!("expected NotPresent, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn leaf_permissions_are_restrictive() {
+        let (mut mem, mut alloc, root) = setup();
+        assert!(map_page(&mut mem, root, 0x8000, 0x9000, PageFlags::user_ro(), &mut alloc));
+        let w = walk(&mem, root, 0x8000).unwrap();
+        assert!(!w.flags.writable && w.flags.user);
+
+        assert!(map_page(
+            &mut mem,
+            root,
+            0x9000,
+            0xA000,
+            PageFlags::kernel_rw(),
+            &mut alloc
+        ));
+        let w = walk(&mem, root, 0x9000).unwrap();
+        assert!(w.flags.writable && !w.flags.user);
+    }
+
+    #[test]
+    fn unmap_and_clear_top_level() {
+        let (mut mem, mut alloc, root) = setup();
+        assert!(map_page(&mut mem, root, 0x5000, 0x6000, PageFlags::user_rw(), &mut alloc));
+        assert!(unmap_page(&mut mem, root, 0x5000));
+        assert!(walk(&mem, root, 0x5000).is_err());
+        assert!(!unmap_page(&mut mem, root, 0x5000), "already unmapped");
+
+        assert!(map_page(&mut mem, root, 0x7000, 0x8000, PageFlags::user_rw(), &mut alloc));
+        clear_top_level_entries(&mut mem, root, 256);
+        assert!(walk(&mem, root, 0x7000).is_err());
+    }
+
+    #[test]
+    fn write_protection_toggles() {
+        let (mut mem, mut alloc, root) = setup();
+        assert!(map_page(&mut mem, root, 0xA000, 0xB000, PageFlags::user_rw(), &mut alloc));
+        assert!(write_protect_page(&mut mem, root, 0xA000));
+        assert!(!walk(&mem, root, 0xA000).unwrap().flags.writable);
+        assert!(write_unprotect_page(&mut mem, root, 0xA000));
+        assert!(walk(&mem, root, 0xA000).unwrap().flags.writable);
+    }
+
+    #[test]
+    fn different_vaddrs_same_top_entry_share_tables() {
+        let (mut mem, mut alloc, root) = setup();
+        let before = alloc.remaining();
+        assert!(map_page(&mut mem, root, 0x1000, 0x2000, PageFlags::user_rw(), &mut alloc));
+        let used_first = before - alloc.remaining();
+        assert!(map_page(&mut mem, root, 0x3000, 0x4000, PageFlags::user_rw(), &mut alloc));
+        let used_second = before - used_first - alloc.remaining();
+        assert_eq!(used_first, 3, "first mapping allocates PDPT+PD+PT");
+        assert_eq!(used_second, 0, "second mapping in same region reuses them");
+    }
+
+    #[test]
+    fn table_index_extracts_nine_bit_fields() {
+        let v = 0x0000_7F3A_1B2C_3D4E;
+        for level in 1..=4 {
+            let idx = table_index(v, level);
+            assert!(idx < 512);
+        }
+        assert_eq!(table_index(0x1000, 1), 1);
+        assert_eq!(table_index(0x0020_0000, 2), 1);
+        assert_eq!(table_index(0x4000_0000, 3), 1);
+        assert_eq!(table_index(0x0080_0000_0000, 4), 1);
+    }
+}

@@ -1,0 +1,99 @@
+//! Performance counters maintained by the machine.
+//!
+//! Every figure in EXPERIMENTS.md is computed from these counters (plus the
+//! JIT's own wall-clock phase timers), so they are deliberately fine-grained.
+
+/// Counters accumulated while the machine executes translated code.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PerfCounters {
+    /// Total simulated cycles (per the [`crate::CostModel`]).
+    pub cycles: u64,
+    /// Host instructions executed.
+    pub insns: u64,
+    /// Memory accesses that went through the MMU.
+    pub mem_accesses: u64,
+    /// TLB hits.
+    pub tlb_hits: u64,
+    /// TLB misses (each implies a page walk).
+    pub tlb_misses: u64,
+    /// Page walks that ended in a fault delivered to the fault handler.
+    pub page_faults: u64,
+    /// Runtime helper invocations.
+    pub helper_calls: u64,
+    /// Software interrupts delivered.
+    pub interrupts: u64,
+    /// Fast system calls executed.
+    pub syscalls: u64,
+    /// Explicit TLB flushes (all / PCID / single page).
+    pub tlb_flushes: u64,
+    /// CR3 (address-space) switches.
+    pub cr3_writes: u64,
+    /// Port I/O operations.
+    pub port_ios: u64,
+    /// Translated blocks entered (dispatch events).
+    pub blocks_entered: u64,
+}
+
+impl PerfCounters {
+    /// Resets every counter to zero.
+    pub fn reset(&mut self) {
+        *self = PerfCounters::default();
+    }
+
+    /// TLB hit rate in [0, 1]; 1.0 when there were no memory accesses.
+    pub fn tlb_hit_rate(&self) -> f64 {
+        let total = self.tlb_hits + self.tlb_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.tlb_hits as f64 / total as f64
+        }
+    }
+
+    /// Difference between two snapshots (self - earlier), saturating.
+    pub fn delta_since(&self, earlier: &PerfCounters) -> PerfCounters {
+        PerfCounters {
+            cycles: self.cycles.saturating_sub(earlier.cycles),
+            insns: self.insns.saturating_sub(earlier.insns),
+            mem_accesses: self.mem_accesses.saturating_sub(earlier.mem_accesses),
+            tlb_hits: self.tlb_hits.saturating_sub(earlier.tlb_hits),
+            tlb_misses: self.tlb_misses.saturating_sub(earlier.tlb_misses),
+            page_faults: self.page_faults.saturating_sub(earlier.page_faults),
+            helper_calls: self.helper_calls.saturating_sub(earlier.helper_calls),
+            interrupts: self.interrupts.saturating_sub(earlier.interrupts),
+            syscalls: self.syscalls.saturating_sub(earlier.syscalls),
+            tlb_flushes: self.tlb_flushes.saturating_sub(earlier.tlb_flushes),
+            cr3_writes: self.cr3_writes.saturating_sub(earlier.cr3_writes),
+            port_ios: self.port_ios.saturating_sub(earlier.port_ios),
+            blocks_entered: self.blocks_entered.saturating_sub(earlier.blocks_entered),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_zero_accesses() {
+        let p = PerfCounters::default();
+        assert_eq!(p.tlb_hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn delta_subtracts_fieldwise() {
+        let a = PerfCounters {
+            cycles: 100,
+            insns: 10,
+            ..Default::default()
+        };
+        let b = PerfCounters {
+            cycles: 150,
+            insns: 25,
+            ..Default::default()
+        };
+        let d = b.delta_since(&a);
+        assert_eq!(d.cycles, 50);
+        assert_eq!(d.insns, 15);
+    }
+}

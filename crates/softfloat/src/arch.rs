@@ -1,0 +1,188 @@
+//! Architecture-specific floating-point behaviours.
+//!
+//! The paper's Table 2 motivates inline "fix-up" code in Captive's JIT with
+//! the observation that the x86 `SQRTSD` and Arm `FSQRT` instructions agree
+//! on every input except the *sign bit of the NaN* produced for negative
+//! inputs: x86 returns a negative quiet NaN, Arm returns the (positive)
+//! default NaN.  This module provides both flavours so the DBT layers can be
+//! tested for bit-accuracy, plus the two architectures' NaN propagation
+//! policies.
+
+use crate::{
+    is_nan32, is_nan64, is_snan32, is_snan64, quiet32, quiet64, FpEnv, F32_DEFAULT_NAN,
+    F64_DEFAULT_NAN,
+};
+
+/// How NaN operands propagate into NaN results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NanPropagation {
+    /// Arm default-NaN mode (FPCR.DN = 1, the configuration Linux uses for
+    /// AArch64): every NaN result is the canonical positive quiet NaN.
+    #[default]
+    ArmDefaultNan,
+    /// x86 SSE semantics: the first NaN operand is returned, quietened,
+    /// preserving its sign and payload.
+    X86PropagateFirst,
+}
+
+/// Chooses the NaN result for a binary64 operation with at least one NaN
+/// operand, honouring the environment's propagation policy and raising the
+/// invalid flag for signalling NaNs.
+pub(crate) fn propagate_nan64(a: u64, b: u64, env: &mut FpEnv) -> u64 {
+    if is_snan64(a) || is_snan64(b) {
+        env.flags.invalid = true;
+    }
+    match env.nan_propagation {
+        NanPropagation::ArmDefaultNan => F64_DEFAULT_NAN,
+        NanPropagation::X86PropagateFirst => {
+            if is_nan64(a) {
+                quiet64(a)
+            } else if is_nan64(b) {
+                quiet64(b)
+            } else {
+                F64_DEFAULT_NAN
+            }
+        }
+    }
+}
+
+/// Chooses the NaN result for a binary32 operation with at least one NaN
+/// operand.
+pub(crate) fn propagate_nan32(a: u32, b: u32, env: &mut FpEnv) -> u32 {
+    if is_snan32(a) || is_snan32(b) {
+        env.flags.invalid = true;
+    }
+    match env.nan_propagation {
+        NanPropagation::ArmDefaultNan => F32_DEFAULT_NAN,
+        NanPropagation::X86PropagateFirst => {
+            if is_nan32(a) {
+                quiet32(a)
+            } else if is_nan32(b) {
+                quiet32(b)
+            } else {
+                F32_DEFAULT_NAN
+            }
+        }
+    }
+}
+
+/// The NaN returned by `sqrt` of a negative value, per the environment's
+/// architecture flavour: positive default NaN on Arm, *negative* quiet NaN
+/// on x86 (the Table 2 discrepancy).
+pub(crate) fn invalid_sqrt_nan64(env: &FpEnv) -> u64 {
+    match env.nan_propagation {
+        NanPropagation::ArmDefaultNan => F64_DEFAULT_NAN,
+        NanPropagation::X86PropagateFirst => F64_DEFAULT_NAN | (1u64 << 63),
+    }
+}
+
+/// 32-bit counterpart of [`invalid_sqrt_nan64`].
+pub(crate) fn invalid_sqrt_nan32(env: &FpEnv) -> u32 {
+    match env.nan_propagation {
+        NanPropagation::ArmDefaultNan => F32_DEFAULT_NAN,
+        NanPropagation::X86PropagateFirst => F32_DEFAULT_NAN | (1u32 << 31),
+    }
+}
+
+/// Arm-flavoured binary64 square root (`FSQRT`): negative inputs produce the
+/// positive default NaN.
+pub fn f64_sqrt_arm(a: u64, env: &mut FpEnv) -> u64 {
+    let saved = env.nan_propagation;
+    env.nan_propagation = NanPropagation::ArmDefaultNan;
+    let r = crate::ops::f64_sqrt(a, env);
+    env.nan_propagation = saved;
+    r
+}
+
+/// x86-flavoured binary64 square root (`SQRTSD`): negative inputs produce a
+/// *negative* quiet NaN, NaN inputs propagate quietened.
+pub fn f64_sqrt_x86(a: u64, env: &mut FpEnv) -> u64 {
+    let saved = env.nan_propagation;
+    env.nan_propagation = NanPropagation::X86PropagateFirst;
+    let r = crate::ops::f64_sqrt(a, env);
+    env.nan_propagation = saved;
+    r
+}
+
+/// Arm-flavoured binary32 square root.
+pub fn f32_sqrt_arm(a: u32, env: &mut FpEnv) -> u32 {
+    let saved = env.nan_propagation;
+    env.nan_propagation = NanPropagation::ArmDefaultNan;
+    let r = crate::ops::f32_sqrt(a, env);
+    env.nan_propagation = saved;
+    r
+}
+
+/// x86-flavoured binary32 square root.
+pub fn f32_sqrt_x86(a: u32, env: &mut FpEnv) -> u32 {
+    let saved = env.nan_propagation;
+    env.nan_propagation = NanPropagation::X86PropagateFirst;
+    let r = crate::ops::f32_sqrt(a, env);
+    env.nan_propagation = saved;
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FpEnv;
+
+    /// Reproduces Table 2 of the paper: per-input behaviour of the x86 and
+    /// Arm square-root instructions, differing only in the NaN sign bit for
+    /// negative inputs.
+    #[test]
+    fn table2_sqrt_differences() {
+        let inputs: [(f64, &str); 8] = [
+            (0.0, "0.0"),
+            (-0.0, "-0.0"),
+            (f64::INFINITY, "inf"),
+            (f64::NEG_INFINITY, "-inf"),
+            (0.5, "0.5"),
+            (-0.5, "-0.5"),
+            (f64::from_bits(crate::F64_DEFAULT_NAN), "NaN"),
+            (f64::from_bits(crate::F64_DEFAULT_NAN | (1 << 63)), "-NaN"),
+        ];
+        let mut env = FpEnv::new();
+        for (v, name) in inputs {
+            let x86 = f64_sqrt_x86(v.to_bits(), &mut env);
+            let arm = f64_sqrt_arm(v.to_bits(), &mut env);
+            match name {
+                "-inf" | "-0.5" => {
+                    // The sign bit is the only difference.
+                    assert_ne!(x86 >> 63, arm >> 63, "{name}: sign bits should differ");
+                    assert_eq!(x86 & !(1 << 63), arm & !(1 << 63), "{name}");
+                    assert_eq!(arm >> 63, 0, "{name}: Arm returns +NaN");
+                    assert_eq!(x86 >> 63, 1, "{name}: x86 returns -NaN");
+                }
+                "-NaN" => {
+                    // x86 propagates the input (negative), Arm returns the
+                    // default NaN (positive).
+                    assert_eq!(x86 >> 63, 1, "{name}");
+                    assert_eq!(arm >> 63, 0, "{name}");
+                }
+                _ => {
+                    assert_eq!(x86, arm, "{name}: x86 and Arm agree");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nan_propagation_policies() {
+        let payload_nan = 0x7FF8_0000_0000_1234u64 | (1 << 63);
+        let mut arm = FpEnv::arm();
+        let mut x86 = FpEnv::x86();
+        let a = crate::f64_add(payload_nan, 1.0f64.to_bits(), &mut arm);
+        assert_eq!(a, crate::F64_DEFAULT_NAN);
+        let b = crate::f64_add(payload_nan, 1.0f64.to_bits(), &mut x86);
+        assert_eq!(b, payload_nan, "x86 keeps sign and payload");
+    }
+
+    #[test]
+    fn snan_raises_invalid() {
+        let snan = 0x7FF0_0000_0000_0001u64;
+        let mut env = FpEnv::arm();
+        let _ = crate::f64_add(snan, 1.0f64.to_bits(), &mut env);
+        assert!(env.flags.invalid);
+    }
+}

@@ -1,0 +1,309 @@
+//! Conversions between integers and floating-point formats, and between the
+//! two floating-point formats.
+//!
+//! Integer results saturate on overflow and raise the invalid flag, matching
+//! the AArch64 `FCVT*` family (which the guest model relies on), rather than
+//! the x86 behaviour of returning the "integer indefinite" value.
+
+use crate::round::{norm_round_pack_f32, norm_round_pack_f64};
+use crate::{classify64, is_nan64, pack64, unpack32, unpack64, FpClass, FpEnv, Rounding};
+
+/// Converts a signed 64-bit integer to binary64 (rounding if |v| >= 2^53).
+pub fn i64_to_f64(v: i64, env: &mut FpEnv) -> u64 {
+    if v == 0 {
+        return 0;
+    }
+    let sign = v < 0;
+    let mag = v.unsigned_abs() as u128;
+    norm_round_pack_f64(sign, 0, mag, false, env.rounding, &mut env.flags)
+}
+
+/// Converts an unsigned 64-bit integer to binary64.
+pub fn u64_to_f64(v: u64, env: &mut FpEnv) -> u64 {
+    if v == 0 {
+        return 0;
+    }
+    norm_round_pack_f64(false, 0, v as u128, false, env.rounding, &mut env.flags)
+}
+
+/// Converts a signed 32-bit integer to binary64 (always exact).
+pub fn i32_to_f64(v: i32, env: &mut FpEnv) -> u64 {
+    i64_to_f64(v as i64, env)
+}
+
+/// Converts a signed 64-bit integer to binary32.
+pub fn i64_to_f32(v: i64, env: &mut FpEnv) -> u32 {
+    if v == 0 {
+        return 0;
+    }
+    let sign = v < 0;
+    let mag = v.unsigned_abs() as u128;
+    norm_round_pack_f32(sign, 0, mag, false, env.rounding, &mut env.flags)
+}
+
+/// Converts a signed 32-bit integer to binary32.
+pub fn i32_to_f32(v: i32, env: &mut FpEnv) -> u32 {
+    i64_to_f32(v as i64, env)
+}
+
+/// Shared helper: converts a binary64 value to an integer magnitude plus
+/// sign, honouring the rounding mode, and reporting inexactness.
+fn f64_to_int_parts(bits: u64, env: &mut FpEnv) -> Option<(bool, u128)> {
+    match classify64(bits) {
+        FpClass::QuietNan | FpClass::SignallingNan | FpClass::Infinite => None,
+        FpClass::Zero => Some((false, 0)),
+        _ => {
+            let u = unpack64(bits);
+            let (mant, exp) = if u.exp == 0 {
+                (u.frac, -1074i32)
+            } else {
+                (u.frac | (1 << 52), u.exp - 1023 - 52)
+            };
+            if exp >= 0 {
+                if exp > 70 {
+                    // Far too large to represent; let the caller saturate.
+                    return Some((u.sign, u128::MAX));
+                }
+                Some((u.sign, (mant as u128) << exp))
+            } else {
+                let shift = (-exp) as u32;
+                if shift >= 128 {
+                    if mant != 0 {
+                        env.flags.inexact = true;
+                    }
+                    return Some((u.sign, 0));
+                }
+                let whole = (mant as u128) >> shift.min(127);
+                let lost = (mant as u128) & ((1u128 << shift.min(127)) - 1);
+                let half = 1u128 << (shift - 1);
+                if lost != 0 {
+                    env.flags.inexact = true;
+                }
+                let rounded = match env.rounding {
+                    Rounding::NearestEven => {
+                        if lost > half || (lost == half && whole & 1 == 1) {
+                            whole + 1
+                        } else {
+                            whole
+                        }
+                    }
+                    Rounding::TowardZero => whole,
+                    Rounding::TowardPositive => {
+                        if lost != 0 && !u.sign {
+                            whole + 1
+                        } else {
+                            whole
+                        }
+                    }
+                    Rounding::TowardNegative => {
+                        if lost != 0 && u.sign {
+                            whole + 1
+                        } else {
+                            whole
+                        }
+                    }
+                };
+                Some((u.sign, rounded))
+            }
+        }
+    }
+}
+
+/// Converts a binary64 value to a signed 64-bit integer (saturating).
+pub fn f64_to_i64(bits: u64, env: &mut FpEnv) -> i64 {
+    match f64_to_int_parts(bits, env) {
+        None => {
+            env.flags.invalid = true;
+            if bits >> 63 != 0 && !is_nan64(bits) {
+                i64::MIN
+            } else if is_nan64(bits) {
+                0
+            } else {
+                i64::MAX
+            }
+        }
+        Some((sign, mag)) => {
+            if sign {
+                if mag > (i64::MAX as u128) + 1 {
+                    env.flags.invalid = true;
+                    i64::MIN
+                } else {
+                    (mag as i128).wrapping_neg() as i64
+                }
+            } else if mag > i64::MAX as u128 {
+                env.flags.invalid = true;
+                i64::MAX
+            } else {
+                mag as i64
+            }
+        }
+    }
+}
+
+/// Converts a binary64 value to an unsigned 64-bit integer (saturating).
+pub fn f64_to_u64(bits: u64, env: &mut FpEnv) -> u64 {
+    match f64_to_int_parts(bits, env) {
+        None => {
+            env.flags.invalid = true;
+            if bits >> 63 != 0 && !is_nan64(bits) {
+                0
+            } else if is_nan64(bits) {
+                0
+            } else {
+                u64::MAX
+            }
+        }
+        Some((sign, mag)) => {
+            if sign && mag != 0 {
+                env.flags.invalid = true;
+                0
+            } else if mag > u64::MAX as u128 {
+                env.flags.invalid = true;
+                u64::MAX
+            } else {
+                mag as u64
+            }
+        }
+    }
+}
+
+/// Converts a binary64 value to a signed 32-bit integer (saturating).
+pub fn f64_to_i32(bits: u64, env: &mut FpEnv) -> i32 {
+    let wide = f64_to_i64(bits, env);
+    if wide > i32::MAX as i64 {
+        env.flags.invalid = true;
+        i32::MAX
+    } else if wide < i32::MIN as i64 {
+        env.flags.invalid = true;
+        i32::MIN
+    } else {
+        wide as i32
+    }
+}
+
+/// Converts a binary32 value to a signed 32-bit integer (saturating).
+pub fn f32_to_i32(bits: u32, env: &mut FpEnv) -> i32 {
+    f64_to_i32(f32_to_f64(bits, env), env)
+}
+
+/// Converts a binary32 value to a signed 64-bit integer (saturating).
+pub fn f32_to_i64(bits: u32, env: &mut FpEnv) -> i64 {
+    f64_to_i64(f32_to_f64(bits, env), env)
+}
+
+/// Widens a binary32 value to binary64 (always exact; NaNs are quietened and
+/// keep sign + payload).
+pub fn f32_to_f64(bits: u32, env: &mut FpEnv) -> u64 {
+    let u = unpack32(bits);
+    if u.exp == 0xFF {
+        if u.frac == 0 {
+            return pack64(u.sign, 0x7FF, 0);
+        }
+        if bits & (1 << 22) == 0 {
+            env.flags.invalid = true;
+        }
+        return pack64(u.sign, 0x7FF, ((u.frac as u64) << 29) | (1 << 51));
+    }
+    if u.exp == 0 && u.frac == 0 {
+        return pack64(u.sign, 0, 0);
+    }
+    let d = if u.exp == 0 {
+        (u.frac as u128, -149i32)
+    } else {
+        (((u.frac | (1 << 23)) as u128), (u.exp - 127 - 23))
+    };
+    let mut scratch = crate::Flags::none();
+    // Widening can never be inexact, so use a scratch flag set.
+    norm_round_pack_f64(u.sign, d.1, d.0, false, env.rounding, &mut scratch)
+}
+
+/// Narrows a binary64 value to binary32, rounding per the environment.
+pub fn f64_to_f32(bits: u64, env: &mut FpEnv) -> u32 {
+    let u = unpack64(bits);
+    if u.exp == 0x7FF {
+        if u.frac == 0 {
+            return crate::pack32(u.sign, 0xFF, 0);
+        }
+        if bits & (1 << 51) == 0 {
+            env.flags.invalid = true;
+        }
+        let payload = ((u.frac >> 29) as u32) | (1 << 22);
+        return crate::pack32(u.sign, 0xFF, payload);
+    }
+    if u.exp == 0 && u.frac == 0 {
+        return crate::pack32(u.sign, 0, 0);
+    }
+    let (mant, exp) = if u.exp == 0 {
+        (u.frac, -1074i32)
+    } else {
+        (u.frac | (1 << 52), u.exp - 1023 - 52)
+    };
+    norm_round_pack_f32(u.sign, exp, mant as u128, false, env.rounding, &mut env.flags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_to_float_roundtrip() {
+        let mut env = FpEnv::arm();
+        for v in [0i64, 1, -1, 42, -1_000_000, i64::MAX, i64::MIN, 1 << 52, (1 << 53) + 1] {
+            assert_eq!(i64_to_f64(v, &mut env), (v as f64).to_bits(), "{v}");
+        }
+        for v in [0u64, 1, u64::MAX, 1 << 63, (1 << 53) + 1] {
+            assert_eq!(u64_to_f64(v, &mut env), (v as f64).to_bits(), "{v}");
+        }
+        for v in [0i32, 5, -7, i32::MAX, i32::MIN] {
+            assert_eq!(i32_to_f32(v, &mut env), (v as f32).to_bits(), "{v}");
+            assert_eq!(i32_to_f64(v, &mut env), (v as f64).to_bits(), "{v}");
+        }
+    }
+
+    #[test]
+    fn float_to_int_rounds_to_nearest() {
+        let mut env = FpEnv::arm();
+        assert_eq!(f64_to_i64(2.5f64.to_bits(), &mut env), 2); // ties to even
+        assert_eq!(f64_to_i64(3.5f64.to_bits(), &mut env), 4);
+        assert_eq!(f64_to_i64((-2.5f64).to_bits(), &mut env), -2);
+        assert_eq!(f64_to_i64(2.49f64.to_bits(), &mut env), 2);
+        assert!(env.flags.inexact);
+    }
+
+    #[test]
+    fn float_to_int_saturates() {
+        let mut env = FpEnv::arm();
+        assert_eq!(f64_to_i64(1e300f64.to_bits(), &mut env), i64::MAX);
+        assert!(env.flags.invalid);
+        env.clear_flags();
+        assert_eq!(f64_to_i64((-1e300f64).to_bits(), &mut env), i64::MIN);
+        assert_eq!(f64_to_u64((-1.5f64).to_bits(), &mut env), 0);
+        assert!(env.flags.invalid);
+        env.clear_flags();
+        assert_eq!(f64_to_i32(1e10f64.to_bits(), &mut env), i32::MAX);
+        assert!(env.flags.invalid);
+        env.clear_flags();
+        assert_eq!(f64_to_i64(f64::NAN.to_bits(), &mut env), 0);
+        assert!(env.flags.invalid);
+    }
+
+    #[test]
+    fn f32_f64_conversions_match_native() {
+        let mut env = FpEnv::arm();
+        for v in [0.0f32, -0.0, 1.0, -2.5, 1e30, 1e-40, f32::MIN_POSITIVE, f32::MAX] {
+            assert_eq!(f32_to_f64(v.to_bits(), &mut env), (v as f64).to_bits(), "{v}");
+        }
+        for v in [0.0f64, -0.0, 1.0, -2.5, 1e300, 1e-300, 0.1, 3.14159, 1e-45, f64::MAX] {
+            assert_eq!(f64_to_f32(v.to_bits(), &mut env), (v as f32).to_bits(), "{v}");
+        }
+    }
+
+    #[test]
+    fn nan_conversions_keep_quietness() {
+        let mut env = FpEnv::arm();
+        let wide = f32_to_f64(f32::NAN.to_bits(), &mut env);
+        assert!(crate::is_nan64(wide));
+        let narrow = f64_to_f32(f64::NAN.to_bits(), &mut env);
+        assert!(crate::is_nan32(narrow));
+    }
+}

@@ -1,0 +1,322 @@
+//! Software implementation of IEEE-754 binary32 / binary64 arithmetic.
+//!
+//! This crate provides the software floating-point substrate used by the
+//! QEMU-style reference translator (`qemu-ref`), by Captive's softfloat
+//! fallback mode, and by the bit-accuracy fix-up machinery (Table 2 of the
+//! paper).  All operations are implemented with integer arithmetic only, so
+//! results are fully deterministic and independent of the build host's FPU
+//! configuration.
+//!
+//! The API mirrors what a DBT helper library needs:
+//!
+//! * a [`FpEnv`] carrying the rounding mode and accumulated exception
+//!   [`Flags`],
+//! * free functions per operation (`f64_add`, `f64_mul`, ...) that take and
+//!   update the environment, and
+//! * architecture-flavoured variants capturing the behavioural differences
+//!   between x86 (`SQRTSD`) and Arm (`FSQRT`) NaN handling that the paper
+//!   uses as its motivating fix-up example.
+//!
+//! The implementation follows the classic unpack → operate in extended
+//! precision → normalize → round-and-pack structure.  Intermediate
+//! significands are carried with the most significant bit at bit 62 of a
+//! `u64` and ten rounding bits below the target precision, in the style of
+//! Berkeley SoftFloat.
+
+mod arch;
+mod convert;
+mod ops;
+mod round;
+
+pub use arch::{f32_sqrt_arm, f32_sqrt_x86, f64_sqrt_arm, f64_sqrt_x86, NanPropagation};
+pub use convert::{
+    f32_to_f64, f32_to_i32, f32_to_i64, f64_to_f32, f64_to_i32, f64_to_i64, f64_to_u64,
+    i32_to_f32, i32_to_f64, i64_to_f32, i64_to_f64, u64_to_f64,
+};
+pub use ops::{
+    f32_add, f32_div, f32_eq, f32_le, f32_lt, f32_mul, f32_sqrt, f32_sub, f64_add, f64_div,
+    f64_eq, f64_fma, f64_le, f64_lt, f64_mul, f64_sqrt, f64_sub,
+};
+
+/// IEEE-754 rounding modes supported by the library.
+///
+/// `NearestEven` is the default mode of both the Arm FPCR and the x86 MXCSR
+/// and is the only mode exercised by the paper's benchmarks, but the other
+/// directed modes are implemented and tested for completeness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Rounding {
+    /// Round to nearest, ties to even (RNE).
+    #[default]
+    NearestEven,
+    /// Round towards zero (RZ).
+    TowardZero,
+    /// Round towards +infinity (RP).
+    TowardPositive,
+    /// Round towards -infinity (RM).
+    TowardNegative,
+}
+
+/// IEEE-754 exception flags, accumulated (sticky) across operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Flags {
+    /// Invalid operation (e.g. `inf - inf`, `sqrt(-1)`, signalling NaN input).
+    pub invalid: bool,
+    /// Division of a finite non-zero value by zero.
+    pub div_by_zero: bool,
+    /// Result overflowed to infinity (or the largest finite value).
+    pub overflow: bool,
+    /// Result underflowed to a subnormal or zero and was inexact.
+    pub underflow: bool,
+    /// Result could not be represented exactly.
+    pub inexact: bool,
+}
+
+impl Flags {
+    /// Returns flags with every bit clear.
+    pub const fn none() -> Self {
+        Flags {
+            invalid: false,
+            div_by_zero: false,
+            overflow: false,
+            underflow: false,
+            inexact: false,
+        }
+    }
+
+    /// True if any exception flag is raised.
+    pub fn any(&self) -> bool {
+        self.invalid || self.div_by_zero || self.overflow || self.underflow || self.inexact
+    }
+
+    /// Merges another set of flags into this one (sticky OR).
+    pub fn merge(&mut self, other: Flags) {
+        self.invalid |= other.invalid;
+        self.div_by_zero |= other.div_by_zero;
+        self.overflow |= other.overflow;
+        self.underflow |= other.underflow;
+        self.inexact |= other.inexact;
+    }
+}
+
+/// Floating-point environment: rounding mode, sticky flags and NaN policy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FpEnv {
+    /// Current rounding mode.
+    pub rounding: Rounding,
+    /// Sticky exception flags.
+    pub flags: Flags,
+    /// How NaN operands propagate to NaN results.
+    pub nan_propagation: NanPropagation,
+}
+
+impl FpEnv {
+    /// A fresh environment with round-to-nearest-even and no flags raised.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A fresh environment using Arm-style default-NaN propagation.
+    pub fn arm() -> Self {
+        FpEnv {
+            nan_propagation: NanPropagation::ArmDefaultNan,
+            ..Self::default()
+        }
+    }
+
+    /// A fresh environment using x86-style first-operand NaN propagation.
+    pub fn x86() -> Self {
+        FpEnv {
+            nan_propagation: NanPropagation::X86PropagateFirst,
+            ..Self::default()
+        }
+    }
+
+    /// Clears the sticky exception flags.
+    pub fn clear_flags(&mut self) {
+        self.flags = Flags::none();
+    }
+}
+
+/// The canonical "default NaN" produced by Arm hardware: positive, quiet,
+/// no payload.
+pub const F64_DEFAULT_NAN: u64 = 0x7FF8_0000_0000_0000;
+/// 32-bit counterpart of [`F64_DEFAULT_NAN`].
+pub const F32_DEFAULT_NAN: u32 = 0x7FC0_0000;
+
+/// Classification of an unpacked floating-point value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FpClass {
+    /// Positive or negative zero.
+    Zero,
+    /// Denormalised (subnormal) value.
+    Subnormal,
+    /// Ordinary normalised value.
+    Normal,
+    /// Positive or negative infinity.
+    Infinite,
+    /// Quiet NaN.
+    QuietNan,
+    /// Signalling NaN.
+    SignallingNan,
+}
+
+/// An unpacked binary64 value: sign, biased exponent and fraction field.
+#[derive(Debug, Clone, Copy)]
+pub struct Unpacked64 {
+    /// Sign bit (true = negative).
+    pub sign: bool,
+    /// Biased exponent (0..=0x7FF).
+    pub exp: i32,
+    /// Fraction field (52 bits, without the hidden bit).
+    pub frac: u64,
+}
+
+/// An unpacked binary32 value: sign, biased exponent and fraction field.
+#[derive(Debug, Clone, Copy)]
+pub struct Unpacked32 {
+    /// Sign bit (true = negative).
+    pub sign: bool,
+    /// Biased exponent (0..=0xFF).
+    pub exp: i32,
+    /// Fraction field (23 bits, without the hidden bit).
+    pub frac: u32,
+}
+
+/// Splits a binary64 bit pattern into sign / exponent / fraction.
+pub fn unpack64(bits: u64) -> Unpacked64 {
+    Unpacked64 {
+        sign: bits >> 63 != 0,
+        exp: ((bits >> 52) & 0x7FF) as i32,
+        frac: bits & ((1u64 << 52) - 1),
+    }
+}
+
+/// Splits a binary32 bit pattern into sign / exponent / fraction.
+pub fn unpack32(bits: u32) -> Unpacked32 {
+    Unpacked32 {
+        sign: bits >> 31 != 0,
+        exp: ((bits >> 23) & 0xFF) as i32,
+        frac: bits & ((1u32 << 23) - 1),
+    }
+}
+
+/// Reassembles a binary64 bit pattern from its fields.
+pub fn pack64(sign: bool, exp: i32, frac: u64) -> u64 {
+    ((sign as u64) << 63) | ((exp as u64 & 0x7FF) << 52) | (frac & ((1u64 << 52) - 1))
+}
+
+/// Reassembles a binary32 bit pattern from its fields.
+pub fn pack32(sign: bool, exp: i32, frac: u32) -> u32 {
+    ((sign as u32) << 31) | ((exp as u32 & 0xFF) << 23) | (frac & ((1u32 << 23) - 1))
+}
+
+/// Classifies a binary64 bit pattern.
+pub fn classify64(bits: u64) -> FpClass {
+    let u = unpack64(bits);
+    match (u.exp, u.frac) {
+        (0, 0) => FpClass::Zero,
+        (0, _) => FpClass::Subnormal,
+        (0x7FF, 0) => FpClass::Infinite,
+        (0x7FF, f) if f >> 51 != 0 => FpClass::QuietNan,
+        (0x7FF, _) => FpClass::SignallingNan,
+        _ => FpClass::Normal,
+    }
+}
+
+/// Classifies a binary32 bit pattern.
+pub fn classify32(bits: u32) -> FpClass {
+    let u = unpack32(bits);
+    match (u.exp, u.frac) {
+        (0, 0) => FpClass::Zero,
+        (0, _) => FpClass::Subnormal,
+        (0xFF, 0) => FpClass::Infinite,
+        (0xFF, f) if f >> 22 != 0 => FpClass::QuietNan,
+        (0xFF, _) => FpClass::SignallingNan,
+        _ => FpClass::Normal,
+    }
+}
+
+/// True if the binary64 bit pattern encodes any NaN.
+pub fn is_nan64(bits: u64) -> bool {
+    matches!(classify64(bits), FpClass::QuietNan | FpClass::SignallingNan)
+}
+
+/// True if the binary32 bit pattern encodes any NaN.
+pub fn is_nan32(bits: u32) -> bool {
+    matches!(classify32(bits), FpClass::QuietNan | FpClass::SignallingNan)
+}
+
+/// True if the binary64 bit pattern encodes a signalling NaN.
+pub fn is_snan64(bits: u64) -> bool {
+    classify64(bits) == FpClass::SignallingNan
+}
+
+/// True if the binary32 bit pattern encodes a signalling NaN.
+pub fn is_snan32(bits: u32) -> bool {
+    classify32(bits) == FpClass::SignallingNan
+}
+
+/// Quietens a NaN by setting the most significant fraction bit (binary64).
+pub fn quiet64(bits: u64) -> u64 {
+    bits | (1u64 << 51)
+}
+
+/// Quietens a NaN by setting the most significant fraction bit (binary32).
+pub fn quiet32(bits: u32) -> u32 {
+    bits | (1u32 << 22)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_covers_all_classes() {
+        assert_eq!(classify64(0), FpClass::Zero);
+        assert_eq!(classify64(0x8000_0000_0000_0000), FpClass::Zero);
+        assert_eq!(classify64(1), FpClass::Subnormal);
+        assert_eq!(classify64(1.0f64.to_bits()), FpClass::Normal);
+        assert_eq!(classify64(f64::INFINITY.to_bits()), FpClass::Infinite);
+        assert_eq!(classify64(F64_DEFAULT_NAN), FpClass::QuietNan);
+        assert_eq!(classify64(0x7FF0_0000_0000_0001), FpClass::SignallingNan);
+    }
+
+    #[test]
+    fn classify32_covers_all_classes() {
+        assert_eq!(classify32(0), FpClass::Zero);
+        assert_eq!(classify32(0x8000_0000), FpClass::Zero);
+        assert_eq!(classify32(1), FpClass::Subnormal);
+        assert_eq!(classify32(1.0f32.to_bits()), FpClass::Normal);
+        assert_eq!(classify32(f32::INFINITY.to_bits()), FpClass::Infinite);
+        assert_eq!(classify32(F32_DEFAULT_NAN), FpClass::QuietNan);
+        assert_eq!(classify32(0x7F80_0001), FpClass::SignallingNan);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        for bits in [0u64, 1, 0x3FF0_0000_0000_0000, 0xFFF8_0000_0000_0001, u64::MAX] {
+            let u = unpack64(bits);
+            assert_eq!(pack64(u.sign, u.exp, u.frac), bits);
+        }
+        for bits in [0u32, 1, 0x3F80_0000, 0xFFC0_0001, u32::MAX] {
+            let u = unpack32(bits);
+            assert_eq!(pack32(u.sign, u.exp, u.frac), bits);
+        }
+    }
+
+    #[test]
+    fn flags_merge_is_sticky() {
+        let mut f = Flags::none();
+        assert!(!f.any());
+        f.merge(Flags {
+            inexact: true,
+            ..Flags::none()
+        });
+        f.merge(Flags {
+            overflow: true,
+            ..Flags::none()
+        });
+        assert!(f.inexact && f.overflow && f.any());
+        assert!(!f.invalid);
+    }
+}
