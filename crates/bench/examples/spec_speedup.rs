@@ -21,5 +21,7 @@ fn main() {
             qemu.cycles as f64 / captive.cycles as f64
         );
     }
-    println!("(integer speedups come from the MMU-backed memory path; FP speedups add host-FPU mapping)");
+    println!(
+        "(integer speedups come from the MMU-backed memory path; FP speedups add host-FPU mapping)"
+    );
 }

@@ -1,8 +1,11 @@
 //! Regenerates the paper's tables and figures on the simulated substrate.
 //!
-//! Usage: `cargo run --release -p bench --bin figures -- [all|fig17|fig18|fig19|fig20|jitstats|fig21|fig22|table2|fp_modes]`
+//! Usage: `cargo run --release -p bench --bin figures -- [all|fig17|fig18|fig19|fig20|jitstats|fig21|fig22|table2|fp_modes|chaining]`
 
-use bench::{geomean, native_model, run_both_raw, run_captive, run_captive_with, run_qemu};
+use bench::{
+    geomean, native_model, run_both_raw, run_captive, run_captive_chaining, run_captive_with,
+    run_qemu,
+};
 use captive::FpMode;
 use workloads::Scale;
 
@@ -33,34 +36,57 @@ fn main() {
     if all || arg == "fp_modes" {
         fp_modes();
     }
+    if all || arg == "chaining" {
+        chaining();
+    }
 }
 
 fn fig17() {
     println!("== Figure 17: SPEC CPU2006 integer — Captive vs QEMU-style baseline ==");
-    println!("{:<18} {:>14} {:>14} {:>9}", "benchmark", "qemu cycles", "captive cycles", "speedup");
+    println!(
+        "{:<18} {:>14} {:>14} {:>9}",
+        "benchmark", "qemu cycles", "captive cycles", "speedup"
+    );
     let mut speedups = Vec::new();
     for w in workloads::spec_int(Scale(1)) {
         let c = run_captive(&w);
         let q = run_qemu(&w);
         let s = q.cycles as f64 / c.cycles as f64;
         speedups.push(s);
-        println!("{:<18} {:>14} {:>14} {:>8.2}x", w.name, q.cycles, c.cycles, s);
+        println!(
+            "{:<18} {:>14} {:>14} {:>8.2}x",
+            w.name, q.cycles, c.cycles, s
+        );
     }
-    println!("{:<18} {:>38.2}x  (paper: 2.21x)\n", "geo. mean", geomean(&speedups));
+    println!(
+        "{:<18} {:>38.2}x  (paper: 2.21x)\n",
+        "geo. mean",
+        geomean(&speedups)
+    );
 }
 
 fn fig18() {
     println!("== Figure 18: SPEC CPU2006 FP — Captive vs QEMU-style baseline ==");
-    println!("{:<18} {:>14} {:>14} {:>9}", "benchmark", "qemu cycles", "captive cycles", "speedup");
+    println!(
+        "{:<18} {:>14} {:>14} {:>9}",
+        "benchmark", "qemu cycles", "captive cycles", "speedup"
+    );
     let mut speedups = Vec::new();
     for w in workloads::spec_fp(Scale(1)) {
         let c = run_captive(&w);
         let q = run_qemu(&w);
         let s = q.cycles as f64 / c.cycles as f64;
         speedups.push(s);
-        println!("{:<18} {:>14} {:>14} {:>8.2}x", w.name, q.cycles, c.cycles, s);
+        println!(
+            "{:<18} {:>14} {:>14} {:>8.2}x",
+            w.name, q.cycles, c.cycles, s
+        );
     }
-    println!("{:<18} {:>38.2}x  (paper: 6.49x)\n", "geo. mean", geomean(&speedups));
+    println!(
+        "{:<18} {:>38.2}x  (paper: 6.49x)\n",
+        "geo. mean",
+        geomean(&speedups)
+    );
 }
 
 fn fig19() {
@@ -166,7 +192,10 @@ fn table2() {
         ("-NaN", f64::from_bits(0xFFF8_0000_0000_0000)),
     ];
     let mut env = softfloat::FpEnv::new();
-    println!("{:<8} {:>20} {:>20} {:>12}", "input", "x86 (SQRTSD)", "Arm (FSQRT)", "difference");
+    println!(
+        "{:<8} {:>20} {:>20} {:>12}",
+        "input", "x86 (SQRTSD)", "Arm (FSQRT)", "difference"
+    );
     for (name, v) in inputs {
         let x86 = softfloat::f64_sqrt_x86(v.to_bits(), &mut env);
         let arm = softfloat::f64_sqrt_arm(v.to_bits(), &mut env);
@@ -183,6 +212,41 @@ fn table2() {
             format!("{:#018x}", x86),
             format!("{:#018x}", arm),
             diff
+        );
+    }
+    println!();
+}
+
+fn chaining() {
+    println!("== Section 2.6/2.7: direct block chaining and the fetch iTLB ==");
+    println!(
+        "{:<18} {:>9} {:>14} {:>14} {:>9} {:>8} {:>8} {:>9}",
+        "workload",
+        "speedup",
+        "cycles (on)",
+        "cycles (off)",
+        "chained",
+        "patches",
+        "slowdsp",
+        "itlb hit"
+    );
+    let mut hot = workloads::spec_int(Scale(1));
+    hot.truncate(4);
+    hot.push(bench::micro_workload(&simbench::same_page_direct(10_000)));
+    for w in &hot {
+        let on = run_captive_chaining(w, true);
+        let off = run_captive_chaining(w, false);
+        let itlb_rate = on.itlb_hit_rate();
+        println!(
+            "{:<18} {:>8.3}x {:>14} {:>14} {:>9} {:>8} {:>8} {:>8.1}%",
+            w.name,
+            off.cycles as f64 / on.cycles as f64,
+            on.cycles,
+            off.cycles,
+            on.chained_transfers,
+            on.chain_patches,
+            on.slow_dispatches,
+            itlb_rate * 100.0
         );
     }
     println!();

@@ -26,6 +26,30 @@ pub struct Measurement {
     pub jit_seconds: f64,
     /// JIT phase fractions (decode, translate, regalloc, encode).
     pub jit_fractions: (f64, f64, f64, f64),
+    /// Control transfers that followed a chain link (Captive only; 0 for the
+    /// baseline).
+    pub chained_transfers: u64,
+    /// Successor links patched lazily (Captive only).
+    pub chain_patches: u64,
+    /// Dispatcher slow-path entries (Captive only).
+    pub slow_dispatches: u64,
+    /// Fetch-side iTLB hits (Captive only).
+    pub itlb_hits: u64,
+    /// Fetch-side iTLB misses (Captive only).
+    pub itlb_misses: u64,
+}
+
+impl Measurement {
+    /// Fetch iTLB hit rate in [0, 1]; 1.0 when there were no fetches (same
+    /// empty-denominator convention as [`hvm::PerfCounters::tlb_hit_rate`]).
+    pub fn itlb_hit_rate(&self) -> f64 {
+        let total = self.itlb_hits + self.itlb_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.itlb_hits as f64 / total as f64
+        }
+    }
 }
 
 /// Runs a workload under Captive (hardware FP, chaining on).
@@ -35,11 +59,30 @@ pub fn run_captive(w: &Workload) -> Measurement {
 
 /// Runs a workload under Captive with explicit FP mode / per-block stats.
 pub fn run_captive_with(w: &Workload, fp: FpMode, per_block: bool) -> Measurement {
-    let mut c = Captive::new(CaptiveConfig {
-        fp_mode: fp,
-        per_block_stats: per_block,
-        ..CaptiveConfig::default()
-    });
+    run_captive_cfg(
+        w,
+        CaptiveConfig {
+            fp_mode: fp,
+            per_block_stats: per_block,
+            ..CaptiveConfig::default()
+        },
+    )
+}
+
+/// Runs a workload under Captive with chaining forced on or off.
+pub fn run_captive_chaining(w: &Workload, chaining: bool) -> Measurement {
+    run_captive_cfg(
+        w,
+        CaptiveConfig {
+            chaining,
+            ..CaptiveConfig::default()
+        },
+    )
+}
+
+/// Runs a workload under Captive with a fully explicit configuration.
+pub fn run_captive_cfg(w: &Workload, cfg: CaptiveConfig) -> Measurement {
+    let mut c = Captive::new(cfg);
     c.load_program(workloads::CODE_BASE, &w.words);
     c.set_entry(w.entry);
     let exit = c.run(BLOCK_BUDGET);
@@ -57,6 +100,11 @@ pub fn run_captive_with(w: &Workload, fp: FpMode, per_block: bool) -> Measuremen
         code_bytes: s.code_bytes,
         jit_seconds: c.timers.total().as_secs_f64(),
         jit_fractions: c.timers.fractions(),
+        chained_transfers: s.chained_transfers,
+        chain_patches: s.chain_patches,
+        slow_dispatches: s.slow_dispatches,
+        itlb_hits: s.itlb_hits,
+        itlb_misses: s.itlb_misses,
     }
 }
 
@@ -80,6 +128,22 @@ pub fn run_qemu(w: &Workload) -> Measurement {
         code_bytes: s.code_bytes,
         jit_seconds: q.timers.total().as_secs_f64(),
         jit_fractions: q.timers.fractions(),
+        chained_transfers: 0,
+        chain_patches: 0,
+        slow_dispatches: s.blocks,
+        itlb_hits: 0,
+        itlb_misses: 0,
+    }
+}
+
+/// Wraps a SimBench micro-benchmark as a [`Workload`] so it can go through
+/// the same measurement entry points as the SPEC-shaped workloads.
+pub fn micro_workload(b: &simbench::MicroBench) -> Workload {
+    Workload {
+        name: b.name,
+        suite: workloads::Suite::Int,
+        words: b.words.clone(),
+        entry: b.entry,
     }
 }
 

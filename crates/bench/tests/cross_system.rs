@@ -12,12 +12,18 @@ fn run_both(words: &[u32]) -> (Captive, QemuRef) {
     let mut c = Captive::new(CaptiveConfig::default());
     c.load_program(0x1000, words);
     c.set_entry(0x1000);
-    assert!(matches!(c.run(50_000_000), captive::RunExit::GuestHalted { .. }));
+    assert!(matches!(
+        c.run(50_000_000),
+        captive::RunExit::GuestHalted { .. }
+    ));
 
     let mut q = QemuRef::new(32 * 1024 * 1024);
     q.load_program(0x1000, words);
     q.set_entry(0x1000);
-    assert!(matches!(q.run(50_000_000), qemu_ref::RunExit::GuestHalted { .. }));
+    assert!(matches!(
+        q.run(50_000_000),
+        qemu_ref::RunExit::GuestHalted { .. }
+    ));
     (c, q)
 }
 
@@ -42,7 +48,10 @@ fn fp_results_match_between_hardware_and_software_modes() {
     });
     hw.load_program(0x1000, &w.words);
     hw.set_entry(w.entry);
-    assert!(matches!(hw.run(50_000_000), captive::RunExit::GuestHalted { .. }));
+    assert!(matches!(
+        hw.run(50_000_000),
+        captive::RunExit::GuestHalted { .. }
+    ));
 
     let mut sw = Captive::new(CaptiveConfig {
         fp_mode: FpMode::Software,
@@ -50,11 +59,91 @@ fn fp_results_match_between_hardware_and_software_modes() {
     });
     sw.load_program(0x1000, &w.words);
     sw.set_entry(w.entry);
-    assert!(matches!(sw.run(50_000_000), captive::RunExit::GuestHalted { .. }));
+    assert!(matches!(
+        sw.run(50_000_000),
+        captive::RunExit::GuestHalted { .. }
+    ));
 
     for r in 0..8 {
         assert_eq!(hw.guest_reg(r), sw.guest_reg(r), "x{r}");
     }
+}
+
+#[test]
+fn chaining_on_and_off_are_architecturally_identical() {
+    // The chained dispatcher must be invisible to the guest: every SimBench
+    // micro (including the MMU-on and TLB-flushing ones) and a SPEC subset
+    // produce the same register state with chaining on, chaining off, and
+    // under the QEMU-style baseline.
+    let run_captive = |words: &[u32], entry: u64, chaining: bool| {
+        let mut c = Captive::new(CaptiveConfig {
+            chaining,
+            ..CaptiveConfig::default()
+        });
+        c.load_program(0x1000, words);
+        c.set_entry(entry);
+        assert!(matches!(
+            c.run(50_000_000),
+            captive::RunExit::GuestHalted { .. }
+        ));
+        c
+    };
+    let mut programs: Vec<(String, Vec<u32>, u64)> = simbench::suite()
+        .into_iter()
+        .map(|b| (b.name.to_string(), b.words, b.entry))
+        .collect();
+    for w in workloads::spec_int(Scale(1)).into_iter().take(2) {
+        programs.push((w.name.to_string(), w.words.clone(), w.entry));
+    }
+    for (name, words, entry) in &programs {
+        let mut on = run_captive(words, *entry, true);
+        let mut off = run_captive(words, *entry, false);
+        for r in 0..16 {
+            assert_eq!(
+                on.guest_reg(r),
+                off.guest_reg(r),
+                "{name}: x{r} diverged between chaining settings"
+            );
+        }
+        let mut q = QemuRef::new(32 * 1024 * 1024);
+        q.load_program(0x1000, words);
+        q.set_entry(*entry);
+        assert!(matches!(
+            q.run(50_000_000),
+            qemu_ref::RunExit::GuestHalted { .. }
+        ));
+        for r in 0..16 {
+            assert_eq!(
+                on.guest_reg(r),
+                q.guest_reg(r),
+                "{name}: x{r} diverged from the baseline"
+            );
+        }
+    }
+}
+
+#[test]
+fn chaining_speeds_up_a_dispatch_bound_loop() {
+    // The acceptance bar for the chaining engine: a cache-hot loop runs in
+    // measurably fewer simulated cycles with chaining, and the gap is the
+    // counted chained transfers' saved dispatch cost — not a credit.
+    let w = bench::micro_workload(&simbench::same_page_direct(10_000));
+    let on = bench::run_captive_chaining(&w, true);
+    let off = bench::run_captive_chaining(&w, false);
+    assert!(on.chained_transfers > 20_000, "direct branches must chain");
+    assert_eq!(off.chained_transfers, 0);
+    assert!(
+        on.cycles < off.cycles,
+        "chaining on ({}) must beat chaining off ({})",
+        on.cycles,
+        off.cycles
+    );
+    let model = hvm::CostModel::default();
+    assert_eq!(
+        off.cycles - on.cycles,
+        on.chained_transfers * (model.dispatch - model.chain),
+        "the whole gap is accounted to chained transfers"
+    );
 }
 
 #[test]
@@ -70,7 +159,11 @@ fn captive_wins_where_the_paper_says_it_should() {
     // Memory-system micro-benchmarks: Captive's host-MMU path wins big.
     let hot = simbench::mem_hot(20_000);
     let (c, q) = bench::run_both_raw(hot.name, &hot.words, hot.entry);
-    assert!(q as f64 / c as f64 > 2.0, "Mem-Hot speedup {}", q as f64 / c as f64);
+    assert!(
+        q as f64 / c as f64 > 2.0,
+        "Mem-Hot speedup {}",
+        q as f64 / c as f64
+    );
 
     // Translation-speed micro-benchmarks: the baseline's simpler codegen wins
     // (the paper reports Captive 65–85% slower on Small/Large-Blocks).
@@ -79,7 +172,10 @@ fn captive_wins_where_the_paper_says_it_should() {
     csys.load_program(0x1000, &blocks.words);
     csys.set_entry(blocks.entry);
     let _ = csys.run(10_000_000);
-    assert!(csys.stats().translations >= 800, "every block translated once");
+    assert!(
+        csys.stats().translations >= 800,
+        "every block translated once"
+    );
 }
 
 proptest! {

@@ -1,0 +1,108 @@
+//! Fetch-side instruction TLB.
+//!
+//! The dispatcher needs the guest *physical* address of the next block to key
+//! the code cache, which in the seed design meant a full guest page-table
+//! walk (`mmu::walk_guest`) on every slow-path dispatch.  This small
+//! direct-mapped VPN→PFN cache short-circuits that walk for instruction
+//! fetches.
+//!
+//! Correctness comes from stamping every entry with the hypervisor's
+//! *context generation*, which is bumped whenever guest translation state
+//! may have changed: `TLBI`, writes to `TTBR0` or `SCTLR` (including MMU
+//! enable/disable, so identity-mapped MMU-off entries are covered too).  A
+//! lookup only hits when the entry's stamp matches the current generation,
+//! so no flush walk over the entries is ever needed.  Self-modifying code
+//! does *not* bump the generation — it changes what is cached for a physical
+//! address, not how a virtual address maps to it.
+
+/// Number of entries (power of two, direct-mapped on the low VPN bits).
+const ITLB_ENTRIES: usize = 64;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct FetchEntry {
+    valid: bool,
+    vpn: u64,
+    page_pa: u64,
+    ctx_gen: u64,
+}
+
+/// Direct-mapped fetch translation cache keyed on (VPN, context generation).
+#[derive(Debug)]
+pub struct FetchTlb {
+    entries: [FetchEntry; ITLB_ENTRIES],
+    /// Lookups answered without a guest page-table walk.
+    pub hits: u64,
+    /// Lookups that fell through to the guest walker.
+    pub misses: u64,
+}
+
+impl Default for FetchTlb {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FetchTlb {
+    /// Creates an empty fetch TLB.
+    pub fn new() -> Self {
+        FetchTlb {
+            entries: [FetchEntry::default(); ITLB_ENTRIES],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Translates `va` if a current-generation entry covers its page.
+    /// Counts a hit or miss either way.
+    pub fn lookup(&mut self, va: u64, ctx_gen: u64) -> Option<u64> {
+        let vpn = va >> 12;
+        let e = &self.entries[(vpn as usize) % ITLB_ENTRIES];
+        if e.valid && e.vpn == vpn && e.ctx_gen == ctx_gen {
+            self.hits += 1;
+            Some(e.page_pa | (va & 0xFFF))
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Records the translation of `va`'s page under the given generation.
+    pub fn insert(&mut self, va: u64, pa: u64, ctx_gen: u64) {
+        let vpn = va >> 12;
+        self.entries[(vpn as usize) % ITLB_ENTRIES] = FetchEntry {
+            valid: true,
+            vpn,
+            page_pa: pa & !0xFFF,
+            ctx_gen,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_only_within_the_stamped_generation() {
+        let mut t = FetchTlb::new();
+        assert_eq!(t.lookup(0x1234, 0), None);
+        t.insert(0x1234, 0x9000 | 0x234, 0);
+        assert_eq!(t.lookup(0x1238, 0), Some(0x9238), "same page, new offset");
+        assert_eq!(t.lookup(0x1238, 1), None, "generation bump invalidates");
+        assert_eq!(t.hits, 1);
+        assert_eq!(t.misses, 2);
+    }
+
+    #[test]
+    fn distinct_pages_conflict_only_on_matching_sets() {
+        let mut t = FetchTlb::new();
+        t.insert(0x1000, 0x9000, 0);
+        // Same set (vpn differs by ITLB_ENTRIES pages): evicts.
+        t.insert(0x1000 + (ITLB_ENTRIES as u64) * 4096, 0xA000, 0);
+        assert_eq!(t.lookup(0x1000, 0), None);
+        assert_eq!(
+            t.lookup(0x1000 + (ITLB_ENTRIES as u64) * 4096, 0),
+            Some(0xA000)
+        );
+    }
+}

@@ -15,21 +15,67 @@
 //! * translated code is cached by guest *physical* address and only
 //!   invalidated when self-modifying code is detected via write protection
 //!   (Section 2.6);
+//! * translated-to-translated control transfers are **chained** (Sections
+//!   2.6–2.7): blocks ending in direct branches carry lazily patched
+//!   successor links, and the dispatcher's inner loop follows them without a
+//!   page walk, cache lookup, or exception-level read — see the *Block
+//!   chaining* section below;
 //! * guest FP/SIMD instructions map to host FP/SIMD instructions with inline
 //!   bit-accuracy fix-ups, or optionally to softfloat helper calls for the
 //!   ablation of Section 3.6.2;
 //! * the guest's exception level is tracked and guest user code runs in host
 //!   ring 3, guest system code in ring 0 (Fig. 2).
+//!
+//! # Block chaining
+//!
+//! The dispatcher ([`Captive::run`]) has a two-level structure:
+//!
+//! * The **slow path** resolves the guest PC to a physical address (through
+//!   the fetch-side iTLB in [`itlb`], falling back to a guest page-table
+//!   walk), looks the block up in the physically-indexed [`CodeCache`]
+//!   (translating on a miss), and reads the guest's exception level to pick
+//!   the host protection ring.
+//! * The **inner chained loop** then executes blocks back-to-back: when a
+//!   block exits at a direct branch whose successor link is already patched
+//!   and still valid, control transfers straight to the successor's code —
+//!   no page walk, no cache lookup, no EL read — and only the near-zero
+//!   [`hvm::CostModel::chain`] cost is charged instead of the dispatcher's
+//!   [`hvm::CostModel::dispatch`] cost.
+//!
+//! **Link structure.** Each [`dbt::TranslatedBlock`] records terminator
+//! metadata ([`dbt::BlockExit`]) at translation time and carries two lazily
+//! patched successor slots (taken/sequential target and conditional
+//! fallthrough).  The first time an exit reaches a direct target whose link
+//! is unresolved, the dispatcher falls back to the slow path once and
+//! patches the link with the block it resolved.
+//!
+//! **Generation scheme.** A link stores the *context generation* (owned by
+//! [`runtime::CaptiveRuntime`], bumped on guest `TLBI` and `TTBR0`/`SCTLR`
+//! writes) and the code cache's *invalidation epoch* (bumped whenever
+//! blocks are discarded).  Links are followed only while both stamps match,
+//! and they hold [`std::sync::Weak`] references, so invalidation never
+//! scans predecessor blocks: dropping a block kills links *into* it, and
+//! the epoch stamp kills links *from* blocks the dispatcher still holds
+//! (including self-loops).
+//!
+//! **Invalidation rules.** Self-modifying code invalidates the written
+//! physical page's translations (and bumps the epoch); `TLBI` and
+//! translation-state `MSR`s bump the context generation (retiring iTLB
+//! entries and links wholesale); exception delivery and `ERET` always leave
+//! the chained loop through the slow path, which re-reads the exception
+//! level, so chained execution never runs in a stale host ring.
 
+pub mod itlb;
 pub mod layout;
 pub mod runtime;
 pub mod translator;
 
-use dbt::{CacheIndex, CodeCache, PhaseTimers};
+use dbt::{CacheIndex, CodeCache, PhaseTimers, TranslatedBlock};
 use guest_aarch64::Aarch64Isa;
 use hvm::{ExitReason, Gpr, Machine, MachineConfig, Ring};
 use runtime::{CaptiveRuntime, GuestEvent};
 use std::collections::HashMap;
+use std::sync::Arc;
 use translator::translate_block;
 
 /// How guest floating-point instructions are implemented.
@@ -51,7 +97,8 @@ pub struct CaptiveConfig {
     pub guest_ram: u64,
     /// Guest FP implementation strategy.
     pub fp_mode: FpMode,
-    /// Enable block chaining (dispatch-cost credit for sequential blocks).
+    /// Enable direct block chaining (patched successor links let hot paths
+    /// bypass the dispatcher entirely).
     pub chaining: bool,
     /// Maximum guest instructions per translated block.
     pub max_block_insns: usize,
@@ -98,7 +145,7 @@ pub struct RunStats {
     pub host_insns: u64,
     /// Guest instructions attributed (blocks entered × block length).
     pub guest_insns: u64,
-    /// Blocks dispatched.
+    /// Blocks executed (chained and dispatched).
     pub blocks: u64,
     /// Translations performed.
     pub translations: u64,
@@ -106,6 +153,19 @@ pub struct RunStats {
     pub guest_exceptions: u64,
     /// Bytes of host code generated.
     pub code_bytes: u64,
+    /// Blocks entered through the dispatcher slow path (page resolution +
+    /// cache lookup + EL read).
+    pub slow_dispatches: u64,
+    /// Control transfers that followed a patched chain link, bypassing the
+    /// dispatcher.
+    pub chained_transfers: u64,
+    /// Successor links patched (lazy chain resolutions).
+    pub chain_patches: u64,
+    /// Fetch-side iTLB hits (instruction fetches resolved without a guest
+    /// page-table walk).
+    pub itlb_hits: u64,
+    /// Fetch-side iTLB misses.
+    pub itlb_misses: u64,
 }
 
 /// Per-block execution record (for the code-quality scatter plot, Fig. 21).
@@ -201,7 +261,10 @@ impl Captive {
     /// Writes a guest general-purpose register.
     pub fn set_guest_reg(&mut self, index: u32, value: u64) {
         let addr = self.runtime.regfile_phys + guest_aarch64::x_off(index) as u64;
-        self.machine.mem.write_u64(addr, value).expect("regfile write");
+        self.machine
+            .mem
+            .write_u64(addr, value)
+            .expect("regfile write");
     }
 
     /// Console output accumulated from the guest (hypervisor UART).
@@ -215,6 +278,8 @@ impl Captive {
         s.cycles = self.machine.perf.cycles;
         s.host_insns = self.machine.perf.insns;
         s.code_bytes = self.cache.total_encoded_bytes() as u64;
+        s.itlb_hits = self.runtime.fetch_tlb.hits;
+        s.itlb_misses = self.runtime.fetch_tlb.misses;
         s
     }
 
@@ -224,15 +289,25 @@ impl Captive {
     }
 
     /// Translates the guest virtual address of an *instruction fetch* to a
-    /// guest physical address, or reports the fault to deliver.
+    /// guest physical address through the fetch-side iTLB, or reports the
+    /// fault to deliver.
     fn fetch_translate(&mut self, va: u64) -> Result<u64, GuestEvent> {
-        self.runtime.guest_va_to_pa(&mut self.machine, va, false)
+        self.runtime.fetch_va_to_pa(&mut self.machine, va)
     }
 
     /// Runs the guest until it halts or `max_blocks` blocks have been
-    /// dispatched.
+    /// executed (chained transfers count against the budget too).
+    ///
+    /// The outer loop is the dispatcher slow path; the inner loop executes
+    /// chained blocks back-to-back without re-entering it (see the crate
+    /// docs for the link and invalidation rules).
     pub fn run(&mut self, max_blocks: u64) -> RunExit {
-        for _ in 0..max_blocks {
+        let mut budget = max_blocks;
+        // A block whose direct exit was taken but whose successor link was
+        // still unresolved; the slow path patches it once the successor is
+        // known.
+        let mut patch_from: Option<(Arc<TranslatedBlock>, usize)> = None;
+        while budget > 0 {
             if let Some(code) = self.runtime.exit_code {
                 return RunExit::GuestHalted { code };
             }
@@ -241,18 +316,19 @@ impl Captive {
             let pa = match self.fetch_translate(pc) {
                 Ok(pa) => pa,
                 Err(event) => {
+                    patch_from = None;
+                    budget -= 1;
                     self.deliver_event(event, pc);
                     continue;
                 }
             };
-            let block = match self.cache.get(pa) {
+            let mut block = match self.cache.get(pa) {
                 Some(b) => b,
                 None => {
                     self.stats.translations += 1;
                     let block = translate_block(
                         &self.isa,
                         &mut self.machine,
-                        &mut self.runtime,
                         &mut self.timers,
                         pc,
                         pa,
@@ -263,8 +339,27 @@ impl Captive {
                     self.cache.insert(block)
                 }
             };
+            self.stats.slow_dispatches += 1;
+            // Patch the predecessor's successor link now that the target is
+            // resolved, guarding against virtual aliases of the same
+            // physical page (the link must only short-circuit the exact
+            // virtual address it was recorded for).
+            if let Some((prev, slot)) = patch_from.take() {
+                if self.config.chaining && block.guest_virt == pc {
+                    prev.set_link(
+                        slot,
+                        self.runtime.context_generation(),
+                        self.cache.epoch(),
+                        &block,
+                    );
+                    self.stats.chain_patches += 1;
+                }
+            }
             // Track the guest's exception level in the host protection ring
             // (guest user code runs in ring 3, guest system code in ring 0).
+            // The ring stays cached across chained transfers: only blocks
+            // with indirect exits (exceptions, ERET, sysreg writes) can
+            // change the EL, and those always return to this slow path.
             let el = self
                 .machine
                 .mem
@@ -272,59 +367,91 @@ impl Captive {
                 .unwrap_or(1);
             self.machine.ring = if el == 0 { Ring::Ring3 } else { Ring::Ring0 };
 
-            let before = self.machine.perf.cycles;
-            let code = std::sync::Arc::clone(&block.code);
-            let exit = self.machine.run_block(&code, &mut self.runtime);
-            let spent = self.machine.perf.cycles - before;
-            // Invalidate translations for any code pages the guest wrote.
-            for page in self.runtime.take_smc_dirty() {
-                self.cache.invalidate_phys_page(page);
-            }
-            self.stats.blocks += 1;
-            self.stats.guest_insns += block.guest_insns as u64;
-            if self.config.per_block_stats {
-                let p = self.per_block.entry(pa).or_default();
-                p.cycles += spent;
-                p.executions += 1;
-                p.guest_insns = block.guest_insns as u64;
-            }
-            if self.config.chaining {
-                // Chained blocks skip the dispatcher: credit its cost back
-                // when control flows guest-sequentially between cached blocks.
-                let next_pc = self.machine.reg(Gpr::R15);
-                if next_pc == pc + block.guest_bytes() {
-                    let credit = self.machine.cost.dispatch;
-                    self.machine.perf.cycles = self.machine.perf.cycles.saturating_sub(credit);
+            let mut chained = false;
+            loop {
+                let before = self.machine.perf.cycles;
+                let code = Arc::clone(&block.code);
+                let exit = if chained {
+                    self.machine.run_block_chained(&code, &mut self.runtime)
+                } else {
+                    self.machine.run_block(&code, &mut self.runtime)
+                };
+                let spent = self.machine.perf.cycles - before;
+                // Invalidate translations for any code pages the guest wrote
+                // (bumps the cache epoch, so stale chain links die with them).
+                for page in self.runtime.take_smc_dirty() {
+                    self.cache.invalidate_phys_page(page);
                 }
-            }
-            match exit {
-                ExitReason::BlockEnd | ExitReason::HelperExit => {
-                    if let Some(event) = self.runtime.take_pending_event() {
-                        match event {
-                            GuestEvent::Halt { code } => return RunExit::GuestHalted { code },
-                            other => {
-                                let pc_now = self.machine.reg(Gpr::R15);
-                                self.deliver_event(other, pc_now);
+                self.stats.blocks += 1;
+                self.stats.guest_insns += block.guest_insns as u64;
+                if self.config.per_block_stats {
+                    let p = self.per_block.entry(block.guest_phys).or_default();
+                    p.cycles += spent;
+                    p.executions += 1;
+                    p.guest_insns = block.guest_insns as u64;
+                }
+                budget -= 1;
+                match exit {
+                    ExitReason::BlockEnd | ExitReason::HelperExit => {
+                        if let Some(event) = self.runtime.take_pending_event() {
+                            match event {
+                                GuestEvent::Halt { code } => return RunExit::GuestHalted { code },
+                                other => {
+                                    let pc_now = self.machine.reg(Gpr::R15);
+                                    self.deliver_event(other, pc_now);
+                                    break;
+                                }
                             }
                         }
+                        // Helper exits (exception taken, ERET, sysreg write)
+                        // may have changed the EL or translation context:
+                        // always re-dispatch through the slow path.
+                        if exit == ExitReason::HelperExit {
+                            break;
+                        }
+                        if !self.config.chaining || budget == 0 {
+                            break;
+                        }
+                        let next_pc = self.machine.reg(Gpr::R15);
+                        let Some(slot) = block.chain_slot(next_pc) else {
+                            break;
+                        };
+                        if let Some(next) = block.follow_link(
+                            slot,
+                            self.runtime.context_generation(),
+                            self.cache.epoch(),
+                        ) {
+                            // Chained transfer: straight into the successor's
+                            // code, skipping page resolution, cache lookup
+                            // and EL read.
+                            self.stats.chained_transfers += 1;
+                            block = next;
+                            chained = true;
+                            continue;
+                        }
+                        // Direct exit with an unresolved (or retired) link:
+                        // take the slow path once and patch it there.
+                        patch_from = Some((Arc::clone(&block), slot));
+                        break;
                     }
+                    ExitReason::Halted => {
+                        let code = self.runtime.exit_code.unwrap_or(0);
+                        return RunExit::GuestHalted { code };
+                    }
+                    ExitReason::MemFault { vaddr, write } => {
+                        // A genuine guest data abort: deliver it to the
+                        // guest.  The machine's guest PC still addresses the
+                        // faulting instruction, so ELR is exact even when
+                        // the fault happened deep in a chain.
+                        let fault_pc = self.machine.reg(Gpr::R15);
+                        self.deliver_event(GuestEvent::DataAbort { vaddr, write }, fault_pc);
+                        break;
+                    }
+                    ExitReason::FuelExhausted => {
+                        return RunExit::Error("translated block did not terminate".into())
+                    }
+                    ExitReason::Error(e) => return RunExit::Error(e),
                 }
-                ExitReason::Halted => {
-                    let code = self.runtime.exit_code.unwrap_or(0);
-                    return RunExit::GuestHalted { code };
-                }
-                ExitReason::MemFault { vaddr, write } => {
-                    // A genuine guest data abort: deliver it to the guest.
-                    let fault_pc = self.machine.reg(Gpr::R15);
-                    self.deliver_event(
-                        GuestEvent::DataAbort { vaddr, write },
-                        fault_pc,
-                    );
-                }
-                ExitReason::FuelExhausted => {
-                    return RunExit::Error("translated block did not terminate".into())
-                }
-                ExitReason::Error(e) => return RunExit::Error(e),
             }
         }
         RunExit::BudgetExhausted
@@ -392,7 +519,10 @@ mod tests {
         let (mut c, exit) = boot(&a.finish());
         assert_eq!(exit, RunExit::GuestHalted { code: 0 });
         assert_eq!(c.guest_reg(3), 0xABCD);
-        assert!(c.machine.perf.page_faults > 0, "demand mapping faulted once");
+        assert!(
+            c.machine.perf.page_faults > 0,
+            "demand mapping faulted once"
+        );
     }
 
     #[test]
@@ -466,6 +596,200 @@ mod tests {
         let (c, exit) = boot(&a.finish());
         assert_eq!(exit, RunExit::GuestHalted { code: 0 });
         assert_eq!(c.console(), b"hi");
+    }
+
+    #[test]
+    fn hot_loop_dispatches_through_chain_links() {
+        // A tight countdown loop: after the first two trips (translate, then
+        // patch), every iteration must flow through the chain link without
+        // re-entering the dispatcher slow path.
+        let mut a = asm::Assembler::new();
+        a.push(asm::movz(1, 2000, 0));
+        a.label("loop");
+        a.push(asm::subi(1, 1, 1));
+        a.cbnz_to(1, "loop");
+        a.push(asm::hlt());
+        let (c, exit) = boot(&a.finish());
+        assert_eq!(exit, RunExit::GuestHalted { code: 0 });
+        let stats = c.stats();
+        assert!(
+            stats.chained_transfers > 1900,
+            "loop iterations must chain: {} chained of {} blocks",
+            stats.chained_transfers,
+            stats.blocks
+        );
+        assert!(
+            stats.slow_dispatches < 20,
+            "slow path must be cold: {} slow dispatches",
+            stats.slow_dispatches
+        );
+        assert!(stats.chain_patches >= 1, "links are patched lazily");
+        assert_eq!(
+            stats.blocks,
+            stats.chained_transfers + stats.slow_dispatches,
+            "every executed block is either chained or dispatched"
+        );
+    }
+
+    #[test]
+    fn chaining_cycle_gap_comes_from_chained_transfers() {
+        // Same guest program under chaining on/off: identical architectural
+        // results, and the entire cycle gap is the dispatch-vs-chain cost of
+        // the counted chained transfers — not a post-hoc credit.
+        let mut a = asm::Assembler::new();
+        a.push(asm::movz(0, 0, 0));
+        a.push(asm::movz(1, 1500, 0));
+        a.label("loop");
+        a.push(asm::add(0, 0, 1));
+        a.push(asm::subi(1, 1, 1));
+        a.cbnz_to(1, "loop");
+        a.push(asm::hlt());
+        let words = a.finish();
+
+        let run = |chaining: bool| {
+            let mut c = Captive::new(CaptiveConfig {
+                chaining,
+                ..CaptiveConfig::default()
+            });
+            c.load_program(0x1000, &words);
+            c.set_entry(0x1000);
+            let exit = c.run(100_000);
+            assert_eq!(exit, RunExit::GuestHalted { code: 0 });
+            c
+        };
+        let mut on = run(true);
+        let mut off = run(false);
+
+        for r in 0..31 {
+            assert_eq!(on.guest_reg(r), off.guest_reg(r), "x{r} diverged");
+        }
+        let son = on.stats();
+        let soff = off.stats();
+        assert_eq!(soff.chained_transfers, 0);
+        assert!(son.chained_transfers > 1400);
+        assert_eq!(
+            on.machine.perf.chained_entries, son.chained_transfers,
+            "machine- and hypervisor-level chained counters must agree"
+        );
+        assert!(son.cycles < soff.cycles, "chaining must be cheaper");
+        let per_transfer = on.machine.cost.dispatch - on.machine.cost.chain;
+        assert_eq!(
+            soff.cycles - son.cycles,
+            son.chained_transfers * per_transfer,
+            "the gap is exactly the chained transfers' saved dispatch cost"
+        );
+    }
+
+    #[test]
+    fn self_modifying_code_unlinks_stale_translations() {
+        // The guest rewrites a subroutine between two calls; the second call
+        // must execute the new code, never a stale translation reached
+        // through a chain link.
+        let patched_pair = asm::movz(5, 2, 0) as u64 | (asm::ret() as u64) << 32;
+        let mut a = asm::Assembler::new();
+        a.push(asm::movz(6, 2, 0));
+        a.adr_to(3, "target");
+        a.mov_imm64(4, patched_pair);
+        a.label("loop");
+        a.bl_to("target");
+        a.push(asm::str(4, 3, 0));
+        a.push(asm::subi(6, 6, 1));
+        a.cbnz_to(6, "loop");
+        a.push(asm::hlt());
+        a.label("target");
+        a.push(asm::movz(5, 1, 0));
+        a.push(asm::ret());
+        let (mut c, exit) = boot(&a.finish());
+        assert_eq!(exit, RunExit::GuestHalted { code: 0 });
+        assert_eq!(c.guest_reg(5), 2, "second call must observe the new code");
+        assert!(
+            c.cache.stats().invalidated_page >= 1,
+            "the write-protected code page invalidated its translations"
+        );
+    }
+
+    #[test]
+    fn translation_state_writes_retire_chain_links() {
+        // TTBR0 writes bump the context generation, so links patched in an
+        // earlier context are never followed, and execution stays correct.
+        let mut a = asm::Assembler::new();
+        a.push(asm::movz(0, 0, 0));
+        a.push(asm::movz(1, 50, 0));
+        a.push(asm::movz(2, 0, 0));
+        a.label("loop");
+        a.push(asm::add(0, 0, 1));
+        a.push(asm::msr(guest_aarch64::SysReg::Ttbr0 as u32, 2));
+        a.push(asm::subi(1, 1, 1));
+        a.cbnz_to(1, "loop");
+        a.push(asm::hlt());
+        let (mut c, exit) = boot(&a.finish());
+        assert_eq!(exit, RunExit::GuestHalted { code: 0 });
+        assert_eq!(c.guest_reg(0), (1..=50).sum::<u64>());
+        assert!(
+            c.runtime.context_generation() >= 50,
+            "every TTBR0 write must bump the generation"
+        );
+        assert_eq!(
+            c.stats().chained_transfers,
+            0,
+            "per-iteration generation bumps must keep links stale"
+        );
+    }
+
+    #[test]
+    fn tlbi_retires_chain_links_and_stays_correct() {
+        let mut a = asm::Assembler::new();
+        a.push(asm::movz(0, 0, 0));
+        a.push(asm::movz(1, 20, 0));
+        a.label("loop");
+        a.push(asm::add(0, 0, 1));
+        a.push(asm::tlbi());
+        a.push(asm::subi(1, 1, 1));
+        a.cbnz_to(1, "loop");
+        a.push(asm::hlt());
+        let (mut c, exit) = boot(&a.finish());
+        assert_eq!(exit, RunExit::GuestHalted { code: 0 });
+        assert_eq!(c.guest_reg(0), (1..=20).sum::<u64>());
+        assert!(c.runtime.context_generation() >= 20);
+        assert_eq!(c.stats().chained_transfers, 0);
+    }
+
+    #[test]
+    fn exception_mid_chain_delivers_with_correct_elr() {
+        // A chained store loop marches past the end of guest RAM; the data
+        // abort must carry the exact faulting PC into ELR even though it was
+        // raised in a block entered through a chain link.
+        let mut a = asm::Assembler::new();
+        a.mov_imm64(9, 0x2000);
+        a.push(asm::msr(guest_aarch64::SysReg::Vbar as u32, 9));
+        a.mov_imm64(1, 0x1C0_0000); // 28 MiB, 4 strides below the 32 MiB limit
+        a.mov_imm64(2, 0xDEAD);
+        a.mov_imm64(3, 0x10_0000); // 1 MiB stride
+        a.label("loop");
+        let fault_idx = a.here();
+        a.push(asm::str(2, 1, 0));
+        a.push(asm::add(1, 1, 3));
+        a.b_to("loop");
+        let main = a.finish();
+        let fault_pc = 0x1000 + fault_idx as u64 * 4;
+
+        let mut v = asm::Assembler::new();
+        v.push(asm::mrs(10, guest_aarch64::SysReg::Elr as u32));
+        v.push(asm::mrs(11, guest_aarch64::SysReg::Far as u32));
+        v.push(asm::hlt());
+
+        let mut c = Captive::new(CaptiveConfig::default());
+        c.load_program(0x1000, &main);
+        c.load_program(0x2000, &v.finish());
+        c.set_entry(0x1000);
+        let exit = c.run(100_000);
+        assert_eq!(exit, RunExit::GuestHalted { code: 0 });
+        assert_eq!(c.guest_reg(10), fault_pc, "ELR is the faulting PC");
+        assert_eq!(c.guest_reg(11), 0x200_0000, "FAR is the first OOB address");
+        assert!(
+            c.stats().chained_transfers >= 1,
+            "the fault happened while chain-looping"
+        );
     }
 
     #[test]

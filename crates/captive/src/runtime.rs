@@ -2,6 +2,7 @@
 //! handling (the accelerated virtual memory system), guest exception
 //! delivery, and minimal device emulation (hypervisor console).
 
+use crate::itlb::FetchTlb;
 use crate::layout;
 use crate::FpMode;
 use guest_aarch64::gen::helpers;
@@ -54,6 +55,10 @@ pub struct CaptiveRuntime {
     pub host_pt_root: u64,
     /// Frame allocator for host page tables.
     frame_alloc: FrameAlloc,
+    /// Allocator position right after boot: everything above it holds
+    /// lower-half (guest) page-table subtrees, reclaimed wholesale on guest
+    /// TLB flushes.
+    pt_boot_mark: u64,
     /// Guest RAM size.
     pub guest_ram: u64,
     /// FP implementation mode.
@@ -69,6 +74,12 @@ pub struct CaptiveRuntime {
     smc_dirty: Vec<u64>,
     pending: Option<GuestEvent>,
     fp_env: softfloat::FpEnv,
+    /// Bumped whenever guest translation state may have changed (TLBI,
+    /// `TTBR0`/`SCTLR` writes).  Stamped into fetch-TLB entries and chain
+    /// links; a mismatch silently retires them.
+    context_generation: u64,
+    /// Fetch-side instruction TLB (VPN→PFN for instruction fetches).
+    pub fetch_tlb: FetchTlb,
 }
 
 impl CaptiveRuntime {
@@ -98,10 +109,12 @@ impl CaptiveRuntime {
             &mut frame_alloc,
         ));
         machine.enable_paging(root, 0);
+        let pt_boot_mark = frame_alloc.mark();
         CaptiveRuntime {
             regfile_phys: layout::REGFILE_PHYS,
             host_pt_root: root,
             frame_alloc,
+            pt_boot_mark,
             guest_ram,
             fp_mode,
             uart_output: Vec::new(),
@@ -110,7 +123,14 @@ impl CaptiveRuntime {
             smc_dirty: Vec::new(),
             pending: None,
             fp_env: softfloat::FpEnv::arm(),
+            context_generation: 0,
+            fetch_tlb: FetchTlb::new(),
         }
+    }
+
+    /// Current translation-context generation.
+    pub fn context_generation(&self) -> u64 {
+        self.context_generation
     }
 
     fn read_gregfile(&self, machine: &Machine, offset: i32) -> u64 {
@@ -121,13 +141,18 @@ impl CaptiveRuntime {
     }
 
     fn write_gregfile(&self, machine: &mut Machine, offset: i32, value: u64) {
-        let _ = machine.mem.write_u64(self.regfile_phys + offset as u64, value);
+        let _ = machine
+            .mem
+            .write_u64(self.regfile_phys + offset as u64, value);
     }
 
-    /// Reads guest physical memory (bounds-checked against guest RAM).
+    /// Reads guest physical memory (bounds-checked against guest RAM; the
+    /// checked add keeps addresses near `u64::MAX` from wrapping past the
+    /// bound).
     pub fn read_guest_phys(&self, machine: &Machine, gpa: u64) -> Option<u64> {
-        if gpa + 8 > self.guest_ram {
-            return None;
+        match gpa.checked_add(8) {
+            Some(end) if end <= self.guest_ram => {}
+            _ => return None,
         }
         machine.mem.read_u64(layout::GUEST_PHYS_BASE + gpa).ok()
     }
@@ -159,6 +184,23 @@ impl CaptiveRuntime {
             return Err(GuestEvent::DataAbort { vaddr: va, write });
         }
         Ok(walk.frame | (va & 0xFFF))
+    }
+
+    /// Translates an instruction-fetch virtual address through the fetch
+    /// TLB, falling back to the guest page-table walker (charged at the
+    /// hardware walk cost) on a miss.
+    pub fn fetch_va_to_pa(&mut self, machine: &mut Machine, va: u64) -> Result<u64, GuestEvent> {
+        let ctx_gen = self.context_generation;
+        if let Some(pa) = self.fetch_tlb.lookup(va, ctx_gen) {
+            return Ok(pa);
+        }
+        let mmu_on = self.guest_mmu_enabled(machine);
+        let pa = self.guest_va_to_pa(machine, va, false)?;
+        if mmu_on {
+            machine.perf.cycles += machine.cost.page_walk_per_level * mmu::GUEST_LEVELS as u64;
+        }
+        self.fetch_tlb.insert(va, pa, ctx_gen);
+        Ok(pa)
     }
 
     /// Records that a guest physical page now contains translated code and
@@ -208,7 +250,11 @@ impl CaptiveRuntime {
         far: Option<u64>,
     ) {
         let el = self.read_gregfile(machine, guest_aarch64::CURRENT_EL_OFF);
-        self.write_gregfile(machine, guest_aarch64::ESR_OFF, (class << 26) | (iss & 0xFFFF));
+        self.write_gregfile(
+            machine,
+            guest_aarch64::ESR_OFF,
+            (class << 26) | (iss & 0xFFFF),
+        );
         if let Some(far) = far {
             self.write_gregfile(machine, guest_aarch64::FAR_OFF, far);
         }
@@ -227,15 +273,26 @@ impl CaptiveRuntime {
     }
 
     /// Tears down the lower-half (guest) mappings and flushes the host TLB —
-    /// the intercepted-TLB-flush mechanism of Section 2.7.4.
+    /// the intercepted-TLB-flush mechanism of Section 2.7.4.  Also retires
+    /// every fetch-TLB entry and chain link by bumping the context
+    /// generation: the guest's VA→PA mapping can no longer be trusted.
     fn teardown_guest_mappings(&mut self, machine: &mut Machine) {
         paging::clear_top_level_entries(
             &mut machine.mem,
             self.host_pt_root,
             layout::LOWER_HALF_PML4_ENTRIES,
         );
+        // The cleared entries orphan every lower-half page-table subtree;
+        // reclaim their frames so repeated guest TLB flushes cannot exhaust
+        // the pool.  This is safe because every post-boot allocation belongs
+        // to a lower-half subtree: `page_fault` rejects faults at or above
+        // LOWER_HALF_LIMIT before mapping, so the only upper-half tables
+        // (register file + spill page, PML4 entry 256) were built at boot,
+        // below the mark.
+        self.frame_alloc.reset_to(self.pt_boot_mark);
         machine.tlb.flush_all();
         machine.perf.tlb_flushes += 1;
+        self.context_generation += 1;
     }
 
     fn softfloat_binop(&mut self, machine: &mut Machine, op: u16) -> HelperResult {
@@ -375,12 +432,9 @@ impl Runtime for CaptiveRuntime {
             let walk = {
                 let mem = &machine.mem;
                 mmu::walk_guest(
-                    |a| {
-                        if a + 8 > guest_ram {
-                            None
-                        } else {
-                            mem.read_u64(base + a).ok()
-                        }
+                    |a| match a.checked_add(8) {
+                        Some(end) if end <= guest_ram => mem.read_u64(base + a).ok(),
+                        _ => None,
                     },
                     ttbr0,
                     vaddr,
@@ -400,7 +454,7 @@ impl Runtime for CaptiveRuntime {
                     }
                     let flags = PageFlags {
                         present: true,
-                        writable: w.flags.writable && !(is_code && !write),
+                        writable: w.flags.writable && (write || !is_code),
                         user: w.flags.user,
                     };
                     let ok = paging::map_page(

@@ -5,10 +5,12 @@
 //! instruction, at a page boundary, or at the configured instruction limit.
 
 use crate::layout;
-use crate::runtime::{sf_helpers, CaptiveRuntime};
+use crate::runtime::sf_helpers;
 use crate::FpMode;
 use dbt::emitter::ValueType;
-use dbt::{lower, regalloc, Emitter, GuestIsa, Phase, PhaseTimers, TranslatedBlock};
+use dbt::{
+    lower, regalloc, BlockExit, ChainLinks, Emitter, GuestIsa, Phase, PhaseTimers, TranslatedBlock,
+};
 use guest_aarch64::gen::Decoded;
 use guest_aarch64::isa::{FpKind, Insn};
 use guest_aarch64::{v_off, Aarch64Isa};
@@ -21,7 +23,6 @@ use std::sync::Arc;
 pub fn translate_block(
     isa: &Aarch64Isa,
     machine: &mut Machine,
-    runtime: &mut CaptiveRuntime,
     timers: &mut PhaseTimers,
     pc: u64,
     pa: u64,
@@ -38,14 +39,10 @@ pub fn translate_block(
         if guest_insns > 0 && (va & !0xFFF) != (pc & !0xFFF) {
             break;
         }
-        let pa_i = if guest_insns == 0 {
-            pa
-        } else {
-            match runtime.guest_va_to_pa(machine, va, false) {
-                Ok(p) => p,
-                Err(_) => break,
-            }
-        };
+        // Every instruction shares the first one's page (the boundary check
+        // above), so its physical address is pure offset arithmetic — no
+        // walk, and the fetch iTLB counters stay dispatch-only.
+        let pa_i = (pa & !0xFFF) | (va & 0xFFF);
         let word = machine
             .mem
             .read_uint(layout::GUEST_PHYS_BASE + pa_i, 4)
@@ -86,6 +83,13 @@ pub fn translate_block(
         }
     }
 
+    // Terminator metadata for direct chaining: a block that never emitted a
+    // PC-setting terminator ended at the instruction limit or a page
+    // boundary and falls through sequentially.
+    let exit = emitter
+        .exit_hint()
+        .unwrap_or(BlockExit::Fallthrough { next: va });
+
     let lir = emitter.finish();
     let lir_count = lir.len();
     let allocation = timers.time(Phase::RegAlloc, || regalloc::allocate(&lir));
@@ -105,6 +109,8 @@ pub fn translate_block(
         encoded_bytes: encoded.len(),
         lir_insns: lir_count,
         code: Arc::new(code),
+        exit,
+        links: ChainLinks::default(),
     }
 }
 

@@ -1,4 +1,4 @@
-//! Translated-code cache.
+//! Translated-code cache and direct block chaining.
 //!
 //! Captive indexes translations by guest *physical* address so they survive
 //! guest page-table changes and are shared between different virtual mappings
@@ -6,10 +6,37 @@
 //! *virtual* address and must invalidate everything whenever the guest
 //! changes its page tables (Section 2.6).  Both policies are provided here so
 //! the difference is a configuration, not a reimplementation.
+//!
+//! # Direct block chaining
+//!
+//! Each [`TranslatedBlock`] carries terminator metadata ([`BlockExit`])
+//! computed at translation time, plus up to two lazily patched successor
+//! links (slot 0 = the jump/taken/sequential target, slot 1 = the
+//! conditional fallthrough).  A link records:
+//!
+//! * a [`Weak`] reference to the successor block — invalidating a block
+//!   drops the cache's strong reference, so every chain link pointing at it
+//!   dies automatically, with no scan over predecessor blocks;
+//! * the *context generation* (owned by the hypervisor, bumped on guest
+//!   TLBI / `TTBR0` / `SCTLR` writes — anything that can change the
+//!   VA→PA mapping a link's target address was resolved under);
+//! * the *cache epoch* (owned by this cache, bumped whenever an
+//!   invalidation removes blocks — this catches the case where the
+//!   dispatcher still holds a strong reference to an invalidated block, so
+//!   the `Weak` alone would keep a stale self-link alive).
+//!
+//! A link is only followed while both stamps match the current values; a
+//! stale link simply falls back to the dispatcher slow path, which re-resolves
+//! and re-patches it.
+//!
+//! Lookup stats are interior-mutable so the dispatcher can probe the cache
+//! through a shared reference while holding `Arc`s to blocks it is chaining
+//! between.
 
 use hvm::MachInsn;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 /// How blocks are keyed in the cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -18,6 +45,50 @@ pub enum CacheIndex {
     GuestPhysical,
     /// Key is the guest virtual address of the block's first instruction.
     GuestVirtual,
+}
+
+/// Where control goes when a translated block exits — terminator metadata
+/// recorded at translation time and consumed by the chaining dispatcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BlockExit {
+    /// Successor unknown at translation time: register-indirect branch,
+    /// exception, `ERET`, or a system-register write that may change
+    /// translation state.  Never chained.
+    #[default]
+    Indirect,
+    /// Unconditional direct branch to a fixed guest virtual address.
+    Jump {
+        /// Branch target.
+        target: u64,
+    },
+    /// Conditional direct branch with both destinations fixed.
+    Branch {
+        /// Taken target.
+        taken: u64,
+        /// Fall-through address.
+        fallthrough: u64,
+    },
+    /// The block ended at the instruction limit or a page boundary and falls
+    /// through sequentially.
+    Fallthrough {
+        /// Address of the next sequential instruction.
+        next: u64,
+    },
+}
+
+/// A resolved successor link: valid while both stamps match the current
+/// translation context and the target block is still cached.
+#[derive(Debug, Clone)]
+struct ChainLink {
+    ctx_gen: u64,
+    cache_epoch: u64,
+    to: Weak<TranslatedBlock>,
+}
+
+/// The lazily patched successor links of a block.
+#[derive(Debug, Default)]
+pub struct ChainLinks {
+    slots: [RefCell<Option<ChainLink>>; 2],
 }
 
 /// One translated guest basic block.
@@ -38,12 +109,55 @@ pub struct TranslatedBlock {
     pub encoded_bytes: usize,
     /// Host instructions before dead-code elimination (diagnostic).
     pub lir_insns: usize,
+    /// Terminator metadata for direct chaining.
+    pub exit: BlockExit,
+    /// Successor links, patched lazily by the dispatcher.
+    pub links: ChainLinks,
 }
 
 impl TranslatedBlock {
     /// Guest bytes covered by the block (fixed 4-byte instructions).
     pub fn guest_bytes(&self) -> u64 {
         self.guest_insns as u64 * 4
+    }
+
+    /// Index of the chain slot whose guest target is `next_va`, if the
+    /// terminator makes that successor a chaining candidate.
+    pub fn chain_slot(&self, next_va: u64) -> Option<usize> {
+        match self.exit {
+            BlockExit::Jump { target } if next_va == target => Some(0),
+            BlockExit::Fallthrough { next } if next_va == next => Some(0),
+            BlockExit::Branch { taken, .. } if next_va == taken => Some(0),
+            BlockExit::Branch { fallthrough, .. } if next_va == fallthrough => Some(1),
+            _ => None,
+        }
+    }
+
+    /// Follows the link in `slot` if it was patched under the current
+    /// context generation and cache epoch and its target is still cached.
+    pub fn follow_link(
+        &self,
+        slot: usize,
+        ctx_gen: u64,
+        cache_epoch: u64,
+    ) -> Option<Arc<TranslatedBlock>> {
+        let borrow = self.links.slots[slot].borrow();
+        let link = borrow.as_ref()?;
+        if link.ctx_gen == ctx_gen && link.cache_epoch == cache_epoch {
+            link.to.upgrade()
+        } else {
+            None
+        }
+    }
+
+    /// Patches the link in `slot` to point at `to`, stamped with the context
+    /// generation and cache epoch it was resolved under.
+    pub fn set_link(&self, slot: usize, ctx_gen: u64, cache_epoch: u64, to: &Arc<TranslatedBlock>) {
+        *self.links.slots[slot].borrow_mut() = Some(ChainLink {
+            ctx_gen,
+            cache_epoch,
+            to: Arc::downgrade(to),
+        });
     }
 }
 
@@ -60,12 +174,30 @@ pub struct CacheStats {
     pub invalidated_page: u64,
 }
 
+impl CacheStats {
+    /// Fraction of lookups that hit, in [0, 1]; 1.0 when there were none.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// The translation cache.
 #[derive(Debug)]
 pub struct CodeCache {
     index: CacheIndex,
     blocks: HashMap<u64, Arc<TranslatedBlock>>,
-    stats: CacheStats,
+    /// Bumped whenever an invalidation removes blocks; chain links stamped
+    /// with an older epoch are dead.
+    epoch: Cell<u64>,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+    invalidated_full: Cell<u64>,
+    invalidated_page: Cell<u64>,
 }
 
 impl CodeCache {
@@ -74,7 +206,11 @@ impl CodeCache {
         CodeCache {
             index,
             blocks: HashMap::new(),
-            stats: CacheStats::default(),
+            epoch: Cell::new(0),
+            hits: Cell::new(0),
+            misses: Cell::new(0),
+            invalidated_full: Cell::new(0),
+            invalidated_page: Cell::new(0),
         }
     }
 
@@ -83,21 +219,33 @@ impl CodeCache {
         self.index
     }
 
-    /// Looks up a block by its key.
-    pub fn get(&mut self, key: u64) -> Option<Arc<TranslatedBlock>> {
+    /// Current invalidation epoch (stamped into chain links at patch time).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.get()
+    }
+
+    /// Looks up a block by its key.  Takes `&self` so the chaining
+    /// dispatcher can probe while holding shared references into the cache;
+    /// hit/miss accounting is interior-mutable.
+    pub fn get(&self, key: u64) -> Option<Arc<TranslatedBlock>> {
         match self.blocks.get(&key) {
             Some(b) => {
-                self.stats.hits += 1;
+                self.hits.set(self.hits.get() + 1);
                 Some(Arc::clone(b))
             }
             None => {
-                self.stats.misses += 1;
+                self.misses.set(self.misses.get() + 1);
                 None
             }
         }
     }
 
     /// Inserts a block under its key.
+    // The dispatcher is single-threaded per vCPU by design (the paper's
+    // execution engine runs one guest core per host core); `Arc`/`Weak` are
+    // used for the shared-ownership semantics of chain links, not for
+    // cross-thread sharing, so `RefCell` link slots are fine.
+    #[allow(clippy::arc_with_non_send_sync)]
     pub fn insert(&mut self, block: TranslatedBlock) -> Arc<TranslatedBlock> {
         let arc = Arc::new(block);
         self.blocks.insert(arc.key, Arc::clone(&arc));
@@ -116,18 +264,27 @@ impl CodeCache {
 
     /// Cache statistics.
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        CacheStats {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            invalidated_full: self.invalidated_full.get(),
+            invalidated_page: self.invalidated_page.get(),
+        }
     }
 
     /// Discards every translation (the QEMU-style response to a guest
     /// page-table change when indexing by virtual address).
     pub fn invalidate_all(&mut self) {
-        self.stats.invalidated_full += self.blocks.len() as u64;
+        self.invalidated_full
+            .set(self.invalidated_full.get() + self.blocks.len() as u64);
         self.blocks.clear();
+        self.epoch.set(self.epoch.get() + 1);
     }
 
     /// Discards translations whose guest code lies in the given guest
     /// physical page (Captive's response to a detected self-modifying write).
+    /// Dropping the cache's `Arc`s kills chain links into the page; the epoch
+    /// bump additionally kills links *from* blocks the dispatcher still holds.
     pub fn invalidate_phys_page(&mut self, page_base: u64) {
         let page_end = page_base + 4096;
         let before = self.blocks.len();
@@ -136,7 +293,12 @@ impl CodeCache {
             let end = b.guest_phys + b.guest_bytes();
             end <= page_base || start >= page_end
         });
-        self.stats.invalidated_page += (before - self.blocks.len()) as u64;
+        let removed = (before - self.blocks.len()) as u64;
+        if removed > 0 {
+            self.invalidated_page
+                .set(self.invalidated_page.get() + removed);
+            self.epoch.set(self.epoch.get() + 1);
+        }
     }
 
     /// Total bytes of encoded host code currently cached.
@@ -155,6 +317,10 @@ mod tests {
     use super::*;
 
     fn block(key: u64, phys: u64, insns: usize) -> TranslatedBlock {
+        block_with_exit(key, phys, insns, BlockExit::Indirect)
+    }
+
+    fn block_with_exit(key: u64, phys: u64, insns: usize, exit: BlockExit) -> TranslatedBlock {
         TranslatedBlock {
             key,
             guest_phys: phys,
@@ -163,6 +329,8 @@ mod tests {
             code: Arc::new(vec![MachInsn::Ret]),
             encoded_bytes: insns * 40,
             lir_insns: insns * 12,
+            exit,
+            links: ChainLinks::default(),
         }
     }
 
@@ -174,6 +342,13 @@ mod tests {
         assert!(c.get(0x1000).is_some());
         assert_eq!(c.stats().hits, 1);
         assert_eq!(c.stats().misses, 1);
+        assert_eq!(c.stats().hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn hit_rate_with_no_lookups_is_one() {
+        let c = CodeCache::new(CacheIndex::GuestPhysical);
+        assert_eq!(c.stats().hit_rate(), 1.0);
     }
 
     #[test]
@@ -207,5 +382,86 @@ mod tests {
         assert_eq!(c.len(), 2);
         assert_eq!(c.total_guest_insns(), 5);
         assert_eq!(c.total_encoded_bytes(), 200);
+    }
+
+    #[test]
+    fn chain_slots_match_terminator_targets() {
+        let jump = block_with_exit(0x1000, 0x1000, 1, BlockExit::Jump { target: 0x2000 });
+        assert_eq!(jump.chain_slot(0x2000), Some(0));
+        assert_eq!(jump.chain_slot(0x3000), None);
+
+        let branch = block_with_exit(
+            0x1000,
+            0x1000,
+            1,
+            BlockExit::Branch {
+                taken: 0x2000,
+                fallthrough: 0x1004,
+            },
+        );
+        assert_eq!(branch.chain_slot(0x2000), Some(0));
+        assert_eq!(branch.chain_slot(0x1004), Some(1));
+        assert_eq!(branch.chain_slot(0x5000), None);
+
+        let seq = block_with_exit(0x1000, 0x1000, 2, BlockExit::Fallthrough { next: 0x1008 });
+        assert_eq!(seq.chain_slot(0x1008), Some(0));
+
+        let ind = block_with_exit(0x1000, 0x1000, 1, BlockExit::Indirect);
+        assert_eq!(ind.chain_slot(0x1004), None);
+    }
+
+    #[test]
+    fn links_follow_only_under_matching_stamps() {
+        let mut c = CodeCache::new(CacheIndex::GuestPhysical);
+        let a = c.insert(block_with_exit(
+            0x1000,
+            0x1000,
+            1,
+            BlockExit::Jump { target: 0x2000 },
+        ));
+        let b = c.insert(block(0x2000, 0x2000, 1));
+        a.set_link(0, 7, c.epoch(), &b);
+        assert!(a.follow_link(0, 7, c.epoch()).is_some());
+        assert!(a.follow_link(0, 8, c.epoch()).is_none(), "stale generation");
+        assert!(a.follow_link(0, 7, c.epoch() + 1).is_none(), "stale epoch");
+    }
+
+    #[test]
+    fn invalidating_the_target_kills_links_into_it() {
+        let mut c = CodeCache::new(CacheIndex::GuestPhysical);
+        let a = c.insert(block_with_exit(
+            0x1000,
+            0x1000,
+            1,
+            BlockExit::Jump { target: 0x2000 },
+        ));
+        let b = c.insert(block(0x2000, 0x2000, 1));
+        a.set_link(0, 0, c.epoch(), &b);
+        drop(b);
+        c.invalidate_phys_page(0x2000);
+        // Both the weak upgrade and the epoch stamp now refuse the link.
+        assert!(a.follow_link(0, 0, c.epoch()).is_none());
+    }
+
+    #[test]
+    fn epoch_bumps_kill_self_links_held_by_the_dispatcher() {
+        // A block chained to itself stays strongly referenced by the
+        // dispatcher across its own invalidation; the epoch stamp is what
+        // breaks the loop.
+        let mut c = CodeCache::new(CacheIndex::GuestPhysical);
+        let a = c.insert(block_with_exit(
+            0x1000,
+            0x1000,
+            1,
+            BlockExit::Jump { target: 0x1000 },
+        ));
+        let epoch_at_patch = c.epoch();
+        a.set_link(0, 0, epoch_at_patch, &a);
+        assert!(a.follow_link(0, 0, epoch_at_patch).is_some());
+        c.invalidate_phys_page(0x1000);
+        assert!(
+            a.follow_link(0, 0, c.epoch()).is_none(),
+            "self-link must die on invalidation even though the Arc lives"
+        );
     }
 }

@@ -12,6 +12,7 @@
 //! of `PC + imm` becomes a single `add $imm, %r15`) — the "weak form of tree
 //! pattern matching on demand" described in Section 2.3.2.
 
+use crate::cache::BlockExit;
 use crate::lir::{LirInsn, LirMem, LirOperand, Vreg, VregClass};
 use hvm::{AluOp, Cond, FpOp, MemSize, VecOp};
 use std::collections::HashMap;
@@ -107,13 +108,7 @@ impl BinOp {
             BinOp::Mul => a.wrapping_mul(b),
             BinOp::MulHiU => ((a as u128 * b as u128) >> 64) as u64,
             BinOp::MulHiS => (((a as i64 as i128) * (b as i64 as i128)) >> 64) as u64,
-            BinOp::DivU => {
-                if b == 0 {
-                    0
-                } else {
-                    a / b
-                }
-            }
+            BinOp::DivU => a.checked_div(b).unwrap_or(0),
             BinOp::DivS => {
                 if b == 0 {
                     0
@@ -121,13 +116,7 @@ impl BinOp {
                     (a as i64).wrapping_div(b as i64) as u64
                 }
             }
-            BinOp::RemU => {
-                if b == 0 {
-                    0
-                } else {
-                    a % b
-                }
-            }
+            BinOp::RemU => a.checked_rem(b).unwrap_or(0),
             BinOp::RemS => {
                 if b == 0 {
                     0
@@ -175,9 +164,18 @@ pub enum Node {
     /// Conditional select `cond ? t : f` (cond is a 0/1 node).
     Select { cond: NodeId, t: NodeId, f: NodeId },
     /// Guest memory load at a virtual address.
-    LoadMem { addr: NodeId, ty: ValueType, sext: bool },
+    LoadMem {
+        addr: NodeId,
+        ty: ValueType,
+        sext: bool,
+    },
     /// Floating-point binary operation.
-    FpBinary { op: FpBinOp, a: NodeId, b: NodeId, ty: ValueType },
+    FpBinary {
+        op: FpBinOp,
+        a: NodeId,
+        b: NodeId,
+        ty: ValueType,
+    },
     /// Floating-point square root.
     FpSqrt { a: NodeId, ty: ValueType },
     /// Fused multiply-add `a * b + c`.
@@ -202,10 +200,10 @@ pub enum Node {
     HelperResult { seq: u32 },
 }
 
-/// Evaluated location of a node.
+/// Evaluated location of a node (constants are re-materialised from the DAG
+/// rather than memoised, so only register locations are recorded).
 #[derive(Debug, Clone, Copy)]
 enum Loc {
-    Imm(u64),
     Gpr(Vreg),
     Xmm(Vreg),
 }
@@ -232,6 +230,10 @@ pub struct Emitter {
     helper_seq: u32,
     /// Set when the block must not fall through (a branch set the PC).
     end_of_block: bool,
+    /// Terminator metadata recorded by the PC-setting effects; `None` while
+    /// no terminator has been emitted (the translator turns that into
+    /// [`BlockExit::Fallthrough`] when the block ends at a limit).
+    exit: Option<BlockExit>,
     stats: EmitStats,
 }
 
@@ -252,6 +254,7 @@ impl Emitter {
             next_label: 0,
             helper_seq: 0,
             end_of_block: false,
+            exit: None,
             stats: EmitStats::default(),
         }
     }
@@ -281,14 +284,26 @@ impl Emitter {
         self.lir.push(insn);
     }
 
-    /// Marks the current guest instruction as ending the basic block.
+    /// Marks the current guest instruction as ending the basic block.  When
+    /// no PC-setting effect recorded a successor (exceptions, `ERET`,
+    /// system-register writes), the terminator is indirect and the block is
+    /// never chained.
     pub fn set_end_of_block(&mut self) {
         self.end_of_block = true;
+        if self.exit.is_none() {
+            self.exit = Some(BlockExit::Indirect);
+        }
     }
 
     /// Whether a branch-type effect already terminated the block.
     pub fn end_of_block(&self) -> bool {
         self.end_of_block
+    }
+
+    /// Terminator metadata recorded so far (`None` if no terminator was
+    /// emitted, i.e. the block falls through at a translation limit).
+    pub fn exit_hint(&self) -> Option<BlockExit> {
+        self.exit
     }
 
     /// Emission statistics for the block so far.
@@ -474,12 +489,6 @@ impl Emitter {
         if let Some(loc) = self.evaluated.get(&id) {
             match *loc {
                 Loc::Gpr(v) => return v,
-                Loc::Imm(value) => {
-                    let dst = self.new_vreg(VregClass::Gpr);
-                    self.emit(LirInsn::MovImm { dst, imm: value });
-                    self.evaluated.insert(id, Loc::Gpr(dst));
-                    return dst;
-                }
                 Loc::Xmm(x) => {
                     let dst = self.new_vreg(VregClass::Gpr);
                     self.emit(LirInsn::XmmToGpr { dst, src: x });
@@ -678,7 +687,11 @@ impl Emitter {
                     (FpBinOp::Min, _) => FpOp::MinD,
                     (FpBinOp::Max, _) => FpOp::MaxD,
                 };
-                self.emit(LirInsn::Fp { op: fop, dst, src: bv });
+                self.emit(LirInsn::Fp {
+                    op: fop,
+                    dst,
+                    src: bv,
+                });
                 dst
             }
             Node::FpSqrt { a, ty } => {
@@ -872,13 +885,20 @@ impl Emitter {
         self.emit(LirInsn::IncPc { imm: bytes });
     }
 
-    /// Sets the guest PC to a value (register-indirect branches).
+    /// Sets the guest PC to a value: a fixed value is a direct jump (a
+    /// chaining candidate), a dynamic one an indirect branch.
     pub fn store_pc(&mut self, value: NodeId) {
         if let Some(c) = self.as_const(value) {
             self.emit(LirInsn::SetPcImm { imm: c });
+            if self.exit.is_none() {
+                self.exit = Some(BlockExit::Jump { target: c });
+            }
         } else {
             let v = self.eval_to_gpr(value);
             self.emit(LirInsn::SetPcReg { src: v });
+            if self.exit.is_none() {
+                self.exit = Some(BlockExit::Indirect);
+            }
         }
         self.set_end_of_block();
     }
@@ -887,11 +907,16 @@ impl Emitter {
     /// to `fallthrough` otherwise; ends the block.
     pub fn branch_cond(&mut self, cond: NodeId, taken: u64, fallthrough: u64) {
         if let Some(c) = self.as_const(cond) {
-            self.emit(LirInsn::SetPcImm {
-                imm: if c != 0 { taken } else { fallthrough },
-            });
+            let target = if c != 0 { taken } else { fallthrough };
+            self.emit(LirInsn::SetPcImm { imm: target });
+            if self.exit.is_none() {
+                self.exit = Some(BlockExit::Jump { target });
+            }
             self.set_end_of_block();
             return;
+        }
+        if self.exit.is_none() {
+            self.exit = Some(BlockExit::Branch { taken, fallthrough });
         }
         let cv = self.eval_to_gpr(cond);
         let label = self.new_label();

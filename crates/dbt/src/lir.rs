@@ -94,17 +94,37 @@ pub enum LirInsn {
     /// `dst <- src`.
     MovReg { dst: Vreg, src: Vreg },
     /// Zero-extending load.
-    Load { dst: Vreg, addr: LirMem, size: MemSize },
+    Load {
+        dst: Vreg,
+        addr: LirMem,
+        size: MemSize,
+    },
     /// Sign-extending load.
-    LoadSx { dst: Vreg, addr: LirMem, size: MemSize },
+    LoadSx {
+        dst: Vreg,
+        addr: LirMem,
+        size: MemSize,
+    },
     /// Store a register.
-    Store { src: Vreg, addr: LirMem, size: MemSize },
+    Store {
+        src: Vreg,
+        addr: LirMem,
+        size: MemSize,
+    },
     /// Store an immediate.
-    StoreImm { imm: u64, addr: LirMem, size: MemSize },
+    StoreImm {
+        imm: u64,
+        addr: LirMem,
+        size: MemSize,
+    },
     /// Address computation.
     Lea { dst: Vreg, addr: LirMem },
     /// Two-address ALU operation.
-    Alu { op: AluOp, dst: Vreg, src: LirOperand },
+    Alu {
+        op: AluOp,
+        dst: Vreg,
+        src: LirOperand,
+    },
     /// Flag-setting compare.
     Cmp { a: Vreg, b: LirOperand },
     /// Flag-setting bit test.
@@ -142,9 +162,17 @@ pub enum LirInsn {
     /// Return to the dispatcher.
     Ret,
     /// Vector/FP load.
-    LoadXmm { dst: Vreg, addr: LirMem, size: MemSize },
+    LoadXmm {
+        dst: Vreg,
+        addr: LirMem,
+        size: MemSize,
+    },
     /// Vector/FP store.
-    StoreXmm { src: Vreg, addr: LirMem, size: MemSize },
+    StoreXmm {
+        src: Vreg,
+        addr: LirMem,
+        size: MemSize,
+    },
     /// GPR to XMM move.
     GprToXmm { dst: Vreg, src: Vreg },
     /// XMM to GPR move.
@@ -218,9 +246,9 @@ impl LirInsn {
         };
         match self {
             LirInsn::MovReg { src, .. } => out.push(*src),
-            LirInsn::Load { addr, .. } | LirInsn::LoadSx { addr, .. } | LirInsn::Lea { addr, .. } => {
-                mem(addr, out)
-            }
+            LirInsn::Load { addr, .. }
+            | LirInsn::LoadSx { addr, .. }
+            | LirInsn::Lea { addr, .. } => mem(addr, out),
             LirInsn::Store { src, addr, .. } => {
                 out.push(*src);
                 mem(addr, out);

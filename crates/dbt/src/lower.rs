@@ -277,7 +277,13 @@ impl<'a> Lowerer<'a> {
             }
             LirInsn::SetCc { cond, dst } => {
                 let (d, sb) = self.def_gpr(*dst);
-                self.push(MachInsn::SetCc { cond: *cond, dst: d }, sb);
+                self.push(
+                    MachInsn::SetCc {
+                        cond: *cond,
+                        dst: d,
+                    },
+                    sb,
+                );
             }
             LirInsn::CmovCc { cond, dst, src } => {
                 let s = self.use_gpr(*src);
@@ -394,7 +400,11 @@ impl<'a> Lowerer<'a> {
                 let av = self.use_xmm(*a);
                 let bv = self.use_xmm(*b);
                 let d = self.use_xmm(*dst);
-                self.out.push(MachInsn::FpFma { dst: d, a: av, b: bv });
+                self.out.push(MachInsn::FpFma {
+                    dst: d,
+                    a: av,
+                    b: bv,
+                });
             }
             LirInsn::FpCmp { a, b } => {
                 let av = self.use_xmm(*a);
@@ -433,11 +443,20 @@ impl<'a> Lowerer<'a> {
             LirInsn::Int { vector } => self.out.push(MachInsn::Int { vector: *vector }),
             LirInsn::Out { port, src } => {
                 let s = self.use_gpr(*src);
-                self.out.push(MachInsn::Out { port: *port, src: s });
+                self.out.push(MachInsn::Out {
+                    port: *port,
+                    src: s,
+                });
             }
             LirInsn::In { dst, port } => {
                 let (d, sb) = self.def_gpr(*dst);
-                self.push(MachInsn::In { dst: d, port: *port }, sb);
+                self.push(
+                    MachInsn::In {
+                        dst: d,
+                        port: *port,
+                    },
+                    sb,
+                );
             }
             LirInsn::Syscall => self.out.push(MachInsn::Syscall),
             LirInsn::TlbFlushAll => self.out.push(MachInsn::TlbFlushAll),
@@ -492,7 +511,10 @@ mod tests {
                 addr: LirMem::regfile(0x108),
                 size: MemSize::U64,
             },
-            LirInsn::MovReg { dst: v(2), src: v(0) },
+            LirInsn::MovReg {
+                dst: v(2),
+                src: v(0),
+            },
             LirInsn::Alu {
                 op: hvm::AluOp::Add,
                 dst: v(2),
@@ -531,10 +553,7 @@ mod tests {
             id,
             class: VregClass::Gpr,
         };
-        let lir = vec![
-            LirInsn::MovImm { dst: v(0), imm: 7 },
-            LirInsn::Ret,
-        ];
+        let lir = vec![LirInsn::MovImm { dst: v(0), imm: 7 }, LirInsn::Ret];
         let alloc = allocate(&lir);
         let code = lower(&lir, &alloc);
         assert_eq!(code.len(), 1, "only the Ret survives");

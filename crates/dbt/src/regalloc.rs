@@ -172,7 +172,10 @@ mod tests {
                 addr: LirMem::regfile(0x108),
                 size: MemSize::U64,
             },
-            LirInsn::MovReg { dst: v(2), src: v(0) },
+            LirInsn::MovReg {
+                dst: v(2),
+                src: v(0),
+            },
             LirInsn::Alu {
                 op: AluOp::Add,
                 dst: v(2),

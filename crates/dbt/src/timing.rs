@@ -86,12 +86,18 @@ mod tests {
     #[test]
     fn fractions_sum_to_one_when_timed() {
         let mut t = PhaseTimers::default();
-        t.time(Phase::Decode, || std::thread::sleep(Duration::from_millis(1)));
+        t.time(Phase::Decode, || {
+            std::thread::sleep(Duration::from_millis(1))
+        });
         t.time(Phase::Translate, || {
             std::thread::sleep(Duration::from_millis(2))
         });
-        t.time(Phase::RegAlloc, || std::thread::sleep(Duration::from_millis(1)));
-        t.time(Phase::Encode, || std::thread::sleep(Duration::from_millis(1)));
+        t.time(Phase::RegAlloc, || {
+            std::thread::sleep(Duration::from_millis(1))
+        });
+        t.time(Phase::Encode, || {
+            std::thread::sleep(Duration::from_millis(1))
+        });
         let (d, tr, r, e) = t.fractions();
         assert!((d + tr + r + e - 1.0).abs() < 1e-9);
         assert!(tr > 0.0);

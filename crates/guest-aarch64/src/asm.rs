@@ -321,12 +321,34 @@ pub fn adr(rd: u32, offset: i64) -> u32 {
 /// Kinds of label references that need fixing up.
 #[derive(Debug, Clone)]
 enum Fixup {
-    B { at: usize, label: String },
-    Bl { at: usize, label: String },
-    BCond { at: usize, label: String, cond: Cond },
-    Cbz { at: usize, label: String, rt: u32 },
-    Cbnz { at: usize, label: String, rt: u32 },
-    Adr { at: usize, label: String, rd: u32 },
+    B {
+        at: usize,
+        label: String,
+    },
+    Bl {
+        at: usize,
+        label: String,
+    },
+    BCond {
+        at: usize,
+        label: String,
+        cond: Cond,
+    },
+    Cbz {
+        at: usize,
+        label: String,
+        rt: u32,
+    },
+    Cbnz {
+        at: usize,
+        label: String,
+        rt: u32,
+    },
+    Adr {
+        at: usize,
+        label: String,
+        rd: u32,
+    },
 }
 
 /// A small two-pass assembler with labels.
@@ -483,14 +505,81 @@ mod tests {
     #[test]
     fn encode_decode_roundtrip_for_representative_instructions() {
         let cases = vec![
-            (add(1, 2, 3), Insn::AluReg { kind: AluKind::Add, rd: 1, rn: 2, rm: 3, set_flags: false }),
-            (subs(4, 5, 6), Insn::AluReg { kind: AluKind::Sub, rd: 4, rn: 5, rm: 6, set_flags: true }),
-            (addi(1, 2, 100), Insn::AluImm { kind: AluKind::Add, rd: 1, rn: 2, imm: 100, set_flags: false }),
-            (movz(7, 0xBEEF, 1), Insn::Movz { rd: 7, imm16: 0xBEEF, hw: 1 }),
-            (ldr(3, 4, 64), Insn::Load { rt: 3, rn: 4, imm: 64, size: AccessSize::Double, sext: false }),
-            (strb(3, 4, 7), Insn::Store { rt: 3, rn: 4, imm: 7, size: AccessSize::Byte }),
-            (ldp(1, 2, 31, -16), Insn::Ldp { rt: 1, rt2: 2, rn: 31, imm: -16 }),
-            (fmul(0, 1, 2), Insn::FpReg { kind: crate::isa::FpKind::Mul, vd: 0, vn: 1, vm: 2 }),
+            (
+                add(1, 2, 3),
+                Insn::AluReg {
+                    kind: AluKind::Add,
+                    rd: 1,
+                    rn: 2,
+                    rm: 3,
+                    set_flags: false,
+                },
+            ),
+            (
+                subs(4, 5, 6),
+                Insn::AluReg {
+                    kind: AluKind::Sub,
+                    rd: 4,
+                    rn: 5,
+                    rm: 6,
+                    set_flags: true,
+                },
+            ),
+            (
+                addi(1, 2, 100),
+                Insn::AluImm {
+                    kind: AluKind::Add,
+                    rd: 1,
+                    rn: 2,
+                    imm: 100,
+                    set_flags: false,
+                },
+            ),
+            (
+                movz(7, 0xBEEF, 1),
+                Insn::Movz {
+                    rd: 7,
+                    imm16: 0xBEEF,
+                    hw: 1,
+                },
+            ),
+            (
+                ldr(3, 4, 64),
+                Insn::Load {
+                    rt: 3,
+                    rn: 4,
+                    imm: 64,
+                    size: AccessSize::Double,
+                    sext: false,
+                },
+            ),
+            (
+                strb(3, 4, 7),
+                Insn::Store {
+                    rt: 3,
+                    rn: 4,
+                    imm: 7,
+                    size: AccessSize::Byte,
+                },
+            ),
+            (
+                ldp(1, 2, 31, -16),
+                Insn::Ldp {
+                    rt: 1,
+                    rt2: 2,
+                    rn: 31,
+                    imm: -16,
+                },
+            ),
+            (
+                fmul(0, 1, 2),
+                Insn::FpReg {
+                    kind: crate::isa::FpKind::Mul,
+                    vd: 0,
+                    vn: 1,
+                    vm: 2,
+                },
+            ),
             (svc(42), Insn::Svc { imm: 42 }),
             (ret(), Insn::Ret { rn: 30 }),
         ];

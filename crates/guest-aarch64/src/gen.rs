@@ -125,8 +125,7 @@ fn set_nzcv_addsub(e: &mut Emitter, is_sub: bool, rn: NodeId, op2: NodeId, resul
         let a_xor = if is_sub {
             e.binary(BinOp::Xor, rn, op2)
         } else {
-            let nres = e.binary(BinOp::Xor, rn, result);
-            nres
+            e.binary(BinOp::Xor, rn, result)
         };
         let b_xor = if is_sub {
             e.binary(BinOp::Xor, rn, result)
@@ -283,7 +282,13 @@ pub fn generate(d: &Decoded, e: &mut Emitter) -> bool {
             write_x(e, rd, v);
             false
         }
-        Insn::AluImm { kind, rd, rn, imm, set_flags } => {
+        Insn::AluImm {
+            kind,
+            rd,
+            rn,
+            imm,
+            set_flags,
+        } => {
             let a = if kind == AluKind::Add || kind == AluKind::Sub {
                 read_x_sp(e, rn)
             } else {
@@ -300,7 +305,13 @@ pub fn generate(d: &Decoded, e: &mut Emitter) -> bool {
             }
             false
         }
-        Insn::AluReg { kind, rd, rn, rm, set_flags } => {
+        Insn::AluReg {
+            kind,
+            rd,
+            rn,
+            rm,
+            set_flags,
+        } => {
             let a = read_x(e, rn);
             let b = read_x(e, rm);
             let r = e.binary(alu_binop(kind), a, b);
@@ -322,17 +333,19 @@ pub fn generate(d: &Decoded, e: &mut Emitter) -> bool {
             write_x(e, rd, r);
             false
         }
-        Insn::Load { rt, rn, imm, size, sext } => {
+        Insn::Load {
+            rt,
+            rn,
+            imm,
+            size,
+            sext,
+        } => {
             let base = read_x_sp(e, rn);
             let off = e.const_u64(imm as u64);
             let addr = e.add(base, off);
             let ty = size_to_type(size);
             let v = e.load_memory(addr, ty, sext);
-            let v = if sext {
-                e.sext(v, ty)
-            } else {
-                v
-            };
+            let v = if sext { e.sext(v, ty) } else { v };
             write_x(e, rt, v);
             false
         }
@@ -546,7 +559,15 @@ pub fn generate(d: &Decoded, e: &mut Emitter) -> bool {
             let off = e.const_u64(imm as u64);
             let addr = e.add(base, off);
             let ty = size_to_type(size);
-            let v = e.load_memory(addr, if size == AccessSize::Quad { ValueType::V128 } else { ValueType::F64 }, false);
+            let v = e.load_memory(
+                addr,
+                if size == AccessSize::Quad {
+                    ValueType::V128
+                } else {
+                    ValueType::F64
+                },
+                false,
+            );
             if size == AccessSize::Quad {
                 e.store_register_sized(regs::v_off(vt), v, MemSize::U128);
             } else {
@@ -627,9 +648,15 @@ mod tests {
         let (lir, end) = translate(asm::add(0, 1, 2), 0x1000);
         assert!(!end);
         // Loads of x1 and x2, an add, a store to x0, a PC increment.
-        assert!(lir.iter().any(|i| matches!(i, LirInsn::Load { addr, .. } if addr.disp == 8)));
-        assert!(lir.iter().any(|i| matches!(i, LirInsn::Load { addr, .. } if addr.disp == 16)));
-        assert!(lir.iter().any(|i| matches!(i, LirInsn::Store { addr, .. } if addr.disp == 0)));
+        assert!(lir
+            .iter()
+            .any(|i| matches!(i, LirInsn::Load { addr, .. } if addr.disp == 8)));
+        assert!(lir
+            .iter()
+            .any(|i| matches!(i, LirInsn::Load { addr, .. } if addr.disp == 16)));
+        assert!(lir
+            .iter()
+            .any(|i| matches!(i, LirInsn::Store { addr, .. } if addr.disp == 0)));
         assert!(lir.iter().any(|i| matches!(i, LirInsn::IncPc { imm: 4 })));
     }
 
@@ -643,8 +670,17 @@ mod tests {
     #[test]
     fn fsqrt_emits_inline_fixup_not_helper() {
         let (lir, _) = translate(asm::fsqrt(0, 1), 0x1000);
-        assert!(lir.iter().any(|i| matches!(i, LirInsn::Fp { op: hvm::FpOp::SqrtD, .. })));
-        assert!(lir.iter().any(|i| matches!(i, LirInsn::CmovCc { .. })), "fix-up select");
+        assert!(lir.iter().any(|i| matches!(
+            i,
+            LirInsn::Fp {
+                op: hvm::FpOp::SqrtD,
+                ..
+            }
+        )));
+        assert!(
+            lir.iter().any(|i| matches!(i, LirInsn::CmovCc { .. })),
+            "fix-up select"
+        );
         assert!(!lir.iter().any(|i| matches!(i, LirInsn::CallHelper { .. })));
     }
 
@@ -673,9 +709,9 @@ mod tests {
     fn svc_goes_through_the_exception_helper() {
         let (lir, end) = translate(asm::svc(7), 0x3000);
         assert!(end);
-        assert!(lir
-            .iter()
-            .any(|i| matches!(i, LirInsn::CallHelper { helper } if *helper == helpers::TAKE_EXCEPTION)));
+        assert!(lir.iter().any(
+            |i| matches!(i, LirInsn::CallHelper { helper } if *helper == helpers::TAKE_EXCEPTION)
+        ));
     }
 
     #[test]
@@ -689,7 +725,9 @@ mod tests {
         );
         // Writes to x31 as a data-processing destination are discarded.
         let (lir, _) = translate(asm::add(31, 1, 2), 0x1000);
-        assert!(!lir.iter().any(|i| matches!(i, LirInsn::Store { addr, .. } if addr.disp == 248)));
+        assert!(!lir
+            .iter()
+            .any(|i| matches!(i, LirInsn::Store { addr, .. } if addr.disp == 248)));
     }
 
     #[test]

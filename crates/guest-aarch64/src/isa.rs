@@ -106,85 +106,226 @@ pub enum Insn {
     /// Stop the guest (used by bare-metal test programs).
     Hlt,
     /// Move a shifted 16-bit immediate, zeroing the rest.
-    Movz { rd: u32, imm16: u32, hw: u32 },
+    Movz {
+        rd: u32,
+        imm16: u32,
+        hw: u32,
+    },
     /// Insert a shifted 16-bit immediate, keeping the rest.
-    Movk { rd: u32, imm16: u32, hw: u32 },
+    Movk {
+        rd: u32,
+        imm16: u32,
+        hw: u32,
+    },
     /// ALU with a 12-bit unsigned immediate.
-    AluImm { kind: AluKind, rd: u32, rn: u32, imm: u32, set_flags: bool },
+    AluImm {
+        kind: AluKind,
+        rd: u32,
+        rn: u32,
+        imm: u32,
+        set_flags: bool,
+    },
     /// ALU with a register operand.
-    AluReg { kind: AluKind, rd: u32, rn: u32, rm: u32, set_flags: bool },
+    AluReg {
+        kind: AluKind,
+        rd: u32,
+        rn: u32,
+        rm: u32,
+        set_flags: bool,
+    },
     /// Shift by an immediate amount.
-    ShiftImm { kind: AluKind, rd: u32, rn: u32, imm: u32 },
+    ShiftImm {
+        kind: AluKind,
+        rd: u32,
+        rn: u32,
+        imm: u32,
+    },
     /// Integer load (zero-extended unless `sext`).
-    Load { rt: u32, rn: u32, imm: u32, size: AccessSize, sext: bool },
+    Load {
+        rt: u32,
+        rn: u32,
+        imm: u32,
+        size: AccessSize,
+        sext: bool,
+    },
     /// Integer store.
-    Store { rt: u32, rn: u32, imm: u32, size: AccessSize },
+    Store {
+        rt: u32,
+        rn: u32,
+        imm: u32,
+        size: AccessSize,
+    },
     /// Register-offset 64-bit load.
-    LoadReg { rt: u32, rn: u32, rm: u32 },
+    LoadReg {
+        rt: u32,
+        rn: u32,
+        rm: u32,
+    },
     /// Register-offset 64-bit store.
-    StoreReg { rt: u32, rn: u32, rm: u32 },
+    StoreReg {
+        rt: u32,
+        rn: u32,
+        rm: u32,
+    },
     /// Load pair of 64-bit registers.
-    Ldp { rt: u32, rt2: u32, rn: u32, imm: i32 },
+    Ldp {
+        rt: u32,
+        rt2: u32,
+        rn: u32,
+        imm: i32,
+    },
     /// Store pair of 64-bit registers.
-    Stp { rt: u32, rt2: u32, rn: u32, imm: i32 },
+    Stp {
+        rt: u32,
+        rt2: u32,
+        rn: u32,
+        imm: i32,
+    },
     /// Unconditional branch (word offset).
-    B { offset: i64 },
+    B {
+        offset: i64,
+    },
     /// Branch and link.
-    Bl { offset: i64 },
+    Bl {
+        offset: i64,
+    },
     /// Conditional branch.
-    BCond { cond: Cond, offset: i64 },
+    BCond {
+        cond: Cond,
+        offset: i64,
+    },
     /// Compare-and-branch on zero.
-    Cbz { rt: u32, offset: i64 },
+    Cbz {
+        rt: u32,
+        offset: i64,
+    },
     /// Compare-and-branch on non-zero.
-    Cbnz { rt: u32, offset: i64 },
+    Cbnz {
+        rt: u32,
+        offset: i64,
+    },
     /// Indirect branch.
-    Br { rn: u32 },
+    Br {
+        rn: u32,
+    },
     /// Indirect branch and link.
-    Blr { rn: u32 },
+    Blr {
+        rn: u32,
+    },
     /// Return (branch to the register, conventionally X30).
-    Ret { rn: u32 },
+    Ret {
+        rn: u32,
+    },
     /// Supervisor call.
-    Svc { imm: u32 },
+    Svc {
+        imm: u32,
+    },
     /// Read a system register.
-    Mrs { rt: u32, sysreg: u32 },
+    Mrs {
+        rt: u32,
+        sysreg: u32,
+    },
     /// Write a system register.
-    Msr { sysreg: u32, rt: u32 },
+    Msr {
+        sysreg: u32,
+        rt: u32,
+    },
     /// Guest TLB invalidate (all).
     Tlbi,
     /// Exception return.
     Eret,
     /// FP move of an 8-bit encoded immediate into a D register.
-    FmovImm { vd: u32, imm8: u32 },
+    FmovImm {
+        vd: u32,
+        imm8: u32,
+    },
     /// Scalar double-precision arithmetic.
-    FpReg { kind: FpKind, vd: u32, vn: u32, vm: u32 },
+    FpReg {
+        kind: FpKind,
+        vd: u32,
+        vn: u32,
+        vm: u32,
+    },
     /// Scalar double-precision square root.
-    Fsqrt { vd: u32, vn: u32 },
+    Fsqrt {
+        vd: u32,
+        vn: u32,
+    },
     /// Scalar double-precision compare (sets NZCV).
-    Fcmp { vn: u32, vm: u32 },
+    Fcmp {
+        vn: u32,
+        vm: u32,
+    },
     /// Move a D register to an X register (bit pattern).
-    FmovToGpr { rd: u32, vn: u32 },
+    FmovToGpr {
+        rd: u32,
+        vn: u32,
+    },
     /// Move an X register to a D register (bit pattern).
-    FmovFromGpr { vd: u32, rn: u32 },
+    FmovFromGpr {
+        vd: u32,
+        rn: u32,
+    },
     /// Signed integer to double conversion.
-    Scvtf { vd: u32, rn: u32 },
+    Scvtf {
+        vd: u32,
+        rn: u32,
+    },
     /// Double to signed integer conversion (toward zero).
-    Fcvtzs { rd: u32, vn: u32 },
+    Fcvtzs {
+        rd: u32,
+        vn: u32,
+    },
     /// Fused multiply-add: `vd = va + vn * vm`.
-    Fmadd { vd: u32, vn: u32, vm: u32, va: u32 },
+    Fmadd {
+        vd: u32,
+        vn: u32,
+        vm: u32,
+        va: u32,
+    },
     /// Load a D register.
-    LoadFp { vt: u32, rn: u32, imm: u32, size: AccessSize },
+    LoadFp {
+        vt: u32,
+        rn: u32,
+        imm: u32,
+        size: AccessSize,
+    },
     /// Store a D register.
-    StoreFp { vt: u32, rn: u32, imm: u32, size: AccessSize },
+    StoreFp {
+        vt: u32,
+        rn: u32,
+        imm: u32,
+        size: AccessSize,
+    },
     /// Packed double-precision add over a 128-bit vector.
-    VAdd2D { vd: u32, vn: u32, vm: u32 },
+    VAdd2D {
+        vd: u32,
+        vn: u32,
+        vm: u32,
+    },
     /// Packed double-precision multiply over a 128-bit vector.
-    VMul2D { vd: u32, vn: u32, vm: u32 },
+    VMul2D {
+        vd: u32,
+        vn: u32,
+        vm: u32,
+    },
     /// Broadcast an X register to both 64-bit lanes of a V register.
-    Dup2D { vd: u32, rn: u32 },
+    Dup2D {
+        vd: u32,
+        rn: u32,
+    },
     /// Conditional select.
-    Csel { rd: u32, rn: u32, rm: u32, cond: Cond },
+    Csel {
+        rd: u32,
+        rn: u32,
+        rm: u32,
+        cond: Cond,
+    },
     /// PC-relative address.
-    Adr { rd: u32, offset: i64 },
+    Adr {
+        rd: u32,
+        offset: i64,
+    },
 }
 
 /// Sign-extends the low `bits` bits of `v`.
@@ -219,75 +360,343 @@ pub fn decode(word: u32) -> Option<Insn> {
         0x01 => Insn::Hlt,
         0x02 => Insn::Movz { rd, imm16, hw },
         0x03 => Insn::Movk { rd, imm16, hw },
-        0x05 => Insn::AluImm { kind: AluKind::Add, rd, rn, imm: imm12, set_flags: false },
-        0x06 => Insn::AluImm { kind: AluKind::Sub, rd, rn, imm: imm12, set_flags: false },
-        0x07 => Insn::AluImm { kind: AluKind::Sub, rd, rn, imm: imm12, set_flags: true },
-        0x08 => Insn::AluReg { kind: AluKind::Add, rd, rn, rm, set_flags: false },
-        0x09 => Insn::AluReg { kind: AluKind::Sub, rd, rn, rm, set_flags: false },
-        0x0A => Insn::AluReg { kind: AluKind::Add, rd, rn, rm, set_flags: true },
-        0x0B => Insn::AluReg { kind: AluKind::Sub, rd, rn, rm, set_flags: true },
-        0x0C => Insn::AluReg { kind: AluKind::And, rd, rn, rm, set_flags: false },
-        0x0D => Insn::AluReg { kind: AluKind::Orr, rd, rn, rm, set_flags: false },
-        0x0E => Insn::AluReg { kind: AluKind::Eor, rd, rn, rm, set_flags: false },
-        0x0F => Insn::AluReg { kind: AluKind::And, rd, rn, rm, set_flags: true },
-        0x10 => Insn::AluReg { kind: AluKind::Mul, rd, rn, rm, set_flags: false },
-        0x11 => Insn::AluReg { kind: AluKind::UDiv, rd, rn, rm, set_flags: false },
-        0x12 => Insn::AluReg { kind: AluKind::SDiv, rd, rn, rm, set_flags: false },
-        0x13 => Insn::AluReg { kind: AluKind::UMulH, rd, rn, rm, set_flags: false },
-        0x14 => Insn::AluReg { kind: AluKind::SMulH, rd, rn, rm, set_flags: false },
-        0x15 => Insn::AluReg { kind: AluKind::Lsl, rd, rn, rm, set_flags: false },
-        0x16 => Insn::AluReg { kind: AluKind::Lsr, rd, rn, rm, set_flags: false },
-        0x17 => Insn::AluReg { kind: AluKind::Asr, rd, rn, rm, set_flags: false },
-        0x18 => Insn::ShiftImm { kind: AluKind::Lsl, rd, rn, imm: imm6 },
-        0x19 => Insn::ShiftImm { kind: AluKind::Lsr, rd, rn, imm: imm6 },
-        0x1A => Insn::ShiftImm { kind: AluKind::Asr, rd, rn, imm: imm6 },
-        0x1B => Insn::Load { rt: rd, rn, imm: imm12, size: AccessSize::Double, sext: false },
-        0x1C => Insn::Store { rt: rd, rn, imm: imm12, size: AccessSize::Double },
-        0x1D => Insn::Load { rt: rd, rn, imm: imm12, size: AccessSize::Word, sext: false },
-        0x1E => Insn::Store { rt: rd, rn, imm: imm12, size: AccessSize::Word },
-        0x1F => Insn::Load { rt: rd, rn, imm: imm12, size: AccessSize::Byte, sext: false },
-        0x20 => Insn::Store { rt: rd, rn, imm: imm12, size: AccessSize::Byte },
-        0x21 => Insn::Load { rt: rd, rn, imm: imm12, size: AccessSize::Half, sext: false },
-        0x22 => Insn::Store { rt: rd, rn, imm: imm12, size: AccessSize::Half },
-        0x23 => Insn::Load { rt: rd, rn, imm: imm12, size: AccessSize::Word, sext: true },
+        0x05 => Insn::AluImm {
+            kind: AluKind::Add,
+            rd,
+            rn,
+            imm: imm12,
+            set_flags: false,
+        },
+        0x06 => Insn::AluImm {
+            kind: AluKind::Sub,
+            rd,
+            rn,
+            imm: imm12,
+            set_flags: false,
+        },
+        0x07 => Insn::AluImm {
+            kind: AluKind::Sub,
+            rd,
+            rn,
+            imm: imm12,
+            set_flags: true,
+        },
+        0x08 => Insn::AluReg {
+            kind: AluKind::Add,
+            rd,
+            rn,
+            rm,
+            set_flags: false,
+        },
+        0x09 => Insn::AluReg {
+            kind: AluKind::Sub,
+            rd,
+            rn,
+            rm,
+            set_flags: false,
+        },
+        0x0A => Insn::AluReg {
+            kind: AluKind::Add,
+            rd,
+            rn,
+            rm,
+            set_flags: true,
+        },
+        0x0B => Insn::AluReg {
+            kind: AluKind::Sub,
+            rd,
+            rn,
+            rm,
+            set_flags: true,
+        },
+        0x0C => Insn::AluReg {
+            kind: AluKind::And,
+            rd,
+            rn,
+            rm,
+            set_flags: false,
+        },
+        0x0D => Insn::AluReg {
+            kind: AluKind::Orr,
+            rd,
+            rn,
+            rm,
+            set_flags: false,
+        },
+        0x0E => Insn::AluReg {
+            kind: AluKind::Eor,
+            rd,
+            rn,
+            rm,
+            set_flags: false,
+        },
+        0x0F => Insn::AluReg {
+            kind: AluKind::And,
+            rd,
+            rn,
+            rm,
+            set_flags: true,
+        },
+        0x10 => Insn::AluReg {
+            kind: AluKind::Mul,
+            rd,
+            rn,
+            rm,
+            set_flags: false,
+        },
+        0x11 => Insn::AluReg {
+            kind: AluKind::UDiv,
+            rd,
+            rn,
+            rm,
+            set_flags: false,
+        },
+        0x12 => Insn::AluReg {
+            kind: AluKind::SDiv,
+            rd,
+            rn,
+            rm,
+            set_flags: false,
+        },
+        0x13 => Insn::AluReg {
+            kind: AluKind::UMulH,
+            rd,
+            rn,
+            rm,
+            set_flags: false,
+        },
+        0x14 => Insn::AluReg {
+            kind: AluKind::SMulH,
+            rd,
+            rn,
+            rm,
+            set_flags: false,
+        },
+        0x15 => Insn::AluReg {
+            kind: AluKind::Lsl,
+            rd,
+            rn,
+            rm,
+            set_flags: false,
+        },
+        0x16 => Insn::AluReg {
+            kind: AluKind::Lsr,
+            rd,
+            rn,
+            rm,
+            set_flags: false,
+        },
+        0x17 => Insn::AluReg {
+            kind: AluKind::Asr,
+            rd,
+            rn,
+            rm,
+            set_flags: false,
+        },
+        0x18 => Insn::ShiftImm {
+            kind: AluKind::Lsl,
+            rd,
+            rn,
+            imm: imm6,
+        },
+        0x19 => Insn::ShiftImm {
+            kind: AluKind::Lsr,
+            rd,
+            rn,
+            imm: imm6,
+        },
+        0x1A => Insn::ShiftImm {
+            kind: AluKind::Asr,
+            rd,
+            rn,
+            imm: imm6,
+        },
+        0x1B => Insn::Load {
+            rt: rd,
+            rn,
+            imm: imm12,
+            size: AccessSize::Double,
+            sext: false,
+        },
+        0x1C => Insn::Store {
+            rt: rd,
+            rn,
+            imm: imm12,
+            size: AccessSize::Double,
+        },
+        0x1D => Insn::Load {
+            rt: rd,
+            rn,
+            imm: imm12,
+            size: AccessSize::Word,
+            sext: false,
+        },
+        0x1E => Insn::Store {
+            rt: rd,
+            rn,
+            imm: imm12,
+            size: AccessSize::Word,
+        },
+        0x1F => Insn::Load {
+            rt: rd,
+            rn,
+            imm: imm12,
+            size: AccessSize::Byte,
+            sext: false,
+        },
+        0x20 => Insn::Store {
+            rt: rd,
+            rn,
+            imm: imm12,
+            size: AccessSize::Byte,
+        },
+        0x21 => Insn::Load {
+            rt: rd,
+            rn,
+            imm: imm12,
+            size: AccessSize::Half,
+            sext: false,
+        },
+        0x22 => Insn::Store {
+            rt: rd,
+            rn,
+            imm: imm12,
+            size: AccessSize::Half,
+        },
+        0x23 => Insn::Load {
+            rt: rd,
+            rn,
+            imm: imm12,
+            size: AccessSize::Word,
+            sext: true,
+        },
         0x24 => Insn::LoadReg { rt: rd, rn, rm },
         0x25 => Insn::StoreReg { rt: rd, rn, rm },
-        0x26 => Insn::Ldp { rt: rd, rt2: rm, rn, imm: simm7 * 8 },
-        0x27 => Insn::Stp { rt: rd, rt2: rm, rn, imm: simm7 * 8 },
+        0x26 => Insn::Ldp {
+            rt: rd,
+            rt2: rm,
+            rn,
+            imm: simm7 * 8,
+        },
+        0x27 => Insn::Stp {
+            rt: rd,
+            rt2: rm,
+            rn,
+            imm: simm7 * 8,
+        },
         0x28 => Insn::B { offset: imm24 * 4 },
         0x29 => Insn::Bl { offset: imm24 * 4 },
-        0x2A => Insn::BCond { cond, offset: imm19 * 4 },
-        0x2B => Insn::Cbz { rt: rd, offset: imm19 * 4 },
-        0x2C => Insn::Cbnz { rt: rd, offset: imm19 * 4 },
+        0x2A => Insn::BCond {
+            cond,
+            offset: imm19 * 4,
+        },
+        0x2B => Insn::Cbz {
+            rt: rd,
+            offset: imm19 * 4,
+        },
+        0x2C => Insn::Cbnz {
+            rt: rd,
+            offset: imm19 * 4,
+        },
         0x2D => Insn::Br { rn },
         0x2E => Insn::Blr { rn },
         0x2F => Insn::Ret { rn },
         0x30 => Insn::Svc { imm: imm16 },
-        0x31 => Insn::Mrs { rt: rd, sysreg: (word >> 5) & 0x3FF },
-        0x32 => Insn::Msr { sysreg: (word >> 5) & 0x3FF, rt: rd },
+        0x31 => Insn::Mrs {
+            rt: rd,
+            sysreg: (word >> 5) & 0x3FF,
+        },
+        0x32 => Insn::Msr {
+            sysreg: (word >> 5) & 0x3FF,
+            rt: rd,
+        },
         0x33 => Insn::Tlbi,
         0x34 => Insn::Eret,
-        0x35 => Insn::FmovImm { vd: rd, imm8: (word >> 5) & 0xFF },
-        0x36 => Insn::FpReg { kind: FpKind::Add, vd: rd, vn: rn, vm: rm },
-        0x37 => Insn::FpReg { kind: FpKind::Sub, vd: rd, vn: rn, vm: rm },
-        0x38 => Insn::FpReg { kind: FpKind::Mul, vd: rd, vn: rn, vm: rm },
-        0x39 => Insn::FpReg { kind: FpKind::Div, vd: rd, vn: rn, vm: rm },
+        0x35 => Insn::FmovImm {
+            vd: rd,
+            imm8: (word >> 5) & 0xFF,
+        },
+        0x36 => Insn::FpReg {
+            kind: FpKind::Add,
+            vd: rd,
+            vn: rn,
+            vm: rm,
+        },
+        0x37 => Insn::FpReg {
+            kind: FpKind::Sub,
+            vd: rd,
+            vn: rn,
+            vm: rm,
+        },
+        0x38 => Insn::FpReg {
+            kind: FpKind::Mul,
+            vd: rd,
+            vn: rn,
+            vm: rm,
+        },
+        0x39 => Insn::FpReg {
+            kind: FpKind::Div,
+            vd: rd,
+            vn: rn,
+            vm: rm,
+        },
         0x3A => Insn::Fsqrt { vd: rd, vn: rn },
         0x3B => Insn::Fcmp { vn: rn, vm: rm },
         0x3C => Insn::FmovToGpr { rd, vn: rn },
         0x3D => Insn::FmovFromGpr { vd: rd, rn },
         0x3E => Insn::Scvtf { vd: rd, rn },
         0x3F => Insn::Fcvtzs { rd, vn: rn },
-        0x40 => Insn::Fmadd { vd: rd, vn: rn, vm: rm, va: ra },
-        0x41 => Insn::LoadFp { vt: rd, rn, imm: imm12, size: AccessSize::Double },
-        0x42 => Insn::StoreFp { vt: rd, rn, imm: imm12, size: AccessSize::Double },
-        0x43 => Insn::VAdd2D { vd: rd, vn: rn, vm: rm },
-        0x44 => Insn::VMul2D { vd: rd, vn: rn, vm: rm },
-        0x45 => Insn::LoadFp { vt: rd, rn, imm: imm12, size: AccessSize::Quad },
-        0x46 => Insn::StoreFp { vt: rd, rn, imm: imm12, size: AccessSize::Quad },
+        0x40 => Insn::Fmadd {
+            vd: rd,
+            vn: rn,
+            vm: rm,
+            va: ra,
+        },
+        0x41 => Insn::LoadFp {
+            vt: rd,
+            rn,
+            imm: imm12,
+            size: AccessSize::Double,
+        },
+        0x42 => Insn::StoreFp {
+            vt: rd,
+            rn,
+            imm: imm12,
+            size: AccessSize::Double,
+        },
+        0x43 => Insn::VAdd2D {
+            vd: rd,
+            vn: rn,
+            vm: rm,
+        },
+        0x44 => Insn::VMul2D {
+            vd: rd,
+            vn: rn,
+            vm: rm,
+        },
+        0x45 => Insn::LoadFp {
+            vt: rd,
+            rn,
+            imm: imm12,
+            size: AccessSize::Quad,
+        },
+        0x46 => Insn::StoreFp {
+            vt: rd,
+            rn,
+            imm: imm12,
+            size: AccessSize::Quad,
+        },
         0x47 => Insn::Dup2D { vd: rd, rn },
-        0x48 => Insn::Csel { rd, rn, rm, cond: Cond::from_bits(ra) },
-        0x49 => Insn::Adr { rd, offset: imm19 * 4 },
+        0x48 => Insn::Csel {
+            rd,
+            rn,
+            rm,
+            cond: Cond::from_bits(ra),
+        },
+        0x49 => Insn::Adr {
+            rd,
+            offset: imm19 * 4,
+        },
         _ => return None,
     })
 }

@@ -53,6 +53,9 @@ pub struct CostModel {
     /// Per-block dispatch overhead in the execution engine (looking up the
     /// next translation and jumping to it).
     pub dispatch: u64,
+    /// Entering a block through a patched direct chain link: a single jump
+    /// between translations, with no dispatcher involvement (Section 2.6).
+    pub chain: u64,
 }
 
 impl Default for CostModel {
@@ -76,6 +79,7 @@ impl Default for CostModel {
             tlb_flush: 40,
             port_io: 60,
             dispatch: 12,
+            chain: 1,
         }
     }
 }
@@ -143,10 +147,17 @@ mod tests {
     #[test]
     fn relative_costs_are_sane() {
         let c = CostModel::default();
-        assert!(c.helper_call > c.mem, "helper calls must dominate plain loads");
+        assert!(
+            c.helper_call > c.mem,
+            "helper calls must dominate plain loads"
+        );
         assert!(c.div > c.mul && c.mul >= c.alu);
         assert!(c.interrupt > c.helper_call);
         assert!(c.page_walk_per_level > c.mem);
+        assert!(
+            c.chain < c.dispatch,
+            "chained transfers must be cheaper than dispatches"
+        );
     }
 
     #[test]
@@ -158,7 +169,10 @@ mod tests {
             size: MemSize::U64,
         };
         assert_eq!(c.insn_cost(&load), c.mem);
-        assert_eq!(c.insn_cost(&MachInsn::CallHelper { helper: 0 }), c.helper_call);
+        assert_eq!(
+            c.insn_cost(&MachInsn::CallHelper { helper: 0 }),
+            c.helper_call
+        );
         assert_eq!(
             c.insn_cost(&MachInsn::Alu {
                 op: AluOp::DivU,

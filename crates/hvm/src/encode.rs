@@ -874,7 +874,10 @@ mod tests {
                 a: Xmm(1),
                 b: Xmm(2),
             },
-            MachInsn::FpCmp { a: Xmm(0), b: Xmm(1) },
+            MachInsn::FpCmp {
+                a: Xmm(0),
+                b: Xmm(1),
+            },
             MachInsn::CvtI2D {
                 dst: Xmm(0),
                 src: Gpr::Rax,
@@ -976,11 +979,17 @@ mod tests {
             imm: 42,
         }];
         let bytes = encode_block(&insns);
-        assert_eq!(decode_block(&bytes[..bytes.len() - 1]), Err(CodecError::Truncated));
+        assert_eq!(
+            decode_block(&bytes[..bytes.len() - 1]),
+            Err(CodecError::Truncated)
+        );
     }
 
     #[test]
     fn invalid_opcode_is_an_error() {
-        assert!(matches!(decode_block(&[0xFF]), Err(CodecError::Invalid(0xFF))));
+        assert!(matches!(
+            decode_block(&[0xFF]),
+            Err(CodecError::Invalid(0xFF))
+        ));
     }
 }

@@ -362,13 +362,29 @@ pub enum MachInsn {
     /// `dst <- src`.
     MovReg { dst: Gpr, src: Gpr },
     /// Zero-extending load from virtual memory.
-    Load { dst: Gpr, addr: MemRef, size: MemSize },
+    Load {
+        dst: Gpr,
+        addr: MemRef,
+        size: MemSize,
+    },
     /// Sign-extending load from virtual memory.
-    LoadSx { dst: Gpr, addr: MemRef, size: MemSize },
+    LoadSx {
+        dst: Gpr,
+        addr: MemRef,
+        size: MemSize,
+    },
     /// Store to virtual memory.
-    Store { src: Gpr, addr: MemRef, size: MemSize },
+    Store {
+        src: Gpr,
+        addr: MemRef,
+        size: MemSize,
+    },
     /// Store an immediate to virtual memory.
-    StoreImm { imm: u64, addr: MemRef, size: MemSize },
+    StoreImm {
+        imm: u64,
+        addr: MemRef,
+        size: MemSize,
+    },
     /// Address computation without memory access.
     Lea { dst: Gpr, addr: MemRef },
     /// ALU operation `dst <- dst op src` (also sets flags for Add/Sub/And/Or/Xor).
@@ -399,9 +415,17 @@ pub enum MachInsn {
     /// Return from the translated block to the execution engine.
     Ret,
     /// Load into a vector register.
-    LoadXmm { dst: Xmm, addr: MemRef, size: MemSize },
+    LoadXmm {
+        dst: Xmm,
+        addr: MemRef,
+        size: MemSize,
+    },
     /// Store from a vector register.
-    StoreXmm { src: Xmm, addr: MemRef, size: MemSize },
+    StoreXmm {
+        src: Xmm,
+        addr: MemRef,
+        size: MemSize,
+    },
     /// Move GPR to the low 64 bits of a vector register.
     MovGprToXmm { dst: Xmm, src: Gpr },
     /// Move the low 64 bits of a vector register to a GPR.
@@ -454,7 +478,11 @@ impl MachInsn {
     pub fn is_terminator(&self) -> bool {
         matches!(
             self,
-            MachInsn::Ret | MachInsn::Jmp { .. } | MachInsn::Hlt | MachInsn::IRet | MachInsn::Sysret
+            MachInsn::Ret
+                | MachInsn::Jmp { .. }
+                | MachInsn::Hlt
+                | MachInsn::IRet
+                | MachInsn::Sysret
         )
     }
 
@@ -590,7 +618,11 @@ mod tests {
             size: MemSize::U64
         }
         .touches_memory());
-        assert!(!MachInsn::MovImm { dst: Gpr::Rax, imm: 0 }.touches_memory());
+        assert!(!MachInsn::MovImm {
+            dst: Gpr::Rax,
+            imm: 0
+        }
+        .touches_memory());
     }
 
     #[test]

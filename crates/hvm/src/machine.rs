@@ -421,13 +421,7 @@ impl Machine {
             AluOp::Mul => dst.wrapping_mul(src),
             AluOp::MulHiU => ((dst as u128 * src as u128) >> 64) as u64,
             AluOp::MulHiS => (((dst as i64 as i128) * (src as i64 as i128)) >> 64) as u64,
-            AluOp::DivU => {
-                if src == 0 {
-                    0
-                } else {
-                    dst / src
-                }
-            }
+            AluOp::DivU => dst.checked_div(src).unwrap_or(0),
             AluOp::DivS => {
                 if src == 0 {
                     0
@@ -435,13 +429,7 @@ impl Machine {
                     ((dst as i64).wrapping_div(src as i64)) as u64
                 }
             }
-            AluOp::RemU => {
-                if src == 0 {
-                    0
-                } else {
-                    dst % src
-                }
-            }
+            AluOp::RemU => dst.checked_rem(src).unwrap_or(0),
             AluOp::RemS => {
                 if src == 0 {
                     0
@@ -623,7 +611,8 @@ impl Machine {
                     let res = if wide {
                         self.mem.write_u128(pa, value)
                     } else {
-                        self.mem.write_uint(pa, value[0] & size.mask(), size.bytes())
+                        self.mem
+                            .write_uint(pa, value[0] & size.mask(), size.bytes())
                     };
                     return res.map_err(|e| Err(ExitReason::Error(e.to_string())));
                 }
@@ -650,11 +639,25 @@ impl Machine {
         unreachable!()
     }
 
-    /// Executes one translated block.  `code` is the block's instruction
-    /// sequence; jumps are relative indices within the block.
+    /// Executes one translated block entered through the dispatcher.  `code`
+    /// is the block's instruction sequence; jumps are relative indices within
+    /// the block.
     pub fn run_block(&mut self, code: &[MachInsn], rt: &mut dyn Runtime) -> ExitReason {
-        self.perf.blocks_entered += 1;
         self.perf.cycles += self.cost.dispatch;
+        self.run_block_body(code, rt)
+    }
+
+    /// Executes one translated block entered through a patched direct chain
+    /// link: charges the (near-zero) chain cost instead of the dispatch cost
+    /// and counts the entry as chained.
+    pub fn run_block_chained(&mut self, code: &[MachInsn], rt: &mut dyn Runtime) -> ExitReason {
+        self.perf.cycles += self.cost.chain;
+        self.perf.chained_entries += 1;
+        self.run_block_body(code, rt)
+    }
+
+    fn run_block_body(&mut self, code: &[MachInsn], rt: &mut dyn Runtime) -> ExitReason {
+        self.perf.blocks_entered += 1;
         let mut pc: i64 = 0;
         let mut fuel = self.fuel_per_block;
         loop {
@@ -1174,7 +1177,14 @@ mod tests {
         let mut rt = NullRuntime;
         let mut alloc = FrameAlloc::new(0x100000, 0x200000);
         let root = alloc.alloc(&mut m.mem).unwrap();
-        assert!(map_page(&mut m.mem, root, 0x4000_0000, 0x3000, PageFlags::kernel_rw(), &mut alloc));
+        assert!(map_page(
+            &mut m.mem,
+            root,
+            0x4000_0000,
+            0x3000,
+            PageFlags::kernel_rw(),
+            &mut alloc
+        ));
         m.enable_paging(root, 0);
         m.mem.write_u64(0x3008, 0x1234).unwrap();
 
@@ -1236,7 +1246,14 @@ mod tests {
         let mut rt = NullRuntime;
         let mut alloc = FrameAlloc::new(0x100000, 0x200000);
         let root = alloc.alloc(&mut m.mem).unwrap();
-        assert!(map_page(&mut m.mem, root, 0x5000, 0x6000, PageFlags::kernel_rw(), &mut alloc));
+        assert!(map_page(
+            &mut m.mem,
+            root,
+            0x5000,
+            0x6000,
+            PageFlags::kernel_rw(),
+            &mut alloc
+        ));
         m.enable_paging(root, 0);
         m.ring = Ring::Ring3;
         let code = [
@@ -1311,7 +1328,11 @@ mod tests {
         m.run_block(&code, &mut rt);
         let bits = m.xmm_reg(Xmm(0))[0];
         assert!(f64::from_bits(bits).is_nan());
-        assert_eq!(bits >> 63, 1, "host (x86-style) sqrt returns a negative NaN");
+        assert_eq!(
+            bits >> 63,
+            1,
+            "host (x86-style) sqrt returns a negative NaN"
+        );
     }
 
     #[test]
@@ -1390,7 +1411,14 @@ mod tests {
             fn page_fault(&mut self, vaddr: u64, _write: bool, m: &mut Machine) -> FaultAction {
                 self.fixed += 1;
                 let page = vaddr & !(PAGE_SIZE - 1);
-                map_page(&mut m.mem, self.root, page, 0x3000, PageFlags::kernel_rw(), &mut self.alloc);
+                map_page(
+                    &mut m.mem,
+                    self.root,
+                    page,
+                    0x3000,
+                    PageFlags::kernel_rw(),
+                    &mut self.alloc,
+                );
                 FaultAction::Retry { cost: 500 }
             }
         }

@@ -47,7 +47,9 @@ impl PhysMem {
     }
 
     fn check(&self, addr: u64, size: u64) -> Result<usize, PhysAccessError> {
-        let end = addr.checked_add(size).ok_or(PhysAccessError { addr, size })?;
+        let end = addr
+            .checked_add(size)
+            .ok_or(PhysAccessError { addr, size })?;
         if end > self.bytes.len() as u64 {
             return Err(PhysAccessError { addr, size });
         }

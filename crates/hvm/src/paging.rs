@@ -175,6 +175,23 @@ impl FrameAlloc {
     pub fn remaining(&self) -> u64 {
         (self.end - self.next) / PAGE_SIZE
     }
+
+    /// Current allocation position, for later bulk reclamation with
+    /// [`FrameAlloc::reset_to`].
+    pub fn mark(&self) -> u64 {
+        self.next
+    }
+
+    /// Reclaims every frame allocated since `mark` was taken.  The caller
+    /// must guarantee nothing reachable still references those frames;
+    /// frames are re-zeroed on reallocation.
+    pub fn reset_to(&mut self, mark: u64) {
+        assert!(
+            mark.is_multiple_of(PAGE_SIZE) && mark <= self.next,
+            "mark must be an earlier allocation position"
+        );
+        self.next = mark;
+    }
 }
 
 /// Installs a 4 KiB mapping `vaddr -> paddr` in the table rooted at `root`,
@@ -226,7 +243,8 @@ pub fn map_page(
     }
     let idx = table_index(vaddr, 1);
     let pte_addr = table + idx * 8;
-    mem.write_u64(pte_addr, (paddr & !0xFFF) | flags.encode()).is_ok()
+    mem.write_u64(pte_addr, (paddr & !0xFFF) | flags.encode())
+        .is_ok()
 }
 
 /// Removes the mapping for `vaddr` (clears the leaf entry's present bit).
@@ -320,7 +338,14 @@ mod tests {
     #[test]
     fn map_then_walk_translates() {
         let (mut mem, mut alloc, root) = setup();
-        assert!(map_page(&mut mem, root, 0x7000_1000, 0x42000, PageFlags::user_rw(), &mut alloc));
+        assert!(map_page(
+            &mut mem,
+            root,
+            0x7000_1000,
+            0x42000,
+            PageFlags::user_rw(),
+            &mut alloc
+        ));
         let w = walk(&mem, root, 0x7000_1234).unwrap();
         assert_eq!(w.frame, 0x42000);
         assert!(w.flags.user && w.flags.writable);
@@ -339,7 +364,14 @@ mod tests {
     #[test]
     fn leaf_permissions_are_restrictive() {
         let (mut mem, mut alloc, root) = setup();
-        assert!(map_page(&mut mem, root, 0x8000, 0x9000, PageFlags::user_ro(), &mut alloc));
+        assert!(map_page(
+            &mut mem,
+            root,
+            0x8000,
+            0x9000,
+            PageFlags::user_ro(),
+            &mut alloc
+        ));
         let w = walk(&mem, root, 0x8000).unwrap();
         assert!(!w.flags.writable && w.flags.user);
 
@@ -358,12 +390,26 @@ mod tests {
     #[test]
     fn unmap_and_clear_top_level() {
         let (mut mem, mut alloc, root) = setup();
-        assert!(map_page(&mut mem, root, 0x5000, 0x6000, PageFlags::user_rw(), &mut alloc));
+        assert!(map_page(
+            &mut mem,
+            root,
+            0x5000,
+            0x6000,
+            PageFlags::user_rw(),
+            &mut alloc
+        ));
         assert!(unmap_page(&mut mem, root, 0x5000));
         assert!(walk(&mem, root, 0x5000).is_err());
         assert!(!unmap_page(&mut mem, root, 0x5000), "already unmapped");
 
-        assert!(map_page(&mut mem, root, 0x7000, 0x8000, PageFlags::user_rw(), &mut alloc));
+        assert!(map_page(
+            &mut mem,
+            root,
+            0x7000,
+            0x8000,
+            PageFlags::user_rw(),
+            &mut alloc
+        ));
         clear_top_level_entries(&mut mem, root, 256);
         assert!(walk(&mem, root, 0x7000).is_err());
     }
@@ -371,7 +417,14 @@ mod tests {
     #[test]
     fn write_protection_toggles() {
         let (mut mem, mut alloc, root) = setup();
-        assert!(map_page(&mut mem, root, 0xA000, 0xB000, PageFlags::user_rw(), &mut alloc));
+        assert!(map_page(
+            &mut mem,
+            root,
+            0xA000,
+            0xB000,
+            PageFlags::user_rw(),
+            &mut alloc
+        ));
         assert!(write_protect_page(&mut mem, root, 0xA000));
         assert!(!walk(&mem, root, 0xA000).unwrap().flags.writable);
         assert!(write_unprotect_page(&mut mem, root, 0xA000));
@@ -382,9 +435,23 @@ mod tests {
     fn different_vaddrs_same_top_entry_share_tables() {
         let (mut mem, mut alloc, root) = setup();
         let before = alloc.remaining();
-        assert!(map_page(&mut mem, root, 0x1000, 0x2000, PageFlags::user_rw(), &mut alloc));
+        assert!(map_page(
+            &mut mem,
+            root,
+            0x1000,
+            0x2000,
+            PageFlags::user_rw(),
+            &mut alloc
+        ));
         let used_first = before - alloc.remaining();
-        assert!(map_page(&mut mem, root, 0x3000, 0x4000, PageFlags::user_rw(), &mut alloc));
+        assert!(map_page(
+            &mut mem,
+            root,
+            0x3000,
+            0x4000,
+            PageFlags::user_rw(),
+            &mut alloc
+        ));
         let used_second = before - used_first - alloc.remaining();
         assert_eq!(used_first, 3, "first mapping allocates PDPT+PD+PT");
         assert_eq!(used_second, 0, "second mapping in same region reuses them");

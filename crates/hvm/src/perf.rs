@@ -32,6 +32,9 @@ pub struct PerfCounters {
     pub port_ios: u64,
     /// Translated blocks entered (dispatch events).
     pub blocks_entered: u64,
+    /// Blocks entered through a direct chain link (subset of
+    /// `blocks_entered`; these paid the chain cost, not the dispatch cost).
+    pub chained_entries: u64,
 }
 
 impl PerfCounters {
@@ -66,6 +69,7 @@ impl PerfCounters {
             cr3_writes: self.cr3_writes.saturating_sub(earlier.cr3_writes),
             port_ios: self.port_ios.saturating_sub(earlier.port_ios),
             blocks_entered: self.blocks_entered.saturating_sub(earlier.blocks_entered),
+            chained_entries: self.chained_entries.saturating_sub(earlier.chained_entries),
         }
     }
 }

@@ -119,7 +119,10 @@ mod tests {
         let mut tlb = Tlb::new(64);
         tlb.insert(entry(5, 1));
         assert!(tlb.lookup(5 * PAGE_SIZE + 123, 1).is_some());
-        assert!(tlb.lookup(5 * PAGE_SIZE, 2).is_none(), "other PCID must miss");
+        assert!(
+            tlb.lookup(5 * PAGE_SIZE, 2).is_none(),
+            "other PCID must miss"
+        );
         assert!(tlb.lookup(6 * PAGE_SIZE, 1).is_none());
     }
 

@@ -20,8 +20,8 @@ use captive::layout;
 use captive::runtime::{GuestEvent, SVC_EXIT, SVC_PUTCHAR};
 use dbt::emitter::ValueType;
 use dbt::{
-    lower, regalloc, CacheIndex, CodeCache, Emitter, GuestIsa, Phase, PhaseTimers,
-    TranslatedBlock,
+    lower, regalloc, BlockExit, CacheIndex, ChainLinks, CodeCache, Emitter, GuestIsa, Phase,
+    PhaseTimers, TranslatedBlock,
 };
 use guest_aarch64::gen::helpers;
 use guest_aarch64::isa::{AccessSize, FpKind, Insn};
@@ -132,7 +132,9 @@ impl QemuRuntime {
     }
 
     fn write_gregfile(&self, machine: &mut Machine, offset: i32, value: u64) {
-        let _ = machine.mem.write_u64(self.regfile_phys + offset as u64, value);
+        let _ = machine
+            .mem
+            .write_u64(self.regfile_phys + offset as u64, value);
     }
 
     fn mmu_enabled(&self, machine: &Machine) -> bool {
@@ -194,9 +196,20 @@ impl QemuRuntime {
         Ok((walk.frame | (va & 0xFFF), 420))
     }
 
-    fn take_exception(&mut self, machine: &mut Machine, class: u64, iss: u64, ret: u64, far: Option<u64>) {
+    fn take_exception(
+        &mut self,
+        machine: &mut Machine,
+        class: u64,
+        iss: u64,
+        ret: u64,
+        far: Option<u64>,
+    ) {
         let el = self.read_gregfile(machine, guest_aarch64::CURRENT_EL_OFF);
-        self.write_gregfile(machine, guest_aarch64::ESR_OFF, (class << 26) | (iss & 0xFFFF));
+        self.write_gregfile(
+            machine,
+            guest_aarch64::ESR_OFF,
+            (class << 26) | (iss & 0xFFFF),
+        );
         if let Some(f) = far {
             self.write_gregfile(machine, guest_aarch64::FAR_OFF, f);
         }
@@ -222,7 +235,7 @@ impl Runtime for QemuRuntime {
                     Ok((pa, cost)) => {
                         let v = machine
                             .mem
-                            .read_uint(layout::GUEST_PHYS_BASE + pa, size.max(1).min(8))
+                            .read_uint(layout::GUEST_PHYS_BASE + pa, size.clamp(1, 8))
                             .unwrap_or(0);
                         machine.set_reg(Gpr::Rax, v);
                         HelperResult::Continue { cost }
@@ -242,7 +255,7 @@ impl Runtime for QemuRuntime {
                         let _ = machine.mem.write_uint(
                             layout::GUEST_PHYS_BASE + pa,
                             value,
-                            size.max(1).min(8),
+                            size.clamp(1, 8),
                         );
                         HelperResult::Continue { cost }
                     }
@@ -320,7 +333,10 @@ impl Runtime for QemuRuntime {
             }
             helpers::MSR_NOTIFY => {
                 let id = machine.reg(Gpr::Rdi) as u32;
-                if matches!(SysReg::from_id(id), Some(SysReg::Ttbr0) | Some(SysReg::Sctlr)) {
+                if matches!(
+                    SysReg::from_id(id),
+                    Some(SysReg::Ttbr0) | Some(SysReg::Sctlr)
+                ) {
                     self.soft_tlb.clear();
                     self.flush_requested = true;
                 }
@@ -586,7 +602,9 @@ impl QemuRef {
                 .mem
                 .read_uint(layout::GUEST_PHYS_BASE + pa_i, 4)
                 .unwrap_or(0) as u32;
-            let decoded = self.timers.time(Phase::Decode, || self.isa.decode(word, va));
+            let decoded = self
+                .timers
+                .time(Phase::Decode, || self.isa.decode(word, va));
             let end = match decoded {
                 None => {
                     self.timers.time(Phase::Translate, || {
@@ -612,9 +630,14 @@ impl QemuRef {
                 break;
             }
         }
+        // The baseline records terminator metadata too (it is free at
+        // translation time) but its dispatcher never follows chain links.
+        let exit = e.exit_hint().unwrap_or(BlockExit::Fallthrough { next: va });
         let lir = e.finish();
         let lir_count = lir.len();
-        let alloc = self.timers.time(Phase::RegAlloc, || regalloc::allocate(&lir));
+        let alloc = self
+            .timers
+            .time(Phase::RegAlloc, || regalloc::allocate(&lir));
         let (code, encoded) = self.timers.time(Phase::Encode, || {
             let code = lower::lower(&lir, &alloc);
             let enc = hvm::encode::encode_block(&code);
@@ -630,6 +653,8 @@ impl QemuRef {
             encoded_bytes: encoded.len(),
             lir_insns: lir_count,
             code: Arc::new(code),
+            exit,
+            links: ChainLinks::default(),
         }
     }
 }
@@ -652,14 +677,16 @@ fn qemu_generate(d: &guest_aarch64::gen::Decoded, e: &mut Emitter, isa: &Aarch64
             e.call_helper(qhelpers::MMU_WRITE, &[addr, value, sz]);
         };
     match d.insn {
-        Insn::Load { rt, rn, imm, size, sext } => {
+        Insn::Load {
+            rt,
+            rn,
+            imm,
+            size,
+            sext,
+        } => {
             let off = e.const_u64(imm as u64);
             let v = load_via_helper(e, rn, off, size);
-            let v = if sext {
-                e.sext(v, ValueType::U32)
-            } else {
-                v
-            };
+            let v = if sext { e.sext(v, ValueType::U32) } else { v };
             if rt != 31 {
                 e.store_register(x_off(rt), v);
             }
@@ -769,7 +796,11 @@ fn qemu_generate(d: &guest_aarch64::gen::Decoded, e: &mut Emitter, isa: &Aarch64
             false
         }
         Insn::VAdd2D { vd, vn, vm } | Insn::VMul2D { vd, vn, vm } => {
-            let op = e.const_u64(if matches!(d.insn, Insn::VAdd2D { .. }) { 0 } else { 1 });
+            let op = e.const_u64(if matches!(d.insn, Insn::VAdd2D { .. }) {
+                0
+            } else {
+                1
+            });
             let vd_off = e.const_u64(v_off(vd) as u64);
             let vn_off = e.const_u64(v_off(vn) as u64);
             let vm_off = e.const_u64(v_off(vm) as u64);

@@ -145,9 +145,9 @@ pub fn f64_to_u64(bits: u64, env: &mut FpEnv) -> u64 {
     match f64_to_int_parts(bits, env) {
         None => {
             env.flags.invalid = true;
-            if bits >> 63 != 0 && !is_nan64(bits) {
-                0
-            } else if is_nan64(bits) {
+            // NaN and negative infinities both saturate to 0; positive
+            // infinities to the maximum.
+            if is_nan64(bits) || bits >> 63 != 0 {
                 0
             } else {
                 u64::MAX
@@ -238,7 +238,14 @@ pub fn f64_to_f32(bits: u64, env: &mut FpEnv) -> u32 {
     } else {
         (u.frac | (1 << 52), u.exp - 1023 - 52)
     };
-    norm_round_pack_f32(u.sign, exp, mant as u128, false, env.rounding, &mut env.flags)
+    norm_round_pack_f32(
+        u.sign,
+        exp,
+        mant as u128,
+        false,
+        env.rounding,
+        &mut env.flags,
+    )
 }
 
 #[cfg(test)]
@@ -248,7 +255,17 @@ mod tests {
     #[test]
     fn int_to_float_roundtrip() {
         let mut env = FpEnv::arm();
-        for v in [0i64, 1, -1, 42, -1_000_000, i64::MAX, i64::MIN, 1 << 52, (1 << 53) + 1] {
+        for v in [
+            0i64,
+            1,
+            -1,
+            42,
+            -1_000_000,
+            i64::MAX,
+            i64::MIN,
+            1 << 52,
+            (1 << 53) + 1,
+        ] {
             assert_eq!(i64_to_f64(v, &mut env), (v as f64).to_bits(), "{v}");
         }
         for v in [0u64, 1, u64::MAX, 1 << 63, (1 << 53) + 1] {
@@ -290,11 +307,39 @@ mod tests {
     #[test]
     fn f32_f64_conversions_match_native() {
         let mut env = FpEnv::arm();
-        for v in [0.0f32, -0.0, 1.0, -2.5, 1e30, 1e-40, f32::MIN_POSITIVE, f32::MAX] {
-            assert_eq!(f32_to_f64(v.to_bits(), &mut env), (v as f64).to_bits(), "{v}");
+        for v in [
+            0.0f32,
+            -0.0,
+            1.0,
+            -2.5,
+            1e30,
+            1e-40,
+            f32::MIN_POSITIVE,
+            f32::MAX,
+        ] {
+            assert_eq!(
+                f32_to_f64(v.to_bits(), &mut env),
+                (v as f64).to_bits(),
+                "{v}"
+            );
         }
-        for v in [0.0f64, -0.0, 1.0, -2.5, 1e300, 1e-300, 0.1, 3.14159, 1e-45, f64::MAX] {
-            assert_eq!(f64_to_f32(v.to_bits(), &mut env), (v as f32).to_bits(), "{v}");
+        for v in [
+            0.0f64,
+            -0.0,
+            1.0,
+            -2.5,
+            1e300,
+            1e-300,
+            0.1,
+            std::f64::consts::PI,
+            1e-45,
+            f64::MAX,
+        ] {
+            assert_eq!(
+                f64_to_f32(v.to_bits(), &mut env),
+                (v as f32).to_bits(),
+                "{v}"
+            );
         }
     }
 

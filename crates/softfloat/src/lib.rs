@@ -30,12 +30,12 @@ mod round;
 
 pub use arch::{f32_sqrt_arm, f32_sqrt_x86, f64_sqrt_arm, f64_sqrt_x86, NanPropagation};
 pub use convert::{
-    f32_to_f64, f32_to_i32, f32_to_i64, f64_to_f32, f64_to_i32, f64_to_i64, f64_to_u64,
-    i32_to_f32, i32_to_f64, i64_to_f32, i64_to_f64, u64_to_f64,
+    f32_to_f64, f32_to_i32, f32_to_i64, f64_to_f32, f64_to_i32, f64_to_i64, f64_to_u64, i32_to_f32,
+    i32_to_f64, i64_to_f32, i64_to_f64, u64_to_f64,
 };
 pub use ops::{
-    f32_add, f32_div, f32_eq, f32_le, f32_lt, f32_mul, f32_sqrt, f32_sub, f64_add, f64_div,
-    f64_eq, f64_fma, f64_le, f64_lt, f64_mul, f64_sqrt, f64_sub,
+    f32_add, f32_div, f32_eq, f32_le, f32_lt, f32_mul, f32_sqrt, f32_sub, f64_add, f64_div, f64_eq,
+    f64_fma, f64_le, f64_lt, f64_mul, f64_sqrt, f64_sub,
 };
 
 /// IEEE-754 rounding modes supported by the library.
@@ -294,7 +294,13 @@ mod tests {
 
     #[test]
     fn pack_unpack_roundtrip() {
-        for bits in [0u64, 1, 0x3FF0_0000_0000_0000, 0xFFF8_0000_0000_0001, u64::MAX] {
+        for bits in [
+            0u64,
+            1,
+            0x3FF0_0000_0000_0000,
+            0xFFF8_0000_0000_0001,
+            u64::MAX,
+        ] {
             let u = unpack64(bits);
             assert_eq!(pack64(u.sign, u.exp, u.frac), bits);
         }

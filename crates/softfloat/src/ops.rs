@@ -156,7 +156,14 @@ pub fn f64_mul(a: u64, b: u64, env: &mut FpEnv) -> u64 {
     let da = decomp64(a);
     let db = decomp64(b);
     let product = (da.mant as u128) * (db.mant as u128);
-    norm_round_pack_f64(sign, da.exp + db.exp, product, false, env.rounding, &mut env.flags)
+    norm_round_pack_f64(
+        sign,
+        da.exp + db.exp,
+        product,
+        false,
+        env.rounding,
+        &mut env.flags,
+    )
 }
 
 /// Divides `a` by `b` (binary64).
@@ -294,7 +301,14 @@ pub fn f64_fma(a: u64, b: u64, c: u64, env: &mut FpEnv) -> u64 {
         return c;
     }
     if dc.mant == 0 {
-        return norm_round_pack_f64(prod_sign, prod_exp, prod, false, env.rounding, &mut env.flags);
+        return norm_round_pack_f64(
+            prod_sign,
+            prod_exp,
+            prod,
+            false,
+            env.rounding,
+            &mut env.flags,
+        );
     }
     // Align the addend with the 106-bit product.  The product has at most
     // 106 significant bits, so keeping ~116 bits of either operand and
@@ -454,7 +468,14 @@ pub fn f32_mul(a: u32, b: u32, env: &mut FpEnv) -> u32 {
     let da = decomp32(a);
     let db = decomp32(b);
     let product = (da.mant as u128) * (db.mant as u128);
-    norm_round_pack_f32(sign, da.exp + db.exp, product, false, env.rounding, &mut env.flags)
+    norm_round_pack_f32(
+        sign,
+        da.exp + db.exp,
+        product,
+        false,
+        env.rounding,
+        &mut env.flags,
+    )
 }
 
 /// Divides `a` by `b` (binary32).
@@ -583,22 +604,45 @@ pub fn f32_le(a: u32, b: u32, env: &mut FpEnv) -> bool {
 mod tests {
     use super::*;
 
-    fn check64(op: impl Fn(u64, u64, &mut FpEnv) -> u64, native: impl Fn(f64, f64) -> f64, a: f64, b: f64) {
+    fn check64(
+        op: impl Fn(u64, u64, &mut FpEnv) -> u64,
+        native: impl Fn(f64, f64) -> f64,
+        a: f64,
+        b: f64,
+    ) {
         let mut env = FpEnv::arm();
         let got = op(a.to_bits(), b.to_bits(), &mut env);
         let want = native(a, b);
         if want.is_nan() {
             assert!(is_nan64(got), "{a} ? {b}: expected NaN, got {got:#x}");
         } else {
-            assert_eq!(got, want.to_bits(), "{a} ? {b}: got {} want {}", f64::from_bits(got), want);
+            assert_eq!(
+                got,
+                want.to_bits(),
+                "{a} ? {b}: got {} want {}",
+                f64::from_bits(got),
+                want
+            );
         }
     }
 
     #[test]
     fn add_matches_native_on_representative_values() {
         let vals = [
-            0.0, -0.0, 1.0, -1.0, 1.5, 2.5, 1e300, -1e300, 1e-300, 3.141592653589793,
-            f64::MIN_POSITIVE, f64::MAX, 1e16, 1.0000000000000002,
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            1.5,
+            2.5,
+            1e300,
+            -1e300,
+            1e-300,
+            std::f64::consts::PI,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            1e16,
+            1.0000000000000002,
         ];
         for &a in &vals {
             for &b in &vals {
@@ -628,7 +672,9 @@ mod tests {
     #[test]
     fn sqrt_matches_native() {
         let mut env = FpEnv::arm();
-        for v in [0.25f64, 0.5, 1.0, 2.0, 4.0, 144.0, 1e100, 1e-100, 0.707, 3.0] {
+        for v in [
+            0.25f64, 0.5, 1.0, 2.0, 4.0, 144.0, 1e100, 1e-100, 0.707, 3.0,
+        ] {
             let got = f64_sqrt(v.to_bits(), &mut env);
             assert_eq!(got, v.sqrt().to_bits(), "sqrt({v})");
         }
@@ -676,12 +722,22 @@ mod tests {
 
     #[test]
     fn f32_ops_match_native() {
-        let vals = [0.0f32, -0.0, 1.0, -1.0, 1.5, 3.25, 1e30, 1e-30, 0.1, 123456.78];
+        let vals = [
+            0.0f32, -0.0, 1.0, -1.0, 1.5, 3.25, 1e30, 1e-30, 0.1, 123456.78,
+        ];
         let mut env = FpEnv::arm();
         for &a in &vals {
             for &b in &vals {
-                assert_eq!(f32_add(a.to_bits(), b.to_bits(), &mut env), (a + b).to_bits(), "{a}+{b}");
-                assert_eq!(f32_mul(a.to_bits(), b.to_bits(), &mut env), (a * b).to_bits(), "{a}*{b}");
+                assert_eq!(
+                    f32_add(a.to_bits(), b.to_bits(), &mut env),
+                    (a + b).to_bits(),
+                    "{a}+{b}"
+                );
+                assert_eq!(
+                    f32_mul(a.to_bits(), b.to_bits(), &mut env),
+                    (a * b).to_bits(),
+                    "{a}*{b}"
+                );
                 let want = a / b;
                 let got = f32_div(a.to_bits(), b.to_bits(), &mut env);
                 if want.is_nan() {

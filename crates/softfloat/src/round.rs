@@ -95,7 +95,8 @@ pub(crate) fn round_pack_f64(
 
     // Overflow: the exponent is too large, or rounding would carry past the
     // largest representable significand at the largest exponent.
-    if biased_exp >= 0x7FF || (biased_exp == 0x7FE && sig.wrapping_add(inc) >= 0x8000_0000_0000_0000)
+    if biased_exp >= 0x7FF
+        || (biased_exp == 0x7FE && sig.wrapping_add(inc) >= 0x8000_0000_0000_0000)
     {
         flags.overflow = true;
         flags.inexact = true;
@@ -130,8 +131,14 @@ pub(crate) fn round_pack_f64(
     }
 
     // Pack by addition so a significand carry-out bumps the exponent field.
-    let exp_field = if biased_exp == 0 { 0 } else { (biased_exp - 1) as u64 };
-    ((sign as u64) << 63).wrapping_add(exp_field << 52).wrapping_add(sig)
+    let exp_field = if biased_exp == 0 {
+        0
+    } else {
+        (biased_exp - 1) as u64
+    };
+    ((sign as u64) << 63)
+        .wrapping_add(exp_field << 52)
+        .wrapping_add(sig)
 }
 
 /// Rounds and packs a binary32 result.
@@ -180,8 +187,14 @@ pub(crate) fn round_pack_f32(
         sig &= !1;
     }
 
-    let exp_field = if biased_exp == 0 { 0 } else { (biased_exp - 1) as u64 };
-    (((sign as u64) << 31).wrapping_add(exp_field << 23).wrapping_add(sig)) as u32
+    let exp_field = if biased_exp == 0 {
+        0
+    } else {
+        (biased_exp - 1) as u64
+    };
+    (((sign as u64) << 31)
+        .wrapping_add(exp_field << 23)
+        .wrapping_add(sig)) as u32
 }
 
 /// Normalises an arbitrary-position significand and rounds it to binary64.
@@ -252,7 +265,11 @@ mod tests {
     #[test]
     fn shift_right_jam_preserves_stickiness() {
         assert_eq!(shift_right_jam_u64(0b1000, 3), 0b1);
-        assert_eq!(shift_right_jam_u64(0b1001, 3), 0b1, "lost bits jam into bit 0");
+        assert_eq!(
+            shift_right_jam_u64(0b1001, 3),
+            0b1,
+            "lost bits jam into bit 0"
+        );
         assert_eq!(shift_right_jam_u64(0b10100, 3), 0b11);
         assert_eq!(shift_right_jam_u64(1, 64), 1);
         assert_eq!(shift_right_jam_u64(0, 64), 0);

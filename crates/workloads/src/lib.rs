@@ -66,10 +66,10 @@ fn finish(name: &'static str, suite: Suite, a: Assembler) -> Workload {
 fn pointer_chase(name: &'static str, nodes: u32, iters: u32, scale: Scale) -> Workload {
     let mut a = Assembler::new();
     let stride = 64u32; // one "node" per cache line
-    // Build a circular linked list: node[i].next = &node[(i*7+1) % nodes]
+                        // Build a circular linked list: node[i].next = &node[(i*7+1) % nodes]
     a.mov_imm64(1, DATA_BASE);
     a.push(asm::movz(2, 0, 0)); // i
-    a.push(asm::movz(3, nodes as u32 & 0xFFFF, 0)); // node count
+    a.push(asm::movz(3, nodes & 0xFFFF, 0)); // node count
     a.label("build");
     //   idx = (i*7 + 1) % nodes
     a.push(asm::movz(4, 7, 0));
@@ -107,7 +107,7 @@ fn stream(name: &'static str, elems: u32, passes: u32, scale: Scale) -> Workload
     a.mov_imm64(10, (passes * scale.0) as u64);
     a.label("pass");
     a.push(asm::movz(2, 0, 0));
-    a.push(asm::movz(3, elems as u32 & 0xFFFF, 0));
+    a.push(asm::movz(3, elems & 0xFFFF, 0));
     a.label("elem");
     a.push(asm::lsli(4, 2, 3)); // offset = i * 8
     a.push(asm::add(4, 4, 1));
