@@ -1,10 +1,15 @@
 //! Regenerates the paper's tables and figures on the simulated substrate.
 //!
-//! Usage: `cargo run --release -p bench --bin figures -- [all|fig17|fig18|fig19|fig20|jitstats|fig21|fig22|table2|fp_modes|chaining]`
+//! Usage: `cargo run --release -p bench --bin figures -- [all|fig17|fig18|fig19|fig20|jitstats|fig21|fig22|table2|fp_modes|chaining|superblocks]`
+//!
+//! The `chaining` and `superblocks` sections double as CI smoke checks: they
+//! assert the counter invariants the dispatcher guarantees (chained gaps
+//! accounted exactly, superblocks no slower than chaining with strictly
+//! fewer interpreter entries) and panic on regression.
 
 use bench::{
-    geomean, native_model, run_both_raw, run_captive, run_captive_chaining, run_captive_with,
-    run_qemu,
+    geomean, native_model, run_both_raw, run_captive, run_captive_chaining,
+    run_captive_superblocks, run_captive_with, run_qemu, run_qemu_chaining,
 };
 use captive::FpMode;
 use workloads::Scale;
@@ -38,6 +43,9 @@ fn main() {
     }
     if all || arg == "chaining" {
         chaining();
+    }
+    if all || arg == "superblocks" {
+        superblocks();
     }
 }
 
@@ -219,12 +227,15 @@ fn table2() {
 
 fn chaining() {
     println!("== Section 2.6/2.7: direct block chaining and the fetch iTLB ==");
+    println!("   (both baselines reported: plain QEMU and QEMU with same-page chaining)");
     println!(
-        "{:<18} {:>9} {:>14} {:>14} {:>9} {:>8} {:>8} {:>9}",
+        "{:<18} {:>9} {:>14} {:>14} {:>14} {:>14} {:>9} {:>8} {:>8} {:>9}",
         "workload",
         "speedup",
         "cycles (on)",
         "cycles (off)",
+        "qemu",
+        "qemu+chain",
         "chained",
         "patches",
         "slowdsp",
@@ -236,19 +247,110 @@ fn chaining() {
     for w in &hot {
         let on = run_captive_chaining(w, true);
         let off = run_captive_chaining(w, false);
+        let q = run_qemu(w);
+        let qc = run_qemu_chaining(w, true);
         let itlb_rate = on.itlb_hit_rate();
+        assert!(
+            on.cycles <= off.cycles,
+            "{}: chaining regressed ({} > {})",
+            w.name,
+            on.cycles,
+            off.cycles
+        );
+        assert!(
+            qc.cycles <= q.cycles,
+            "{}: qemu chaining regressed ({} > {})",
+            w.name,
+            qc.cycles,
+            q.cycles
+        );
         println!(
-            "{:<18} {:>8.3}x {:>14} {:>14} {:>9} {:>8} {:>8} {:>8.1}%",
+            "{:<18} {:>8.3}x {:>14} {:>14} {:>14} {:>14} {:>9} {:>8} {:>8} {:>8.1}%",
             w.name,
             off.cycles as f64 / on.cycles as f64,
             on.cycles,
             off.cycles,
+            q.cycles,
+            qc.cycles,
             on.chained_transfers,
             on.chain_patches,
             on.slow_dispatches,
             itlb_rate * 100.0
         );
     }
+    println!();
+}
+
+fn superblocks() {
+    println!("== Superblock formation over hot chain paths ==");
+    println!(
+        "{:<18} {:>14} {:>14} {:>9} {:>9} {:>9} {:>8} {:>12} {:>12}",
+        "workload",
+        "chain cycles",
+        "super cycles",
+        "speedup",
+        "formed",
+        "sb-xfers",
+        "entries",
+        "(chain-only)",
+        "dtlb hits"
+    );
+    let mut hot = workloads::spec_int(Scale(1));
+    hot.truncate(4);
+    let hot_loop = bench::micro_workload(&simbench::same_page_direct(10_000));
+    let hot_loop_name = hot_loop.name;
+    hot.push(hot_loop);
+    let mut hot_loop_sb = None;
+    for w in &hot {
+        let chain = run_captive_chaining(w, true);
+        let sb = run_captive_superblocks(w);
+        // CI smoke invariants: superblocks must never cost cycles over
+        // chaining alone, and wherever a superblock formed it must have
+        // absorbed interpreter entries.
+        assert!(
+            sb.cycles <= chain.cycles,
+            "{}: superblocks regressed cycles ({} > {})",
+            w.name,
+            sb.cycles,
+            chain.cycles
+        );
+        if sb.superblocks_formed > 0 {
+            assert!(
+                sb.superblock_transfers > 0,
+                "{}: superblocks formed but no stitched transfers",
+                w.name
+            );
+            assert!(
+                sb.blocks < chain.blocks,
+                "{}: superblocks did not reduce interpreter entries ({} vs {})",
+                w.name,
+                sb.blocks,
+                chain.blocks
+            );
+        }
+        println!(
+            "{:<18} {:>14} {:>14} {:>8.3}x {:>9} {:>9} {:>8} {:>12} {:>12}",
+            w.name,
+            chain.cycles,
+            sb.cycles,
+            chain.cycles as f64 / sb.cycles as f64,
+            sb.superblocks_formed,
+            sb.superblock_transfers,
+            sb.blocks,
+            chain.blocks,
+            sb.dtlb_hits
+        );
+        if w.name == hot_loop_name {
+            hot_loop_sb = Some(sb);
+        }
+    }
+    let sb = hot_loop_sb.expect("the hot-loop micro is in the workload list");
+    assert!(
+        sb.superblocks_formed >= 1 && sb.superblock_transfers > 10_000,
+        "hot loop must form and exercise a superblock (formed {}, transfers {})",
+        sb.superblocks_formed,
+        sb.superblock_transfers
+    );
     println!();
 }
 

@@ -37,6 +37,17 @@ pub struct Measurement {
     pub itlb_hits: u64,
     /// Fetch-side iTLB misses (Captive only).
     pub itlb_misses: u64,
+    /// Data-side gTLB hits (Captive only).
+    pub dtlb_hits: u64,
+    /// Data-side gTLB misses (Captive only).
+    pub dtlb_misses: u64,
+    /// Intra-superblock transfers (Captive with superblocks only).
+    pub superblock_transfers: u64,
+    /// Superblocks formed (Captive with superblocks only).
+    pub superblocks_formed: u64,
+    /// Interpreter entries (blocks executed; chained + dispatched +
+    /// superblock entries).
+    pub blocks: u64,
 }
 
 impl Measurement {
@@ -80,6 +91,18 @@ pub fn run_captive_chaining(w: &Workload, chaining: bool) -> Measurement {
     )
 }
 
+/// Runs a workload under Captive with chaining plus superblock formation.
+pub fn run_captive_superblocks(w: &Workload) -> Measurement {
+    run_captive_cfg(
+        w,
+        CaptiveConfig {
+            chaining: true,
+            superblocks: true,
+            ..CaptiveConfig::default()
+        },
+    )
+}
+
 /// Runs a workload under Captive with a fully explicit configuration.
 pub fn run_captive_cfg(w: &Workload, cfg: CaptiveConfig) -> Measurement {
     let mut c = Captive::new(cfg);
@@ -105,12 +128,23 @@ pub fn run_captive_cfg(w: &Workload, cfg: CaptiveConfig) -> Measurement {
         slow_dispatches: s.slow_dispatches,
         itlb_hits: s.itlb_hits,
         itlb_misses: s.itlb_misses,
+        dtlb_hits: s.dtlb_hits,
+        dtlb_misses: s.dtlb_misses,
+        superblock_transfers: s.superblock_transfers,
+        superblocks_formed: s.superblocks_formed,
+        blocks: s.blocks,
     }
 }
 
-/// Runs a workload under the QEMU-style baseline.
+/// Runs a workload under the QEMU-style baseline (no chaining).
 pub fn run_qemu(w: &Workload) -> Measurement {
-    let mut q = QemuRef::new(32 * 1024 * 1024);
+    run_qemu_chaining(w, false)
+}
+
+/// Runs a workload under the QEMU-style baseline with same-page chaining
+/// configured explicitly (the tightened baseline of real QEMU).
+pub fn run_qemu_chaining(w: &Workload, chaining: bool) -> Measurement {
+    let mut q = QemuRef::with_chaining(32 * 1024 * 1024, chaining);
     q.load_program(workloads::CODE_BASE, &w.words);
     q.set_entry(w.entry);
     let exit = q.run(BLOCK_BUDGET);
@@ -128,11 +162,16 @@ pub fn run_qemu(w: &Workload) -> Measurement {
         code_bytes: s.code_bytes,
         jit_seconds: q.timers.total().as_secs_f64(),
         jit_fractions: q.timers.fractions(),
-        chained_transfers: 0,
-        chain_patches: 0,
-        slow_dispatches: s.blocks,
+        chained_transfers: s.chained_transfers,
+        chain_patches: s.chain_patches,
+        slow_dispatches: s.blocks - s.chained_transfers,
         itlb_hits: 0,
         itlb_misses: 0,
+        dtlb_hits: 0,
+        dtlb_misses: 0,
+        superblock_transfers: 0,
+        superblocks_formed: 0,
+        blocks: s.blocks,
     }
 }
 

@@ -147,6 +147,112 @@ fn chaining_speeds_up_a_dispatch_bound_loop() {
 }
 
 #[test]
+fn scaled_workloads_agree_across_all_engines() {
+    // Architectural equivalence at scale factors beyond Scale(1): the
+    // QEMU-style baseline (with and without same-page chaining), Captive
+    // with chaining, and Captive with superblocks must all retire the same
+    // register state.  Scale(4) exercises iteration counts high enough that
+    // every hot loop crosses the superblock threshold many times over.
+    let mut programs: Vec<(String, workloads::Workload)> = Vec::new();
+    for scale in [Scale(2), Scale(4)] {
+        let suite = workloads::spec_int(scale);
+        for idx in [1usize, 3] {
+            // 401.bzip2 (streaming) and 429.mcf (pointer chasing)
+            let w = suite[idx].clone();
+            programs.push((format!("{}@x{}", w.name, scale.0), w));
+        }
+    }
+    for (name, w) in &programs {
+        let mut chain = Captive::new(CaptiveConfig::default());
+        chain.load_program(workloads::CODE_BASE, &w.words);
+        chain.set_entry(w.entry);
+        assert!(matches!(
+            chain.run(200_000_000),
+            captive::RunExit::GuestHalted { .. }
+        ));
+
+        let mut sup = Captive::new(CaptiveConfig {
+            superblocks: true,
+            ..CaptiveConfig::default()
+        });
+        sup.load_program(workloads::CODE_BASE, &w.words);
+        sup.set_entry(w.entry);
+        assert!(matches!(
+            sup.run(200_000_000),
+            captive::RunExit::GuestHalted { .. }
+        ));
+
+        let mut q = QemuRef::new(32 * 1024 * 1024);
+        q.load_program(workloads::CODE_BASE, &w.words);
+        q.set_entry(w.entry);
+        assert!(matches!(
+            q.run(200_000_000),
+            qemu_ref::RunExit::GuestHalted { .. }
+        ));
+
+        let mut qc = QemuRef::with_chaining(32 * 1024 * 1024, true);
+        qc.load_program(workloads::CODE_BASE, &w.words);
+        qc.set_entry(w.entry);
+        assert!(matches!(
+            qc.run(200_000_000),
+            qemu_ref::RunExit::GuestHalted { .. }
+        ));
+
+        for r in 0..16 {
+            let v = chain.guest_reg(r);
+            assert_eq!(v, sup.guest_reg(r), "{name}: x{r} superblocks diverged");
+            assert_eq!(v, q.guest_reg(r), "{name}: x{r} baseline diverged");
+            assert_eq!(v, qc.guest_reg(r), "{name}: x{r} qemu-chaining diverged");
+        }
+        assert!(
+            sup.stats().cycles <= chain.stats().cycles,
+            "{name}: superblocks may not cost cycles"
+        );
+    }
+}
+
+#[test]
+fn superblocks_cut_interpreter_entries_on_dispatch_bound_loop() {
+    // The acceptance bar for the superblock former: on the dispatch-bound
+    // hot loop, superblocks execute measurably fewer interpreter entries
+    // (tracked by the superblock_transfers counter) at no cycle cost over
+    // chaining alone, and the QEMU baselines order as expected.
+    let w = bench::micro_workload(&simbench::same_page_direct(10_000));
+    let chain = bench::run_captive_chaining(&w, true);
+    let sb = bench::run_captive_superblocks(&w);
+    assert!(sb.superblocks_formed >= 1);
+    assert!(
+        sb.superblock_transfers > 10_000,
+        "stitched transfers must carry the loop: {}",
+        sb.superblock_transfers
+    );
+    assert!(
+        sb.blocks + sb.superblock_transfers >= chain.blocks,
+        "stitched transfers account for the missing interpreter entries"
+    );
+    assert!(
+        sb.blocks < chain.blocks / 2,
+        "interpreter entries must drop: {} vs {}",
+        sb.blocks,
+        chain.blocks
+    );
+    assert!(
+        sb.cycles <= chain.cycles,
+        "superblocks must not regress cycles: {} vs {}",
+        sb.cycles,
+        chain.cycles
+    );
+
+    let q = bench::run_qemu(&w);
+    let qc = bench::run_qemu_chaining(&w, true);
+    assert!(qc.chained_transfers > 10_000, "qemu chains within the page");
+    assert!(
+        qc.cycles < q.cycles,
+        "the chained baseline must tighten the comparison"
+    );
+}
+
+#[test]
 fn simbench_programs_terminate_on_both_systems() {
     for b in simbench::suite() {
         let (c, q) = bench::run_both_raw(b.name, &b.words, b.entry);

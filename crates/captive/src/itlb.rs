@@ -1,4 +1,4 @@
-//! Fetch-side instruction TLB.
+//! Fetch-side instruction TLB and data-side guest TLB.
 //!
 //! The dispatcher needs the guest *physical* address of the next block to key
 //! the code cache, which in the seed design meant a full guest page-table
@@ -78,9 +78,101 @@ impl FetchTlb {
     }
 }
 
+/// Number of data-side entries.
+const DTLB_ENTRIES: usize = 128;
+
+/// A cached guest data translation: the walk result including the guest
+/// PTE permissions, so permission checks on a hit reproduce the walk's
+/// decision exactly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DataEntry {
+    valid: bool,
+    vpn: u64,
+    /// Guest physical page frame.
+    pub page_pa: u64,
+    /// Guest-writable (restrictive AND across walk levels).
+    pub writable: bool,
+    /// EL0-accessible.
+    pub user: bool,
+    ctx_gen: u64,
+}
+
+/// Data-side guest TLB (mirrors [`FetchTlb`]): caches guest page-table walk
+/// results consulted by the host page-fault handler, so repeated host faults
+/// on recently translated VAs skip the guest walk.  Entries are stamped with
+/// the context generation, so guest `TLBI` / `TTBR0` / `SCTLR` writes flush
+/// it wholesale — exactly the events after which a cached guest walk can no
+/// longer be trusted (as on real hardware, guest page-table edits must be
+/// followed by a TLBI to take effect).
+#[derive(Debug)]
+pub struct DataTlb {
+    entries: [DataEntry; DTLB_ENTRIES],
+    /// Host faults whose guest walk was answered from the cache.
+    pub hits: u64,
+    /// Host faults that performed a real guest page-table walk.
+    pub misses: u64,
+}
+
+impl Default for DataTlb {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DataTlb {
+    /// Creates an empty data TLB.
+    pub fn new() -> Self {
+        DataTlb {
+            entries: [DataEntry::default(); DTLB_ENTRIES],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Returns the cached walk result covering `va`'s page under the current
+    /// generation.  Counts a hit or miss either way.
+    pub fn lookup(&mut self, va: u64, ctx_gen: u64) -> Option<DataEntry> {
+        let vpn = va >> 12;
+        let e = self.entries[(vpn as usize) % DTLB_ENTRIES];
+        if e.valid && e.vpn == vpn && e.ctx_gen == ctx_gen {
+            self.hits += 1;
+            Some(e)
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Records the walk result for `va`'s page under the given generation.
+    pub fn insert(&mut self, va: u64, page_pa: u64, writable: bool, user: bool, ctx_gen: u64) {
+        let vpn = va >> 12;
+        self.entries[(vpn as usize) % DTLB_ENTRIES] = DataEntry {
+            valid: true,
+            vpn,
+            page_pa: page_pa & !0xFFF,
+            writable,
+            user,
+            ctx_gen,
+        };
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn data_tlb_caches_flags_and_respects_generation() {
+        let mut t = DataTlb::new();
+        assert!(t.lookup(0x5123, 0).is_none());
+        t.insert(0x5123, 0x9000, true, false, 0);
+        let e = t.lookup(0x5FFF, 0).expect("same page hits");
+        assert_eq!(e.page_pa, 0x9000);
+        assert!(e.writable && !e.user);
+        assert!(t.lookup(0x5000, 1).is_none(), "generation bump flushes");
+        assert_eq!(t.hits, 1);
+        assert_eq!(t.misses, 2);
+    }
 
     #[test]
     fn hits_only_within_the_stamped_generation() {

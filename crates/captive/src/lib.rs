@@ -76,7 +76,7 @@ use hvm::{ExitReason, Gpr, Machine, MachineConfig, Ring};
 use runtime::{CaptiveRuntime, GuestEvent};
 use std::collections::HashMap;
 use std::sync::Arc;
-use translator::translate_block;
+use translator::{form_superblock, translate_block};
 
 /// How guest floating-point instructions are implemented.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -100,6 +100,14 @@ pub struct CaptiveConfig {
     /// Enable direct block chaining (patched successor links let hot paths
     /// bypass the dispatcher entirely).
     pub chaining: bool,
+    /// Enable profile-guided superblock formation over hot chain paths
+    /// (requires `chaining`, which provides the link-heat profile).
+    pub superblocks: bool,
+    /// Chain-link transfer count at which the link's target becomes a
+    /// superblock trace head.
+    pub superblock_threshold: u64,
+    /// Guest-instruction cap on one superblock trace.
+    pub superblock_max_insns: usize,
     /// Maximum guest instructions per translated block.
     pub max_block_insns: usize,
     /// Host machine configuration.
@@ -115,6 +123,9 @@ impl Default for CaptiveConfig {
             guest_ram: 32 * 1024 * 1024,
             fp_mode: FpMode::Hardware,
             chaining: true,
+            superblocks: false,
+            superblock_threshold: 16,
+            superblock_max_insns: 256,
             max_block_insns: 64,
             machine: MachineConfig::default(),
             per_block_stats: false,
@@ -166,17 +177,56 @@ pub struct RunStats {
     pub itlb_hits: u64,
     /// Fetch-side iTLB misses.
     pub itlb_misses: u64,
+    /// Data-side gTLB hits (host data faults whose guest walk was answered
+    /// from the cache).
+    pub dtlb_hits: u64,
+    /// Data-side gTLB misses (host data faults that walked guest tables).
+    pub dtlb_misses: u64,
+    /// Intra-superblock constituent transfers: stitched block boundaries
+    /// crossed without an interpreter entry (each would have been a chained
+    /// transfer under chaining alone).
+    pub superblock_transfers: u64,
+    /// Superblocks formed from hot chain paths.
+    pub superblocks_formed: u64,
+    /// Interpreter entries that executed a superblock (subset of `blocks`).
+    pub superblock_entries: u64,
 }
 
 /// Per-block execution record (for the code-quality scatter plot, Fig. 21).
+///
+/// Attribution is split by how the translation was entered, so chained runs
+/// no longer pollute the dispatched-entry profile: `chained_*` counts
+/// chain-link entries into plain blocks, `superblock_*` counts entries that
+/// executed a superblock (keyed at its entry block), and the remainder of
+/// `executions`/`cycles` is the dispatcher slow path.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct BlockProfile {
-    /// Accumulated simulated cycles spent in the block.
+    /// Accumulated simulated cycles spent in the block (all entry modes).
     pub cycles: u64,
-    /// Number of executions.
+    /// Number of executions (all entry modes).
     pub executions: u64,
     /// Guest instructions in the block.
     pub guest_insns: u64,
+    /// Cycles accumulated by chain-link entries into the plain block.
+    pub chained_cycles: u64,
+    /// Chain-link entries into the plain block.
+    pub chained_executions: u64,
+    /// Cycles accumulated while executing a superblock entered at this block.
+    pub superblock_cycles: u64,
+    /// Superblock executions entered at this block.
+    pub superblock_executions: u64,
+}
+
+impl BlockProfile {
+    /// Cycles attributed to dispatcher slow-path entries of the plain block.
+    pub fn dispatched_cycles(&self) -> u64 {
+        self.cycles - self.chained_cycles - self.superblock_cycles
+    }
+
+    /// Dispatcher slow-path entries of the plain block.
+    pub fn dispatched_executions(&self) -> u64 {
+        self.executions - self.chained_executions - self.superblock_executions
+    }
 }
 
 /// The hypervisor.
@@ -280,6 +330,9 @@ impl Captive {
         s.code_bytes = self.cache.total_encoded_bytes() as u64;
         s.itlb_hits = self.runtime.fetch_tlb.hits;
         s.itlb_misses = self.runtime.fetch_tlb.misses;
+        s.dtlb_hits = self.runtime.data_tlb.hits;
+        s.dtlb_misses = self.runtime.data_tlb.misses;
+        s.superblock_transfers = self.machine.perf.superblock_transfers;
         s
     }
 
@@ -340,6 +393,17 @@ impl Captive {
                 }
             };
             self.stats.slow_dispatches += 1;
+            // Prefer a current-generation superblock entered at this block:
+            // one interpreter entry then covers the whole stitched hot path.
+            // The virtual-address guard matters because a superblock stitches
+            // a *virtual* control-flow path.
+            if self.config.superblocks {
+                if let Some(sb) = self.cache.get_super(pa, self.runtime.context_generation()) {
+                    if sb.guest_virt == pc {
+                        block = sb;
+                    }
+                }
+            }
             // Patch the predecessor's successor link now that the target is
             // resolved, guarding against virtual aliases of the same
             // physical page (the link must only short-circuit the exact
@@ -384,11 +448,33 @@ impl Captive {
                 }
                 self.stats.blocks += 1;
                 self.stats.guest_insns += block.guest_insns as u64;
+                if block.super_meta.is_some() {
+                    self.stats.superblock_entries += 1;
+                }
                 if self.config.per_block_stats {
                     let p = self.per_block.entry(block.guest_phys).or_default();
                     p.cycles += spent;
                     p.executions += 1;
-                    p.guest_insns = block.guest_insns as u64;
+                    // Split attribution by entry mode so chained runs and
+                    // superblock executions are distinguishable per entry.
+                    // A superblock shares its entry block's key; keep the
+                    // plain block's length so per-instruction profile math
+                    // over the dispatched/chained entries stays correct
+                    // (record the stitched length only when no plain entry
+                    // has set one).
+                    if block.super_meta.is_some() {
+                        p.superblock_cycles += spent;
+                        p.superblock_executions += 1;
+                        if p.guest_insns == 0 {
+                            p.guest_insns = block.guest_insns as u64;
+                        }
+                    } else {
+                        p.guest_insns = block.guest_insns as u64;
+                        if chained {
+                            p.chained_cycles += spent;
+                            p.chained_executions += 1;
+                        }
+                    }
                 }
                 budget -= 1;
                 match exit {
@@ -423,9 +509,15 @@ impl Captive {
                         ) {
                             // Chained transfer: straight into the successor's
                             // code, skipping page resolution, cache lookup
-                            // and EL read.
+                            // and EL read.  With superblocks enabled the
+                            // transfer also feeds the link-heat profile and
+                            // may promote the target into a superblock.
                             self.stats.chained_transfers += 1;
-                            block = next;
+                            block = if self.config.superblocks {
+                                self.promote_to_superblock(&block, slot, next, next_pc)
+                            } else {
+                                next
+                            };
                             chained = true;
                             continue;
                         }
@@ -455,6 +547,61 @@ impl Captive {
             }
         }
         RunExit::BudgetExhausted
+    }
+
+    /// Profiles a chained transfer into `next` and, when its link heat
+    /// crosses the hot threshold, stitches the chained path starting at
+    /// `next` into a superblock.  Returns the translation to execute: the
+    /// (possibly just-formed) superblock when one is valid for the current
+    /// context generation, otherwise `next` unchanged.  The chain link in
+    /// `prev` is re-pointed at the superblock so later transfers skip this
+    /// promotion check.
+    fn promote_to_superblock(
+        &mut self,
+        prev: &Arc<TranslatedBlock>,
+        slot: usize,
+        next: Arc<TranslatedBlock>,
+        next_pc: u64,
+    ) -> Arc<TranslatedBlock> {
+        if next.super_meta.is_some() {
+            return next;
+        }
+        let heat = prev.heat_up(slot);
+        let gen = self.runtime.context_generation();
+        if let Some(sb) = self.cache.get_super(next.guest_phys, gen) {
+            if sb.guest_virt == next_pc {
+                prev.set_link(slot, gen, self.cache.epoch(), &sb);
+                return sb;
+            }
+            return next;
+        }
+        if heat != self.config.superblock_threshold {
+            return next;
+        }
+        let Some(sb) = form_superblock(
+            &self.isa,
+            &mut self.machine,
+            &mut self.runtime,
+            &mut self.timers,
+            &self.cache,
+            next_pc,
+            next.guest_phys,
+            self.config.superblock_max_insns,
+            self.config.fp_mode,
+        ) else {
+            // A one-constituent trace is not worth a superblock; the exact
+            // threshold trigger means we will not retry for this link.
+            return next;
+        };
+        // Write-protect every constituent page so self-modifying code on any
+        // of them invalidates the superblock.
+        for page in sb.code_pages() {
+            self.runtime.note_code_page(&mut self.machine, page);
+        }
+        let sb = self.cache.insert_super(sb);
+        self.stats.superblocks_formed += 1;
+        prev.set_link(slot, gen, self.cache.epoch(), &sb);
+        sb
     }
 
     /// Delivers a guest-visible event (exception) by updating the guest
@@ -789,6 +936,357 @@ mod tests {
         assert!(
             c.stats().chained_transfers >= 1,
             "the fault happened while chain-looping"
+        );
+    }
+
+    fn superblock_config() -> CaptiveConfig {
+        CaptiveConfig {
+            superblocks: true,
+            ..CaptiveConfig::default()
+        }
+    }
+
+    /// A multi-block same-page loop (two unconditional jumps plus the
+    /// counted conditional), hot enough to cross the formation threshold.
+    fn multi_block_loop(iters: u32) -> Vec<u32> {
+        let mut a = asm::Assembler::new();
+        a.push(asm::movz(1, iters, 0));
+        a.push(asm::movz(9, 0, 0));
+        a.label("loop");
+        a.b_to("a");
+        a.label("a");
+        a.b_to("b");
+        a.label("b");
+        a.push(asm::add(9, 9, 1));
+        a.push(asm::subi(1, 1, 1));
+        a.cbnz_to(1, "loop");
+        a.push(asm::hlt());
+        a.finish()
+    }
+
+    #[test]
+    fn superblocks_fuse_hot_chain_paths() {
+        let words = multi_block_loop(3000);
+        let run = |superblocks: bool| {
+            let mut c = Captive::new(CaptiveConfig {
+                superblocks,
+                ..CaptiveConfig::default()
+            });
+            c.load_program(0x1000, &words);
+            c.set_entry(0x1000);
+            assert_eq!(c.run(100_000), RunExit::GuestHalted { code: 0 });
+            c
+        };
+        let mut on = run(true);
+        let mut off = run(false);
+        for r in 0..31 {
+            assert_eq!(on.guest_reg(r), off.guest_reg(r), "x{r} diverged");
+        }
+        let son = on.stats();
+        let soff = off.stats();
+        assert!(
+            son.superblocks_formed >= 1,
+            "hot loop must form a superblock"
+        );
+        assert!(
+            son.superblock_transfers > 2_000,
+            "stitched transfers absorb the loop: {}",
+            son.superblock_transfers
+        );
+        assert!(
+            son.blocks < soff.blocks / 2,
+            "superblocks must cut interpreter entries: {} vs {}",
+            son.blocks,
+            soff.blocks
+        );
+        assert!(
+            son.cycles <= soff.cycles,
+            "superblocks must not cost cycles over chaining: {} vs {}",
+            son.cycles,
+            soff.cycles
+        );
+        assert_eq!(
+            son.superblock_transfers, on.machine.perf.superblock_transfers,
+            "hypervisor- and machine-level counters agree"
+        );
+    }
+
+    #[test]
+    fn superblock_side_exit_leaves_with_exact_state() {
+        // The loop's conditional is stitched into the superblock with its
+        // exit leg (the CBZ taken to "done") as a side-exit stub; when the
+        // counter reaches zero the side exit must deliver execution to the
+        // exit path with the accumulator architecturally exact.
+        let mut a = asm::Assembler::new();
+        a.push(asm::movz(1, 500, 0));
+        a.push(asm::movz(9, 0, 0));
+        a.label("loop");
+        a.push(asm::addi(9, 9, 1));
+        a.push(asm::subi(1, 1, 1));
+        a.cbz_to(1, "done");
+        a.b_to("loop");
+        a.label("done");
+        a.push(asm::hlt());
+        let mut c = Captive::new(superblock_config());
+        c.load_program(0x1000, &a.finish());
+        c.set_entry(0x1000);
+        assert_eq!(c.run(100_000), RunExit::GuestHalted { code: 0 });
+        assert_eq!(c.guest_reg(9), 500, "side exit preserved the accumulator");
+        assert_eq!(c.guest_reg(1), 0);
+        let s = c.stats();
+        assert!(s.superblocks_formed >= 1);
+        assert!(
+            s.superblock_transfers > 400,
+            "the backward jump was stitched"
+        );
+    }
+
+    #[test]
+    fn smc_on_interior_superblock_page_invalidates_it() {
+        // A hot call loop whose callee lives on the next page: the formed
+        // superblock spans both pages with the callee page interior.  A
+        // guest write to the callee must kill the superblock so the second
+        // call phase executes the new code.
+        let mut main = asm::Assembler::new();
+        main.push(asm::movz(6, 100, 0));
+        main.label("loop");
+        let bl_idx = main.here();
+        main.push(asm::bl(0x2000 - (0x1000 + bl_idx as i64 * 4)));
+        main.push(asm::subi(6, 6, 1));
+        main.cbnz_to(6, "loop");
+        main.mov_imm64(3, 0x2000);
+        main.mov_imm64(4, asm::movz(5, 2, 0) as u64);
+        main.push(asm::strw(4, 3, 0)); // self-modifying write to the callee
+        let bl2_idx = main.here();
+        main.push(asm::bl(0x2000 - (0x1000 + bl2_idx as i64 * 4)));
+        main.push(asm::hlt());
+        let mut sub = asm::Assembler::new();
+        sub.push(asm::movz(5, 1, 0));
+        sub.push(asm::ret());
+
+        let mut c = Captive::new(superblock_config());
+        c.load_program(0x1000, &main.finish());
+        c.load_program(0x2000, &sub.finish());
+        c.set_entry(0x1000);
+        assert_eq!(c.run(100_000), RunExit::GuestHalted { code: 0 });
+        let s = c.stats();
+        assert!(s.superblocks_formed >= 1, "the call loop must get hot");
+        assert!(
+            s.superblock_transfers > 50,
+            "calls flow through the stitched BL"
+        );
+        assert_eq!(
+            c.guest_reg(5),
+            2,
+            "the post-SMC call must run the rewritten callee"
+        );
+        assert_eq!(
+            c.cache.super_count(),
+            0,
+            "writing an interior page must discard the superblock"
+        );
+        assert!(c.cache.stats().invalidated_page >= 1);
+    }
+
+    #[test]
+    fn superblock_indirect_exit_falls_back_to_chained_dispatch() {
+        // The superblock covering [bl → callee..ret] ends at the RET
+        // (indirect): every execution leaves through the slow path, after
+        // which ordinary chaining resumes — and every interpreter entry is
+        // still either chained or dispatched.
+        let mut a = asm::Assembler::new();
+        a.push(asm::movz(6, 200, 0));
+        a.label("loop");
+        a.bl_to("sub");
+        a.push(asm::subi(6, 6, 1));
+        a.cbnz_to(6, "loop");
+        a.push(asm::hlt());
+        a.label("sub");
+        a.push(asm::movz(5, 1, 0));
+        a.push(asm::ret());
+        let mut c = Captive::new(superblock_config());
+        c.load_program(0x1000, &a.finish());
+        c.set_entry(0x1000);
+        assert_eq!(c.run(100_000), RunExit::GuestHalted { code: 0 });
+        assert_eq!(c.guest_reg(5), 1);
+        assert_eq!(c.guest_reg(6), 0);
+        let s = c.stats();
+        assert!(s.superblocks_formed >= 1);
+        assert!(
+            s.superblock_entries > 100,
+            "the superblock is re-entered every iteration: {}",
+            s.superblock_entries
+        );
+        assert!(
+            s.chained_transfers > 100,
+            "chained dispatch continues after each indirect exit"
+        );
+        assert_eq!(
+            s.blocks,
+            s.chained_transfers + s.slow_dispatches,
+            "every entry is chained or dispatched, superblocks included"
+        );
+    }
+
+    #[test]
+    fn superblock_fault_mid_trace_delivers_exact_elr() {
+        // A striding store loop split into two blocks so a superblock forms;
+        // the eventual out-of-bounds store faults *inside* the superblock
+        // and must still deliver the exact faulting PC into ELR.
+        let mut a = asm::Assembler::new();
+        a.mov_imm64(9, 0x2000);
+        a.push(asm::msr(guest_aarch64::SysReg::Vbar as u32, 9));
+        a.mov_imm64(1, 0x100_0000); // 16 MiB
+        a.mov_imm64(2, 0xDEAD);
+        a.mov_imm64(3, 0x1_0000); // 64 KiB stride → 256 iterations to 32 MiB
+        a.label("loop");
+        let fault_idx = a.here();
+        a.push(asm::str(2, 1, 0));
+        a.push(asm::add(1, 1, 3));
+        a.b_to("m");
+        a.label("m");
+        a.b_to("loop");
+        let main = a.finish();
+        let fault_pc = 0x1000 + fault_idx as u64 * 4;
+
+        let mut v = asm::Assembler::new();
+        v.push(asm::mrs(10, guest_aarch64::SysReg::Elr as u32));
+        v.push(asm::mrs(11, guest_aarch64::SysReg::Far as u32));
+        v.push(asm::hlt());
+
+        let mut c = Captive::new(superblock_config());
+        c.load_program(0x1000, &main);
+        c.load_program(0x2000, &v.finish());
+        c.set_entry(0x1000);
+        assert_eq!(c.run(100_000), RunExit::GuestHalted { code: 0 });
+        assert_eq!(c.guest_reg(10), fault_pc, "ELR is the faulting PC");
+        assert_eq!(c.guest_reg(11), 0x200_0000, "FAR is the first OOB address");
+        let s = c.stats();
+        assert!(
+            s.superblocks_formed >= 1,
+            "the loop got hot before faulting"
+        );
+        assert!(s.superblock_transfers > 100);
+    }
+
+    #[test]
+    fn per_block_profiles_split_chained_and_superblock_entries() {
+        let words = multi_block_loop(1000);
+        let mut c = Captive::new(CaptiveConfig {
+            superblocks: true,
+            per_block_stats: true,
+            ..CaptiveConfig::default()
+        });
+        c.load_program(0x1000, &words);
+        c.set_entry(0x1000);
+        assert_eq!(c.run(100_000), RunExit::GuestHalted { code: 0 });
+        let profiles = c.block_profiles();
+        let mut chained = 0u64;
+        let mut superblock = 0u64;
+        let mut dispatched = 0u64;
+        for p in profiles.values() {
+            assert!(
+                p.chained_executions + p.superblock_executions <= p.executions,
+                "split entries never exceed the total"
+            );
+            assert!(p.chained_cycles + p.superblock_cycles <= p.cycles);
+            chained += p.chained_executions;
+            superblock += p.superblock_executions;
+            dispatched += p.dispatched_executions();
+        }
+        let s = c.stats();
+        assert_eq!(
+            chained + superblock + dispatched,
+            s.blocks,
+            "profile split covers every interpreter entry"
+        );
+        assert!(
+            superblock > 500,
+            "superblock executions are attributed to their entry block"
+        );
+        assert!(chained > 0, "pre-formation chained entries are attributed");
+    }
+
+    #[test]
+    fn data_gtlb_caches_guest_walks_across_repeated_faults() {
+        // MMU-on guest: a store loop hammers a read-only page, taking a data
+        // abort per iteration whose handler skips the store.  Every host
+        // fault needs the guest walk result; only the first may actually
+        // walk — the rest must hit the data-side gTLB (no TLBI intervenes).
+        use guest_aarch64::mmu::{GuestPageFlags, GuestPageTableBuilder};
+        // Build the guest translation tables in a scratch map (the builder
+        // needs simultaneous read/write views), then copy them into guest
+        // physical memory: the code and vector pages identity-mapped, the
+        // target page read-only.
+        let table = std::cell::RefCell::new(HashMap::<u64, u64>::new());
+        let mut b = GuestPageTableBuilder::new(0x10_0000, 0x18_0000);
+        {
+            let mut map = |va: u64, pa: u64, flags: GuestPageFlags| {
+                assert!(b.map(
+                    |a| Some(*table.borrow().get(&a).unwrap_or(&0)),
+                    |a, v| {
+                        table.borrow_mut().insert(a, v);
+                    },
+                    va,
+                    pa,
+                    flags,
+                ));
+            };
+            map(0x1000, 0x1000, GuestPageFlags::kernel_rw());
+            map(0x2000, 0x2000, GuestPageFlags::kernel_rw());
+            map(
+                0x40_0000,
+                0x5000,
+                GuestPageFlags {
+                    valid: true,
+                    writable: false,
+                    user: true,
+                },
+            );
+        }
+        let mut c = Captive::new(CaptiveConfig::default());
+        for (&a, &v) in table.borrow().iter() {
+            c.write_guest_phys(a, v, 8);
+        }
+        let root = b.root;
+
+        let mut a = asm::Assembler::new();
+        a.mov_imm64(9, 0x2000);
+        a.push(asm::msr(guest_aarch64::SysReg::Vbar as u32, 9));
+        a.mov_imm64(0, root);
+        a.push(asm::msr(guest_aarch64::SysReg::Ttbr0 as u32, 0));
+        a.push(asm::movz(0, 1, 0));
+        a.push(asm::msr(guest_aarch64::SysReg::Sctlr as u32, 0)); // MMU on
+        a.mov_imm64(1, 0x40_0000);
+        a.push(asm::movz(6, 50, 0));
+        a.label("loop");
+        a.push(asm::str(2, 1, 0)); // write to the RO page: data abort
+        a.push(asm::subi(6, 6, 1));
+        a.cbnz_to(6, "loop");
+        a.push(asm::hlt());
+        let mut v = asm::Assembler::new();
+        v.push(asm::mrs(10, guest_aarch64::SysReg::Elr as u32));
+        v.push(asm::addi(10, 10, 4));
+        v.push(asm::msr(guest_aarch64::SysReg::Elr as u32, 10));
+        v.push(asm::eret());
+
+        c.load_program(0x1000, &a.finish());
+        c.load_program(0x2000, &v.finish());
+        c.set_entry(0x1000);
+        assert_eq!(c.run(100_000), RunExit::GuestHalted { code: 0 });
+        assert_eq!(c.guest_reg(6), 0, "all 50 aborts were handled");
+        let s = c.stats();
+        assert_eq!(s.guest_exceptions, 50);
+        assert!(
+            s.dtlb_hits >= 49,
+            "repeated faults on the same VA must hit the gTLB: {} hits / {} misses",
+            s.dtlb_hits,
+            s.dtlb_misses
+        );
+        assert!(
+            s.dtlb_misses <= 4,
+            "only first-touch faults may walk: {} misses",
+            s.dtlb_misses
         );
     }
 

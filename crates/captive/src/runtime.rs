@@ -2,7 +2,7 @@
 //! handling (the accelerated virtual memory system), guest exception
 //! delivery, and minimal device emulation (hypervisor console).
 
-use crate::itlb::FetchTlb;
+use crate::itlb::{DataTlb, FetchTlb};
 use crate::layout;
 use crate::FpMode;
 use guest_aarch64::gen::helpers;
@@ -10,6 +10,15 @@ use guest_aarch64::{esr_class, mmu, SysReg};
 use hvm::paging::{self, FrameAlloc, PageFlags};
 use hvm::{FaultAction, Gpr, HelperResult, Machine, Ring, Runtime};
 use std::collections::HashSet;
+
+/// Cycle cost of taking a data-side host fault and evaluating guest
+/// permissions (ring transition, ESR decode, bookkeeping).
+const DFAULT_BASE: u64 = 300;
+/// Cycle cost of a software-assisted guest page-table walk (several
+/// dependent guest memory reads) — charged only on real data-gTLB misses.
+const DWALK_COST: u64 = 600;
+/// Cycle cost of installing the host PTE mirroring a resolved guest mapping.
+const DMAP_COST: u64 = 200;
 
 /// SVC immediate used as the hypervisor console hypercall (putchar of X0).
 pub const SVC_PUTCHAR: u32 = 0xFF0;
@@ -80,6 +89,10 @@ pub struct CaptiveRuntime {
     context_generation: u64,
     /// Fetch-side instruction TLB (VPN→PFN for instruction fetches).
     pub fetch_tlb: FetchTlb,
+    /// Data-side guest TLB: caches guest walk results for the host
+    /// page-fault handler, flushed (via the generation stamp) on
+    /// TLBI/TTBR0/SCTLR like the fetch TLB.
+    pub data_tlb: DataTlb,
 }
 
 impl CaptiveRuntime {
@@ -125,6 +138,7 @@ impl CaptiveRuntime {
             fp_env: softfloat::FpEnv::arm(),
             context_generation: 0,
             fetch_tlb: FetchTlb::new(),
+            data_tlb: DataTlb::new(),
         }
     }
 
@@ -424,55 +438,80 @@ impl Runtime for CaptiveRuntime {
                 FaultAction::Propagate { cost: 350 }
             }
         } else {
-            // Guest MMU on: walk the guest page tables and mirror the result
-            // into the host page tables (Section 2.7.3).
-            let ttbr0 = self.read_gregfile(machine, guest_aarch64::TTBR0_OFF);
-            let guest_ram = self.guest_ram;
-            let base = layout::GUEST_PHYS_BASE;
-            let walk = {
-                let mem = &machine.mem;
-                mmu::walk_guest(
-                    |a| match a.checked_add(8) {
-                        Some(end) if end <= guest_ram => mem.read_u64(base + a).ok(),
-                        _ => None,
-                    },
-                    ttbr0,
-                    vaddr,
-                )
-            };
-            match walk {
-                Ok(w) => {
-                    let user_access = machine.ring == Ring::Ring3;
-                    if (write && !w.flags.writable) || (user_access && !w.flags.user) {
-                        return FaultAction::Propagate { cost: 900 };
-                    }
-                    let gpage = w.frame & !0xFFF;
-                    let is_code = self.code_pages.contains(&gpage);
-                    if write && is_code {
-                        self.code_pages.remove(&gpage);
-                        self.smc_dirty.push(gpage);
-                    }
-                    let flags = PageFlags {
-                        present: true,
-                        writable: w.flags.writable && (write || !is_code),
-                        user: w.flags.user,
+            // Guest MMU on: resolve the guest translation — through the
+            // data-side gTLB when a current-generation entry covers the page,
+            // walking the guest page tables (and caching the result) only on
+            // a real miss — then mirror it into the host page tables
+            // (Section 2.7.3).  The walk portion of the handler cost is
+            // charged only when a walk actually happened.
+            let ctx_gen = self.context_generation;
+            let (gpage, g_writable, g_user, walk_cost) = match self.data_tlb.lookup(vaddr, ctx_gen)
+            {
+                Some(e) => (e.page_pa, e.writable, e.user, 0),
+                None => {
+                    let ttbr0 = self.read_gregfile(machine, guest_aarch64::TTBR0_OFF);
+                    let guest_ram = self.guest_ram;
+                    let base = layout::GUEST_PHYS_BASE;
+                    let walk = {
+                        let mem = &machine.mem;
+                        mmu::walk_guest(
+                            |a| match a.checked_add(8) {
+                                Some(end) if end <= guest_ram => mem.read_u64(base + a).ok(),
+                                _ => None,
+                            },
+                            ttbr0,
+                            vaddr,
+                        )
                     };
-                    let ok = paging::map_page(
-                        &mut machine.mem,
-                        self.host_pt_root,
-                        page,
-                        layout::GUEST_PHYS_BASE + gpage,
-                        flags,
-                        &mut self.frame_alloc,
-                    );
-                    machine.tlb.flush_page(vaddr);
-                    if ok {
-                        FaultAction::Retry { cost: 1100 }
-                    } else {
-                        FaultAction::Propagate { cost: 1100 }
+                    match walk {
+                        Ok(w) => {
+                            self.data_tlb.insert(
+                                vaddr,
+                                w.frame,
+                                w.flags.writable,
+                                w.flags.user,
+                                ctx_gen,
+                            );
+                            (w.frame & !0xFFF, w.flags.writable, w.flags.user, DWALK_COST)
+                        }
+                        Err(_) => {
+                            return FaultAction::Propagate {
+                                cost: DFAULT_BASE + DWALK_COST,
+                            }
+                        }
                     }
                 }
-                Err(_) => FaultAction::Propagate { cost: 900 },
+            };
+            let user_access = machine.ring == Ring::Ring3;
+            if (write && !g_writable) || (user_access && !g_user) {
+                return FaultAction::Propagate {
+                    cost: DFAULT_BASE + walk_cost,
+                };
+            }
+            let is_code = self.code_pages.contains(&gpage);
+            if write && is_code {
+                self.code_pages.remove(&gpage);
+                self.smc_dirty.push(gpage);
+            }
+            let flags = PageFlags {
+                present: true,
+                writable: g_writable && (write || !is_code),
+                user: g_user,
+            };
+            let ok = paging::map_page(
+                &mut machine.mem,
+                self.host_pt_root,
+                page,
+                layout::GUEST_PHYS_BASE + gpage,
+                flags,
+                &mut self.frame_alloc,
+            );
+            machine.tlb.flush_page(vaddr);
+            let cost = DFAULT_BASE + DMAP_COST + walk_cost;
+            if ok {
+                FaultAction::Retry { cost }
+            } else {
+                FaultAction::Propagate { cost }
             }
         }
     }

@@ -5,11 +5,12 @@
 //! instruction, at a page boundary, or at the configured instruction limit.
 
 use crate::layout;
-use crate::runtime::sf_helpers;
+use crate::runtime::{sf_helpers, CaptiveRuntime};
 use crate::FpMode;
 use dbt::emitter::ValueType;
 use dbt::{
-    lower, regalloc, BlockExit, ChainLinks, Emitter, GuestIsa, Phase, PhaseTimers, TranslatedBlock,
+    lower, regalloc, BlockExit, ChainLinks, CodeCache, Emitter, GuestIsa, Phase, PhaseTimers,
+    SuperMeta, TranslatedBlock,
 };
 use guest_aarch64::gen::Decoded;
 use guest_aarch64::isa::{FpKind, Insn};
@@ -111,6 +112,239 @@ pub fn translate_block(
         code: Arc::new(code),
         exit,
         links: ChainLinks::default(),
+        super_meta: None,
+    }
+}
+
+/// Maximum constituent basic blocks stitched into one superblock.
+pub const SUPERBLOCK_MAX_BLOCKS: usize = 32;
+
+/// Forms a superblock: re-decodes and re-lowers the hot chained path
+/// starting at `entry_pc`/`entry_pa` as one translation, stitching direct
+/// jumps and fallthroughs into internal transfers and turning the off-trace
+/// leg of interior conditionals into side-exit stubs.  The trace stops at
+/// indirect exits, already-visited constituent starts (loop closure),
+/// untranslatable target pages, `max_insns` guest instructions, or
+/// [`SUPERBLOCK_MAX_BLOCKS`] constituents.  Returns `None` when fewer than
+/// two constituents would be stitched (a superblock would add nothing over
+/// the plain block).
+///
+/// For interior conditionals the continuation leg is chosen by profile: the
+/// hotter chain-link slot of the cached block containing the branch, falling
+/// back to the static backward-branch heuristic when the profile is empty.
+///
+/// Formation is pure JIT work: it charges no simulated cycles and touches no
+/// iTLB/gTLB counters (guest translations are resolved through the
+/// uncharged walker).
+#[allow(clippy::too_many_arguments)]
+pub fn form_superblock(
+    isa: &Aarch64Isa,
+    machine: &mut Machine,
+    runtime: &mut CaptiveRuntime,
+    timers: &mut PhaseTimers,
+    cache: &CodeCache,
+    entry_pc: u64,
+    entry_pa: u64,
+    max_insns: usize,
+    fp_mode: FpMode,
+) -> Option<TranslatedBlock> {
+    let ctx_gen = runtime.context_generation();
+    let mut emitter = Emitter::new();
+    let mut guest_insns = 0usize;
+    let mut constituents = 1usize;
+    let mut pages: Vec<u64> = vec![entry_pa & !0xFFF];
+    let mut visited: Vec<u64> = vec![entry_pc];
+    let mut va = entry_pc;
+    let mut page_va = entry_pc & !0xFFF;
+    let mut page_pa = entry_pa & !0xFFF;
+    // Start of the constituent currently being translated (physical), used
+    // to consult the plain block's link heats for leg selection.
+    let mut block_start_pa = entry_pa;
+
+    loop {
+        // Sequential page crossing: a fallthrough constituent boundary.
+        if (va & !0xFFF) != page_va {
+            if guest_insns >= max_insns || constituents >= SUPERBLOCK_MAX_BLOCKS {
+                break;
+            }
+            match runtime.guest_va_to_pa(machine, va, false) {
+                Ok(pa) => {
+                    page_va = va & !0xFFF;
+                    page_pa = pa & !0xFFF;
+                    if !pages.contains(&page_pa) {
+                        pages.push(page_pa);
+                    }
+                    constituents += 1;
+                    visited.push(va);
+                    block_start_pa = pa;
+                    emitter.trace_edge();
+                }
+                // The next page is not translatable right now: end the trace
+                // with a fallthrough exit and let the dispatcher fault.
+                Err(_) => break,
+            }
+        }
+        let pa_i = page_pa | (va & 0xFFF);
+        let word = machine
+            .mem
+            .read_uint(layout::GUEST_PHYS_BASE + pa_i, 4)
+            .unwrap_or(0) as u32;
+        let decoded = timers.time(Phase::Decode, || isa.decode(word, va));
+        let Some(d) = decoded else {
+            // Undefined instruction: raise a guest UNDEF exception, exactly
+            // as the per-block translator does, and end the trace.
+            timers.time(Phase::Translate, || {
+                let class = emitter.const_u64(guest_aarch64::esr_class::UNDEFINED);
+                let iss = emitter.const_u64(0);
+                let ret = emitter.const_u64(va);
+                emitter.call_helper(
+                    guest_aarch64::gen::helpers::TAKE_EXCEPTION,
+                    &[class, iss, ret],
+                );
+                emitter.set_end_of_block();
+            });
+            guest_insns += 1;
+            va += 4;
+            break;
+        };
+
+        // For direct terminators, pick the on-trace continuation (if the
+        // trace may continue at all) and resolve its physical address before
+        // generating, so the stitched leg is known to be translatable.
+        let budget_left = guest_insns + 1 < max_insns && constituents < SUPERBLOCK_MAX_BLOCKS;
+        let continuation = if budget_left {
+            match d.insn {
+                Insn::B { offset } | Insn::Bl { offset } => Some(va.wrapping_add(offset as u64)),
+                Insn::BCond { offset, .. }
+                | Insn::Cbz { offset, .. }
+                | Insn::Cbnz { offset, .. } => {
+                    let taken = va.wrapping_add(offset as u64);
+                    let fallthrough = va.wrapping_add(4);
+                    Some(choose_leg(cache, block_start_pa, va, taken, fallthrough))
+                }
+                _ => None,
+            }
+            .filter(|t| !visited.contains(t))
+            .and_then(|t| {
+                runtime
+                    .guest_va_to_pa(machine, t, false)
+                    .ok()
+                    .map(|p| (t, p))
+            })
+        } else {
+            None
+        };
+
+        if let Some((target, target_pa)) = continuation {
+            emitter.set_trace_next(target);
+            timers.time(Phase::Translate, || {
+                if fp_mode == FpMode::Software {
+                    generate_maybe_soft_fp(&d, &mut emitter, isa);
+                } else {
+                    isa.generate(&d, &mut emitter);
+                }
+            });
+            if emitter.take_stitched() {
+                guest_insns += 1;
+                constituents += 1;
+                visited.push(target);
+                va = target;
+                page_va = target & !0xFFF;
+                page_pa = target_pa & !0xFFF;
+                if !pages.contains(&page_pa) {
+                    pages.push(page_pa);
+                }
+                block_start_pa = target_pa;
+                continue;
+            }
+            // The generator terminated without stitching (e.g. a folded
+            // conditional resolved to the other leg): the trace ends here.
+            guest_insns += 1;
+            va += 4;
+            break;
+        }
+
+        let end = timers.time(Phase::Translate, || {
+            let end = if fp_mode == FpMode::Software {
+                generate_maybe_soft_fp(&d, &mut emitter, isa)
+            } else {
+                isa.generate(&d, &mut emitter)
+            };
+            if !end {
+                emitter.inc_pc(4);
+            }
+            end
+        });
+        guest_insns += 1;
+        va += 4;
+        if end || guest_insns >= max_insns {
+            break;
+        }
+    }
+
+    if constituents < 2 {
+        return None;
+    }
+
+    let exit = emitter
+        .exit_hint()
+        .unwrap_or(BlockExit::Fallthrough { next: va });
+    let lir = emitter.finish();
+    let lir_count = lir.len();
+    let allocation = timers.time(Phase::RegAlloc, || regalloc::allocate(&lir));
+    let (code, encoded) = timers.time(Phase::Encode, || {
+        let code = lower::lower(&lir, &allocation);
+        let encoded = hvm::encode::encode_block(&code);
+        (code, encoded)
+    });
+    timers.blocks += 1;
+    timers.guest_insns += guest_insns as u64;
+
+    Some(TranslatedBlock {
+        key: entry_pa,
+        guest_phys: entry_pa,
+        guest_virt: entry_pc,
+        guest_insns,
+        encoded_bytes: encoded.len(),
+        lir_insns: lir_count,
+        code: Arc::new(code),
+        exit,
+        links: ChainLinks::default(),
+        super_meta: Some(SuperMeta {
+            pages,
+            ctx_gen,
+            constituents,
+        }),
+    })
+}
+
+/// Picks the continuation leg of an interior conditional: the hotter chain
+/// link of the cached block holding the branch, falling back to "backward
+/// taken targets are loops" when the profile is empty or tied.
+fn choose_leg(
+    cache: &CodeCache,
+    block_pa: u64,
+    branch_va: u64,
+    taken: u64,
+    fallthrough: u64,
+) -> u64 {
+    if let Some(b) = cache.peek(block_pa) {
+        if matches!(b.exit, BlockExit::Branch { .. }) {
+            let taken_heat = b.link_heat(0);
+            let fall_heat = b.link_heat(1);
+            if taken_heat != fall_heat {
+                return if taken_heat > fall_heat {
+                    taken
+                } else {
+                    fallthrough
+                };
+            }
+        }
+    }
+    if taken <= branch_va {
+        taken
+    } else {
+        fallthrough
     }
 }
 

@@ -32,6 +32,47 @@
 //! Lookup stats are interior-mutable so the dispatcher can probe the cache
 //! through a shared reference while holding `Arc`s to blocks it is chaining
 //! between.
+//!
+//! # Superblocks
+//!
+//! Chained blocks still bounce through the interpreter's inner loop between
+//! every block.  To amortise that per-block entry/exit overhead over hot
+//! paths, the hypervisor *stitches* chained sequences into **superblocks**:
+//! single translations covering several guest basic blocks, with internal
+//! fallthroughs ([`hvm::MachInsn::TraceEdge`] markers) where chained
+//! transfers used to be, and side-exit stubs that restore precise guest
+//! PC/ELR state on the off-trace leg of every interior conditional.
+//!
+//! **Formation policy** (profile-guided, implemented by the Captive
+//! dispatcher over this cache):
+//!
+//! * every chain link carries a *heat* counter, bumped on each chained
+//!   transfer through it; when a link's heat crosses the hot threshold
+//!   (`CaptiveConfig::superblock_threshold`, default 16), a superblock is
+//!   formed starting at the link's target;
+//! * the trace follows direct-jump and fallthrough terminators, and for
+//!   conditional branches the leg whose chain link is hotter (falling back
+//!   to the backward-branch heuristic), stopping at indirect exits,
+//!   already-visited constituent starts (loop closure), untranslatable
+//!   target pages, and a length cap (`CaptiveConfig::superblock_max_insns`,
+//!   default 256 guest instructions / 32 constituents);
+//! * traces with fewer than two constituents are not worth a superblock and
+//!   are discarded.
+//!
+//! **Storage and dispatch.** Superblocks live here alongside plain blocks,
+//! in a second map keyed by the guest physical address of their entry, each
+//! carrying a [`SuperMeta`] record (constituent pages, formation context
+//! generation, constituent count).  The dispatcher prefers a valid
+//! superblock over the plain block at the same key, and superblocks both
+//! chain and are chained to through the ordinary link machinery.
+//!
+//! **Invalidation.** A superblock stitches a *virtual* control-flow path, so
+//! it is only dispatched while the current context generation matches its
+//! formation stamp — any guest `TLBI`/`TTBR0`/`SCTLR` write retires it
+//! wholesale (together with every chain link into it).  Self-modifying code
+//! on *any* constituent page — not just the entry page — discards the
+//! superblock via [`CodeCache::invalidate_phys_page`], which also bumps the
+//! epoch so dispatcher-held references die.
 
 use hvm::MachInsn;
 use std::cell::{Cell, RefCell};
@@ -82,6 +123,9 @@ pub enum BlockExit {
 struct ChainLink {
     ctx_gen: u64,
     cache_epoch: u64,
+    /// Transfers that followed this link (profile input for superblock
+    /// formation; reset whenever the link is re-patched).
+    heat: u64,
     to: Weak<TranslatedBlock>,
 }
 
@@ -89,6 +133,20 @@ struct ChainLink {
 #[derive(Debug, Default)]
 pub struct ChainLinks {
     slots: [RefCell<Option<ChainLink>>; 2],
+}
+
+/// Metadata attached to a superblock (a translation stitched from several
+/// guest basic blocks along a hot chain path).
+#[derive(Debug, Clone)]
+pub struct SuperMeta {
+    /// Guest physical pages the constituent blocks occupy; self-modifying
+    /// code on any of them kills the superblock.
+    pub pages: Vec<u64>,
+    /// Context generation the trace's VA→PA stitching was resolved under;
+    /// the superblock is only dispatched while this matches.
+    pub ctx_gen: u64,
+    /// Number of constituent basic blocks stitched together.
+    pub constituents: usize,
 }
 
 /// One translated guest basic block.
@@ -113,6 +171,8 @@ pub struct TranslatedBlock {
     pub exit: BlockExit,
     /// Successor links, patched lazily by the dispatcher.
     pub links: ChainLinks,
+    /// Present when this translation is a superblock.
+    pub super_meta: Option<SuperMeta>,
 }
 
 impl TranslatedBlock {
@@ -151,13 +211,47 @@ impl TranslatedBlock {
     }
 
     /// Patches the link in `slot` to point at `to`, stamped with the context
-    /// generation and cache epoch it was resolved under.
+    /// generation and cache epoch it was resolved under.  Resets the link's
+    /// heat: the profile restarts for the new target.
     pub fn set_link(&self, slot: usize, ctx_gen: u64, cache_epoch: u64, to: &Arc<TranslatedBlock>) {
         *self.links.slots[slot].borrow_mut() = Some(ChainLink {
             ctx_gen,
             cache_epoch,
+            heat: 0,
             to: Arc::downgrade(to),
         });
+    }
+
+    /// Bumps the transfer counter of the link in `slot`, returning the new
+    /// heat (0 when the slot holds no link).
+    pub fn heat_up(&self, slot: usize) -> u64 {
+        match self.links.slots[slot].borrow_mut().as_mut() {
+            Some(link) => {
+                link.heat += 1;
+                link.heat
+            }
+            None => 0,
+        }
+    }
+
+    /// Current heat of the link in `slot` (0 when unpatched).
+    pub fn link_heat(&self, slot: usize) -> u64 {
+        self.links.slots[slot]
+            .borrow()
+            .as_ref()
+            .map_or(0, |l| l.heat)
+    }
+
+    /// Guest physical pages this translation's guest code occupies (the
+    /// entry block's span for plain blocks, every constituent page for
+    /// superblocks).
+    pub fn code_pages(&self) -> Vec<u64> {
+        if let Some(meta) = &self.super_meta {
+            return meta.pages.clone();
+        }
+        let start = self.guest_phys & !0xFFF;
+        let end = self.guest_phys + self.guest_bytes();
+        (start..end).step_by(4096).map(|p| p & !0xFFF).collect()
     }
 }
 
@@ -191,6 +285,9 @@ impl CacheStats {
 pub struct CodeCache {
     index: CacheIndex,
     blocks: HashMap<u64, Arc<TranslatedBlock>>,
+    /// Superblocks, keyed by the guest physical address of their entry block
+    /// (dispatched preferentially over the plain block at the same key).
+    supers: HashMap<u64, Arc<TranslatedBlock>>,
     /// Bumped whenever an invalidation removes blocks; chain links stamped
     /// with an older epoch are dead.
     epoch: Cell<u64>,
@@ -206,6 +303,7 @@ impl CodeCache {
         CodeCache {
             index,
             blocks: HashMap::new(),
+            supers: HashMap::new(),
             epoch: Cell::new(0),
             hits: Cell::new(0),
             misses: Cell::new(0),
@@ -252,6 +350,40 @@ impl CodeCache {
         arc
     }
 
+    /// Looks up a block without touching the hit/miss statistics (used by
+    /// the superblock former to consult link heats).
+    pub fn peek(&self, key: u64) -> Option<Arc<TranslatedBlock>> {
+        self.blocks.get(&key).map(Arc::clone)
+    }
+
+    /// Inserts a superblock under its entry block's guest physical address,
+    /// replacing any previous (e.g. stale-generation) superblock there.
+    #[allow(clippy::arc_with_non_send_sync)]
+    pub fn insert_super(&mut self, block: TranslatedBlock) -> Arc<TranslatedBlock> {
+        debug_assert!(block.super_meta.is_some(), "insert_super needs SuperMeta");
+        let arc = Arc::new(block);
+        self.supers.insert(arc.guest_phys, Arc::clone(&arc));
+        arc
+    }
+
+    /// Returns the superblock entered at `guest_phys` if one exists and its
+    /// formation context generation is still current.
+    pub fn get_super(&self, guest_phys: u64, ctx_gen: u64) -> Option<Arc<TranslatedBlock>> {
+        let sb = self.supers.get(&guest_phys)?;
+        let meta = sb.super_meta.as_ref()?;
+        if meta.ctx_gen == ctx_gen {
+            Some(Arc::clone(sb))
+        } else {
+            None
+        }
+    }
+
+    /// Number of cached superblocks (stale-generation ones included until
+    /// they are replaced or invalidated).
+    pub fn super_count(&self) -> usize {
+        self.supers.len()
+    }
+
     /// Number of cached blocks.
     pub fn len(&self) -> usize {
         self.blocks.len()
@@ -276,8 +408,9 @@ impl CodeCache {
     /// page-table change when indexing by virtual address).
     pub fn invalidate_all(&mut self) {
         self.invalidated_full
-            .set(self.invalidated_full.get() + self.blocks.len() as u64);
+            .set(self.invalidated_full.get() + (self.blocks.len() + self.supers.len()) as u64);
         self.blocks.clear();
+        self.supers.clear();
         self.epoch.set(self.epoch.get() + 1);
     }
 
@@ -287,13 +420,19 @@ impl CodeCache {
     /// bump additionally kills links *from* blocks the dispatcher still holds.
     pub fn invalidate_phys_page(&mut self, page_base: u64) {
         let page_end = page_base + 4096;
-        let before = self.blocks.len();
+        let before = self.blocks.len() + self.supers.len();
         self.blocks.retain(|_, b| {
             let start = b.guest_phys;
             let end = b.guest_phys + b.guest_bytes();
             end <= page_base || start >= page_end
         });
-        let removed = (before - self.blocks.len()) as u64;
+        // A superblock dies when *any* constituent page is written, not just
+        // the page its entry lives in.
+        self.supers.retain(|_, sb| match &sb.super_meta {
+            Some(m) => !m.pages.contains(&page_base),
+            None => true,
+        });
+        let removed = (before - self.blocks.len() - self.supers.len()) as u64;
         if removed > 0 {
             self.invalidated_page
                 .set(self.invalidated_page.get() + removed);
@@ -301,9 +440,14 @@ impl CodeCache {
         }
     }
 
-    /// Total bytes of encoded host code currently cached.
+    /// Total bytes of encoded host code currently cached (superblocks
+    /// included).
     pub fn total_encoded_bytes(&self) -> usize {
-        self.blocks.values().map(|b| b.encoded_bytes).sum()
+        self.blocks
+            .values()
+            .chain(self.supers.values())
+            .map(|b| b.encoded_bytes)
+            .sum()
     }
 
     /// Total guest instructions covered by cached translations.
@@ -331,6 +475,18 @@ mod tests {
             lir_insns: insns * 12,
             exit,
             links: ChainLinks::default(),
+            super_meta: None,
+        }
+    }
+
+    fn superblock(entry: u64, insns: usize, pages: Vec<u64>, ctx_gen: u64) -> TranslatedBlock {
+        TranslatedBlock {
+            super_meta: Some(SuperMeta {
+                constituents: pages.len().max(2),
+                pages,
+                ctx_gen,
+            }),
+            ..block_with_exit(entry, entry, insns, BlockExit::Jump { target: entry })
         }
     }
 
@@ -441,6 +597,68 @@ mod tests {
         c.invalidate_phys_page(0x2000);
         // Both the weak upgrade and the epoch stamp now refuse the link.
         assert!(a.follow_link(0, 0, c.epoch()).is_none());
+    }
+
+    #[test]
+    fn link_heat_accumulates_and_resets_on_repatch() {
+        let mut c = CodeCache::new(CacheIndex::GuestPhysical);
+        let a = c.insert(block_with_exit(
+            0x1000,
+            0x1000,
+            1,
+            BlockExit::Jump { target: 0x2000 },
+        ));
+        let b = c.insert(block(0x2000, 0x2000, 1));
+        assert_eq!(a.heat_up(0), 0, "no link, no heat");
+        a.set_link(0, 0, c.epoch(), &b);
+        assert_eq!(a.heat_up(0), 1);
+        assert_eq!(a.heat_up(0), 2);
+        assert_eq!(a.link_heat(0), 2);
+        a.set_link(0, 0, c.epoch(), &b);
+        assert_eq!(a.link_heat(0), 0, "re-patching restarts the profile");
+    }
+
+    #[test]
+    fn superblocks_are_keyed_by_entry_and_gated_on_generation() {
+        let mut c = CodeCache::new(CacheIndex::GuestPhysical);
+        c.insert_super(superblock(0x1000, 8, vec![0x1000, 0x2000], 5));
+        assert!(c.get_super(0x1000, 5).is_some());
+        assert!(c.get_super(0x1000, 6).is_none(), "stale generation");
+        assert!(
+            c.get_super(0x2000, 5).is_none(),
+            "interior page is not a key"
+        );
+        assert_eq!(c.super_count(), 1);
+    }
+
+    #[test]
+    fn smc_on_any_constituent_page_kills_the_superblock() {
+        let mut c = CodeCache::new(CacheIndex::GuestPhysical);
+        c.insert_super(superblock(0x1000, 8, vec![0x1000, 0x2000], 0));
+        let epoch_before = c.epoch();
+        c.invalidate_phys_page(0x2000); // interior page, not the entry page
+        assert_eq!(c.super_count(), 0);
+        assert!(c.epoch() > epoch_before, "epoch bump retires held links");
+        assert_eq!(c.stats().invalidated_page, 1);
+    }
+
+    #[test]
+    fn full_invalidation_clears_superblocks_too() {
+        let mut c = CodeCache::new(CacheIndex::GuestVirtual);
+        c.insert(block(0x1000, 0x1000, 3));
+        c.insert_super(superblock(0x1000, 8, vec![0x1000], 0));
+        c.invalidate_all();
+        assert!(c.is_empty());
+        assert_eq!(c.super_count(), 0);
+        assert_eq!(c.stats().invalidated_full, 2);
+    }
+
+    #[test]
+    fn code_pages_cover_span_or_constituents() {
+        let plain = block_with_exit(0x1FF8, 0x1FF8, 4, BlockExit::Indirect);
+        assert_eq!(plain.code_pages(), vec![0x1000, 0x2000]);
+        let sb = superblock(0x1000, 8, vec![0x1000, 0x5000], 0);
+        assert_eq!(sb.code_pages(), vec![0x1000, 0x5000]);
     }
 
     #[test]

@@ -234,6 +234,14 @@ pub struct Emitter {
     /// no terminator has been emitted (the translator turns that into
     /// [`BlockExit::Fallthrough`] when the block ends at a limit).
     exit: Option<BlockExit>,
+    /// Trace-stitching mode (superblock formation): when the next direct
+    /// terminator targets this VA, the emitter keeps the block open — the
+    /// on-trace leg sets the PC and falls through (plus a
+    /// [`LirInsn::TraceEdge`] marker), the off-trace leg of a conditional
+    /// becomes a side-exit stub that sets the PC and returns.
+    trace_next: Option<u64>,
+    /// Set when the last terminator was stitched instead of ending the block.
+    stitched: bool,
     stats: EmitStats,
 }
 
@@ -255,6 +263,8 @@ impl Emitter {
             helper_seq: 0,
             end_of_block: false,
             exit: None,
+            trace_next: None,
+            stitched: false,
             stats: EmitStats::default(),
         }
     }
@@ -309,6 +319,38 @@ impl Emitter {
     /// Emission statistics for the block so far.
     pub fn stats(&self) -> EmitStats {
         self.stats
+    }
+
+    // -- trace stitching (superblock formation) ------------------------------
+
+    /// Arms trace-stitching for the next generated instruction: a direct
+    /// terminator whose on-trace target is `va` will fall through into the
+    /// next constituent instead of ending the block.
+    pub fn set_trace_next(&mut self, va: u64) {
+        self.trace_next = Some(va);
+        self.stitched = false;
+    }
+
+    /// Disarms stitching and reports whether the last terminator was
+    /// stitched (fell through) rather than ending the block.
+    pub fn take_stitched(&mut self) -> bool {
+        self.trace_next = None;
+        self.stitched
+    }
+
+    /// Emits an intra-superblock constituent-boundary marker (used directly
+    /// by the superblock former for page-crossing fallthrough edges).
+    pub fn trace_edge(&mut self) {
+        self.emit(LirInsn::TraceEdge);
+    }
+
+    /// Stitches a direct transfer to `target`: the PC is updated for precise
+    /// state, a trace-edge marker is recorded, and the block stays open.
+    fn stitch_to(&mut self, target: u64) {
+        self.emit(LirInsn::SetPcImm { imm: target });
+        self.emit(LirInsn::TraceEdge);
+        self.stitched = true;
+        self.trace_next = None;
     }
 
     // -- constants -----------------------------------------------------------
@@ -889,6 +931,10 @@ impl Emitter {
     /// chaining candidate), a dynamic one an indirect branch.
     pub fn store_pc(&mut self, value: NodeId) {
         if let Some(c) = self.as_const(value) {
+            if self.trace_next == Some(c) {
+                self.stitch_to(c);
+                return;
+            }
             self.emit(LirInsn::SetPcImm { imm: c });
             if self.exit.is_none() {
                 self.exit = Some(BlockExit::Jump { target: c });
@@ -908,12 +954,44 @@ impl Emitter {
     pub fn branch_cond(&mut self, cond: NodeId, taken: u64, fallthrough: u64) {
         if let Some(c) = self.as_const(cond) {
             let target = if c != 0 { taken } else { fallthrough };
+            if self.trace_next == Some(target) {
+                self.stitch_to(target);
+                return;
+            }
             self.emit(LirInsn::SetPcImm { imm: target });
             if self.exit.is_none() {
                 self.exit = Some(BlockExit::Jump { target });
             }
             self.set_end_of_block();
             return;
+        }
+        if let Some(next) = self.trace_next {
+            if next == taken || next == fallthrough {
+                // Stitched conditional: the on-trace leg sets the PC and
+                // falls through to the next constituent; the off-trace leg is
+                // a side-exit stub (PC set to the off-trace target, then a
+                // return to the dispatcher with precise guest state).
+                let (off, on_cond) = if next == taken {
+                    (fallthrough, Cond::Ne)
+                } else {
+                    (taken, Cond::Eq)
+                };
+                let cv = self.eval_to_gpr(cond);
+                let on_label = self.new_label();
+                self.emit(LirInsn::Test {
+                    a: cv,
+                    b: LirOperand::Vreg(cv),
+                });
+                self.emit(LirInsn::SetPcImm { imm: off });
+                self.emit(LirInsn::Jcc {
+                    cond: on_cond,
+                    label: on_label,
+                });
+                self.emit(LirInsn::Ret);
+                self.bind_label(on_label);
+                self.stitch_to(next);
+                return;
+            }
         }
         if self.exit.is_none() {
             self.exit = Some(BlockExit::Branch { taken, fallthrough });

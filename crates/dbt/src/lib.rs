@@ -28,7 +28,9 @@ pub mod lower;
 pub mod regalloc;
 pub mod timing;
 
-pub use cache::{BlockExit, CacheIndex, CacheStats, ChainLinks, CodeCache, TranslatedBlock};
+pub use cache::{
+    BlockExit, CacheIndex, CacheStats, ChainLinks, CodeCache, SuperMeta, TranslatedBlock,
+};
 pub use emitter::{Emitter, Node, NodeId, ValueType};
 pub use lir::{LirInsn, Vreg, VregClass};
 pub use timing::{Phase, PhaseTimers};

@@ -205,6 +205,8 @@ pub enum LirInsn {
     TlbFlushAll,
     /// Flush TLB entries of the current PCID.
     TlbFlushPcid,
+    /// Intra-superblock constituent boundary (stitched block transition).
+    TraceEdge,
 }
 
 /// Scratch registers reserved for spill handling and special lowering;

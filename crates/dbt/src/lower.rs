@@ -461,6 +461,7 @@ impl<'a> Lowerer<'a> {
             LirInsn::Syscall => self.out.push(MachInsn::Syscall),
             LirInsn::TlbFlushAll => self.out.push(MachInsn::TlbFlushAll),
             LirInsn::TlbFlushPcid => self.out.push(MachInsn::TlbFlushPcid),
+            LirInsn::TraceEdge => self.out.push(MachInsn::TraceEdge),
         }
     }
 }

@@ -56,6 +56,10 @@ pub struct CostModel {
     /// Entering a block through a patched direct chain link: a single jump
     /// between translations, with no dispatcher involvement (Section 2.6).
     pub chain: u64,
+    /// Passing from one stitched constituent of a superblock to the next:
+    /// internal fallthrough inside one translation — at most as cheap as a
+    /// chained transfer, since not even an inter-translation jump is needed.
+    pub superblock_transfer: u64,
 }
 
 impl Default for CostModel {
@@ -80,6 +84,7 @@ impl Default for CostModel {
             port_io: 60,
             dispatch: 12,
             chain: 1,
+            superblock_transfer: 1,
         }
     }
 }
@@ -135,6 +140,7 @@ impl CostModel {
                 self.tlb_flush
             }
             MachInsn::Hlt => self.alu,
+            MachInsn::TraceEdge => self.superblock_transfer,
         }
     }
 }
@@ -157,6 +163,10 @@ mod tests {
         assert!(
             c.chain < c.dispatch,
             "chained transfers must be cheaper than dispatches"
+        );
+        assert!(
+            c.superblock_transfer <= c.chain,
+            "intra-superblock transfers must not exceed the chain cost"
         );
     }
 

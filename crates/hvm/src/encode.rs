@@ -529,6 +529,7 @@ pub fn encode(insn: &MachInsn, out: &mut Vec<u8>) -> usize {
             w.gpr(*addr);
         }
         MachInsn::Hlt => w.u8(0x2C),
+        MachInsn::TraceEdge => w.u8(0x2D),
     }
     out.len() - start
 }
@@ -740,6 +741,7 @@ pub fn decode(buf: &[u8], pos: &mut usize) -> Result<MachInsn, CodecError> {
         0x2A => MachInsn::TlbFlushPcid,
         0x2B => MachInsn::Invlpg { addr: r.gpr()? },
         0x2C => MachInsn::Hlt,
+        0x2D => MachInsn::TraceEdge,
         v => return Err(CodecError::Invalid(v)),
     };
     *pos = r.pos;
@@ -917,6 +919,7 @@ mod tests {
             MachInsn::TlbFlushPcid,
             MachInsn::Invlpg { addr: Gpr::Rax },
             MachInsn::Hlt,
+            MachInsn::TraceEdge,
         ]
     }
 

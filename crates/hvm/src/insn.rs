@@ -470,6 +470,11 @@ pub enum MachInsn {
     Invlpg { addr: Gpr },
     /// Halt the machine (ring 0 only) — used by the execution engine to stop.
     Hlt,
+    /// Pseudo-instruction marking an intra-superblock constituent boundary:
+    /// control passed from one stitched guest basic block to the next without
+    /// returning to the dispatcher.  Costs [`crate::CostModel::superblock_transfer`]
+    /// and bumps [`crate::PerfCounters::superblock_transfers`].
+    TraceEdge,
 }
 
 impl MachInsn {
@@ -549,6 +554,7 @@ impl fmt::Display for MachInsn {
             MachInsn::TlbFlushPcid => write!(f, "invtlb pcid"),
             MachInsn::Invlpg { addr } => write!(f, "invlpg ({addr})"),
             MachInsn::Hlt => write!(f, "hlt"),
+            MachInsn::TraceEdge => write!(f, "trace-edge"),
         }
     }
 }

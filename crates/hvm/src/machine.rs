@@ -1058,6 +1058,9 @@ impl Machine {
                     }
                     return ExitReason::Halted;
                 }
+                MachInsn::TraceEdge => {
+                    self.perf.superblock_transfers += 1;
+                }
             }
         }
     }

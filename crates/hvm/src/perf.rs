@@ -35,6 +35,10 @@ pub struct PerfCounters {
     /// Blocks entered through a direct chain link (subset of
     /// `blocks_entered`; these paid the chain cost, not the dispatch cost).
     pub chained_entries: u64,
+    /// Intra-superblock constituent transfers: stitched block boundaries
+    /// crossed without returning to the dispatcher (each one is an
+    /// interpreter entry that chaining alone would have paid for).
+    pub superblock_transfers: u64,
 }
 
 impl PerfCounters {
@@ -70,6 +74,9 @@ impl PerfCounters {
             port_ios: self.port_ios.saturating_sub(earlier.port_ios),
             blocks_entered: self.blocks_entered.saturating_sub(earlier.blocks_entered),
             chained_entries: self.chained_entries.saturating_sub(earlier.chained_entries),
+            superblock_transfers: self
+                .superblock_transfers
+                .saturating_sub(earlier.superblock_transfers),
         }
     }
 }
