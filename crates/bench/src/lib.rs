@@ -48,6 +48,15 @@ pub struct Measurement {
     /// Interpreter entries (blocks executed; chained + dispatched +
     /// superblock entries).
     pub blocks: u64,
+    /// Regfile stores deleted by the LIR optimiser (Captive only; static).
+    pub opt_dead_stores: u64,
+    /// Regfile loads rewritten into register moves (Captive only; static).
+    pub opt_forwarded_loads: u64,
+    /// LIR instructions marked dead by iterative DCE (static).
+    pub opt_dce_insns: u64,
+    /// Dynamic host instructions saved by elimination (eliminated LIR
+    /// instructions × block executions).
+    pub elided_dyn_insns: u64,
 }
 
 impl Measurement {
@@ -81,11 +90,29 @@ pub fn run_captive_with(w: &Workload, fp: FpMode, per_block: bool) -> Measuremen
 }
 
 /// Runs a workload under Captive with chaining forced on or off.
+///
+/// Superblocks are pinned off: this entry point measures *chaining alone*,
+/// and the chaining-gap equality checks (tests and `figures -- chaining`)
+/// pin chain-only cycle accounting.  Re-baselined when
+/// `CaptiveConfig::superblocks` flipped to on-by-default.
 pub fn run_captive_chaining(w: &Workload, chaining: bool) -> Measurement {
     run_captive_cfg(
         w,
         CaptiveConfig {
             chaining,
+            superblocks: false,
+            ..CaptiveConfig::default()
+        },
+    )
+}
+
+/// Runs a workload under Captive with the LIR optimiser forced on or off
+/// (everything else default: chaining and superblocks on).
+pub fn run_captive_opt(w: &Workload, opt: bool) -> Measurement {
+    run_captive_cfg(
+        w,
+        CaptiveConfig {
+            opt,
             ..CaptiveConfig::default()
         },
     )
@@ -133,6 +160,10 @@ pub fn run_captive_cfg(w: &Workload, cfg: CaptiveConfig) -> Measurement {
         superblock_transfers: s.superblock_transfers,
         superblocks_formed: s.superblocks_formed,
         blocks: s.blocks,
+        opt_dead_stores: s.opt_dead_stores,
+        opt_forwarded_loads: s.opt_forwarded_loads,
+        opt_dce_insns: s.opt_dce_insns,
+        elided_dyn_insns: s.elided_dyn_insns,
     }
 }
 
@@ -172,6 +203,10 @@ pub fn run_qemu_chaining(w: &Workload, chaining: bool) -> Measurement {
         superblock_transfers: 0,
         superblocks_formed: 0,
         blocks: s.blocks,
+        opt_dead_stores: 0,
+        opt_forwarded_loads: 0,
+        opt_dce_insns: q.timers.opt_dce_insns,
+        elided_dyn_insns: 0,
     }
 }
 

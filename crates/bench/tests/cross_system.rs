@@ -163,7 +163,13 @@ fn scaled_workloads_agree_across_all_engines() {
         }
     }
     for (name, w) in &programs {
-        let mut chain = Captive::new(CaptiveConfig::default());
+        // Chain-only configuration (superblocks pinned off): re-baselined
+        // when superblocks went default-on, so the superblock run below
+        // still contrasts with chaining alone.
+        let mut chain = Captive::new(CaptiveConfig {
+            superblocks: false,
+            ..CaptiveConfig::default()
+        });
         chain.load_program(workloads::CODE_BASE, &w.words);
         chain.set_entry(w.entry);
         assert!(matches!(
@@ -253,6 +259,109 @@ fn superblocks_cut_interpreter_entries_on_dispatch_bound_loop() {
 }
 
 #[test]
+fn optimizer_on_off_and_baseline_agree_on_flag_heavy_kernels() {
+    // The LIR optimizer must be architecturally invisible: the flag-heavy
+    // SPEC kernels (data-dependent branches over NZCV) retire the same
+    // register file *and* flags with the optimizer on, off, and under the
+    // QEMU-style baseline.
+    for w in workloads::spec_int(Scale(1)).into_iter().take(8) {
+        let run = |opt: bool| {
+            let mut c = Captive::new(CaptiveConfig {
+                opt,
+                ..CaptiveConfig::default()
+            });
+            c.load_program(workloads::CODE_BASE, &w.words);
+            c.set_entry(w.entry);
+            assert!(matches!(
+                c.run(50_000_000),
+                captive::RunExit::GuestHalted { .. }
+            ));
+            c
+        };
+        let mut on = run(true);
+        let mut off = run(false);
+        let mut q = QemuRef::new(32 * 1024 * 1024);
+        q.load_program(workloads::CODE_BASE, &w.words);
+        q.set_entry(w.entry);
+        assert!(matches!(
+            q.run(50_000_000),
+            qemu_ref::RunExit::GuestHalted { .. }
+        ));
+        for r in 0..31 {
+            let v = on.guest_reg(r);
+            assert_eq!(v, off.guest_reg(r), "{}: x{r} diverged opt on/off", w.name);
+            assert_eq!(v, q.guest_reg(r), "{}: x{r} diverged from baseline", w.name);
+        }
+        assert_eq!(
+            on.guest_nzcv(),
+            off.guest_nzcv(),
+            "{}: NZCV diverged opt on/off",
+            w.name
+        );
+        assert_eq!(
+            on.guest_nzcv(),
+            q.guest_nzcv(),
+            "{}: NZCV diverged from baseline",
+            w.name
+        );
+        assert!(
+            on.stats().cycles <= off.stats().cycles,
+            "{}: optimizer may not cost cycles",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn optimizer_preserves_superblock_side_exit_state() {
+    // Flag-heavy two-block loop whose conditional leg gets stitched: the
+    // side-exit stub must still deliver an exact register file with the
+    // optimizer eliminating stores around it.
+    let mut a = Assembler::new();
+    a.push(asm::movz(1, 500, 0));
+    a.push(asm::movz(9, 0, 0));
+    a.push(asm::movz(2, 1, 0));
+    a.label("loop");
+    a.push(asm::adds(9, 9, 2)); // flag-setting; NZCV dead (overwritten below)
+    a.push(asm::subis(1, 1, 1)); // flag-setting; NZCV read by the branch
+    a.bcond_to(guest_aarch64::isa::Cond::Eq, "done"); // cold leg → side exit
+    a.b_to("loop");
+    a.label("done");
+    a.push(asm::hlt());
+    let words = a.finish();
+    let run = |opt: bool| {
+        let mut c = Captive::new(CaptiveConfig {
+            opt,
+            ..CaptiveConfig::default()
+        });
+        c.load_program(0x1000, &words);
+        c.set_entry(0x1000);
+        assert!(matches!(
+            c.run(50_000_000),
+            captive::RunExit::GuestHalted { .. }
+        ));
+        c
+    };
+    let mut on = run(true);
+    let mut off = run(false);
+    assert_eq!(on.guest_reg(9), 500);
+    assert_eq!(on.guest_reg(1), 0);
+    for r in 0..16 {
+        assert_eq!(on.guest_reg(r), off.guest_reg(r), "x{r}");
+    }
+    assert_eq!(on.guest_nzcv(), off.guest_nzcv(), "NZCV at the side exit");
+    assert!(
+        on.stats().superblocks_formed >= 1,
+        "the loop must get hot enough to stitch"
+    );
+    assert!(
+        on.stats().opt_dead_stores >= 1,
+        "the adds NZCV store is dead and must be eliminated"
+    );
+    assert!(on.stats().cycles <= off.stats().cycles);
+}
+
+#[test]
 fn simbench_programs_terminate_on_both_systems() {
     for b in simbench::suite() {
         let (c, q) = bench::run_both_raw(b.name, &b.words, b.entry);
@@ -314,5 +423,63 @@ proptest! {
         for r in 0..8 {
             prop_assert_eq!(c.guest_reg(r), q.guest_reg(r), "x{} diverged", r);
         }
+    }
+
+    /// Random ALU/flag/branch sequences retire an identical final guest
+    /// register file (flags included) with the LIR optimizer on and off.
+    /// Conditional branches always skip exactly one instruction forward, so
+    /// every program terminates; the mix of flag-setting ALU ops, compares,
+    /// conditional selects and branches exercises dead-flag elimination,
+    /// NZCV forwarding and the iterative DCE sweep.
+    #[test]
+    fn random_flag_programs_agree_with_optimizer_on_and_off(
+        ops in proptest::collection::vec((0u8..8, 0u32..8, 0u32..8, 0u32..8, 0u8..4), 1..60)
+    ) {
+        use guest_aarch64::isa::Cond;
+        let conds = [Cond::Eq, Cond::Ne, Cond::Hi, Cond::Lt];
+        let mut a = Assembler::new();
+        for r in 0..8u32 {
+            a.mov_imm64(r, 0x0123_4567_89AB_CDEFu64.wrapping_mul(r as u64 + 3));
+        }
+        for (kind, rd, rn, rm, c) in ops {
+            let cond = conds[c as usize];
+            let w = match kind {
+                0 => asm::adds(rd, rn, rm),
+                1 => asm::subs(rd, rn, rm),
+                2 => asm::ands(rd, rn, rm),
+                3 => asm::cmp(rn, rm),
+                4 => asm::csel(rd, rn, rm, cond),
+                5 => asm::add(rd, rn, rm),
+                6 => asm::eor(rd, rn, rm),
+                // Forward conditional branch over exactly one instruction:
+                // both legs rejoin, so termination is structural.
+                _ => asm::bcond(cond, 8),
+            };
+            a.push(w);
+        }
+        // Two HLTs: a trailing branch may skip the first one.
+        a.push(asm::hlt());
+        a.push(asm::hlt());
+        let words = a.finish();
+
+        let run = |opt: bool| {
+            let mut c = Captive::new(CaptiveConfig {
+                opt,
+                ..CaptiveConfig::default()
+            });
+            c.load_program(0x1000, &words);
+            c.set_entry(0x1000);
+            assert!(matches!(
+                c.run(1_000_000),
+                captive::RunExit::GuestHalted { .. }
+            ));
+            c
+        };
+        let mut on = run(true);
+        let mut off = run(false);
+        for r in 0..8 {
+            prop_assert_eq!(on.guest_reg(r), off.guest_reg(r), "x{} diverged", r);
+        }
+        prop_assert_eq!(on.guest_nzcv(), off.guest_nzcv(), "NZCV diverged");
     }
 }

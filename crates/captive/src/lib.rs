@@ -103,6 +103,11 @@ pub struct CaptiveConfig {
     /// Enable profile-guided superblock formation over hot chain paths
     /// (requires `chaining`, which provides the link-heat profile).
     pub superblocks: bool,
+    /// Enable the block-scoped LIR optimiser (`dbt::opt`): store-to-load
+    /// forwarding through register-file slots and dead regfile-store
+    /// elimination, with the allocator's iterative DCE sweeping the value
+    /// chains feeding eliminated stores.
+    pub opt: bool,
     /// Chain-link transfer count at which the link's target becomes a
     /// superblock trace head.
     pub superblock_threshold: u64,
@@ -123,7 +128,8 @@ impl Default for CaptiveConfig {
             guest_ram: 32 * 1024 * 1024,
             fp_mode: FpMode::Hardware,
             chaining: true,
-            superblocks: false,
+            superblocks: true,
+            opt: true,
             superblock_threshold: 16,
             superblock_max_insns: 256,
             max_block_insns: 64,
@@ -190,6 +196,19 @@ pub struct RunStats {
     pub superblocks_formed: u64,
     /// Interpreter entries that executed a superblock (subset of `blocks`).
     pub superblock_entries: u64,
+    /// Stale-generation superblocks evicted by the context-generation sweep.
+    pub superblocks_evicted: u64,
+    /// Regfile stores deleted by the LIR optimiser across all translations
+    /// (static count).
+    pub opt_dead_stores: u64,
+    /// Regfile loads the optimiser rewrote into register moves (static).
+    pub opt_forwarded_loads: u64,
+    /// LIR instructions marked dead by the allocator's iterative DCE
+    /// (static).
+    pub opt_dce_insns: u64,
+    /// Dynamic host instructions saved: per block entry, the LIR
+    /// instructions eliminated from that translation before encoding.
+    pub elided_dyn_insns: u64,
 }
 
 /// Per-block execution record (for the code-quality scatter plot, Fig. 21).
@@ -243,6 +262,10 @@ pub struct Captive {
     config: CaptiveConfig,
     stats: RunStats,
     per_block: HashMap<u64, BlockProfile>,
+    /// Context generation the superblock map was last swept under; stale
+    /// superblocks are evicted the first time the dispatcher runs after a
+    /// generation bump.
+    swept_super_gen: u64,
 }
 
 impl Captive {
@@ -270,6 +293,7 @@ impl Captive {
             config,
             stats: RunStats::default(),
             per_block: HashMap::new(),
+            swept_super_gen: 0,
         }
     }
 
@@ -317,6 +341,14 @@ impl Captive {
             .expect("regfile write");
     }
 
+    /// Reads the guest's NZCV flags nibble from the register file (used by
+    /// the cross-engine equivalence tests: the optimiser must preserve the
+    /// architectural flags, not just the general registers).
+    pub fn guest_nzcv(&mut self) -> u64 {
+        let addr = self.runtime.regfile_phys + guest_aarch64::NZCV_OFF as u64;
+        self.machine.mem.read_u64(addr).unwrap_or(0)
+    }
+
     /// Console output accumulated from the guest (hypervisor UART).
     pub fn console(&self) -> &[u8] {
         &self.runtime.uart_output
@@ -333,6 +365,11 @@ impl Captive {
         s.dtlb_hits = self.runtime.data_tlb.hits;
         s.dtlb_misses = self.runtime.data_tlb.misses;
         s.superblock_transfers = self.machine.perf.superblock_transfers;
+        s.superblocks_evicted = self.cache.stats().evicted_stale_supers;
+        s.opt_dead_stores = self.timers.opt_dead_stores;
+        s.opt_forwarded_loads = self.timers.opt_forwarded_loads;
+        s.opt_dce_insns = self.timers.opt_dce_insns;
+        s.elided_dyn_insns = self.machine.perf.elided_insns;
         s
     }
 
@@ -387,6 +424,7 @@ impl Captive {
                         pa,
                         self.config.max_block_insns,
                         self.config.fp_mode,
+                        self.config.opt,
                     );
                     self.runtime.note_code_page(&mut self.machine, pa & !0xFFF);
                     self.cache.insert(block)
@@ -398,7 +436,16 @@ impl Captive {
             // The virtual-address guard matters because a superblock stitches
             // a *virtual* control-flow path.
             if self.config.superblocks {
-                if let Some(sb) = self.cache.get_super(pa, self.runtime.context_generation()) {
+                // First dispatch after a context-generation bump: sweep the
+                // superblock map, evicting every stale-generation entry (they
+                // can never be dispatched again and would otherwise linger
+                // until replaced — unbounded on TLBI-heavy guests).
+                let gen = self.runtime.context_generation();
+                if gen != self.swept_super_gen {
+                    self.cache.evict_stale_supers(gen);
+                    self.swept_super_gen = gen;
+                }
+                if let Some(sb) = self.cache.get_super(pa, gen) {
                     if sb.guest_virt == pc {
                         block = sb;
                     }
@@ -448,6 +495,10 @@ impl Captive {
                 }
                 self.stats.blocks += 1;
                 self.stats.guest_insns += block.guest_insns as u64;
+                // Dynamic instructions-saved accounting: every entry into the
+                // block benefits from the LIR instructions eliminated at
+                // translation time.
+                self.machine.perf.elided_insns += block.elided_insns as u64;
                 if block.super_meta.is_some() {
                     self.stats.superblock_entries += 1;
                 }
@@ -588,6 +639,7 @@ impl Captive {
             next.guest_phys,
             self.config.superblock_max_insns,
             self.config.fp_mode,
+            self.config.opt,
         ) else {
             // A one-constituent trace is not worth a superblock; the exact
             // threshold trigger means we will not retry for this link.
@@ -793,9 +845,12 @@ mod tests {
         a.push(asm::hlt());
         let words = a.finish();
 
+        // Superblocks are pinned off: this test pins *chain-only* cycle
+        // accounting (re-baselined when superblocks went default-on).
         let run = |chaining: bool| {
             let mut c = Captive::new(CaptiveConfig {
                 chaining,
+                superblocks: false,
                 ..CaptiveConfig::default()
             });
             c.load_program(0x1000, &words);
@@ -1287,6 +1342,90 @@ mod tests {
             s.dtlb_misses <= 4,
             "only first-touch faults may walk: {} misses",
             s.dtlb_misses
+        );
+    }
+
+    #[test]
+    fn context_generation_bump_sweeps_stale_superblocks() {
+        // A hot multi-block loop forms a superblock; the TLBI afterwards
+        // bumps the context generation, and the next slow dispatch must
+        // evict the now-unreachable stale-generation superblock instead of
+        // letting it linger until replaced.
+        let mut a = asm::Assembler::new();
+        a.push(asm::movz(1, 3000, 0));
+        a.push(asm::movz(9, 0, 0));
+        a.label("loop");
+        a.b_to("a");
+        a.label("a");
+        a.push(asm::addi(9, 9, 1));
+        a.push(asm::subi(1, 1, 1));
+        a.cbnz_to(1, "loop");
+        a.push(asm::tlbi());
+        a.push(asm::movz(5, 7, 0));
+        a.push(asm::hlt());
+        let (mut c, exit) = boot(&a.finish());
+        assert_eq!(exit, RunExit::GuestHalted { code: 0 });
+        assert_eq!(c.guest_reg(9), 3000);
+        assert_eq!(c.guest_reg(5), 7);
+        let s = c.stats();
+        assert!(s.superblocks_formed >= 1, "the loop must get hot");
+        assert_eq!(
+            c.cache.super_count(),
+            0,
+            "the generation bump must sweep the stale superblock"
+        );
+        assert!(
+            s.superblocks_evicted >= 1,
+            "the sweep is recorded in the stats"
+        );
+    }
+
+    #[test]
+    fn optimizer_reports_eliminated_work_and_saves_cycles() {
+        // Back-to-back flag setters: the first NZCV store is dead, the
+        // loads of x9/x1 forward, and the run must be architecturally
+        // identical but cheaper than with the optimizer off.
+        let mut a = asm::Assembler::new();
+        a.push(asm::movz(1, 1000, 0));
+        a.push(asm::movz(9, 0, 0));
+        a.push(asm::movz(2, 1, 0));
+        a.label("loop");
+        a.push(asm::adds(9, 9, 2)); // NZCV overwritten unread
+        a.push(asm::subis(1, 1, 1)); // NZCV read by the branch
+        a.bcond_to(guest_aarch64::isa::Cond::Ne, "loop");
+        a.push(asm::hlt());
+        let words = a.finish();
+        let run = |opt: bool| {
+            let mut c = Captive::new(CaptiveConfig {
+                opt,
+                ..CaptiveConfig::default()
+            });
+            c.load_program(0x1000, &words);
+            c.set_entry(0x1000);
+            assert_eq!(c.run(100_000), RunExit::GuestHalted { code: 0 });
+            c
+        };
+        let mut on = run(true);
+        let mut off = run(false);
+        for r in 0..16 {
+            assert_eq!(on.guest_reg(r), off.guest_reg(r), "x{r} diverged");
+        }
+        let son = on.stats();
+        let soff = off.stats();
+        assert!(son.opt_dead_stores >= 1, "the adds NZCV store is dead");
+        assert!(son.opt_forwarded_loads >= 1, "regfile loads forward");
+        assert!(
+            son.elided_dyn_insns > 1000,
+            "every loop trip benefits from the eliminated instructions: {}",
+            son.elided_dyn_insns
+        );
+        assert_eq!(soff.opt_dead_stores, 0);
+        assert_eq!(soff.opt_forwarded_loads, 0);
+        assert!(
+            son.cycles < soff.cycles,
+            "the optimizer must save modeled cycles ({} vs {})",
+            son.cycles,
+            soff.cycles
         );
     }
 

@@ -1,16 +1,19 @@
-//! The per-block translation driver: decode → generate → allocate → encode.
+//! The per-block translation driver: decode → generate → optimise →
+//! allocate → encode.
 //!
 //! This is the online pipeline of Fig. 8, timed per phase for the Fig. 20
-//! experiment.  Guest basic blocks end at the first branch/exception
-//! instruction, at a page boundary, or at the configured instruction limit.
+//! experiment, plus the explicit block-scoped optimisation phase
+//! (`dbt::opt`) between emission and register allocation.  Guest basic
+//! blocks end at the first branch/exception instruction, at a page boundary,
+//! or at the configured instruction limit.
 
 use crate::layout;
 use crate::runtime::{sf_helpers, CaptiveRuntime};
 use crate::FpMode;
 use dbt::emitter::ValueType;
 use dbt::{
-    lower, regalloc, BlockExit, ChainLinks, CodeCache, Emitter, GuestIsa, Phase, PhaseTimers,
-    SuperMeta, TranslatedBlock,
+    BlockExit, ChainLinks, CodeCache, Emitter, GuestIsa, Phase, PhaseTimers, SuperMeta,
+    TranslatedBlock,
 };
 use guest_aarch64::gen::Decoded;
 use guest_aarch64::isa::{FpKind, Insn};
@@ -29,6 +32,7 @@ pub fn translate_block(
     pa: u64,
     max_insns: usize,
     fp_mode: FpMode,
+    run_opt: bool,
 ) -> TranslatedBlock {
     let mut emitter = Emitter::new();
     let mut guest_insns = 0usize;
@@ -93,12 +97,7 @@ pub fn translate_block(
 
     let lir = emitter.finish();
     let lir_count = lir.len();
-    let allocation = timers.time(Phase::RegAlloc, || regalloc::allocate(&lir));
-    let (code, encoded) = timers.time(Phase::Encode, || {
-        let code = lower::lower(&lir, &allocation);
-        let encoded = hvm::encode::encode_block(&code);
-        (code, encoded)
-    });
+    let (code, encoded, elided) = dbt::finish_translation(timers, lir, run_opt);
     timers.blocks += 1;
     timers.guest_insns += guest_insns as u64;
 
@@ -109,6 +108,7 @@ pub fn translate_block(
         guest_insns,
         encoded_bytes: encoded.len(),
         lir_insns: lir_count,
+        elided_insns: elided,
         code: Arc::new(code),
         exit,
         links: ChainLinks::default(),
@@ -147,6 +147,7 @@ pub fn form_superblock(
     entry_pa: u64,
     max_insns: usize,
     fp_mode: FpMode,
+    run_opt: bool,
 ) -> Option<TranslatedBlock> {
     let ctx_gen = runtime.context_generation();
     let mut emitter = Emitter::new();
@@ -291,12 +292,7 @@ pub fn form_superblock(
         .unwrap_or(BlockExit::Fallthrough { next: va });
     let lir = emitter.finish();
     let lir_count = lir.len();
-    let allocation = timers.time(Phase::RegAlloc, || regalloc::allocate(&lir));
-    let (code, encoded) = timers.time(Phase::Encode, || {
-        let code = lower::lower(&lir, &allocation);
-        let encoded = hvm::encode::encode_block(&code);
-        (code, encoded)
-    });
+    let (code, encoded, elided) = dbt::finish_translation(timers, lir, run_opt);
     timers.blocks += 1;
     timers.guest_insns += guest_insns as u64;
 
@@ -307,6 +303,7 @@ pub fn form_superblock(
         guest_insns,
         encoded_bytes: encoded.len(),
         lir_insns: lir_count,
+        elided_insns: elided,
         code: Arc::new(code),
         exit,
         links: ChainLinks::default(),

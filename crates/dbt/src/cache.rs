@@ -167,6 +167,10 @@ pub struct TranslatedBlock {
     pub encoded_bytes: usize,
     /// Host instructions before dead-code elimination (diagnostic).
     pub lir_insns: usize,
+    /// LIR instructions eliminated before encoding (optimiser deletions plus
+    /// allocator dead-marks); multiplied by executions it yields the dynamic
+    /// instructions-saved counters.
+    pub elided_insns: usize,
     /// Terminator metadata for direct chaining.
     pub exit: BlockExit,
     /// Successor links, patched lazily by the dispatcher.
@@ -266,6 +270,8 @@ pub struct CacheStats {
     pub invalidated_full: u64,
     /// Blocks discarded by per-page invalidations (self-modifying code).
     pub invalidated_page: u64,
+    /// Stale-generation superblocks evicted by the context-generation sweep.
+    pub evicted_stale_supers: u64,
 }
 
 impl CacheStats {
@@ -295,6 +301,7 @@ pub struct CodeCache {
     misses: Cell<u64>,
     invalidated_full: Cell<u64>,
     invalidated_page: Cell<u64>,
+    evicted_stale_supers: Cell<u64>,
 }
 
 impl CodeCache {
@@ -309,6 +316,7 @@ impl CodeCache {
             misses: Cell::new(0),
             invalidated_full: Cell::new(0),
             invalidated_page: Cell::new(0),
+            evicted_stale_supers: Cell::new(0),
         }
     }
 
@@ -379,9 +387,27 @@ impl CodeCache {
     }
 
     /// Number of cached superblocks (stale-generation ones included until
-    /// they are replaced or invalidated).
+    /// they are replaced, invalidated or swept).
     pub fn super_count(&self) -> usize {
         self.supers.len()
+    }
+
+    /// Evicts every superblock whose formation context generation is not
+    /// `ctx_gen`, returning how many were dropped.  The dispatcher calls
+    /// this once per observed generation bump: stale superblocks can never
+    /// be dispatched again (the generation gate in [`CodeCache::get_super`]
+    /// refuses them), so keeping them only leaks memory on TLBI-heavy
+    /// guests.  Dropping the `Arc`s also kills chain links into them; no
+    /// epoch bump is needed because generation-stamped links are already
+    /// dead.
+    pub fn evict_stale_supers(&mut self, ctx_gen: u64) -> usize {
+        let before = self.supers.len();
+        self.supers
+            .retain(|_, sb| sb.super_meta.as_ref().is_some_and(|m| m.ctx_gen == ctx_gen));
+        let removed = before - self.supers.len();
+        self.evicted_stale_supers
+            .set(self.evicted_stale_supers.get() + removed as u64);
+        removed
     }
 
     /// Number of cached blocks.
@@ -401,6 +427,7 @@ impl CodeCache {
             misses: self.misses.get(),
             invalidated_full: self.invalidated_full.get(),
             invalidated_page: self.invalidated_page.get(),
+            evicted_stale_supers: self.evicted_stale_supers.get(),
         }
     }
 
@@ -473,6 +500,7 @@ mod tests {
             code: Arc::new(vec![MachInsn::Ret]),
             encoded_bytes: insns * 40,
             lir_insns: insns * 12,
+            elided_insns: 0,
             exit,
             links: ChainLinks::default(),
             super_meta: None,
@@ -629,6 +657,29 @@ mod tests {
             "interior page is not a key"
         );
         assert_eq!(c.super_count(), 1);
+    }
+
+    #[test]
+    fn stale_generation_sweep_evicts_only_old_superblocks() {
+        let mut c = CodeCache::new(CacheIndex::GuestPhysical);
+        c.insert_super(superblock(0x1000, 8, vec![0x1000], 1));
+        c.insert_super(superblock(0x3000, 8, vec![0x3000], 2));
+        c.insert_super(superblock(0x5000, 8, vec![0x5000], 2));
+        assert_eq!(c.super_count(), 3);
+        let epoch_before = c.epoch();
+        let removed = c.evict_stale_supers(2);
+        assert_eq!(removed, 1, "only the generation-1 superblock is stale");
+        assert_eq!(c.super_count(), 2);
+        assert!(c.get_super(0x3000, 2).is_some());
+        assert!(c.get_super(0x1000, 1).is_none(), "evicted");
+        assert_eq!(c.stats().evicted_stale_supers, 1);
+        assert_eq!(
+            c.epoch(),
+            epoch_before,
+            "sweeping stale superblocks must not retire current links"
+        );
+        // Sweeping again with the same generation is a no-op.
+        assert_eq!(c.evict_stale_supers(2), 0);
     }
 
     #[test]

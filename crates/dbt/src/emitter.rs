@@ -11,6 +11,12 @@
 //! and a few tree patterns are specialised at collapse time (e.g. a PC store
 //! of `PC + imm` becomes a single `add $imm, %r15`) — the "weak form of tree
 //! pattern matching on demand" described in Section 2.3.2.
+//!
+//! Collapse does not discard the register-file slot information it is given:
+//! every regfile load/store keeps its byte offset and access width in the
+//! emitted [`LirInsn`] (classified by [`LirInsn::regfile_load`] /
+//! [`LirInsn::regfile_store`]), which is what lets the [`crate::opt`] passes
+//! reason about slot liveness over the finished LIR.
 
 use crate::cache::BlockExit;
 use crate::lir::{LirInsn, LirMem, LirOperand, Vreg, VregClass};

@@ -8,12 +8,20 @@
 //!    the guest crates provide it).
 //! 2. **Translation** ([`emitter`]) — generator functions call into an
 //!    invocation-DAG builder; nodes with run-time side effects collapse the
-//!    DAG and emit low-level IR ([`lir`]) immediately (Fig. 9).
-//! 3. **Register allocation** ([`regalloc`]) — a fast two-pass live-range
-//!    allocator that also marks dead instructions.
-//! 4. **Instruction encoding** ([`lower`]) — the allocated IR is lowered to
-//!    HVM64 machine instructions, relative jumps are patched, and the block
-//!    is byte-encoded for the code-size statistics.
+//!    DAG and emit low-level IR ([`lir`]) immediately (Fig. 9).  The LIR
+//!    keeps the guest register-file slot metadata (offset + width) the
+//!    collapse produced, so later passes can reason about slot liveness.
+//! 3. **Optimisation** ([`opt`]) — optional block-scoped passes over the
+//!    finished LIR: store-to-load forwarding through register-file slots and
+//!    dead regfile-store elimination (the dead-flag case), run by engines
+//!    that opt in (Captive does; the QEMU-style baseline does not).
+//! 4. **Register allocation** ([`regalloc`]) — a fast live-range allocator
+//!    with iterative dead-code marking that sweeps the value chains feeding
+//!    eliminated stores.
+//! 5. **Instruction encoding** ([`lower`]) — the allocated IR is lowered to
+//!    HVM64 machine instructions (dead instructions skipped), relative jumps
+//!    are patched, and the block is byte-encoded for the code-size
+//!    statistics.
 //!
 //! Translated blocks are kept in a [`cache::CodeCache`] indexed either by
 //! guest *physical* address (Captive) or guest *virtual* address (QEMU-style
@@ -25,6 +33,7 @@ pub mod cache;
 pub mod emitter;
 pub mod lir;
 pub mod lower;
+pub mod opt;
 pub mod regalloc;
 pub mod timing;
 
@@ -32,11 +41,44 @@ pub use cache::{
     BlockExit, CacheIndex, CacheStats, ChainLinks, CodeCache, SuperMeta, TranslatedBlock,
 };
 pub use emitter::{Emitter, Node, NodeId, ValueType};
-pub use lir::{LirInsn, Vreg, VregClass};
+pub use lir::{LirInsn, RegFileAccess, Vreg, VregClass};
+pub use opt::OptStats;
 pub use timing::{Phase, PhaseTimers};
 
 use hvm::MachInsn;
 use std::sync::Arc;
+
+/// Runs the shared back half of the pipeline on finished LIR: the optional
+/// block-scoped optimiser ([`opt`], when `run_opt`), register allocation
+/// with iterative DCE, and lowering/encoding.  Returns the final code, its
+/// byte encoding, and the total LIR instructions eliminated before encoding
+/// (optimiser deletions plus allocator dead-marks).  Both engines call this
+/// — Captive with `run_opt` from its config, the QEMU-style baseline always
+/// without — so the phase and elimination accounting can never desync.
+pub fn finish_translation(
+    timers: &mut PhaseTimers,
+    mut lir: Vec<LirInsn>,
+    run_opt: bool,
+) -> (Vec<MachInsn>, Vec<u8>, usize) {
+    let pre_opt = lir.len();
+    if run_opt {
+        // The optimiser sits between emission and register allocation; its
+        // wall-clock cost is accounted to the regalloc phase budget.
+        let stats = timers.time(Phase::RegAlloc, || opt::optimize(&mut lir));
+        timers.opt_dead_stores += stats.dead_stores as u64;
+        timers.opt_forwarded_loads += stats.forwarded_loads as u64;
+    }
+    let allocation = timers.time(Phase::RegAlloc, || regalloc::allocate(&lir));
+    let dce = allocation.dead.iter().filter(|d| **d).count();
+    timers.opt_dce_insns += dce as u64;
+    let elided = pre_opt - lir.len() + dce;
+    let (code, encoded) = timers.time(Phase::Encode, || {
+        let code = lower::lower(&lir, &allocation);
+        let encoded = hvm::encode::encode_block(&code);
+        (code, encoded)
+    });
+    (code, encoded, elided)
+}
 
 /// A guest instruction-set architecture plugged into the DBT.
 ///

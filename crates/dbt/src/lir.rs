@@ -75,6 +75,40 @@ impl LirMem {
     }
 }
 
+/// A classified fixed-offset access to the guest register file: the byte
+/// offset (off the register-file base pointer) and the access width.  This is
+/// the slot metadata the emitter records at DAG-collapse time; the
+/// [`crate::opt`] passes reason about slot liveness through it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegFileAccess {
+    /// Byte offset of the slot relative to the register-file base.
+    pub offset: i32,
+    /// Access width.
+    pub size: MemSize,
+}
+
+impl RegFileAccess {
+    /// First byte touched.
+    pub fn start(&self) -> i32 {
+        self.offset
+    }
+
+    /// One past the last byte touched.
+    pub fn end(&self) -> i32 {
+        self.offset + self.size.bytes() as i32
+    }
+
+    /// True if this access writes every byte `other` touches.
+    pub fn covers(&self, other: &RegFileAccess) -> bool {
+        self.start() <= other.start() && self.end() >= other.end()
+    }
+
+    /// True if the two accesses share at least one byte.
+    pub fn overlaps(&self, other: &RegFileAccess) -> bool {
+        self.start() < other.end() && other.start() < self.end()
+    }
+}
+
 /// A register-or-immediate LIR operand.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LirOperand {
@@ -332,6 +366,116 @@ impl LirInsn {
         }
     }
 
+    /// The register-file slot this instruction stores to, when the
+    /// destination is a fixed offset off the register-file base (no index).
+    /// Dynamic regfile addressing (an index component) is deliberately not
+    /// classified — it shows up as [`LirInsn::observes_regfile`] instead.
+    pub fn regfile_store(&self) -> Option<RegFileAccess> {
+        match self {
+            LirInsn::Store { addr, size, .. }
+            | LirInsn::StoreImm { addr, size, .. }
+            | LirInsn::StoreXmm { addr, size, .. } => Self::fixed_regfile_slot(addr, *size),
+            _ => None,
+        }
+    }
+
+    /// The register-file slot this instruction loads from, when the source is
+    /// a fixed offset off the register-file base (no index).
+    pub fn regfile_load(&self) -> Option<RegFileAccess> {
+        match self {
+            LirInsn::Load { addr, size, .. }
+            | LirInsn::LoadSx { addr, size, .. }
+            | LirInsn::LoadXmm { addr, size, .. } => Self::fixed_regfile_slot(addr, *size),
+            _ => None,
+        }
+    }
+
+    fn fixed_regfile_slot(addr: &LirMem, size: MemSize) -> Option<RegFileAccess> {
+        match (addr.base, addr.index) {
+            (LirBase::RegFile, None) => Some(RegFileAccess {
+                offset: addr.disp,
+                size,
+            }),
+            _ => None,
+        }
+    }
+
+    /// True when the instruction can observe (or mutate) guest register-file
+    /// state through a channel other than a classified fixed-slot load/store.
+    /// These are the *observers* the [`crate::opt`] passes must respect: a
+    /// regfile store is only dead if a covering store lands before any
+    /// observer, and store-to-load forwarding state dies at every observer.
+    ///
+    /// The observer set, and why each member is in it:
+    ///
+    /// * **Guest-memory accesses** (any memory operand not a fixed regfile
+    ///   slot, loads included): they can fault, and fault delivery hands the
+    ///   guest's exception path a precise register file.
+    /// * **Helper calls**: helpers read and write the register file directly
+    ///   (exception delivery, `ERET`, system-register notification).
+    /// * **Block exits and intra-block control flow** (`Ret`, `Jmp`, `Jcc`,
+    ///   `Label`): a `Ret` mid-block is a superblock side-exit stub, and the
+    ///   side-exit invariant requires every slot to be architecturally
+    ///   current there; labels/jumps are join points the block-scoped passes
+    ///   do not trace through.  [`LirInsn::TraceEdge`] is deliberately *not*
+    ///   an observer — it marks a stitched constituent boundary inside one
+    ///   superblock, which is exactly where cross-block elimination pays.
+    /// * **Ports, interrupts, syscalls, TLB flushes**: they leave the
+    ///   generated code for the hypervisor, which may inspect guest state.
+    /// * **`Lea` of a regfile address / indexed regfile operands**: the slot
+    ///   offset escapes into a register, so later accesses may alias any
+    ///   slot.
+    pub fn observes_regfile(&self) -> bool {
+        let mem_observes = |m: &LirMem| matches!(m.base, LirBase::Vreg(_)) || m.index.is_some();
+        match self {
+            LirInsn::Load { addr, .. }
+            | LirInsn::LoadSx { addr, .. }
+            | LirInsn::Store { addr, .. }
+            | LirInsn::StoreImm { addr, .. }
+            | LirInsn::LoadXmm { addr, .. }
+            | LirInsn::StoreXmm { addr, .. } => mem_observes(addr),
+            // A regfile Lea leaks a slot address; conservatively a barrier
+            // even though the emitter never produces one today.
+            LirInsn::Lea { addr, .. } => matches!(addr.base, LirBase::RegFile),
+            LirInsn::CallHelper { .. }
+            | LirInsn::Ret
+            | LirInsn::Jmp { .. }
+            | LirInsn::Jcc { .. }
+            | LirInsn::Label { .. }
+            | LirInsn::Int { .. }
+            | LirInsn::Out { .. }
+            | LirInsn::In { .. }
+            | LirInsn::Syscall
+            | LirInsn::TlbFlushAll
+            | LirInsn::TlbFlushPcid => true,
+            _ => false,
+        }
+    }
+
+    /// True when executing this instruction updates the host arithmetic
+    /// flags.  Mirrors the HVM interpreter exactly: `Cmp`, `Test`, `FpCmp`
+    /// and the flag-setting subset of ALU operations (`Add`, `Sub`, `And`,
+    /// `Or`, `Xor`); multiplies, divides, shifts, `Neg` and `Not` leave the
+    /// flags alone in the machine model.
+    pub fn writes_host_flags(&self) -> bool {
+        match self {
+            LirInsn::Cmp { .. } | LirInsn::Test { .. } | LirInsn::FpCmp { .. } => true,
+            LirInsn::Alu { op, .. } => matches!(
+                op,
+                AluOp::Add | AluOp::Sub | AluOp::And | AluOp::Or | AluOp::Xor
+            ),
+            _ => false,
+        }
+    }
+
+    /// True when this instruction's behaviour depends on the host flags.
+    pub fn reads_host_flags(&self) -> bool {
+        matches!(
+            self,
+            LirInsn::SetCc { .. } | LirInsn::CmovCc { .. } | LirInsn::Jcc { .. }
+        )
+    }
+
     /// True if the instruction has an effect beyond writing its destination
     /// virtual register (memory, PC, flags consumed later, control flow, ...).
     /// Dead-code marking in the register allocator only removes instructions
@@ -357,5 +501,202 @@ impl LirInsn {
             // effectful keeps the fast allocator conservative and correct.
             _ => true,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hvm::MemSize;
+
+    fn v(id: u32) -> Vreg {
+        Vreg {
+            id,
+            class: VregClass::Gpr,
+        }
+    }
+
+    #[test]
+    fn regfile_accesses_carry_offset_and_width() {
+        let st = LirInsn::Store {
+            src: v(0),
+            addr: LirMem::regfile(256),
+            size: MemSize::U64,
+        };
+        assert_eq!(
+            st.regfile_store(),
+            Some(RegFileAccess {
+                offset: 256,
+                size: MemSize::U64
+            })
+        );
+        assert_eq!(st.regfile_load(), None);
+
+        let ld = LirInsn::Load {
+            dst: v(1),
+            addr: LirMem::regfile(8),
+            size: MemSize::U64,
+        };
+        assert_eq!(
+            ld.regfile_load(),
+            Some(RegFileAccess {
+                offset: 8,
+                size: MemSize::U64
+            })
+        );
+
+        // Guest-memory operands are not classified as regfile slots.
+        let guest = LirInsn::Store {
+            src: v(0),
+            addr: LirMem::vreg(v(2), 0),
+            size: MemSize::U64,
+        };
+        assert_eq!(guest.regfile_store(), None);
+        assert!(guest.observes_regfile(), "guest stores can fault");
+    }
+
+    #[test]
+    fn access_geometry() {
+        let a = RegFileAccess {
+            offset: 0,
+            size: MemSize::U128,
+        };
+        let b = RegFileAccess {
+            offset: 8,
+            size: MemSize::U64,
+        };
+        assert!(a.covers(&b));
+        assert!(!b.covers(&a));
+        assert!(a.overlaps(&b));
+        let c = RegFileAccess {
+            offset: 16,
+            size: MemSize::U64,
+        };
+        assert!(!b.overlaps(&c));
+    }
+
+    #[test]
+    fn observer_audit_over_every_variant() {
+        // Observers: anything that can reach guest regfile state outside a
+        // classified slot access.
+        let observer = [
+            LirInsn::CallHelper { helper: 1 },
+            LirInsn::Ret,
+            LirInsn::Jmp { label: 0 },
+            LirInsn::Jcc {
+                cond: Cond::Eq,
+                label: 0,
+            },
+            LirInsn::Label { id: 0 },
+            LirInsn::Int { vector: 3 },
+            LirInsn::Out { port: 1, src: v(0) },
+            LirInsn::In { dst: v(0), port: 1 },
+            LirInsn::Syscall,
+            LirInsn::TlbFlushAll,
+            LirInsn::TlbFlushPcid,
+            LirInsn::Load {
+                dst: v(0),
+                addr: LirMem::vreg(v(1), 0),
+                size: MemSize::U64,
+            },
+            LirInsn::Lea {
+                dst: v(0),
+                addr: LirMem::regfile(8),
+            },
+        ];
+        for i in &observer {
+            assert!(i.observes_regfile(), "{i:?} must be an observer");
+        }
+        // Non-observers: pure data flow, PC updates, fixed-slot accesses and
+        // crucially the TraceEdge constituent boundary (cross-block
+        // elimination inside superblocks depends on it being transparent).
+        let transparent = [
+            LirInsn::TraceEdge,
+            LirInsn::SetPcImm { imm: 0x1000 },
+            LirInsn::IncPc { imm: 4 },
+            LirInsn::MovImm { dst: v(0), imm: 1 },
+            LirInsn::Store {
+                src: v(0),
+                addr: LirMem::regfile(0),
+                size: MemSize::U64,
+            },
+            LirInsn::Load {
+                dst: v(0),
+                addr: LirMem::regfile(0),
+                size: MemSize::U64,
+            },
+            LirInsn::SetArg {
+                index: 0,
+                src: LirOperand::Imm(1),
+            },
+        ];
+        for i in &transparent {
+            assert!(!i.observes_regfile(), "{i:?} must not be an observer");
+        }
+        // An indexed regfile operand is a dynamic slot: observer.
+        let indexed = LirInsn::Load {
+            dst: v(0),
+            addr: LirMem {
+                base: LirBase::RegFile,
+                index: Some((v(1), 8)),
+                disp: 0,
+            },
+            size: MemSize::U64,
+        };
+        assert!(indexed.observes_regfile());
+        assert_eq!(indexed.regfile_load(), None);
+    }
+
+    #[test]
+    fn flag_classification_matches_the_machine_model() {
+        // Writers per the HVM interpreter.
+        for op in [AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Or, AluOp::Xor] {
+            assert!(LirInsn::Alu {
+                op,
+                dst: v(0),
+                src: LirOperand::Imm(1)
+            }
+            .writes_host_flags());
+        }
+        for op in [AluOp::Mul, AluOp::Shl, AluOp::Shr, AluOp::DivU, AluOp::Ror] {
+            assert!(!LirInsn::Alu {
+                op,
+                dst: v(0),
+                src: LirOperand::Imm(1)
+            }
+            .writes_host_flags());
+        }
+        assert!(LirInsn::Cmp {
+            a: v(0),
+            b: LirOperand::Imm(0)
+        }
+        .writes_host_flags());
+        assert!(LirInsn::Test {
+            a: v(0),
+            b: LirOperand::Imm(0)
+        }
+        .writes_host_flags());
+        assert!(LirInsn::FpCmp { a: v(0), b: v(1) }.writes_host_flags());
+        // Neg/Not leave flags alone in the machine model.
+        assert!(!LirInsn::Neg { dst: v(0) }.writes_host_flags());
+        assert!(!LirInsn::Not { dst: v(0) }.writes_host_flags());
+        // Readers.
+        assert!(LirInsn::SetCc {
+            cond: Cond::Eq,
+            dst: v(0)
+        }
+        .reads_host_flags());
+        assert!(LirInsn::CmovCc {
+            cond: Cond::Ne,
+            dst: v(0),
+            src: v(1)
+        }
+        .reads_host_flags());
+        assert!(LirInsn::Jcc {
+            cond: Cond::Eq,
+            label: 0
+        }
+        .reads_host_flags());
+        assert!(!LirInsn::Jmp { label: 0 }.reads_host_flags());
     }
 }

@@ -16,8 +16,9 @@ use std::collections::HashMap;
 /// register file.
 pub const SPILL_AREA_OFFSET: i32 = -4096;
 
-/// Scratch vector registers used for spilled XMM values.
-const XMM_SCRATCH: [Xmm; 2] = [Xmm(14), Xmm(15)];
+/// Scratch vector registers used for spilled XMM values (three, so an
+/// `FpFma` whose operands all spilled still gets distinct reloads).
+const XMM_SCRATCH: [Xmm; 3] = [Xmm(13), Xmm(14), Xmm(15)];
 
 struct Lowerer<'a> {
     alloc: &'a Allocation,
@@ -123,6 +124,36 @@ impl<'a> Lowerer<'a> {
         }
     }
 
+    /// Resolves a GPR-class vreg used as a *two-address destination*: the
+    /// old value is reloaded from the spill slot if necessary (the
+    /// instruction reads it), and the modified value is stored back after.
+    fn rmw_gpr(&mut self, v: Vreg) -> (Gpr, Option<MachInsn>) {
+        let reg = self.use_gpr(v);
+        let store_back = match self.alloc.assignment.get(&v.id) {
+            Some(Assignment::Spill(slot)) => Some(MachInsn::Store {
+                src: reg,
+                addr: Self::spill_slot_addr(*slot),
+                size: MemSize::U64,
+            }),
+            _ => None,
+        };
+        (reg, store_back)
+    }
+
+    /// XMM-class equivalent of [`Lowerer::rmw_gpr`].
+    fn rmw_xmm(&mut self, v: Vreg) -> (Xmm, Option<MachInsn>) {
+        let reg = self.use_xmm(v);
+        let store_back = match self.alloc.assignment.get(&v.id) {
+            Some(Assignment::Spill(slot)) => Some(MachInsn::StoreXmm {
+                src: reg,
+                addr: Self::spill_slot_addr(*slot),
+                size: MemSize::U128,
+            }),
+            _ => None,
+        };
+        (reg, store_back)
+    }
+
     fn mem(&mut self, m: &LirMem) -> MemRef {
         let base = match m.base {
             LirBase::RegFile => Gpr::Rbp,
@@ -215,15 +246,7 @@ impl<'a> Lowerer<'a> {
             LirInsn::Alu { op, dst, src } => {
                 let s = self.operand(src);
                 // Two-address: the destination is also a source.
-                let d = self.use_gpr(*dst);
-                let sb = match self.alloc.assignment.get(&dst.id) {
-                    Some(Assignment::Spill(slot)) => Some(MachInsn::Store {
-                        src: d,
-                        addr: Self::spill_slot_addr(*slot),
-                        size: MemSize::U64,
-                    }),
-                    _ => None,
-                };
+                let (d, sb) = self.rmw_gpr(*dst);
                 self.push(
                     MachInsn::Alu {
                         op: *op,
@@ -244,12 +267,12 @@ impl<'a> Lowerer<'a> {
                 self.out.push(MachInsn::Test { a: av, b: bv });
             }
             LirInsn::Neg { dst } => {
-                let d = self.use_gpr(*dst);
-                self.out.push(MachInsn::Neg { dst: d });
+                let (d, sb) = self.rmw_gpr(*dst);
+                self.push(MachInsn::Neg { dst: d }, sb);
             }
             LirInsn::Not { dst } => {
-                let d = self.use_gpr(*dst);
-                self.out.push(MachInsn::Not { dst: d });
+                let (d, sb) = self.rmw_gpr(*dst);
+                self.push(MachInsn::Not { dst: d }, sb);
             }
             LirInsn::MovZx { dst, src, size } => {
                 let s = self.use_gpr(*src);
@@ -287,12 +310,18 @@ impl<'a> Lowerer<'a> {
             }
             LirInsn::CmovCc { cond, dst, src } => {
                 let s = self.use_gpr(*src);
-                let d = self.use_gpr(*dst);
-                self.out.push(MachInsn::CmovCc {
-                    cond: *cond,
-                    dst: d,
-                    src: s,
-                });
+                // Read-modify-write: a spilled destination must be stored
+                // back even when the move is not taken (the reload into the
+                // scratch register preserved the old value).
+                let (d, sb) = self.rmw_gpr(*dst);
+                self.push(
+                    MachInsn::CmovCc {
+                        cond: *cond,
+                        dst: d,
+                        src: s,
+                    },
+                    sb,
+                );
             }
             LirInsn::Jmp { label } => {
                 self.fixups.push((self.out.len(), *label));
@@ -389,22 +418,28 @@ impl<'a> Lowerer<'a> {
             }
             LirInsn::Fp { op, dst, src } => {
                 let s = self.use_xmm(*src);
-                let d = self.use_xmm(*dst);
-                self.out.push(MachInsn::Fp {
-                    op: *op,
-                    dst: d,
-                    src: s,
-                });
+                let (d, sb) = self.rmw_xmm(*dst);
+                self.push(
+                    MachInsn::Fp {
+                        op: *op,
+                        dst: d,
+                        src: s,
+                    },
+                    sb,
+                );
             }
             LirInsn::FpFma { dst, a, b } => {
                 let av = self.use_xmm(*a);
                 let bv = self.use_xmm(*b);
-                let d = self.use_xmm(*dst);
-                self.out.push(MachInsn::FpFma {
-                    dst: d,
-                    a: av,
-                    b: bv,
-                });
+                let (d, sb) = self.rmw_xmm(*dst);
+                self.push(
+                    MachInsn::FpFma {
+                        dst: d,
+                        a: av,
+                        b: bv,
+                    },
+                    sb,
+                );
             }
             LirInsn::FpCmp { a, b } => {
                 let av = self.use_xmm(*a);
@@ -433,12 +468,15 @@ impl<'a> Lowerer<'a> {
             }
             LirInsn::Vec { op, dst, src } => {
                 let s = self.use_xmm(*src);
-                let d = self.use_xmm(*dst);
-                self.out.push(MachInsn::Vec {
-                    op: *op,
-                    dst: d,
-                    src: s,
-                });
+                let (d, sb) = self.rmw_xmm(*dst);
+                self.push(
+                    MachInsn::Vec {
+                        op: *op,
+                        dst: d,
+                        src: s,
+                    },
+                    sb,
+                );
             }
             LirInsn::Int { vector } => self.out.push(MachInsn::Int { vector: *vector }),
             LirInsn::Out { port, src } => {
@@ -592,6 +630,63 @@ mod tests {
         } else {
             unreachable!();
         }
+    }
+
+    #[test]
+    fn spilled_two_address_destinations_are_stored_back() {
+        // Regression: a CmovCc (or any read-modify-write form) whose
+        // destination spilled must write the scratch register back to the
+        // spill slot — including when the conditional move is not taken,
+        // since the reload preserved the old value.  Saturate the pool so
+        // the late-defined destination spills.
+        let v = |id| Vreg {
+            id,
+            class: VregClass::Gpr,
+        };
+        let n = crate::lir::GPR_POOL.len() as u32;
+        let mut lir = Vec::new();
+        for i in 0..n {
+            lir.push(LirInsn::MovImm {
+                dst: v(i),
+                imm: i as u64,
+            });
+        }
+        lir.push(LirInsn::MovImm { dst: v(n), imm: 99 });
+        lir.push(LirInsn::Test {
+            a: v(0),
+            b: LirOperand::Vreg(v(0)),
+        });
+        lir.push(LirInsn::CmovCc {
+            cond: hvm::Cond::Ne,
+            dst: v(n),
+            src: v(1),
+        });
+        for i in 0..=n {
+            lir.push(LirInsn::Store {
+                src: v(i),
+                addr: LirMem::regfile((i * 8) as i32),
+                size: MemSize::U64,
+            });
+        }
+        lir.push(LirInsn::Ret);
+        let alloc = allocate(&lir);
+        assert!(
+            matches!(alloc.assignment[&n], crate::regalloc::Assignment::Spill(_)),
+            "the CmovCc destination must have spilled for this regression"
+        );
+        let code = lower(&lir, &alloc);
+        let cmov_pos = code
+            .iter()
+            .position(|i| matches!(i, MachInsn::CmovCc { .. }))
+            .unwrap();
+        assert!(
+            matches!(
+                code[cmov_pos + 1],
+                MachInsn::Store { addr, .. } if addr.base == Gpr::Rbp && addr.disp < 0
+            ),
+            "the spilled CmovCc result must be stored back, got {:?}",
+            &code[cmov_pos..cmov_pos + 2]
+        );
     }
 
     #[test]

@@ -1,19 +1,32 @@
 //! Register allocation over the low-level IR.
 //!
-//! As in the paper (Section 2.3.3): a forward pass discovers live ranges, a
-//! second pass assigns host registers to virtual registers by linear scan
-//! (splitting to spill slots when the pool is exhausted), and instructions
-//! whose results are never used are marked dead so the encoder skips them.
+//! As in the paper (Section 2.3.3): a dead-code pass first marks
+//! instructions whose results cannot be observed, a forward pass over the
+//! surviving instructions discovers live ranges, and a linear scan assigns
+//! host registers (splitting to spill slots when the pool is exhausted).
 //! The algorithm favours speed over optimality — it is part of the
 //! JIT-latency budget measured in Fig. 20.
+//!
+//! Dead-code marking is *iterative*: a single backward liveness pass (which,
+//! with the forward-only control flow the emitter produces, reaches the same
+//! fixpoint a producer-reexamining worklist would) sweeps whole value chains
+//! — when a consumer dies, its producers die with it, so the chains feeding
+//! regfile stores deleted by [`crate::opt`] are removed too.  Host-flag
+//! producers (`Cmp`/`Test`/`FpCmp` and flag-setting ALU ops) are only kept
+//! while a later flag reader demands them, with conservative `true` demand
+//! at labels and unconditional jumps (flags may flow along edges the linear
+//! pass does not trace).  If the unit contains a *backward* jump the pass
+//! bails out to the original one-shot `use_count == 0` marking, which is
+//! correct for arbitrary control flow.
 
 use crate::lir::{LirInsn, Vreg, VregClass, GPR_POOL};
 use hvm::{Gpr, Xmm};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
-/// Vector registers available to the allocator (the top two are reserved as
-/// spill scratch).
-pub const XMM_POOL: [u8; 14] = [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13];
+/// Vector registers available to the allocator (the top three are reserved
+/// as spill scratch — `FpFma` can need reloads for all three of its
+/// operands).
+pub const XMM_POOL: [u8; 13] = [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12];
 
 /// Where a virtual register ended up.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,28 +59,109 @@ struct Range {
     end: usize,
 }
 
-/// Runs liveness analysis, dead-code marking and linear-scan assignment.
-pub fn allocate(lir: &[LirInsn]) -> Allocation {
-    // Forward pass: first and last occurrence of every vreg, plus use counts.
-    let mut first: HashMap<u32, (Vreg, usize)> = HashMap::new();
-    let mut last: HashMap<u32, usize> = HashMap::new();
+/// Iterative dead-code marking: backward liveness over virtual registers and
+/// host flags.  See the module docs for the rules and the backward-jump
+/// bail-out.
+fn mark_dead(lir: &[LirInsn]) -> Vec<bool> {
+    // Find label positions; a jump to a label at or before itself makes the
+    // single backward pass unsound (liveness would have to iterate), so fall
+    // back to the conservative one-shot marking.
+    let mut label_pos: HashMap<u32, usize> = HashMap::new();
+    for (i, insn) in lir.iter().enumerate() {
+        if let LirInsn::Label { id } = insn {
+            label_pos.insert(*id, i);
+        }
+    }
+    let has_backward_jump = lir.iter().enumerate().any(|(i, insn)| match insn {
+        LirInsn::Jmp { label } | LirInsn::Jcc { label, .. } => {
+            label_pos.get(label).is_some_and(|&p| p <= i)
+        }
+        _ => false,
+    });
+    if has_backward_jump {
+        return mark_dead_one_shot(lir);
+    }
+
+    let mut dead = vec![false; lir.len()];
+    let mut live: HashSet<u32> = HashSet::new();
+    // Whether some later kept instruction reads the host flags before a kept
+    // writer overwrites them.
+    let mut flags_demanded = false;
+    let mut scratch = Vec::with_capacity(4);
+    for (i, insn) in lir.iter().enumerate().rev() {
+        let needed = match insn {
+            // Unconditional effects: memory, PC, control flow, calls and
+            // their argument setup, system operations, block structure.
+            LirInsn::Store { .. }
+            | LirInsn::StoreImm { .. }
+            | LirInsn::StoreXmm { .. }
+            | LirInsn::SetPcImm { .. }
+            | LirInsn::SetPcReg { .. }
+            | LirInsn::IncPc { .. }
+            | LirInsn::SetArg { .. }
+            | LirInsn::CallHelper { .. }
+            | LirInsn::Int { .. }
+            | LirInsn::Out { .. }
+            | LirInsn::In { .. }
+            | LirInsn::Syscall
+            | LirInsn::TlbFlushAll
+            | LirInsn::TlbFlushPcid
+            | LirInsn::TraceEdge
+            | LirInsn::Ret
+            | LirInsn::Jmp { .. }
+            | LirInsn::Jcc { .. }
+            | LirInsn::Label { .. } => true,
+            // Everything else lives only through its destination (or, for
+            // flag writers, through an outstanding flag demand).
+            _ => {
+                let def_live = insn.def().is_some_and(|d| live.contains(&d.id));
+                def_live || (insn.writes_host_flags() && flags_demanded)
+            }
+        };
+        if needed {
+            scratch.clear();
+            insn.uses(&mut scratch);
+            for u in &scratch {
+                live.insert(u.id);
+            }
+            // Backward flag bookkeeping: a kept writer satisfies later
+            // demand; a kept reader creates demand for earlier writers.
+            if insn.writes_host_flags() {
+                flags_demanded = false;
+            }
+            if insn.reads_host_flags() {
+                flags_demanded = true;
+            }
+            // Flags may flow along control-flow edges this linear pass does
+            // not trace; be conservative at joins and unconditional jumps.
+            if matches!(insn, LirInsn::Label { .. } | LirInsn::Jmp { .. }) {
+                flags_demanded = true;
+            }
+            if matches!(insn, LirInsn::Ret) {
+                // Host flags are not guest state; nothing beyond a return to
+                // the dispatcher can read them.
+                flags_demanded = false;
+            }
+        } else {
+            dead[i] = true;
+        }
+    }
+    dead
+}
+
+/// The original one-shot marking: pure instructions whose destination is
+/// never read anywhere in the unit.  Used as the fallback for units with
+/// backward jumps.
+fn mark_dead_one_shot(lir: &[LirInsn]) -> Vec<bool> {
     let mut use_count: HashMap<u32, u32> = HashMap::new();
     let mut scratch = Vec::with_capacity(4);
-    for (i, insn) in lir.iter().enumerate() {
+    for insn in lir {
         scratch.clear();
         insn.uses(&mut scratch);
         for v in &scratch {
             *use_count.entry(v.id).or_default() += 1;
-            first.entry(v.id).or_insert((*v, i));
-            last.insert(v.id, i);
-        }
-        if let Some(d) = insn.def() {
-            first.entry(d.id).or_insert((d, i));
-            last.insert(d.id, i);
         }
     }
-
-    // Dead-code marking: pure instructions whose destination is never read.
     let mut dead = vec![false; lir.len()];
     for (i, insn) in lir.iter().enumerate() {
         if insn.has_side_effect() {
@@ -79,8 +173,42 @@ pub fn allocate(lir: &[LirInsn]) -> Allocation {
             }
         }
     }
+    dead
+}
 
-    // Build live ranges (skipping vregs only defined by dead instructions).
+/// Runs liveness analysis, dead-code marking and linear-scan assignment.
+pub fn allocate(lir: &[LirInsn]) -> Allocation {
+    let dead = mark_dead(lir);
+
+    // Forward pass over the *surviving* instructions: first and last
+    // occurrence of every vreg.  Occurrence maps note both uses and defs at
+    // the same index; a def-after-use instruction (the two-address forms,
+    // where `dst` is read and written by one instruction) therefore keeps
+    // every operand live *through* that index, and the linear scan below
+    // only reuses a register for a range starting strictly after another
+    // ends (`end < start`, not `end <= start`) — so the operands of a
+    // def-after-use instruction can never share a register.
+    let mut first: HashMap<u32, (Vreg, usize)> = HashMap::new();
+    let mut last: HashMap<u32, usize> = HashMap::new();
+    let mut scratch = Vec::with_capacity(4);
+    for (i, insn) in lir.iter().enumerate() {
+        if dead[i] {
+            continue;
+        }
+        scratch.clear();
+        insn.uses(&mut scratch);
+        for v in &scratch {
+            first.entry(v.id).or_insert((*v, i));
+            last.insert(v.id, i);
+        }
+        if let Some(d) = insn.def() {
+            first.entry(d.id).or_insert((d, i));
+            last.insert(d.id, i);
+        }
+    }
+
+    // Build live ranges (vregs touched only by dead instructions have no
+    // occurrences and get no range).
     let mut ranges: Vec<Range> = first
         .iter()
         .map(|(&id, &(vreg, start))| Range {
@@ -100,7 +228,9 @@ pub fn allocate(lir: &[LirInsn]) -> Allocation {
     let mut spill_slots = 0u32;
 
     for r in &ranges {
-        // Expire ranges that ended before this one starts.
+        // Expire ranges that ended strictly before this one starts (a range
+        // ending *at* this index may be a same-instruction operand of a
+        // def-after-use form and must keep its register).
         active_gpr.retain(|&(end, reg)| {
             if end < r.start {
                 free_gpr.push(reg);
@@ -150,7 +280,7 @@ pub fn allocate(lir: &[LirInsn]) -> Allocation {
 mod tests {
     use super::*;
     use crate::lir::{LirMem, LirOperand};
-    use hvm::{AluOp, MemSize};
+    use hvm::{AluOp, Cond, MemSize};
 
     fn v(id: u32) -> Vreg {
         Vreg {
@@ -215,6 +345,178 @@ mod tests {
     }
 
     #[test]
+    fn iterative_dce_sweeps_whole_value_chains() {
+        // v0 feeds v1 feeds nothing: the chain dies from consumer to
+        // producer, including the flag-writing ALU op (no reader demands the
+        // flags before the return).
+        let lir = vec![
+            LirInsn::MovImm { dst: v(0), imm: 1 },
+            LirInsn::MovReg {
+                dst: v(1),
+                src: v(0),
+            },
+            LirInsn::Alu {
+                op: AluOp::Add,
+                dst: v(1),
+                src: LirOperand::Imm(3),
+            },
+            LirInsn::Ret,
+        ];
+        let alloc = allocate(&lir);
+        assert_eq!(alloc.dead, vec![true, true, true, false]);
+        assert!(
+            alloc.assignment.is_empty(),
+            "dead chains claim no registers"
+        );
+    }
+
+    #[test]
+    fn nzcv_chain_dies_when_its_store_was_eliminated() {
+        // The shape set_nzcv_logic leaves behind once dbt::opt has deleted
+        // the covered store: compare + setcc + shift/or chain with no
+        // consumer.  Everything must be swept.
+        let lir = vec![
+            LirInsn::MovImm { dst: v(0), imm: 7 },
+            LirInsn::Cmp {
+                a: v(0),
+                b: LirOperand::Imm(0),
+            },
+            LirInsn::SetCc {
+                cond: Cond::Eq,
+                dst: v(1),
+            },
+            LirInsn::MovReg {
+                dst: v(2),
+                src: v(1),
+            },
+            LirInsn::Alu {
+                op: AluOp::Shl,
+                dst: v(2),
+                src: LirOperand::Imm(2),
+            },
+            LirInsn::Store {
+                src: v(0),
+                addr: LirMem::regfile(8),
+                size: MemSize::U64,
+            },
+            LirInsn::Ret,
+        ];
+        let alloc = allocate(&lir);
+        assert!(!alloc.dead[0], "v0 still feeds the store");
+        assert!(alloc.dead[1], "unread Cmp dies");
+        assert!(alloc.dead[2], "SetCc with a dead destination dies");
+        assert!(alloc.dead[3] && alloc.dead[4], "the shift chain dies");
+        assert!(!alloc.dead[5] && !alloc.dead[6]);
+    }
+
+    #[test]
+    fn demanded_flags_keep_their_writer_alive() {
+        // The Cmp's destination-free flags are read by a Jcc: it must stay,
+        // and so must its operand chain.
+        let lir = vec![
+            LirInsn::MovImm { dst: v(0), imm: 7 },
+            LirInsn::Cmp {
+                a: v(0),
+                b: LirOperand::Imm(0),
+            },
+            LirInsn::Jcc {
+                cond: Cond::Eq,
+                label: 0,
+            },
+            LirInsn::SetPcImm { imm: 0x1000 },
+            LirInsn::Label { id: 0 },
+            LirInsn::Ret,
+        ];
+        let alloc = allocate(&lir);
+        assert!(alloc.dead.iter().all(|d| !d));
+    }
+
+    #[test]
+    fn flag_demand_is_conservative_at_labels() {
+        // A flag writer just before a label join: a reader could be reached
+        // through the join, so the writer must survive even with no linear
+        // reader between.
+        let lir = vec![
+            LirInsn::MovImm { dst: v(0), imm: 7 },
+            LirInsn::Test {
+                a: v(0),
+                b: LirOperand::Vreg(v(0)),
+            },
+            LirInsn::Label { id: 0 },
+            LirInsn::SetCc {
+                cond: Cond::Ne,
+                dst: v(1),
+            },
+            LirInsn::Store {
+                src: v(1),
+                addr: LirMem::regfile(0),
+                size: MemSize::U64,
+            },
+            LirInsn::Ret,
+        ];
+        let alloc = allocate(&lir);
+        assert!(alloc.dead.iter().all(|d| !d));
+    }
+
+    #[test]
+    fn backward_jumps_fall_back_to_one_shot_marking() {
+        let lir = vec![
+            LirInsn::Label { id: 0 },
+            LirInsn::MovImm { dst: v(0), imm: 1 },
+            LirInsn::MovImm { dst: v(1), imm: 2 },
+            LirInsn::Store {
+                src: v(1),
+                addr: LirMem::regfile(0),
+                size: MemSize::U64,
+            },
+            LirInsn::Jmp { label: 0 },
+            LirInsn::Ret,
+        ];
+        let alloc = allocate(&lir);
+        // One-shot behaviour: the unused v0 MovImm is dead, nothing else.
+        assert_eq!(alloc.dead, vec![false, true, false, false, false, false]);
+    }
+
+    #[test]
+    fn def_after_use_at_range_boundaries_never_shares_registers() {
+        // Audit for the first/last-occurrence maps: saturate the GPR pool,
+        // then define a new vreg with a MovReg whose source's live range
+        // ends at that same index.  Treating the source's range as open at
+        // its end (`end <= start` expiry) would hand the destination the
+        // source's register — for the two-address forms that follow such a
+        // move, that reads a clobbered value.  The allocator must keep them
+        // apart (here: the newcomer spills, since the pool is full).
+        let n = GPR_POOL.len() as u32;
+        let mut lir = Vec::new();
+        for i in 0..n {
+            lir.push(LirInsn::MovImm {
+                dst: v(i),
+                imm: i as u64,
+            });
+        }
+        // v0's last occurrence: the same index where v_n is defined.
+        lir.push(LirInsn::MovReg {
+            dst: v(n),
+            src: v(0),
+        });
+        // Keep everything live to the end.
+        for i in 1..=n {
+            lir.push(LirInsn::Store {
+                src: v(i),
+                addr: LirMem::regfile((i * 8) as i32),
+                size: MemSize::U64,
+            });
+        }
+        lir.push(LirInsn::Ret);
+        let alloc = allocate(&lir);
+        assert_ne!(
+            alloc.assignment[&n], alloc.assignment[&0],
+            "a def at its source's last index must not steal the register"
+        );
+        assert!(matches!(alloc.assignment[&n], Assignment::Spill(_)));
+    }
+
+    #[test]
     fn register_reuse_after_range_ends() {
         // Many short-lived vregs must fit in the pool by reuse.
         let mut lir = Vec::new();
@@ -261,6 +563,40 @@ mod tests {
             .filter(|a| matches!(a, Assignment::Spill(_)))
             .count();
         assert_eq!(spilled as u32, alloc.spill_slots);
+    }
+
+    #[test]
+    fn dead_chains_free_registers_for_live_ranges() {
+        // Pool-sized dead chain plus a pool-sized live set: with iterative
+        // DCE the dead vregs claim no registers, so nothing spills.
+        let n = GPR_POOL.len() as u32;
+        let mut lir = Vec::new();
+        for i in 0..n {
+            lir.push(LirInsn::MovImm {
+                dst: v(i),
+                imm: i as u64,
+            });
+        }
+        for i in 0..n {
+            lir.push(LirInsn::MovImm {
+                dst: v(n + i),
+                imm: i as u64,
+            });
+        }
+        for i in 0..n {
+            lir.push(LirInsn::Store {
+                src: v(n + i),
+                addr: LirMem::regfile((i * 8) as i32),
+                size: MemSize::U64,
+            });
+        }
+        lir.push(LirInsn::Ret);
+        let alloc = allocate(&lir);
+        assert_eq!(alloc.spill_slots, 0, "dead ranges must not cause spills");
+        for i in 0..n {
+            assert!(alloc.dead[i as usize]);
+            assert!(!alloc.assignment.contains_key(&i));
+        }
     }
 
     #[test]

@@ -30,6 +30,13 @@ pub struct PhaseTimers {
     pub blocks: u64,
     /// Number of guest instructions translated.
     pub guest_insns: u64,
+    /// Regfile stores deleted by the block-scoped optimiser (dead-flag /
+    /// covered-slot elimination), across all translations.
+    pub opt_dead_stores: u64,
+    /// Regfile loads the optimiser rewrote into register moves.
+    pub opt_forwarded_loads: u64,
+    /// LIR instructions marked dead by the allocator's iterative DCE.
+    pub opt_dce_insns: u64,
 }
 
 impl PhaseTimers {
@@ -76,6 +83,9 @@ impl PhaseTimers {
         self.encode += other.encode;
         self.blocks += other.blocks;
         self.guest_insns += other.guest_insns;
+        self.opt_dead_stores += other.opt_dead_stores;
+        self.opt_forwarded_loads += other.opt_forwarded_loads;
+        self.opt_dce_insns += other.opt_dce_insns;
     }
 }
 

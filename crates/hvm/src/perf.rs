@@ -39,6 +39,11 @@ pub struct PerfCounters {
     /// crossed without returning to the dispatcher (each one is an
     /// interpreter entry that chaining alone would have paid for).
     pub superblock_transfers: u64,
+    /// Host instructions the LIR optimiser kept out of executed blocks: each
+    /// block entry adds the number of LIR instructions eliminated from that
+    /// translation (the dynamic instructions-saved count the `figures -- opt`
+    /// report is built on).
+    pub elided_insns: u64,
 }
 
 impl PerfCounters {
@@ -77,6 +82,7 @@ impl PerfCounters {
             superblock_transfers: self
                 .superblock_transfers
                 .saturating_sub(earlier.superblock_transfers),
+            elided_insns: self.elided_insns.saturating_sub(earlier.elided_insns),
         }
     }
 }

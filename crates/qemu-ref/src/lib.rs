@@ -26,8 +26,8 @@ use captive::layout;
 use captive::runtime::{GuestEvent, SVC_EXIT, SVC_PUTCHAR};
 use dbt::emitter::ValueType;
 use dbt::{
-    lower, regalloc, BlockExit, CacheIndex, ChainLinks, CodeCache, Emitter, GuestIsa, Phase,
-    PhaseTimers, TranslatedBlock,
+    BlockExit, CacheIndex, ChainLinks, CodeCache, Emitter, GuestIsa, Phase, PhaseTimers,
+    TranslatedBlock,
 };
 use guest_aarch64::gen::helpers;
 use guest_aarch64::isa::{AccessSize, FpKind, Insn};
@@ -486,6 +486,14 @@ impl QemuRef {
             .unwrap_or(0)
     }
 
+    /// Reads the guest's NZCV flags nibble (cross-engine equivalence tests).
+    pub fn guest_nzcv(&mut self) -> u64 {
+        self.machine
+            .mem
+            .read_u64(layout::REGFILE_PHYS + guest_aarch64::NZCV_OFF as u64)
+            .unwrap_or(0)
+    }
+
     /// Console output.
     pub fn console(&self) -> &[u8] {
         &self.runtime.uart_output
@@ -721,14 +729,10 @@ impl QemuRef {
         let exit = e.exit_hint().unwrap_or(BlockExit::Fallthrough { next: va });
         let lir = e.finish();
         let lir_count = lir.len();
-        let alloc = self
-            .timers
-            .time(Phase::RegAlloc, || regalloc::allocate(&lir));
-        let (code, encoded) = self.timers.time(Phase::Encode, || {
-            let code = lower::lower(&lir, &alloc);
-            let enc = hvm::encode::encode_block(&code);
-            (code, enc)
-        });
+        // The baseline deliberately skips the `dbt::opt` phase (TCG-style
+        // translation quality); it still benefits from the allocator's
+        // iterative dead-code marking, which is part of the shared pipeline.
+        let (code, encoded, dce) = dbt::finish_translation(&mut self.timers, lir, false);
         self.timers.blocks += 1;
         self.timers.guest_insns += guest_insns as u64;
         TranslatedBlock {
@@ -738,6 +742,7 @@ impl QemuRef {
             guest_insns,
             encoded_bytes: encoded.len(),
             lir_insns: lir_count,
+            elided_insns: dce,
             code: Arc::new(code),
             exit,
             links: ChainLinks::default(),
