@@ -1,17 +1,19 @@
 //! Regenerates the paper's tables and figures on the simulated substrate.
 //!
-//! Usage: `cargo run --release -p bench --bin figures -- [all|fig17|fig18|fig19|fig20|jitstats|fig21|fig22|table2|fp_modes|chaining|superblocks|opt]`
+//! Usage: `cargo run --release -p bench --bin figures -- [all|fig17|fig18|fig19|fig20|jitstats|fig21|fig22|table2|fp_modes|chaining|regions|unroll|scale|opt]`
 //!
-//! The `chaining`, `superblocks` and `opt` sections double as CI smoke
-//! checks: they assert the counter invariants the dispatcher and optimiser
-//! guarantee (chained gaps accounted exactly, superblocks no slower than
-//! chaining with strictly fewer interpreter entries, optimised translations
+//! The `chaining`, `regions`, `unroll`, `scale` and `opt` sections double as
+//! CI smoke checks: they assert the counter invariants the dispatcher and
+//! optimiser guarantee (chained gaps accounted exactly, regions no slower
+//! than chaining with strictly fewer interpreter entries, self-loop
+//! unrolling forming regions on the pointer-chase kernels at no cycle cost,
+//! cycles growing monotonically with workload scale, optimised translations
 //! no slower than unoptimised with nonzero elimination counters on
 //! flag-heavy workloads) and panic on regression.
 
 use bench::{
     geomean, native_model, run_both_raw, run_captive, run_captive_chaining, run_captive_opt,
-    run_captive_superblocks, run_captive_with, run_qemu, run_qemu_chaining,
+    run_captive_regions, run_captive_unroll, run_captive_with, run_qemu, run_qemu_chaining,
 };
 use captive::FpMode;
 use workloads::Scale;
@@ -46,8 +48,14 @@ fn main() {
     if all || arg == "chaining" {
         chaining();
     }
-    if all || arg == "superblocks" {
-        superblocks();
+    if all || arg == "regions" || arg == "superblocks" {
+        regions();
+    }
+    if all || arg == "unroll" {
+        unroll();
+    }
+    if all || arg == "scale" {
+        scale();
     }
     if all || arg == "opt" {
         opt();
@@ -286,8 +294,8 @@ fn chaining() {
     println!();
 }
 
-fn superblocks() {
-    println!("== Superblock formation over hot chain paths ==");
+fn regions() {
+    println!("== Region formation over hot chain paths ==");
     println!(
         "{:<18} {:>14} {:>14} {:>9} {:>9} {:>9} {:>8} {:>12} {:>12}",
         "workload",
@@ -308,26 +316,26 @@ fn superblocks() {
     let mut hot_loop_sb = None;
     for w in &hot {
         let chain = run_captive_chaining(w, true);
-        let sb = run_captive_superblocks(w);
-        // CI smoke invariants: superblocks must never cost cycles over
-        // chaining alone, and wherever a superblock formed it must have
-        // absorbed interpreter entries.
+        let sb = run_captive_regions(w);
+        // CI smoke invariants: regions must never cost cycles over chaining
+        // alone, and wherever a region formed it must have absorbed
+        // interpreter entries.
         assert!(
             sb.cycles <= chain.cycles,
-            "{}: superblocks regressed cycles ({} > {})",
+            "{}: regions regressed cycles ({} > {})",
             w.name,
             sb.cycles,
             chain.cycles
         );
-        if sb.superblocks_formed > 0 {
+        if sb.regions_formed > 0 {
             assert!(
-                sb.superblock_transfers > 0,
-                "{}: superblocks formed but no stitched transfers",
+                sb.region_transfers > 0,
+                "{}: regions formed but no stitched transfers",
                 w.name
             );
             assert!(
                 sb.blocks < chain.blocks,
-                "{}: superblocks did not reduce interpreter entries ({} vs {})",
+                "{}: regions did not reduce interpreter entries ({} vs {})",
                 w.name,
                 sb.blocks,
                 chain.blocks
@@ -339,8 +347,8 @@ fn superblocks() {
             chain.cycles,
             sb.cycles,
             chain.cycles as f64 / sb.cycles as f64,
-            sb.superblocks_formed,
-            sb.superblock_transfers,
+            sb.regions_formed,
+            sb.region_transfers,
             sb.blocks,
             chain.blocks,
             sb.dtlb_hits
@@ -351,11 +359,123 @@ fn superblocks() {
     }
     let sb = hot_loop_sb.expect("the hot-loop micro is in the workload list");
     assert!(
-        sb.superblocks_formed >= 1 && sb.superblock_transfers > 10_000,
-        "hot loop must form and exercise a superblock (formed {}, transfers {})",
-        sb.superblocks_formed,
-        sb.superblock_transfers
+        sb.regions_formed >= 1 && sb.region_transfers > 10_000,
+        "hot loop must form and exercise a region (formed {}, transfers {})",
+        sb.regions_formed,
+        sb.region_transfers
     );
+    println!();
+}
+
+fn unroll() {
+    println!("== Self-loop unrolling: peeled regions on pointer-chase kernels ==");
+    println!(
+        "{:<18} {:>14} {:>14} {:>9} {:>9} {:>9} {:>10} {:>10}",
+        "workload",
+        "cycles (x4)",
+        "cycles (off)",
+        "speedup",
+        "formed",
+        "unrolled",
+        "sb-xfers",
+        "entries"
+    );
+    // The pointer-chase kernels are single-block self-loops: without
+    // unrolling their traces close at one constituent and no region forms.
+    let chasers: Vec<_> = workloads::spec_int(Scale(1))
+        .into_iter()
+        .filter(|w| matches!(w.name, "429.mcf" | "473.astar"))
+        .collect();
+    for w in &chasers {
+        let on = run_captive_unroll(w, 4);
+        let off = run_captive_unroll(w, 1);
+        // CI smoke invariants: the chase loop must actually unroll, and
+        // peeling must never cost modeled cycles.
+        assert!(
+            on.regions_unrolled >= 1,
+            "{}: the self-loop must form an unrolled region",
+            w.name
+        );
+        assert!(
+            on.cycles <= off.cycles,
+            "{}: unrolling regressed cycles ({} > {})",
+            w.name,
+            on.cycles,
+            off.cycles
+        );
+        assert!(
+            on.blocks < off.blocks,
+            "{}: peeled iterations must cut interpreter entries ({} vs {})",
+            w.name,
+            on.blocks,
+            off.blocks
+        );
+        println!(
+            "{:<18} {:>14} {:>14} {:>8.3}x {:>9} {:>9} {:>10} {:>10}",
+            w.name,
+            on.cycles,
+            off.cycles,
+            off.cycles as f64 / on.cycles as f64,
+            on.regions_formed,
+            on.regions_unrolled,
+            on.region_transfers,
+            on.blocks
+        );
+    }
+    println!();
+}
+
+fn scale() {
+    println!("== Workload scaling: cycles and MIPS trends per engine ==");
+    println!(
+        "{:<18} {:>6} {:>14} {:>9} {:>14} {:>9} {:>14} {:>9}",
+        "workload", "scale", "captive cyc", "MIPS", "qemu cyc", "MIPS", "qemu+chain", "MIPS"
+    );
+    // Modeled MIPS: guest instructions retired per simulated second in the
+    // 3.5 GHz-equivalent cycle domain the cost model is calibrated to.
+    let mips = |guest_insns: u64, cycles: u64| guest_insns as f64 / (cycles as f64 / 3.5e9) / 1e6;
+    // One workload per kernel character: streaming, pointer chasing, and
+    // the branchy integer mix.
+    for name in ["401.bzip2", "429.mcf", "456.hmmer"] {
+        let mut prev: Option<(u64, u64, u64)> = None;
+        for sc in [1u32, 2, 4] {
+            let w = workloads::spec_int(Scale(sc))
+                .into_iter()
+                .find(|w| w.name == name)
+                .expect("workload exists at every scale");
+            let c = run_captive(&w);
+            let q = run_qemu(&w);
+            let qc = run_qemu_chaining(&w, true);
+            // CI smoke invariants: work must grow strictly with scale on
+            // every engine, and the engine ordering must hold at every
+            // scale (captive < qemu+chain <= qemu on these kernels).
+            if let Some((pc, pq, pqc)) = prev {
+                assert!(
+                    c.cycles > pc && q.cycles > pq && qc.cycles > pqc,
+                    "{name}@x{sc}: cycles must grow with scale"
+                );
+            }
+            assert!(
+                c.cycles < qc.cycles && qc.cycles <= q.cycles,
+                "{name}@x{sc}: engine ordering violated ({} vs {} vs {})",
+                c.cycles,
+                qc.cycles,
+                q.cycles
+            );
+            prev = Some((c.cycles, q.cycles, qc.cycles));
+            println!(
+                "{:<18} {:>5}x {:>14} {:>9.1} {:>14} {:>9.1} {:>14} {:>9.1}",
+                name,
+                sc,
+                c.cycles,
+                mips(c.guest_insns, c.cycles),
+                q.cycles,
+                mips(q.guest_insns, q.cycles),
+                qc.cycles,
+                mips(qc.guest_insns, qc.cycles)
+            );
+        }
+    }
     println!();
 }
 

@@ -41,10 +41,12 @@ pub struct Measurement {
     pub dtlb_hits: u64,
     /// Data-side gTLB misses (Captive only).
     pub dtlb_misses: u64,
-    /// Intra-superblock transfers (Captive with superblocks only).
-    pub superblock_transfers: u64,
-    /// Superblocks formed (Captive with superblocks only).
-    pub superblocks_formed: u64,
+    /// Intra-region stitched transfers (Captive with region formation only).
+    pub region_transfers: u64,
+    /// Multi-constituent regions formed (Captive only).
+    pub regions_formed: u64,
+    /// Regions formed by unrolling a single-block self-loop (Captive only).
+    pub regions_unrolled: u64,
     /// Interpreter entries (blocks executed; chained + dispatched +
     /// superblock entries).
     pub blocks: u64,
@@ -52,6 +54,8 @@ pub struct Measurement {
     pub opt_dead_stores: u64,
     /// Regfile loads rewritten into register moves (Captive only; static).
     pub opt_forwarded_loads: u64,
+    /// Register-copy uses folded by copy propagation (Captive only; static).
+    pub opt_copies_folded: u64,
     /// LIR instructions marked dead by iterative DCE (static).
     pub opt_dce_insns: u64,
     /// Dynamic host instructions saved by elimination (eliminated LIR
@@ -91,16 +95,15 @@ pub fn run_captive_with(w: &Workload, fp: FpMode, per_block: bool) -> Measuremen
 
 /// Runs a workload under Captive with chaining forced on or off.
 ///
-/// Superblocks are pinned off: this entry point measures *chaining alone*,
-/// and the chaining-gap equality checks (tests and `figures -- chaining`)
-/// pin chain-only cycle accounting.  Re-baselined when
-/// `CaptiveConfig::superblocks` flipped to on-by-default.
+/// Region formation is pinned off: this entry point measures *chaining
+/// alone*, and the chaining-gap equality checks (tests and `figures --
+/// chaining`) pin chain-only cycle accounting.
 pub fn run_captive_chaining(w: &Workload, chaining: bool) -> Measurement {
     run_captive_cfg(
         w,
         CaptiveConfig {
             chaining,
-            superblocks: false,
+            form_regions: false,
             ..CaptiveConfig::default()
         },
     )
@@ -118,13 +121,25 @@ pub fn run_captive_opt(w: &Workload, opt: bool) -> Measurement {
     )
 }
 
-/// Runs a workload under Captive with chaining plus superblock formation.
-pub fn run_captive_superblocks(w: &Workload) -> Measurement {
+/// Runs a workload under Captive with chaining plus region formation.
+pub fn run_captive_regions(w: &Workload) -> Measurement {
     run_captive_cfg(
         w,
         CaptiveConfig {
             chaining: true,
-            superblocks: true,
+            form_regions: true,
+            ..CaptiveConfig::default()
+        },
+    )
+}
+
+/// Runs a workload under Captive with self-loop unrolling set explicitly
+/// (1 disables peeling; everything else default: chaining + regions on).
+pub fn run_captive_unroll(w: &Workload, unroll: usize) -> Measurement {
+    run_captive_cfg(
+        w,
+        CaptiveConfig {
+            unroll_self_loops: unroll,
             ..CaptiveConfig::default()
         },
     )
@@ -157,11 +172,13 @@ pub fn run_captive_cfg(w: &Workload, cfg: CaptiveConfig) -> Measurement {
         itlb_misses: s.itlb_misses,
         dtlb_hits: s.dtlb_hits,
         dtlb_misses: s.dtlb_misses,
-        superblock_transfers: s.superblock_transfers,
-        superblocks_formed: s.superblocks_formed,
+        region_transfers: s.region_transfers,
+        regions_formed: s.regions_formed,
+        regions_unrolled: s.regions_unrolled,
         blocks: s.blocks,
         opt_dead_stores: s.opt_dead_stores,
         opt_forwarded_loads: s.opt_forwarded_loads,
+        opt_copies_folded: s.opt_copies_folded,
         opt_dce_insns: s.opt_dce_insns,
         elided_dyn_insns: s.elided_dyn_insns,
     }
@@ -200,11 +217,13 @@ pub fn run_qemu_chaining(w: &Workload, chaining: bool) -> Measurement {
         itlb_misses: 0,
         dtlb_hits: 0,
         dtlb_misses: 0,
-        superblock_transfers: 0,
-        superblocks_formed: 0,
+        region_transfers: 0,
+        regions_formed: 0,
+        regions_unrolled: 0,
         blocks: s.blocks,
         opt_dead_stores: 0,
         opt_forwarded_loads: 0,
+        opt_copies_folded: 0,
         opt_dce_insns: q.timers.opt_dce_insns,
         elided_dyn_insns: 0,
     }

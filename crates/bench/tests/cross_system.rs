@@ -163,11 +163,10 @@ fn scaled_workloads_agree_across_all_engines() {
         }
     }
     for (name, w) in &programs {
-        // Chain-only configuration (superblocks pinned off): re-baselined
-        // when superblocks went default-on, so the superblock run below
-        // still contrasts with chaining alone.
+        // Chain-only configuration (region formation pinned off), so the
+        // region run below still contrasts with chaining alone.
         let mut chain = Captive::new(CaptiveConfig {
-            superblocks: false,
+            form_regions: false,
             ..CaptiveConfig::default()
         });
         chain.load_program(workloads::CODE_BASE, &w.words);
@@ -178,7 +177,7 @@ fn scaled_workloads_agree_across_all_engines() {
         ));
 
         let mut sup = Captive::new(CaptiveConfig {
-            superblocks: true,
+            form_regions: true,
             ..CaptiveConfig::default()
         });
         sup.load_program(workloads::CODE_BASE, &w.words);
@@ -206,34 +205,34 @@ fn scaled_workloads_agree_across_all_engines() {
 
         for r in 0..16 {
             let v = chain.guest_reg(r);
-            assert_eq!(v, sup.guest_reg(r), "{name}: x{r} superblocks diverged");
+            assert_eq!(v, sup.guest_reg(r), "{name}: x{r} regions diverged");
             assert_eq!(v, q.guest_reg(r), "{name}: x{r} baseline diverged");
             assert_eq!(v, qc.guest_reg(r), "{name}: x{r} qemu-chaining diverged");
         }
         assert!(
             sup.stats().cycles <= chain.stats().cycles,
-            "{name}: superblocks may not cost cycles"
+            "{name}: regions may not cost cycles"
         );
     }
 }
 
 #[test]
-fn superblocks_cut_interpreter_entries_on_dispatch_bound_loop() {
-    // The acceptance bar for the superblock former: on the dispatch-bound
-    // hot loop, superblocks execute measurably fewer interpreter entries
-    // (tracked by the superblock_transfers counter) at no cycle cost over
+fn regions_cut_interpreter_entries_on_dispatch_bound_loop() {
+    // The acceptance bar for the region former: on the dispatch-bound
+    // hot loop, regions execute measurably fewer interpreter entries
+    // (tracked by the region_transfers counter) at no cycle cost over
     // chaining alone, and the QEMU baselines order as expected.
     let w = bench::micro_workload(&simbench::same_page_direct(10_000));
     let chain = bench::run_captive_chaining(&w, true);
-    let sb = bench::run_captive_superblocks(&w);
-    assert!(sb.superblocks_formed >= 1);
+    let sb = bench::run_captive_regions(&w);
+    assert!(sb.regions_formed >= 1);
     assert!(
-        sb.superblock_transfers > 10_000,
+        sb.region_transfers > 10_000,
         "stitched transfers must carry the loop: {}",
-        sb.superblock_transfers
+        sb.region_transfers
     );
     assert!(
-        sb.blocks + sb.superblock_transfers >= chain.blocks,
+        sb.blocks + sb.region_transfers >= chain.blocks,
         "stitched transfers account for the missing interpreter entries"
     );
     assert!(
@@ -244,7 +243,7 @@ fn superblocks_cut_interpreter_entries_on_dispatch_bound_loop() {
     );
     assert!(
         sb.cycles <= chain.cycles,
-        "superblocks must not regress cycles: {} vs {}",
+        "regions must not regress cycles: {} vs {}",
         sb.cycles,
         chain.cycles
     );
@@ -313,7 +312,7 @@ fn optimizer_on_off_and_baseline_agree_on_flag_heavy_kernels() {
 }
 
 #[test]
-fn optimizer_preserves_superblock_side_exit_state() {
+fn optimizer_preserves_region_side_exit_state() {
     // Flag-heavy two-block loop whose conditional leg gets stitched: the
     // side-exit stub must still deliver an exact register file with the
     // optimizer eliminating stores around it.
@@ -351,7 +350,7 @@ fn optimizer_preserves_superblock_side_exit_state() {
     }
     assert_eq!(on.guest_nzcv(), off.guest_nzcv(), "NZCV at the side exit");
     assert!(
-        on.stats().superblocks_formed >= 1,
+        on.stats().regions_formed >= 1,
         "the loop must get hot enough to stitch"
     );
     assert!(
@@ -359,6 +358,182 @@ fn optimizer_preserves_superblock_side_exit_state() {
         "the adds NZCV store is dead and must be eliminated"
     );
     assert!(on.stats().cycles <= off.stats().cycles);
+}
+
+#[test]
+fn unrolled_region_fault_mid_iteration_delivers_exact_elr() {
+    // A single-block self-loop (store, stride, unconditional loop-back)
+    // marches out of guest RAM: the fault lands *inside* an unrolled region
+    // — possibly in a peeled iteration past a trace edge — and must still
+    // deliver the exact faulting PC into ELR and the first OOB address into
+    // FAR.
+    let mut a = Assembler::new();
+    a.mov_imm64(9, 0x2000);
+    a.push(asm::msr(guest_aarch64::SysReg::Vbar as u32, 9));
+    a.mov_imm64(1, 0x100_0000); // 16 MiB
+    a.mov_imm64(2, 0xBEEF);
+    a.mov_imm64(3, 0x1_0000); // 64 KiB stride → 256 iterations to 32 MiB
+    a.label("loop");
+    let fault_idx = a.here();
+    a.push(asm::str(2, 1, 0));
+    a.push(asm::add(1, 1, 3));
+    a.b_to("loop");
+    let main = a.finish();
+    let fault_pc = 0x1000 + fault_idx as u64 * 4;
+
+    let mut v = Assembler::new();
+    v.push(asm::mrs(10, guest_aarch64::SysReg::Elr as u32));
+    v.push(asm::mrs(11, guest_aarch64::SysReg::Far as u32));
+    v.push(asm::hlt());
+
+    let mut c = Captive::new(CaptiveConfig::default());
+    c.load_program(0x1000, &main);
+    c.load_program(0x2000, &v.finish());
+    c.set_entry(0x1000);
+    assert!(matches!(
+        c.run(1_000_000),
+        captive::RunExit::GuestHalted { .. }
+    ));
+    assert_eq!(c.guest_reg(10), fault_pc, "ELR is the faulting PC");
+    assert_eq!(c.guest_reg(11), 0x200_0000, "FAR is the first OOB address");
+    let s = c.stats();
+    assert!(
+        s.regions_unrolled >= 1,
+        "the self-loop must have unrolled before faulting"
+    );
+    assert!(s.region_transfers > 100, "peeled iterations were executed");
+}
+
+#[test]
+fn smc_on_the_looping_page_retires_the_unrolled_region() {
+    // A callable self-loop kernel gets hot enough to unroll; the guest then
+    // rewrites the kernel's first instruction and re-runs it.  The write
+    // must retire the unrolled region (and every plain region on the page),
+    // and the second phase must execute the new code — identically with
+    // unrolling on and off.
+    let make = || {
+        let mut main = Assembler::new();
+        main.push(asm::movz(6, 2, 0)); // two phases
+        main.mov_imm64(3, 0x2000); // kernel address
+        main.mov_imm64(4, asm::movz(7, 2, 0) as u64); // patched first insn
+        main.label("phase");
+        main.push(asm::movz(5, 300, 0));
+        let bl_idx = main.here();
+        main.push(asm::bl(0x2000 - (0x1000 + bl_idx as i64 * 4)));
+        main.push(asm::strw(4, 3, 0)); // SMC: rewrite `movz x7, #1`
+        main.push(asm::subi(6, 6, 1));
+        main.cbnz_to(6, "phase");
+        main.push(asm::hlt());
+
+        let mut kern = Assembler::new();
+        kern.push(asm::movz(7, 1, 0)); // patched to `movz x7, #2`
+        kern.label("loop");
+        kern.push(asm::addi(9, 9, 1));
+        kern.push(asm::subi(5, 5, 1));
+        kern.cbnz_to(5, "loop");
+        kern.push(asm::ret());
+        (main.finish(), kern.finish())
+    };
+    let run = |unroll: usize| {
+        let (main, kern) = make();
+        let mut c = Captive::new(CaptiveConfig {
+            unroll_self_loops: unroll,
+            ..CaptiveConfig::default()
+        });
+        c.load_program(0x1000, &main);
+        c.load_program(0x2000, &kern);
+        c.set_entry(0x1000);
+        assert!(matches!(
+            c.run(1_000_000),
+            captive::RunExit::GuestHalted { .. }
+        ));
+        c
+    };
+    let mut on = run(4);
+    let mut off = run(1);
+    for r in 0..16 {
+        assert_eq!(on.guest_reg(r), off.guest_reg(r), "x{r} diverged");
+    }
+    assert_eq!(on.guest_reg(7), 2, "phase 2 must run the rewritten kernel");
+    assert_eq!(on.guest_reg(9), 600, "both phases looped fully");
+    let s = on.stats();
+    assert!(
+        s.regions_unrolled >= 1,
+        "phase 1 must unroll the kernel loop"
+    );
+    assert!(
+        on.cache.stats().invalidated_page >= 1,
+        "the code-page write must invalidate the looping page"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Unrolled self-loop regions are architecturally invisible: for trip
+    /// counts 0, 1 and a random count, and a random unroll factor 2–4, the
+    /// self-loop kernel retires identical registers *and* NZCV under
+    /// Captive-with-unrolling, Captive-without, and the QEMU-style baseline.
+    /// A low formation threshold makes even modest trip counts cross into
+    /// region formation, so side exits from every peel position get hit.
+    #[test]
+    fn unrolled_self_loops_agree_across_engines(
+        random_trips in 2u32..300,
+        unroll in 2usize..5,
+    ) {
+        for trips in [0u32, 1, random_trips] {
+            let mut a = Assembler::new();
+            a.push(asm::movz(1, trips, 0));
+            a.push(asm::movz(9, 0, 0));
+            a.push(asm::movz(2, 3, 0));
+            a.cbz_to(1, "done");
+            a.label("loop");
+            a.push(asm::add(9, 9, 2));
+            a.push(asm::subis(1, 1, 1)); // flag-setting loop counter
+            a.bcond_to(guest_aarch64::isa::Cond::Ne, "loop");
+            a.label("done");
+            a.push(asm::hlt());
+            let words = a.finish();
+
+            let run = |unroll: usize| {
+                let mut c = Captive::new(CaptiveConfig {
+                    unroll_self_loops: unroll,
+                    region_threshold: 4,
+                    ..CaptiveConfig::default()
+                });
+                c.load_program(0x1000, &words);
+                c.set_entry(0x1000);
+                assert!(matches!(
+                    c.run(1_000_000),
+                    captive::RunExit::GuestHalted { .. }
+                ));
+                c
+            };
+            let mut on = run(unroll);
+            let mut off = run(1);
+            let mut q = QemuRef::new(32 * 1024 * 1024);
+            q.load_program(0x1000, &words);
+            q.set_entry(0x1000);
+            assert!(matches!(
+                q.run(1_000_000),
+                qemu_ref::RunExit::GuestHalted { .. }
+            ));
+            for r in 0..16 {
+                let v = on.guest_reg(r);
+                prop_assert_eq!(v, off.guest_reg(r), "x{} diverged unroll on/off", r);
+                prop_assert_eq!(v, q.guest_reg(r), "x{} diverged from baseline", r);
+            }
+            prop_assert_eq!(on.guest_nzcv(), off.guest_nzcv(), "NZCV unroll on/off");
+            prop_assert_eq!(on.guest_nzcv(), q.guest_nzcv(), "NZCV vs baseline");
+            if trips > 8 {
+                prop_assert!(
+                    on.stats().regions_unrolled >= 1,
+                    "trip count {} past the threshold must unroll",
+                    trips
+                );
+            }
+        }
+    }
 }
 
 #[test]

@@ -42,7 +42,7 @@
 //!   [`hvm::CostModel::chain`] cost is charged instead of the dispatcher's
 //!   [`hvm::CostModel::dispatch`] cost.
 //!
-//! **Link structure.** Each [`dbt::TranslatedBlock`] records terminator
+//! **Link structure.** Each [`dbt::Region`] records terminator
 //! metadata ([`dbt::BlockExit`]) at translation time and carries two lazily
 //! patched successor slots (taken/sequential target and conditional
 //! fallthrough).  The first time an exit reaches a direct target whose link
@@ -70,13 +70,13 @@ pub mod layout;
 pub mod runtime;
 pub mod translator;
 
-use dbt::{CacheIndex, CodeCache, PhaseTimers, TranslatedBlock};
+use dbt::{CacheIndex, CodeCache, EntryMode, PhaseTimers, Region, RegionKey, RegionProfile};
 use guest_aarch64::Aarch64Isa;
 use hvm::{ExitReason, Gpr, Machine, MachineConfig, Ring};
 use runtime::{CaptiveRuntime, GuestEvent};
 use std::collections::HashMap;
 use std::sync::Arc;
-use translator::{form_superblock, translate_block};
+use translator::{form_region, translate_block};
 
 /// How guest floating-point instructions are implemented.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -100,19 +100,24 @@ pub struct CaptiveConfig {
     /// Enable direct block chaining (patched successor links let hot paths
     /// bypass the dispatcher entirely).
     pub chaining: bool,
-    /// Enable profile-guided superblock formation over hot chain paths
-    /// (requires `chaining`, which provides the link-heat profile).
-    pub superblocks: bool,
+    /// Enable profile-guided formation of multi-constituent regions over hot
+    /// chain paths (requires `chaining`, which provides the link-heat
+    /// profile).
+    pub form_regions: bool,
     /// Enable the block-scoped LIR optimiser (`dbt::opt`): store-to-load
-    /// forwarding through register-file slots and dead regfile-store
-    /// elimination, with the allocator's iterative DCE sweeping the value
-    /// chains feeding eliminated stores.
+    /// forwarding through register-file slots, copy propagation, and dead
+    /// regfile-store elimination, with the allocator's iterative DCE
+    /// sweeping the value chains feeding eliminated stores.
     pub opt: bool,
     /// Chain-link transfer count at which the link's target becomes a
-    /// superblock trace head.
-    pub superblock_threshold: u64,
-    /// Guest-instruction cap on one superblock trace.
-    pub superblock_max_insns: usize,
+    /// region trace head.
+    pub region_threshold: u64,
+    /// Guest-instruction cap on one region trace.
+    pub region_max_insns: usize,
+    /// Maximum copies of a single-block self-loop body stitched into one
+    /// region (2–4 is the useful range for pointer-chase kernels; 0 or 1
+    /// disables unrolling, so self-loops never form a region).
+    pub unroll_self_loops: usize,
     /// Maximum guest instructions per translated block.
     pub max_block_insns: usize,
     /// Host machine configuration.
@@ -128,10 +133,11 @@ impl Default for CaptiveConfig {
             guest_ram: 32 * 1024 * 1024,
             fp_mode: FpMode::Hardware,
             chaining: true,
-            superblocks: true,
+            form_regions: true,
             opt: true,
-            superblock_threshold: 16,
-            superblock_max_insns: 256,
+            region_threshold: 16,
+            region_max_insns: 256,
+            unroll_self_loops: 4,
             max_block_insns: 64,
             machine: MachineConfig::default(),
             per_block_stats: false,
@@ -188,64 +194,34 @@ pub struct RunStats {
     pub dtlb_hits: u64,
     /// Data-side gTLB misses (host data faults that walked guest tables).
     pub dtlb_misses: u64,
-    /// Intra-superblock constituent transfers: stitched block boundaries
-    /// crossed without an interpreter entry (each would have been a chained
-    /// transfer under chaining alone).
-    pub superblock_transfers: u64,
-    /// Superblocks formed from hot chain paths.
-    pub superblocks_formed: u64,
-    /// Interpreter entries that executed a superblock (subset of `blocks`).
-    pub superblock_entries: u64,
-    /// Stale-generation superblocks evicted by the context-generation sweep.
-    pub superblocks_evicted: u64,
+    /// Intra-region constituent transfers: stitched block boundaries crossed
+    /// without an interpreter entry (each would have been a chained transfer
+    /// under chaining alone).
+    pub region_transfers: u64,
+    /// Multi-constituent regions formed from hot chain paths.
+    pub regions_formed: u64,
+    /// Regions formed by unrolling a single-block self-loop (subset of
+    /// `regions_formed`).
+    pub regions_unrolled: u64,
+    /// Interpreter entries that executed a multi-constituent region (subset
+    /// of `blocks`).
+    pub region_entries: u64,
+    /// Stale-generation regions evicted by the context-generation sweep.
+    pub regions_evicted: u64,
     /// Regfile stores deleted by the LIR optimiser across all translations
     /// (static count).
     pub opt_dead_stores: u64,
     /// Regfile loads the optimiser rewrote into register moves (static).
     pub opt_forwarded_loads: u64,
+    /// Register-copy uses folded by the optimiser's copy propagation
+    /// (static).
+    pub opt_copies_folded: u64,
     /// LIR instructions marked dead by the allocator's iterative DCE
     /// (static).
     pub opt_dce_insns: u64,
     /// Dynamic host instructions saved: per block entry, the LIR
     /// instructions eliminated from that translation before encoding.
     pub elided_dyn_insns: u64,
-}
-
-/// Per-block execution record (for the code-quality scatter plot, Fig. 21).
-///
-/// Attribution is split by how the translation was entered, so chained runs
-/// no longer pollute the dispatched-entry profile: `chained_*` counts
-/// chain-link entries into plain blocks, `superblock_*` counts entries that
-/// executed a superblock (keyed at its entry block), and the remainder of
-/// `executions`/`cycles` is the dispatcher slow path.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct BlockProfile {
-    /// Accumulated simulated cycles spent in the block (all entry modes).
-    pub cycles: u64,
-    /// Number of executions (all entry modes).
-    pub executions: u64,
-    /// Guest instructions in the block.
-    pub guest_insns: u64,
-    /// Cycles accumulated by chain-link entries into the plain block.
-    pub chained_cycles: u64,
-    /// Chain-link entries into the plain block.
-    pub chained_executions: u64,
-    /// Cycles accumulated while executing a superblock entered at this block.
-    pub superblock_cycles: u64,
-    /// Superblock executions entered at this block.
-    pub superblock_executions: u64,
-}
-
-impl BlockProfile {
-    /// Cycles attributed to dispatcher slow-path entries of the plain block.
-    pub fn dispatched_cycles(&self) -> u64 {
-        self.cycles - self.chained_cycles - self.superblock_cycles
-    }
-
-    /// Dispatcher slow-path entries of the plain block.
-    pub fn dispatched_executions(&self) -> u64 {
-        self.executions - self.chained_executions - self.superblock_executions
-    }
 }
 
 /// The hypervisor.
@@ -261,11 +237,13 @@ pub struct Captive {
     isa: Aarch64Isa,
     config: CaptiveConfig,
     stats: RunStats,
-    per_block: HashMap<u64, BlockProfile>,
-    /// Context generation the superblock map was last swept under; stale
-    /// superblocks are evicted the first time the dispatcher runs after a
-    /// generation bump.
-    swept_super_gen: u64,
+    /// Per-region execution profiles, keyed by region (Fig. 21): cycles and
+    /// executions attributed per [`EntryMode`] by [`RegionProfile::record`].
+    per_region: HashMap<RegionKey, RegionProfile>,
+    /// Context generation the cache was last swept under; stale
+    /// multi-constituent regions are evicted the first time the dispatcher
+    /// runs after a generation bump.
+    swept_region_gen: u64,
 }
 
 impl Captive {
@@ -292,8 +270,8 @@ impl Captive {
             isa: Aarch64Isa,
             config,
             stats: RunStats::default(),
-            per_block: HashMap::new(),
-            swept_super_gen: 0,
+            per_region: HashMap::new(),
+            swept_region_gen: 0,
         }
     }
 
@@ -364,18 +342,19 @@ impl Captive {
         s.itlb_misses = self.runtime.fetch_tlb.misses;
         s.dtlb_hits = self.runtime.data_tlb.hits;
         s.dtlb_misses = self.runtime.data_tlb.misses;
-        s.superblock_transfers = self.machine.perf.superblock_transfers;
-        s.superblocks_evicted = self.cache.stats().evicted_stale_supers;
+        s.region_transfers = self.machine.perf.superblock_transfers;
+        s.regions_evicted = self.cache.stats().evicted_stale_regions;
         s.opt_dead_stores = self.timers.opt_dead_stores;
         s.opt_forwarded_loads = self.timers.opt_forwarded_loads;
+        s.opt_copies_folded = self.timers.opt_copies_folded;
         s.opt_dce_insns = self.timers.opt_dce_insns;
         s.elided_dyn_insns = self.machine.perf.elided_insns;
         s
     }
 
-    /// Per-block execution profile (guest physical address → profile).
-    pub fn block_profiles(&self) -> &HashMap<u64, BlockProfile> {
-        &self.per_block
+    /// Per-region execution profiles (region key → per-entry-mode record).
+    pub fn region_profiles(&self) -> &HashMap<RegionKey, RegionProfile> {
+        &self.per_region
     }
 
     /// Translates the guest virtual address of an *instruction fetch* to a
@@ -393,16 +372,16 @@ impl Captive {
     /// docs for the link and invalidation rules).
     pub fn run(&mut self, max_blocks: u64) -> RunExit {
         let mut budget = max_blocks;
-        // A block whose direct exit was taken but whose successor link was
+        // A region whose direct exit was taken but whose successor link was
         // still unresolved; the slow path patches it once the successor is
         // known.
-        let mut patch_from: Option<(Arc<TranslatedBlock>, usize)> = None;
+        let mut patch_from: Option<(Arc<Region>, usize)> = None;
         while budget > 0 {
             if let Some(code) = self.runtime.exit_code {
                 return RunExit::GuestHalted { code };
             }
             let pc = self.machine.reg(Gpr::R15);
-            // Resolve the block's guest physical address (cache key).
+            // Resolve the entry's guest physical address (cache key).
             let pa = match self.fetch_translate(pc) {
                 Ok(pa) => pa,
                 Err(event) => {
@@ -412,11 +391,26 @@ impl Captive {
                     continue;
                 }
             };
-            let mut block = match self.cache.get(pa) {
-                Some(b) => b,
+            let gen = self.runtime.context_generation();
+            // First dispatch after a context-generation bump: sweep the
+            // cache, evicting every stale-generation multi-constituent
+            // region (they can never be dispatched again and would otherwise
+            // linger until replaced — unbounded on TLBI-heavy guests).
+            if self.config.form_regions && gen != self.swept_region_gen {
+                self.cache.evict_stale_regions(gen);
+                self.swept_region_gen = gen;
+            }
+            // One uniform lookup: the region at (entry phys, entry virt) is
+            // whatever the best current translation for this entry is — a
+            // plain block or a formed trace, with the generation gate applied
+            // inside the cache.  Virtual aliases of the same physical entry
+            // resolve to distinct regions by construction of the key.
+            let key = RegionKey { phys: pa, virt: pc };
+            let block = match self.cache.get(key, gen) {
+                Some(r) => r,
                 None => {
                     self.stats.translations += 1;
-                    let block = translate_block(
+                    let region = translate_block(
                         &self.isa,
                         &mut self.machine,
                         &mut self.timers,
@@ -427,36 +421,16 @@ impl Captive {
                         self.config.opt,
                     );
                     self.runtime.note_code_page(&mut self.machine, pa & !0xFFF);
-                    self.cache.insert(block)
+                    self.cache.insert(region)
                 }
             };
             self.stats.slow_dispatches += 1;
-            // Prefer a current-generation superblock entered at this block:
-            // one interpreter entry then covers the whole stitched hot path.
-            // The virtual-address guard matters because a superblock stitches
-            // a *virtual* control-flow path.
-            if self.config.superblocks {
-                // First dispatch after a context-generation bump: sweep the
-                // superblock map, evicting every stale-generation entry (they
-                // can never be dispatched again and would otherwise linger
-                // until replaced — unbounded on TLBI-heavy guests).
-                let gen = self.runtime.context_generation();
-                if gen != self.swept_super_gen {
-                    self.cache.evict_stale_supers(gen);
-                    self.swept_super_gen = gen;
-                }
-                if let Some(sb) = self.cache.get_super(pa, gen) {
-                    if sb.guest_virt == pc {
-                        block = sb;
-                    }
-                }
-            }
             // Patch the predecessor's successor link now that the target is
-            // resolved, guarding against virtual aliases of the same
-            // physical page (the link must only short-circuit the exact
-            // virtual address it was recorded for).
+            // resolved.  The region key pins the virtual entry, so the link
+            // can only short-circuit the exact virtual address it was
+            // recorded for — no alias guard needed.
             if let Some((prev, slot)) = patch_from.take() {
-                if self.config.chaining && block.guest_virt == pc {
+                if self.config.chaining {
                     prev.set_link(
                         slot,
                         self.runtime.context_generation(),
@@ -466,6 +440,7 @@ impl Captive {
                     self.stats.chain_patches += 1;
                 }
             }
+            let mut block = block;
             // Track the guest's exception level in the host protection ring
             // (guest user code runs in ring 3, guest system code in ring 0).
             // The ring stays cached across chained transfers: only blocks
@@ -496,36 +471,28 @@ impl Captive {
                 self.stats.blocks += 1;
                 self.stats.guest_insns += block.guest_insns as u64;
                 // Dynamic instructions-saved accounting: every entry into the
-                // block benefits from the LIR instructions eliminated at
+                // region benefits from the LIR instructions eliminated at
                 // translation time.
                 self.machine.perf.elided_insns += block.elided_insns as u64;
-                if block.super_meta.is_some() {
-                    self.stats.superblock_entries += 1;
+                if block.is_multi() {
+                    self.stats.region_entries += 1;
                 }
                 if self.config.per_block_stats {
-                    let p = self.per_block.entry(block.guest_phys).or_default();
-                    p.cycles += spent;
-                    p.executions += 1;
-                    // Split attribution by entry mode so chained runs and
-                    // superblock executions are distinguishable per entry.
-                    // A superblock shares its entry block's key; keep the
-                    // plain block's length so per-instruction profile math
-                    // over the dispatched/chained entries stays correct
-                    // (record the stitched length only when no plain entry
-                    // has set one).
-                    if block.super_meta.is_some() {
-                        p.superblock_cycles += spent;
-                        p.superblock_executions += 1;
-                        if p.guest_insns == 0 {
-                            p.guest_insns = block.guest_insns as u64;
-                        }
+                    // One attribution rule for every region shape: cycles and
+                    // executions are recorded under the entry mode, and the
+                    // region's own key/length/constituents disambiguate what
+                    // was entered (a formed trace replaces the plain region
+                    // at its key, so the profile follows the translation the
+                    // dispatcher actually ran).
+                    let p = self.per_region.entry(block.key()).or_default();
+                    p.guest_insns = block.guest_insns as u64;
+                    p.constituents = block.constituents as u64;
+                    let mode = if chained {
+                        EntryMode::Chained
                     } else {
-                        p.guest_insns = block.guest_insns as u64;
-                        if chained {
-                            p.chained_cycles += spent;
-                            p.chained_executions += 1;
-                        }
-                    }
+                        EntryMode::Dispatched
+                    };
+                    p.record(mode, spent);
                 }
                 budget -= 1;
                 match exit {
@@ -560,12 +527,13 @@ impl Captive {
                         ) {
                             // Chained transfer: straight into the successor's
                             // code, skipping page resolution, cache lookup
-                            // and EL read.  With superblocks enabled the
+                            // and EL read.  With region formation enabled the
                             // transfer also feeds the link-heat profile and
-                            // may promote the target into a superblock.
+                            // may widen the target into a multi-constituent
+                            // region.
                             self.stats.chained_transfers += 1;
-                            block = if self.config.superblocks {
-                                self.promote_to_superblock(&block, slot, next, next_pc)
+                            block = if self.config.form_regions {
+                                self.maybe_form_region(&block, slot, next, next_pc)
                             } else {
                                 next
                             };
@@ -602,34 +570,41 @@ impl Captive {
 
     /// Profiles a chained transfer into `next` and, when its link heat
     /// crosses the hot threshold, stitches the chained path starting at
-    /// `next` into a superblock.  Returns the translation to execute: the
-    /// (possibly just-formed) superblock when one is valid for the current
-    /// context generation, otherwise `next` unchanged.  The chain link in
-    /// `prev` is re-pointed at the superblock so later transfers skip this
-    /// promotion check.
-    fn promote_to_superblock(
+    /// `next` into a multi-constituent region (unrolling a single-block
+    /// self-loop up to the configured factor).  Returns the translation to
+    /// execute: the (possibly just-formed) region, otherwise `next`
+    /// unchanged.  The formed region replaces the plain one in the cache
+    /// under the same key, and the chain link in `prev` is re-pointed at it
+    /// so later transfers go straight there.
+    fn maybe_form_region(
         &mut self,
-        prev: &Arc<TranslatedBlock>,
+        prev: &Arc<Region>,
         slot: usize,
-        next: Arc<TranslatedBlock>,
+        next: Arc<Region>,
         next_pc: u64,
-    ) -> Arc<TranslatedBlock> {
-        if next.super_meta.is_some() {
+    ) -> Arc<Region> {
+        if next.is_multi() {
             return next;
         }
         let heat = prev.heat_up(slot);
         let gen = self.runtime.context_generation();
-        if let Some(sb) = self.cache.get_super(next.guest_phys, gen) {
-            if sb.guest_virt == next_pc {
-                prev.set_link(slot, gen, self.cache.epoch(), &sb);
-                return sb;
+        // Another predecessor may already have widened this entry: the
+        // dispatcher-held `next` then outlives its replaced cache slot, and
+        // the link just needs re-pointing (a stat-free peek — this is the
+        // former's own bookkeeping, not a dispatch lookup).
+        if let Some(r) = self.cache.peek(next.key()) {
+            if r.is_multi() {
+                if r.ctx_gen == gen {
+                    prev.set_link(slot, gen, self.cache.epoch(), &r);
+                    return r;
+                }
+                return next;
             }
+        }
+        if heat != self.config.region_threshold {
             return next;
         }
-        if heat != self.config.superblock_threshold {
-            return next;
-        }
-        let Some(sb) = form_superblock(
+        let Some(region) = form_region(
             &self.isa,
             &mut self.machine,
             &mut self.runtime,
@@ -637,23 +612,27 @@ impl Captive {
             &self.cache,
             next_pc,
             next.guest_phys,
-            self.config.superblock_max_insns,
+            self.config.region_max_insns,
+            self.config.unroll_self_loops,
             self.config.fp_mode,
             self.config.opt,
         ) else {
-            // A one-constituent trace is not worth a superblock; the exact
+            // A one-constituent trace is not worth forming; the exact
             // threshold trigger means we will not retry for this link.
             return next;
         };
         // Write-protect every constituent page so self-modifying code on any
-        // of them invalidates the superblock.
-        for page in sb.code_pages() {
-            self.runtime.note_code_page(&mut self.machine, page);
+        // of them invalidates the region.
+        for page in &region.pages {
+            self.runtime.note_code_page(&mut self.machine, *page);
         }
-        let sb = self.cache.insert_super(sb);
-        self.stats.superblocks_formed += 1;
-        prev.set_link(slot, gen, self.cache.epoch(), &sb);
-        sb
+        if region.unroll > 1 {
+            self.stats.regions_unrolled += 1;
+        }
+        let region = self.cache.insert(region);
+        self.stats.regions_formed += 1;
+        prev.set_link(slot, gen, self.cache.epoch(), &region);
+        region
     }
 
     /// Delivers a guest-visible event (exception) by updating the guest
@@ -801,14 +780,22 @@ mod tests {
     fn hot_loop_dispatches_through_chain_links() {
         // A tight countdown loop: after the first two trips (translate, then
         // patch), every iteration must flow through the chain link without
-        // re-entering the dispatcher slow path.
+        // re-entering the dispatcher slow path.  Region formation is pinned
+        // off — this test measures the chain machinery alone (with it on,
+        // the self-loop unrolls and interpreter entries drop fourfold).
         let mut a = asm::Assembler::new();
         a.push(asm::movz(1, 2000, 0));
         a.label("loop");
         a.push(asm::subi(1, 1, 1));
         a.cbnz_to(1, "loop");
         a.push(asm::hlt());
-        let (c, exit) = boot(&a.finish());
+        let mut c = Captive::new(CaptiveConfig {
+            form_regions: false,
+            ..CaptiveConfig::default()
+        });
+        c.load_program(0x1000, &a.finish());
+        c.set_entry(0x1000);
+        let exit = c.run(100_000);
         assert_eq!(exit, RunExit::GuestHalted { code: 0 });
         let stats = c.stats();
         assert!(
@@ -850,7 +837,7 @@ mod tests {
         let run = |chaining: bool| {
             let mut c = Captive::new(CaptiveConfig {
                 chaining,
-                superblocks: false,
+                form_regions: false,
                 ..CaptiveConfig::default()
             });
             c.load_program(0x1000, &words);
@@ -994,9 +981,9 @@ mod tests {
         );
     }
 
-    fn superblock_config() -> CaptiveConfig {
+    fn region_config() -> CaptiveConfig {
         CaptiveConfig {
-            superblocks: true,
+            form_regions: true,
             ..CaptiveConfig::default()
         }
     }
@@ -1020,11 +1007,11 @@ mod tests {
     }
 
     #[test]
-    fn superblocks_fuse_hot_chain_paths() {
+    fn regions_fuse_hot_chain_paths() {
         let words = multi_block_loop(3000);
-        let run = |superblocks: bool| {
+        let run = |form_regions: bool| {
             let mut c = Captive::new(CaptiveConfig {
-                superblocks,
+                form_regions,
                 ..CaptiveConfig::default()
             });
             c.load_program(0x1000, &words);
@@ -1039,14 +1026,11 @@ mod tests {
         }
         let son = on.stats();
         let soff = off.stats();
+        assert!(son.regions_formed >= 1, "hot loop must form a superblock");
         assert!(
-            son.superblocks_formed >= 1,
-            "hot loop must form a superblock"
-        );
-        assert!(
-            son.superblock_transfers > 2_000,
+            son.region_transfers > 2_000,
             "stitched transfers absorb the loop: {}",
-            son.superblock_transfers
+            son.region_transfers
         );
         assert!(
             son.blocks < soff.blocks / 2,
@@ -1061,13 +1045,13 @@ mod tests {
             soff.cycles
         );
         assert_eq!(
-            son.superblock_transfers, on.machine.perf.superblock_transfers,
+            son.region_transfers, on.machine.perf.superblock_transfers,
             "hypervisor- and machine-level counters agree"
         );
     }
 
     #[test]
-    fn superblock_side_exit_leaves_with_exact_state() {
+    fn region_side_exit_leaves_with_exact_state() {
         // The loop's conditional is stitched into the superblock with its
         // exit leg (the CBZ taken to "done") as a side-exit stub; when the
         // counter reaches zero the side exit must deliver execution to the
@@ -1082,22 +1066,19 @@ mod tests {
         a.b_to("loop");
         a.label("done");
         a.push(asm::hlt());
-        let mut c = Captive::new(superblock_config());
+        let mut c = Captive::new(region_config());
         c.load_program(0x1000, &a.finish());
         c.set_entry(0x1000);
         assert_eq!(c.run(100_000), RunExit::GuestHalted { code: 0 });
         assert_eq!(c.guest_reg(9), 500, "side exit preserved the accumulator");
         assert_eq!(c.guest_reg(1), 0);
         let s = c.stats();
-        assert!(s.superblocks_formed >= 1);
-        assert!(
-            s.superblock_transfers > 400,
-            "the backward jump was stitched"
-        );
+        assert!(s.regions_formed >= 1);
+        assert!(s.region_transfers > 400, "the backward jump was stitched");
     }
 
     #[test]
-    fn smc_on_interior_superblock_page_invalidates_it() {
+    fn smc_on_interior_region_page_invalidates_it() {
         // A hot call loop whose callee lives on the next page: the formed
         // superblock spans both pages with the callee page interior.  A
         // guest write to the callee must kill the superblock so the second
@@ -1119,15 +1100,15 @@ mod tests {
         sub.push(asm::movz(5, 1, 0));
         sub.push(asm::ret());
 
-        let mut c = Captive::new(superblock_config());
+        let mut c = Captive::new(region_config());
         c.load_program(0x1000, &main.finish());
         c.load_program(0x2000, &sub.finish());
         c.set_entry(0x1000);
         assert_eq!(c.run(100_000), RunExit::GuestHalted { code: 0 });
         let s = c.stats();
-        assert!(s.superblocks_formed >= 1, "the call loop must get hot");
+        assert!(s.regions_formed >= 1, "the call loop must get hot");
         assert!(
-            s.superblock_transfers > 50,
+            s.region_transfers > 50,
             "calls flow through the stitched BL"
         );
         assert_eq!(
@@ -1136,7 +1117,7 @@ mod tests {
             "the post-SMC call must run the rewritten callee"
         );
         assert_eq!(
-            c.cache.super_count(),
+            c.cache.multi_region_count(),
             0,
             "writing an interior page must discard the superblock"
         );
@@ -1144,7 +1125,7 @@ mod tests {
     }
 
     #[test]
-    fn superblock_indirect_exit_falls_back_to_chained_dispatch() {
+    fn region_indirect_exit_falls_back_to_chained_dispatch() {
         // The superblock covering [bl → callee..ret] ends at the RET
         // (indirect): every execution leaves through the slow path, after
         // which ordinary chaining resumes — and every interpreter entry is
@@ -1159,18 +1140,18 @@ mod tests {
         a.label("sub");
         a.push(asm::movz(5, 1, 0));
         a.push(asm::ret());
-        let mut c = Captive::new(superblock_config());
+        let mut c = Captive::new(region_config());
         c.load_program(0x1000, &a.finish());
         c.set_entry(0x1000);
         assert_eq!(c.run(100_000), RunExit::GuestHalted { code: 0 });
         assert_eq!(c.guest_reg(5), 1);
         assert_eq!(c.guest_reg(6), 0);
         let s = c.stats();
-        assert!(s.superblocks_formed >= 1);
+        assert!(s.regions_formed >= 1);
         assert!(
-            s.superblock_entries > 100,
+            s.region_entries > 100,
             "the superblock is re-entered every iteration: {}",
-            s.superblock_entries
+            s.region_entries
         );
         assert!(
             s.chained_transfers > 100,
@@ -1184,7 +1165,7 @@ mod tests {
     }
 
     #[test]
-    fn superblock_fault_mid_trace_delivers_exact_elr() {
+    fn region_fault_mid_trace_delivers_exact_elr() {
         // A striding store loop split into two blocks so a superblock forms;
         // the eventual out-of-bounds store faults *inside* the superblock
         // and must still deliver the exact faulting PC into ELR.
@@ -1209,7 +1190,7 @@ mod tests {
         v.push(asm::mrs(11, guest_aarch64::SysReg::Far as u32));
         v.push(asm::hlt());
 
-        let mut c = Captive::new(superblock_config());
+        let mut c = Captive::new(region_config());
         c.load_program(0x1000, &main);
         c.load_program(0x2000, &v.finish());
         c.set_entry(0x1000);
@@ -1217,49 +1198,60 @@ mod tests {
         assert_eq!(c.guest_reg(10), fault_pc, "ELR is the faulting PC");
         assert_eq!(c.guest_reg(11), 0x200_0000, "FAR is the first OOB address");
         let s = c.stats();
-        assert!(
-            s.superblocks_formed >= 1,
-            "the loop got hot before faulting"
-        );
-        assert!(s.superblock_transfers > 100);
+        assert!(s.regions_formed >= 1, "the loop got hot before faulting");
+        assert!(s.region_transfers > 100);
     }
 
     #[test]
-    fn per_block_profiles_split_chained_and_superblock_entries() {
+    fn region_profiles_attribute_per_entry_mode() {
         let words = multi_block_loop(1000);
         let mut c = Captive::new(CaptiveConfig {
-            superblocks: true,
+            form_regions: true,
             per_block_stats: true,
             ..CaptiveConfig::default()
         });
         c.load_program(0x1000, &words);
         c.set_entry(0x1000);
         assert_eq!(c.run(100_000), RunExit::GuestHalted { code: 0 });
-        let profiles = c.block_profiles();
+        let profiles = c.region_profiles();
         let mut chained = 0u64;
-        let mut superblock = 0u64;
         let mut dispatched = 0u64;
+        let mut multi_entries = 0u64;
+        let mut total_cycles = 0u64;
         for p in profiles.values() {
-            assert!(
-                p.chained_executions + p.superblock_executions <= p.executions,
-                "split entries never exceed the total"
+            assert_eq!(
+                p.executions(EntryMode::Chained) + p.executions(EntryMode::Dispatched),
+                p.total_executions(),
+                "the two entry modes partition the total"
             );
-            assert!(p.chained_cycles + p.superblock_cycles <= p.cycles);
-            chained += p.chained_executions;
-            superblock += p.superblock_executions;
-            dispatched += p.dispatched_executions();
+            chained += p.executions(EntryMode::Chained);
+            dispatched += p.executions(EntryMode::Dispatched);
+            total_cycles += p.total_cycles();
+            if p.constituents > 1 {
+                multi_entries += p.total_executions();
+            }
         }
         let s = c.stats();
         assert_eq!(
-            chained + superblock + dispatched,
+            chained + dispatched,
             s.blocks,
-            "profile split covers every interpreter entry"
+            "the profiles cover every interpreter entry"
+        );
+        assert_eq!(chained, s.chained_transfers);
+        assert_eq!(dispatched, s.slow_dispatches);
+        assert!(
+            multi_entries >= s.region_entries,
+            "rows whose key now holds a formed region cover at least the \
+             multi-constituent entries (plus any pre-formation plain entries \
+             recorded under the same key): {multi_entries} vs {}",
+            s.region_entries
         );
         assert!(
-            superblock > 500,
-            "superblock executions are attributed to their entry block"
+            multi_entries > 500,
+            "the formed region absorbs the hot loop: {multi_entries}"
         );
         assert!(chained > 0, "pre-formation chained entries are attributed");
+        assert!(total_cycles > 0);
     }
 
     #[test]
@@ -1346,7 +1338,7 @@ mod tests {
     }
 
     #[test]
-    fn context_generation_bump_sweeps_stale_superblocks() {
+    fn context_generation_bump_sweeps_stale_regions() {
         // A hot multi-block loop forms a superblock; the TLBI afterwards
         // bumps the context generation, and the next slow dispatch must
         // evict the now-unreachable stale-generation superblock instead of
@@ -1368,16 +1360,13 @@ mod tests {
         assert_eq!(c.guest_reg(9), 3000);
         assert_eq!(c.guest_reg(5), 7);
         let s = c.stats();
-        assert!(s.superblocks_formed >= 1, "the loop must get hot");
+        assert!(s.regions_formed >= 1, "the loop must get hot");
         assert_eq!(
-            c.cache.super_count(),
+            c.cache.multi_region_count(),
             0,
             "the generation bump must sweep the stale superblock"
         );
-        assert!(
-            s.superblocks_evicted >= 1,
-            "the sweep is recorded in the stats"
-        );
+        assert!(s.regions_evicted >= 1, "the sweep is recorded in the stats");
     }
 
     #[test]
@@ -1430,17 +1419,193 @@ mod tests {
     }
 
     #[test]
-    fn translations_are_cached_and_reused() {
+    fn faulting_load_with_dead_destination_still_delivers_the_abort() {
+        // The optimiser's dead-store elimination leaves the guest-memory
+        // load below with an unread destination (x1 is immediately
+        // overwritten); the load must nevertheless execute and deliver its
+        // data abort — the fault is architectural state the guest is owed.
         let mut a = asm::Assembler::new();
-        a.push(asm::movz(1, 1000, 0));
-        a.label("loop");
-        a.push(asm::subi(1, 1, 1));
-        a.cbnz_to(1, "loop");
+        a.mov_imm64(9, 0x2000);
+        a.push(asm::msr(guest_aarch64::SysReg::Vbar as u32, 9));
+        a.mov_imm64(2, 0x200_0000); // beyond the 32 MiB of guest RAM
+        let fault_idx = a.here();
+        a.push(asm::ldr(1, 2, 0)); // faulting load, value never read
+        a.push(asm::movz(1, 5, 0)); // overwrites x1: the load's value is dead
         a.push(asm::hlt());
-        let (c, exit) = boot(&a.finish());
+        let main = a.finish();
+        let fault_pc = 0x1000 + fault_idx as u64 * 4;
+
+        let mut v = asm::Assembler::new();
+        v.push(asm::mrs(10, guest_aarch64::SysReg::Elr as u32));
+        v.push(asm::mrs(11, guest_aarch64::SysReg::Far as u32));
+        v.push(asm::hlt());
+
+        let mut c = Captive::new(CaptiveConfig::default());
+        c.load_program(0x1000, &main);
+        c.load_program(0x2000, &v.finish());
+        c.set_entry(0x1000);
+        assert_eq!(c.run(100_000), RunExit::GuestHalted { code: 0 });
+        assert_eq!(c.stats().guest_exceptions, 1, "the abort was delivered");
+        assert_eq!(c.guest_reg(10), fault_pc, "ELR is the faulting load");
+        assert_eq!(c.guest_reg(11), 0x200_0000, "FAR is the bad address");
+        assert_ne!(c.guest_reg(1), 5, "the vector halted before the movz");
+    }
+
+    #[test]
+    fn self_loop_unrolls_into_a_region_and_saves_cycles() {
+        // The pointer-chase shape: a single-block self-loop.  Before
+        // unrolling this never formed a region (the trace closed at one
+        // constituent); with unrolling the body is peeled fourfold, joined
+        // by trace edges with side-exit stubs on each peeled loop-back.
+        let mut a = asm::Assembler::new();
+        a.push(asm::movz(1, 4000, 0));
+        a.push(asm::movz(9, 0, 0));
+        a.label("chase");
+        a.push(asm::addi(9, 9, 1));
+        a.push(asm::subi(1, 1, 1));
+        a.cbnz_to(1, "chase");
+        a.push(asm::hlt());
+        let words = a.finish();
+        let run = |unroll: usize| {
+            let mut c = Captive::new(CaptiveConfig {
+                unroll_self_loops: unroll,
+                ..CaptiveConfig::default()
+            });
+            c.load_program(0x1000, &words);
+            c.set_entry(0x1000);
+            assert_eq!(c.run(100_000), RunExit::GuestHalted { code: 0 });
+            c
+        };
+        let mut on = run(4);
+        let mut off = run(1);
+        for r in 0..16 {
+            assert_eq!(on.guest_reg(r), off.guest_reg(r), "x{r} diverged");
+        }
+        assert_eq!(on.guest_reg(9), 4000);
+        let son = on.stats();
+        let soff = off.stats();
+        assert_eq!(
+            soff.regions_formed, 0,
+            "without unrolling the self-loop closes at one constituent"
+        );
+        assert!(
+            son.regions_unrolled >= 1,
+            "the self-loop must form an unrolled region"
+        );
+        assert!(
+            son.region_transfers > 2_000,
+            "peeled iterations cross trace edges, not chain links: {}",
+            son.region_transfers
+        );
+        assert!(
+            son.blocks < soff.blocks / 2,
+            "each region entry covers several loop iterations: {} vs {}",
+            son.blocks,
+            soff.blocks
+        );
+        assert!(
+            son.cycles < soff.cycles,
+            "unrolling must run strictly fewer modeled cycles: {} vs {}",
+            son.cycles,
+            soff.cycles
+        );
+        assert_eq!(
+            son.blocks,
+            son.chained_transfers + son.slow_dispatches,
+            "every entry is still chained or dispatched"
+        );
+    }
+
+    #[test]
+    fn virtual_aliases_of_a_hot_entry_each_get_a_live_region() {
+        // Two virtual pages map the same physical page holding a hot
+        // self-loop kernel; both entries must end up with their own live
+        // unrolled region (the old per-physical superblock slot made the
+        // aliases evict each other).
+        use guest_aarch64::mmu::{GuestPageFlags, GuestPageTableBuilder};
+        let table = std::cell::RefCell::new(HashMap::<u64, u64>::new());
+        let mut b = GuestPageTableBuilder::new(0x10_0000, 0x18_0000);
+        {
+            let mut map = |va: u64, pa: u64| {
+                assert!(b.map(
+                    |a| Some(*table.borrow().get(&a).unwrap_or(&0)),
+                    |a, v| {
+                        table.borrow_mut().insert(a, v);
+                    },
+                    va,
+                    pa,
+                    GuestPageFlags::kernel_rw(),
+                ));
+            };
+            map(0x1000, 0x1000); // main code, identity
+            map(0x3000, 0x3000); // kernel, identity
+            map(0x8000, 0x3000); // kernel alias
+        }
+        let mut c = Captive::new(CaptiveConfig::default());
+        for (&a, &v) in table.borrow().iter() {
+            c.write_guest_phys(a, v, 8);
+        }
+
+        // Kernel at PA 0x3000: a single-block self-loop, then return.
+        let mut k = asm::Assembler::new();
+        k.label("chase");
+        k.push(asm::addi(9, 9, 1));
+        k.push(asm::subi(5, 5, 1));
+        k.cbnz_to(5, "chase");
+        k.push(asm::ret());
+
+        let mut a = asm::Assembler::new();
+        a.mov_imm64(0, b.root);
+        a.push(asm::msr(guest_aarch64::SysReg::Ttbr0 as u32, 0));
+        a.push(asm::movz(0, 1, 0));
+        a.push(asm::msr(guest_aarch64::SysReg::Sctlr as u32, 0)); // MMU on
+        a.push(asm::movz(9, 0, 0));
+        a.push(asm::movz(5, 200, 0));
+        let bl1 = a.here();
+        a.push(asm::bl(0x3000 - (0x1000 + bl1 as i64 * 4)));
+        a.push(asm::movz(5, 200, 0));
+        let bl2 = a.here();
+        a.push(asm::bl(0x8000 - (0x1000 + bl2 as i64 * 4)));
+        a.push(asm::hlt());
+
+        c.load_program(0x1000, &a.finish());
+        c.load_program(0x3000, &k.finish());
+        c.set_entry(0x1000);
+        assert_eq!(c.run(100_000), RunExit::GuestHalted { code: 0 });
+        assert_eq!(c.guest_reg(9), 400, "both alias phases ran the kernel");
+        let s = c.stats();
+        assert!(
+            s.regions_unrolled >= 2,
+            "each alias must unroll its own region: {}",
+            s.regions_unrolled
+        );
+        assert_eq!(
+            c.cache.multi_region_count(),
+            2,
+            "both aliases hold a live region — no slot contention"
+        );
+    }
+
+    #[test]
+    fn translations_are_cached_and_reused() {
+        let (c, exit) = boot(&{
+            let mut a = asm::Assembler::new();
+            a.push(asm::movz(1, 1000, 0));
+            a.label("loop");
+            a.push(asm::subi(1, 1, 1));
+            a.cbnz_to(1, "loop");
+            a.push(asm::hlt());
+            a.finish()
+        });
         assert_eq!(exit, RunExit::GuestHalted { code: 0 });
         let stats = c.stats();
         assert!(stats.translations <= 4, "loop body translated once");
-        assert!(stats.blocks > 900, "loop body re-dispatched from the cache");
+        assert!(
+            stats.guest_insns > 1900,
+            "loop body re-executed from the cache (the unrolled region packs \
+             several iterations per entry): {} guest insns over {} entries",
+            stats.guest_insns,
+            stats.blocks
+        );
     }
 }

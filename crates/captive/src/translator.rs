@@ -1,19 +1,22 @@
-//! The per-block translation driver: decode → generate → optimise →
+//! The per-region translation driver: decode → generate → optimise →
 //! allocate → encode.
 //!
 //! This is the online pipeline of Fig. 8, timed per phase for the Fig. 20
 //! experiment, plus the explicit block-scoped optimisation phase
-//! (`dbt::opt`) between emission and register allocation.  Guest basic
-//! blocks end at the first branch/exception instruction, at a page boundary,
-//! or at the configured instruction limit.
+//! (`dbt::opt`) between emission and register allocation.  Every translation
+//! it produces is a [`Region`]: [`translate_block`] emits the
+//! one-constituent kind (a guest basic block, ending at the first
+//! branch/exception instruction, at a page boundary, or at the configured
+//! instruction limit), and [`form_region`] stitches a hot chained path —
+//! including unrolled single-block self-loops — into a multi-constituent
+//! one.
 
 use crate::layout;
 use crate::runtime::{sf_helpers, CaptiveRuntime};
 use crate::FpMode;
 use dbt::emitter::ValueType;
 use dbt::{
-    BlockExit, ChainLinks, CodeCache, Emitter, GuestIsa, Phase, PhaseTimers, SuperMeta,
-    TranslatedBlock,
+    BlockExit, ChainLinks, CodeCache, Emitter, GuestIsa, Phase, PhaseTimers, Region, RegionKey,
 };
 use guest_aarch64::gen::Decoded;
 use guest_aarch64::isa::{FpKind, Insn};
@@ -22,7 +25,7 @@ use hvm::{Machine, MemSize};
 use std::sync::Arc;
 
 /// Translates one guest basic block starting at virtual address `pc`
-/// (physical address `pa`).
+/// (physical address `pa`) into a one-constituent region.
 #[allow(clippy::too_many_arguments)]
 pub fn translate_block(
     isa: &Aarch64Isa,
@@ -33,7 +36,7 @@ pub fn translate_block(
     max_insns: usize,
     fp_mode: FpMode,
     run_opt: bool,
-) -> TranslatedBlock {
+) -> Region {
     let mut emitter = Emitter::new();
     let mut guest_insns = 0usize;
     let mut va = pc;
@@ -101,8 +104,7 @@ pub fn translate_block(
     timers.blocks += 1;
     timers.guest_insns += guest_insns as u64;
 
-    TranslatedBlock {
-        key: pa,
+    Region {
         guest_phys: pa,
         guest_virt: pc,
         guest_insns,
@@ -112,32 +114,47 @@ pub fn translate_block(
         code: Arc::new(code),
         exit,
         links: ChainLinks::default(),
-        super_meta: None,
+        constituents: 1,
+        pages: Region::span_pages(pa, guest_insns),
+        ctx_gen: 0,
+        unroll: 1,
     }
 }
 
-/// Maximum constituent basic blocks stitched into one superblock.
-pub const SUPERBLOCK_MAX_BLOCKS: usize = 32;
+/// Maximum constituent basic blocks stitched into one region.
+pub const REGION_MAX_BLOCKS: usize = 32;
 
-/// Forms a superblock: re-decodes and re-lowers the hot chained path
-/// starting at `entry_pc`/`entry_pa` as one translation, stitching direct
-/// jumps and fallthroughs into internal transfers and turning the off-trace
-/// leg of interior conditionals into side-exit stubs.  The trace stops at
-/// indirect exits, already-visited constituent starts (loop closure),
-/// untranslatable target pages, `max_insns` guest instructions, or
-/// [`SUPERBLOCK_MAX_BLOCKS`] constituents.  Returns `None` when fewer than
-/// two constituents would be stitched (a superblock would add nothing over
-/// the plain block).
+/// Forms a multi-constituent region: re-decodes and re-lowers the hot
+/// chained path starting at `entry_pc`/`entry_pa` as one translation,
+/// stitching direct jumps and fallthroughs into internal transfers and
+/// turning the off-trace leg of interior conditionals into side-exit stubs.
+/// The trace stops at indirect exits, already-visited constituent starts
+/// (loop closure), untranslatable target pages, `max_insns` guest
+/// instructions, or [`REGION_MAX_BLOCKS`] constituents.  Returns `None` when
+/// fewer than two constituents would be stitched (a region would add nothing
+/// over the plain block).
+///
+/// **Self-loop unrolling.** Loop closure has one exception: when the trace
+/// so far consists purely of copies of the entry block and the entry's own
+/// terminator targets the entry again (a single-block self-loop — the
+/// pointer-chase shape), the back edge is stitched and the body re-decoded,
+/// up to `unroll` copies in total.  Each peeled loop-back conditional
+/// becomes a side-exit stub (precise PC on the off-trace leg), the peeled
+/// iterations are joined by [`hvm::MachInsn::TraceEdge`], and the final
+/// copy's branch is left as the ordinary region terminator, so the region
+/// chains back to itself for the next batch of iterations.  `unroll <= 1`
+/// disables peeling and restores the old stop-at-closure behaviour.
 ///
 /// For interior conditionals the continuation leg is chosen by profile: the
-/// hotter chain-link slot of the cached block containing the branch, falling
-/// back to the static backward-branch heuristic when the profile is empty.
+/// hotter chain-link slot of the cached region containing the branch,
+/// falling back to the static backward-branch heuristic when the profile is
+/// empty.
 ///
 /// Formation is pure JIT work: it charges no simulated cycles and touches no
 /// iTLB/gTLB counters (guest translations are resolved through the
 /// uncharged walker).
 #[allow(clippy::too_many_arguments)]
-pub fn form_superblock(
+pub fn form_region(
     isa: &Aarch64Isa,
     machine: &mut Machine,
     runtime: &mut CaptiveRuntime,
@@ -146,9 +163,10 @@ pub fn form_superblock(
     entry_pc: u64,
     entry_pa: u64,
     max_insns: usize,
+    unroll: usize,
     fp_mode: FpMode,
     run_opt: bool,
-) -> Option<TranslatedBlock> {
+) -> Option<Region> {
     let ctx_gen = runtime.context_generation();
     let mut emitter = Emitter::new();
     let mut guest_insns = 0usize;
@@ -158,14 +176,15 @@ pub fn form_superblock(
     let mut va = entry_pc;
     let mut page_va = entry_pc & !0xFFF;
     let mut page_pa = entry_pa & !0xFFF;
-    // Start of the constituent currently being translated (physical), used
-    // to consult the plain block's link heats for leg selection.
+    // Start of the constituent currently being translated, used to consult
+    // the plain region's link heats for leg selection.
     let mut block_start_pa = entry_pa;
+    let mut block_start_va = entry_pc;
 
     loop {
         // Sequential page crossing: a fallthrough constituent boundary.
         if (va & !0xFFF) != page_va {
-            if guest_insns >= max_insns || constituents >= SUPERBLOCK_MAX_BLOCKS {
+            if guest_insns >= max_insns || constituents >= REGION_MAX_BLOCKS {
                 break;
             }
             match runtime.guest_va_to_pa(machine, va, false) {
@@ -178,6 +197,7 @@ pub fn form_superblock(
                     constituents += 1;
                     visited.push(va);
                     block_start_pa = pa;
+                    block_start_va = va;
                     emitter.trace_edge();
                 }
                 // The next page is not translatable right now: end the trace
@@ -212,7 +232,7 @@ pub fn form_superblock(
         // For direct terminators, pick the on-trace continuation (if the
         // trace may continue at all) and resolve its physical address before
         // generating, so the stitched leg is known to be translatable.
-        let budget_left = guest_insns + 1 < max_insns && constituents < SUPERBLOCK_MAX_BLOCKS;
+        let budget_left = guest_insns + 1 < max_insns && constituents < REGION_MAX_BLOCKS;
         let continuation = if budget_left {
             match d.insn {
                 Insn::B { offset } | Insn::Bl { offset } => Some(va.wrapping_add(offset as u64)),
@@ -221,11 +241,30 @@ pub fn form_superblock(
                 | Insn::Cbnz { offset, .. } => {
                     let taken = va.wrapping_add(offset as u64);
                     let fallthrough = va.wrapping_add(4);
-                    Some(choose_leg(cache, block_start_pa, va, taken, fallthrough))
+                    Some(choose_leg(
+                        cache,
+                        block_start_pa,
+                        block_start_va,
+                        va,
+                        taken,
+                        fallthrough,
+                    ))
                 }
                 _ => None,
             }
-            .filter(|t| !visited.contains(t))
+            .filter(|t| {
+                if !visited.contains(t) {
+                    return true;
+                }
+                // Loop closure — except for the self-loop unrolling case:
+                // while the trace is nothing but copies of the entry block,
+                // a back edge to the entry may be peeled until `unroll`
+                // copies have been stitched.
+                *t == entry_pc
+                    && unroll > 1
+                    && visited.len() < unroll
+                    && visited.iter().all(|v| *v == entry_pc)
+            })
             .and_then(|t| {
                 runtime
                     .guest_va_to_pa(machine, t, false)
@@ -256,6 +295,7 @@ pub fn form_superblock(
                     pages.push(page_pa);
                 }
                 block_start_pa = target_pa;
+                block_start_va = target;
                 continue;
             }
             // The generator terminated without stitching (e.g. a folded
@@ -296,8 +336,7 @@ pub fn form_superblock(
     timers.blocks += 1;
     timers.guest_insns += guest_insns as u64;
 
-    Some(TranslatedBlock {
-        key: entry_pa,
+    Some(Region {
         guest_phys: entry_pa,
         guest_virt: entry_pc,
         guest_insns,
@@ -307,25 +346,28 @@ pub fn form_superblock(
         code: Arc::new(code),
         exit,
         links: ChainLinks::default(),
-        super_meta: Some(SuperMeta {
-            pages,
-            ctx_gen,
-            constituents,
-        }),
+        constituents,
+        pages,
+        ctx_gen,
+        unroll: visited.iter().filter(|v| **v == entry_pc).count(),
     })
 }
 
 /// Picks the continuation leg of an interior conditional: the hotter chain
-/// link of the cached block holding the branch, falling back to "backward
+/// link of the cached region holding the branch, falling back to "backward
 /// taken targets are loops" when the profile is empty or tied.
 fn choose_leg(
     cache: &CodeCache,
     block_pa: u64,
+    block_va: u64,
     branch_va: u64,
     taken: u64,
     fallthrough: u64,
 ) -> u64 {
-    if let Some(b) = cache.peek(block_pa) {
+    if let Some(b) = cache.peek(RegionKey {
+        phys: block_pa,
+        virt: block_va,
+    }) {
         if matches!(b.exit, BlockExit::Branch { .. }) {
             let taken_heat = b.link_heat(0);
             let fall_heat = b.link_heat(1);

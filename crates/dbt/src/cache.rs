@@ -1,94 +1,121 @@
-//! Translated-code cache and direct block chaining.
+//! Translated-code cache over one kind of translation unit: the **region**.
 //!
-//! Captive indexes translations by guest *physical* address so they survive
-//! guest page-table changes and are shared between different virtual mappings
-//! of the same physical page; the QEMU-style baseline indexes by guest
-//! *virtual* address and must invalidate everything whenever the guest
-//! changes its page tables (Section 2.6).  Both policies are provided here so
-//! the difference is a configuration, not a reimplementation.
+//! Every translation this cache holds is a [`Region`] — a single host-code
+//! unit covering 1..N guest basic blocks (its *constituents*).  A plain
+//! basic-block translation is simply a one-constituent region; a trace
+//! stitched over a hot chain path (what earlier revisions called a
+//! "superblock") is an N-constituent one, possibly with a single-block
+//! self-loop *unrolled* several times.  There is one index, one insertion
+//! path, one invalidation story and one chain-link mechanism for all of
+//! them; nothing in this module special-cases the multi-constituent shape
+//! beyond the generation gate described below.
+//!
+//! # Indexing
+//!
+//! Regions are keyed by [`RegionKey`]: the guest *physical* address of the
+//! entry instruction plus its guest *virtual* entry class.  The physical
+//! component is what lets Captive's translations survive guest page-table
+//! changes (Section 2.6 of the paper); the virtual component exists because
+//! generated code embeds virtual addresses (branch targets, the PC), so a
+//! translation is only reusable at the exact virtual entry it was made for.
+//! Two virtual aliases of one hot physical entry therefore each get their
+//! own live region instead of contending for a single per-physical slot.
+//! The QEMU-style baseline stores its virtually-indexed translations in the
+//! same structure ([`CacheIndex::GuestVirtual`]) and simply flushes
+//! everything on guest translation-state changes.
 //!
 //! # Direct block chaining
 //!
-//! Each [`TranslatedBlock`] carries terminator metadata ([`BlockExit`])
-//! computed at translation time, plus up to two lazily patched successor
-//! links (slot 0 = the jump/taken/sequential target, slot 1 = the
-//! conditional fallthrough).  A link records:
+//! Each region carries terminator metadata ([`BlockExit`]) computed at
+//! translation time, plus up to two lazily patched successor links (slot 0 =
+//! the jump/taken/sequential target, slot 1 = the conditional fallthrough).
+//! A link records:
 //!
-//! * a [`Weak`] reference to the successor block — invalidating a block
-//!   drops the cache's strong reference, so every chain link pointing at it
-//!   dies automatically, with no scan over predecessor blocks;
+//! * a [`Weak`] reference to the successor region — invalidating (or
+//!   replacing) a region drops the cache's strong reference, so every chain
+//!   link pointing at it dies automatically, with no scan over predecessors;
 //! * the *context generation* (owned by the hypervisor, bumped on guest
-//!   TLBI / `TTBR0` / `SCTLR` writes — anything that can change the
-//!   VA→PA mapping a link's target address was resolved under);
-//! * the *cache epoch* (owned by this cache, bumped whenever an
-//!   invalidation removes blocks — this catches the case where the
-//!   dispatcher still holds a strong reference to an invalidated block, so
-//!   the `Weak` alone would keep a stale self-link alive).
+//!   TLBI / `TTBR0` / `SCTLR` writes — anything that can change the VA→PA
+//!   mapping a link's target address was resolved under);
+//! * the *cache epoch* (owned by this cache, bumped whenever an invalidation
+//!   removes regions — this catches the case where the dispatcher still
+//!   holds a strong reference to an invalidated region, so the `Weak` alone
+//!   would keep a stale self-link alive).
 //!
 //! A link is only followed while both stamps match the current values; a
-//! stale link simply falls back to the dispatcher slow path, which re-resolves
-//! and re-patches it.
+//! stale link simply falls back to the dispatcher slow path, which
+//! re-resolves and re-patches it.  Links also carry a *heat* counter — the
+//! profile input that drives multi-constituent region formation in the
+//! dispatcher.
 //!
-//! Lookup stats are interior-mutable so the dispatcher can probe the cache
-//! through a shared reference while holding `Arc`s to blocks it is chaining
-//! between.
+//! # Multi-constituent regions
 //!
-//! # Superblocks
+//! The region former (see `captive::translator`) re-decodes a hot chained
+//! path as one translation: direct jumps and fallthroughs become internal
+//! [`hvm::MachInsn::TraceEdge`] transfers, the off-trace leg of an interior
+//! conditional becomes a side-exit stub restoring precise guest PC state,
+//! and a *single-block self-loop* is unrolled by stitching several peeled
+//! copies of the body back to back (the loop-back conditional of each peel
+//! is a side exit, so leaving the loop mid-region is exact).  The resulting
+//! region is inserted through the ordinary [`CodeCache::insert`], replacing
+//! the plain one-constituent region at the same key — chain links into the
+//! replaced region die with its `Arc`, and the next transfer re-resolves to
+//! the richer translation.
 //!
-//! Chained blocks still bounce through the interpreter's inner loop between
-//! every block.  To amortise that per-block entry/exit overhead over hot
-//! paths, the hypervisor *stitches* chained sequences into **superblocks**:
-//! single translations covering several guest basic blocks, with internal
-//! fallthroughs ([`hvm::MachInsn::TraceEdge`] markers) where chained
-//! transfers used to be, and side-exit stubs that restore precise guest
-//! PC/ELR state on the off-trace leg of every interior conditional.
+//! **Generation gate.** A multi-constituent region stitches a *virtual*
+//! control-flow path across pages, so it is only returned by
+//! [`CodeCache::get`] while the current context generation matches its
+//! formation stamp; a one-constituent region is valid in every generation
+//! (its key already pins the physical entry).  Stale multi-constituent
+//! regions are counted as lookup misses and are swept wholesale by
+//! [`CodeCache::evict_stale_regions`] the first time the dispatcher runs
+//! after a generation bump.
 //!
-//! **Formation policy** (profile-guided, implemented by the Captive
-//! dispatcher over this cache):
+//! **Invalidation.** Every region records the guest physical pages its
+//! constituents occupy; self-modifying code on *any* of them discards the
+//! region via [`CodeCache::invalidate_phys_page`], which also bumps the
+//! epoch so dispatcher-held references die.  There is no separate path for
+//! multi-constituent regions — the page list is simply longer.
 //!
-//! * every chain link carries a *heat* counter, bumped on each chained
-//!   transfer through it; when a link's heat crosses the hot threshold
-//!   (`CaptiveConfig::superblock_threshold`, default 16), a superblock is
-//!   formed starting at the link's target;
-//! * the trace follows direct-jump and fallthrough terminators, and for
-//!   conditional branches the leg whose chain link is hotter (falling back
-//!   to the backward-branch heuristic), stopping at indirect exits,
-//!   already-visited constituent starts (loop closure), untranslatable
-//!   target pages, and a length cap (`CaptiveConfig::superblock_max_insns`,
-//!   default 256 guest instructions / 32 constituents);
-//! * traces with fewer than two constituents are not worth a superblock and
-//!   are discarded.
+//! # Lookup statistics
 //!
-//! **Storage and dispatch.** Superblocks live here alongside plain blocks,
-//! in a second map keyed by the guest physical address of their entry, each
-//! carrying a [`SuperMeta`] record (constituent pages, formation context
-//! generation, constituent count).  The dispatcher prefers a valid
-//! superblock over the plain block at the same key, and superblocks both
-//! chain and are chained to through the ordinary link machinery.
-//!
-//! **Invalidation.** A superblock stitches a *virtual* control-flow path, so
-//! it is only dispatched while the current context generation matches its
-//! formation stamp — any guest `TLBI`/`TTBR0`/`SCTLR` write retires it
-//! wholesale (together with every chain link into it).  Self-modifying code
-//! on *any* constituent page — not just the entry page — discards the
-//! superblock via [`CodeCache::invalidate_phys_page`], which also bumps the
-//! epoch so dispatcher-held references die.
+//! [`CodeCache::get`] is the *only* dispatch-path lookup and it feeds the
+//! interior-mutable hit/miss counters unconditionally (a stale-generation
+//! region counts as a miss: the dispatcher must translate), so
+//! [`CacheStats::hit_rate`] is faithful on region-heavy runs.
+//! [`CodeCache::peek`] is reserved for the region former's profile
+//! consultation and deliberately leaves the statistics alone.
 
 use hvm::MachInsn;
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::sync::{Arc, Weak};
 
-/// How blocks are keyed in the cache.
+/// How regions are keyed in the cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CacheIndex {
-    /// Key is the guest physical address of the block's first instruction.
+    /// The physical component of the key is authoritative: translations
+    /// survive guest page-table changes (Captive's policy).
     GuestPhysical,
-    /// Key is the guest virtual address of the block's first instruction.
+    /// The cache is conceptually virtual-indexed and must be flushed
+    /// wholesale whenever the guest changes translation state (the
+    /// QEMU-style policy; the key's physical component is then only as
+    /// durable as the flush discipline makes it).
     GuestVirtual,
 }
 
-/// Where control goes when a translated block exits — terminator metadata
+/// The cache key of a region: guest physical entry address plus the virtual
+/// entry class the code was generated for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RegionKey {
+    /// Guest physical address of the entry instruction.
+    pub phys: u64,
+    /// Guest virtual address the entry was translated at (generated code
+    /// embeds virtual branch targets, so this is part of the identity).
+    pub virt: u64,
+}
+
+/// Where control goes when a translated region exits — terminator metadata
 /// recorded at translation time and consumed by the chaining dispatcher.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum BlockExit {
@@ -109,8 +136,8 @@ pub enum BlockExit {
         /// Fall-through address.
         fallthrough: u64,
     },
-    /// The block ended at the instruction limit or a page boundary and falls
-    /// through sequentially.
+    /// The region ended at the instruction limit or a page boundary and
+    /// falls through sequentially.
     Fallthrough {
         /// Address of the next sequential instruction.
         next: u64,
@@ -118,48 +145,84 @@ pub enum BlockExit {
 }
 
 /// A resolved successor link: valid while both stamps match the current
-/// translation context and the target block is still cached.
+/// translation context and the target region is still cached.
 #[derive(Debug, Clone)]
 struct ChainLink {
     ctx_gen: u64,
     cache_epoch: u64,
-    /// Transfers that followed this link (profile input for superblock
+    /// Transfers that followed this link (profile input for region
     /// formation; reset whenever the link is re-patched).
     heat: u64,
-    to: Weak<TranslatedBlock>,
+    to: Weak<Region>,
 }
 
-/// The lazily patched successor links of a block.
+/// The lazily patched successor links of a region.
 #[derive(Debug, Default)]
 pub struct ChainLinks {
     slots: [RefCell<Option<ChainLink>>; 2],
 }
 
-/// Metadata attached to a superblock (a translation stitched from several
-/// guest basic blocks along a hot chain path).
-#[derive(Debug, Clone)]
-pub struct SuperMeta {
-    /// Guest physical pages the constituent blocks occupy; self-modifying
-    /// code on any of them kills the superblock.
-    pub pages: Vec<u64>,
-    /// Context generation the trace's VA→PA stitching was resolved under;
-    /// the superblock is only dispatched while this matches.
-    pub ctx_gen: u64,
-    /// Number of constituent basic blocks stitched together.
-    pub constituents: usize,
+/// How the dispatcher entered a region (per-region profile attribution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryMode {
+    /// Slow path: page resolution + cache lookup + exception-level read.
+    Dispatched = 0,
+    /// A patched chain link, bypassing the dispatcher.
+    Chained = 1,
 }
 
-/// One translated guest basic block.
+/// Per-region execution record (the code-quality scatter plot, Fig. 21),
+/// with cycles and executions attributed per [`EntryMode`].  A region's
+/// shape is carried alongside (`guest_insns`, `constituents`), so consumers
+/// can distinguish multi-constituent entries without a third attribution
+/// axis: "superblock executions" are simply entries of a region whose
+/// `constituents > 1`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RegionProfile {
+    /// Guest instructions covered by the region.
+    pub guest_insns: u64,
+    /// Constituent basic blocks in the region (1 = plain block).
+    pub constituents: u64,
+    cycles: [u64; 2],
+    executions: [u64; 2],
+}
+
+impl RegionProfile {
+    /// Records one entry of the region under `mode`, spending `cycles`.
+    pub fn record(&mut self, mode: EntryMode, cycles: u64) {
+        self.cycles[mode as usize] += cycles;
+        self.executions[mode as usize] += 1;
+    }
+
+    /// Cycles accumulated by entries of the given mode.
+    pub fn cycles(&self, mode: EntryMode) -> u64 {
+        self.cycles[mode as usize]
+    }
+
+    /// Entries of the given mode.
+    pub fn executions(&self, mode: EntryMode) -> u64 {
+        self.executions[mode as usize]
+    }
+
+    /// Cycles over all entry modes.
+    pub fn total_cycles(&self) -> u64 {
+        self.cycles.iter().sum()
+    }
+
+    /// Entries over all modes.
+    pub fn total_executions(&self) -> u64 {
+        self.executions.iter().sum()
+    }
+}
+
+/// One translation unit: host code covering 1..N guest basic blocks.
 #[derive(Debug)]
-pub struct TranslatedBlock {
-    /// Key under which the block is cached (physical or virtual address,
-    /// depending on the cache's indexing policy).
-    pub key: u64,
-    /// Guest physical address of the first instruction.
+pub struct Region {
+    /// Guest physical address of the entry instruction.
     pub guest_phys: u64,
-    /// Guest virtual address of the first instruction.
+    /// Guest virtual address of the entry instruction.
     pub guest_virt: u64,
-    /// Number of guest instructions translated.
+    /// Number of guest instructions translated (all constituents).
     pub guest_insns: usize,
     /// Host code (interpreted by the HVM64 machine).
     pub code: Arc<Vec<MachInsn>>,
@@ -175,14 +238,45 @@ pub struct TranslatedBlock {
     pub exit: BlockExit,
     /// Successor links, patched lazily by the dispatcher.
     pub links: ChainLinks,
-    /// Present when this translation is a superblock.
-    pub super_meta: Option<SuperMeta>,
+    /// Constituent basic blocks stitched into this region (1 = plain block).
+    pub constituents: usize,
+    /// Guest physical pages the constituents occupy; self-modifying code on
+    /// any of them kills the region.
+    pub pages: Vec<u64>,
+    /// Context generation the region was formed under.  Multi-constituent
+    /// regions stitch a virtual control-flow path and are only dispatched
+    /// while this matches; one-constituent regions ignore it.
+    pub ctx_gen: u64,
+    /// Copies of the entry block stitched by self-loop unrolling (1 = not
+    /// unrolled; 2..=N for a peeled single-block self-loop).
+    pub unroll: usize,
 }
 
-impl TranslatedBlock {
-    /// Guest bytes covered by the block (fixed 4-byte instructions).
-    pub fn guest_bytes(&self) -> u64 {
-        self.guest_insns as u64 * 4
+impl Region {
+    /// The cache key identifying this region.
+    pub fn key(&self) -> RegionKey {
+        RegionKey {
+            phys: self.guest_phys,
+            virt: self.guest_virt,
+        }
+    }
+
+    /// True when the region stitches more than one guest basic block (and
+    /// is therefore subject to the context-generation gate).
+    pub fn is_multi(&self) -> bool {
+        self.constituents > 1
+    }
+
+    /// Guest physical pages covered by a straight-line span of `insns`
+    /// fixed 4-byte instructions starting at `phys` (the page list of a
+    /// one-constituent region).
+    pub fn span_pages(phys: u64, insns: usize) -> Vec<u64> {
+        let start = phys & !0xFFF;
+        let end = phys + insns as u64 * 4;
+        (start..end.max(start + 1))
+            .step_by(4096)
+            .map(|p| p & !0xFFF)
+            .collect()
     }
 
     /// Index of the chain slot whose guest target is `next_va`, if the
@@ -199,12 +293,7 @@ impl TranslatedBlock {
 
     /// Follows the link in `slot` if it was patched under the current
     /// context generation and cache epoch and its target is still cached.
-    pub fn follow_link(
-        &self,
-        slot: usize,
-        ctx_gen: u64,
-        cache_epoch: u64,
-    ) -> Option<Arc<TranslatedBlock>> {
+    pub fn follow_link(&self, slot: usize, ctx_gen: u64, cache_epoch: u64) -> Option<Arc<Region>> {
         let borrow = self.links.slots[slot].borrow();
         let link = borrow.as_ref()?;
         if link.ctx_gen == ctx_gen && link.cache_epoch == cache_epoch {
@@ -217,7 +306,7 @@ impl TranslatedBlock {
     /// Patches the link in `slot` to point at `to`, stamped with the context
     /// generation and cache epoch it was resolved under.  Resets the link's
     /// heat: the profile restarts for the new target.
-    pub fn set_link(&self, slot: usize, ctx_gen: u64, cache_epoch: u64, to: &Arc<TranslatedBlock>) {
+    pub fn set_link(&self, slot: usize, ctx_gen: u64, cache_epoch: u64, to: &Arc<Region>) {
         *self.links.slots[slot].borrow_mut() = Some(ChainLink {
             ctx_gen,
             cache_epoch,
@@ -245,33 +334,22 @@ impl TranslatedBlock {
             .as_ref()
             .map_or(0, |l| l.heat)
     }
-
-    /// Guest physical pages this translation's guest code occupies (the
-    /// entry block's span for plain blocks, every constituent page for
-    /// superblocks).
-    pub fn code_pages(&self) -> Vec<u64> {
-        if let Some(meta) = &self.super_meta {
-            return meta.pages.clone();
-        }
-        let start = self.guest_phys & !0xFFF;
-        let end = self.guest_phys + self.guest_bytes();
-        (start..end).step_by(4096).map(|p| p & !0xFFF).collect()
-    }
 }
 
 /// Statistics kept by the cache.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CacheStats {
-    /// Lookups that found a block.
+    /// Lookups that found a dispatchable region.
     pub hits: u64,
-    /// Lookups that missed (a translation was required).
+    /// Lookups that missed — no region at the key, or only a region whose
+    /// generation gate refuses dispatch (a translation is required).
     pub misses: u64,
-    /// Blocks discarded by full invalidations.
+    /// Regions discarded by full invalidations.
     pub invalidated_full: u64,
-    /// Blocks discarded by per-page invalidations (self-modifying code).
+    /// Regions discarded by per-page invalidations (self-modifying code).
     pub invalidated_page: u64,
-    /// Stale-generation superblocks evicted by the context-generation sweep.
-    pub evicted_stale_supers: u64,
+    /// Stale-generation regions evicted by the context-generation sweep.
+    pub evicted_stale_regions: u64,
 }
 
 impl CacheStats {
@@ -286,22 +364,19 @@ impl CacheStats {
     }
 }
 
-/// The translation cache.
+/// The translation cache: one index over every region.
 #[derive(Debug)]
 pub struct CodeCache {
     index: CacheIndex,
-    blocks: HashMap<u64, Arc<TranslatedBlock>>,
-    /// Superblocks, keyed by the guest physical address of their entry block
-    /// (dispatched preferentially over the plain block at the same key).
-    supers: HashMap<u64, Arc<TranslatedBlock>>,
-    /// Bumped whenever an invalidation removes blocks; chain links stamped
+    regions: HashMap<RegionKey, Arc<Region>>,
+    /// Bumped whenever an invalidation removes regions; chain links stamped
     /// with an older epoch are dead.
     epoch: Cell<u64>,
     hits: Cell<u64>,
     misses: Cell<u64>,
     invalidated_full: Cell<u64>,
     invalidated_page: Cell<u64>,
-    evicted_stale_supers: Cell<u64>,
+    evicted_stale_regions: Cell<u64>,
 }
 
 impl CodeCache {
@@ -309,14 +384,13 @@ impl CodeCache {
     pub fn new(index: CacheIndex) -> Self {
         CodeCache {
             index,
-            blocks: HashMap::new(),
-            supers: HashMap::new(),
+            regions: HashMap::new(),
             epoch: Cell::new(0),
             hits: Cell::new(0),
             misses: Cell::new(0),
             invalidated_full: Cell::new(0),
             invalidated_page: Cell::new(0),
-            evicted_stale_supers: Cell::new(0),
+            evicted_stale_regions: Cell::new(0),
         }
     }
 
@@ -330,14 +404,21 @@ impl CodeCache {
         self.epoch.get()
     }
 
-    /// Looks up a block by its key.  Takes `&self` so the chaining
-    /// dispatcher can probe while holding shared references into the cache;
-    /// hit/miss accounting is interior-mutable.
-    pub fn get(&self, key: u64) -> Option<Arc<TranslatedBlock>> {
-        match self.blocks.get(&key) {
-            Some(b) => {
+    /// Looks up the region dispatchable at `key` under the current context
+    /// generation.  A multi-constituent region whose formation generation
+    /// does not match is *not* dispatchable and counts as a miss.  Takes
+    /// `&self` so the chaining dispatcher can probe while holding shared
+    /// references into the cache; hit/miss accounting is interior-mutable
+    /// and fed by every lookup, region-shaped or not.
+    pub fn get(&self, key: RegionKey, ctx_gen: u64) -> Option<Arc<Region>> {
+        let found = self
+            .regions
+            .get(&key)
+            .filter(|r| !r.is_multi() || r.ctx_gen == ctx_gen);
+        match found {
+            Some(r) => {
                 self.hits.set(self.hits.get() + 1);
-                Some(Arc::clone(b))
+                Some(Arc::clone(r))
             }
             None => {
                 self.misses.set(self.misses.get() + 1);
@@ -346,78 +427,61 @@ impl CodeCache {
         }
     }
 
-    /// Inserts a block under its key.
+    /// Looks up a region without the generation gate or the hit/miss
+    /// statistics (used by the region former to consult link heats and to
+    /// avoid re-forming an existing multi-constituent region).
+    pub fn peek(&self, key: RegionKey) -> Option<Arc<Region>> {
+        self.regions.get(&key).map(Arc::clone)
+    }
+
+    /// Inserts a region under its key, replacing any previous region there
+    /// (e.g. the plain one-constituent region a freshly formed trace
+    /// supersedes).  Dropping the replaced `Arc` kills chain links into it;
+    /// no epoch bump is needed because the replacement is reachable through
+    /// the same key, so the slow path re-resolves naturally.
     // The dispatcher is single-threaded per vCPU by design (the paper's
     // execution engine runs one guest core per host core); `Arc`/`Weak` are
     // used for the shared-ownership semantics of chain links, not for
     // cross-thread sharing, so `RefCell` link slots are fine.
     #[allow(clippy::arc_with_non_send_sync)]
-    pub fn insert(&mut self, block: TranslatedBlock) -> Arc<TranslatedBlock> {
-        let arc = Arc::new(block);
-        self.blocks.insert(arc.key, Arc::clone(&arc));
+    pub fn insert(&mut self, region: Region) -> Arc<Region> {
+        let arc = Arc::new(region);
+        self.regions.insert(arc.key(), Arc::clone(&arc));
         arc
     }
 
-    /// Looks up a block without touching the hit/miss statistics (used by
-    /// the superblock former to consult link heats).
-    pub fn peek(&self, key: u64) -> Option<Arc<TranslatedBlock>> {
-        self.blocks.get(&key).map(Arc::clone)
-    }
-
-    /// Inserts a superblock under its entry block's guest physical address,
-    /// replacing any previous (e.g. stale-generation) superblock there.
-    #[allow(clippy::arc_with_non_send_sync)]
-    pub fn insert_super(&mut self, block: TranslatedBlock) -> Arc<TranslatedBlock> {
-        debug_assert!(block.super_meta.is_some(), "insert_super needs SuperMeta");
-        let arc = Arc::new(block);
-        self.supers.insert(arc.guest_phys, Arc::clone(&arc));
-        arc
-    }
-
-    /// Returns the superblock entered at `guest_phys` if one exists and its
-    /// formation context generation is still current.
-    pub fn get_super(&self, guest_phys: u64, ctx_gen: u64) -> Option<Arc<TranslatedBlock>> {
-        let sb = self.supers.get(&guest_phys)?;
-        let meta = sb.super_meta.as_ref()?;
-        if meta.ctx_gen == ctx_gen {
-            Some(Arc::clone(sb))
-        } else {
-            None
-        }
-    }
-
-    /// Number of cached superblocks (stale-generation ones included until
-    /// they are replaced, invalidated or swept).
-    pub fn super_count(&self) -> usize {
-        self.supers.len()
-    }
-
-    /// Evicts every superblock whose formation context generation is not
-    /// `ctx_gen`, returning how many were dropped.  The dispatcher calls
-    /// this once per observed generation bump: stale superblocks can never
-    /// be dispatched again (the generation gate in [`CodeCache::get_super`]
-    /// refuses them), so keeping them only leaks memory on TLBI-heavy
-    /// guests.  Dropping the `Arc`s also kills chain links into them; no
-    /// epoch bump is needed because generation-stamped links are already
-    /// dead.
-    pub fn evict_stale_supers(&mut self, ctx_gen: u64) -> usize {
-        let before = self.supers.len();
-        self.supers
-            .retain(|_, sb| sb.super_meta.as_ref().is_some_and(|m| m.ctx_gen == ctx_gen));
-        let removed = before - self.supers.len();
-        self.evicted_stale_supers
-            .set(self.evicted_stale_supers.get() + removed as u64);
-        removed
-    }
-
-    /// Number of cached blocks.
+    /// Number of cached regions.
     pub fn len(&self) -> usize {
-        self.blocks.len()
+        self.regions.len()
     }
 
-    /// True if no blocks are cached.
+    /// True if no regions are cached.
     pub fn is_empty(&self) -> bool {
-        self.blocks.is_empty()
+        self.regions.is_empty()
+    }
+
+    /// Number of cached multi-constituent regions (stale-generation ones
+    /// included until they are replaced, invalidated or swept).
+    pub fn multi_region_count(&self) -> usize {
+        self.regions.values().filter(|r| r.is_multi()).count()
+    }
+
+    /// Evicts every multi-constituent region whose formation context
+    /// generation is not `ctx_gen`, returning how many were dropped.  The
+    /// dispatcher calls this once per observed generation bump: stale
+    /// regions can never be dispatched again (the generation gate in
+    /// [`CodeCache::get`] refuses them), so keeping them only leaks memory
+    /// on TLBI-heavy guests.  Dropping the `Arc`s also kills chain links
+    /// into them; no epoch bump is needed because generation-stamped links
+    /// are already dead.
+    pub fn evict_stale_regions(&mut self, ctx_gen: u64) -> usize {
+        let before = self.regions.len();
+        self.regions
+            .retain(|_, r| !r.is_multi() || r.ctx_gen == ctx_gen);
+        let removed = before - self.regions.len();
+        self.evicted_stale_regions
+            .set(self.evicted_stale_regions.get() + removed as u64);
+        removed
     }
 
     /// Cache statistics.
@@ -427,7 +491,7 @@ impl CodeCache {
             misses: self.misses.get(),
             invalidated_full: self.invalidated_full.get(),
             invalidated_page: self.invalidated_page.get(),
-            evicted_stale_supers: self.evicted_stale_supers.get(),
+            evicted_stale_regions: self.evicted_stale_regions.get(),
         }
     }
 
@@ -435,31 +499,22 @@ impl CodeCache {
     /// page-table change when indexing by virtual address).
     pub fn invalidate_all(&mut self) {
         self.invalidated_full
-            .set(self.invalidated_full.get() + (self.blocks.len() + self.supers.len()) as u64);
-        self.blocks.clear();
-        self.supers.clear();
+            .set(self.invalidated_full.get() + self.regions.len() as u64);
+        self.regions.clear();
         self.epoch.set(self.epoch.get() + 1);
     }
 
-    /// Discards translations whose guest code lies in the given guest
-    /// physical page (Captive's response to a detected self-modifying write).
-    /// Dropping the cache's `Arc`s kills chain links into the page; the epoch
-    /// bump additionally kills links *from* blocks the dispatcher still holds.
+    /// Discards regions any of whose constituent guest code pages is
+    /// `page_base` (Captive's response to a detected self-modifying write).
+    /// One rule covers every region shape: a plain block dies when its span
+    /// touches the page, a stitched trace when *any* constituent page does.
+    /// Dropping the cache's `Arc`s kills chain links into the page; the
+    /// epoch bump additionally kills links *from* regions the dispatcher
+    /// still holds.
     pub fn invalidate_phys_page(&mut self, page_base: u64) {
-        let page_end = page_base + 4096;
-        let before = self.blocks.len() + self.supers.len();
-        self.blocks.retain(|_, b| {
-            let start = b.guest_phys;
-            let end = b.guest_phys + b.guest_bytes();
-            end <= page_base || start >= page_end
-        });
-        // A superblock dies when *any* constituent page is written, not just
-        // the page its entry lives in.
-        self.supers.retain(|_, sb| match &sb.super_meta {
-            Some(m) => !m.pages.contains(&page_base),
-            None => true,
-        });
-        let removed = (before - self.blocks.len() - self.supers.len()) as u64;
+        let before = self.regions.len();
+        self.regions.retain(|_, r| !r.pages.contains(&page_base));
+        let removed = (before - self.regions.len()) as u64;
         if removed > 0 {
             self.invalidated_page
                 .set(self.invalidated_page.get() + removed);
@@ -467,19 +522,14 @@ impl CodeCache {
         }
     }
 
-    /// Total bytes of encoded host code currently cached (superblocks
-    /// included).
+    /// Total bytes of encoded host code currently cached.
     pub fn total_encoded_bytes(&self) -> usize {
-        self.blocks
-            .values()
-            .chain(self.supers.values())
-            .map(|b| b.encoded_bytes)
-            .sum()
+        self.regions.values().map(|r| r.encoded_bytes).sum()
     }
 
-    /// Total guest instructions covered by cached translations.
+    /// Total guest instructions covered by cached regions.
     pub fn total_guest_insns(&self) -> usize {
-        self.blocks.values().map(|b| b.guest_insns).sum()
+        self.regions.values().map(|r| r.guest_insns).sum()
     }
 }
 
@@ -487,15 +537,18 @@ impl CodeCache {
 mod tests {
     use super::*;
 
-    fn block(key: u64, phys: u64, insns: usize) -> TranslatedBlock {
-        block_with_exit(key, phys, insns, BlockExit::Indirect)
+    fn key(phys: u64, virt: u64) -> RegionKey {
+        RegionKey { phys, virt }
     }
 
-    fn block_with_exit(key: u64, phys: u64, insns: usize, exit: BlockExit) -> TranslatedBlock {
-        TranslatedBlock {
-            key,
-            guest_phys: phys,
-            guest_virt: key,
+    fn block(at: u64, insns: usize) -> Region {
+        block_with_exit(at, insns, BlockExit::Indirect)
+    }
+
+    fn block_with_exit(at: u64, insns: usize, exit: BlockExit) -> Region {
+        Region {
+            guest_phys: at,
+            guest_virt: at,
             guest_insns: insns,
             code: Arc::new(vec![MachInsn::Ret]),
             encoded_bytes: insns * 40,
@@ -503,29 +556,43 @@ mod tests {
             elided_insns: 0,
             exit,
             links: ChainLinks::default(),
-            super_meta: None,
+            constituents: 1,
+            pages: Region::span_pages(at, insns),
+            ctx_gen: 0,
+            unroll: 1,
         }
     }
 
-    fn superblock(entry: u64, insns: usize, pages: Vec<u64>, ctx_gen: u64) -> TranslatedBlock {
-        TranslatedBlock {
-            super_meta: Some(SuperMeta {
-                constituents: pages.len().max(2),
-                pages,
-                ctx_gen,
-            }),
-            ..block_with_exit(entry, entry, insns, BlockExit::Jump { target: entry })
+    fn multi(entry: u64, insns: usize, pages: Vec<u64>, ctx_gen: u64) -> Region {
+        Region {
+            constituents: pages.len().max(2),
+            pages,
+            ctx_gen,
+            ..block_with_exit(entry, insns, BlockExit::Jump { target: entry })
         }
     }
 
     #[test]
     fn hit_and_miss_accounting() {
         let mut c = CodeCache::new(CacheIndex::GuestPhysical);
-        assert!(c.get(0x1000).is_none());
-        c.insert(block(0x1000, 0x1000, 3));
-        assert!(c.get(0x1000).is_some());
+        assert!(c.get(key(0x1000, 0x1000), 0).is_none());
+        c.insert(block(0x1000, 3));
+        assert!(c.get(key(0x1000, 0x1000), 0).is_some());
         assert_eq!(c.stats().hits, 1);
         assert_eq!(c.stats().misses, 1);
+        assert_eq!(c.stats().hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn stale_generation_lookups_count_as_misses() {
+        // The old `get_super` path bypassed the statistics entirely; the
+        // unified lookup must record both the refusal and the later hit.
+        let mut c = CodeCache::new(CacheIndex::GuestPhysical);
+        c.insert(multi(0x1000, 8, vec![0x1000, 0x2000], 5));
+        assert!(c.get(key(0x1000, 0x1000), 6).is_none(), "stale generation");
+        assert_eq!(c.stats().misses, 1);
+        assert!(c.get(key(0x1000, 0x1000), 5).is_some());
+        assert_eq!(c.stats().hits, 1);
         assert_eq!(c.stats().hit_rate(), 0.5);
     }
 
@@ -538,31 +605,42 @@ mod tests {
     #[test]
     fn full_invalidation_clears_everything() {
         let mut c = CodeCache::new(CacheIndex::GuestVirtual);
-        c.insert(block(0x1000, 0x1000, 3));
-        c.insert(block(0x2000, 0x2000, 5));
+        c.insert(block(0x1000, 3));
+        c.insert(block(0x2000, 5));
+        c.insert(multi(0x3000, 8, vec![0x3000], 0));
         c.invalidate_all();
         assert!(c.is_empty());
-        assert_eq!(c.stats().invalidated_full, 2);
+        assert_eq!(c.stats().invalidated_full, 3);
     }
 
     #[test]
-    fn page_invalidation_only_hits_overlapping_blocks() {
+    fn page_invalidation_only_hits_overlapping_regions() {
         let mut c = CodeCache::new(CacheIndex::GuestPhysical);
-        c.insert(block(0x1000, 0x1000, 4));
-        c.insert(block(0x1FF8, 0x1FF8, 4)); // straddles into 0x2000 page
-        c.insert(block(0x3000, 0x3000, 4));
+        c.insert(block(0x1000, 4));
+        c.insert(block(0x1FF8, 4)); // straddles into 0x2000 page
+        c.insert(block(0x3000, 4));
         c.invalidate_phys_page(0x2000);
-        assert!(c.get(0x1000).is_some());
-        assert!(c.get(0x1FF8).is_none(), "straddling block invalidated");
-        assert!(c.get(0x3000).is_some());
+        assert!(c.get(key(0x1000, 0x1000), 0).is_some());
+        assert!(
+            c.get(key(0x1FF8, 0x1FF8), 0).is_none(),
+            "straddling region invalidated"
+        );
+        assert!(c.get(key(0x3000, 0x3000), 0).is_some());
         assert_eq!(c.stats().invalidated_page, 1);
+    }
+
+    #[test]
+    fn span_pages_cover_the_straddle() {
+        assert_eq!(Region::span_pages(0x1FF8, 4), vec![0x1000, 0x2000]);
+        assert_eq!(Region::span_pages(0x1000, 4), vec![0x1000]);
+        assert_eq!(Region::span_pages(0x1000, 0), vec![0x1000]);
     }
 
     #[test]
     fn aggregate_statistics() {
         let mut c = CodeCache::new(CacheIndex::GuestPhysical);
-        c.insert(block(0x1000, 0x1000, 2));
-        c.insert(block(0x2000, 0x2000, 3));
+        c.insert(block(0x1000, 2));
+        c.insert(block(0x2000, 3));
         assert_eq!(c.len(), 2);
         assert_eq!(c.total_guest_insns(), 5);
         assert_eq!(c.total_encoded_bytes(), 200);
@@ -570,12 +648,11 @@ mod tests {
 
     #[test]
     fn chain_slots_match_terminator_targets() {
-        let jump = block_with_exit(0x1000, 0x1000, 1, BlockExit::Jump { target: 0x2000 });
+        let jump = block_with_exit(0x1000, 1, BlockExit::Jump { target: 0x2000 });
         assert_eq!(jump.chain_slot(0x2000), Some(0));
         assert_eq!(jump.chain_slot(0x3000), None);
 
         let branch = block_with_exit(
-            0x1000,
             0x1000,
             1,
             BlockExit::Branch {
@@ -587,10 +664,10 @@ mod tests {
         assert_eq!(branch.chain_slot(0x1004), Some(1));
         assert_eq!(branch.chain_slot(0x5000), None);
 
-        let seq = block_with_exit(0x1000, 0x1000, 2, BlockExit::Fallthrough { next: 0x1008 });
+        let seq = block_with_exit(0x1000, 2, BlockExit::Fallthrough { next: 0x1008 });
         assert_eq!(seq.chain_slot(0x1008), Some(0));
 
-        let ind = block_with_exit(0x1000, 0x1000, 1, BlockExit::Indirect);
+        let ind = block_with_exit(0x1000, 1, BlockExit::Indirect);
         assert_eq!(ind.chain_slot(0x1004), None);
     }
 
@@ -599,11 +676,10 @@ mod tests {
         let mut c = CodeCache::new(CacheIndex::GuestPhysical);
         let a = c.insert(block_with_exit(
             0x1000,
-            0x1000,
             1,
             BlockExit::Jump { target: 0x2000 },
         ));
-        let b = c.insert(block(0x2000, 0x2000, 1));
+        let b = c.insert(block(0x2000, 1));
         a.set_link(0, 7, c.epoch(), &b);
         assert!(a.follow_link(0, 7, c.epoch()).is_some());
         assert!(a.follow_link(0, 8, c.epoch()).is_none(), "stale generation");
@@ -615,11 +691,10 @@ mod tests {
         let mut c = CodeCache::new(CacheIndex::GuestPhysical);
         let a = c.insert(block_with_exit(
             0x1000,
-            0x1000,
             1,
             BlockExit::Jump { target: 0x2000 },
         ));
-        let b = c.insert(block(0x2000, 0x2000, 1));
+        let b = c.insert(block(0x2000, 1));
         a.set_link(0, 0, c.epoch(), &b);
         drop(b);
         c.invalidate_phys_page(0x2000);
@@ -628,15 +703,37 @@ mod tests {
     }
 
     #[test]
-    fn link_heat_accumulates_and_resets_on_repatch() {
+    fn replacing_a_region_kills_links_into_the_old_one() {
+        // Promotion path: a formed multi-constituent region replaces the
+        // plain region at the same key; a link still pointing at the old
+        // `Arc` dies with it, with no epoch bump required.
         let mut c = CodeCache::new(CacheIndex::GuestPhysical);
         let a = c.insert(block_with_exit(
-            0x1000,
             0x1000,
             1,
             BlockExit::Jump { target: 0x2000 },
         ));
-        let b = c.insert(block(0x2000, 0x2000, 1));
+        let old = c.insert(block(0x2000, 1));
+        a.set_link(0, 0, c.epoch(), &old);
+        drop(old);
+        let epoch_before = c.epoch();
+        c.insert(multi(0x2000, 6, vec![0x2000], 0));
+        assert_eq!(c.epoch(), epoch_before, "replacement is not invalidation");
+        assert!(
+            a.follow_link(0, 0, c.epoch()).is_none(),
+            "the link into the replaced region must die"
+        );
+    }
+
+    #[test]
+    fn link_heat_accumulates_and_resets_on_repatch() {
+        let mut c = CodeCache::new(CacheIndex::GuestPhysical);
+        let a = c.insert(block_with_exit(
+            0x1000,
+            1,
+            BlockExit::Jump { target: 0x2000 },
+        ));
+        let b = c.insert(block(0x2000, 1));
         assert_eq!(a.heat_up(0), 0, "no link, no heat");
         a.set_link(0, 0, c.epoch(), &b);
         assert_eq!(a.heat_up(0), 1);
@@ -647,79 +744,106 @@ mod tests {
     }
 
     #[test]
-    fn superblocks_are_keyed_by_entry_and_gated_on_generation() {
+    fn multi_regions_are_gated_on_generation_and_keyed_by_entry() {
         let mut c = CodeCache::new(CacheIndex::GuestPhysical);
-        c.insert_super(superblock(0x1000, 8, vec![0x1000, 0x2000], 5));
-        assert!(c.get_super(0x1000, 5).is_some());
-        assert!(c.get_super(0x1000, 6).is_none(), "stale generation");
+        c.insert(multi(0x1000, 8, vec![0x1000, 0x2000], 5));
+        assert!(c.get(key(0x1000, 0x1000), 5).is_some());
+        assert!(c.get(key(0x1000, 0x1000), 6).is_none(), "stale generation");
         assert!(
-            c.get_super(0x2000, 5).is_none(),
+            c.get(key(0x2000, 0x2000), 5).is_none(),
             "interior page is not a key"
         );
-        assert_eq!(c.super_count(), 1);
+        assert_eq!(c.multi_region_count(), 1);
     }
 
     #[test]
-    fn stale_generation_sweep_evicts_only_old_superblocks() {
+    fn virtual_aliases_of_one_entry_hold_separate_live_regions() {
+        // Regression for the per-physical single slot: two virtual aliases
+        // of one hot physical entry must not evict each other.
         let mut c = CodeCache::new(CacheIndex::GuestPhysical);
-        c.insert_super(superblock(0x1000, 8, vec![0x1000], 1));
-        c.insert_super(superblock(0x3000, 8, vec![0x3000], 2));
-        c.insert_super(superblock(0x5000, 8, vec![0x5000], 2));
-        assert_eq!(c.super_count(), 3);
+        let a = Region {
+            guest_virt: 0x4000,
+            ..multi(0x1000, 8, vec![0x1000], 3)
+        };
+        let b = Region {
+            guest_virt: 0x8000,
+            ..multi(0x1000, 8, vec![0x1000], 3)
+        };
+        c.insert(a);
+        c.insert(b);
+        assert_eq!(c.multi_region_count(), 2);
+        assert!(c.get(key(0x1000, 0x4000), 3).is_some());
+        assert!(c.get(key(0x1000, 0x8000), 3).is_some());
+        // SMC on the shared physical page still kills both.
+        c.invalidate_phys_page(0x1000);
+        assert_eq!(c.multi_region_count(), 0);
+    }
+
+    #[test]
+    fn stale_generation_sweep_evicts_only_old_multi_regions() {
+        let mut c = CodeCache::new(CacheIndex::GuestPhysical);
+        c.insert(block(0x9000, 2)); // plain regions are generation-immune
+        c.insert(multi(0x1000, 8, vec![0x1000], 1));
+        c.insert(multi(0x3000, 8, vec![0x3000], 2));
+        c.insert(multi(0x5000, 8, vec![0x5000], 2));
+        assert_eq!(c.multi_region_count(), 3);
         let epoch_before = c.epoch();
-        let removed = c.evict_stale_supers(2);
-        assert_eq!(removed, 1, "only the generation-1 superblock is stale");
-        assert_eq!(c.super_count(), 2);
-        assert!(c.get_super(0x3000, 2).is_some());
-        assert!(c.get_super(0x1000, 1).is_none(), "evicted");
-        assert_eq!(c.stats().evicted_stale_supers, 1);
+        let removed = c.evict_stale_regions(2);
+        assert_eq!(removed, 1, "only the generation-1 region is stale");
+        assert_eq!(c.multi_region_count(), 2);
+        assert_eq!(c.len(), 3);
+        assert!(c.get(key(0x3000, 0x3000), 2).is_some());
+        assert!(c.get(key(0x1000, 0x1000), 1).is_none(), "evicted");
+        assert!(
+            c.get(key(0x9000, 0x9000), 2).is_some(),
+            "plain regions survive the sweep"
+        );
+        assert_eq!(c.stats().evicted_stale_regions, 1);
         assert_eq!(
             c.epoch(),
             epoch_before,
-            "sweeping stale superblocks must not retire current links"
+            "sweeping stale regions must not retire current links"
         );
         // Sweeping again with the same generation is a no-op.
-        assert_eq!(c.evict_stale_supers(2), 0);
+        assert_eq!(c.evict_stale_regions(2), 0);
     }
 
     #[test]
-    fn smc_on_any_constituent_page_kills_the_superblock() {
+    fn smc_on_any_constituent_page_kills_the_region() {
         let mut c = CodeCache::new(CacheIndex::GuestPhysical);
-        c.insert_super(superblock(0x1000, 8, vec![0x1000, 0x2000], 0));
+        c.insert(multi(0x1000, 8, vec![0x1000, 0x2000], 0));
         let epoch_before = c.epoch();
         c.invalidate_phys_page(0x2000); // interior page, not the entry page
-        assert_eq!(c.super_count(), 0);
+        assert_eq!(c.multi_region_count(), 0);
         assert!(c.epoch() > epoch_before, "epoch bump retires held links");
         assert_eq!(c.stats().invalidated_page, 1);
     }
 
     #[test]
-    fn full_invalidation_clears_superblocks_too() {
-        let mut c = CodeCache::new(CacheIndex::GuestVirtual);
-        c.insert(block(0x1000, 0x1000, 3));
-        c.insert_super(superblock(0x1000, 8, vec![0x1000], 0));
-        c.invalidate_all();
-        assert!(c.is_empty());
-        assert_eq!(c.super_count(), 0);
-        assert_eq!(c.stats().invalidated_full, 2);
-    }
-
-    #[test]
-    fn code_pages_cover_span_or_constituents() {
-        let plain = block_with_exit(0x1FF8, 0x1FF8, 4, BlockExit::Indirect);
-        assert_eq!(plain.code_pages(), vec![0x1000, 0x2000]);
-        let sb = superblock(0x1000, 8, vec![0x1000, 0x5000], 0);
-        assert_eq!(sb.code_pages(), vec![0x1000, 0x5000]);
+    fn region_profile_attributes_per_entry_mode() {
+        let mut p = RegionProfile {
+            guest_insns: 4,
+            constituents: 2,
+            ..RegionProfile::default()
+        };
+        p.record(EntryMode::Dispatched, 10);
+        p.record(EntryMode::Chained, 3);
+        p.record(EntryMode::Chained, 3);
+        assert_eq!(p.executions(EntryMode::Dispatched), 1);
+        assert_eq!(p.executions(EntryMode::Chained), 2);
+        assert_eq!(p.cycles(EntryMode::Dispatched), 10);
+        assert_eq!(p.cycles(EntryMode::Chained), 6);
+        assert_eq!(p.total_executions(), 3);
+        assert_eq!(p.total_cycles(), 16);
     }
 
     #[test]
     fn epoch_bumps_kill_self_links_held_by_the_dispatcher() {
-        // A block chained to itself stays strongly referenced by the
+        // A region chained to itself stays strongly referenced by the
         // dispatcher across its own invalidation; the epoch stamp is what
         // breaks the loop.
         let mut c = CodeCache::new(CacheIndex::GuestPhysical);
         let a = c.insert(block_with_exit(
-            0x1000,
             0x1000,
             1,
             BlockExit::Jump { target: 0x1000 },

@@ -23,10 +23,13 @@
 //!    are patched, and the block is byte-encoded for the code-size
 //!    statistics.
 //!
-//! Translated blocks are kept in a [`cache::CodeCache`] indexed either by
-//! guest *physical* address (Captive) or guest *virtual* address (QEMU-style
-//! baseline), reproducing the paper's translation-reuse argument
-//! (Section 2.6).  Wall-clock time spent in each phase is accumulated in
+//! Every translation is a [`cache::Region`] — 1..N guest basic blocks in one
+//! host-code unit — kept in a [`cache::CodeCache`] keyed by (entry physical
+//! address, entry virtual class).  Captive leans on the physical component
+//! so translations survive guest page-table changes (the paper's
+//! translation-reuse argument, Section 2.6); the QEMU-style baseline uses
+//! the same structure but flushes it wholesale on translation-state changes.
+//! Wall-clock time spent in each phase is accumulated in
 //! [`timing::PhaseTimers`] for the Fig. 20 experiment.
 
 pub mod cache;
@@ -38,7 +41,8 @@ pub mod regalloc;
 pub mod timing;
 
 pub use cache::{
-    BlockExit, CacheIndex, CacheStats, ChainLinks, CodeCache, SuperMeta, TranslatedBlock,
+    BlockExit, CacheIndex, CacheStats, ChainLinks, CodeCache, EntryMode, Region, RegionKey,
+    RegionProfile,
 };
 pub use emitter::{Emitter, Node, NodeId, ValueType};
 pub use lir::{LirInsn, RegFileAccess, Vreg, VregClass};
@@ -67,6 +71,7 @@ pub fn finish_translation(
         let stats = timers.time(Phase::RegAlloc, || opt::optimize(&mut lir));
         timers.opt_dead_stores += stats.dead_stores as u64;
         timers.opt_forwarded_loads += stats.forwarded_loads as u64;
+        timers.opt_copies_folded += stats.copies_folded as u64;
     }
     let allocation = timers.time(Phase::RegAlloc, || regalloc::allocate(&lir));
     let dce = allocation.dead.iter().filter(|d| **d).count();

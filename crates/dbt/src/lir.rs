@@ -366,6 +366,82 @@ impl LirInsn {
         }
     }
 
+    /// Rewrites every *pure source* occurrence of `from` to `to`: operand
+    /// positions that only read the register.  Two-address destinations
+    /// (`Alu`, `CmovCc`, `Fp`, `Vec`, `FpFma` and friends) both read and
+    /// write `dst`, so `dst` fields are deliberately never touched — the
+    /// copy-propagation pass in [`crate::opt`] relies on this distinction.
+    /// Returns how many occurrences were rewritten.
+    pub fn replace_pure_uses(&mut self, from: Vreg, to: Vreg) -> u32 {
+        self.map_pure_uses(&mut |v| if v == from { Some(to) } else { None })
+    }
+
+    /// Rewrites every pure-source register occurrence `v` to `f(v)` where
+    /// `f` returns a replacement (one traversal of the instruction, however
+    /// many substitutions are pending — the shape copy propagation needs).
+    /// The same destination-sparing rules as [`LirInsn::replace_pure_uses`]
+    /// apply.  Returns how many occurrences were rewritten.
+    pub fn map_pure_uses(&mut self, f: &mut impl FnMut(Vreg) -> Option<Vreg>) -> u32 {
+        fn reg(v: &mut Vreg, f: &mut impl FnMut(Vreg) -> Option<Vreg>, n: &mut u32) {
+            if let Some(to) = f(*v) {
+                *v = to;
+                *n += 1;
+            }
+        }
+        fn mem(m: &mut LirMem, f: &mut impl FnMut(Vreg) -> Option<Vreg>, n: &mut u32) {
+            if let LirBase::Vreg(v) = &mut m.base {
+                reg(v, f, n);
+            }
+            if let Some((v, _)) = &mut m.index {
+                reg(v, f, n);
+            }
+        }
+        fn op(o: &mut LirOperand, f: &mut impl FnMut(Vreg) -> Option<Vreg>, n: &mut u32) {
+            if let LirOperand::Vreg(v) = o {
+                reg(v, f, n);
+            }
+        }
+        let mut n = 0u32;
+        match self {
+            LirInsn::MovReg { src, .. } => reg(src, f, &mut n),
+            LirInsn::Load { addr, .. }
+            | LirInsn::LoadSx { addr, .. }
+            | LirInsn::Lea { addr, .. }
+            | LirInsn::StoreImm { addr, .. }
+            | LirInsn::LoadXmm { addr, .. } => mem(addr, f, &mut n),
+            LirInsn::Store { src, addr, .. } | LirInsn::StoreXmm { src, addr, .. } => {
+                reg(src, f, &mut n);
+                mem(addr, f, &mut n);
+            }
+            LirInsn::Alu { src, .. } => op(src, f, &mut n),
+            LirInsn::Cmp { a, b } | LirInsn::Test { a, b } => {
+                reg(a, f, &mut n);
+                op(b, f, &mut n);
+            }
+            LirInsn::MovZx { src, .. } | LirInsn::MovSx { src, .. } => reg(src, f, &mut n),
+            LirInsn::CmovCc { src, .. } => reg(src, f, &mut n),
+            LirInsn::SetPcReg { src } => reg(src, f, &mut n),
+            LirInsn::SetArg { src, .. } => op(src, f, &mut n),
+            LirInsn::GprToXmm { src, .. } | LirInsn::XmmToGpr { src, .. } => reg(src, f, &mut n),
+            LirInsn::Fp { src, .. } | LirInsn::Vec { src, .. } => reg(src, f, &mut n),
+            LirInsn::FpFma { a, b, .. } => {
+                reg(a, f, &mut n);
+                reg(b, f, &mut n);
+            }
+            LirInsn::FpCmp { a, b } => {
+                reg(a, f, &mut n);
+                reg(b, f, &mut n);
+            }
+            LirInsn::CvtI2D { src, .. }
+            | LirInsn::CvtD2I { src, .. }
+            | LirInsn::CvtS2D { src, .. }
+            | LirInsn::CvtD2S { src, .. } => reg(src, f, &mut n),
+            LirInsn::Out { src, .. } => reg(src, f, &mut n),
+            _ => {}
+        }
+        n
+    }
+
     /// The register-file slot this instruction stores to, when the
     /// destination is a fixed offset off the register-file base (no index).
     /// Dynamic regfile addressing (an index component) is deliberately not
@@ -452,6 +528,25 @@ impl LirInsn {
         }
     }
 
+    /// True when this instruction accesses guest memory through a computed
+    /// address (anything but a fixed register-file slot) and can therefore
+    /// raise a guest data abort.  A possible fault is an architectural
+    /// effect in its own right: the access must survive dead-code
+    /// elimination even when the value it produces is never read, or the
+    /// guest would miss an exception it is owed.
+    pub fn may_fault(&self) -> bool {
+        let guest_mem = |m: &LirMem| matches!(m.base, LirBase::Vreg(_)) || m.index.is_some();
+        match self {
+            LirInsn::Load { addr, .. }
+            | LirInsn::LoadSx { addr, .. }
+            | LirInsn::LoadXmm { addr, .. }
+            | LirInsn::Store { addr, .. }
+            | LirInsn::StoreImm { addr, .. }
+            | LirInsn::StoreXmm { addr, .. } => guest_mem(addr),
+            _ => false,
+        }
+    }
+
     /// True when executing this instruction updates the host arithmetic
     /// flags.  Mirrors the HVM interpreter exactly: `Cmp`, `Test`, `FpCmp`
     /// and the flag-setting subset of ALU operations (`Add`, `Sub`, `And`,
@@ -482,16 +577,18 @@ impl LirInsn {
     /// for which this returns `false` and whose destination is never read.
     pub fn has_side_effect(&self) -> bool {
         match self {
+            // A load can still fault: a guest-memory load is effectful even
+            // with a dead destination (the data abort is guest-visible).
+            LirInsn::Load { .. } | LirInsn::LoadSx { .. } | LirInsn::LoadXmm { .. } => {
+                self.may_fault()
+            }
             LirInsn::MovImm { .. }
             | LirInsn::MovReg { .. }
-            | LirInsn::Load { .. }
-            | LirInsn::LoadSx { .. }
             | LirInsn::Lea { .. }
             | LirInsn::MovZx { .. }
             | LirInsn::MovSx { .. }
             | LirInsn::SetCc { .. }
             | LirInsn::ReadPc { .. }
-            | LirInsn::LoadXmm { .. }
             | LirInsn::GprToXmm { .. }
             | LirInsn::XmmToGpr { .. }
             | LirInsn::CvtI2D { .. }
@@ -645,6 +742,97 @@ mod tests {
         };
         assert!(indexed.observes_regfile());
         assert_eq!(indexed.regfile_load(), None);
+    }
+
+    #[test]
+    fn replace_pure_uses_spares_two_address_destinations() {
+        // `Alu` reads and writes dst: only the source operand may be
+        // rewritten.
+        let mut alu = LirInsn::Alu {
+            op: AluOp::Add,
+            dst: v(1),
+            src: LirOperand::Vreg(v(1)),
+        };
+        assert_eq!(alu.replace_pure_uses(v(1), v(2)), 1);
+        assert!(
+            matches!(alu, LirInsn::Alu { dst, src: LirOperand::Vreg(s), .. } if dst == v(1) && s == v(2))
+        );
+
+        let mut cmov = LirInsn::CmovCc {
+            cond: Cond::Ne,
+            dst: v(1),
+            src: v(1),
+        };
+        assert_eq!(cmov.replace_pure_uses(v(1), v(3)), 1);
+        assert!(matches!(cmov, LirInsn::CmovCc { dst, src, .. } if dst == v(1) && src == v(3)));
+
+        // Memory operands rewrite base and index.
+        let mut st = LirInsn::Store {
+            src: v(1),
+            addr: LirMem {
+                base: LirBase::Vreg(v(1)),
+                index: Some((v(1), 8)),
+                disp: 4,
+            },
+            size: MemSize::U64,
+        };
+        assert_eq!(st.replace_pure_uses(v(1), v(4)), 3);
+
+        // Pure moves rewrite the source only.
+        let mut mv = LirInsn::MovReg {
+            dst: v(5),
+            src: v(1),
+        };
+        assert_eq!(mv.replace_pure_uses(v(1), v(4)), 1);
+        assert!(matches!(mv, LirInsn::MovReg { dst, src } if dst == v(5) && src == v(4)));
+    }
+
+    #[test]
+    fn faulting_accesses_are_classified_and_effectful() {
+        // Guest-memory accesses (computed address) can raise a data abort:
+        // they must read as may_fault and, for loads, as side-effecting so
+        // dead-code elimination keeps them alive with a dead destination.
+        let guest_load = LirInsn::Load {
+            dst: v(0),
+            addr: LirMem::vreg(v(1), 0),
+            size: MemSize::U64,
+        };
+        assert!(guest_load.may_fault());
+        assert!(
+            guest_load.has_side_effect(),
+            "a faulting load is effectful even if its value is dead"
+        );
+        let indexed = LirInsn::LoadXmm {
+            dst: v(0),
+            addr: LirMem {
+                base: LirBase::RegFile,
+                index: Some((v(1), 8)),
+                disp: 0,
+            },
+            size: MemSize::U64,
+        };
+        assert!(indexed.may_fault());
+        assert!(indexed.has_side_effect());
+        // Fixed regfile slots cannot fault: still freely removable.
+        let regfile_load = LirInsn::Load {
+            dst: v(0),
+            addr: LirMem::regfile(8),
+            size: MemSize::U64,
+        };
+        assert!(!regfile_load.may_fault());
+        assert!(!regfile_load.has_side_effect());
+        let guest_store = LirInsn::Store {
+            src: v(0),
+            addr: LirMem::vreg(v(1), 0),
+            size: MemSize::U64,
+        };
+        assert!(guest_store.may_fault());
+        assert!(!LirInsn::StoreImm {
+            imm: 0,
+            addr: LirMem::regfile(0),
+            size: MemSize::U64,
+        }
+        .may_fault());
     }
 
     #[test]

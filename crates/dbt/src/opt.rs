@@ -6,15 +6,20 @@
 //! program can observe: every flag-setting guest instruction stores NZCV even
 //! when the next one overwrites it unread, and values round-trip through the
 //! register file (`%rbp`) between adjacent guest instructions.  This module
-//! runs two slot-aware passes over the finished LIR of one translation unit
-//! (a basic block or a stitched superblock), using the regfile-slot metadata
+//! runs three passes over the finished LIR of one translation unit (a
+//! region: a plain basic block, a stitched trace, or an unrolled
+//! self-loop), the slot-aware ones using the regfile-slot metadata
 //! classified by [`LirInsn::regfile_store`]/[`LirInsn::regfile_load`]:
 //!
 //! 1. **Store-to-load forwarding** (forward pass): a 64-bit regfile load
 //!    whose slot was stored earlier in the unit is rewritten to reuse the
 //!    stored virtual register (or immediate), cutting the round-trip through
 //!    the register file.
-//! 2. **Dead regfile-store elimination** (backward pass): a regfile store
+//! 2. **Copy propagation** (forward pass): pure-source uses of a `MovReg`
+//!    destination are rewritten to the copy's origin, so the `MovReg`s pass
+//!    1 just produced (and the emitter's own copy chains) become dead and
+//!    the allocator's iterative DCE sweeps them away entirely.
+//! 3. **Dead regfile-store elimination** (backward pass): a regfile store
 //!    dies when a later store fully covers the same slot bytes before
 //!    anything can observe them.  This deletes the NZCV materialisation
 //!    chains the `set_nzcv_*` generators emit (the value chains feeding the
@@ -52,7 +57,7 @@
 //! only deleted when its covering store lands before any possible fault
 //! point, so no execution can observe the gap.
 
-use crate::lir::{LirInsn, RegFileAccess, Vreg};
+use crate::lir::{LirInsn, RegFileAccess, Vreg, VregClass};
 use hvm::MemSize;
 use std::collections::HashMap;
 
@@ -64,14 +69,20 @@ pub struct OptStats {
     pub dead_stores: u32,
     /// Regfile loads rewritten into register moves / immediates.
     pub forwarded_loads: u32,
+    /// Register-copy uses folded away by straight-line copy propagation
+    /// (each is one operand rewritten through a `MovReg`; fully propagated
+    /// copies are then swept by the allocator's iterative DCE).
+    pub copies_folded: u32,
 }
 
 /// Runs the block-scoped passes over one translation unit, in order:
 /// store-to-load forwarding first (so forwarded loads no longer pin the
-/// stores they used to read), then dead-store elimination.
+/// stores they used to read), then copy propagation (folding the `MovReg`s
+/// forwarding just produced), then dead-store elimination.
 pub fn optimize(lir: &mut Vec<LirInsn>) -> OptStats {
     let mut stats = OptStats::default();
     forward_stores_to_loads(lir, &mut stats);
+    propagate_copies(lir, &mut stats);
     eliminate_dead_stores(lir, &mut stats);
     stats
 }
@@ -138,6 +149,51 @@ fn forward_stores_to_loads(lir: &mut [LirInsn], stats: &mut OptStats) {
         // (two-address ALU/vector operations mutate in place).
         if let Some(d) = insn.def() {
             slots.retain(|_, (_, s)| !matches!(s, Stored::Reg(v) if *v == d));
+        }
+    }
+}
+
+/// Straight-line copy propagation: rewrites pure-source uses of a `MovReg`
+/// destination to the copy's origin, so the forwarding pass's `MovReg`s
+/// (and the emitter's own copy chains) become dead and the allocator's
+/// iterative DCE can sweep them.
+///
+/// The copy map is invalidated conservatively:
+///
+/// * any definition of a register drops entries it keys *or* feeds (a
+///   redefined origin no longer holds the copied value; two-address ALU
+///   mutation is a definition);
+/// * `Label` clears the map — the passes are straight-line and do not
+///   reason across join points (a forward `Jcc`/`Jmp` leaves the
+///   fall-through state intact; its target label is where states merge and
+///   reset);
+/// * only GPR-to-GPR copies are tracked, and chains are collapsed at record
+///   time (`dst -> root(src)`), so a rewrite never exposes a new map key.
+///
+/// Destination operands of read-modify-write instructions are never
+/// rewritten ([`LirInsn::replace_pure_uses`] skips them by construction).
+fn propagate_copies(lir: &mut [LirInsn], stats: &mut OptStats) {
+    let mut copies: HashMap<Vreg, Vreg> = HashMap::new();
+    for insn in lir.iter_mut() {
+        // Rewrite first: the instruction reads register state from *before*
+        // it executes.  One traversal substitutes every pending copy (the
+        // map is flat, so a single lookup per operand suffices).
+        if !copies.is_empty() {
+            stats.copies_folded += insn.map_pure_uses(&mut |v| copies.get(&v).copied());
+        }
+        if matches!(insn, LirInsn::Label { .. }) {
+            copies.clear();
+            continue;
+        }
+        if let Some(d) = insn.def() {
+            copies.retain(|&k, &mut v| k != d && v != d);
+        }
+        if let LirInsn::MovReg { dst, src } = *insn {
+            if dst.class == VregClass::Gpr && src.class == VregClass::Gpr && dst != src {
+                // `src` was already rewritten to its root above, so the map
+                // stays flat: no value is ever another entry's key.
+                copies.insert(dst, src);
+            }
         }
     }
 }
@@ -482,6 +538,126 @@ mod tests {
         let stats = optimize(&mut lir);
         assert_eq!(stats.forwarded_loads, 1);
         assert_eq!(stats.dead_stores, 1);
+    }
+
+    #[test]
+    fn copy_chains_collapse_to_their_origin() {
+        let mut lir = vec![
+            LirInsn::MovImm { dst: v(0), imm: 5 },
+            LirInsn::MovReg {
+                dst: v(1),
+                src: v(0),
+            },
+            LirInsn::MovReg {
+                dst: v(2),
+                src: v(1),
+            },
+            store(2, 8),
+            LirInsn::Ret,
+        ];
+        let stats = optimize(&mut lir);
+        assert!(stats.copies_folded >= 2, "both copy uses fold");
+        assert!(
+            lir.iter()
+                .any(|i| matches!(i, LirInsn::Store { src, .. } if *src == v(0))),
+            "the store reads the origin, not the copy chain"
+        );
+        // The second copy's source collapsed to the root, keeping the map flat.
+        assert!(lir
+            .iter()
+            .any(|i| matches!(i, LirInsn::MovReg { dst, src } if *dst == v(2) && *src == v(0))));
+    }
+
+    #[test]
+    fn copy_propagation_stops_at_redefinitions() {
+        // Redefining the *origin* kills the entry: the copy holds the old
+        // value.
+        let mut lir = vec![
+            LirInsn::MovImm { dst: v(0), imm: 5 },
+            LirInsn::MovReg {
+                dst: v(1),
+                src: v(0),
+            },
+            LirInsn::Alu {
+                op: AluOp::Add,
+                dst: v(0),
+                src: LirOperand::Imm(1),
+            },
+            store(1, 8),
+            LirInsn::Ret,
+        ];
+        let stats = optimize(&mut lir);
+        assert_eq!(stats.copies_folded, 0);
+        assert!(lir
+            .iter()
+            .any(|i| matches!(i, LirInsn::Store { src, .. } if *src == v(1))));
+
+        // Redefining the *copy* (two-address mutation) kills it too, and the
+        // mutated destination is never rewritten.
+        let mut lir2 = vec![
+            LirInsn::MovImm { dst: v(0), imm: 5 },
+            LirInsn::MovReg {
+                dst: v(1),
+                src: v(0),
+            },
+            LirInsn::Alu {
+                op: AluOp::Add,
+                dst: v(1),
+                src: LirOperand::Imm(3),
+            },
+            store(1, 8),
+            LirInsn::Ret,
+        ];
+        let stats2 = optimize(&mut lir2);
+        assert_eq!(stats2.copies_folded, 0);
+        assert!(lir2
+            .iter()
+            .any(|i| matches!(i, LirInsn::Alu { dst, .. } if *dst == v(1))));
+        assert!(lir2
+            .iter()
+            .any(|i| matches!(i, LirInsn::Store { src, .. } if *src == v(1))));
+    }
+
+    #[test]
+    fn copy_propagation_resets_at_labels() {
+        // Straight-line only: a label is a join point where copy facts die.
+        let mut lir = vec![
+            LirInsn::MovImm { dst: v(0), imm: 5 },
+            LirInsn::MovReg {
+                dst: v(1),
+                src: v(0),
+            },
+            LirInsn::Label { id: 0 },
+            store(1, 8),
+            LirInsn::Ret,
+        ];
+        let stats = optimize(&mut lir);
+        assert_eq!(stats.copies_folded, 0);
+        assert!(lir
+            .iter()
+            .any(|i| matches!(i, LirInsn::Store { src, .. } if *src == v(1))));
+    }
+
+    #[test]
+    fn forwarded_moves_are_folded_into_their_consumers() {
+        // The satellite's target shape: forwarding produces a MovReg, copy
+        // propagation folds its use, and the MovReg is left dead for DCE.
+        let mut lir = vec![
+            store(0, 8),  // x1 <- v0
+            load(1, 8),   // forwarded: MovReg v1 <- v0
+            store(1, 16), // x2 <- v1, folded to v0
+            LirInsn::Ret,
+        ];
+        let stats = optimize(&mut lir);
+        assert_eq!(stats.forwarded_loads, 1);
+        assert!(stats.copies_folded >= 1);
+        assert!(
+            lir.iter().any(|i| matches!(
+                i,
+                LirInsn::Store { src, addr, .. } if *src == v(0) && addr.disp == 16
+            )),
+            "the consumer reads the forwarded origin directly"
+        );
     }
 
     #[test]

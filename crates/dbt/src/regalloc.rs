@@ -112,10 +112,12 @@ fn mark_dead(lir: &[LirInsn]) -> Vec<bool> {
             | LirInsn::Jcc { .. }
             | LirInsn::Label { .. } => true,
             // Everything else lives only through its destination (or, for
-            // flag writers, through an outstanding flag demand).
+            // flag writers, through an outstanding flag demand) — except
+            // that a guest-memory *load* can fault, and the data abort is
+            // guest-visible even when the loaded value is dead.
             _ => {
                 let def_live = insn.def().is_some_and(|d| live.contains(&d.id));
-                def_live || (insn.writes_host_flags() && flags_demanded)
+                def_live || insn.may_fault() || (insn.writes_host_flags() && flags_demanded)
             }
         };
         if needed {
@@ -287,6 +289,48 @@ mod tests {
             id,
             class: VregClass::Gpr,
         }
+    }
+
+    #[test]
+    fn faulting_loads_survive_dce_with_dead_destinations() {
+        // The exact shape `dbt::opt` produces after dead-store elimination:
+        // a guest-memory load whose destination is never read (the regfile
+        // store of it died under a covering store).  The load can still
+        // fault — deleting it would elide a guest-visible data abort.
+        let lir = vec![
+            LirInsn::Load {
+                dst: v(0),
+                addr: LirMem::vreg(v(1), 0), // computed address: can fault
+                size: MemSize::U64,
+            },
+            LirInsn::StoreImm {
+                imm: 5,
+                addr: LirMem::regfile(8),
+                size: MemSize::U64,
+            },
+            LirInsn::Ret,
+        ];
+        let alloc = allocate(&lir);
+        assert!(
+            !alloc.dead[0],
+            "a guest-memory load with a dead destination must survive"
+        );
+        // A fixed regfile load with a dead destination is still removable.
+        let lir2 = vec![
+            LirInsn::Load {
+                dst: v(0),
+                addr: LirMem::regfile(16),
+                size: MemSize::U64,
+            },
+            LirInsn::StoreImm {
+                imm: 5,
+                addr: LirMem::regfile(8),
+                size: MemSize::U64,
+            },
+            LirInsn::Ret,
+        ];
+        let alloc2 = allocate(&lir2);
+        assert!(alloc2.dead[0], "regfile loads cannot fault and may die");
     }
 
     #[test]

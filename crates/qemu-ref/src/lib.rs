@@ -26,8 +26,8 @@ use captive::layout;
 use captive::runtime::{GuestEvent, SVC_EXIT, SVC_PUTCHAR};
 use dbt::emitter::ValueType;
 use dbt::{
-    BlockExit, CacheIndex, ChainLinks, CodeCache, Emitter, GuestIsa, Phase, PhaseTimers,
-    TranslatedBlock,
+    BlockExit, CacheIndex, ChainLinks, CodeCache, Emitter, EntryMode, GuestIsa, Phase, PhaseTimers,
+    Region, RegionKey, RegionProfile,
 };
 use guest_aarch64::gen::helpers;
 use guest_aarch64::isa::{AccessSize, FpKind, Insn};
@@ -62,21 +62,6 @@ pub enum RunExit {
     BudgetExhausted,
     /// Execution-engine error.
     Error(String),
-}
-
-/// Per-block execution record for code-quality comparisons.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct BlockProfile {
-    /// Accumulated cycles.
-    pub cycles: u64,
-    /// Executions.
-    pub executions: u64,
-    /// Guest instructions in the block.
-    pub guest_insns: u64,
-    /// Cycles accumulated by same-page chained entries.
-    pub chained_cycles: u64,
-    /// Same-page chained entries.
-    pub chained_executions: u64,
 }
 
 /// Aggregate run statistics.
@@ -408,7 +393,7 @@ pub struct QemuRef {
     guest_ram: u64,
     max_block_insns: usize,
     stats: RunStats,
-    per_block: HashMap<u64, BlockProfile>,
+    per_region: HashMap<RegionKey, RegionProfile>,
     /// Record per-block cycles.
     pub per_block_stats: bool,
     /// Chain direct successors within a guest page (real QEMU's policy).
@@ -439,7 +424,7 @@ impl QemuRef {
             guest_ram,
             max_block_insns: 64,
             stats: RunStats::default(),
-            per_block: HashMap::new(),
+            per_region: HashMap::new(),
             per_block_stats: false,
             qemu_chaining: false,
         };
@@ -508,9 +493,11 @@ impl QemuRef {
         s
     }
 
-    /// Per-block profiles (keyed by guest virtual address).
-    pub fn block_profiles(&self) -> &HashMap<u64, BlockProfile> {
-        &self.per_block
+    /// Per-region profiles, keyed by the *executed* region (same
+    /// [`RegionProfile`] shape as Captive's, so code-quality comparisons
+    /// read one structure), with cycles attributed per [`EntryMode`].
+    pub fn region_profiles(&self) -> &HashMap<RegionKey, RegionProfile> {
+        &self.per_region
     }
 
     fn fetch_pa(&mut self, va: u64) -> Result<u64, GuestEvent> {
@@ -532,7 +519,7 @@ impl QemuRef {
         let mut budget = max_blocks;
         // A block whose same-page direct exit was taken with the successor
         // link still unresolved; patched once the slow path resolves it.
-        let mut patch_from: Option<(Arc<TranslatedBlock>, usize)> = None;
+        let mut patch_from: Option<(Arc<Region>, usize)> = None;
         while budget > 0 {
             if let Some(code) = self.runtime.exit_code {
                 return RunExit::GuestHalted { code };
@@ -555,7 +542,8 @@ impl QemuRef {
                     continue;
                 }
             };
-            let mut block = match self.cache.get(pc) {
+            let key = RegionKey { phys: pa, virt: pc };
+            let mut block = match self.cache.get(key, 0) {
                 Some(b) => b,
                 None => {
                     self.stats.translations += 1;
@@ -582,14 +570,15 @@ impl QemuRef {
                 self.stats.blocks += 1;
                 self.stats.guest_insns += block.guest_insns as u64;
                 if self.per_block_stats {
-                    let p = self.per_block.entry(block.guest_virt).or_default();
-                    p.cycles += spent;
-                    p.executions += 1;
+                    let p = self.per_region.entry(block.key()).or_default();
                     p.guest_insns = block.guest_insns as u64;
-                    if chained {
-                        p.chained_cycles += spent;
-                        p.chained_executions += 1;
-                    }
+                    p.constituents = block.constituents as u64;
+                    let mode = if chained {
+                        EntryMode::Chained
+                    } else {
+                        EntryMode::Dispatched
+                    };
+                    p.record(mode, spent);
                 }
                 budget -= 1;
                 match exit {
@@ -675,7 +664,7 @@ impl QemuRef {
 
     /// Translates one block in the TCG style: memory accesses and FP go
     /// through helpers, everything else reuses the generator functions.
-    fn translate(&mut self, pc: u64, pa: u64) -> TranslatedBlock {
+    fn translate(&mut self, pc: u64, pa: u64) -> Region {
         let mut e = Emitter::new();
         let mut guest_insns = 0usize;
         let mut va = pc;
@@ -735,8 +724,7 @@ impl QemuRef {
         let (code, encoded, dce) = dbt::finish_translation(&mut self.timers, lir, false);
         self.timers.blocks += 1;
         self.timers.guest_insns += guest_insns as u64;
-        TranslatedBlock {
-            key: pc,
+        Region {
             guest_phys: pa,
             guest_virt: pc,
             guest_insns,
@@ -746,7 +734,10 @@ impl QemuRef {
             code: Arc::new(code),
             exit,
             links: ChainLinks::default(),
-            super_meta: None,
+            constituents: 1,
+            pages: Region::span_pages(pa, guest_insns),
+            ctx_gen: 0,
+            unroll: 1,
         }
     }
 }
