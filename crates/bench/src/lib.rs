@@ -45,8 +45,13 @@ pub struct Measurement {
     pub region_transfers: u64,
     /// Multi-constituent regions formed (Captive only).
     pub regions_formed: u64,
-    /// Regions formed by unrolling a single-block self-loop (Captive only).
+    /// Regions formed by unrolling a loop body (Captive only).
     pub regions_unrolled: u64,
+    /// Regions whose loop closed as an internal back-edge (Captive only).
+    pub loop_regions_formed: u64,
+    /// Back-edge transfers taken: loop trips that stayed inside one region
+    /// (Captive only).
+    pub backedge_transfers: u64,
     /// Interpreter entries (blocks executed; chained + dispatched +
     /// superblock entries).
     pub blocks: u64,
@@ -54,6 +59,9 @@ pub struct Measurement {
     pub opt_dead_stores: u64,
     /// Regfile loads rewritten into register moves (Captive only; static).
     pub opt_forwarded_loads: u64,
+    /// Partial-width forwards (subset of `opt_forwarded_loads`; Captive
+    /// only; static).
+    pub opt_partial_forwarded: u64,
     /// Register-copy uses folded by copy propagation (Captive only; static).
     pub opt_copies_folded: u64,
     /// LIR instructions marked dead by iterative DCE (static).
@@ -133,13 +141,29 @@ pub fn run_captive_regions(w: &Workload) -> Measurement {
     )
 }
 
-/// Runs a workload under Captive with self-loop unrolling set explicitly
-/// (1 disables peeling; everything else default: chaining + regions on).
+/// Runs a workload under Captive with loop-body unrolling set explicitly
+/// and back-edge closing pinned OFF (1 disables peeling; chaining + regions
+/// stay on).  This measures the legacy peel machinery alone; the looping
+/// comparison lives in [`run_captive_loops`].
 pub fn run_captive_unroll(w: &Workload, unroll: usize) -> Measurement {
     run_captive_cfg(
         w,
         CaptiveConfig {
-            unroll_self_loops: unroll,
+            unroll_loops: unroll,
+            loop_regions: false,
+            ..CaptiveConfig::default()
+        },
+    )
+}
+
+/// Runs a workload under Captive with looping regions (back-edge closing)
+/// forced on or off; everything else default (chaining, region formation
+/// and unrolling on).
+pub fn run_captive_loops(w: &Workload, loop_regions: bool) -> Measurement {
+    run_captive_cfg(
+        w,
+        CaptiveConfig {
+            loop_regions,
             ..CaptiveConfig::default()
         },
     )
@@ -175,9 +199,12 @@ pub fn run_captive_cfg(w: &Workload, cfg: CaptiveConfig) -> Measurement {
         region_transfers: s.region_transfers,
         regions_formed: s.regions_formed,
         regions_unrolled: s.regions_unrolled,
+        loop_regions_formed: s.loop_regions_formed,
+        backedge_transfers: s.backedge_transfers,
         blocks: s.blocks,
         opt_dead_stores: s.opt_dead_stores,
         opt_forwarded_loads: s.opt_forwarded_loads,
+        opt_partial_forwarded: s.opt_partial_forwarded,
         opt_copies_folded: s.opt_copies_folded,
         opt_dce_insns: s.opt_dce_insns,
         elided_dyn_insns: s.elided_dyn_insns,
@@ -220,9 +247,12 @@ pub fn run_qemu_chaining(w: &Workload, chaining: bool) -> Measurement {
         region_transfers: 0,
         regions_formed: 0,
         regions_unrolled: 0,
+        loop_regions_formed: 0,
+        backedge_transfers: 0,
         blocks: s.blocks,
         opt_dead_stores: 0,
         opt_forwarded_loads: 0,
+        opt_partial_forwarded: 0,
         opt_copies_folded: 0,
         opt_dce_insns: q.timers.opt_dce_insns,
         elided_dyn_insns: 0,

@@ -232,14 +232,26 @@ fn regions_cut_interpreter_entries_on_dispatch_bound_loop() {
         sb.region_transfers
     );
     assert!(
-        sb.blocks + sb.region_transfers >= chain.blocks,
-        "stitched transfers account for the missing interpreter entries"
+        sb.blocks + sb.region_transfers + sb.backedge_transfers >= chain.blocks,
+        "stitched and back-edge transfers account for the missing \
+         interpreter entries: {} + {} + {} vs {}",
+        sb.blocks,
+        sb.region_transfers,
+        sb.backedge_transfers,
+        chain.blocks
     );
     assert!(
         sb.blocks < chain.blocks / 2,
         "interpreter entries must drop: {} vs {}",
         sb.blocks,
         chain.blocks
+    );
+    assert!(
+        sb.loop_regions_formed >= 1 && sb.backedge_transfers > 1_000,
+        "the hot loop must close as a looping region and trip internally: \
+         formed {}, backedges {}",
+        sb.loop_regions_formed,
+        sb.backedge_transfers
     );
     assert!(
         sb.cycles <= chain.cycles,
@@ -437,7 +449,7 @@ fn smc_on_the_looping_page_retires_the_unrolled_region() {
     let run = |unroll: usize| {
         let (main, kern) = make();
         let mut c = Captive::new(CaptiveConfig {
-            unroll_self_loops: unroll,
+            unroll_loops: unroll,
             ..CaptiveConfig::default()
         });
         c.load_program(0x1000, &main);
@@ -465,6 +477,212 @@ fn smc_on_the_looping_page_retires_the_unrolled_region() {
         on.cache.stats().invalidated_page >= 1,
         "the code-page write must invalidate the looping page"
     );
+}
+
+#[test]
+fn smc_on_a_loop_page_mid_iteration_takes_effect_next_iteration() {
+    // The guest patches an instruction of its own running loop from *inside*
+    // the looping region: on the patch iteration the store hits the loop's
+    // code page, and the back-edge's pending-event poll must turn the
+    // loop-back into a dispatcher exit — so the stale translation executes
+    // for at most the remainder of the current iteration, and the very next
+    // iteration runs the rewritten code.  unroll_loops=1 closes the
+    // back-edge after a single body copy, making the staleness bound exactly
+    // one iteration and the final accumulator value deterministic.
+    const ITERS: u64 = 60;
+    const PATCH_AT: u64 = 20; // patch when the countdown reaches this value
+    let mut a = Assembler::new();
+    a.push(asm::movz(1, ITERS as u32, 0)); // countdown
+    a.push(asm::movz(9, 0, 0)); // accumulator
+    a.push(asm::movz(8, PATCH_AT as u32, 0));
+    a.mov_imm64(10, 0x8000); // scratch store target (plain data)
+    a.mov_imm64(4, asm::movz(7, 2, 0) as u64); // the patched word
+    let target_ref = a.here(); // position of mov_imm64 below patched later
+    a.mov_imm64(3, 0); // placeholder: patch-target address (fixed up below)
+    a.label("loop");
+    let patch_idx = a.here();
+    a.push(asm::movz(7, 1, 0)); // <- patch target: becomes `movz x7, #2`
+    a.push(asm::add(9, 9, 7));
+    a.b_to("cont"); // split the body: the loop is multi-block
+    a.label("cont");
+    a.push(asm::cmp(1, 8));
+    a.push(asm::csel(5, 3, 10, guest_aarch64::isa::Cond::Eq));
+    a.push(asm::strw(4, 5, 0)); // hits the code page only on the patch iteration
+    a.push(asm::subi(1, 1, 1));
+    a.cbnz_to(1, "loop");
+    a.push(asm::hlt());
+    let mut words = a.finish();
+    // Fix up the placeholder mov_imm64 to carry the patch target's address.
+    let patch_va = 0x1000 + patch_idx as u64 * 4;
+    let mut fixup = Assembler::new();
+    fixup.mov_imm64(3, patch_va);
+    for (i, w) in fixup.finish().into_iter().enumerate() {
+        words[target_ref + i] = w;
+    }
+
+    let mut c = Captive::new(CaptiveConfig {
+        unroll_loops: 1,
+        region_threshold: 8,
+        ..CaptiveConfig::default()
+    });
+    c.load_program(0x1000, &words);
+    c.set_entry(0x1000);
+    assert!(matches!(
+        c.run(1_000_000),
+        captive::RunExit::GuestHalted { .. }
+    ));
+    // Iterations with the countdown at 60..=20 ran the original `movz x7,#1`
+    // (the patch lands mid-iteration at 20, after that iteration's add);
+    // 19..=1 must run the rewritten `movz x7,#2`.
+    let old_iters = ITERS - PATCH_AT + 1;
+    let new_iters = PATCH_AT - 1;
+    assert_eq!(
+        c.guest_reg(9),
+        old_iters + 2 * new_iters,
+        "the patched loop body must take effect on the iteration after the \
+         write — no unbounded stale execution inside the looping region"
+    );
+    let s = c.stats();
+    assert!(
+        s.loop_regions_formed >= 1,
+        "the loop must have closed as a looping region before the patch"
+    );
+    assert!(s.backedge_transfers > 5, "iterations tripped internally");
+    assert!(
+        c.cache.stats().invalidated_page >= 1,
+        "the code-page write invalidated the looping region"
+    );
+}
+
+#[test]
+fn fault_mid_looping_region_delivers_exact_elr() {
+    // A two-block striding store loop closed as a looping region marches out
+    // of guest RAM: the data abort lands inside an internal loop trip and
+    // must still deliver the exact faulting PC into ELR (the per-insn PC
+    // tracking plus the back-edge's folded PC update keep state precise at
+    // every point of the loop).
+    let mut a = Assembler::new();
+    a.mov_imm64(9, 0x2000);
+    a.push(asm::msr(guest_aarch64::SysReg::Vbar as u32, 9));
+    a.mov_imm64(1, 0x100_0000); // 16 MiB
+    a.mov_imm64(2, 0xBEEF);
+    a.mov_imm64(3, 0x1_0000); // 64 KiB stride → 256 iterations to 32 MiB
+    a.label("loop");
+    let fault_idx = a.here();
+    a.push(asm::str(2, 1, 0));
+    a.push(asm::add(1, 1, 3));
+    a.b_to("m");
+    a.label("m");
+    a.b_to("loop");
+    let main = a.finish();
+    let fault_pc = 0x1000 + fault_idx as u64 * 4;
+
+    let mut v = Assembler::new();
+    v.push(asm::mrs(10, guest_aarch64::SysReg::Elr as u32));
+    v.push(asm::mrs(11, guest_aarch64::SysReg::Far as u32));
+    v.push(asm::hlt());
+
+    let mut c = Captive::new(CaptiveConfig::default());
+    c.load_program(0x1000, &main);
+    c.load_program(0x2000, &v.finish());
+    c.set_entry(0x1000);
+    assert!(matches!(
+        c.run(1_000_000),
+        captive::RunExit::GuestHalted { .. }
+    ));
+    assert_eq!(c.guest_reg(10), fault_pc, "ELR is the faulting PC");
+    assert_eq!(c.guest_reg(11), 0x200_0000, "FAR is the first OOB address");
+    let s = c.stats();
+    assert!(
+        s.loop_regions_formed >= 1,
+        "the loop closed internally before faulting"
+    );
+    assert!(
+        s.backedge_transfers > 50,
+        "iterations tripped inside the region (4 per trip at the default \
+         unroll): {}",
+        s.backedge_transfers
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Looping regions are architecturally invisible on multi-block loop
+    /// bodies with a nested conditional: for trip counts 0, 1 and a random
+    /// count, and unroll factors 1–4, the kernel retires identical
+    /// registers *and* NZCV with looping regions on, off, and under the
+    /// QEMU-style baseline.  A low formation threshold makes even modest
+    /// trip counts cross into formation, so the nested side exits, the
+    /// peeled copies and the loop-exit leg all get exercised.
+    #[test]
+    fn looping_regions_agree_across_engines_on_nested_bodies(
+        random_trips in 2u32..300,
+        unroll in 1usize..5,
+        cond_idx in 0usize..4,
+    ) {
+        use guest_aarch64::isa::Cond;
+        let conds = [Cond::Eq, Cond::Ne, Cond::Hi, Cond::Lt];
+        for trips in [0u32, 1, random_trips] {
+            let mut a = Assembler::new();
+            a.push(asm::movz(1, trips, 0));
+            a.push(asm::movz(9, 0, 0));
+            a.push(asm::movz(2, 3, 0));
+            a.cbz_to(1, "done");
+            a.label("loop");
+            a.push(asm::adds(9, 9, 2)); // flag-setting accumulate
+            a.bcond_to(conds[cond_idx], "other"); // nested conditional
+            a.push(asm::addi(9, 9, 1));
+            a.b_to("join");
+            a.label("other");
+            a.push(asm::addi(9, 9, 2));
+            a.label("join");
+            a.push(asm::subis(1, 1, 1)); // flag-setting loop counter
+            a.bcond_to(Cond::Ne, "loop");
+            a.label("done");
+            a.push(asm::hlt());
+            let words = a.finish();
+
+            let run = |loop_regions: bool, unroll: usize| {
+                let mut c = Captive::new(CaptiveConfig {
+                    loop_regions,
+                    unroll_loops: unroll,
+                    region_threshold: 4,
+                    ..CaptiveConfig::default()
+                });
+                c.load_program(0x1000, &words);
+                c.set_entry(0x1000);
+                assert!(matches!(
+                    c.run(1_000_000),
+                    captive::RunExit::GuestHalted { .. }
+                ));
+                c
+            };
+            let mut on = run(true, unroll);
+            let mut off = run(false, 1);
+            let mut q = QemuRef::new(32 * 1024 * 1024);
+            q.load_program(0x1000, &words);
+            q.set_entry(0x1000);
+            assert!(matches!(
+                q.run(1_000_000),
+                qemu_ref::RunExit::GuestHalted { .. }
+            ));
+            for r in 0..16 {
+                let v = on.guest_reg(r);
+                prop_assert_eq!(v, off.guest_reg(r), "x{} diverged loops on/off", r);
+                prop_assert_eq!(v, q.guest_reg(r), "x{} diverged from baseline", r);
+            }
+            prop_assert_eq!(on.guest_nzcv(), off.guest_nzcv(), "NZCV loops on/off");
+            prop_assert_eq!(on.guest_nzcv(), q.guest_nzcv(), "NZCV vs baseline");
+            if trips > 16 {
+                prop_assert!(
+                    on.stats().loop_regions_formed >= 1,
+                    "trip count {} past the threshold must close a loop",
+                    trips
+                );
+            }
+        }
+    }
 }
 
 proptest! {
@@ -497,7 +715,7 @@ proptest! {
 
             let run = |unroll: usize| {
                 let mut c = Captive::new(CaptiveConfig {
-                    unroll_self_loops: unroll,
+                    unroll_loops: unroll,
                     region_threshold: 4,
                     ..CaptiveConfig::default()
                 });

@@ -114,10 +114,18 @@ pub struct CaptiveConfig {
     pub region_threshold: u64,
     /// Guest-instruction cap on one region trace.
     pub region_max_insns: usize,
-    /// Maximum copies of a single-block self-loop body stitched into one
-    /// region (2–4 is the useful range for pointer-chase kernels; 0 or 1
-    /// disables unrolling, so self-loops never form a region).
-    pub unroll_self_loops: usize,
+    /// Close back-edges inside regions: a hot loop (single- or multi-block
+    /// body) becomes ONE region that iterates entirely in translated code —
+    /// zero chain transfers and zero dispatcher entries per trip, side-exit
+    /// stubs with precise PC on every cold leg and on loop exit.  When off,
+    /// traces stop at loop closure (the pre-looping behaviour): only
+    /// single-block self-loops peel, and the final copy self-chains.
+    pub loop_regions: bool,
+    /// Copies of a hot loop body stitched into one region before the
+    /// back-edge closes (2–4 amortises the loop-back overhead; 0 or 1
+    /// disables peeling).  With `loop_regions` off this reverts to the
+    /// legacy single-block self-loop peeling.
+    pub unroll_loops: usize,
     /// Maximum guest instructions per translated block.
     pub max_block_insns: usize,
     /// Host machine configuration.
@@ -137,7 +145,8 @@ impl Default for CaptiveConfig {
             opt: true,
             region_threshold: 16,
             region_max_insns: 256,
-            unroll_self_loops: 4,
+            loop_regions: true,
+            unroll_loops: 4,
             max_block_insns: 64,
             machine: MachineConfig::default(),
             per_block_stats: false,
@@ -200,9 +209,16 @@ pub struct RunStats {
     pub region_transfers: u64,
     /// Multi-constituent regions formed from hot chain paths.
     pub regions_formed: u64,
-    /// Regions formed by unrolling a single-block self-loop (subset of
-    /// `regions_formed`).
+    /// Regions formed by unrolling a loop body — single- or multi-block
+    /// (subset of `regions_formed`).
     pub regions_unrolled: u64,
+    /// Regions whose loop closed as a region-internal back-edge (subset of
+    /// `regions_formed`): these iterate inside translated code.
+    pub loop_regions_formed: u64,
+    /// Back-edge transfers taken: loop trips that stayed inside one region
+    /// (each would have been at least a chained transfer, usually several,
+    /// without looping regions).
+    pub backedge_transfers: u64,
     /// Interpreter entries that executed a multi-constituent region (subset
     /// of `blocks`).
     pub region_entries: u64,
@@ -213,6 +229,9 @@ pub struct RunStats {
     pub opt_dead_stores: u64,
     /// Regfile loads the optimiser rewrote into register moves (static).
     pub opt_forwarded_loads: u64,
+    /// Partial-width forwards (subset of `opt_forwarded_loads`): 32-bit
+    /// loads satisfied by the low half of a 64-bit store (static).
+    pub opt_partial_forwarded: u64,
     /// Register-copy uses folded by the optimiser's copy propagation
     /// (static).
     pub opt_copies_folded: u64,
@@ -343,9 +362,11 @@ impl Captive {
         s.dtlb_hits = self.runtime.data_tlb.hits;
         s.dtlb_misses = self.runtime.data_tlb.misses;
         s.region_transfers = self.machine.perf.superblock_transfers;
+        s.backedge_transfers = self.machine.perf.backedge_transfers;
         s.regions_evicted = self.cache.stats().evicted_stale_regions;
         s.opt_dead_stores = self.timers.opt_dead_stores;
         s.opt_forwarded_loads = self.timers.opt_forwarded_loads;
+        s.opt_partial_forwarded = self.timers.opt_partial_forwarded;
         s.opt_copies_folded = self.timers.opt_copies_folded;
         s.opt_dce_insns = self.timers.opt_dce_insns;
         s.elided_dyn_insns = self.machine.perf.elided_insns;
@@ -456,6 +477,7 @@ impl Captive {
             let mut chained = false;
             loop {
                 let before = self.machine.perf.cycles;
+                let backedges_before = self.machine.perf.backedge_transfers;
                 let code = Arc::clone(&block.code);
                 let exit = if chained {
                     self.machine.run_block_chained(&code, &mut self.runtime)
@@ -463,17 +485,23 @@ impl Captive {
                     self.machine.run_block(&code, &mut self.runtime)
                 };
                 let spent = self.machine.perf.cycles - before;
+                // Loop trips that stayed inside the region during this entry
+                // (each back-edge taken re-executed the looping portion).
+                let trips = self.machine.perf.backedge_transfers - backedges_before;
                 // Invalidate translations for any code pages the guest wrote
                 // (bumps the cache epoch, so stale chain links die with them).
                 for page in self.runtime.take_smc_dirty() {
                     self.cache.invalidate_phys_page(page);
                 }
                 self.stats.blocks += 1;
-                self.stats.guest_insns += block.guest_insns as u64;
+                self.stats.guest_insns +=
+                    block.guest_insns as u64 + trips * block.loop_guest_insns as u64;
                 // Dynamic instructions-saved accounting: every entry into the
                 // region benefits from the LIR instructions eliminated at
-                // translation time.
-                self.machine.perf.elided_insns += block.elided_insns as u64;
+                // translation time, and every internal loop trip additionally
+                // benefits from the looping portion's share.
+                self.machine.perf.elided_insns +=
+                    block.elided_insns as u64 + trips * block.loop_elided_insns as u64;
                 if block.is_multi() {
                     self.stats.region_entries += 1;
                 }
@@ -487,6 +515,7 @@ impl Captive {
                     let p = self.per_region.entry(block.key()).or_default();
                     p.guest_insns = block.guest_insns as u64;
                     p.constituents = block.constituents as u64;
+                    p.backedge_trips += trips;
                     let mode = if chained {
                         EntryMode::Chained
                     } else {
@@ -583,7 +612,7 @@ impl Captive {
         next: Arc<Region>,
         next_pc: u64,
     ) -> Arc<Region> {
-        if next.is_multi() {
+        if next.gated() {
             return next;
         }
         let heat = prev.heat_up(slot);
@@ -593,7 +622,7 @@ impl Captive {
         // the link just needs re-pointing (a stat-free peek — this is the
         // former's own bookkeeping, not a dispatch lookup).
         if let Some(r) = self.cache.peek(next.key()) {
-            if r.is_multi() {
+            if r.gated() {
                 if r.ctx_gen == gen {
                     prev.set_link(slot, gen, self.cache.epoch(), &r);
                     return r;
@@ -613,7 +642,8 @@ impl Captive {
             next_pc,
             next.guest_phys,
             self.config.region_max_insns,
-            self.config.unroll_self_loops,
+            self.config.unroll_loops,
+            self.config.loop_regions,
             self.config.fp_mode,
             self.config.opt,
         ) else {
@@ -628,6 +658,9 @@ impl Captive {
         }
         if region.unroll > 1 {
             self.stats.regions_unrolled += 1;
+        }
+        if region.back_edges > 0 {
+            self.stats.loop_regions_formed += 1;
         }
         let region = self.cache.insert(region);
         self.stats.regions_formed += 1;
@@ -1247,8 +1280,14 @@ mod tests {
             s.region_entries
         );
         assert!(
-            multi_entries > 500,
-            "the formed region absorbs the hot loop: {multi_entries}"
+            multi_entries >= 1,
+            "the formed region's entries are attributed: {multi_entries}"
+        );
+        assert!(
+            s.blocks < 100,
+            "the looping region absorbs the hot loop into a handful of \
+             interpreter entries: {}",
+            s.blocks
         );
         assert!(chained > 0, "pre-formation chained entries are attributed");
         assert!(total_cycles > 0);
@@ -1452,11 +1491,13 @@ mod tests {
     }
 
     #[test]
-    fn self_loop_unrolls_into_a_region_and_saves_cycles() {
-        // The pointer-chase shape: a single-block self-loop.  Before
-        // unrolling this never formed a region (the trace closed at one
-        // constituent); with unrolling the body is peeled fourfold, joined
-        // by trace edges with side-exit stubs on each peeled loop-back.
+    fn self_loop_becomes_a_looping_region_and_saves_cycles() {
+        // The pointer-chase shape: a single-block self-loop.  With looping
+        // regions the body is peeled fourfold AND the final copy's loop-back
+        // closes as a region-internal back-edge, so the whole countdown runs
+        // inside one region entry; with everything off the trace closes at
+        // one constituent and every iteration re-enters through a chain
+        // link.
         let mut a = asm::Assembler::new();
         a.push(asm::movz(1, 4000, 0));
         a.push(asm::movz(9, 0, 0));
@@ -1466,9 +1507,10 @@ mod tests {
         a.cbnz_to(1, "chase");
         a.push(asm::hlt());
         let words = a.finish();
-        let run = |unroll: usize| {
+        let run = |loop_regions: bool, unroll: usize| {
             let mut c = Captive::new(CaptiveConfig {
-                unroll_self_loops: unroll,
+                loop_regions,
+                unroll_loops: unroll,
                 ..CaptiveConfig::default()
             });
             c.load_program(0x1000, &words);
@@ -1476,8 +1518,8 @@ mod tests {
             assert_eq!(c.run(100_000), RunExit::GuestHalted { code: 0 });
             c
         };
-        let mut on = run(4);
-        let mut off = run(1);
+        let mut on = run(true, 4);
+        let mut off = run(false, 1);
         for r in 0..16 {
             assert_eq!(on.guest_reg(r), off.guest_reg(r), "x{r} diverged");
         }
@@ -1486,11 +1528,16 @@ mod tests {
         let soff = off.stats();
         assert_eq!(
             soff.regions_formed, 0,
-            "without unrolling the self-loop closes at one constituent"
+            "with looping and peeling off the self-loop closes at one constituent"
         );
         assert!(
-            son.regions_unrolled >= 1,
-            "the self-loop must form an unrolled region"
+            son.regions_unrolled >= 1 && son.loop_regions_formed >= 1,
+            "the self-loop must form an unrolled looping region"
+        );
+        assert!(
+            son.backedge_transfers > 900,
+            "trips stay inside the region: {}",
+            son.backedge_transfers
         );
         assert!(
             son.region_transfers > 2_000,
@@ -1498,14 +1545,14 @@ mod tests {
             son.region_transfers
         );
         assert!(
-            son.blocks < soff.blocks / 2,
-            "each region entry covers several loop iterations: {} vs {}",
+            son.blocks < soff.blocks / 10,
+            "the looping region absorbs nearly every interpreter entry: {} vs {}",
             son.blocks,
             soff.blocks
         );
         assert!(
             son.cycles < soff.cycles,
-            "unrolling must run strictly fewer modeled cycles: {} vs {}",
+            "looping regions must run strictly fewer modeled cycles: {} vs {}",
             son.cycles,
             soff.cycles
         );
@@ -1513,6 +1560,13 @@ mod tests {
             son.blocks,
             son.chained_transfers + son.slow_dispatches,
             "every entry is still chained or dispatched"
+        );
+        assert!(
+            son.guest_insns >= soff.guest_insns && son.guest_insns - soff.guest_insns < 100,
+            "per-trip attribution keeps guest-instruction counts within one \
+             region entry of exact: {} vs {}",
+            son.guest_insns,
+            soff.guest_insns
         );
     }
 

@@ -394,6 +394,15 @@ impl Runtime for CaptiveRuntime {
         }
     }
 
+    /// A looping region polls this at every back-edge: a self-modifying
+    /// write to a code page, a queued guest event or a requested exit turn
+    /// the loop-back into a dispatcher exit with the PC precise at the loop
+    /// header, so invalidation and delivery latency is bounded by one
+    /// iteration instead of the loop's (unbounded) trip count.
+    fn loop_exit_pending(&mut self) -> bool {
+        !self.smc_dirty.is_empty() || self.pending.is_some() || self.exit_code.is_some()
+    }
+
     fn page_fault(&mut self, vaddr: u64, write: bool, machine: &mut Machine) -> FaultAction {
         if vaddr >= layout::LOWER_HALF_LIMIT {
             // Faults in the Captive area are fatal configuration errors; the

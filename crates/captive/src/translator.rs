@@ -118,32 +118,67 @@ pub fn translate_block(
         pages: Region::span_pages(pa, guest_insns),
         ctx_gen: 0,
         unroll: 1,
+        back_edges: 0,
+        loop_guest_insns: 0,
+        loop_elided_insns: 0,
     }
 }
 
 /// Maximum constituent basic blocks stitched into one region.
 pub const REGION_MAX_BLOCKS: usize = 32;
 
+/// A recorded constituent start: where in the trace a guest basic block
+/// began, both architecturally (virtual/physical address, guest-instruction
+/// count) and in the emitted LIR (so a later back-edge can bind its loop
+/// label there).
+struct ConstituentStart {
+    va: u64,
+    pa: u64,
+    lir_pos: usize,
+    guest_insns_before: usize,
+}
+
+/// What the trace does with a direct terminator's chosen target.
+enum Step {
+    /// Stitch forward into a new (or peeled) constituent at (va, pa).
+    Forward(u64, u64),
+    /// Close the loop: a region-internal back-edge to the target's first
+    /// constituent.
+    Close(u64),
+    /// Generate the terminator unstitched; the trace ends at it.
+    Plain,
+}
+
 /// Forms a multi-constituent region: re-decodes and re-lowers the hot
 /// chained path starting at `entry_pc`/`entry_pa` as one translation,
 /// stitching direct jumps and fallthroughs into internal transfers and
-/// turning the off-trace leg of interior conditionals into side-exit stubs.
-/// The trace stops at indirect exits, already-visited constituent starts
-/// (loop closure), untranslatable target pages, `max_insns` guest
-/// instructions, or [`REGION_MAX_BLOCKS`] constituents.  Returns `None` when
-/// fewer than two constituents would be stitched (a region would add nothing
-/// over the plain block).
+/// turning the off-trace leg of interior conditionals into out-of-line
+/// side-exit stubs.  The trace stops at indirect exits, untranslatable
+/// target pages, `max_insns` guest instructions, or [`REGION_MAX_BLOCKS`]
+/// constituents.  Returns `None` when the result would be neither
+/// multi-constituent nor looping (a region would add nothing over the plain
+/// block).
 ///
-/// **Self-loop unrolling.** Loop closure has one exception: when the trace
-/// so far consists purely of copies of the entry block and the entry's own
-/// terminator targets the entry again (a single-block self-loop — the
-/// pointer-chase shape), the back edge is stitched and the body re-decoded,
-/// up to `unroll` copies in total.  Each peeled loop-back conditional
-/// becomes a side-exit stub (precise PC on the off-trace leg), the peeled
-/// iterations are joined by [`hvm::MachInsn::TraceEdge`], and the final
-/// copy's branch is left as the ordinary region terminator, so the region
-/// chains back to itself for the next batch of iterations.  `unroll <= 1`
-/// disables peeling and restores the old stop-at-closure behaviour.
+/// **Looping regions.** With `close_loops` set, a back edge to an
+/// already-traced constituent does not end the trace: it closes as a
+/// *region-internal backward transfer* ([`hvm::MachInsn::BackEdge`]) to a
+/// label bound at the target's first constituent, so a hot loop — the
+/// header, its body blocks, and the hotter conditional legs — iterates
+/// entirely inside one translation.  Only cold legs and the loop exit leave,
+/// through side-exit stubs with precise PC; the closing conditional's exit
+/// leg carries ordinary [`dbt::BlockExit::Branch`] metadata so it chains.
+/// The trace always ends at the close (execution cannot proceed past a
+/// closed loop).
+///
+/// **Unrolling.** Before closing, the loop body is *peeled*: back edges to
+/// the loop header re-trace the body (forward-stitched like any hot path)
+/// until `unroll` copies are stitched, and the back-edge then targets the
+/// first copy, so each internal trip covers `unroll` iterations and the
+/// per-iteration loop-back overhead is amortised.  This generalises the old
+/// single-block self-loop peeling to whole multi-block bodies.  With
+/// `close_loops` off, the legacy behaviour is kept bit-for-bit: only
+/// single-block self-loops peel, the final copy's branch self-chains, and
+/// multi-block loops end the trace at closure.
 ///
 /// For interior conditionals the continuation leg is chosen by profile: the
 /// hotter chain-link slot of the cached region containing the branch,
@@ -164,15 +199,28 @@ pub fn form_region(
     entry_pa: u64,
     max_insns: usize,
     unroll: usize,
+    close_loops: bool,
     fp_mode: FpMode,
     run_opt: bool,
 ) -> Option<Region> {
     let ctx_gen = runtime.context_generation();
+    let unroll = unroll.max(1);
     let mut emitter = Emitter::new();
     let mut guest_insns = 0usize;
     let mut constituents = 1usize;
     let mut pages: Vec<u64> = vec![entry_pa & !0xFFF];
     let mut visited: Vec<u64> = vec![entry_pc];
+    let mut starts: Vec<ConstituentStart> = vec![ConstituentStart {
+        va: entry_pc,
+        pa: entry_pa,
+        lir_pos: 0,
+        guest_insns_before: 0,
+    }];
+    // The first back-edge target seen; peeling re-traces its body until
+    // `unroll` copies are stitched, then the loop closes.
+    let mut loop_header: Option<u64> = None;
+    let mut back_edges = 0usize;
+    let mut loop_guest_insns = 0usize;
     let mut va = entry_pc;
     let mut page_va = entry_pc & !0xFFF;
     let mut page_pa = entry_pa & !0xFFF;
@@ -199,6 +247,12 @@ pub fn form_region(
                     block_start_pa = pa;
                     block_start_va = va;
                     emitter.trace_edge();
+                    starts.push(ConstituentStart {
+                        va,
+                        pa,
+                        lir_pos: emitter.lir_pos(),
+                        guest_insns_before: guest_insns,
+                    });
                 }
                 // The next page is not translatable right now: end the trace
                 // with a fallthrough exit and let the dispatcher fault.
@@ -229,101 +283,167 @@ pub fn form_region(
             break;
         };
 
-        // For direct terminators, pick the on-trace continuation (if the
-        // trace may continue at all) and resolve its physical address before
-        // generating, so the stitched leg is known to be translatable.
+        // For direct terminators, pick the on-trace continuation and decide
+        // whether it extends the trace, peels a loop body, or closes a
+        // back-edge.  Physical addresses are resolved before generating, so
+        // a stitched leg is known to be translatable.
         let budget_left = guest_insns + 1 < max_insns && constituents < REGION_MAX_BLOCKS;
-        let continuation = if budget_left {
-            match d.insn {
-                Insn::B { offset } | Insn::Bl { offset } => Some(va.wrapping_add(offset as u64)),
-                Insn::BCond { offset, .. }
-                | Insn::Cbz { offset, .. }
-                | Insn::Cbnz { offset, .. } => {
-                    let taken = va.wrapping_add(offset as u64);
-                    let fallthrough = va.wrapping_add(4);
-                    Some(choose_leg(
-                        cache,
-                        block_start_pa,
-                        block_start_va,
-                        va,
-                        taken,
-                        fallthrough,
-                    ))
-                }
-                _ => None,
+        let candidate = match d.insn {
+            Insn::B { offset } | Insn::Bl { offset } => Some(va.wrapping_add(offset as u64)),
+            Insn::BCond { offset, .. } | Insn::Cbz { offset, .. } | Insn::Cbnz { offset, .. } => {
+                let taken = va.wrapping_add(offset as u64);
+                let fallthrough = va.wrapping_add(4);
+                Some(choose_leg(
+                    cache,
+                    block_start_pa,
+                    block_start_va,
+                    va,
+                    taken,
+                    fallthrough,
+                ))
             }
-            .filter(|t| {
-                if !visited.contains(t) {
-                    return true;
+            _ => None,
+        };
+        let step = match candidate {
+            None => Step::Plain,
+            Some(t) if !visited.contains(&t) => {
+                if budget_left {
+                    match runtime.guest_va_to_pa(machine, t, false) {
+                        Ok(p) => Step::Forward(t, p),
+                        Err(_) => Step::Plain,
+                    }
+                } else {
+                    Step::Plain
                 }
-                // Loop closure — except for the self-loop unrolling case:
-                // while the trace is nothing but copies of the entry block,
-                // a back edge to the entry may be peeled until `unroll`
-                // copies have been stitched.
-                *t == entry_pc
+            }
+            Some(t) if close_loops => {
+                // A back edge to a traced constituent.  Peel while budget
+                // allows and fewer than `unroll` copies of the header have
+                // been stitched (a non-header revisit mid-peel is simply the
+                // body path being re-traced); otherwise close the loop.
+                let header = *loop_header.get_or_insert(t);
+                let copies = visited.iter().filter(|v| **v == header).count();
+                let peel = budget_left
+                    && if t == header {
+                        copies < unroll
+                    } else {
+                        copies > 1
+                    };
+                if peel {
+                    let pa = starts
+                        .iter()
+                        .find(|s| s.va == t)
+                        .map(|s| s.pa)
+                        .expect("revisited constituent was recorded");
+                    Step::Forward(t, pa)
+                } else {
+                    Step::Close(t)
+                }
+            }
+            Some(t) => {
+                // Legacy stop-at-closure behaviour (loop regions disabled):
+                // only a single-block self-loop peels, and the final copy's
+                // branch is left as the ordinary self-chaining terminator.
+                if budget_left
+                    && t == entry_pc
                     && unroll > 1
                     && visited.len() < unroll
                     && visited.iter().all(|v| *v == entry_pc)
-            })
-            .and_then(|t| {
-                runtime
-                    .guest_va_to_pa(machine, t, false)
-                    .ok()
-                    .map(|p| (t, p))
-            })
-        } else {
-            None
+                {
+                    loop_header = Some(entry_pc);
+                    Step::Forward(t, entry_pa)
+                } else {
+                    Step::Plain
+                }
+            }
         };
 
-        if let Some((target, target_pa)) = continuation {
-            emitter.set_trace_next(target);
-            timers.time(Phase::Translate, || {
-                if fp_mode == FpMode::Software {
-                    generate_maybe_soft_fp(&d, &mut emitter, isa);
-                } else {
-                    isa.generate(&d, &mut emitter);
+        match step {
+            Step::Forward(target, target_pa) => {
+                emitter.set_trace_next(target);
+                timers.time(Phase::Translate, || {
+                    if fp_mode == FpMode::Software {
+                        generate_maybe_soft_fp(&d, &mut emitter, isa);
+                    } else {
+                        isa.generate(&d, &mut emitter);
+                    }
+                });
+                if emitter.take_stitched() {
+                    guest_insns += 1;
+                    constituents += 1;
+                    visited.push(target);
+                    va = target;
+                    page_va = target & !0xFFF;
+                    page_pa = target_pa & !0xFFF;
+                    if !pages.contains(&page_pa) {
+                        pages.push(page_pa);
+                    }
+                    block_start_pa = target_pa;
+                    block_start_va = target;
+                    starts.push(ConstituentStart {
+                        va: target,
+                        pa: target_pa,
+                        lir_pos: emitter.lir_pos(),
+                        guest_insns_before: guest_insns,
+                    });
+                    continue;
                 }
-            });
-            if emitter.take_stitched() {
+                // The generator terminated without stitching (e.g. a folded
+                // conditional resolved to the other leg): the trace ends
+                // here.
                 guest_insns += 1;
-                constituents += 1;
-                visited.push(target);
-                va = target;
-                page_va = target & !0xFFF;
-                page_pa = target_pa & !0xFFF;
-                if !pages.contains(&page_pa) {
-                    pages.push(page_pa);
+                va += 4;
+                break;
+            }
+            Step::Close(target) => {
+                let first = starts
+                    .iter()
+                    .find(|s| s.va == target)
+                    .expect("closed target was traced");
+                let insns_before = first.guest_insns_before;
+                let label = emitter.insert_label_at(first.lir_pos);
+                emitter.set_trace_back(target, label);
+                timers.time(Phase::Translate, || {
+                    if fp_mode == FpMode::Software {
+                        generate_maybe_soft_fp(&d, &mut emitter, isa);
+                    } else {
+                        isa.generate(&d, &mut emitter);
+                    }
+                });
+                guest_insns += 1;
+                if emitter.take_stitched_back() {
+                    back_edges = 1;
+                    loop_guest_insns = guest_insns - insns_before;
+                } else {
+                    // The generator resolved to the non-loop leg without
+                    // stitching; the trace ends as an ordinary terminator
+                    // (the stray loop label is harmless).
+                    va += 4;
                 }
-                block_start_pa = target_pa;
-                block_start_va = target;
-                continue;
+                break;
             }
-            // The generator terminated without stitching (e.g. a folded
-            // conditional resolved to the other leg): the trace ends here.
-            guest_insns += 1;
-            va += 4;
-            break;
-        }
-
-        let end = timers.time(Phase::Translate, || {
-            let end = if fp_mode == FpMode::Software {
-                generate_maybe_soft_fp(&d, &mut emitter, isa)
-            } else {
-                isa.generate(&d, &mut emitter)
-            };
-            if !end {
-                emitter.inc_pc(4);
+            Step::Plain => {
+                let end = timers.time(Phase::Translate, || {
+                    let end = if fp_mode == FpMode::Software {
+                        generate_maybe_soft_fp(&d, &mut emitter, isa)
+                    } else {
+                        isa.generate(&d, &mut emitter)
+                    };
+                    if !end {
+                        emitter.inc_pc(4);
+                    }
+                    end
+                });
+                guest_insns += 1;
+                va += 4;
+                if end || guest_insns >= max_insns {
+                    break;
+                }
             }
-            end
-        });
-        guest_insns += 1;
-        va += 4;
-        if end || guest_insns >= max_insns {
-            break;
         }
     }
 
-    if constituents < 2 {
+    if constituents < 2 && back_edges == 0 {
         return None;
     }
 
@@ -335,6 +455,17 @@ pub fn form_region(
     let (code, encoded, elided) = dbt::finish_translation(timers, lir, run_opt);
     timers.blocks += 1;
     timers.guest_insns += guest_insns as u64;
+
+    // Copies of the loop body stitched (header occurrences); 1 when no loop
+    // was peeled or closed.
+    let unroll_copies = loop_header
+        .map(|h| visited.iter().filter(|v| **v == h).count())
+        .unwrap_or(1);
+    // Pro-rated eliminated-LIR share of the looping portion, credited per
+    // back-edge transfer by the dynamic instructions-saved accounting.
+    let loop_elided_insns = (elided * loop_guest_insns)
+        .checked_div(guest_insns)
+        .unwrap_or(0);
 
     Some(Region {
         guest_phys: entry_pa,
@@ -349,7 +480,10 @@ pub fn form_region(
         constituents,
         pages,
         ctx_gen,
-        unroll: visited.iter().filter(|v| **v == entry_pc).count(),
+        unroll: unroll_copies,
+        back_edges,
+        loop_guest_insns,
+        loop_elided_insns,
     })
 }
 

@@ -48,26 +48,40 @@
 //! profile input that drives multi-constituent region formation in the
 //! dispatcher.
 //!
-//! # Multi-constituent regions
+//! # Multi-constituent and looping regions
 //!
 //! The region former (see `captive::translator`) re-decodes a hot chained
 //! path as one translation: direct jumps and fallthroughs become internal
-//! [`hvm::MachInsn::TraceEdge`] transfers, the off-trace leg of an interior
-//! conditional becomes a side-exit stub restoring precise guest PC state,
-//! and a *single-block self-loop* is unrolled by stitching several peeled
-//! copies of the body back to back (the loop-back conditional of each peel
-//! is a side exit, so leaving the loop mid-region is exact).  The resulting
-//! region is inserted through the ordinary [`CodeCache::insert`], replacing
-//! the plain one-constituent region at the same key — chain links into the
-//! replaced region die with its `Arc`, and the next transfer re-resolves to
-//! the richer translation.
+//! [`hvm::MachInsn::TraceEdge`] transfers, and the off-trace leg of an
+//! interior conditional becomes a side-exit stub restoring precise guest PC
+//! state.  A back edge to an already-traced constituent closes as a
+//! **region-internal backward transfer** ([`hvm::MachInsn::BackEdge`] to a
+//! label bound at the target's first constituent), making the region
+//! *looping*: a hot loop — single- or multi-block body, with up to
+//! `unroll` peeled copies — iterates entirely inside translated code, and
+//! only cold legs and the loop exit return to the dispatcher.  The
+//! resulting region is inserted through the ordinary [`CodeCache::insert`],
+//! replacing the plain one-constituent region at the same key — chain links
+//! into the replaced region die with its `Arc`, and the next transfer
+//! re-resolves to the richer translation.
 //!
-//! **Generation gate.** A multi-constituent region stitches a *virtual*
-//! control-flow path across pages, so it is only returned by
-//! [`CodeCache::get`] while the current context generation matches its
-//! formation stamp; a one-constituent region is valid in every generation
-//! (its key already pins the physical entry).  Stale multi-constituent
-//! regions are counted as lookup misses and are swept wholesale by
+//! **Back-edge rules.** The back-edge is a *virtual* control transfer
+//! decided at formation time, so a looping region obeys three invariants:
+//! its loop label corresponds to a real constituent entry (the back-edge's
+//! folded PC update makes guest state precise at every iteration
+//! boundary); the interpreter polls the runtime at each back-edge so
+//! pending events (self-modifying code, queued guest events) bound the
+//! stale-execution window to the current iteration; and trips per entry
+//! are capped (`hvm::Machine::loop_trip_limit`), the loop *yielding* to
+//! the dispatcher with precise PC so block budgets still progress on
+//! long-running or infinite guest loops.
+//!
+//! **Generation gate.** A multi-constituent or looping region embeds
+//! virtual control-flow decisions ([`Region::gated`]), so it is only
+//! returned by [`CodeCache::get`] while the current context generation
+//! matches its formation stamp; a plain one-constituent region is valid in
+//! every generation (its key already pins the physical entry).  Stale
+//! gated regions are counted as lookup misses and are swept wholesale by
 //! [`CodeCache::evict_stale_regions`] the first time the dispatcher runs
 //! after a generation bump.
 //!
@@ -75,7 +89,9 @@
 //! constituents occupy; self-modifying code on *any* of them discards the
 //! region via [`CodeCache::invalidate_phys_page`], which also bumps the
 //! epoch so dispatcher-held references die.  There is no separate path for
-//! multi-constituent regions — the page list is simply longer.
+//! multi-constituent or looping regions — the page list is simply longer,
+//! and a write landing *while the loop is executing* takes effect at the
+//! next back-edge poll rather than waiting for the loop to drain.
 //!
 //! # Lookup statistics
 //!
@@ -183,6 +199,9 @@ pub struct RegionProfile {
     pub guest_insns: u64,
     /// Constituent basic blocks in the region (1 = plain block).
     pub constituents: u64,
+    /// Back-edge transfers taken inside this region's entries (loop trips
+    /// that never touched the dispatcher; 0 for non-looping regions).
+    pub backedge_trips: u64,
     cycles: [u64; 2],
     executions: [u64; 2],
 }
@@ -247,9 +266,24 @@ pub struct Region {
     /// regions stitch a virtual control-flow path and are only dispatched
     /// while this matches; one-constituent regions ignore it.
     pub ctx_gen: u64,
-    /// Copies of the entry block stitched by self-loop unrolling (1 = not
-    /// unrolled; 2..=N for a peeled single-block self-loop).
+    /// Copies of the loop body stitched by unrolling (1 = not unrolled;
+    /// 2..=N for a peeled loop — single- or multi-block).
     pub unroll: usize,
+    /// Region-internal back-edges closed by the former (0 or 1).  A looping
+    /// region iterates entirely inside translated code: the loop-back is a
+    /// [`hvm::MachInsn::BackEdge`] to an internal label, and only cold legs
+    /// and the loop exit return to the dispatcher (through side-exit stubs
+    /// with precise PC).
+    pub back_edges: usize,
+    /// Guest instructions in the looping portion (the constituents from the
+    /// loop header's first copy through the closing branch): the guest
+    /// retires this many *additional* instructions per back-edge transfer
+    /// taken, on top of the per-entry `guest_insns`.
+    pub loop_guest_insns: usize,
+    /// Eliminated-LIR share of the looping portion (pro-rated from
+    /// `elided_insns` by guest-instruction weight): credited once per
+    /// back-edge transfer by the dynamic instructions-saved accounting.
+    pub loop_elided_insns: usize,
 }
 
 impl Region {
@@ -261,10 +295,17 @@ impl Region {
         }
     }
 
-    /// True when the region stitches more than one guest basic block (and
-    /// is therefore subject to the context-generation gate).
+    /// True when the region stitches more than one guest basic block.
     pub fn is_multi(&self) -> bool {
         self.constituents > 1
+    }
+
+    /// True when the region embeds a *virtual* control-flow decision made at
+    /// formation time — a stitched multi-constituent path or a loop closed
+    /// by an internal back-edge — and is therefore subject to the
+    /// context-generation gate in [`CodeCache::get`].
+    pub fn gated(&self) -> bool {
+        self.is_multi() || self.back_edges > 0
     }
 
     /// Guest physical pages covered by a straight-line span of `insns`
@@ -414,7 +455,7 @@ impl CodeCache {
         let found = self
             .regions
             .get(&key)
-            .filter(|r| !r.is_multi() || r.ctx_gen == ctx_gen);
+            .filter(|r| !r.gated() || r.ctx_gen == ctx_gen);
         match found {
             Some(r) => {
                 self.hits.set(self.hits.get() + 1);
@@ -477,7 +518,7 @@ impl CodeCache {
     pub fn evict_stale_regions(&mut self, ctx_gen: u64) -> usize {
         let before = self.regions.len();
         self.regions
-            .retain(|_, r| !r.is_multi() || r.ctx_gen == ctx_gen);
+            .retain(|_, r| !r.gated() || r.ctx_gen == ctx_gen);
         let removed = before - self.regions.len();
         self.evicted_stale_regions
             .set(self.evicted_stale_regions.get() + removed as u64);
@@ -560,6 +601,9 @@ mod tests {
             pages: Region::span_pages(at, insns),
             ctx_gen: 0,
             unroll: 1,
+            back_edges: 0,
+            loop_guest_insns: 0,
+            loop_elided_insns: 0,
         }
     }
 
@@ -806,6 +850,26 @@ mod tests {
         );
         // Sweeping again with the same generation is a no-op.
         assert_eq!(c.evict_stale_regions(2), 0);
+    }
+
+    #[test]
+    fn looping_regions_are_gated_even_with_one_constituent() {
+        // A self-loop closed at unroll 1 has a single constituent but still
+        // embeds a virtual control-flow decision (the back-edge targets the
+        // entry's virtual address): it must be generation-gated and swept
+        // like any stitched trace.
+        let mut c = CodeCache::new(CacheIndex::GuestPhysical);
+        let looping = Region {
+            back_edges: 1,
+            loop_guest_insns: 3,
+            ctx_gen: 4,
+            ..block_with_exit(0x1000, 3, BlockExit::Jump { target: 0x1000 })
+        };
+        assert!(looping.gated());
+        c.insert(looping);
+        assert!(c.get(key(0x1000, 0x1000), 4).is_some());
+        assert!(c.get(key(0x1000, 0x1000), 5).is_none(), "stale generation");
+        assert_eq!(c.evict_stale_regions(5), 1, "stale looping region swept");
     }
 
     #[test]

@@ -248,6 +248,18 @@ pub struct Emitter {
     trace_next: Option<u64>,
     /// Set when the last terminator was stitched instead of ending the block.
     stitched: bool,
+    /// Back-edge stitching mode (looping regions): when the next direct
+    /// terminator targets this VA, the loop closes *inside* the region — the
+    /// loop leg becomes a [`LirInsn::BackEdge`] to the label bound at the
+    /// target's first constituent, the exit leg of a conditional becomes a
+    /// side-exit stub.
+    trace_back: Option<(u64, u32)>,
+    /// Set when the last terminator closed as a region-internal back-edge.
+    stitched_back: bool,
+    /// Out-of-line side-exit stubs accumulated by stitched conditionals:
+    /// (label, off-trace PC).  Emitted after the main stream by
+    /// [`Emitter::finish`] so the hot path pays only the guarding `Jcc`.
+    pending_stubs: Vec<(u32, u64)>,
     stats: EmitStats,
 }
 
@@ -271,6 +283,9 @@ impl Emitter {
             exit: None,
             trace_next: None,
             stitched: false,
+            trace_back: None,
+            stitched_back: false,
+            pending_stubs: Vec::new(),
             stats: EmitStats::default(),
         }
     }
@@ -348,6 +363,56 @@ impl Emitter {
     /// by the superblock former for page-crossing fallthrough edges).
     pub fn trace_edge(&mut self) {
         self.emit(LirInsn::TraceEdge);
+    }
+
+    // -- back-edge stitching (looping regions) -------------------------------
+
+    /// Arms back-edge stitching for the next generated instruction: a direct
+    /// terminator whose loop-side target is `va` closes the loop inside the
+    /// region with a [`LirInsn::BackEdge`] to `label` instead of ending the
+    /// trace.
+    pub fn set_trace_back(&mut self, va: u64, label: u32) {
+        self.trace_back = Some((va, label));
+        self.stitched_back = false;
+    }
+
+    /// Disarms back-edge stitching and reports whether the last terminator
+    /// closed as a region-internal back-edge.
+    pub fn take_stitched_back(&mut self) -> bool {
+        self.trace_back = None;
+        self.stitched_back
+    }
+
+    /// Retroactively binds a fresh label at LIR position `pos` (the start of
+    /// an already-emitted constituent), returning its id.  The region former
+    /// calls this when a trace closes a back-edge: the loop header is only
+    /// known to *be* a loop header once the back-edge is reached, so the
+    /// label is inserted after the fact.  Positions recorded after `pos`
+    /// shift by one; the former closes the trace immediately after, so no
+    /// stale positions survive.
+    pub fn insert_label_at(&mut self, pos: usize) -> u32 {
+        let id = self.new_label();
+        debug_assert!(pos <= self.lir.len());
+        self.lir.insert(pos, LirInsn::Label { id });
+        self.stats.lir_insns += 1;
+        id
+    }
+
+    /// Current length of the emitted LIR stream (used by the region former
+    /// to record constituent start positions for back-edge labels).
+    pub fn lir_pos(&self) -> usize {
+        self.lir.len()
+    }
+
+    /// Closes a loop: emits the combined PC-update-and-backward-jump to the
+    /// armed back-edge label and ends the block (the trace cannot continue
+    /// past a closed loop — the loop now iterates inside the region and only
+    /// leaves through side exits).
+    fn close_back_edge(&mut self, pc: u64, label: u32) {
+        self.emit(LirInsn::BackEdge { pc, label });
+        self.stitched_back = true;
+        self.trace_back = None;
+        self.end_of_block = true;
     }
 
     /// Stitches a direct transfer to `target`: the PC is updated for precise
@@ -937,6 +1002,18 @@ impl Emitter {
     /// chaining candidate), a dynamic one an indirect branch.
     pub fn store_pc(&mut self, value: NodeId) {
         if let Some(c) = self.as_const(value) {
+            if let Some((back_va, label)) = self.trace_back {
+                if back_va == c {
+                    // Unconditional loop-back: the region iterates internally
+                    // from here on.  The Jump exit metadata still lets a
+                    // coincident side exit to the header chain.
+                    if self.exit.is_none() {
+                        self.exit = Some(BlockExit::Jump { target: c });
+                    }
+                    self.close_back_edge(c, label);
+                    return;
+                }
+            }
             if self.trace_next == Some(c) {
                 self.stitch_to(c);
                 return;
@@ -960,6 +1037,15 @@ impl Emitter {
     pub fn branch_cond(&mut self, cond: NodeId, taken: u64, fallthrough: u64) {
         if let Some(c) = self.as_const(cond) {
             let target = if c != 0 { taken } else { fallthrough };
+            if let Some((back_va, label)) = self.trace_back {
+                if back_va == target {
+                    if self.exit.is_none() {
+                        self.exit = Some(BlockExit::Jump { target });
+                    }
+                    self.close_back_edge(target, label);
+                    return;
+                }
+            }
             if self.trace_next == Some(target) {
                 self.stitch_to(target);
                 return;
@@ -971,30 +1057,60 @@ impl Emitter {
             self.set_end_of_block();
             return;
         }
-        if let Some(next) = self.trace_next {
-            if next == taken || next == fallthrough {
-                // Stitched conditional: the on-trace leg sets the PC and
-                // falls through to the next constituent; the off-trace leg is
-                // a side-exit stub (PC set to the off-trace target, then a
-                // return to the dispatcher with precise guest state).
-                let (off, on_cond) = if next == taken {
-                    (fallthrough, Cond::Ne)
+        if let Some((back_va, label)) = self.trace_back {
+            if back_va == taken || back_va == fallthrough {
+                // Loop-closing conditional: the loop leg becomes the
+                // region-internal back-edge, the exit leg an out-of-line
+                // side-exit stub — the hot path per iteration is just the
+                // test, the not-taken guard and the back-edge itself.  The
+                // Branch exit metadata lets the dispatcher chain the loop
+                // exit like any other conditional leg.
+                let (off, leave_cond) = if back_va == taken {
+                    (fallthrough, Cond::Eq)
                 } else {
-                    (taken, Cond::Eq)
+                    (taken, Cond::Ne)
                 };
+                if self.exit.is_none() {
+                    self.exit = Some(BlockExit::Branch { taken, fallthrough });
+                }
                 let cv = self.eval_to_gpr(cond);
-                let on_label = self.new_label();
+                let stub = self.new_label();
                 self.emit(LirInsn::Test {
                     a: cv,
                     b: LirOperand::Vreg(cv),
                 });
-                self.emit(LirInsn::SetPcImm { imm: off });
                 self.emit(LirInsn::Jcc {
-                    cond: on_cond,
-                    label: on_label,
+                    cond: leave_cond,
+                    label: stub,
                 });
-                self.emit(LirInsn::Ret);
-                self.bind_label(on_label);
+                self.pending_stubs.push((stub, off));
+                self.close_back_edge(back_va, label);
+                return;
+            }
+        }
+        if let Some(next) = self.trace_next {
+            if next == taken || next == fallthrough {
+                // Stitched conditional: the on-trace leg falls through to the
+                // next constituent; the off-trace leg jumps to an out-of-line
+                // side-exit stub (PC set to the off-trace target, then a
+                // return to the dispatcher with precise guest state), so the
+                // hot path never executes the stub's PC materialisation.
+                let (off, leave_cond) = if next == taken {
+                    (fallthrough, Cond::Eq)
+                } else {
+                    (taken, Cond::Ne)
+                };
+                let cv = self.eval_to_gpr(cond);
+                let stub = self.new_label();
+                self.emit(LirInsn::Test {
+                    a: cv,
+                    b: LirOperand::Vreg(cv),
+                });
+                self.emit(LirInsn::Jcc {
+                    cond: leave_cond,
+                    label: stub,
+                });
+                self.pending_stubs.push((stub, off));
                 self.stitch_to(next);
                 return;
             }
@@ -1102,10 +1218,17 @@ impl Emitter {
         }
     }
 
-    /// Finishes the block: appends the dispatcher return and hands back the
-    /// accumulated low-level IR.
+    /// Finishes the block: appends the dispatcher return, then the
+    /// out-of-line side-exit stubs accumulated by stitched conditionals
+    /// (each a label, the off-trace PC materialisation and a return), and
+    /// hands back the accumulated low-level IR.
     pub fn finish(mut self) -> Vec<LirInsn> {
         self.lir.push(LirInsn::Ret);
+        for (label, off) in std::mem::take(&mut self.pending_stubs) {
+            self.lir.push(LirInsn::Label { id: label });
+            self.lir.push(LirInsn::SetPcImm { imm: off });
+            self.lir.push(LirInsn::Ret);
+        }
         self.lir
     }
 

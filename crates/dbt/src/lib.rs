@@ -71,6 +71,7 @@ pub fn finish_translation(
         let stats = timers.time(Phase::RegAlloc, || opt::optimize(&mut lir));
         timers.opt_dead_stores += stats.dead_stores as u64;
         timers.opt_forwarded_loads += stats.forwarded_loads as u64;
+        timers.opt_partial_forwarded += stats.partial_forwarded as u64;
         timers.opt_copies_folded += stats.copies_folded as u64;
     }
     let allocation = timers.time(Phase::RegAlloc, || regalloc::allocate(&lir));

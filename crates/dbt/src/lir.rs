@@ -241,6 +241,11 @@ pub enum LirInsn {
     TlbFlushPcid,
     /// Intra-superblock constituent boundary (stitched block transition).
     TraceEdge,
+    /// Region-internal backward transfer: sets the guest PC to `pc` and
+    /// jumps back to `label` (bound at the loop header's first constituent).
+    /// The loop-back edge of a looping region; lowers to
+    /// [`hvm::MachInsn::BackEdge`].
+    BackEdge { pc: u64, label: u32 },
 }
 
 /// Scratch registers reserved for spill handling and special lowering;
@@ -490,10 +495,15 @@ impl LirInsn {
     /// * **Helper calls**: helpers read and write the register file directly
     ///   (exception delivery, `ERET`, system-register notification).
     /// * **Block exits and intra-block control flow** (`Ret`, `Jmp`, `Jcc`,
-    ///   `Label`): a `Ret` mid-block is a superblock side-exit stub, and the
-    ///   side-exit invariant requires every slot to be architecturally
-    ///   current there; labels/jumps are join points the block-scoped passes
-    ///   do not trace through.  [`LirInsn::TraceEdge`] is deliberately *not*
+    ///   `Label`, `BackEdge`): a `Ret` mid-block is a superblock side-exit
+    ///   stub, and the side-exit invariant requires every slot to be
+    ///   architecturally current there; labels/jumps are join points the
+    ///   block-scoped passes do not trace through.  A `BackEdge` is the
+    ///   loop-back of a looping region: treating it (and the loop-header
+    ///   `Label`) as an observer is what makes the slot passes *loop-sound*
+    ///   — every slot is pinned architecturally current across the
+    ///   back-edge, so iteration N's state is exact when iteration N+1 (or a
+    ///   side exit) reads it.  [`LirInsn::TraceEdge`] is deliberately *not*
     ///   an observer — it marks a stitched constituent boundary inside one
     ///   superblock, which is exactly where cross-block elimination pays.
     /// * **Ports, interrupts, syscalls, TLB flushes**: they leave the
@@ -517,6 +527,51 @@ impl LirInsn {
             | LirInsn::Ret
             | LirInsn::Jmp { .. }
             | LirInsn::Jcc { .. }
+            | LirInsn::Label { .. }
+            | LirInsn::BackEdge { .. }
+            | LirInsn::Int { .. }
+            | LirInsn::Out { .. }
+            | LirInsn::In { .. }
+            | LirInsn::Syscall
+            | LirInsn::TlbFlushAll
+            | LirInsn::TlbFlushPcid => true,
+            _ => false,
+        }
+    }
+
+    /// True when this instruction can *change* guest register-file state (or
+    /// make register/slot contents untrackable) — the invalidation set for
+    /// value-tracking passes (store-to-load forwarding, redundant-load
+    /// reuse).  Strictly smaller than [`LirInsn::observes_regfile`]: an
+    /// instruction that can only *fault* (a guest-memory load) pins live
+    /// stores for fault precision, but it cannot rewrite a slot, so a value
+    /// already known to be in a register is still that value afterwards.
+    ///
+    /// The invalidators:
+    ///
+    /// * **helper calls, interrupts, port I/O, syscalls, TLB flushes** — the
+    ///   hypervisor may write the register file;
+    /// * **guest-memory stores** (computed address): in this model the
+    ///   register file is host-mapped, so an arbitrary store could alias a
+    ///   slot;
+    /// * **indexed regfile stores and `Lea` of a regfile address** —
+    ///   dynamic slot addressing / address escapes;
+    /// * **`Label`** — a join point: another incoming path may leave
+    ///   different register/slot state; conversely `Jcc`/`Jmp`/`BackEdge`
+    ///   and `TraceEdge` change no state, so facts survive onto the
+    ///   fall-through path;
+    /// * **`Ret`** — conservative hygiene at side exits (the following stub
+    ///   label would clear anyway).
+    pub fn invalidates_regfile_values(&self) -> bool {
+        match self {
+            LirInsn::Store { addr, .. }
+            | LirInsn::StoreImm { addr, .. }
+            | LirInsn::StoreXmm { addr, .. } => {
+                matches!(addr.base, LirBase::Vreg(_)) || addr.index.is_some()
+            }
+            LirInsn::Lea { addr, .. } => matches!(addr.base, LirBase::RegFile),
+            LirInsn::CallHelper { .. }
+            | LirInsn::Ret
             | LirInsn::Label { .. }
             | LirInsn::Int { .. }
             | LirInsn::Out { .. }
@@ -679,6 +734,10 @@ mod tests {
         let observer = [
             LirInsn::CallHelper { helper: 1 },
             LirInsn::Ret,
+            LirInsn::BackEdge {
+                pc: 0x1000,
+                label: 0,
+            },
             LirInsn::Jmp { label: 0 },
             LirInsn::Jcc {
                 cond: Cond::Eq,

@@ -358,10 +358,13 @@ impl<'a> Lowerer<'a> {
                 });
             }
             LirInsn::IncPc { imm } => {
-                self.out.push(MachInsn::Alu {
-                    op: hvm::AluOp::Add,
+                // Flag-preserving PC advance: `lea imm(%r15), %r15` rather
+                // than an `add`, so a (possibly coalesced) PC update can sit
+                // between a flag writer and its reader without clobbering
+                // the host flags.
+                self.out.push(MachInsn::Lea {
                     dst: Gpr::R15,
-                    src: Operand::Imm(*imm),
+                    addr: MemRef::base_disp(Gpr::R15, *imm as i32),
                 });
             }
             LirInsn::SetArg { index, src } => {
@@ -500,6 +503,10 @@ impl<'a> Lowerer<'a> {
             LirInsn::TlbFlushAll => self.out.push(MachInsn::TlbFlushAll),
             LirInsn::TlbFlushPcid => self.out.push(MachInsn::TlbFlushPcid),
             LirInsn::TraceEdge => self.out.push(MachInsn::TraceEdge),
+            LirInsn::BackEdge { pc, label } => {
+                self.fixups.push((self.out.len(), *label));
+                self.out.push(MachInsn::BackEdge { pc: *pc, target: 0 });
+            }
         }
     }
 }
@@ -521,6 +528,7 @@ pub fn lower(lir: &[LirInsn], alloc: &Allocation) -> Vec<MachInsn> {
         match &mut l.out[pos] {
             MachInsn::Jmp { target } => *target = rel,
             MachInsn::Jcc { target, .. } => *target = rel,
+            MachInsn::BackEdge { target, .. } => *target = rel,
             _ => {}
         }
     }
@@ -570,13 +578,16 @@ mod tests {
         let alloc = allocate(&lir);
         let code = lower(&lir, &alloc);
         assert!(matches!(code.last(), Some(MachInsn::Ret)));
-        // The PC increment lowers onto %r15 directly.
+        // The PC increment lowers onto %r15 directly, flag-preserving.
         assert!(code.iter().any(|i| matches!(
             i,
-            MachInsn::Alu {
+            MachInsn::Lea {
                 dst: Gpr::R15,
-                src: Operand::Imm(4),
-                ..
+                addr: MemRef {
+                    base: Gpr::R15,
+                    index: None,
+                    disp: 4,
+                },
             }
         )));
         // Register-file accesses use %rbp as base.

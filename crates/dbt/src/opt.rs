@@ -6,15 +6,24 @@
 //! program can observe: every flag-setting guest instruction stores NZCV even
 //! when the next one overwrites it unread, and values round-trip through the
 //! register file (`%rbp`) between adjacent guest instructions.  This module
-//! runs three passes over the finished LIR of one translation unit (a
-//! region: a plain basic block, a stitched trace, or an unrolled
-//! self-loop), the slot-aware ones using the regfile-slot metadata
-//! classified by [`LirInsn::regfile_store`]/[`LirInsn::regfile_load`]:
+//! runs four passes over the finished LIR of one translation unit (a
+//! region: a plain basic block, a stitched trace, or a looping region),
+//! the slot-aware ones using the regfile-slot metadata classified by
+//! [`LirInsn::regfile_store`]/[`LirInsn::regfile_load`]:
 //!
-//! 1. **Store-to-load forwarding** (forward pass): a 64-bit regfile load
-//!    whose slot was stored earlier in the unit is rewritten to reuse the
-//!    stored virtual register (or immediate), cutting the round-trip through
-//!    the register file.
+//! 0. **Lazy-PC batching**: per-instruction `IncPc` updates are deferred to
+//!    the next point that can observe the guest PC (faulting accesses,
+//!    helper calls, control flow) and discarded at absolute PC writes —
+//!    the deferred-PC optimisation every production DBT performs.
+//! 1. **Store-to-load forwarding and redundant-load reuse** (forward
+//!    pass): a regfile load whose slot value is already available — from an
+//!    earlier store *or* an earlier load — is rewritten to reuse the
+//!    virtual register (or immediate), cutting the round-trip through the
+//!    register file.  A *32-bit* load whose low-half slot was covered by
+//!    a 64-bit store forwards too, with the mask made explicit (a `MovZx`
+//!    of the stored register, or the truncated immediate) — the W-register
+//!    read of an X-register write, counted separately as
+//!    [`OptStats::partial_forwarded`].
 //! 2. **Copy propagation** (forward pass): pure-source uses of a `MovReg`
 //!    destination are rewritten to the copy's origin, so the `MovReg`s pass
 //!    1 just produced (and the emitter's own copy chains) become dead and
@@ -27,8 +36,12 @@
 //!
 //! # Safety conditions — what counts as an observer of a regfile slot
 //!
-//! Both passes reset their state at every instruction for which
-//! [`LirInsn::observes_regfile`] holds:
+//! The dead-store pass resets its state at every instruction for which
+//! [`LirInsn::observes_regfile`] holds, and the value-tracking passes at
+//! every [`LirInsn::invalidates_regfile_values`] instruction (a strict
+//! subset: an instruction that can only *fault* — a guest-memory load —
+//! pins live stores for fault precision but cannot rewrite a slot, so
+//! known values survive it).  The observers:
 //!
 //! * **guest-memory accesses** (loads included) — they can fault, and fault
 //!   delivery must see a precise register file;
@@ -45,6 +58,20 @@
 //! [`LirInsn::TraceEdge`] is *not* an observer: it marks the boundary between
 //! stitched constituents inside one superblock, and the cross-constituent
 //! NZCV death across it is the main superblock payoff.
+//!
+//! # Loop soundness
+//!
+//! A looping region closes its loop with a [`LirInsn::BackEdge`] to a
+//! `Label` bound at the loop header.  Both are observers, so the slot
+//! passes *pin* every slot architecturally current across the back-edge:
+//! forwarding facts and coverage intervals meet the loop with empty state,
+//! which is the sound meet of "first entry" (nothing known) and "around the
+//! loop" (whatever iteration N left).  Iterating the passes to a cyclic
+//! fixpoint instead would require phi-style reasoning (a value forwarded
+//! around the back-edge is only available on the looping path, not on
+//! first entry) for a payoff the side-exit pinning mostly cancels; pinning
+//! keeps straight-line precision inside the body while staying exact at
+//! every iteration boundary, fault point and side exit.
 //!
 //! Forwarding additionally requires value identity: only exact
 //! 64-bit-to-64-bit slot matches are forwarded (partial-width forwarding
@@ -69,10 +96,17 @@ pub struct OptStats {
     pub dead_stores: u32,
     /// Regfile loads rewritten into register moves / immediates.
     pub forwarded_loads: u32,
+    /// Partial-width forwards (subset of `forwarded_loads`): 32-bit loads
+    /// satisfied by the low half of a 64-bit store with an explicit mask.
+    pub partial_forwarded: u32,
     /// Register-copy uses folded away by straight-line copy propagation
     /// (each is one operand rewritten through a `MovReg`; fully propagated
     /// copies are then swept by the allocator's iterative DCE).
     pub copies_folded: u32,
+    /// `IncPc` updates deleted by lazy-PC batching (deferred to the next
+    /// point that can observe the guest PC, or discarded at an absolute PC
+    /// write).
+    pub pc_coalesced: u32,
 }
 
 /// Runs the block-scoped passes over one translation unit, in order:
@@ -81,46 +115,183 @@ pub struct OptStats {
 /// forwarding just produced), then dead-store elimination.
 pub fn optimize(lir: &mut Vec<LirInsn>) -> OptStats {
     let mut stats = OptStats::default();
+    coalesce_pc_updates(lir, &mut stats);
     forward_stores_to_loads(lir, &mut stats);
     propagate_copies(lir, &mut stats);
     eliminate_dead_stores(lir, &mut stats);
     stats
 }
 
-/// The value a tracked slot holds.
+/// Lazy-PC batching (pass 0): the emitter advances the guest PC after every
+/// guest instruction, but the PC is only *observable* at points that can
+/// deliver it — faulting memory accesses, helper calls and other hypervisor
+/// round-trips, explicit PC reads, and control flow.  Pending `IncPc`
+/// increments are therefore accumulated and materialised as one update at
+/// the next such point, and discarded entirely when an absolute PC write
+/// (`SetPcImm`/`SetPcReg`/`BackEdge`) overwrites them first.  `IncPc`
+/// lowers to a flag-preserving `lea`, so a deferred update can sit between
+/// a flag writer and its reader.
+fn coalesce_pc_updates(lir: &mut Vec<LirInsn>, stats: &mut OptStats) {
+    let mut out = Vec::with_capacity(lir.len());
+    let mut pending: u64 = 0;
+    let mut pending_insns: u32 = 0;
+    for insn in lir.drain(..) {
+        match insn {
+            LirInsn::IncPc { imm } => {
+                pending = pending.wrapping_add(imm);
+                pending_insns += 1;
+                continue;
+            }
+            // Absolute PC writes: the pending increments can never be
+            // observed (every observation point below would have flushed
+            // them first).
+            LirInsn::SetPcImm { .. } | LirInsn::SetPcReg { .. } | LirInsn::BackEdge { .. } => {
+                stats.pc_coalesced += pending_insns;
+                pending = 0;
+                pending_insns = 0;
+                out.push(insn);
+                continue;
+            }
+            _ => {}
+        }
+        let observes_pc = insn.may_fault()
+            || matches!(
+                insn,
+                LirInsn::CallHelper { .. }
+                    | LirInsn::Int { .. }
+                    | LirInsn::In { .. }
+                    | LirInsn::Out { .. }
+                    | LirInsn::Syscall
+                    | LirInsn::TlbFlushAll
+                    | LirInsn::TlbFlushPcid
+                    | LirInsn::ReadPc { .. }
+                    | LirInsn::Ret
+                    | LirInsn::Jcc { .. }
+                    | LirInsn::Jmp { .. }
+                    | LirInsn::Label { .. }
+                    | LirInsn::TraceEdge
+            );
+        if observes_pc && pending != 0 {
+            // One batched update replaces `pending_insns` originals.
+            stats.pc_coalesced += pending_insns.saturating_sub(1);
+            out.push(LirInsn::IncPc { imm: pending });
+            pending = 0;
+            pending_insns = 0;
+        }
+        out.push(insn);
+    }
+    if pending != 0 {
+        stats.pc_coalesced += pending_insns.saturating_sub(1);
+        out.push(LirInsn::IncPc { imm: pending });
+    }
+    *lir = out;
+}
+
+/// The value a tracked slot holds.  `exact` records whether the register
+/// equals the slot's zero-extended content (a 64-bit store, or any
+/// zero-extending load) or only matches in its low `width` bits (a 32-bit
+/// store of a register whose upper half is arbitrary).
 #[derive(Debug, Clone, Copy)]
 enum Stored {
-    Reg(Vreg),
+    Reg {
+        v: Vreg,
+        exact: bool,
+    },
+    /// Immediate, pre-masked to the entry's width.
     Imm(u64),
 }
 
-/// Forward pass: rewrite 64-bit regfile loads whose slot value is still
-/// available in a virtual register (or as an immediate).
+/// Forward pass: rewrite regfile loads whose slot value is still available
+/// in a virtual register (or as an immediate).  Values become available from
+/// *stores* (classic store-to-load forwarding) and from earlier *loads*
+/// (redundant-load reuse -- the workhorse inside stitched and looping
+/// regions, where the same guest register is otherwise re-loaded in every
+/// constituent).  Facts die at [`LirInsn::invalidates_regfile_values`]
+/// instructions; in particular a guest-memory *load* (which can fault but
+/// cannot rewrite a slot) keeps them alive, which is what lets forwarding
+/// survive the guest loads inside a hot loop body.
 fn forward_stores_to_loads(lir: &mut [LirInsn], stats: &mut OptStats) {
-    // offset -> (width, value); only exact-match U64 entries are recorded, so
-    // the width is kept purely for overlap checks against wider stores.
+    // offset -> (width, value): `value` describes the slot's content over
+    // `width` bytes, per the `Stored` semantics above.
     let mut slots: HashMap<i32, (MemSize, Stored)> = HashMap::new();
     for insn in lir.iter_mut() {
+        // The fact this instruction newly establishes, installed only after
+        // the invalidation steps below (so it is not killed by its own
+        // definition).
+        let mut new_fact: Option<(i32, MemSize, Stored)> = None;
         // Rewrite first: the load observes slot state from *before* this
         // instruction executes.
         if let LirInsn::Load {
             dst,
             addr,
-            size: MemSize::U64,
+            size: size @ (MemSize::U32 | MemSize::U64),
         } = *insn
         {
             if let Some(acc) = insn.regfile_load() {
                 debug_assert_eq!(acc.offset, addr.disp);
-                if let Some(&(MemSize::U64, stored)) = slots.get(&acc.offset) {
-                    *insn = match stored {
-                        Stored::Reg(src) => LirInsn::MovReg { dst, src },
-                        Stored::Imm(imm) => LirInsn::MovImm { dst, imm },
-                    };
-                    stats.forwarded_loads += 1;
+                match (slots.get(&acc.offset).copied(), size) {
+                    // Exact-width register match: the tracked value IS the
+                    // loaded value (U64 entries are always exact; a U32
+                    // entry must be, or the upper bits would differ).
+                    (Some((MemSize::U64, Stored::Reg { v, .. })), MemSize::U64)
+                    | (Some((MemSize::U32, Stored::Reg { v, exact: true })), MemSize::U32) => {
+                        *insn = LirInsn::MovReg { dst, src: v };
+                        stats.forwarded_loads += 1;
+                    }
+                    // Exact-width low-bits match (a 32-bit store of a
+                    // 64-bit register): the zero-extension is made explicit.
+                    (Some((MemSize::U32, Stored::Reg { v, exact: false })), MemSize::U32) => {
+                        *insn = LirInsn::MovZx {
+                            dst,
+                            src: v,
+                            size: MemSize::U32,
+                        };
+                        stats.forwarded_loads += 1;
+                        stats.partial_forwarded += 1;
+                    }
+                    // Partial width: a 32-bit load of a 64-bit slot's low
+                    // half (the W-register read of an X-register write)
+                    // forwards with the zero-extension mask made explicit.
+                    // Little-endian low half == same offset.
+                    (Some((MemSize::U64, Stored::Reg { v, .. })), MemSize::U32) => {
+                        *insn = LirInsn::MovZx {
+                            dst,
+                            src: v,
+                            size: MemSize::U32,
+                        };
+                        stats.forwarded_loads += 1;
+                        stats.partial_forwarded += 1;
+                    }
+                    (Some((MemSize::U64, Stored::Imm(imm))), MemSize::U64)
+                    | (Some((MemSize::U32, Stored::Imm(imm))), MemSize::U32) => {
+                        *insn = LirInsn::MovImm { dst, imm };
+                        stats.forwarded_loads += 1;
+                    }
+                    (Some((MemSize::U64, Stored::Imm(imm))), MemSize::U32) => {
+                        *insn = LirInsn::MovImm {
+                            dst,
+                            imm: imm & MemSize::U32.mask(),
+                        };
+                        stats.forwarded_loads += 1;
+                        stats.partial_forwarded += 1;
+                    }
+                    // Unforwardable (no entry, or an entry narrower than the
+                    // load): the load itself now makes the slot's value
+                    // available for later readers.
+                    _ => {
+                        new_fact = Some((
+                            acc.offset,
+                            size,
+                            Stored::Reg {
+                                v: dst,
+                                exact: true,
+                            },
+                        ));
+                    }
                 }
             }
         }
-        if insn.observes_regfile() {
+        if insn.invalidates_regfile_values() {
             slots.clear();
         } else if let Some(acc) = insn.regfile_store() {
             // Any overlapping byte is rewritten: drop stale entries.
@@ -130,25 +301,44 @@ fn forward_stores_to_loads(lir: &mut [LirInsn], stats: &mut OptStats) {
                     size: sz,
                 })
             });
-            if acc.size == MemSize::U64 {
-                match insn {
-                    LirInsn::Store { src, .. } => {
-                        slots.insert(acc.offset, (MemSize::U64, Stored::Reg(*src)));
-                    }
-                    LirInsn::StoreImm { imm, .. } => {
-                        slots.insert(acc.offset, (MemSize::U64, Stored::Imm(*imm)));
-                    }
-                    // A U64 StoreXmm writes the low lane of a vector value;
-                    // there is no cheap GPR move for it, so it only
-                    // invalidates.
-                    _ => {}
+            match (&*insn, acc.size) {
+                (LirInsn::Store { src, .. }, MemSize::U64) => {
+                    new_fact = Some((
+                        acc.offset,
+                        MemSize::U64,
+                        Stored::Reg {
+                            v: *src,
+                            exact: true,
+                        },
+                    ));
                 }
+                // A 32-bit store truncates: only the low bits match.
+                (LirInsn::Store { src, .. }, MemSize::U32) => {
+                    new_fact = Some((
+                        acc.offset,
+                        MemSize::U32,
+                        Stored::Reg {
+                            v: *src,
+                            exact: false,
+                        },
+                    ));
+                }
+                (LirInsn::StoreImm { imm, .. }, sz @ (MemSize::U32 | MemSize::U64)) => {
+                    new_fact = Some((acc.offset, sz, Stored::Imm(*imm & sz.mask())));
+                }
+                // A U64 StoreXmm writes the low lane of a vector value;
+                // there is no cheap GPR move for it, so it only invalidates.
+                // Narrower-than-32-bit stores likewise.
+                _ => {}
             }
         }
         // A redefined virtual register no longer holds the stored value
         // (two-address ALU/vector operations mutate in place).
         if let Some(d) = insn.def() {
-            slots.retain(|_, (_, s)| !matches!(s, Stored::Reg(v) if *v == d));
+            slots.retain(|_, (_, s)| !matches!(s, Stored::Reg { v, .. } if *v == d));
+        }
+        if let Some((off, width, value)) = new_fact {
+            slots.insert(off, (width, value));
         }
     }
 }
@@ -330,15 +520,16 @@ mod tests {
         let stats = optimize(&mut lir);
         // The load is forwarded (it reads v0), but the *observing* effect of
         // the original read no longer exists once forwarded — and then the
-        // first store is indeed covered.  Use a sized mismatch to pin the
-        // unforwarded case instead:
+        // first store is indeed covered.  Use an unforwardable offset to pin
+        // the unforwarded case instead:
         assert_eq!(stats.forwarded_loads, 1);
-        // Unforwardable load (different width) must keep the store alive.
+        // Unforwardable load (the *high* half of the stored slot — only the
+        // low half forwards partially) must keep the store alive.
         let mut lir2 = vec![
             store(0, NZCV),
             LirInsn::Load {
                 dst: v(1),
-                addr: LirMem::regfile(NZCV),
+                addr: LirMem::regfile(NZCV + 4),
                 size: MemSize::U32,
             },
             store(2, NZCV),
@@ -347,6 +538,100 @@ mod tests {
         let stats2 = optimize(&mut lir2);
         assert_eq!(stats2.forwarded_loads, 0);
         assert_eq!(stats2.dead_stores, 0, "an observed store must survive");
+    }
+
+    #[test]
+    fn partial_width_loads_forward_with_a_mask() {
+        // The W-register case: a 32-bit load of a slot a 64-bit store just
+        // wrote forwards as an explicit zero-extension of the stored value
+        // (or the truncated immediate).
+        let mut lir = vec![
+            store(0, 8),
+            LirInsn::Load {
+                dst: v(1),
+                addr: LirMem::regfile(8),
+                size: MemSize::U32,
+            },
+            LirInsn::StoreImm {
+                imm: 0xAAAA_BBBB_CCCC_DDDD,
+                addr: LirMem::regfile(16),
+                size: MemSize::U64,
+            },
+            LirInsn::Load {
+                dst: v(2),
+                addr: LirMem::regfile(16),
+                size: MemSize::U32,
+            },
+            LirInsn::Ret,
+        ];
+        let stats = optimize(&mut lir);
+        assert_eq!(stats.forwarded_loads, 2);
+        assert_eq!(stats.partial_forwarded, 2);
+        assert!(
+            lir.iter().any(|i| matches!(
+                i,
+                LirInsn::MovZx { dst, src, size: MemSize::U32 } if *dst == v(1) && *src == v(0)
+            )),
+            "the register case masks through MovZx"
+        );
+        assert!(
+            lir.iter()
+                .any(|i| matches!(i, LirInsn::MovImm { dst, imm: 0xCCCC_DDDD } if *dst == v(2))),
+            "the immediate case truncates at translation time"
+        );
+        assert!(!lir.iter().any(|i| matches!(i, LirInsn::Load { .. })));
+    }
+
+    #[test]
+    fn partial_forwarding_respects_width_and_offset_limits() {
+        // A 32-bit store does not satisfy a 64-bit load, and entries die at
+        // observers exactly like full-width ones.
+        let mut lir = vec![
+            LirInsn::Store {
+                src: v(0),
+                addr: LirMem::regfile(8),
+                size: MemSize::U32,
+            },
+            load(1, 8),
+            LirInsn::Ret,
+        ];
+        assert_eq!(optimize(&mut lir).forwarded_loads, 0);
+
+        let mut lir2 = vec![
+            store(0, 8),
+            LirInsn::CallHelper { helper: 1 },
+            LirInsn::Load {
+                dst: v(1),
+                addr: LirMem::regfile(8),
+                size: MemSize::U32,
+            },
+            LirInsn::Ret,
+        ];
+        assert_eq!(optimize(&mut lir2).forwarded_loads, 0);
+    }
+
+    #[test]
+    fn back_edges_pin_slots_like_any_observer() {
+        // Loop soundness: the BackEdge (and the loop-header label) are
+        // observers — a store before the back-edge survives even though the
+        // next iteration's store would cover it, and forwarding state never
+        // crosses the loop boundary.
+        let mut lir = vec![
+            LirInsn::Label { id: 0 },
+            load(1, NZCV),
+            store(0, NZCV),
+            LirInsn::BackEdge {
+                pc: 0x1000,
+                label: 0,
+            },
+            LirInsn::Ret,
+        ];
+        let stats = optimize(&mut lir);
+        assert_eq!(stats.dead_stores, 0, "the back-edge pins the store");
+        assert_eq!(
+            stats.forwarded_loads, 0,
+            "forwarding facts must not survive the loop boundary"
+        );
     }
 
     #[test]

@@ -7,17 +7,31 @@
 //! The algorithm favours speed over optimality — it is part of the
 //! JIT-latency budget measured in Fig. 20.
 //!
-//! Dead-code marking is *iterative*: a single backward liveness pass (which,
-//! with the forward-only control flow the emitter produces, reaches the same
-//! fixpoint a producer-reexamining worklist would) sweeps whole value chains
-//! — when a consumer dies, its producers die with it, so the chains feeding
-//! regfile stores deleted by [`crate::opt`] are removed too.  Host-flag
-//! producers (`Cmp`/`Test`/`FpCmp` and flag-setting ALU ops) are only kept
-//! while a later flag reader demands them, with conservative `true` demand
-//! at labels and unconditional jumps (flags may flow along edges the linear
-//! pass does not trace).  If the unit contains a *backward* jump the pass
-//! bails out to the original one-shot `use_count == 0` marking, which is
-//! correct for arbitrary control flow.
+//! Dead-code marking is *iterative*: backward liveness over virtual
+//! registers and host flags, run to a **fixpoint** over the unit's control
+//! flow.  Each backward pass records the live set and flag demand at every
+//! `Label`; jumps (`Jmp`, `Jcc`, and the looping regions' `BackEdge`) merge
+//! their target label's recorded state into their own live-out.  For the
+//! forward-only units plain blocks and stitched traces produce, one pass
+//! suffices; for *looping* units (a region whose loop closed as an internal
+//! back-edge) the passes repeat until the label states stop growing, so DCE
+//! and flag-demand tracking fire inside loops exactly as they do in
+//! straight-line code — a flag writer at the bottom of a loop body whose
+//! only reader sits at the top of the next iteration is kept, and an unused
+//! chain inside the body is swept whole.  When a consumer dies its producers
+//! die with it, so the chains feeding regfile stores deleted by
+//! [`crate::opt`] are removed too.  The states grow monotonically from
+//! bottom (nothing live, no demand), so the iteration converges to the
+//! least fixpoint — sound liveness for arbitrary intra-unit control flow.
+//! The historical one-shot `use_count == 0` marking survives only as a
+//! debug-build cross-check: everything it would kill, the fixpoint must
+//! kill too.
+//!
+//! Loops also bend the *live ranges* the linear scan consumes: a virtual
+//! register defined before a loop header and read inside the loop is live
+//! across the back-edge on every iteration, so its range is extended to the
+//! back-edge's position — otherwise the scan could hand its register to a
+//! loop-local value whose linear range looks disjoint.
 
 use crate::lir::{LirInsn, Vreg, VregClass, GPR_POOL};
 use hvm::{Gpr, Xmm};
@@ -59,101 +73,144 @@ struct Range {
     end: usize,
 }
 
-/// Iterative dead-code marking: backward liveness over virtual registers and
-/// host flags.  See the module docs for the rules and the backward-jump
-/// bail-out.
-fn mark_dead(lir: &[LirInsn]) -> Vec<bool> {
-    // Find label positions; a jump to a label at or before itself makes the
-    // single backward pass unsound (liveness would have to iterate), so fall
-    // back to the conservative one-shot marking.
-    let mut label_pos: HashMap<u32, usize> = HashMap::new();
-    for (i, insn) in lir.iter().enumerate() {
-        if let LirInsn::Label { id } = insn {
-            label_pos.insert(*id, i);
-        }
-    }
-    let has_backward_jump = lir.iter().enumerate().any(|(i, insn)| match insn {
-        LirInsn::Jmp { label } | LirInsn::Jcc { label, .. } => {
-            label_pos.get(label).is_some_and(|&p| p <= i)
-        }
-        _ => false,
-    });
-    if has_backward_jump {
-        return mark_dead_one_shot(lir);
-    }
+/// The liveness state recorded at a label: virtual registers live at the
+/// label plus whether the host flags are demanded there.  Grows
+/// monotonically across fixpoint passes.
+#[derive(Debug, Clone, Default)]
+struct LabelState {
+    live: HashSet<u32>,
+    flags: bool,
+}
 
+/// Iterative dead-code marking: backward liveness over virtual registers and
+/// host flags, repeated to a fixpoint over the unit's labels.  See the
+/// module docs for the rules.
+fn mark_dead(lir: &[LirInsn]) -> Vec<bool> {
+    let mut label_state: HashMap<u32, LabelState> = HashMap::new();
     let mut dead = vec![false; lir.len()];
-    let mut live: HashSet<u32> = HashSet::new();
-    // Whether some later kept instruction reads the host flags before a kept
-    // writer overwrites them.
-    let mut flags_demanded = false;
     let mut scratch = Vec::with_capacity(4);
-    for (i, insn) in lir.iter().enumerate().rev() {
-        let needed = match insn {
-            // Unconditional effects: memory, PC, control flow, calls and
-            // their argument setup, system operations, block structure.
-            LirInsn::Store { .. }
-            | LirInsn::StoreImm { .. }
-            | LirInsn::StoreXmm { .. }
-            | LirInsn::SetPcImm { .. }
-            | LirInsn::SetPcReg { .. }
-            | LirInsn::IncPc { .. }
-            | LirInsn::SetArg { .. }
-            | LirInsn::CallHelper { .. }
-            | LirInsn::Int { .. }
-            | LirInsn::Out { .. }
-            | LirInsn::In { .. }
-            | LirInsn::Syscall
-            | LirInsn::TlbFlushAll
-            | LirInsn::TlbFlushPcid
-            | LirInsn::TraceEdge
-            | LirInsn::Ret
-            | LirInsn::Jmp { .. }
-            | LirInsn::Jcc { .. }
-            | LirInsn::Label { .. } => true,
-            // Everything else lives only through its destination (or, for
-            // flag writers, through an outstanding flag demand) — except
-            // that a guest-memory *load* can fault, and the data abort is
-            // guest-visible even when the loaded value is dead.
-            _ => {
-                let def_live = insn.def().is_some_and(|d| live.contains(&d.id));
-                def_live || insn.may_fault() || (insn.writes_host_flags() && flags_demanded)
+    loop {
+        let mut changed = false;
+        let mut live: HashSet<u32> = HashSet::new();
+        // Whether some later kept instruction reads the host flags before a
+        // kept writer overwrites them.
+        let mut flags_demanded = false;
+        for (i, insn) in lir.iter().enumerate().rev() {
+            // Successor merge: control flow replaces or widens the linear
+            // state.  Forward targets were recorded earlier in this pass;
+            // backward targets (loop back-edges) carry the previous pass's
+            // state, which is what the outer fixpoint loop converges.
+            match insn {
+                LirInsn::Jmp { label } | LirInsn::BackEdge { label, .. } => {
+                    // The label is the sole successor.
+                    let s = label_state.get(label).cloned().unwrap_or_default();
+                    live = s.live;
+                    flags_demanded = s.flags;
+                }
+                LirInsn::Jcc { label, .. } => {
+                    // Successors: the fallthrough (current state) and the
+                    // label.
+                    if let Some(s) = label_state.get(label) {
+                        live.extend(s.live.iter().copied());
+                        flags_demanded |= s.flags;
+                    }
+                }
+                LirInsn::Ret => {
+                    // Nothing in this unit executes after a return to the
+                    // dispatcher; host flags are not guest state.
+                    live.clear();
+                    flags_demanded = false;
+                }
+                _ => {}
             }
-        };
-        if needed {
-            scratch.clear();
-            insn.uses(&mut scratch);
-            for u in &scratch {
-                live.insert(u.id);
+            let needed = match insn {
+                // Unconditional effects: memory, PC, control flow, calls and
+                // their argument setup, system operations, block structure.
+                LirInsn::Store { .. }
+                | LirInsn::StoreImm { .. }
+                | LirInsn::StoreXmm { .. }
+                | LirInsn::SetPcImm { .. }
+                | LirInsn::SetPcReg { .. }
+                | LirInsn::IncPc { .. }
+                | LirInsn::SetArg { .. }
+                | LirInsn::CallHelper { .. }
+                | LirInsn::Int { .. }
+                | LirInsn::Out { .. }
+                | LirInsn::In { .. }
+                | LirInsn::Syscall
+                | LirInsn::TlbFlushAll
+                | LirInsn::TlbFlushPcid
+                | LirInsn::TraceEdge
+                | LirInsn::BackEdge { .. }
+                | LirInsn::Ret
+                | LirInsn::Jmp { .. }
+                | LirInsn::Jcc { .. }
+                | LirInsn::Label { .. } => true,
+                // Everything else lives only through its destination (or, for
+                // flag writers, through an outstanding flag demand) — except
+                // that a guest-memory *load* can fault, and the data abort is
+                // guest-visible even when the loaded value is dead.
+                _ => {
+                    let def_live = insn.def().is_some_and(|d| live.contains(&d.id));
+                    def_live || insn.may_fault() || (insn.writes_host_flags() && flags_demanded)
+                }
+            };
+            if needed {
+                scratch.clear();
+                insn.uses(&mut scratch);
+                for u in &scratch {
+                    live.insert(u.id);
+                }
+                // Backward flag bookkeeping: a kept writer satisfies later
+                // demand; a kept reader creates demand for earlier writers.
+                if insn.writes_host_flags() {
+                    flags_demanded = false;
+                }
+                if insn.reads_host_flags() {
+                    flags_demanded = true;
+                }
             }
-            // Backward flag bookkeeping: a kept writer satisfies later
-            // demand; a kept reader creates demand for earlier writers.
-            if insn.writes_host_flags() {
-                flags_demanded = false;
+            dead[i] = !needed;
+            if let LirInsn::Label { id } = insn {
+                // Record the live-in of the label (grow-only merge); any
+                // growth means a jump somewhere may see a wider state and
+                // another pass is required.
+                let entry = label_state.entry(*id).or_default();
+                for v in &live {
+                    if entry.live.insert(*v) {
+                        changed = true;
+                    }
+                }
+                if flags_demanded && !entry.flags {
+                    entry.flags = true;
+                    changed = true;
+                }
             }
-            if insn.reads_host_flags() {
-                flags_demanded = true;
-            }
-            // Flags may flow along control-flow edges this linear pass does
-            // not trace; be conservative at joins and unconditional jumps.
-            if matches!(insn, LirInsn::Label { .. } | LirInsn::Jmp { .. }) {
-                flags_demanded = true;
-            }
-            if matches!(insn, LirInsn::Ret) {
-                // Host flags are not guest state; nothing beyond a return to
-                // the dispatcher can read them.
-                flags_demanded = false;
-            }
-        } else {
-            dead[i] = true;
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Debug cross-check against the historical one-shot marking: a pure
+    // instruction whose destination is read nowhere in the unit must be dead
+    // under the fixpoint too (the fixpoint can only kill *more*).
+    #[cfg(debug_assertions)]
+    {
+        let one_shot = mark_dead_one_shot(lir);
+        for (i, insn) in lir.iter().enumerate() {
+            debug_assert!(
+                !one_shot[i] || dead[i],
+                "fixpoint liveness kept an instruction one-shot marking kills: {insn:?}"
+            );
         }
     }
     dead
 }
 
 /// The original one-shot marking: pure instructions whose destination is
-/// never read anywhere in the unit.  Used as the fallback for units with
-/// backward jumps.
+/// never read anywhere in the unit.  Kept only as a debug-build cross-check
+/// for the fixpoint pass (its kill set must be a subset of the fixpoint's).
+#[cfg(debug_assertions)]
 fn mark_dead_one_shot(lir: &[LirInsn]) -> Vec<bool> {
     let mut use_count: HashMap<u32, u32> = HashMap::new();
     let mut scratch = Vec::with_capacity(4);
@@ -206,6 +263,54 @@ pub fn allocate(lir: &[LirInsn]) -> Allocation {
         if let Some(d) = insn.def() {
             first.entry(d.id).or_insert((d, i));
             last.insert(d.id, i);
+        }
+    }
+
+    // Loop-carried ranges: a vreg defined before a backward jump's target
+    // label and still read at or after it is re-read on *every* iteration,
+    // so its range must cover the whole loop — otherwise the linear scan
+    // could hand its register to a loop-local value whose (linear) range
+    // looks disjoint, clobbering the loop-carried value between iterations.
+    let mut label_pos: HashMap<u32, usize> = HashMap::new();
+    for (i, insn) in lir.iter().enumerate() {
+        if dead[i] {
+            continue;
+        }
+        if let LirInsn::Label { id } = insn {
+            label_pos.insert(*id, i);
+        }
+    }
+    let mut back_jumps: Vec<(usize, usize)> = Vec::new(); // (header pos, jump pos)
+    for (j, insn) in lir.iter().enumerate() {
+        if dead[j] {
+            continue;
+        }
+        let label = match insn {
+            LirInsn::Jmp { label } | LirInsn::Jcc { label, .. } => *label,
+            LirInsn::BackEdge { label, .. } => *label,
+            _ => continue,
+        };
+        if let Some(&p) = label_pos.get(&label) {
+            if p <= j {
+                back_jumps.push((p, j));
+            }
+        }
+    }
+    // Extension can cascade through nested loops; iterate until stable.
+    let mut extended = true;
+    while extended {
+        extended = false;
+        for &(p, j) in &back_jumps {
+            for (id, &(_, start)) in &first {
+                if start < p {
+                    if let Some(end) = last.get_mut(id) {
+                        if *end >= p && *end < j {
+                            *end = j;
+                            extended = true;
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -503,13 +608,21 @@ mod tests {
     }
 
     #[test]
-    fn backward_jumps_fall_back_to_one_shot_marking() {
+    fn backward_jumps_get_fixpoint_dce() {
+        // A looping unit (backward Jmp) no longer falls back to one-shot
+        // marking: the whole dead chain is swept, including the chain head
+        // whose only "use" sits in another dead instruction (one-shot
+        // marking counted that use and kept it).
         let lir = vec![
             LirInsn::Label { id: 0 },
             LirInsn::MovImm { dst: v(0), imm: 1 },
-            LirInsn::MovImm { dst: v(1), imm: 2 },
+            LirInsn::MovReg {
+                dst: v(1),
+                src: v(0),
+            },
+            LirInsn::MovImm { dst: v(2), imm: 2 },
             LirInsn::Store {
-                src: v(1),
+                src: v(2),
                 addr: LirMem::regfile(0),
                 size: MemSize::U64,
             },
@@ -517,8 +630,115 @@ mod tests {
             LirInsn::Ret,
         ];
         let alloc = allocate(&lir);
-        // One-shot behaviour: the unused v0 MovImm is dead, nothing else.
-        assert_eq!(alloc.dead, vec![false, true, false, false, false, false]);
+        assert_eq!(
+            alloc.dead,
+            vec![false, true, true, false, false, false, false],
+            "DCE fires inside looping units and sweeps whole chains"
+        );
+        assert!(!alloc.assignment.contains_key(&0));
+        assert!(!alloc.assignment.contains_key(&1));
+    }
+
+    #[test]
+    fn flag_demand_crosses_the_back_edge() {
+        // A flag writer at the bottom of a loop body whose only reader sits
+        // at the *top* of the next iteration: the demand flows through the
+        // BackEdge to the loop-header label, so the Cmp must survive.
+        let lir = vec![
+            LirInsn::Label { id: 0 },
+            LirInsn::SetCc {
+                cond: Cond::Eq,
+                dst: v(1),
+            },
+            LirInsn::Store {
+                src: v(1),
+                addr: LirMem::regfile(8),
+                size: MemSize::U64,
+            },
+            LirInsn::MovImm { dst: v(0), imm: 3 },
+            LirInsn::Cmp {
+                a: v(0),
+                b: LirOperand::Imm(0),
+            },
+            LirInsn::BackEdge {
+                pc: 0x1000,
+                label: 0,
+            },
+            LirInsn::Ret,
+        ];
+        let alloc = allocate(&lir);
+        assert!(
+            alloc.dead.iter().all(|d| !d),
+            "the cross-iteration flag chain must stay alive: {:?}",
+            alloc.dead
+        );
+
+        // Same loop, but nothing ever reads the flags: the Cmp (and its
+        // operand chain) dies even in a looping unit.
+        let lir2 = vec![
+            LirInsn::Label { id: 0 },
+            LirInsn::MovImm { dst: v(2), imm: 7 },
+            LirInsn::Store {
+                src: v(2),
+                addr: LirMem::regfile(8),
+                size: MemSize::U64,
+            },
+            LirInsn::MovImm { dst: v(0), imm: 3 },
+            LirInsn::Cmp {
+                a: v(0),
+                b: LirOperand::Imm(0),
+            },
+            LirInsn::BackEdge {
+                pc: 0x1000,
+                label: 0,
+            },
+            LirInsn::Ret,
+        ];
+        let alloc2 = allocate(&lir2);
+        assert!(alloc2.dead[4], "an unread Cmp dies inside a loop");
+        assert!(alloc2.dead[3], "its operand chain dies with it");
+    }
+
+    #[test]
+    fn loop_carried_ranges_extend_across_the_back_edge() {
+        // v0 is defined before the loop and read inside it on every
+        // iteration; the loop-local v1 is defined and stored after v0's last
+        // (linear) use.  Without range extension the scan would let v1 steal
+        // v0's register and clobber it between iterations.
+        let n = GPR_POOL.len() as u32;
+        let mut lir = Vec::new();
+        lir.push(LirInsn::MovImm { dst: v(0), imm: 7 });
+        lir.push(LirInsn::Label { id: 0 });
+        lir.push(LirInsn::Store {
+            src: v(0),
+            addr: LirMem::regfile(0),
+            size: MemSize::U64,
+        });
+        // Saturate the pool inside the loop so reuse pressure is real.
+        for i in 1..=n {
+            lir.push(LirInsn::MovImm {
+                dst: v(i),
+                imm: i as u64,
+            });
+            lir.push(LirInsn::Store {
+                src: v(i),
+                addr: LirMem::regfile((i * 8) as i32),
+                size: MemSize::U64,
+            });
+        }
+        lir.push(LirInsn::BackEdge {
+            pc: 0x1000,
+            label: 0,
+        });
+        lir.push(LirInsn::Ret);
+        let alloc = allocate(&lir);
+        let a0 = alloc.assignment[&0];
+        for i in 1..=n {
+            assert_ne!(
+                alloc.assignment[&i], a0,
+                "loop-local v{i} must not reuse the loop-carried register"
+            );
+        }
     }
 
     #[test]

@@ -35,6 +35,10 @@ pub struct PhaseTimers {
     pub opt_dead_stores: u64,
     /// Regfile loads the optimiser rewrote into register moves.
     pub opt_forwarded_loads: u64,
+    /// Partial-width forwards (subset of `opt_forwarded_loads`): 32-bit
+    /// loads satisfied by the low half of a 64-bit store with an explicit
+    /// mask.
+    pub opt_partial_forwarded: u64,
     /// Register-copy uses folded by straight-line copy propagation.
     pub opt_copies_folded: u64,
     /// LIR instructions marked dead by the allocator's iterative DCE.
@@ -87,6 +91,7 @@ impl PhaseTimers {
         self.guest_insns += other.guest_insns;
         self.opt_dead_stores += other.opt_dead_stores;
         self.opt_forwarded_loads += other.opt_forwarded_loads;
+        self.opt_partial_forwarded += other.opt_partial_forwarded;
         self.opt_copies_folded += other.opt_copies_folded;
         self.opt_dce_insns += other.opt_dce_insns;
     }

@@ -60,6 +60,12 @@ pub struct CostModel {
     /// internal fallthrough inside one translation — at most as cheap as a
     /// chained transfer, since not even an inter-translation jump is needed.
     pub superblock_transfer: u64,
+    /// A region-internal backward transfer (the loop-back edge of a looping
+    /// region): a single predicted-taken branch inside one translation, with
+    /// the guest PC update folded into the jump.  At most as expensive as a
+    /// chained transfer — the whole point of keeping the loop inside one
+    /// region is that not even an inter-translation jump is paid.
+    pub backedge: u64,
 }
 
 impl Default for CostModel {
@@ -85,6 +91,7 @@ impl Default for CostModel {
             dispatch: 12,
             chain: 1,
             superblock_transfer: 1,
+            backedge: 1,
         }
     }
 }
@@ -141,6 +148,7 @@ impl CostModel {
             }
             MachInsn::Hlt => self.alu,
             MachInsn::TraceEdge => self.superblock_transfer,
+            MachInsn::BackEdge { .. } => self.backedge,
         }
     }
 }
@@ -167,6 +175,10 @@ mod tests {
         assert!(
             c.superblock_transfer <= c.chain,
             "intra-superblock transfers must not exceed the chain cost"
+        );
+        assert!(
+            c.backedge <= c.chain,
+            "region-internal back-edges must not exceed the chain cost"
         );
     }
 

@@ -530,6 +530,11 @@ pub fn encode(insn: &MachInsn, out: &mut Vec<u8>) -> usize {
         }
         MachInsn::Hlt => w.u8(0x2C),
         MachInsn::TraceEdge => w.u8(0x2D),
+        MachInsn::BackEdge { pc, target } => {
+            w.u8(0x2E);
+            w.u64(*pc);
+            w.i32(*target);
+        }
     }
     out.len() - start
 }
@@ -742,6 +747,10 @@ pub fn decode(buf: &[u8], pos: &mut usize) -> Result<MachInsn, CodecError> {
         0x2B => MachInsn::Invlpg { addr: r.gpr()? },
         0x2C => MachInsn::Hlt,
         0x2D => MachInsn::TraceEdge,
+        0x2E => MachInsn::BackEdge {
+            pc: r.u64()?,
+            target: r.i32()?,
+        },
         v => return Err(CodecError::Invalid(v)),
     };
     *pos = r.pos;
@@ -920,6 +929,10 @@ mod tests {
             MachInsn::Invlpg { addr: Gpr::Rax },
             MachInsn::Hlt,
             MachInsn::TraceEdge,
+            MachInsn::BackEdge {
+                pc: 0x1000,
+                target: -9,
+            },
         ]
     }
 

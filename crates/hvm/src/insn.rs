@@ -475,6 +475,22 @@ pub enum MachInsn {
     /// returning to the dispatcher.  Costs [`crate::CostModel::superblock_transfer`]
     /// and bumps [`crate::PerfCounters::superblock_transfers`].
     TraceEdge,
+    /// A region-internal backward transfer: sets the guest PC (`%r15`) to
+    /// `pc` and jumps `target` instructions backward within the same
+    /// translation — the loop-back edge of a looping region.  On real
+    /// hardware this is a single taken branch (the guest PC is implicit in
+    /// the branch target), so it costs [`crate::CostModel::backedge`] and
+    /// bumps [`crate::PerfCounters::backedge_transfers`].  Before taking the
+    /// jump the interpreter polls [`crate::Runtime::loop_exit_pending`]; a
+    /// pending event (self-modifying code on a constituent page, a queued
+    /// guest event) turns the transfer into a dispatcher exit with the PC
+    /// already precise at the loop header.
+    BackEdge {
+        /// Guest virtual address of the loop header (the value `%r15` takes).
+        pc: u64,
+        /// Relative jump distance (negative: backward within the block).
+        target: i32,
+    },
 }
 
 impl MachInsn {
@@ -555,6 +571,7 @@ impl fmt::Display for MachInsn {
             MachInsn::Invlpg { addr } => write!(f, "invlpg ({addr})"),
             MachInsn::Hlt => write!(f, "hlt"),
             MachInsn::TraceEdge => write!(f, "trace-edge"),
+            MachInsn::BackEdge { pc, target } => write!(f, "back-edge {pc:#x}, {target}"),
         }
     }
 }

@@ -137,6 +137,17 @@ pub trait Runtime {
         let _ = (vaddr, write, machine);
         FaultAction::Propagate { cost: 0 }
     }
+
+    /// Polled at every [`MachInsn::BackEdge`] before the loop-back jump is
+    /// taken.  Returning `true` turns the transfer into a dispatcher exit
+    /// (the guest PC is already precise at the loop header), which is how
+    /// the hypervisor bounds the staleness of a looping translation: a
+    /// self-modifying write to a constituent page or a queued guest event
+    /// takes effect at the next iteration boundary instead of waiting for
+    /// the loop to exit on its own.
+    fn loop_exit_pending(&mut self) -> bool {
+        false
+    }
 }
 
 /// A runtime that provides no services; useful for tests of pure code.
@@ -196,6 +207,14 @@ pub struct Machine {
     pub perf: PerfCounters,
     /// Maximum instructions interpreted per `run_block` call.
     pub fuel_per_block: u64,
+    /// Maximum [`MachInsn::BackEdge`] transfers taken per `run_block` call.
+    /// A looping region otherwise runs its whole loop in one entry, which
+    /// would starve the dispatcher's block budget and trip the fuel limit
+    /// on long (or infinite) guest loops; at the cap the loop *yields* —
+    /// the entry returns with the PC precise at the loop header and the
+    /// dispatcher chains straight back in, so the cost is one chained
+    /// transfer per `loop_trip_limit` iterations.
+    pub loop_trip_limit: u64,
 }
 
 /// Alias used by helper implementations that want a shorter name.
@@ -225,6 +244,7 @@ impl Machine {
             cost: config.cost,
             perf: PerfCounters::default(),
             fuel_per_block: 10_000_000,
+            loop_trip_limit: 4096,
         }
     }
 
@@ -660,6 +680,7 @@ impl Machine {
         self.perf.blocks_entered += 1;
         let mut pc: i64 = 0;
         let mut fuel = self.fuel_per_block;
+        let mut backedges_taken = 0u64;
         loop {
             if fuel == 0 {
                 return ExitReason::FuelExhausted;
@@ -1060,6 +1081,21 @@ impl Machine {
                 }
                 MachInsn::TraceEdge => {
                     self.perf.superblock_transfers += 1;
+                }
+                MachInsn::BackEdge { pc: header, target } => {
+                    // The PC update is folded into the transfer: state is
+                    // precise at the loop header whether the jump is taken or
+                    // the pending-event poll exits to the dispatcher.
+                    self.set_reg(Gpr::R15, header);
+                    if rt.loop_exit_pending() || backedges_taken >= self.loop_trip_limit {
+                        return ExitReason::BlockEnd;
+                    }
+                    backedges_taken += 1;
+                    self.perf.backedge_transfers += 1;
+                    pc = pc - 1 + target as i64;
+                    if pc < 0 || pc as usize > code.len() {
+                        return ExitReason::Error(format!("back-edge out of range to {pc}"));
+                    }
                 }
             }
         }

@@ -39,6 +39,10 @@ pub struct PerfCounters {
     /// crossed without returning to the dispatcher (each one is an
     /// interpreter entry that chaining alone would have paid for).
     pub superblock_transfers: u64,
+    /// Region-internal backward transfers: loop-back edges taken inside one
+    /// translation (each one is a whole loop trip that chaining alone would
+    /// have re-entered the interpreter for).
+    pub backedge_transfers: u64,
     /// Host instructions the LIR optimiser kept out of executed blocks: each
     /// block entry adds the number of LIR instructions eliminated from that
     /// translation (the dynamic instructions-saved count the `figures -- opt`
@@ -82,6 +86,9 @@ impl PerfCounters {
             superblock_transfers: self
                 .superblock_transfers
                 .saturating_sub(earlier.superblock_transfers),
+            backedge_transfers: self
+                .backedge_transfers
+                .saturating_sub(earlier.backedge_transfers),
             elided_insns: self.elided_insns.saturating_sub(earlier.elided_insns),
         }
     }

@@ -738,6 +738,9 @@ impl QemuRef {
             pages: Region::span_pages(pa, guest_insns),
             ctx_gen: 0,
             unroll: 1,
+            back_edges: 0,
+            loop_guest_insns: 0,
+            loop_elided_insns: 0,
         }
     }
 }

@@ -220,6 +220,82 @@ pub fn fp_micro(scale: Scale) -> Workload {
     fp_stencil("fp-micro", 20_000, scale)
 }
 
+/// Streaming array update whose inner loop carries a data-dependent guard —
+/// the bounds-check-in-the-hot-loop shape real stream code has.  The body is
+/// *multi-block* (guard leg + rejoin), so before looping regions the trace
+/// closed after one trip and every iteration re-entered through the chain
+/// machinery.
+fn stream_guarded(name: &'static str, elems: u32, passes: u32, scale: Scale) -> Workload {
+    let mut a = Assembler::new();
+    a.mov_imm64(1, DATA_BASE);
+    a.mov_imm64(10, (passes * scale.0) as u64);
+    a.push(asm::movz(7, 0xFFF, 0)); // guard mask
+    a.label("pass");
+    a.push(asm::movz(2, 0, 0));
+    a.push(asm::movz(3, elems & 0xFFFF, 0));
+    a.label("elem");
+    a.push(asm::lsli(4, 2, 3)); // offset = i * 8
+    a.push(asm::add(4, 4, 1));
+    a.push(asm::ldr(5, 4, 0));
+    a.push(asm::ands(6, 2, 7)); // index guard: cold leg once per pass
+    a.bcond_to(Cond::Eq, "skip");
+    a.push(asm::addi(5, 5, 1)); // guarded update
+    a.label("skip");
+    a.push(asm::eor(5, 5, 2));
+    a.push(asm::str(5, 4, 0));
+    a.push(asm::addi(2, 2, 1));
+    a.push(asm::cmp(2, 3));
+    a.bcond_to(Cond::Ne, "elem");
+    a.push(asm::subi(10, 10, 1));
+    a.cbnz_to(10, "pass");
+    a.push(asm::hlt());
+    finish(name, Suite::Int, a)
+}
+
+/// Dynamic-programming inner loop whose body spans three blocks (a nested
+/// conditional plus the rejoined table update) — the multi-block loop shape
+/// the region former could not keep inside one translation before
+/// back-edges closed internally.
+fn loop_nest(name: &'static str, iters: u32, scale: Scale) -> Workload {
+    let mut a = Assembler::new();
+    a.mov_imm64(0, 0x9E37_79B9_7F4A_7C15);
+    a.push(asm::movz(1, 0x1234, 0));
+    a.mov_imm64(2, (iters * scale.0) as u64);
+    a.mov_imm64(3, DATA_BASE);
+    a.push(asm::movz(9, 0, 0));
+    a.label("loop");
+    a.push(asm::mul(4, 1, 0));
+    a.push(asm::eor(1, 1, 4));
+    a.push(asm::lsri(5, 1, 29));
+    a.push(asm::add(1, 1, 5));
+    a.push(asm::ands(6, 1, 0));
+    a.bcond_to(Cond::Eq, "skip");
+    a.push(asm::addi(9, 9, 1));
+    a.label("skip");
+    a.push(asm::movz(7, 0xFFF8, 0));
+    a.push(asm::and(7, 1, 7));
+    a.push(asm::add(7, 7, 3));
+    a.push(asm::ldr(8, 7, 0));
+    a.push(asm::add(8, 8, 1));
+    a.push(asm::str(8, 7, 0));
+    a.push(asm::subi(2, 2, 1));
+    a.cbnz_to(2, "loop");
+    a.push(asm::hlt());
+    finish(name, Suite::Int, a)
+}
+
+/// The loop-heavy kernel set exercised by `figures -- loops`: the two SPEC
+/// stream kernels plus the dedicated multi-block-loop shapes whose inner
+/// loops only stay inside one region once back-edges close internally.
+pub fn loop_kernels(scale: Scale) -> Vec<Workload> {
+    vec![
+        stream("401.bzip2", 2048, 60, scale),
+        stream("462.libquantum", 4096, 40, scale),
+        stream_guarded("stream.guarded", 2048, 40, scale),
+        loop_nest("loop.nest", 60_000, scale),
+    ]
+}
+
 /// The twelve SPEC CPU2006 integer workloads (Fig. 17).
 pub fn spec_int(scale: Scale) -> Vec<Workload> {
     vec![
@@ -252,6 +328,22 @@ pub fn spec_fp(scale: Scale) -> Vec<Workload> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn loop_kernels_assemble_and_decode() {
+        for w in loop_kernels(Scale(1)) {
+            assert!(!w.words.is_empty(), "{}", w.name);
+            assert!(w.words.contains(&guest_aarch64::asm::hlt()), "{}", w.name);
+            for (i, word) in w.words.iter().enumerate() {
+                assert!(
+                    guest_aarch64::decode(*word).is_some(),
+                    "{} word {} ({word:#010x}) does not decode",
+                    w.name,
+                    i
+                );
+            }
+        }
+    }
 
     #[test]
     fn all_workloads_assemble() {
