@@ -1,15 +1,17 @@
 //! Regenerates the paper's tables and figures on the simulated substrate.
 //!
-//! Usage: `cargo run --release -p bench --bin figures -- [all|fig17|fig18|fig19|fig20|jitstats|fig21|fig22|table2|fp_modes|chaining|regions|unroll|scale|opt]`
+//! Usage: `cargo run --release -p bench --bin figures -- [all|fig17|fig18|fig19|fig20|jitstats|fig21|fig22|table2|fp_modes|chaining|regions|unroll|scale|opt|storm]`
 //!
-//! The `chaining`, `regions`, `unroll`, `scale` and `opt` sections double as
-//! CI smoke checks: they assert the counter invariants the dispatcher and
-//! optimiser guarantee (chained gaps accounted exactly, regions no slower
-//! than chaining with strictly fewer interpreter entries, self-loop
-//! unrolling forming regions on the pointer-chase kernels at no cycle cost,
-//! cycles growing monotonically with workload scale, optimised translations
-//! no slower than unoptimised with nonzero elimination counters on
-//! flag-heavy workloads) and panic on regression.
+//! The `chaining`, `regions`, `unroll`, `scale`, `opt` and `storm` sections
+//! double as CI smoke checks: they assert the counter invariants the
+//! dispatcher and optimiser guarantee (chained gaps accounted exactly,
+//! regions no slower than chaining with strictly fewer interpreter entries,
+//! self-loop unrolling forming regions on the pointer-chase kernels at no
+//! cycle cost, cycles growing monotonically with workload scale, optimised
+//! translations no slower than unoptimised with nonzero elimination
+//! counters on flag-heavy workloads, and — under an interrupt storm —
+//! regions still forming and tripping with every IRQ delivered on both
+//! engines) and panic on regression.
 
 use bench::{
     geomean, native_model, run_both_raw, run_captive, run_captive_chaining, run_captive_loops,
@@ -66,6 +68,9 @@ fn main() {
     }
     if all || arg == "opt" {
         opt();
+    }
+    if all || arg == "storm" {
+        storm();
     }
 }
 
@@ -532,7 +537,11 @@ fn json_record(out: &mut String, kernel: &str, engine: &str, m: &Measurement) {
          \"backedge_transfers\": {}, \"regions_formed\": {}, \
          \"loop_regions_formed\": {}, \"opt_dead_stores\": {}, \
          \"opt_forwarded_loads\": {}, \"opt_partial_forwarded\": {}, \
-         \"opt_copies_folded\": {}, \"elided_dyn_insns\": {}}}",
+         \"opt_copies_folded\": {}, \"elided_dyn_insns\": {}, \
+         \"irqs_delivered\": {}, \"timer_irqs\": {}, \
+         \"capacity_evictions\": {}, \"bytes_live\": {}, \
+         \"regions_live\": {}, \"formation_failures\": {}, \
+         \"regions_quarantined\": {}, \"lower_bailouts\": {}}}",
         m.cycles,
         m.guest_insns,
         m.blocks,
@@ -546,6 +555,14 @@ fn json_record(out: &mut String, kernel: &str, engine: &str, m: &Measurement) {
         m.opt_partial_forwarded,
         m.opt_copies_folded,
         m.elided_dyn_insns,
+        m.irqs_delivered,
+        m.timer_irqs,
+        m.capacity_evictions,
+        m.bytes_live,
+        m.regions_live,
+        m.formation_failures,
+        m.regions_quarantined,
+        m.lower_bailouts,
     ));
 }
 
@@ -570,6 +587,27 @@ fn json() {
         push(w.name, "captive", &run_captive_loops(&w, true));
         push(w.name, "captive-loops-off", &run_captive_loops(&w, false));
     }
+    for w in [
+        workloads::interrupt_storm(40, 2_500),
+        workloads::timer_tick(20_000, 200_000),
+    ] {
+        push(w.name, "captive", &run_captive(&w));
+        push(w.name, "qemu", &run_qemu(&w));
+    }
+    // A deliberately starved code cache, so the eviction counters have a
+    // tracked non-zero baseline.
+    let mcf = workloads::spec_int(Scale(1)).remove(3);
+    push(
+        "429.mcf",
+        "captive-tinycache",
+        &bench::run_captive_cfg(
+            &mcf,
+            captive::CaptiveConfig {
+                cache_capacity_regions: Some(3),
+                ..captive::CaptiveConfig::default()
+            },
+        ),
+    );
     let body = format!(
         "{{\n  \"schema\": \"bench-figures-v1\",\n  \"results\": [\n{}\n  ]\n}}\n",
         records.join(",\n")
@@ -707,6 +745,57 @@ fn opt() {
         "totals: {} dead stores, {} cycles saved across the set\n",
         total_dead, total_saved
     );
+}
+
+fn storm() {
+    println!("== Event sources: interrupt storm and timer preemption ==");
+    println!(
+        "{:<18} {:>14} {:>14} {:>8} {:>8} {:>9} {:>10} {:>9}",
+        "workload", "captive cyc", "qemu cyc", "irqs", "timer", "regions", "backedges", "quarant"
+    );
+    let storm = workloads::interrupt_storm(40, 2_500);
+    let tick = workloads::timer_tick(20_000, 200_000);
+    for w in [&storm, &tick] {
+        let c = run_captive(w);
+        let q = run_qemu(w);
+        // CI smoke invariants: every engine delivers the same IRQ count
+        // (the storm's handler stops the run only after its target), and
+        // IRQ pressure must not stop Captive from forming and tripping its
+        // translation units, nor push any trace into quarantine.
+        assert_eq!(
+            c.irqs_delivered, q.irqs_delivered,
+            "{}: engines disagree on deliveries",
+            w.name
+        );
+        assert!(c.irqs_delivered > 0, "{}: no IRQs delivered", w.name);
+        assert!(
+            c.regions_formed + c.loop_regions_formed > 0,
+            "{}: no region formed under IRQ pressure",
+            w.name
+        );
+        assert!(
+            c.backedge_transfers + c.region_transfers > 0,
+            "{}: regions formed but never tripped",
+            w.name
+        );
+        assert_eq!(
+            c.regions_quarantined, 0,
+            "{}: IRQ preemption must not quarantine traces",
+            w.name
+        );
+        println!(
+            "{:<18} {:>14} {:>14} {:>8} {:>8} {:>9} {:>10} {:>9}",
+            w.name,
+            c.cycles,
+            q.cycles,
+            c.irqs_delivered,
+            c.timer_irqs,
+            c.regions_formed + c.loop_regions_formed,
+            c.backedge_transfers,
+            c.regions_quarantined
+        );
+    }
+    println!();
 }
 
 fn fp_modes() {

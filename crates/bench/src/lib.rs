@@ -6,6 +6,8 @@ use captive::{Captive, CaptiveConfig, FpMode, RunExit};
 use qemu_ref::QemuRef;
 use workloads::Workload;
 
+pub mod chaos;
+
 /// Maximum dispatched blocks per run (safety net against guest hangs).
 pub const BLOCK_BUDGET: u64 = 200_000_000;
 
@@ -69,6 +71,24 @@ pub struct Measurement {
     /// Dynamic host instructions saved by elimination (eliminated LIR
     /// instructions × block executions).
     pub elided_dyn_insns: u64,
+    /// Guest IRQs delivered (timer + interrupt-latch lines).
+    pub irqs_delivered: u64,
+    /// Timer-originated IRQs delivered (subset of `irqs_delivered`).
+    pub timer_irqs: u64,
+    /// Regions evicted because the code cache hit its capacity bound
+    /// (Captive only; 0 for an unbounded cache).
+    pub capacity_evictions: u64,
+    /// Encoded bytes resident in the code cache at run end (Captive only).
+    pub bytes_live: u64,
+    /// Regions resident in the code cache at run end (Captive only).
+    pub regions_live: u64,
+    /// Region formations that produced nothing (Captive only).
+    pub formation_failures: u64,
+    /// Trace heads quarantined after repeated formation failures (Captive
+    /// only).
+    pub regions_quarantined: u64,
+    /// Translations abandoned by the typed lowering-error fallback.
+    pub lower_bailouts: u64,
 }
 
 impl Measurement {
@@ -208,6 +228,14 @@ pub fn run_captive_cfg(w: &Workload, cfg: CaptiveConfig) -> Measurement {
         opt_copies_folded: s.opt_copies_folded,
         opt_dce_insns: s.opt_dce_insns,
         elided_dyn_insns: s.elided_dyn_insns,
+        irqs_delivered: s.irqs_delivered,
+        timer_irqs: s.timer_irqs,
+        capacity_evictions: s.capacity_evictions,
+        bytes_live: s.bytes_live,
+        regions_live: s.regions_live,
+        formation_failures: s.formation_failures,
+        regions_quarantined: s.regions_quarantined,
+        lower_bailouts: c.timers.lower_bailouts,
     }
 }
 
@@ -256,6 +284,14 @@ pub fn run_qemu_chaining(w: &Workload, chaining: bool) -> Measurement {
         opt_copies_folded: 0,
         opt_dce_insns: q.timers.opt_dce_insns,
         elided_dyn_insns: 0,
+        irqs_delivered: s.irqs_delivered,
+        timer_irqs: s.timer_irqs,
+        capacity_evictions: 0,
+        bytes_live: 0,
+        regions_live: 0,
+        formation_failures: 0,
+        regions_quarantined: 0,
+        lower_bailouts: q.timers.lower_bailouts,
     }
 }
 

@@ -876,3 +876,98 @@ proptest! {
         prop_assert_eq!(on.guest_nzcv(), off.guest_nzcv(), "NZCV diverged");
     }
 }
+
+/// The interrupt storm must deliver its exact IRQ count on every engine —
+/// Captive preempting hot looping regions at back-edge boundaries, the
+/// baseline at block boundaries — and leave identical architectural state.
+#[test]
+fn interrupt_storm_agrees_across_engines_and_preempts_regions() {
+    let w = workloads::interrupt_storm(25, 3_000);
+    let (mut c, mut q) = run_both(&w.words);
+    for r in 0..31 {
+        assert_eq!(c.guest_reg(r), q.guest_reg(r), "x{r} diverged");
+    }
+    assert_eq!(c.guest_nzcv(), q.guest_nzcv(), "NZCV diverged");
+    assert_eq!(c.guest_reg(20), 25, "handler counted every delivery");
+    let cs = c.stats();
+    let qs = q.stats();
+    assert_eq!(cs.irqs_delivered, 25);
+    assert_eq!(qs.irqs_delivered, 25);
+    assert_eq!(cs.timer_irqs, 25, "all storm IRQs come from the timer");
+    // The storm must not stop Captive from forming and re-entering its
+    // translation units: the spin loop is hot enough to become a region.
+    assert!(
+        cs.regions_formed + cs.loop_regions_formed > 0,
+        "the spin loop should still form a region under IRQ pressure"
+    );
+}
+
+/// A one-shot timer tick must preempt the countdown loop at a precise PC:
+/// the handler's captured ELR is exactly the loop header, even when the
+/// loop is running inside a closed looping region.
+#[test]
+fn timer_tick_preempts_a_hot_loop_at_a_precise_pc() {
+    let w = workloads::timer_tick(20_000, 200_000);
+    let (mut c, mut q) = run_both(&w.words);
+    let loop_va = workloads::timer_tick_loop_va(20_000, 200_000);
+    assert_eq!(c.guest_reg(20), 1, "exactly one tick");
+    assert_eq!(
+        c.guest_reg(10),
+        loop_va,
+        "captive: ELR must be the loop header, not some mid-region PC"
+    );
+    assert_eq!(q.guest_reg(10), loop_va, "baseline: same precise ELR");
+    assert_eq!(c.guest_reg(1), 0, "the countdown still ran to completion");
+    for r in 0..31 {
+        assert_eq!(c.guest_reg(r), q.guest_reg(r), "x{r} diverged");
+    }
+    let cs = c.stats();
+    assert!(
+        cs.loop_regions_formed > 0,
+        "the countdown loop should close as a looping region"
+    );
+    assert_eq!(cs.timer_irqs, 1);
+}
+
+/// With the code cache bounded far below the working set, eviction churn
+/// must degrade performance only — every integer kernel still produces the
+/// baseline's architectural results, and the bound demonstrably bites.
+#[test]
+fn bounded_cache_preserves_equivalence_on_all_integer_kernels() {
+    let mut total_evictions = 0;
+    for w in workloads::spec_int(Scale(1)) {
+        let mut c = Captive::new(CaptiveConfig {
+            cache_capacity_regions: Some(3),
+            ..CaptiveConfig::default()
+        });
+        c.load_program(0x1000, &w.words);
+        c.set_entry(w.entry);
+        assert!(
+            matches!(c.run(50_000_000), captive::RunExit::GuestHalted { .. }),
+            "{}",
+            w.name
+        );
+        let mut q = QemuRef::new(32 * 1024 * 1024);
+        q.load_program(0x1000, &w.words);
+        q.set_entry(w.entry);
+        assert!(matches!(
+            q.run(50_000_000),
+            qemu_ref::RunExit::GuestHalted { .. }
+        ));
+        for r in 0..16 {
+            assert_eq!(c.guest_reg(r), q.guest_reg(r), "{}: x{r} diverged", w.name);
+        }
+        let s = c.stats();
+        assert!(
+            s.regions_live <= 3,
+            "{}: occupancy {} exceeds the bound",
+            w.name,
+            s.regions_live
+        );
+        total_evictions += s.capacity_evictions;
+    }
+    assert!(
+        total_evictions > 0,
+        "a 3-region cache must evict somewhere across the integer suite"
+    );
+}

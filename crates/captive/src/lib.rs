@@ -133,6 +133,12 @@ pub struct CaptiveConfig {
     /// Record per-block execution cycles (needed for the Fig. 21 experiment;
     /// adds bookkeeping overhead).
     pub per_block_stats: bool,
+    /// Code-cache capacity in encoded bytes (`None` = unbounded).  When the
+    /// bound is hit the cache evicts clock-style; a churn-heavy guest
+    /// degrades to re-translation, never to unbounded growth.
+    pub cache_capacity_bytes: Option<usize>,
+    /// Code-cache capacity in resident regions (`None` = unbounded).
+    pub cache_capacity_regions: Option<usize>,
 }
 
 impl Default for CaptiveConfig {
@@ -150,6 +156,8 @@ impl Default for CaptiveConfig {
             max_block_insns: 64,
             machine: MachineConfig::default(),
             per_block_stats: false,
+            cache_capacity_bytes: None,
+            cache_capacity_regions: None,
         }
     }
 }
@@ -241,6 +249,22 @@ pub struct RunStats {
     /// Dynamic host instructions saved: per block entry, the LIR
     /// instructions eliminated from that translation before encoding.
     pub elided_dyn_insns: u64,
+    /// Asynchronous IRQs delivered (subset of `guest_exceptions`).
+    pub irqs_delivered: u64,
+    /// Timer-originated IRQs delivered (subset of `irqs_delivered`).
+    pub timer_irqs: u64,
+    /// Regions evicted because the cache hit its capacity bound.
+    pub capacity_evictions: u64,
+    /// Encoded bytes currently resident in the code cache.
+    pub bytes_live: u64,
+    /// Regions currently resident in the code cache.
+    pub regions_live: u64,
+    /// Region-formation attempts that produced no multi-constituent region
+    /// (trace too short, or translation bailed out).
+    pub formation_failures: u64,
+    /// Trace heads permanently quarantined after repeated formation
+    /// failures (no further attempts are made for them).
+    pub regions_quarantined: u64,
 }
 
 /// The hypervisor.
@@ -263,7 +287,26 @@ pub struct Captive {
     /// multi-constituent regions are evicted the first time the dispatcher
     /// runs after a generation bump.
     swept_region_gen: u64,
+    /// Region-formation backoff state per trace head: a failed formation
+    /// doubles the link heat required before the next attempt instead of
+    /// retrying on every hot transfer, and repeated failures quarantine the
+    /// head permanently.
+    quarantine: HashMap<RegionKey, FormationBackoff>,
 }
+
+/// Retry-backoff record for a trace head whose region formation failed.
+#[derive(Debug, Clone, Copy)]
+struct FormationBackoff {
+    /// Consecutive failed formation attempts.
+    failures: u32,
+    /// Link heat at which the next attempt may run.
+    next_retry_heat: u64,
+    /// Set after [`QUARANTINE_AFTER`] failures: never attempt again.
+    quarantined: bool,
+}
+
+/// Failed formation attempts after which a trace head is quarantined.
+const QUARANTINE_AFTER: u32 = 4;
 
 impl Captive {
     /// Creates a hypervisor with a fresh host VM and boots the "unikernel":
@@ -281,16 +324,19 @@ impl Captive {
                 1,
             )
             .expect("register file is inside host RAM");
+        let mut cache = CodeCache::new(CacheIndex::GuestPhysical);
+        cache.set_capacity(config.cache_capacity_bytes, config.cache_capacity_regions);
         Captive {
             machine,
             runtime,
-            cache: CodeCache::new(CacheIndex::GuestPhysical),
+            cache,
             timers: PhaseTimers::default(),
             isa: Aarch64Isa,
             config,
             stats: RunStats::default(),
             per_region: HashMap::new(),
             swept_region_gen: 0,
+            quarantine: HashMap::new(),
         }
     }
 
@@ -370,7 +416,29 @@ impl Captive {
         s.opt_copies_folded = self.timers.opt_copies_folded;
         s.opt_dce_insns = self.timers.opt_dce_insns;
         s.elided_dyn_insns = self.machine.perf.elided_insns;
+        s.irqs_delivered = self.runtime.events.delivered;
+        s.timer_irqs = self.runtime.events.timer_delivered;
+        let cs = self.cache.stats();
+        s.capacity_evictions = cs.capacity_evictions;
+        s.bytes_live = cs.bytes_live;
+        s.regions_live = cs.regions_live;
         s
+    }
+
+    /// FNV-1a digest of `len` bytes of guest physical memory starting at
+    /// `start` (byte-exact final-state comparison for the chaos harness).
+    pub fn guest_mem_digest(&self, start: u64, len: u64) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for a in start..start.saturating_add(len) {
+            let b = self
+                .machine
+                .mem
+                .read_uint(layout::GUEST_PHYS_BASE + a, 1)
+                .unwrap_or(0) as u8;
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
     }
 
     /// Per-region execution profiles (region key → per-entry-mode record).
@@ -402,6 +470,16 @@ impl Captive {
                 return RunExit::GuestHalted { code };
             }
             let pc = self.machine.reg(Gpr::R15);
+            // Deterministic event sources deliver here (and at back-edge
+            // preemption points that funnel back here): the guest PC is
+            // architecturally precise, so ELR is exact even when a timer
+            // expired mid-loop inside a region.
+            if let Some(line) = self.runtime.events.take(self.machine.perf.cycles) {
+                patch_from = None;
+                budget -= 1;
+                self.deliver_event(GuestEvent::Irq { line }, pc);
+                continue;
+            }
             // Resolve the entry's guest physical address (cache key).
             let pa = match self.fetch_translate(pc) {
                 Ok(pa) => pa,
@@ -545,6 +623,11 @@ impl Captive {
                         if !self.config.chaining || budget == 0 {
                             break;
                         }
+                        // A due event source leaves the chained loop so the
+                        // slow path can deliver the IRQ with a precise PC.
+                        if self.runtime.events.due(self.machine.perf.cycles) {
+                            break;
+                        }
                         let next_pc = self.machine.reg(Gpr::R15);
                         let Some(slot) = block.chain_slot(next_pc) else {
                             break;
@@ -630,8 +713,23 @@ impl Captive {
                 return next;
             }
         }
-        if heat != self.config.region_threshold {
-            return next;
+        // Formation trigger with retry backoff: a head with no failure
+        // history fires exactly at the configured threshold; a failed head
+        // waits for its (doubled) retry heat; a quarantined head never
+        // fires again.
+        let key = next.key();
+        match self.quarantine.get(&key) {
+            Some(q) if q.quarantined => return next,
+            Some(q) => {
+                if heat < q.next_retry_heat {
+                    return next;
+                }
+            }
+            None => {
+                if heat != self.config.region_threshold {
+                    return next;
+                }
+            }
         }
         let Some(region) = form_region(
             &self.isa,
@@ -647,10 +745,25 @@ impl Captive {
             self.config.fp_mode,
             self.config.opt,
         ) else {
-            // A one-constituent trace is not worth forming; the exact
-            // threshold trigger means we will not retry for this link.
+            // Nothing worth keeping came out (one-constituent trace, or the
+            // translation bailed out).  Record the failure and back off:
+            // the next attempt requires twice the heat, and repeated
+            // failures quarantine the head for good.
+            self.stats.formation_failures += 1;
+            let q = self.quarantine.entry(key).or_insert(FormationBackoff {
+                failures: 0,
+                next_retry_heat: 0,
+                quarantined: false,
+            });
+            q.failures += 1;
+            q.next_retry_heat = heat.saturating_mul(2).max(1);
+            if q.failures >= QUARANTINE_AFTER && !q.quarantined {
+                q.quarantined = true;
+                self.stats.regions_quarantined += 1;
+            }
             return next;
         };
+        self.quarantine.remove(&key);
         // Write-protect every constituent page so self-modifying code on any
         // of them invalidates the region.
         for page in &region.pages {

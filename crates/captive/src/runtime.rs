@@ -8,7 +8,7 @@ use crate::FpMode;
 use guest_aarch64::gen::helpers;
 use guest_aarch64::{esr_class, mmu, SysReg};
 use hvm::paging::{self, FrameAlloc, PageFlags};
-use hvm::{FaultAction, Gpr, HelperResult, Machine, Ring, Runtime};
+use hvm::{EventSources, FaultAction, Gpr, HelperResult, Machine, Ring, Runtime};
 use std::collections::HashSet;
 
 /// Cycle cost of taking a data-side host fault and evaluating guest
@@ -54,6 +54,11 @@ pub enum GuestEvent {
         /// Exit code.
         code: u64,
     },
+    /// Asynchronous interrupt from an event source (timer or latch).
+    Irq {
+        /// Interrupt line, delivered in the ESR ISS field.
+        line: u32,
+    },
 }
 
 /// The unikernel runtime: owns host page tables, devices and helper state.
@@ -93,6 +98,9 @@ pub struct CaptiveRuntime {
     /// page-fault handler, flushed (via the generation stamp) on
     /// TLBI/TTBR0/SCTLR like the fetch TLB.
     pub data_tlb: DataTlb,
+    /// Deterministic guest event sources (programmable timer + interrupt
+    /// latch), polled at back-edges and block boundaries.
+    pub events: EventSources,
 }
 
 impl CaptiveRuntime {
@@ -139,6 +147,7 @@ impl CaptiveRuntime {
             context_generation: 0,
             fetch_tlb: FetchTlb::new(),
             data_tlb: DataTlb::new(),
+            events: EventSources::default(),
         }
     }
 
@@ -251,6 +260,7 @@ impl CaptiveRuntime {
                 self.exit_code = Some(code);
                 return;
             }
+            GuestEvent::Irq { line } => (esr_class::IRQ, line as u64, None),
         };
         self.take_exception(machine, class, iss, pc, far);
     }
@@ -263,7 +273,12 @@ impl CaptiveRuntime {
         return_pc: u64,
         far: Option<u64>,
     ) {
+        // Exception entry masks asynchronous events (the PSTATE.I analogue)
+        // until the handler's `eret`: a pending IRQ must never preempt a
+        // handler mid-flight and clobber ELR/ESR under it.
+        self.events.set_masked(true);
         let el = self.read_gregfile(machine, guest_aarch64::CURRENT_EL_OFF);
+        let nzcv = self.read_gregfile(machine, guest_aarch64::NZCV_OFF);
         self.write_gregfile(
             machine,
             guest_aarch64::ESR_OFF,
@@ -273,7 +288,14 @@ impl CaptiveRuntime {
             self.write_gregfile(machine, guest_aarch64::FAR_OFF, far);
         }
         self.write_gregfile(machine, guest_aarch64::ELR_OFF, return_pc);
-        self.write_gregfile(machine, guest_aarch64::SPSR_OFF, el);
+        // SPSR saves the interrupted context's flags alongside the EL so a
+        // handler arriving at an arbitrary preemption point (e.g. a timer
+        // IRQ mid-loop) may clobber NZCV freely; `eret` restores both.
+        self.write_gregfile(
+            machine,
+            guest_aarch64::SPSR_OFF,
+            ((nzcv & 0xF) << 28) | (el & 1),
+        );
         self.write_gregfile(machine, guest_aarch64::CURRENT_EL_OFF, 1);
         let vbar = self.read_gregfile(machine, guest_aarch64::VBAR_OFF);
         if vbar == 0 {
@@ -354,11 +376,28 @@ impl Runtime for CaptiveRuntime {
             }
             helpers::MSR_NOTIFY => {
                 let id = machine.reg(Gpr::Rdi) as u32;
-                if matches!(
-                    SysReg::from_id(id),
-                    Some(SysReg::Ttbr0) | Some(SysReg::Sctlr)
-                ) {
-                    self.teardown_guest_mappings(machine);
+                match SysReg::from_id(id) {
+                    Some(SysReg::Ttbr0) | Some(SysReg::Sctlr) => {
+                        self.teardown_guest_mappings(machine);
+                    }
+                    // Guest-programmable timer: the MSR already stored the
+                    // value into the register-file slot; read it back and
+                    // (re)arm against the deterministic cycle counter.
+                    Some(SysReg::CntTval) => {
+                        let delta = self.read_gregfile(machine, guest_aarch64::CNT_TVAL_OFF);
+                        self.events.timer.arm_oneshot(machine.perf.cycles + delta);
+                    }
+                    Some(SysReg::CntCtl) => {
+                        let period = self.read_gregfile(machine, guest_aarch64::CNT_CTL_OFF);
+                        if period == 0 {
+                            self.events.timer.cancel();
+                        } else {
+                            self.events
+                                .timer
+                                .arm_periodic(machine.perf.cycles + period, period);
+                        }
+                    }
+                    _ => {}
                 }
                 HelperResult::Continue { cost: 200 }
             }
@@ -382,6 +421,9 @@ impl Runtime for CaptiveRuntime {
                 let elr = self.read_gregfile(machine, guest_aarch64::ELR_OFF);
                 let spsr = self.read_gregfile(machine, guest_aarch64::SPSR_OFF);
                 self.write_gregfile(machine, guest_aarch64::CURRENT_EL_OFF, spsr & 1);
+                self.write_gregfile(machine, guest_aarch64::NZCV_OFF, (spsr >> 28) & 0xF);
+                // Returning from the handler re-enables IRQ delivery.
+                self.events.set_masked(false);
                 machine.set_reg(Gpr::R15, elr);
                 HelperResult::Exit { cost: 260 }
             }
@@ -395,12 +437,16 @@ impl Runtime for CaptiveRuntime {
     }
 
     /// A looping region polls this at every back-edge: a self-modifying
-    /// write to a code page, a queued guest event or a requested exit turn
-    /// the loop-back into a dispatcher exit with the PC precise at the loop
-    /// header, so invalidation and delivery latency is bounded by one
-    /// iteration instead of the loop's (unbounded) trip count.
-    fn loop_exit_pending(&mut self) -> bool {
-        !self.smc_dirty.is_empty() || self.pending.is_some() || self.exit_code.is_some()
+    /// write to a code page, a queued guest event, a due event-source
+    /// deadline or a requested exit turn the loop-back into a dispatcher
+    /// exit with the PC precise at the loop header, so invalidation and
+    /// delivery latency is bounded by one iteration instead of the loop's
+    /// (unbounded) trip count.
+    fn loop_exit_pending(&mut self, cycles: u64) -> bool {
+        !self.smc_dirty.is_empty()
+            || self.pending.is_some()
+            || self.exit_code.is_some()
+            || self.events.due(cycles)
     }
 
     fn page_fault(&mut self, vaddr: u64, write: bool, machine: &mut Machine) -> FaultAction {

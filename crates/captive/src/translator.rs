@@ -100,7 +100,17 @@ pub fn translate_block(
 
     let lir = emitter.finish();
     let lir_count = lir.len();
-    let (code, encoded, elided) = dbt::finish_translation(timers, lir, run_opt);
+    let (code, encoded, elided) = match dbt::finish_translation(timers, lir, run_opt) {
+        Ok(t) => t,
+        Err(_) => {
+            // Graceful degradation: a lowering defect discards the
+            // translation and the block becomes an UNDEF-raising stub, so
+            // the guest observes an architectural fault instead of the host
+            // executing corrupt code.
+            timers.lower_bailouts += 1;
+            return undef_fallback_region(timers, pc, pa);
+        }
+    };
     timers.blocks += 1;
     timers.guest_insns += guest_insns as u64;
 
@@ -116,6 +126,45 @@ pub fn translate_block(
         links: ChainLinks::default(),
         constituents: 1,
         pages: Region::span_pages(pa, guest_insns),
+        ctx_gen: 0,
+        unroll: 1,
+        back_edges: 0,
+        loop_guest_insns: 0,
+        loop_elided_insns: 0,
+    }
+}
+
+/// The degraded translation used when lowering bails out on a plain block:
+/// a one-instruction region raising a guest UNDEF exception at `pc`.  The
+/// stub itself uses no virtual registers, so its lowering cannot fail.
+fn undef_fallback_region(timers: &mut PhaseTimers, pc: u64, pa: u64) -> Region {
+    let mut emitter = Emitter::new();
+    let class = emitter.const_u64(guest_aarch64::esr_class::UNDEFINED);
+    let iss = emitter.const_u64(0);
+    let ret = emitter.const_u64(pc);
+    emitter.call_helper(
+        guest_aarch64::gen::helpers::TAKE_EXCEPTION,
+        &[class, iss, ret],
+    );
+    emitter.set_end_of_block();
+    let lir = emitter.finish();
+    let lir_count = lir.len();
+    let (code, encoded, elided) = dbt::finish_translation(timers, lir, false)
+        .expect("host bug: the UNDEF stub lowers without virtual registers");
+    timers.blocks += 1;
+    timers.guest_insns += 1;
+    Region {
+        guest_phys: pa,
+        guest_virt: pc,
+        guest_insns: 1,
+        encoded_bytes: encoded.len(),
+        lir_insns: lir_count,
+        elided_insns: elided,
+        code: Arc::new(code),
+        exit: BlockExit::Indirect,
+        links: ChainLinks::default(),
+        constituents: 1,
+        pages: Region::span_pages(pa, 1),
         ctx_gen: 0,
         unroll: 1,
         back_edges: 0,
@@ -452,7 +501,16 @@ pub fn form_region(
         .unwrap_or(BlockExit::Fallthrough { next: va });
     let lir = emitter.finish();
     let lir_count = lir.len();
-    let (code, encoded, elided) = dbt::finish_translation(timers, lir, run_opt);
+    let (code, encoded, elided) = match dbt::finish_translation(timers, lir, run_opt) {
+        Ok(t) => t,
+        Err(_) => {
+            // A lowering defect abandons the formation; the dispatcher keeps
+            // running the constituent blocks and the quarantine/backoff
+            // machinery decides when (or whether) to retry.
+            timers.lower_bailouts += 1;
+            return None;
+        }
+    };
     timers.blocks += 1;
     timers.guest_insns += guest_insns as u64;
 

@@ -93,6 +93,27 @@
 //! and a write landing *while the loop is executing* takes effect at the
 //! next back-edge poll rather than waiting for the loop to drain.
 //!
+//! # Capacity and eviction
+//!
+//! The cache is unbounded by default; [`CodeCache::set_capacity`] installs an
+//! optional byte bound (encoded host-code bytes resident) and/or a region
+//! bound.  When an [`CodeCache::insert`] pushes the cache over either bound,
+//! a **clock (second-chance)** sweep evicts translations until the cache fits
+//! again: regions sit in an insertion-order ring, every dispatch-path hit
+//! ([`CodeCache::get`]) sets the region's reference bit, and the sweep hand
+//! clears the bit and re-queues referenced regions but discards unreferenced
+//! ones.  Hot translations therefore survive churn while cold ones pay for
+//! it; a guest that thrashes the cache (an interrupt storm re-translating
+//! handler paths, self-modifying code defeating reuse) degrades to more
+//! re-translation — never to unbounded host memory growth.  The freshly
+//! inserted region is exempt from its own insertion's sweep, so a single
+//! oversized region is admitted rather than looping.  Capacity evictions bump
+//! the epoch exactly like invalidations do: chain links into — and
+//! dispatcher-held links out of — an evicted region die immediately, so a
+//! capacity-bounded run is architecturally indistinguishable from an
+//! unbounded one (only slower).  [`CacheStats`] reports the eviction count
+//! plus live occupancy (`bytes_live`, `regions_live`).
+//!
 //! # Lookup statistics
 //!
 //! [`CodeCache::get`] is the *only* dispatch-path lookup and it feeds the
@@ -100,11 +121,12 @@
 //! region counts as a miss: the dispatcher must translate), so
 //! [`CacheStats::hit_rate`] is faithful on region-heavy runs.
 //! [`CodeCache::peek`] is reserved for the region former's profile
-//! consultation and deliberately leaves the statistics alone.
+//! consultation and deliberately leaves the statistics alone (it neither
+//! counts nor marks the region referenced).
 
 use hvm::MachInsn;
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Weak};
 
 /// How regions are keyed in the cache.
@@ -391,6 +413,12 @@ pub struct CacheStats {
     pub invalidated_page: u64,
     /// Stale-generation regions evicted by the context-generation sweep.
     pub evicted_stale_regions: u64,
+    /// Regions evicted by the clock sweep to satisfy a capacity bound.
+    pub capacity_evictions: u64,
+    /// Encoded host-code bytes currently resident.
+    pub bytes_live: u64,
+    /// Regions currently resident.
+    pub regions_live: u64,
 }
 
 impl CacheStats {
@@ -405,11 +433,35 @@ impl CacheStats {
     }
 }
 
+/// A cached region plus its clock reference bit (set on dispatch-path hits,
+/// cleared when the eviction hand sweeps past).
+#[derive(Debug)]
+struct Slot {
+    region: Arc<Region>,
+    referenced: Cell<bool>,
+}
+
+impl Slot {
+    fn new(region: Arc<Region>) -> Self {
+        Slot {
+            region,
+            referenced: Cell::new(false),
+        }
+    }
+}
+
 /// The translation cache: one index over every region.
 #[derive(Debug)]
 pub struct CodeCache {
     index: CacheIndex,
-    regions: HashMap<RegionKey, Arc<Region>>,
+    regions: HashMap<RegionKey, Slot>,
+    /// Insertion-order ring swept by the clock hand on capacity eviction.
+    /// May hold keys already removed by invalidation; the sweep skips them.
+    ring: VecDeque<RegionKey>,
+    /// Optional bound on resident encoded host-code bytes.
+    capacity_bytes: Option<usize>,
+    /// Optional bound on resident region count.
+    capacity_regions: Option<usize>,
     /// Bumped whenever an invalidation removes regions; chain links stamped
     /// with an older epoch are dead.
     epoch: Cell<u64>,
@@ -418,21 +470,34 @@ pub struct CodeCache {
     invalidated_full: Cell<u64>,
     invalidated_page: Cell<u64>,
     evicted_stale_regions: Cell<u64>,
+    capacity_evictions: Cell<u64>,
 }
 
 impl CodeCache {
-    /// Creates an empty cache with the given indexing policy.
+    /// Creates an empty, unbounded cache with the given indexing policy.
     pub fn new(index: CacheIndex) -> Self {
         CodeCache {
             index,
             regions: HashMap::new(),
+            ring: VecDeque::new(),
+            capacity_bytes: None,
+            capacity_regions: None,
             epoch: Cell::new(0),
             hits: Cell::new(0),
             misses: Cell::new(0),
             invalidated_full: Cell::new(0),
             invalidated_page: Cell::new(0),
             evicted_stale_regions: Cell::new(0),
+            capacity_evictions: Cell::new(0),
         }
+    }
+
+    /// Installs (or lifts, with `None`) the capacity bounds, evicting
+    /// immediately if the cache is already over a new bound.
+    pub fn set_capacity(&mut self, bytes: Option<usize>, regions: Option<usize>) {
+        self.capacity_bytes = bytes;
+        self.capacity_regions = regions;
+        self.enforce_capacity(None);
     }
 
     /// The indexing policy in force.
@@ -455,11 +520,12 @@ impl CodeCache {
         let found = self
             .regions
             .get(&key)
-            .filter(|r| !r.gated() || r.ctx_gen == ctx_gen);
+            .filter(|s| !s.region.gated() || s.region.ctx_gen == ctx_gen);
         match found {
-            Some(r) => {
+            Some(slot) => {
                 self.hits.set(self.hits.get() + 1);
-                Some(Arc::clone(r))
+                slot.referenced.set(true);
+                Some(Arc::clone(&slot.region))
             }
             None => {
                 self.misses.set(self.misses.get() + 1);
@@ -472,14 +538,17 @@ impl CodeCache {
     /// statistics (used by the region former to consult link heats and to
     /// avoid re-forming an existing multi-constituent region).
     pub fn peek(&self, key: RegionKey) -> Option<Arc<Region>> {
-        self.regions.get(&key).map(Arc::clone)
+        self.regions.get(&key).map(|s| Arc::clone(&s.region))
     }
 
     /// Inserts a region under its key, replacing any previous region there
     /// (e.g. the plain one-constituent region a freshly formed trace
     /// supersedes).  Dropping the replaced `Arc` kills chain links into it;
     /// no epoch bump is needed because the replacement is reachable through
-    /// the same key, so the slow path re-resolves naturally.
+    /// the same key, so the slow path re-resolves naturally.  If the insert
+    /// pushes the cache over a capacity bound, the clock sweep evicts other
+    /// regions until it fits (the new region itself is exempt from this
+    /// insert's sweep).
     // The dispatcher is single-threaded per vCPU by design (the paper's
     // execution engine runs one guest core per host core); `Arc`/`Weak` are
     // used for the shared-ownership semantics of chain links, not for
@@ -487,8 +556,74 @@ impl CodeCache {
     #[allow(clippy::arc_with_non_send_sync)]
     pub fn insert(&mut self, region: Region) -> Arc<Region> {
         let arc = Arc::new(region);
-        self.regions.insert(arc.key(), Arc::clone(&arc));
+        let key = arc.key();
+        if self
+            .regions
+            .insert(key, Slot::new(Arc::clone(&arc)))
+            .is_none()
+        {
+            self.ring.push_back(key);
+        }
+        self.enforce_capacity(Some(key));
         arc
+    }
+
+    /// True while a capacity bound is exceeded.
+    fn over_capacity(&self) -> bool {
+        if self.capacity_bytes.is_some_and(|b| self.bytes_live() > b) {
+            return true;
+        }
+        self.capacity_regions
+            .is_some_and(|r| self.regions.len() > r)
+    }
+
+    /// Clock (second-chance) sweep: evicts regions from the insertion-order
+    /// ring until the cache is within its capacity bounds.  A referenced
+    /// region gets its bit cleared and one more trip around the ring; the
+    /// region at `keep` (the one just inserted) is never evicted by this
+    /// sweep.  Evictions bump the epoch so dispatcher-held chain links die.
+    fn enforce_capacity(&mut self, keep: Option<RegionKey>) {
+        let mut evicted = 0u64;
+        let mut spared_keep = false;
+        while self.over_capacity() {
+            let Some(key) = self.ring.pop_front() else {
+                break;
+            };
+            if Some(key) == keep {
+                if spared_keep {
+                    // Only the protected region is left to sweep: admit it
+                    // even though it exceeds the bound on its own.
+                    self.ring.push_front(key);
+                    break;
+                }
+                spared_keep = true;
+                self.ring.push_back(key);
+                continue;
+            }
+            let Some(slot) = self.regions.get(&key) else {
+                continue; // already invalidated; drop the stale ring entry
+            };
+            if slot.referenced.get() {
+                slot.referenced.set(false);
+                self.ring.push_back(key);
+                spared_keep = false; // bit cleared: the next lap can evict
+                continue;
+            }
+            self.regions.remove(&key);
+            evicted += 1;
+            spared_keep = false;
+        }
+        if evicted > 0 {
+            self.capacity_evictions
+                .set(self.capacity_evictions.get() + evicted);
+            self.epoch.set(self.epoch.get() + 1);
+        }
+    }
+
+    /// Drops ring entries whose region an invalidation already removed.
+    fn prune_ring(&mut self) {
+        let regions = &self.regions;
+        self.ring.retain(|k| regions.contains_key(k));
     }
 
     /// Number of cached regions.
@@ -504,7 +639,10 @@ impl CodeCache {
     /// Number of cached multi-constituent regions (stale-generation ones
     /// included until they are replaced, invalidated or swept).
     pub fn multi_region_count(&self) -> usize {
-        self.regions.values().filter(|r| r.is_multi()).count()
+        self.regions
+            .values()
+            .filter(|s| s.region.is_multi())
+            .count()
     }
 
     /// Evicts every multi-constituent region whose formation context
@@ -518,10 +656,13 @@ impl CodeCache {
     pub fn evict_stale_regions(&mut self, ctx_gen: u64) -> usize {
         let before = self.regions.len();
         self.regions
-            .retain(|_, r| !r.gated() || r.ctx_gen == ctx_gen);
+            .retain(|_, s| !s.region.gated() || s.region.ctx_gen == ctx_gen);
         let removed = before - self.regions.len();
         self.evicted_stale_regions
             .set(self.evicted_stale_regions.get() + removed as u64);
+        if removed > 0 {
+            self.prune_ring();
+        }
         removed
     }
 
@@ -533,6 +674,9 @@ impl CodeCache {
             invalidated_full: self.invalidated_full.get(),
             invalidated_page: self.invalidated_page.get(),
             evicted_stale_regions: self.evicted_stale_regions.get(),
+            capacity_evictions: self.capacity_evictions.get(),
+            bytes_live: self.bytes_live() as u64,
+            regions_live: self.regions.len() as u64,
         }
     }
 
@@ -542,6 +686,7 @@ impl CodeCache {
         self.invalidated_full
             .set(self.invalidated_full.get() + self.regions.len() as u64);
         self.regions.clear();
+        self.ring.clear();
         self.epoch.set(self.epoch.get() + 1);
     }
 
@@ -554,23 +699,31 @@ impl CodeCache {
     /// still holds.
     pub fn invalidate_phys_page(&mut self, page_base: u64) {
         let before = self.regions.len();
-        self.regions.retain(|_, r| !r.pages.contains(&page_base));
+        self.regions
+            .retain(|_, s| !s.region.pages.contains(&page_base));
         let removed = (before - self.regions.len()) as u64;
         if removed > 0 {
             self.invalidated_page
                 .set(self.invalidated_page.get() + removed);
             self.epoch.set(self.epoch.get() + 1);
+            self.prune_ring();
         }
     }
 
     /// Total bytes of encoded host code currently cached.
     pub fn total_encoded_bytes(&self) -> usize {
-        self.regions.values().map(|r| r.encoded_bytes).sum()
+        self.regions.values().map(|s| s.region.encoded_bytes).sum()
+    }
+
+    /// Alias of [`CodeCache::total_encoded_bytes`] used by the capacity
+    /// check and occupancy statistics.
+    fn bytes_live(&self) -> usize {
+        self.total_encoded_bytes()
     }
 
     /// Total guest instructions covered by cached regions.
     pub fn total_guest_insns(&self) -> usize {
-        self.regions.values().map(|r| r.guest_insns).sum()
+        self.regions.values().map(|s| s.region.guest_insns).sum()
     }
 }
 
@@ -899,6 +1052,89 @@ mod tests {
         assert_eq!(p.cycles(EntryMode::Chained), 6);
         assert_eq!(p.total_executions(), 3);
         assert_eq!(p.total_cycles(), 16);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_oldest_unreferenced_region() {
+        let mut c = CodeCache::new(CacheIndex::GuestPhysical);
+        c.set_capacity(None, Some(2));
+        c.insert(block(0x1000, 1));
+        c.insert(block(0x2000, 1));
+        let epoch_before = c.epoch();
+        c.insert(block(0x3000, 1));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().capacity_evictions, 1);
+        assert_eq!(c.stats().regions_live, 2);
+        assert!(c.epoch() > epoch_before, "eviction retires held links");
+        // FIFO among unreferenced regions: the oldest insert went first.
+        assert!(c.peek(key(0x1000, 0x1000)).is_none(), "oldest evicted");
+        assert!(c.peek(key(0x2000, 0x2000)).is_some());
+        assert!(c.peek(key(0x3000, 0x3000)).is_some(), "new region admitted");
+    }
+
+    #[test]
+    fn clock_sweep_gives_referenced_regions_a_second_chance() {
+        let mut c = CodeCache::new(CacheIndex::GuestPhysical);
+        c.set_capacity(None, Some(2));
+        c.insert(block(0x1000, 1));
+        c.insert(block(0x2000, 1));
+        // A dispatch-path hit marks 0x1000 referenced; 0x2000 stays cold.
+        assert!(c.get(key(0x1000, 0x1000), 0).is_some());
+        c.insert(block(0x3000, 1));
+        assert!(c.peek(key(0x1000, 0x1000)).is_some(), "hot region survives");
+        assert!(c.peek(key(0x2000, 0x2000)).is_none(), "cold region evicted");
+        assert_eq!(c.stats().capacity_evictions, 1);
+    }
+
+    #[test]
+    fn byte_capacity_bound_is_enforced() {
+        let mut c = CodeCache::new(CacheIndex::GuestPhysical);
+        // block() gives each region insns * 40 encoded bytes.
+        c.set_capacity(Some(100), None);
+        c.insert(block(0x1000, 1)); // 40 bytes
+        c.insert(block(0x2000, 1)); // 80 bytes
+        c.insert(block(0x3000, 1)); // 120 bytes: over, evict one
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().bytes_live, 80);
+        assert_eq!(c.stats().capacity_evictions, 1);
+    }
+
+    #[test]
+    fn an_oversized_region_is_still_admitted() {
+        let mut c = CodeCache::new(CacheIndex::GuestPhysical);
+        c.set_capacity(Some(50), None);
+        c.insert(block(0x1000, 4)); // 160 bytes, alone over the bound
+        assert_eq!(c.len(), 1, "sole region is exempt from its own sweep");
+        assert!(c.peek(key(0x1000, 0x1000)).is_some());
+        c.insert(block(0x2000, 1));
+        // The oversized one is now evictable in favour of the newcomer.
+        assert!(c.peek(key(0x1000, 0x1000)).is_none());
+        assert!(c.peek(key(0x2000, 0x2000)).is_some());
+    }
+
+    #[test]
+    fn invalidation_leaves_no_stale_ring_entries_to_evict() {
+        let mut c = CodeCache::new(CacheIndex::GuestPhysical);
+        c.set_capacity(None, Some(2));
+        c.insert(block(0x1000, 1));
+        c.insert(block(0x2000, 1));
+        c.invalidate_phys_page(0x1000);
+        assert_eq!(c.len(), 1);
+        c.insert(block(0x3000, 1));
+        // Within the bound again: nothing must be charged as evicted.
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().capacity_evictions, 0);
+    }
+
+    #[test]
+    fn unbounded_cache_never_capacity_evicts() {
+        let mut c = CodeCache::new(CacheIndex::GuestPhysical);
+        for i in 0..64 {
+            c.insert(block(0x1000 + i * 0x100, 1));
+        }
+        assert_eq!(c.len(), 64);
+        assert_eq!(c.stats().capacity_evictions, 0);
+        assert_eq!(c.stats().regions_live, 64);
     }
 
     #[test]

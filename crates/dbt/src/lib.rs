@@ -46,6 +46,7 @@ pub use cache::{
 };
 pub use emitter::{Emitter, Node, NodeId, ValueType};
 pub use lir::{LirInsn, RegFileAccess, Vreg, VregClass};
+pub use lower::LowerError;
 pub use opt::OptStats;
 pub use timing::{Phase, PhaseTimers};
 
@@ -59,11 +60,16 @@ use std::sync::Arc;
 /// (optimiser deletions plus allocator dead-marks).  Both engines call this
 /// — Captive with `run_opt` from its config, the QEMU-style baseline always
 /// without — so the phase and elimination accounting can never desync.
+///
+/// Fails with a [`LowerError`] when lowering finds a live virtual register
+/// with no assignment; the engines respond by discarding the translation and
+/// degrading (UNDEF fallback for a plain block, bailout for a formed
+/// region), counted in [`PhaseTimers::lower_bailouts`] by the caller.
 pub fn finish_translation(
     timers: &mut PhaseTimers,
     mut lir: Vec<LirInsn>,
     run_opt: bool,
-) -> (Vec<MachInsn>, Vec<u8>, usize) {
+) -> Result<(Vec<MachInsn>, Vec<u8>, usize), LowerError> {
     let pre_opt = lir.len();
     if run_opt {
         // The optimiser sits between emission and register allocation; its
@@ -78,12 +84,9 @@ pub fn finish_translation(
     let dce = allocation.dead.iter().filter(|d| **d).count();
     timers.opt_dce_insns += dce as u64;
     let elided = pre_opt - lir.len() + dce;
-    let (code, encoded) = timers.time(Phase::Encode, || {
-        let code = lower::lower(&lir, &allocation);
-        let encoded = hvm::encode::encode_block(&code);
-        (code, encoded)
-    });
-    (code, encoded, elided)
+    let code = timers.time(Phase::Encode, || lower::lower(&lir, &allocation))?;
+    let encoded = timers.time(Phase::Encode, || hvm::encode::encode_block(&code));
+    Ok((code, encoded, elided))
 }
 
 /// A guest instruction-set architecture plugged into the DBT.

@@ -5,6 +5,15 @@
 //! their physical assignments (with scratch-register reloads for spilled
 //! values), labels disappear and relative jump targets are patched once all
 //! instruction positions are known (Section 2.3.4).
+//!
+//! Lowering is fallible: a virtual register that reaches encoding with
+//! neither a physical assignment nor a spill slot is an allocator/emitter
+//! defect, and silently substituting a default register would corrupt guest
+//! state at run time.  [`lower`] reports it as a [`LowerError`] instead; the
+//! engines respond by bailing out of the translation (a plain block falls
+//! back to raising a guest UNDEF exception, a region formation is abandoned
+//! in favour of the constituent blocks), so a lowering defect degrades to
+//! slower or fault-raising execution rather than wrong answers.
 
 use crate::lir::{LirBase, LirInsn, LirMem, LirOperand, Vreg, ARG_GPRS, SCRATCH_GPRS};
 use crate::regalloc::{Allocation, Assignment};
@@ -20,6 +29,28 @@ pub const SPILL_AREA_OFFSET: i32 = -4096;
 /// `FpFma` whose operands all spilled still gets distinct reloads).
 const XMM_SCRATCH: [Xmm; 3] = [Xmm(13), Xmm(14), Xmm(15)];
 
+/// A lowering defect: virtual register `vreg` reached encoding with neither
+/// a physical assignment nor a spill slot.  Emitting code for it would read
+/// or clobber an arbitrary host register, so the translation must be
+/// abandoned instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LowerError {
+    /// Id of the unassigned virtual register.
+    pub vreg: u32,
+}
+
+impl std::fmt::Display for LowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "virtual register v{} reached lowering without an assignment",
+            self.vreg
+        )
+    }
+}
+
+impl std::error::Error for LowerError {}
+
 struct Lowerer<'a> {
     alloc: &'a Allocation,
     out: Vec<MachInsn>,
@@ -30,6 +61,10 @@ struct Lowerer<'a> {
     /// Scratch registers consumed so far for the current LIR instruction.
     scratch_used: usize,
     xmm_scratch_used: usize,
+    /// First unassigned-vreg defect observed (checked after the pass; the
+    /// helpers return a placeholder register so lowering can continue far
+    /// enough to surface one error instead of panicking mid-instruction).
+    error: Option<LowerError>,
 }
 
 impl<'a> Lowerer<'a> {
@@ -41,6 +76,14 @@ impl<'a> Lowerer<'a> {
             fixups: Vec::new(),
             scratch_used: 0,
             xmm_scratch_used: 0,
+            error: None,
+        }
+    }
+
+    /// Records an unassigned-vreg defect (first one wins).
+    fn fail(&mut self, v: Vreg) {
+        if self.error.is_none() {
+            self.error = Some(LowerError { vreg: v.id });
         }
     }
 
@@ -63,7 +106,10 @@ impl<'a> Lowerer<'a> {
                 });
                 scratch
             }
-            _ => Gpr::Rax,
+            _ => {
+                self.fail(v);
+                Gpr::Rax
+            }
         }
     }
 
@@ -84,7 +130,10 @@ impl<'a> Lowerer<'a> {
                     }),
                 )
             }
-            _ => (Gpr::Rax, None),
+            _ => {
+                self.fail(v);
+                (Gpr::Rax, None)
+            }
         }
     }
 
@@ -101,7 +150,10 @@ impl<'a> Lowerer<'a> {
                 });
                 scratch
             }
-            _ => Xmm(0),
+            _ => {
+                self.fail(v);
+                Xmm(0)
+            }
         }
     }
 
@@ -120,7 +172,10 @@ impl<'a> Lowerer<'a> {
                     }),
                 )
             }
-            _ => (Xmm(0), None),
+            _ => {
+                self.fail(v);
+                (Xmm(0), None)
+            }
         }
     }
 
@@ -512,14 +567,19 @@ impl<'a> Lowerer<'a> {
 }
 
 /// Lowers allocated LIR to machine instructions, skipping dead instructions
-/// and patching relative jumps.
-pub fn lower(lir: &[LirInsn], alloc: &Allocation) -> Vec<MachInsn> {
+/// and patching relative jumps.  Fails with a [`LowerError`] if any live
+/// virtual register has no assignment — the caller must discard the
+/// translation and fall back (see the module docs).
+pub fn lower(lir: &[LirInsn], alloc: &Allocation) -> Result<Vec<MachInsn>, LowerError> {
     let mut l = Lowerer::new(alloc);
     for (i, insn) in lir.iter().enumerate() {
         if alloc.dead.get(i).copied().unwrap_or(false) {
             continue;
         }
         l.lower_insn(insn);
+    }
+    if let Some(err) = l.error {
+        return Err(err);
     }
     // Patch jumps: targets are relative to the jump's own index.
     for (pos, label) in l.fixups {
@@ -532,7 +592,7 @@ pub fn lower(lir: &[LirInsn], alloc: &Allocation) -> Vec<MachInsn> {
             _ => {}
         }
     }
-    l.out
+    Ok(l.out)
 }
 
 #[cfg(test)]
@@ -576,7 +636,7 @@ mod tests {
             LirInsn::Ret,
         ];
         let alloc = allocate(&lir);
-        let code = lower(&lir, &alloc);
+        let code = lower(&lir, &alloc).expect("assignments are complete");
         assert!(matches!(code.last(), Some(MachInsn::Ret)));
         // The PC increment lowers onto %r15 directly, flag-preserving.
         assert!(code.iter().any(|i| matches!(
@@ -598,6 +658,31 @@ mod tests {
     }
 
     #[test]
+    fn an_unassigned_vreg_is_a_typed_error_not_silent_code() {
+        // Hand-build an allocation that forgot v(1): the old behaviour
+        // silently substituted %rax; now the translation must be refused so
+        // the engine can fall back.
+        let v = |id| Vreg {
+            id,
+            class: VregClass::Gpr,
+        };
+        let lir = vec![
+            LirInsn::MovImm { dst: v(0), imm: 1 },
+            LirInsn::Store {
+                src: v(1),
+                addr: LirMem::regfile(0),
+                size: MemSize::U64,
+            },
+            LirInsn::Ret,
+        ];
+        let mut alloc = allocate(&lir);
+        alloc.assignment.remove(&1);
+        let err = lower(&lir, &alloc).unwrap_err();
+        assert_eq!(err.vreg, 1);
+        assert!(err.to_string().contains("v1"));
+    }
+
+    #[test]
     fn dead_instructions_are_skipped() {
         let v = |id| Vreg {
             id,
@@ -605,7 +690,7 @@ mod tests {
         };
         let lir = vec![LirInsn::MovImm { dst: v(0), imm: 7 }, LirInsn::Ret];
         let alloc = allocate(&lir);
-        let code = lower(&lir, &alloc);
+        let code = lower(&lir, &alloc).expect("assignments are complete");
         assert_eq!(code.len(), 1, "only the Ret survives");
     }
 
@@ -630,7 +715,7 @@ mod tests {
             LirInsn::Ret,
         ];
         let alloc = allocate(&lir);
-        let code = lower(&lir, &alloc);
+        let code = lower(&lir, &alloc).expect("assignments are complete");
         let jcc_pos = code
             .iter()
             .position(|i| matches!(i, MachInsn::Jcc { .. }))
@@ -685,7 +770,7 @@ mod tests {
             matches!(alloc.assignment[&n], crate::regalloc::Assignment::Spill(_)),
             "the CmovCc destination must have spilled for this regression"
         );
-        let code = lower(&lir, &alloc);
+        let code = lower(&lir, &alloc).expect("assignments are complete");
         let cmov_pos = code
             .iter()
             .position(|i| matches!(i, MachInsn::CmovCc { .. }))
@@ -726,7 +811,7 @@ mod tests {
         lir.push(LirInsn::Ret);
         let alloc = allocate(&lir);
         assert!(alloc.spill_slots > 0);
-        let code = lower(&lir, &alloc);
+        let code = lower(&lir, &alloc).expect("assignments are complete");
         // Spill stores target the spill area below the register file.
         assert!(code.iter().any(|i| matches!(
             i,

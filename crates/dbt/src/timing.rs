@@ -43,6 +43,10 @@ pub struct PhaseTimers {
     pub opt_copies_folded: u64,
     /// LIR instructions marked dead by the allocator's iterative DCE.
     pub opt_dce_insns: u64,
+    /// Translations abandoned because lowering found an unassigned virtual
+    /// register (the engine fell back to an UNDEF stub or dropped the
+    /// region).
+    pub lower_bailouts: u64,
 }
 
 impl PhaseTimers {
@@ -94,6 +98,7 @@ impl PhaseTimers {
         self.opt_partial_forwarded += other.opt_partial_forwarded;
         self.opt_copies_folded += other.opt_copies_folded;
         self.opt_dce_insns += other.opt_dce_insns;
+        self.lower_bailouts += other.lower_bailouts;
     }
 }
 

@@ -47,6 +47,12 @@ pub const CURRENT_EL_OFF: i32 = 840;
 /// Slot used to synchronise the guest PC with the register file when the
 /// generated code exits to the hypervisor.
 pub const PC_SLOT_OFF: i32 = 848;
+/// Timer compare value: an `MSR` arms a one-shot timer IRQ this many cycles
+/// in the future.
+pub const CNT_TVAL_OFF: i32 = 856;
+/// Timer control: an `MSR` of 0 cancels the timer; a non-zero value arms a
+/// periodic timer with that cycle interval.
+pub const CNT_CTL_OFF: i32 = 864;
 
 /// System register identifiers used by `MRS`/`MSR`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +73,10 @@ pub enum SysReg {
     Spsr = 6,
     /// Current exception level.
     CurrentEl = 7,
+    /// Timer compare value (one-shot deadline, cycles from now).
+    CntTval = 8,
+    /// Timer control (0 = cancel, non-zero = periodic interval).
+    CntCtl = 9,
 }
 
 impl SysReg {
@@ -81,6 +91,8 @@ impl SysReg {
             5 => SysReg::Elr,
             6 => SysReg::Spsr,
             7 => SysReg::CurrentEl,
+            8 => SysReg::CntTval,
+            9 => SysReg::CntCtl,
             _ => return None,
         })
     }
@@ -96,6 +108,8 @@ impl SysReg {
             SysReg::Elr => ELR_OFF,
             SysReg::Spsr => SPSR_OFF,
             SysReg::CurrentEl => CURRENT_EL_OFF,
+            SysReg::CntTval => CNT_TVAL_OFF,
+            SysReg::CntCtl => CNT_CTL_OFF,
         }
     }
 }
@@ -110,6 +124,8 @@ pub mod esr_class {
     pub const INSTR_ABORT: u64 = 0x21;
     /// Data abort (load/store fault).
     pub const DATA_ABORT: u64 = 0x25;
+    /// Asynchronous interrupt (IRQ); the ISS carries the interrupt line.
+    pub const IRQ: u64 = 0x3F;
 }
 
 #[cfg(test)]
@@ -124,12 +140,12 @@ mod tests {
         assert!(v_off(0) >= NZCV_OFF + 8);
         assert_eq!(v_off(31), 272 + 31 * 16);
         assert!(TTBR0_OFF >= v_off(31) + 16);
-        assert!((PC_SLOT_OFF as usize) + 8 <= REGFILE_SIZE);
+        assert!((CNT_CTL_OFF as usize) + 8 <= REGFILE_SIZE);
     }
 
     #[test]
     fn sysreg_roundtrip() {
-        for id in 0..8u32 {
+        for id in 0..10u32 {
             let r = SysReg::from_id(id).unwrap();
             assert_eq!(r as u32, id);
         }

@@ -1,0 +1,255 @@
+//! Deterministic guest event sources: a programmable timer and an
+//! interrupt latch.
+//!
+//! Both devices schedule work against the machine's *simulated cycle
+//! counter* ([`crate::PerfCounters::cycles`]), never against host wall
+//! clock, so a run is reproducible bit-for-bit: the same guest program with
+//! the same event plan observes the same interrupts in the same order on
+//! every engine.  The execution engines poll [`EventSources::due`] from
+//! `Runtime::loop_exit_pending` (so a hot looping region is preempted at
+//! its next back-edge) and from their dispatch loops (so straight-line code
+//! sees events at block boundaries), then call [`EventSources::take`] to
+//! pop the pending interrupt line and deliver it as a guest IRQ exception.
+//!
+//! Delivery masks further IRQs until the guest executes `eret`
+//! ([`EventSources::set_masked`]); deadlines that pass while masked stay
+//! latched and fire as soon as the mask clears, like a real interrupt
+//! controller's pending register.
+
+/// A one-shot or periodic down-counter timer.
+///
+/// Armed with an absolute cycle deadline; periodic reload is computed from
+/// the *previous deadline* (`deadline += period`), not from the observation
+/// point, so tick spacing is independent of how late the poll happened.
+#[derive(Debug, Clone, Default)]
+pub struct Timer {
+    /// Absolute cycle count of the next expiry; `None` when disarmed.
+    deadline: Option<u64>,
+    /// Reload interval for periodic mode; `None` for one-shot.
+    period: Option<u64>,
+    /// Number of times the timer has fired.
+    pub fires: u64,
+}
+
+impl Timer {
+    /// Arms a one-shot expiry at absolute cycle `deadline`.
+    pub fn arm_oneshot(&mut self, deadline: u64) {
+        self.deadline = Some(deadline);
+        self.period = None;
+    }
+
+    /// Arms a periodic timer: first expiry at `first`, then every `period`
+    /// cycles.  A zero period is treated as one-shot (a zero-period timer
+    /// would fire forever at a single cycle).
+    pub fn arm_periodic(&mut self, first: u64, period: u64) {
+        self.deadline = Some(first);
+        self.period = if period == 0 { None } else { Some(period) };
+    }
+
+    /// Disarms the timer.
+    pub fn cancel(&mut self) {
+        self.deadline = None;
+        self.period = None;
+    }
+
+    /// True when the timer has an expiry at or before `cycles`.
+    pub fn due(&self, cycles: u64) -> bool {
+        matches!(self.deadline, Some(d) if d <= cycles)
+    }
+
+    /// Consumes an expiry if one is due, advancing a periodic deadline past
+    /// `cycles` (multiple elapsed periods collapse into one delivery, like
+    /// a real timer interrupt that was held off).
+    pub fn take(&mut self, cycles: u64) -> bool {
+        let Some(d) = self.deadline else { return false };
+        if d > cycles {
+            return false;
+        }
+        self.fires += 1;
+        match self.period {
+            Some(p) => {
+                let mut next = d;
+                while next <= cycles {
+                    next += p;
+                }
+                self.deadline = Some(next);
+            }
+            None => self.deadline = None,
+        }
+        true
+    }
+}
+
+/// An interrupt latch: lines raised directly or on a cycle schedule.
+///
+/// Raised lines stay pending until taken; the schedule lets a test inject
+/// "spurious" device interrupts at predetermined cycle counts.
+#[derive(Debug, Clone, Default)]
+pub struct InterruptLatch {
+    /// Bitmask of currently-pending lines.
+    pending: u64,
+    /// `(cycle, line)` pairs still to be raised, sorted by cycle.
+    schedule: Vec<(u64, u32)>,
+    /// Number of raises latched (direct + scheduled).
+    pub raises: u64,
+}
+
+impl InterruptLatch {
+    /// Latches `line` (0..64) immediately.
+    pub fn raise(&mut self, line: u32) {
+        self.pending |= 1u64 << (line & 63);
+        self.raises += 1;
+    }
+
+    /// Schedules `line` to latch once the cycle counter reaches `cycle`.
+    pub fn raise_at(&mut self, cycle: u64, line: u32) {
+        let at = self.schedule.partition_point(|&(c, _)| c <= cycle);
+        self.schedule.insert(at, (cycle, line));
+    }
+
+    /// Latches every scheduled raise whose cycle has arrived.
+    fn service_schedule(&mut self, cycles: u64) {
+        while let Some(&(c, line)) = self.schedule.first() {
+            if c > cycles {
+                break;
+            }
+            self.schedule.remove(0);
+            self.raise(line);
+        }
+    }
+
+    /// True when a line is pending (or a scheduled raise has arrived).
+    pub fn due(&self, cycles: u64) -> bool {
+        self.pending != 0 || self.schedule.first().is_some_and(|&(c, _)| c <= cycles)
+    }
+
+    /// Pops the lowest-numbered pending line, servicing the schedule first.
+    pub fn take(&mut self, cycles: u64) -> Option<u32> {
+        self.service_schedule(cycles);
+        if self.pending == 0 {
+            return None;
+        }
+        let line = self.pending.trailing_zeros();
+        self.pending &= self.pending - 1;
+        Some(line)
+    }
+}
+
+/// Interrupt line the timer asserts.
+pub const TIMER_LINE: u32 = 30;
+
+/// The machine's event sources plus the CPU-side IRQ mask.
+#[derive(Debug, Clone, Default)]
+pub struct EventSources {
+    /// The programmable timer (guest-visible via `CntTval`/`CntCtl`).
+    pub timer: Timer,
+    /// The interrupt latch (host/test-programmable).
+    pub latch: InterruptLatch,
+    /// True while an IRQ is being handled (set at delivery, cleared by
+    /// `eret`); pending events are held off but not lost.
+    masked: bool,
+    /// IRQs delivered (i.e. [`EventSources::take`] returned a line).
+    pub delivered: u64,
+    /// Timer-originated IRQs delivered (subset of `delivered`).
+    pub timer_delivered: u64,
+}
+
+impl EventSources {
+    /// True when an unmasked event is ready at `cycles`.  Cheap; called per
+    /// back-edge from `Runtime::loop_exit_pending`.
+    pub fn due(&self, cycles: u64) -> bool {
+        !self.masked && (self.timer.due(cycles) || self.latch.due(cycles))
+    }
+
+    /// Pops the next deliverable IRQ line, if any.  The timer wins ties so
+    /// tick delivery order is deterministic.
+    pub fn take(&mut self, cycles: u64) -> Option<u32> {
+        if self.masked {
+            return None;
+        }
+        if self.timer.take(cycles) {
+            self.delivered += 1;
+            self.timer_delivered += 1;
+            return Some(TIMER_LINE);
+        }
+        let line = self.latch.take(cycles)?;
+        self.delivered += 1;
+        Some(line)
+    }
+
+    /// Sets or clears the CPU-side IRQ mask (set at delivery, cleared at
+    /// `eret`).
+    pub fn set_masked(&mut self, masked: bool) {
+        self.masked = masked;
+    }
+
+    /// Current mask state.
+    pub fn masked(&self) -> bool {
+        self.masked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oneshot_fires_once() {
+        let mut t = Timer::default();
+        t.arm_oneshot(100);
+        assert!(!t.due(99));
+        assert!(t.due(100));
+        assert!(t.take(150));
+        assert!(!t.take(1000), "one-shot must not re-fire");
+        assert_eq!(t.fires, 1);
+    }
+
+    #[test]
+    fn periodic_reloads_from_previous_deadline() {
+        let mut t = Timer::default();
+        t.arm_periodic(100, 50);
+        assert!(t.take(100));
+        // Observed late at cycle 210: the elapsed 150 and 200 deadlines
+        // collapse into this one delivery; the next is 250, not 260.
+        assert!(t.take(210));
+        assert!(!t.due(249));
+        assert!(t.due(250));
+        assert_eq!(t.fires, 2);
+    }
+
+    #[test]
+    fn latch_orders_by_line_and_services_schedule() {
+        let mut l = InterruptLatch::default();
+        l.raise(5);
+        l.raise(2);
+        l.raise_at(300, 1);
+        assert_eq!(l.take(0), Some(2));
+        assert_eq!(l.take(0), Some(5));
+        assert_eq!(l.take(0), None);
+        assert!(l.due(300));
+        assert_eq!(l.take(300), Some(1));
+    }
+
+    #[test]
+    fn mask_holds_events_without_losing_them() {
+        let mut ev = EventSources::default();
+        ev.timer.arm_oneshot(10);
+        ev.set_masked(true);
+        assert!(!ev.due(20));
+        assert_eq!(ev.take(20), None);
+        ev.set_masked(false);
+        assert!(ev.due(20));
+        assert_eq!(ev.take(20), Some(TIMER_LINE));
+        assert_eq!(ev.delivered, 1);
+        assert_eq!(ev.timer_delivered, 1);
+    }
+
+    #[test]
+    fn timer_wins_ties_deterministically() {
+        let mut ev = EventSources::default();
+        ev.timer.arm_oneshot(10);
+        ev.latch.raise(3);
+        assert_eq!(ev.take(10), Some(TIMER_LINE));
+        assert_eq!(ev.take(10), Some(3));
+    }
+}

@@ -28,6 +28,7 @@
 
 pub mod cost;
 pub mod encode;
+pub mod event;
 pub mod insn;
 pub mod machine;
 pub mod mem;
@@ -36,6 +37,7 @@ pub mod perf;
 pub mod tlb;
 
 pub use cost::CostModel;
+pub use event::{EventSources, InterruptLatch, Timer, TIMER_LINE};
 pub use insn::{AluOp, Cond, FpOp, Gpr, MachInsn, MemRef, MemSize, Operand, VecOp, Xmm};
 pub use machine::{
     ExitReason, FaultAction, FlagsReg, HelperCtx, HelperResult, Machine, MachineConfig,

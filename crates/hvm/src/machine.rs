@@ -139,13 +139,15 @@ pub trait Runtime {
     }
 
     /// Polled at every [`MachInsn::BackEdge`] before the loop-back jump is
-    /// taken.  Returning `true` turns the transfer into a dispatcher exit
-    /// (the guest PC is already precise at the loop header), which is how
-    /// the hypervisor bounds the staleness of a looping translation: a
-    /// self-modifying write to a constituent page or a queued guest event
-    /// takes effect at the next iteration boundary instead of waiting for
-    /// the loop to exit on its own.
-    fn loop_exit_pending(&mut self) -> bool {
+    /// taken, with the machine's current simulated cycle count.  Returning
+    /// `true` turns the transfer into a dispatcher exit (the guest PC is
+    /// already precise at the loop header), which is how the hypervisor
+    /// bounds the staleness of a looping translation: a self-modifying
+    /// write to a constituent page, a queued guest event, or an expired
+    /// [`crate::event::Timer`] deadline takes effect at the next iteration
+    /// boundary instead of waiting for the loop to exit on its own.
+    fn loop_exit_pending(&mut self, cycles: u64) -> bool {
+        let _ = cycles;
         false
     }
 }
@@ -513,7 +515,7 @@ impl Machine {
                             sf.sqrt()
                         }
                     }
-                    _ => unreachable!(),
+                    _ => unreachable!("host bug: outer match guarantees a single-precision op"),
                 };
                 return [(dst[0] & !0xFFFF_FFFF) | r.to_bits() as u64, dst[1]];
             }
@@ -570,7 +572,8 @@ impl Machine {
         size: MemSize,
         wide: bool,
     ) -> Result<[u64; 2], Result<MemFaultInfo, ExitReason>> {
-        for attempt in 0..2 {
+        let mut retried = false;
+        loop {
             let user = self.ring == Ring::Ring3;
             match self.translate(vaddr, false, user) {
                 Ok(pa) => {
@@ -587,7 +590,8 @@ impl Machine {
                         .map(|v| [v, 0])
                         .map_err(|e| Err(ExitReason::Error(e.to_string())));
                 }
-                Err(_) if attempt == 0 => {
+                Err(_) if !retried => {
+                    retried = true;
                     self.perf.page_faults += 1;
                     match rt.page_fault(vaddr, false, self) {
                         FaultAction::Retry { cost } => {
@@ -603,14 +607,18 @@ impl Machine {
                         }
                     }
                 }
+                // The runtime claimed the retry would succeed but the
+                // mapping still faults (e.g. a hostile guest unmapped the
+                // page from its own handler).  Degrade to a guest-visible
+                // data abort instead of killing the engine.
                 Err(_) => {
-                    return Err(Err(ExitReason::Error(format!(
-                        "unresolvable read fault at {vaddr:#x}"
-                    ))))
+                    return Err(Ok(MemFaultInfo {
+                        vaddr,
+                        write: false,
+                    }))
                 }
             }
         }
-        unreachable!()
     }
 
     /// Performs a memory store for the interpreter, consulting the runtime on
@@ -623,7 +631,8 @@ impl Machine {
         size: MemSize,
         wide: bool,
     ) -> Result<(), Result<MemFaultInfo, ExitReason>> {
-        for attempt in 0..2 {
+        let mut retried = false;
+        loop {
             let user = self.ring == Ring::Ring3;
             match self.translate(vaddr, true, user) {
                 Ok(pa) => {
@@ -636,7 +645,8 @@ impl Machine {
                     };
                     return res.map_err(|e| Err(ExitReason::Error(e.to_string())));
                 }
-                Err(_) if attempt == 0 => {
+                Err(_) if !retried => {
+                    retried = true;
                     self.perf.page_faults += 1;
                     match rt.page_fault(vaddr, true, self) {
                         FaultAction::Retry { cost } => {
@@ -649,14 +659,12 @@ impl Machine {
                         }
                     }
                 }
-                Err(_) => {
-                    return Err(Err(ExitReason::Error(format!(
-                        "unresolvable write fault at {vaddr:#x}"
-                    ))))
-                }
+                // Mapping still faults after a runtime-promised retry; see
+                // `do_load` — degrade to a guest data abort, never a host
+                // engine error.
+                Err(_) => return Err(Ok(MemFaultInfo { vaddr, write: true })),
             }
         }
-        unreachable!()
     }
 
     /// Executes one translated block entered through the dispatcher.  `code`
@@ -1087,7 +1095,9 @@ impl Machine {
                     // precise at the loop header whether the jump is taken or
                     // the pending-event poll exits to the dispatcher.
                     self.set_reg(Gpr::R15, header);
-                    if rt.loop_exit_pending() || backedges_taken >= self.loop_trip_limit {
+                    if rt.loop_exit_pending(self.perf.cycles)
+                        || backedges_taken >= self.loop_trip_limit
+                    {
                         return ExitReason::BlockEnd;
                     }
                     backedges_taken += 1;

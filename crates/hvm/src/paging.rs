@@ -116,7 +116,9 @@ pub fn walk(mem: &PhysMem, root: u64, vaddr: u64) -> Result<PageWalk, WalkError>
         writable: true,
         user: true,
     };
-    for level in (1..=LEVELS).rev() {
+    // Descend through the pointer levels (4..2), then read the leaf entry
+    // outside the loop so every path has an explicit result.
+    for level in (2..=LEVELS).rev() {
         let idx = table_index(vaddr, level);
         let pte_addr = table + idx * 8;
         let pte = mem.read_u64(pte_addr).map_err(|_| WalkError::BadPhysAddr)?;
@@ -127,19 +129,26 @@ pub fn walk(mem: &PhysMem, root: u64, vaddr: u64) -> Result<PageWalk, WalkError>
         // Permissions accumulate restrictively down the hierarchy.
         flags.writable &= entry_flags.writable;
         flags.user &= entry_flags.user;
-        if level == 1 {
-            return Ok(PageWalk {
-                frame: pte_frame(pte),
-                flags: PageFlags {
-                    present: true,
-                    ..flags
-                },
-                levels: LEVELS,
-            });
-        }
         table = pte_frame(pte);
     }
-    unreachable!("loop always returns at level 1")
+    let idx = table_index(vaddr, 1);
+    let pte = mem
+        .read_u64(table + idx * 8)
+        .map_err(|_| WalkError::BadPhysAddr)?;
+    let entry_flags = PageFlags::decode(pte);
+    if !entry_flags.present {
+        return Err(WalkError::NotPresent { level: 1 });
+    }
+    flags.writable &= entry_flags.writable;
+    flags.user &= entry_flags.user;
+    Ok(PageWalk {
+        frame: pte_frame(pte),
+        flags: PageFlags {
+            present: true,
+            ..flags
+        },
+        levels: LEVELS,
+    })
 }
 
 /// A bump allocator handing out physical page frames for page tables.
@@ -155,8 +164,8 @@ pub struct FrameAlloc {
 impl FrameAlloc {
     /// Creates an allocator over `[start, end)`; both must be page-aligned.
     pub fn new(start: u64, end: u64) -> Self {
-        assert_eq!(start % PAGE_SIZE, 0, "start must be page aligned");
-        assert_eq!(end % PAGE_SIZE, 0, "end must be page aligned");
+        assert_eq!(start % PAGE_SIZE, 0, "host bug: start must be page aligned");
+        assert_eq!(end % PAGE_SIZE, 0, "host bug: end must be page aligned");
         FrameAlloc { next: start, end }
     }
 
@@ -188,7 +197,7 @@ impl FrameAlloc {
     pub fn reset_to(&mut self, mark: u64) {
         assert!(
             mark.is_multiple_of(PAGE_SIZE) && mark <= self.next,
-            "mark must be an earlier allocation position"
+            "host bug: mark must be an earlier allocation position"
         );
         self.next = mark;
     }

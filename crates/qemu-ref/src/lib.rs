@@ -32,7 +32,10 @@ use dbt::{
 use guest_aarch64::gen::helpers;
 use guest_aarch64::isa::{AccessSize, FpKind, Insn};
 use guest_aarch64::{esr_class, mmu, v_off, x_off, Aarch64Isa, SysReg};
-use hvm::{ExitReason, FaultAction, Gpr, HelperResult, Machine, MachineConfig, MemSize, Runtime};
+use hvm::{
+    EventSources, ExitReason, FaultAction, Gpr, HelperResult, Machine, MachineConfig, MemSize,
+    Runtime,
+};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -83,6 +86,12 @@ pub struct RunStats {
     pub chained_transfers: u64,
     /// Successor links patched lazily.
     pub chain_patches: u64,
+    /// Guest exceptions delivered (synchronous + asynchronous).
+    pub guest_exceptions: u64,
+    /// Asynchronous IRQs delivered (subset of `guest_exceptions`).
+    pub irqs_delivered: u64,
+    /// Timer-originated IRQs delivered (subset of `irqs_delivered`).
+    pub timer_irqs: u64,
 }
 
 /// The QEMU-style runtime: software TLB, softfloat state, console.
@@ -105,6 +114,10 @@ pub struct QemuRuntime {
     pub soft_tlb_hits: u64,
     /// Software TLB misses (guest page walks).
     pub soft_tlb_misses: u64,
+    /// Deterministic guest event sources (timer + interrupt latch),
+    /// identical in behaviour to Captive's so cross-engine runs observe the
+    /// same events.
+    pub events: EventSources,
 }
 
 impl QemuRuntime {
@@ -120,6 +133,7 @@ impl QemuRuntime {
             fp_env: softfloat::FpEnv::arm(),
             soft_tlb_hits: 0,
             soft_tlb_misses: 0,
+            events: EventSources::default(),
         }
     }
 
@@ -203,7 +217,12 @@ impl QemuRuntime {
         ret: u64,
         far: Option<u64>,
     ) {
+        // Exception entry masks asynchronous events (the PSTATE.I analogue)
+        // until the handler's `eret`, mirroring Captive: a pending IRQ must
+        // never preempt a handler mid-flight and clobber ELR/ESR under it.
+        self.events.set_masked(true);
         let el = self.read_gregfile(machine, guest_aarch64::CURRENT_EL_OFF);
+        let nzcv = self.read_gregfile(machine, guest_aarch64::NZCV_OFF);
         self.write_gregfile(
             machine,
             guest_aarch64::ESR_OFF,
@@ -213,7 +232,13 @@ impl QemuRuntime {
             self.write_gregfile(machine, guest_aarch64::FAR_OFF, f);
         }
         self.write_gregfile(machine, guest_aarch64::ELR_OFF, ret);
-        self.write_gregfile(machine, guest_aarch64::SPSR_OFF, el);
+        // Same SPSR layout as Captive: interrupted NZCV in bits 31..28, EL
+        // in bit 0, so a handler may clobber flags at any preemption point.
+        self.write_gregfile(
+            machine,
+            guest_aarch64::SPSR_OFF,
+            ((nzcv & 0xF) << 28) | (el & 1),
+        );
         self.write_gregfile(machine, guest_aarch64::CURRENT_EL_OFF, 1);
         let vbar = self.read_gregfile(machine, guest_aarch64::VBAR_OFF);
         if vbar == 0 {
@@ -332,12 +357,26 @@ impl Runtime for QemuRuntime {
             }
             helpers::MSR_NOTIFY => {
                 let id = machine.reg(Gpr::Rdi) as u32;
-                if matches!(
-                    SysReg::from_id(id),
-                    Some(SysReg::Ttbr0) | Some(SysReg::Sctlr)
-                ) {
-                    self.soft_tlb.clear();
-                    self.flush_requested = true;
+                match SysReg::from_id(id) {
+                    Some(SysReg::Ttbr0) | Some(SysReg::Sctlr) => {
+                        self.soft_tlb.clear();
+                        self.flush_requested = true;
+                    }
+                    Some(SysReg::CntTval) => {
+                        let delta = self.read_gregfile(machine, guest_aarch64::CNT_TVAL_OFF);
+                        self.events.timer.arm_oneshot(machine.perf.cycles + delta);
+                    }
+                    Some(SysReg::CntCtl) => {
+                        let period = self.read_gregfile(machine, guest_aarch64::CNT_CTL_OFF);
+                        if period == 0 {
+                            self.events.timer.cancel();
+                        } else {
+                            self.events
+                                .timer
+                                .arm_periodic(machine.perf.cycles + period, period);
+                        }
+                    }
+                    _ => {}
                 }
                 HelperResult::Continue { cost: 200 }
             }
@@ -360,6 +399,8 @@ impl Runtime for QemuRuntime {
                 let elr = self.read_gregfile(machine, guest_aarch64::ELR_OFF);
                 let spsr = self.read_gregfile(machine, guest_aarch64::SPSR_OFF);
                 self.write_gregfile(machine, guest_aarch64::CURRENT_EL_OFF, spsr & 1);
+                self.write_gregfile(machine, guest_aarch64::NZCV_OFF, (spsr >> 28) & 0xF);
+                self.events.set_masked(false);
                 machine.set_reg(Gpr::R15, elr);
                 HelperResult::Exit { cost: 300 }
             }
@@ -479,6 +520,22 @@ impl QemuRef {
             .unwrap_or(0)
     }
 
+    /// FNV-1a digest of `len` bytes of guest physical memory starting at
+    /// `start` (byte-exact final-state comparison for the chaos harness).
+    pub fn guest_mem_digest(&self, start: u64, len: u64) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for a in start..start.saturating_add(len) {
+            let b = self
+                .machine
+                .mem
+                .read_uint(layout::GUEST_PHYS_BASE + a, 1)
+                .unwrap_or(0) as u8;
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
     /// Console output.
     pub fn console(&self) -> &[u8] {
         &self.runtime.uart_output
@@ -532,6 +589,15 @@ impl QemuRef {
                 patch_from = None;
             }
             let pc = self.machine.reg(Gpr::R15);
+            // Deterministic event sources fire at block boundaries (and at
+            // back-edge exits of looping translations): the guest PC is
+            // architecturally precise here.
+            if let Some(line) = self.runtime.events.take(self.machine.perf.cycles) {
+                patch_from = None;
+                budget -= 1;
+                self.deliver(GuestEvent::Irq { line }, pc);
+                continue;
+            }
             let pa = match self.fetch_pa(pc) {
                 Ok(pa) => pa,
                 Err(ev) => {
@@ -595,6 +661,7 @@ impl QemuRef {
                             || self.runtime.flush_requested
                             || !self.qemu_chaining
                             || budget == 0
+                            || self.runtime.events.due(self.machine.perf.cycles)
                         {
                             break;
                         }
@@ -640,6 +707,7 @@ impl QemuRef {
         match ev {
             GuestEvent::Halt { code } => {
                 self.runtime.exit_code = Some(code);
+                return;
             }
             GuestEvent::DataAbort { vaddr, write } => {
                 self.runtime.take_exception(
@@ -659,7 +727,21 @@ impl QemuRef {
                     Some(vaddr),
                 );
             }
+            GuestEvent::Irq { line } => {
+                self.stats.irqs_delivered += 1;
+                if line == hvm::TIMER_LINE {
+                    self.stats.timer_irqs += 1;
+                }
+                self.runtime.take_exception(
+                    &mut self.machine,
+                    esr_class::IRQ,
+                    line as u64,
+                    pc,
+                    None,
+                );
+            }
         }
+        self.stats.guest_exceptions += 1;
     }
 
     /// Translates one block in the TCG style: memory accesses and FP go
@@ -721,7 +803,16 @@ impl QemuRef {
         // The baseline deliberately skips the `dbt::opt` phase (TCG-style
         // translation quality); it still benefits from the allocator's
         // iterative dead-code marking, which is part of the shared pipeline.
-        let (code, encoded, dce) = dbt::finish_translation(&mut self.timers, lir, false);
+        let (code, encoded, dce) = match dbt::finish_translation(&mut self.timers, lir, false) {
+            Ok(t) => t,
+            Err(_) => {
+                // Same degradation as Captive: discard the defective
+                // translation and raise a guest UNDEF at the entry instead
+                // of executing corrupt host code.
+                self.timers.lower_bailouts += 1;
+                return self.undef_fallback(pc, pa);
+            }
+        };
         self.timers.blocks += 1;
         self.timers.guest_insns += guest_insns as u64;
         Region {
@@ -736,6 +827,42 @@ impl QemuRef {
             links: ChainLinks::default(),
             constituents: 1,
             pages: Region::span_pages(pa, guest_insns),
+            ctx_gen: 0,
+            unroll: 1,
+            back_edges: 0,
+            loop_guest_insns: 0,
+            loop_elided_insns: 0,
+        }
+    }
+
+    /// The degraded translation used when lowering bails out: a
+    /// one-instruction block raising a guest UNDEF exception at `pc`.  The
+    /// stub uses no virtual registers, so its own lowering cannot fail.
+    fn undef_fallback(&mut self, pc: u64, pa: u64) -> Region {
+        let mut e = Emitter::new();
+        let class = e.const_u64(esr_class::UNDEFINED);
+        let iss = e.const_u64(0);
+        let ret = e.const_u64(pc);
+        e.call_helper(helpers::TAKE_EXCEPTION, &[class, iss, ret]);
+        e.set_end_of_block();
+        let lir = e.finish();
+        let lir_count = lir.len();
+        let (code, encoded, dce) = dbt::finish_translation(&mut self.timers, lir, false)
+            .expect("host bug: the UNDEF stub lowers without virtual registers");
+        self.timers.blocks += 1;
+        self.timers.guest_insns += 1;
+        Region {
+            guest_phys: pa,
+            guest_virt: pc,
+            guest_insns: 1,
+            encoded_bytes: encoded.len(),
+            lir_insns: lir_count,
+            elided_insns: dce,
+            code: Arc::new(code),
+            exit: BlockExit::Indirect,
+            links: ChainLinks::default(),
+            constituents: 1,
+            pages: Region::span_pages(pa, 1),
             ctx_gen: 0,
             unroll: 1,
             back_edges: 0,

@@ -284,6 +284,107 @@ fn loop_nest(name: &'static str, iters: u32, scale: Scale) -> Workload {
     finish(name, Suite::Int, a)
 }
 
+/// Word offset (within the workload image) where the event workloads place
+/// their exception vector, so tests can compute the handler's address.
+pub const EVENT_HANDLER_WORD: usize = 0x80;
+
+/// Guest virtual/physical address of the event workloads' exception vector.
+pub const EVENT_HANDLER_VA: u64 = CODE_BASE + (EVENT_HANDLER_WORD as u64) * 4;
+
+fn pad_to(a: &mut Assembler, word: usize) {
+    assert!(
+        a.here() <= word,
+        "host bug: workload overran its vector pad"
+    );
+    while a.here() < word {
+        a.push(asm::nop());
+    }
+}
+
+/// Interrupt-storm workload: the guest arms a periodic timer via
+/// `MSR CNT_CTL` and spins on an idempotent memory kernel until its handler
+/// has observed `irqs` deliveries.  Engines retire different cycle counts,
+/// so IRQs preempt each engine at different guest points — every
+/// architectural side effect here is **count-driven, not cycle-driven**:
+/// the spin body writes the same values every iteration, the handler only
+/// increments the delivery counter (x20), and the handler itself cancels
+/// the timer on the final delivery (while IRQs are masked, so no stray
+/// delivery can race the cancellation).  Final registers, flags and memory
+/// are therefore identical on every engine and configuration.
+pub fn interrupt_storm(irqs: u32, period: u32) -> Workload {
+    let mut a = Assembler::new();
+    a.mov_imm64(9, EVENT_HANDLER_VA);
+    a.push(asm::msr(guest_aarch64::SysReg::Vbar as u32, 9));
+    a.push(asm::movz(20, 0, 0)); // delivery count
+    a.mov_imm64(21, irqs as u64); // target count
+    a.mov_imm64(1, DATA_BASE);
+    a.mov_imm64(2, period as u64);
+    a.push(asm::msr(guest_aarch64::SysReg::CntCtl as u32, 2)); // periodic
+    a.label("spin");
+    // Idempotent body: every iteration recomputes the same values from
+    // constants, so the iteration count (which differs per engine) leaves
+    // no architectural trace.
+    a.push(asm::ldr(5, 1, 0));
+    a.push(asm::eor(6, 5, 2));
+    a.push(asm::str(6, 1, 8));
+    a.push(asm::cmp(20, 21));
+    a.bcond_to(Cond::Ne, "spin");
+    a.push(asm::hlt());
+    pad_to(&mut a, EVENT_HANDLER_WORD);
+    // Vector: count the delivery; after the final one, cancel the timer
+    // before unmasking so the count can never overshoot.
+    a.push(asm::addi(20, 20, 1));
+    a.push(asm::cmp(20, 21));
+    a.bcond_to(Cond::Ne, "resume");
+    a.push(asm::movz(22, 0, 0));
+    a.push(asm::msr(guest_aarch64::SysReg::CntCtl as u32, 22)); // cancel
+    a.label("resume");
+    a.push(asm::eret());
+    finish("interrupt.storm", Suite::Int, a)
+}
+
+/// Timer-tick workload: the guest arms a **one-shot** timer via
+/// `MSR CNT_TVAL` and runs a long countdown loop; the tick preempts the
+/// loop mid-flight and the handler captures ELR into x10 before resuming.
+/// The loop is a single basic block, so on every engine the precise
+/// preemption PC — and hence the captured ELR — is the loop header, even
+/// when the loop is executing inside an unrolled looping region.  The loop
+/// then runs to completion, so final state is engine-independent.
+pub fn timer_tick(delay: u32, iters: u32) -> Workload {
+    let mut a = Assembler::new();
+    a.mov_imm64(9, EVENT_HANDLER_VA);
+    a.push(asm::msr(guest_aarch64::SysReg::Vbar as u32, 9));
+    a.push(asm::movz(20, 0, 0)); // tick count
+    a.mov_imm64(2, delay as u64);
+    a.push(asm::msr(guest_aarch64::SysReg::CntTval as u32, 2)); // one-shot
+    a.mov_imm64(1, iters as u64);
+    a.label("loop");
+    a.push(asm::subi(1, 1, 1));
+    a.cbnz_to(1, "loop");
+    a.push(asm::hlt());
+    pad_to(&mut a, EVENT_HANDLER_WORD);
+    a.push(asm::addi(20, 20, 1));
+    a.push(asm::mrs(10, guest_aarch64::SysReg::Elr as u32));
+    a.push(asm::eret());
+    finish("timer.tick", Suite::Int, a)
+}
+
+/// Guest virtual address of the `timer_tick(delay, iters)` countdown loop
+/// header.  Takes the same arguments as [`timer_tick`] because the prologue
+/// width depends on them (`mov_imm64` emits only the non-zero halfwords).
+pub fn timer_tick_loop_va(delay: u32, iters: u32) -> u64 {
+    // Recover it structurally instead of hard-coding: the loop header is
+    // the first `subi x1, x1, #1` in the image.
+    let w = timer_tick(delay, iters);
+    let target = asm::subi(1, 1, 1);
+    let idx = w
+        .words
+        .iter()
+        .position(|&x| x == target)
+        .expect("timer_tick contains its countdown loop");
+    CODE_BASE + idx as u64 * 4
+}
+
 /// The loop-heavy kernel set exercised by `figures -- loops`: the two SPEC
 /// stream kernels plus the dedicated multi-block-loop shapes whose inner
 /// loops only stay inside one region once back-edges close internally.
