@@ -344,6 +344,13 @@ pub fn chaos_captive_configs() -> Vec<(&'static str, CaptiveConfig)> {
                 ..CaptiveConfig::default()
             },
         ),
+        (
+            "captive-sync",
+            CaptiveConfig {
+                tiered: false,
+                ..CaptiveConfig::default()
+            },
+        ),
     ]
 }
 
@@ -390,6 +397,15 @@ pub fn run_chaos_captive(plan: &ChaosPlan, cfg: CaptiveConfig) -> (ChaosOutcome,
         ("formation_failures", s.formation_failures),
         ("regions_quarantined", s.regions_quarantined),
         ("regions_evicted", s.regions_evicted),
+        // Tiered-service counters: deterministic because requests publish at
+        // fixed link heats and results are consumed at the (blocking) install
+        // point.  Wall-clock fields (jit_wall_ns etc.) are deliberately NOT
+        // here — they are nondeterministic by nature.
+        ("tier1_requests", s.tier1_requests),
+        ("regions_installed_async", s.regions_installed_async),
+        ("stale_discards", s.stale_discards),
+        ("reuse_hits", s.reuse_hits),
+        ("reuse_misses", s.reuse_misses),
     ];
     (outcome, counters)
 }

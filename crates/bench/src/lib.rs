@@ -89,6 +89,31 @@ pub struct Measurement {
     pub regions_quarantined: u64,
     /// Translations abandoned by the typed lowering-error fallback.
     pub lower_bailouts: u64,
+    /// Tier-1 formation requests published to the background service
+    /// (Captive tiered mode only).
+    pub tier1_requests: u64,
+    /// Regions installed from a background worker's result (Captive tiered
+    /// mode only).
+    pub regions_installed_async: u64,
+    /// Worker results discarded as stale at the install gate (Captive tiered
+    /// mode only).
+    pub stale_discards: u64,
+    /// Regions installed from the content-keyed reuse cache (Captive tiered
+    /// mode only).
+    pub reuse_hits: u64,
+    /// Reuse-cache lookups that found no valid template (Captive tiered mode
+    /// only).
+    pub reuse_misses: u64,
+    /// JIT wall-clock the run thread actually stalled on, in nanoseconds
+    /// (tier-0 translation + snapshot capture + result waits + synchronous
+    /// formation).  Wall time, NOT modeled cycles.
+    pub jit_wall_ns: u64,
+    /// Wall-clock spent inside tier-1 workers, in nanoseconds (runs hidden
+    /// behind execution).
+    pub tier_worker_wall_ns: u64,
+    /// Nanoseconds from engine construction to the first region install
+    /// (0 when no region was installed).
+    pub first_region_install_ns: u64,
 }
 
 impl Measurement {
@@ -137,13 +162,48 @@ pub fn run_captive_chaining(w: &Workload, chaining: bool) -> Measurement {
     )
 }
 
+/// Runs a workload under Captive with the tiered translation service forced
+/// on or off (everything else default).  Modeled cycles are identical either
+/// way; the wall-clock fields (`jit_wall_ns`, `tier_worker_wall_ns`) are what
+/// differ — this is the `figures -- tiers` comparison pair.
+pub fn run_captive_tiered(w: &Workload, tiered: bool) -> Measurement {
+    run_captive_cfg(
+        w,
+        CaptiveConfig {
+            tiered,
+            ..CaptiveConfig::default()
+        },
+    )
+}
+
+/// Same as [`run_captive_tiered`] with a shared content-keyed reuse cache,
+/// for repeated-image sweeps where later runs should hit templates published
+/// by earlier ones.
+pub fn run_captive_tiered_reuse(
+    w: &Workload,
+    reuse: &std::sync::Arc<dbt::ReuseCache>,
+) -> Measurement {
+    run_captive_cfg(
+        w,
+        CaptiveConfig {
+            tiered: true,
+            reuse_cache: Some(std::sync::Arc::clone(reuse)),
+            ..CaptiveConfig::default()
+        },
+    )
+}
+
 /// Runs a workload under Captive with the LIR optimiser forced on or off
-/// (everything else default: chaining and superblocks on).
+/// (everything else default: chaining and superblocks on).  The tiered
+/// service is pinned off here and in the other single-knob ablation helpers:
+/// it cannot change modeled cycles, and the ablations want single-threaded
+/// wall-clock accounting.
 pub fn run_captive_opt(w: &Workload, opt: bool) -> Measurement {
     run_captive_cfg(
         w,
         CaptiveConfig {
             opt,
+            tiered: false,
             ..CaptiveConfig::default()
         },
     )
@@ -156,6 +216,7 @@ pub fn run_captive_regions(w: &Workload) -> Measurement {
         CaptiveConfig {
             chaining: true,
             form_regions: true,
+            tiered: false,
             ..CaptiveConfig::default()
         },
     )
@@ -171,6 +232,7 @@ pub fn run_captive_unroll(w: &Workload, unroll: usize) -> Measurement {
         CaptiveConfig {
             unroll_loops: unroll,
             loop_regions: false,
+            tiered: false,
             ..CaptiveConfig::default()
         },
     )
@@ -184,6 +246,7 @@ pub fn run_captive_loops(w: &Workload, loop_regions: bool) -> Measurement {
         w,
         CaptiveConfig {
             loop_regions,
+            tiered: false,
             ..CaptiveConfig::default()
         },
     )
@@ -236,6 +299,14 @@ pub fn run_captive_cfg(w: &Workload, cfg: CaptiveConfig) -> Measurement {
         formation_failures: s.formation_failures,
         regions_quarantined: s.regions_quarantined,
         lower_bailouts: c.timers.lower_bailouts,
+        tier1_requests: s.tier1_requests,
+        regions_installed_async: s.regions_installed_async,
+        stale_discards: s.stale_discards,
+        reuse_hits: s.reuse_hits,
+        reuse_misses: s.reuse_misses,
+        jit_wall_ns: s.jit_wall_ns,
+        tier_worker_wall_ns: s.tier_worker_wall_ns,
+        first_region_install_ns: s.first_region_install_ns,
     }
 }
 
@@ -292,6 +363,14 @@ pub fn run_qemu_chaining(w: &Workload, chaining: bool) -> Measurement {
         formation_failures: 0,
         regions_quarantined: 0,
         lower_bailouts: q.timers.lower_bailouts,
+        tier1_requests: 0,
+        regions_installed_async: 0,
+        stale_discards: 0,
+        reuse_hits: 0,
+        reuse_misses: 0,
+        jit_wall_ns: 0,
+        tier_worker_wall_ns: 0,
+        first_region_install_ns: 0,
     }
 }
 

@@ -78,6 +78,66 @@ fn same_seed_reproduces_every_counter() {
 }
 
 #[test]
+fn worker_queue_flood_is_deterministic_and_mode_blind() {
+    // Many loop heads publish tier-1 requests in the same outer pass and all
+    // hit their install points in the next: with a single worker the queue
+    // backs up and results arrive out of order (the parked-result path).
+    // Architectural state and modeled cycles must match the synchronous
+    // engine exactly, and a tiered rerun must reproduce every counter.
+    let w = workloads::loop_flood(12, 9, 30);
+    let run = |tiered: bool, workers: usize| {
+        let mut c = captive::Captive::new(captive::CaptiveConfig {
+            tiered,
+            tier_workers: workers,
+            ..captive::CaptiveConfig::default()
+        });
+        c.load_program(workloads::CODE_BASE, &w.words);
+        c.set_entry(w.entry);
+        let exit = c.run(bench::BLOCK_BUDGET);
+        assert!(
+            matches!(exit, captive::RunExit::GuestHalted { .. }),
+            "flood: unexpected exit {exit:?}"
+        );
+        // Every engine must count all 12 loops x 9 trips x 30 passes.
+        assert_eq!(c.guest_reg(9), 12 * 9 * 30, "flood increment count");
+        c.stats()
+    };
+    let flooded = run(true, 1);
+    let flooded_again = run(true, 1);
+    let sync = run(false, 0);
+    assert!(
+        flooded.tier1_requests >= 12,
+        "every loop head publishes: {} requests",
+        flooded.tier1_requests
+    );
+    assert!(
+        flooded.regions_installed_async >= 10,
+        "the flood drains through the worker: {} async installs",
+        flooded.regions_installed_async
+    );
+    // Workers trace from branch heats frozen at publish time while the
+    // synchronous former sees live heats at fire time, so in a dense
+    // multi-head program the chosen region shapes (and therefore modeled
+    // cost) may differ slightly — but never by more than a sliver, and the
+    // architectural result (x9 above) is identical in every mode.
+    assert!(
+        flooded.cycles <= sync.cycles + sync.cycles / 100,
+        "tiered cost stays within 1% of synchronous: {} vs {}",
+        flooded.cycles,
+        sync.cycles
+    );
+    assert_eq!(flooded.regions_formed, sync.regions_formed);
+    assert_eq!(flooded.cycles, flooded_again.cycles);
+    assert_eq!(flooded.tier1_requests, flooded_again.tier1_requests);
+    assert_eq!(
+        flooded.regions_installed_async,
+        flooded_again.regions_installed_async
+    );
+    assert_eq!(flooded.stale_discards, flooded_again.stale_discards);
+    assert_eq!(flooded.reuse_hits, flooded_again.reuse_hits);
+}
+
+#[test]
 fn tiny_cache_evicts_but_still_agrees() {
     // The tiny-cache configuration is only a meaningful degradation test if
     // the bound actually bites during the chaos run.

@@ -68,14 +68,20 @@
 pub mod itlb;
 pub mod layout;
 pub mod runtime;
+pub mod tier;
 pub mod translator;
 
-use dbt::{CacheIndex, CodeCache, EntryMode, PhaseTimers, Region, RegionKey, RegionProfile};
+use dbt::{
+    fnv1a, pack_knobs, CacheIndex, CodeCache, EntryMode, PhaseTimers, Region, RegionKey,
+    RegionProfile, ReuseCache, ReuseKey, ReuseTemplate, TierTimers,
+};
 use guest_aarch64::Aarch64Isa;
 use hvm::{ExitReason, Gpr, Machine, MachineConfig, Ring};
 use runtime::{CaptiveRuntime, GuestEvent};
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
+use tier::{FormationRequest, FormationResult, FormationSnapshot, TierService, WorkerOutcome};
 use translator::{form_region, translate_block};
 
 /// How guest floating-point instructions are implemented.
@@ -139,6 +145,20 @@ pub struct CaptiveConfig {
     pub cache_capacity_bytes: Option<usize>,
     /// Code-cache capacity in resident regions (`None` = unbounded).
     pub cache_capacity_regions: Option<usize>,
+    /// Two-tier translation: region formation runs on background workers
+    /// against immutable snapshots while the run thread keeps executing
+    /// tier-0 code, with generation/epoch/SMC-gated installs.  When `false`
+    /// every formation runs synchronously on the run thread — today's exact
+    /// single-threaded behaviour, kept as the comparable baseline.
+    pub tiered: bool,
+    /// Tier-1 worker threads.  `0` selects *pump mode*: requests queue and
+    /// are processed inline at the drain point (identical outcomes, fully
+    /// deterministic interleaving — used by the SMC-race tests).
+    pub tier_workers: usize,
+    /// Content-keyed translation-reuse cache shared with other engine
+    /// instances (the N-guests-one-image story).  `None` gives this
+    /// instance a private cache.  Only consulted when `tiered` is on.
+    pub reuse_cache: Option<Arc<ReuseCache>>,
 }
 
 impl Default for CaptiveConfig {
@@ -158,6 +178,9 @@ impl Default for CaptiveConfig {
             per_block_stats: false,
             cache_capacity_bytes: None,
             cache_capacity_regions: None,
+            tiered: true,
+            tier_workers: 2,
+            reuse_cache: None,
         }
     }
 }
@@ -177,6 +200,13 @@ pub enum RunExit {
 }
 
 /// Aggregate statistics of a run.
+///
+/// Concurrency audit: every field here is owned and written by the run
+/// thread only — tier-1 workers report through [`tier::FormationResult`]
+/// messages and never touch shared counters — so plain `u64`s are sound.
+/// The shared-state counters (code-cache lookups, evictions, epochs) live in
+/// [`CodeCache`] as atomics and are *sampled* into this struct by
+/// [`Captive::stats`].
 #[derive(Debug, Clone, Default)]
 pub struct RunStats {
     /// Simulated host cycles consumed by guest execution.
@@ -265,6 +295,30 @@ pub struct RunStats {
     /// Trace heads permanently quarantined after repeated formation
     /// failures (no further attempts are made for them).
     pub regions_quarantined: u64,
+    /// Tier-1 formation requests published to the background service.
+    pub tier1_requests: u64,
+    /// Regions formed by a background worker and installed after
+    /// revalidation (subset of `regions_formed`).
+    pub regions_installed_async: u64,
+    /// Worker-formed regions discarded at the install gate: formed against
+    /// a stale context generation or a since-patched page.
+    pub stale_discards: u64,
+    /// Regions installed from the content-keyed reuse cache without any
+    /// formation work (subset of `regions_formed`).
+    pub reuse_hits: u64,
+    /// Reuse-cache lookups that found no validated template.
+    pub reuse_misses: u64,
+    /// JIT wall-clock the run thread blocked on, in nanoseconds: tier-0
+    /// translation, snapshot capture, waits for in-flight results, and
+    /// synchronous formation (wall time, NOT modeled cycles — excluded from
+    /// determinism comparisons).
+    pub jit_wall_ns: u64,
+    /// Wall-clock spent inside tier-1 workers, in nanoseconds (runs hidden
+    /// behind tier-0 execution).
+    pub tier_worker_wall_ns: u64,
+    /// Nanoseconds from engine construction to the first gated-region
+    /// install (0 when none was installed).
+    pub first_region_install_ns: u64,
 }
 
 /// The hypervisor.
@@ -292,6 +346,38 @@ pub struct Captive {
     /// retrying on every hot transfer, and repeated failures quarantine the
     /// head permanently.
     quarantine: HashMap<RegionKey, FormationBackoff>,
+    /// The tier-1 formation service (`None` when `tiered` is off or regions
+    /// are disabled entirely).
+    tier: Option<TierService>,
+    /// Trace heads with a formation request in flight, mapped to the
+    /// sequence number of the live request; results carrying any other
+    /// sequence are superseded and dropped.
+    inflight: HashMap<RegionKey, u64>,
+    /// Results drained from the service while waiting for a *different*
+    /// key, parked until their own key reaches the install point.
+    parked_results: HashMap<RegionKey, FormationResult>,
+    /// Next formation-request sequence number.
+    next_seq: u64,
+    /// Content-keyed translation reuse (tiered mode only): shared across
+    /// instances when the config supplies one, private otherwise.
+    reuse: Option<Arc<ReuseCache>>,
+    /// Tier-level wall-clock accounting (run-thread stall vs worker time).
+    tier_timers: TierTimers,
+    /// Construction time, the zero point for time-to-first-region-install.
+    launch: Instant,
+}
+
+/// What the content-keyed reuse cache knows about a head at its install
+/// point.
+enum ReuseOutcome {
+    /// A validated template was found: install this instantiation (boxed:
+    /// the other variants are a fraction of `Region`'s size).
+    Hit(Box<Region>),
+    /// A validated refusal was found: this exact content is already known
+    /// to form nothing, so skip the worker round-trip.
+    Refusal,
+    /// Nothing usable is published for the key.
+    Miss,
 }
 
 /// Retry-backoff record for a trace head whose region formation failed.
@@ -324,8 +410,16 @@ impl Captive {
                 1,
             )
             .expect("register file is inside host RAM");
-        let mut cache = CodeCache::new(CacheIndex::GuestPhysical);
+        let cache = CodeCache::new(CacheIndex::GuestPhysical);
         cache.set_capacity(config.cache_capacity_bytes, config.cache_capacity_regions);
+        let tiered = config.tiered && config.form_regions;
+        let tier = tiered.then(|| TierService::new(config.tier_workers));
+        let reuse = tiered.then(|| {
+            config
+                .reuse_cache
+                .clone()
+                .unwrap_or_else(|| Arc::new(ReuseCache::new()))
+        });
         Captive {
             machine,
             runtime,
@@ -337,6 +431,13 @@ impl Captive {
             per_region: HashMap::new(),
             swept_region_gen: 0,
             quarantine: HashMap::new(),
+            tier,
+            inflight: HashMap::new(),
+            parked_results: HashMap::new(),
+            next_seq: 0,
+            reuse,
+            tier_timers: TierTimers::default(),
+            launch: Instant::now(),
         }
     }
 
@@ -422,7 +523,18 @@ impl Captive {
         s.capacity_evictions = cs.capacity_evictions;
         s.bytes_live = cs.bytes_live;
         s.regions_live = cs.regions_live;
+        s.jit_wall_ns = self.tier_timers.run_thread_stall.as_nanos() as u64;
+        s.tier_worker_wall_ns = self.tier_timers.worker_wall.as_nanos() as u64;
+        s.first_region_install_ns = self
+            .tier_timers
+            .first_install
+            .map_or(0, |d| d.as_nanos() as u64);
         s
+    }
+
+    /// Tier-level wall-clock accounting (run-thread stall vs worker time).
+    pub fn tier_timers(&self) -> TierTimers {
+        self.tier_timers
     }
 
     /// FNV-1a digest of `len` bytes of guest physical memory starting at
@@ -509,6 +621,10 @@ impl Captive {
                 Some(r) => r,
                 None => {
                     self.stats.translations += 1;
+                    // Tier-0 translation is synchronous by design (the guest
+                    // needs this code *now*); its wall-clock is what the
+                    // run thread visibly stalls on.
+                    let t0 = Instant::now();
                     let region = translate_block(
                         &self.isa,
                         &mut self.machine,
@@ -519,6 +635,7 @@ impl Captive {
                         self.config.fp_mode,
                         self.config.opt,
                     );
+                    self.tier_timers.run_thread_stall += t0.elapsed();
                     self.runtime.note_code_page(&mut self.machine, pa & !0xFFF);
                     self.cache.insert(region)
                 }
@@ -681,13 +798,19 @@ impl Captive {
     }
 
     /// Profiles a chained transfer into `next` and, when its link heat
-    /// crosses the hot threshold, stitches the chained path starting at
-    /// `next` into a multi-constituent region (unrolling a single-block
-    /// self-loop up to the configured factor).  Returns the translation to
-    /// execute: the (possibly just-formed) region, otherwise `next`
-    /// unchanged.  The formed region replaces the plain one in the cache
-    /// under the same key, and the chain link in `prev` is re-pointed at it
-    /// so later transfers go straight there.
+    /// crosses the hot threshold, obtains a multi-constituent region for the
+    /// chained path starting at `next` and installs it.  Returns the
+    /// translation to execute: the (possibly just-formed) region, otherwise
+    /// `next` unchanged.
+    ///
+    /// **Tiered mode** splits the work across two points so formation runs
+    /// hidden behind execution: at *half* the threshold a fresh head's
+    /// request (snapshot + frozen profile) is published to the background
+    /// service; at the threshold — the same guest-progress point where the
+    /// synchronous mode forms, so modeled cycles are mode-independent — the
+    /// region is obtained from the content-keyed reuse cache, else from the
+    /// in-flight worker result (revalidated against live memory, discarded
+    /// if stale), else formed synchronously as the always-correct fallback.
     fn maybe_form_region(
         &mut self,
         prev: &Arc<Region>,
@@ -713,11 +836,31 @@ impl Captive {
                 return next;
             }
         }
+        let key = next.key();
+        // Tier-1 publish point: a fresh head halfway to the threshold gets
+        // its request snapshotted and queued.  Heads already in flight are
+        // not re-published, and heads with a failure history retry
+        // synchronously (their traces close too short either way).
+        if self.tier.is_some()
+            && heat == self.publish_point()
+            && !self.inflight.contains_key(&key)
+            && !self.quarantine.contains_key(&key)
+        {
+            // A template (or recorded refusal) already published for this
+            // key makes a worker round-trip pointless: the install point
+            // will hit the reuse cache — or skip formation — directly.
+            let covered = self
+                .reuse
+                .as_ref()
+                .is_some_and(|r| r.covers(self.reuse_key_for(key)));
+            if !covered {
+                self.publish_formation(key);
+            }
+        }
         // Formation trigger with retry backoff: a head with no failure
         // history fires exactly at the configured threshold; a failed head
         // waits for its (doubled) retry heat; a quarantined head never
         // fires again.
-        let key = next.key();
         match self.quarantine.get(&key) {
             Some(q) if q.quarantined => return next,
             Some(q) => {
@@ -731,7 +874,28 @@ impl Captive {
                 }
             }
         }
-        let Some(region) = form_region(
+        if self.tier.is_some() {
+            match self.obtain_reuse(key, gen) {
+                ReuseOutcome::Hit(region) => {
+                    return self.install_formed(*region, prev, slot, gen);
+                }
+                // A validated refusal: a worker (possibly in a prior run
+                // sharing the cache) already proved this content forms
+                // nothing, so fall straight through to the synchronous
+                // attempt — which will refuse identically — without
+                // waiting on the worker queue.
+                ReuseOutcome::Refusal => {}
+                ReuseOutcome::Miss => {
+                    if self.inflight.contains_key(&key) {
+                        if let Some(region) = self.obtain_async(key, gen) {
+                            return self.install_formed(region, prev, slot, gen);
+                        }
+                    }
+                }
+            }
+        }
+        let t0 = Instant::now();
+        let formed = form_region(
             &self.isa,
             &mut self.machine,
             &mut self.runtime,
@@ -744,26 +908,40 @@ impl Captive {
             self.config.loop_regions,
             self.config.fp_mode,
             self.config.opt,
-        ) else {
-            // Nothing worth keeping came out (one-constituent trace, or the
-            // translation bailed out).  Record the failure and back off:
-            // the next attempt requires twice the heat, and repeated
-            // failures quarantine the head for good.
-            self.stats.formation_failures += 1;
-            let q = self.quarantine.entry(key).or_insert(FormationBackoff {
-                failures: 0,
-                next_retry_heat: 0,
-                quarantined: false,
-            });
-            q.failures += 1;
-            q.next_retry_heat = heat.saturating_mul(2).max(1);
-            if q.failures >= QUARANTINE_AFTER && !q.quarantined {
-                q.quarantined = true;
-                self.stats.regions_quarantined += 1;
+        );
+        self.tier_timers.run_thread_stall += t0.elapsed();
+        match formed {
+            Some(region) => self.install_formed(region, prev, slot, gen),
+            None => {
+                // Nothing worth keeping came out (one-constituent trace, or
+                // the translation bailed out).  Record the failure and back
+                // off: the next attempt requires twice the heat, and
+                // repeated failures quarantine the head for good.
+                self.record_formation_failure(key, heat);
+                next
             }
-            return next;
-        };
-        self.quarantine.remove(&key);
+        }
+    }
+
+    /// Link heat at which a fresh head's tier-1 request is published:
+    /// halfway to the formation threshold, so the worker has the other half
+    /// of the warm-up to finish before the install point.
+    fn publish_point(&self) -> u64 {
+        (self.config.region_threshold / 2).max(1)
+    }
+
+    /// Installs a formed (or reused) region: write-protects its pages,
+    /// publishes it for content-keyed reuse, inserts it at its key and
+    /// re-points the triggering chain link.  Shared by the synchronous,
+    /// asynchronous and reuse paths so the bookkeeping cannot diverge.
+    fn install_formed(
+        &mut self,
+        region: Region,
+        prev: &Arc<Region>,
+        slot: usize,
+        gen: u64,
+    ) -> Arc<Region> {
+        self.quarantine.remove(&region.key());
         // Write-protect every constituent page so self-modifying code on any
         // of them invalidates the region.
         for page in &region.pages {
@@ -775,10 +953,260 @@ impl Captive {
         if region.back_edges > 0 {
             self.stats.loop_regions_formed += 1;
         }
+        if let Some(reuse) = &self.reuse {
+            // Publish under the *live* page hashes: the async path just
+            // validated them equal to the formation snapshot's, and the
+            // sync path formed from live memory directly.
+            let hashes: Vec<(u64, u64)> = region
+                .pages
+                .iter()
+                .map(|&page| (page, self.live_page_hash(page)))
+                .collect();
+            reuse.publish(
+                self.reuse_key_for(region.key()),
+                ReuseTemplate::from_region(&region, &hashes),
+            );
+        }
         let region = self.cache.insert(region);
         self.stats.regions_formed += 1;
+        self.tier_timers.record_install(self.launch.elapsed());
         prev.set_link(slot, gen, self.cache.epoch(), &region);
         region
+    }
+
+    /// Records a failed formation attempt for `key` at link heat `heat` and
+    /// applies the doubling backoff / quarantine policy.
+    fn record_formation_failure(&mut self, key: RegionKey, heat: u64) {
+        self.stats.formation_failures += 1;
+        let q = self.quarantine.entry(key).or_insert(FormationBackoff {
+            failures: 0,
+            next_retry_heat: 0,
+            quarantined: false,
+        });
+        q.failures += 1;
+        q.next_retry_heat = heat.saturating_mul(2).max(1);
+        if q.failures >= QUARANTINE_AFTER && !q.quarantined {
+            q.quarantined = true;
+            self.stats.regions_quarantined += 1;
+        }
+    }
+
+    /// Captures a formation snapshot of the current translation state: the
+    /// bytes of every known code page, the MMU/translation registers, and
+    /// the frozen branch-heat profile.
+    fn capture_snapshot(&self) -> FormationSnapshot {
+        FormationSnapshot {
+            ctx_gen: self.runtime.context_generation(),
+            mmu_enabled: self.runtime.guest_mmu_enabled(&self.machine),
+            ttbr0: self.runtime.guest_ttbr0(&self.machine),
+            guest_ram: self.config.guest_ram,
+            pages: self
+                .runtime
+                .code_pages()
+                .map(|page| (page, self.read_live_page(page)))
+                .collect(),
+            heats: self.cache.branch_profiles(),
+        }
+    }
+
+    /// Publishes a tier-1 formation request for `key` and registers it
+    /// in flight.
+    fn publish_formation(&mut self, key: RegionKey) {
+        let t0 = Instant::now();
+        let snapshot = self.capture_snapshot();
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let request = FormationRequest {
+            seq,
+            key,
+            snapshot,
+            max_insns: self.config.region_max_insns,
+            unroll: self.config.unroll_loops,
+            close_loops: self.config.loop_regions,
+            fp_mode: self.config.fp_mode,
+            run_opt: self.config.opt,
+        };
+        // Only the snapshot capture counts as run-thread translation stall:
+        // the channel hand-off below wakes a sleeping worker, and the host
+        // scheduler frequently deschedules the sender at that wake point —
+        // hundreds of microseconds of scheduling artefact against a
+        // single-digit-microsecond capture, none of it translation work.
+        let elapsed = t0.elapsed();
+        self.tier_timers.snapshot_build += elapsed;
+        self.tier_timers.run_thread_stall += elapsed;
+        self.inflight.insert(key, seq);
+        self.tier.as_mut().expect("tiered mode").submit(request);
+        self.stats.tier1_requests += 1;
+    }
+
+    /// Looks `key` up in the content-keyed reuse cache, revalidating every
+    /// constituent page hash against live memory.  A hit (and a validated
+    /// refusal) supersedes any in-flight formation request for the key.
+    fn obtain_reuse(&mut self, key: RegionKey, gen: u64) -> ReuseOutcome {
+        let Some(reuse) = self.reuse.as_ref().map(Arc::clone) else {
+            return ReuseOutcome::Miss;
+        };
+        let t0 = Instant::now();
+        let reuse_key = self.reuse_key_for(key);
+        let hit = reuse.lookup(reuse_key, |page, hash| self.live_page_hash(page) == hash);
+        let outcome = match hit {
+            Some(template) => {
+                self.stats.reuse_hits += 1;
+                self.inflight.remove(&key);
+                ReuseOutcome::Hit(Box::new(template.instantiate(key.phys, key.virt, gen)))
+            }
+            None if reuse
+                .known_refusal(reuse_key, |page, hash| self.live_page_hash(page) == hash) =>
+            {
+                self.inflight.remove(&key);
+                ReuseOutcome::Refusal
+            }
+            None => {
+                self.stats.reuse_misses += 1;
+                ReuseOutcome::Miss
+            }
+        };
+        self.tier_timers.run_thread_stall += t0.elapsed();
+        outcome
+    }
+
+    /// Waits for the in-flight tier-1 result for `key`, revalidates it
+    /// against the live machine, and returns the region to install.  `None`
+    /// means the worker's answer cannot be used — the trace closed too
+    /// short, the region went stale between snapshot and install (counted
+    /// as a discard, never installed), or the service is gone — and the
+    /// caller falls back to synchronous formation.
+    fn obtain_async(&mut self, key: RegionKey, gen: u64) -> Option<Region> {
+        loop {
+            let expected = self.inflight.get(&key).copied()?;
+            let result = match self.parked_results.remove(&key) {
+                Some(r) => r,
+                None => {
+                    let t0 = Instant::now();
+                    let received = self.tier.as_mut().expect("tiered mode").recv();
+                    self.tier_timers.run_thread_stall += t0.elapsed();
+                    match received {
+                        Some(r) => r,
+                        None => {
+                            // Pump queue empty, or every worker died: there
+                            // is nothing to wait for.
+                            self.inflight.remove(&key);
+                            return None;
+                        }
+                    }
+                }
+            };
+            if result.key == key && result.seq == expected {
+                match result.outcome {
+                    WorkerOutcome::Formed {
+                        region,
+                        consumed,
+                        timers,
+                        wall,
+                    } => {
+                        self.inflight.remove(&key);
+                        self.timers.merge(&timers);
+                        self.tier_timers.worker_wall += wall;
+                        // The install gate: the region must have been formed
+                        // under the current context generation AND every
+                        // page it read must still hold the captured bytes.
+                        let valid = region.ctx_gen == gen
+                            && consumed
+                                .iter()
+                                .all(|&(page, hash)| self.live_page_hash(page) == hash);
+                        if valid {
+                            self.stats.regions_installed_async += 1;
+                            return Some(region);
+                        }
+                        self.stats.stale_discards += 1;
+                        return None;
+                    }
+                    WorkerOutcome::TooShort {
+                        consumed,
+                        timers,
+                        wall,
+                    } => {
+                        self.inflight.remove(&key);
+                        self.timers.merge(&timers);
+                        self.tier_timers.worker_wall += wall;
+                        // Remember the refusal under the content key: the
+                        // same bytes never pay this round-trip again, here
+                        // or in a later run sharing the reuse cache.
+                        if let Some(reuse) = &self.reuse {
+                            reuse.publish_refusal(self.reuse_key_for(key), consumed);
+                        }
+                        return None;
+                    }
+                    WorkerOutcome::NeedPages { mut request, pages } => {
+                        // Refill the snapshot from live memory and resubmit
+                        // under a fresh sequence number; the install gate
+                        // revalidates everything at the end regardless.
+                        let t0 = Instant::now();
+                        for page in pages {
+                            let bytes = self.read_live_page(page);
+                            request.snapshot.insert_page(page, bytes);
+                        }
+                        let seq = self.next_seq;
+                        self.next_seq += 1;
+                        request.seq = seq;
+                        self.inflight.insert(key, seq);
+                        self.tier.as_mut().expect("tiered mode").submit(request);
+                        self.tier_timers.run_thread_stall += t0.elapsed();
+                    }
+                }
+            } else if self.inflight.get(&result.key) == Some(&result.seq) {
+                // A live result for a different key: park it until that key
+                // reaches its own install point.
+                self.parked_results.insert(result.key, result);
+            }
+            // Superseded or abandoned results are dropped on the floor —
+            // their timers too, so no counter depends on worker scheduling.
+        }
+    }
+
+    /// The content identity `key`'s translations are published/looked up
+    /// under: entry addresses, the codegen knobs, and the live hash of the
+    /// entry page.
+    fn reuse_key_for(&self, key: RegionKey) -> ReuseKey {
+        ReuseKey {
+            phys: key.phys,
+            virt: key.virt,
+            knobs: pack_knobs(
+                self.config.fp_mode == FpMode::Software,
+                self.config.opt,
+                self.config.loop_regions,
+                self.config.unroll_loops,
+                self.config.region_max_insns,
+            ),
+            entry_page_hash: self.live_page_hash(key.phys & !0xFFF),
+        }
+    }
+
+    /// The live bytes of one guest physical page (zero-filled past the end
+    /// of backed memory).
+    fn read_live_page(&self, page_base: u64) -> Vec<u8> {
+        let mut bytes = vec![0u8; tier::PAGE_BYTES];
+        if self
+            .machine
+            .mem
+            .read(layout::GUEST_PHYS_BASE + page_base, &mut bytes)
+            .is_err()
+        {
+            bytes.fill(0);
+            for (i, b) in bytes.iter_mut().enumerate() {
+                *b = self
+                    .machine
+                    .mem
+                    .read_uint(layout::GUEST_PHYS_BASE + page_base + i as u64, 1)
+                    .unwrap_or(0) as u8;
+            }
+        }
+        bytes
+    }
+
+    /// FNV-1a content hash of one live guest physical page.
+    fn live_page_hash(&self, page_base: u64) -> u64 {
+        fnv1a(&self.read_live_page(page_base))
     }
 
     /// Delivers a guest-visible event (exception) by updating the guest
@@ -1773,6 +2201,132 @@ mod tests {
              several iterations per entry): {} guest insns over {} entries",
             stats.guest_insns,
             stats.blocks
+        );
+    }
+
+    #[test]
+    fn tiered_and_sync_modes_are_architecturally_identical() {
+        // The tiered service must be invisible to the guest: same registers,
+        // same modeled cycles, same regions formed — the only difference is
+        // *who* formed them.  Run threaded (the default) so the real worker
+        // path is exercised.
+        let words = multi_block_loop(3000);
+        let run = |tiered: bool| {
+            let mut c = Captive::new(CaptiveConfig {
+                tiered,
+                ..CaptiveConfig::default()
+            });
+            c.load_program(0x1000, &words);
+            c.set_entry(0x1000);
+            assert_eq!(c.run(200_000), RunExit::GuestHalted { code: 0 });
+            (c.guest_reg(9), c.stats())
+        };
+        let (x9_tiered, tiered) = run(true);
+        let (x9_sync, sync) = run(false);
+        assert_eq!(x9_tiered, 4_501_500, "sum of the 3000-step countdown");
+        assert_eq!(x9_tiered, x9_sync);
+        assert_eq!(tiered.cycles, sync.cycles, "modeled cost is mode-blind");
+        assert_eq!(tiered.regions_formed, sync.regions_formed);
+        assert_eq!(tiered.guest_insns, sync.guest_insns);
+        assert!(tiered.tier1_requests >= 1, "the hot head was published");
+        assert!(
+            tiered.regions_installed_async >= 1,
+            "at least one region came off a background worker"
+        );
+        assert_eq!(tiered.stale_discards, 0, "nothing changed under it");
+        assert_eq!(sync.tier1_requests, 0, "sync mode never publishes");
+        assert_eq!(sync.regions_installed_async, 0);
+    }
+
+    #[test]
+    fn smc_between_snapshot_and_install_discards_stale_region() {
+        // A two-page call loop rewrites its callee *after* the formation
+        // request is published (link heat 8) but *before* the install point
+        // (heat 16).  The worker's region was formed from the stale
+        // snapshot: the install gate must discard it — never install it —
+        // and the synchronous fallback forms from live (rewritten) code.
+        // Pump mode keeps the interleaving deterministic.
+        let mut main = asm::Assembler::new();
+        main.push(asm::movz(6, 60, 0));
+        main.mov_imm64(3, 0x2000);
+        main.mov_imm64(4, asm::movz(5, 2, 0) as u64);
+        main.label("loop");
+        let bl_idx = main.here();
+        main.push(asm::bl(0x2000 - (0x1000 + bl_idx as i64 * 4)));
+        main.push(asm::subi(6, 6, 1));
+        // One-shot self-modifying write when the countdown hits 47 —
+        // between the publish and install heats of the loop head.
+        main.push(asm::subi(7, 6, 47));
+        main.cbnz_to(7, "skip");
+        main.push(asm::strw(4, 3, 0));
+        main.label("skip");
+        main.cbnz_to(6, "loop");
+        let bl2_idx = main.here();
+        main.push(asm::bl(0x2000 - (0x1000 + bl2_idx as i64 * 4)));
+        main.push(asm::hlt());
+        let mut sub = asm::Assembler::new();
+        sub.push(asm::movz(5, 1, 0));
+        sub.push(asm::ret());
+
+        let mut c = Captive::new(CaptiveConfig {
+            tier_workers: 0,
+            ..region_config()
+        });
+        c.load_program(0x1000, &main.finish());
+        c.load_program(0x2000, &sub.finish());
+        c.set_entry(0x1000);
+        assert_eq!(c.run(100_000), RunExit::GuestHalted { code: 0 });
+        let s = c.stats();
+        assert_eq!(
+            c.guest_reg(5),
+            2,
+            "every post-SMC call must run the rewritten callee"
+        );
+        assert!(s.tier1_requests >= 1, "the loop head was published");
+        assert!(
+            s.stale_discards >= 1,
+            "the stale worker region was discarded at the install gate"
+        );
+        assert!(
+            s.regions_formed >= 1,
+            "the synchronous fallback re-formed from live code"
+        );
+    }
+
+    #[test]
+    fn content_keyed_reuse_skips_reformation_across_instances() {
+        // Two engine instances share a reuse cache and run the same kernel
+        // image: the second instance must obtain its hot region by content
+        // hash instead of re-forming it, with identical guest results and
+        // modeled cycles.
+        let reuse = Arc::new(ReuseCache::new());
+        let words = multi_block_loop(3000);
+        let run = || {
+            let mut c = Captive::new(CaptiveConfig {
+                tier_workers: 0,
+                reuse_cache: Some(Arc::clone(&reuse)),
+                ..CaptiveConfig::default()
+            });
+            c.load_program(0x1000, &words);
+            c.set_entry(0x1000);
+            assert_eq!(c.run(200_000), RunExit::GuestHalted { code: 0 });
+            (c.guest_reg(9), c.stats())
+        };
+        let (x9_first, first) = run();
+        let (x9_second, second) = run();
+        assert_eq!(x9_first, 4_501_500, "sum of the 3000-step countdown");
+        assert_eq!(x9_first, x9_second);
+        assert_eq!(first.reuse_hits, 0, "cold cache on the first run");
+        assert!(first.reuse_misses >= 1);
+        assert!(
+            second.reuse_hits >= 1,
+            "the second run must hit the shared template"
+        );
+        assert_eq!(first.cycles, second.cycles, "reuse is cost-invisible");
+        assert_eq!(first.guest_insns, second.guest_insns);
+        assert_eq!(
+            first.regions_formed, second.regions_formed,
+            "a reused install still counts as a formed region"
         );
     }
 }

@@ -156,6 +156,18 @@ impl CaptiveRuntime {
         self.context_generation
     }
 
+    /// Guest physical pages currently holding translated code (the page set
+    /// a tier-1 formation snapshot is seeded from).
+    pub fn code_pages(&self) -> impl Iterator<Item = u64> + '_ {
+        self.code_pages.iter().copied()
+    }
+
+    /// Current guest `TTBR0` (the translation root a formation snapshot
+    /// must walk with).
+    pub fn guest_ttbr0(&self, machine: &Machine) -> u64 {
+        self.read_gregfile(machine, guest_aarch64::TTBR0_OFF)
+    }
+
     fn read_gregfile(&self, machine: &Machine, offset: i32) -> u64 {
         machine
             .mem

@@ -1,0 +1,619 @@
+//! The tier-1 half of the two-tier translation service: background region
+//! formation against immutable snapshots.
+//!
+//! Tier 0 (per-block translation) stays synchronous on the run thread so new
+//! code executes immediately.  Tier 1 — tracing, unrolling, loop closure,
+//! the LIR optimiser and register allocation — is expensive, and this module
+//! moves it off the run thread:
+//!
+//! * When a chain link is *halfway* to the formation threshold the run
+//!   thread captures a [`FormationSnapshot`] — context generation,
+//!   translation state, the bytes of every code page, and a frozen
+//!   branch-heat profile — and publishes a [`FormationRequest`] to the
+//!   [`TierService`].
+//! * A worker thread traces and translates the region **entirely from the
+//!   snapshot** via [`SnapshotSource`] (never touching live guest state),
+//!   and hands the formed region back with the content hash of every page it
+//!   consumed.
+//! * When the link finally crosses the threshold, the run thread drains the
+//!   result and installs it through the ordinary replace-at-key mechanism —
+//!   but only after revalidating the context generation and every consumed
+//!   page hash against live memory.  A region formed against a stale
+//!   generation or a since-patched page is *discarded*, never installed.
+//!
+//! A snapshot is seeded with the pages already known to hold translated code;
+//! anything else the trace needs (page-table pages on an MMU-on guest, a
+//! straight-line fall-through onto a fresh page) surfaces as
+//! [`WorkerOutcome::NeedPages`], and the run thread refills the snapshot from
+//! live memory and resubmits — keeping snapshot capture cheap without
+//! guessing the reachable set up front.
+//!
+//! Decode results are memoised across requests ([`DecodeMemo`]): constituents
+//! traced by several candidate regions decode once.
+//!
+//! With `tier_workers == 0` the service runs in *pump mode*: requests queue
+//! locally and are processed inline (on the run thread) at the drain point.
+//! Outcomes are identical to the threaded service — pump mode exists so
+//! tests can interleave guest stores between publish and drain fully
+//! deterministically (the SMC-vs-snapshot race).
+
+use crate::translator::{form_region_from, FormOutcome, SourceRead, TraceSource};
+use crate::FpMode;
+use dbt::{fnv1a, GuestIsa, PhaseTimers, Region, RegionKey};
+use guest_aarch64::gen::Decoded;
+use guest_aarch64::{mmu, Aarch64Isa};
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Guest page size (the snapshot's unit of capture and validation).
+pub const PAGE_BYTES: usize = 4096;
+
+/// Shared decode memo: (virtual PC, instruction word) → decode result.  The
+/// same constituent traced by several candidate regions (or re-traced after
+/// a `NeedPages` refill) decodes once.
+pub type DecodeMemo = Arc<Mutex<HashMap<(u64, u32), Option<Decoded>>>>;
+
+/// An immutable view of everything region formation reads: captured on the
+/// run thread at publish time, consumed by a worker.  Workers never touch
+/// the live machine.
+#[derive(Debug, Clone)]
+pub struct FormationSnapshot {
+    /// Context generation the snapshot (and any region formed from it) is
+    /// stamped with.
+    pub ctx_gen: u64,
+    /// Guest MMU state at capture.
+    pub mmu_enabled: bool,
+    /// Guest translation root at capture (only consulted when the MMU is on).
+    pub ttbr0: u64,
+    /// Guest RAM size (bounds for identity mapping and walk reads).
+    pub guest_ram: u64,
+    /// Captured page bytes, keyed by guest physical page base.
+    pub pages: HashMap<u64, Vec<u8>>,
+    /// Frozen branch-link profile: (taken, fallthrough) heats per cached
+    /// conditional block, used by the tracer's leg selection.
+    pub heats: HashMap<RegionKey, (u64, u64)>,
+}
+
+impl FormationSnapshot {
+    /// Adds (or replaces) a captured page.
+    pub fn insert_page(&mut self, page_base: u64, bytes: Vec<u8>) {
+        debug_assert_eq!(bytes.len(), PAGE_BYTES);
+        self.pages.insert(page_base & !0xFFF, bytes);
+    }
+}
+
+/// One queued tier-1 formation job: the hot region key plus the snapshot and
+/// codegen knobs to form it with.
+#[derive(Debug, Clone)]
+pub struct FormationRequest {
+    /// Submission sequence number; a result is only honoured while its
+    /// sequence is still the key's registered in-flight request.
+    pub seq: u64,
+    /// The trace head to form a region at.
+    pub key: RegionKey,
+    /// The immutable state to form against.
+    pub snapshot: FormationSnapshot,
+    /// Guest-instruction cap on the trace.
+    pub max_insns: usize,
+    /// Loop-unroll factor.
+    pub unroll: usize,
+    /// Close back-edges inside the region.
+    pub close_loops: bool,
+    /// FP implementation strategy.
+    pub fp_mode: FpMode,
+    /// Run the LIR optimiser.
+    pub run_opt: bool,
+}
+
+/// What a worker produced for one request.
+#[derive(Debug)]
+pub enum WorkerOutcome {
+    /// A region was formed.  `consumed` lists every snapshot page the trace
+    /// read (code pages and, on MMU-on guests, page-table pages) with the
+    /// content hash of its captured bytes; the run thread revalidates all of
+    /// them against live memory before installing.
+    Formed {
+        /// The formed region (stamped with the snapshot's generation).
+        region: Region,
+        /// (page base, FNV-1a of the captured bytes) for every page read.
+        consumed: Vec<(u64, u64)>,
+        /// JIT phase timers accumulated by this formation.
+        timers: PhaseTimers,
+        /// Worker wall-clock spent on this request.
+        wall: Duration,
+    },
+    /// The trace closed at one constituent with no back-edge, or lowering
+    /// bailed out: the same refusal the synchronous former reports as
+    /// `None`.
+    TooShort {
+        /// (page base, FNV-1a of the captured bytes) for every page the
+        /// abandoned trace read — published as a reuse-cache *refusal* so
+        /// later runs of the same content skip the round-trip.
+        consumed: Vec<(u64, u64)>,
+        /// JIT phase timers accumulated by the abandoned formation.
+        timers: PhaseTimers,
+        /// Worker wall-clock spent on this request.
+        wall: Duration,
+    },
+    /// The snapshot was missing pages the trace needed; the request is
+    /// returned so the run thread can refill it from live memory and
+    /// resubmit.
+    NeedPages {
+        /// The original request, snapshot intact.
+        request: FormationRequest,
+        /// Guest physical page bases to capture.
+        pages: Vec<u64>,
+    },
+}
+
+/// A worker's reply, routed back to the run thread.
+#[derive(Debug)]
+pub struct FormationResult {
+    /// The sequence number of the request this answers.
+    pub seq: u64,
+    /// The trace head the request was for.
+    pub key: RegionKey,
+    /// What happened.
+    pub outcome: WorkerOutcome,
+}
+
+/// [`TraceSource`] over a [`FormationSnapshot`]: every read the region
+/// former performs resolves against captured bytes, never the live machine.
+/// Touched pages are recorded so the run thread can validate the formed
+/// region against live memory at install time.
+pub struct SnapshotSource<'a> {
+    snapshot: &'a FormationSnapshot,
+    memo: &'a DecodeMemo,
+    /// Page bases read from the snapshot (code and page-table pages alike).
+    consumed: Vec<u64>,
+    /// Pages a failed walk found absent from the snapshot (scratch, drained
+    /// into [`SourceRead::Missing`] by `va_to_pa`).
+    walk_missing: Vec<u64>,
+}
+
+impl<'a> SnapshotSource<'a> {
+    /// Creates a source over `snapshot` sharing the service-wide decode memo.
+    pub fn new(snapshot: &'a FormationSnapshot, memo: &'a DecodeMemo) -> Self {
+        SnapshotSource {
+            snapshot,
+            memo,
+            consumed: Vec::new(),
+            walk_missing: Vec::new(),
+        }
+    }
+
+    fn note_consumed(&mut self, page: u64) {
+        if !self.consumed.contains(&page) {
+            self.consumed.push(page);
+        }
+    }
+
+    /// The consumed-page validation list: every touched page with the
+    /// FNV-1a hash of its captured bytes.
+    pub fn consumed_hashes(&self) -> Vec<(u64, u64)> {
+        self.consumed
+            .iter()
+            .map(|&p| (p, fnv1a(&self.snapshot.pages[&p])))
+            .collect()
+    }
+
+    /// Reads a 64-bit little-endian word of captured guest physical memory
+    /// for the page-table walker, recording absent pages in `walk_missing`.
+    fn read_walk_u64(&mut self, gpa: u64) -> Option<u64> {
+        // Same bounds rule as the live runtime's walk reads.
+        match gpa.checked_add(8) {
+            Some(end) if end <= self.snapshot.guest_ram => {}
+            _ => return None,
+        }
+        let mut value = 0u64;
+        for i in 0..8 {
+            let addr = gpa + i;
+            let page = addr & !0xFFF;
+            match self.snapshot.pages.get(&page) {
+                Some(bytes) => {
+                    self.note_consumed(page);
+                    value |= (bytes[(addr & 0xFFF) as usize] as u64) << (8 * i);
+                }
+                None => {
+                    self.walk_missing.push(page);
+                    return None;
+                }
+            }
+        }
+        Some(value)
+    }
+}
+
+impl TraceSource for SnapshotSource<'_> {
+    fn ctx_gen(&self) -> u64 {
+        self.snapshot.ctx_gen
+    }
+
+    fn va_to_pa(&mut self, va: u64) -> SourceRead<u64> {
+        if !self.snapshot.mmu_enabled {
+            return if va < self.snapshot.guest_ram {
+                SourceRead::Ok(va)
+            } else {
+                SourceRead::Fault
+            };
+        }
+        self.walk_missing.clear();
+        let ttbr0 = self.snapshot.ttbr0;
+        match mmu::walk_guest(|a| self.read_walk_u64(a), ttbr0, va) {
+            Ok(walk) => SourceRead::Ok(walk.frame | (va & 0xFFF)),
+            Err(_) => match self.walk_missing.first() {
+                // The walk only failed because a table page was not captured:
+                // ask for it rather than reporting a (wrong) guest fault.
+                Some(&page) => SourceRead::Missing(page),
+                None => SourceRead::Fault,
+            },
+        }
+    }
+
+    fn read_code_word(&mut self, pa: u64) -> SourceRead<u32> {
+        let page = pa & !0xFFF;
+        match self.snapshot.pages.get(&page) {
+            Some(bytes) => {
+                self.note_consumed(page);
+                let off = (pa & 0xFFF) as usize;
+                SourceRead::Ok(u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()))
+            }
+            // Out-of-RAM fetches degrade to 0 (an UNDEF), matching the live
+            // source; a refill could never provide these pages.
+            None if pa.saturating_add(4) > self.snapshot.guest_ram => SourceRead::Ok(0),
+            None => SourceRead::Missing(page),
+        }
+    }
+
+    fn decode(&mut self, isa: &Aarch64Isa, word: u32, va: u64) -> Option<Decoded> {
+        let key = (va, word);
+        if let Some(hit) = self.memo.lock().unwrap().get(&key) {
+            return *hit;
+        }
+        let decoded = isa.decode(word, va);
+        self.memo.lock().unwrap().insert(key, decoded);
+        decoded
+    }
+
+    fn branch_heats(&self, key: RegionKey) -> Option<(u64, u64)> {
+        self.snapshot.heats.get(&key).copied()
+    }
+}
+
+/// Forms one request against its snapshot.  Pure: reads only the request,
+/// so the same request always produces the same result — tier-1 outcomes
+/// are a deterministic function of what the run thread published.
+fn process(isa: &Aarch64Isa, memo: &DecodeMemo, req: FormationRequest) -> FormationResult {
+    let start = Instant::now();
+    let mut timers = PhaseTimers::default();
+    let mut source = SnapshotSource::new(&req.snapshot, memo);
+    let outcome = form_region_from(
+        isa,
+        &mut source,
+        &mut timers,
+        req.key.virt,
+        req.key.phys,
+        req.max_insns,
+        req.unroll,
+        req.close_loops,
+        req.fp_mode,
+        req.run_opt,
+    );
+    let consumed = source.consumed_hashes();
+    drop(source);
+    let (seq, key) = (req.seq, req.key);
+    let outcome = match outcome {
+        FormOutcome::Formed(region) => WorkerOutcome::Formed {
+            region: *region,
+            consumed,
+            timers,
+            wall: start.elapsed(),
+        },
+        FormOutcome::TooShort => WorkerOutcome::TooShort {
+            consumed,
+            timers,
+            wall: start.elapsed(),
+        },
+        FormOutcome::NeedPages(pages) => WorkerOutcome::NeedPages {
+            request: req,
+            pages,
+        },
+    };
+    FormationResult { seq, key, outcome }
+}
+
+enum Backend {
+    /// `tier_workers == 0`: requests queue locally and are processed inline
+    /// at the drain point.
+    Pump(VecDeque<FormationRequest>),
+    /// A pool of worker threads sharing one request channel.
+    Threads {
+        req_tx: Option<Sender<FormationRequest>>,
+        res_rx: Receiver<FormationResult>,
+        handles: Vec<JoinHandle<()>>,
+    },
+}
+
+/// The formation worker pool.  `submit` never blocks; `recv` blocks until
+/// *some* result is available (the caller routes results it was not waiting
+/// for).  Dropping the service disconnects the request channel and joins
+/// every worker.
+pub struct TierService {
+    backend: Backend,
+    memo: DecodeMemo,
+    isa: Aarch64Isa,
+}
+
+impl TierService {
+    /// Creates the service with `workers` background threads (0 = pump mode).
+    pub fn new(workers: usize) -> Self {
+        let memo: DecodeMemo = Arc::default();
+        let backend = if workers == 0 {
+            Backend::Pump(VecDeque::new())
+        } else {
+            let (req_tx, req_rx) = channel::<FormationRequest>();
+            let (res_tx, res_rx) = channel::<FormationResult>();
+            let req_rx = Arc::new(Mutex::new(req_rx));
+            let handles = (0..workers)
+                .map(|_| {
+                    let rx = Arc::clone(&req_rx);
+                    let tx = res_tx.clone();
+                    let memo = Arc::clone(&memo);
+                    std::thread::spawn(move || {
+                        let isa = Aarch64Isa;
+                        loop {
+                            // The guard is dropped as soon as recv returns:
+                            // dequeueing serialises, forming runs in parallel.
+                            let req = match rx.lock().unwrap().recv() {
+                                Ok(r) => r,
+                                Err(_) => break,
+                            };
+                            if tx.send(process(&isa, &memo, req)).is_err() {
+                                break;
+                            }
+                        }
+                    })
+                })
+                .collect();
+            // `res_tx` clones live only in the workers, so `recv` unblocks
+            // (with an error) if every worker exits.
+            Backend::Threads {
+                req_tx: Some(req_tx),
+                res_rx,
+                handles,
+            }
+        };
+        TierService {
+            backend,
+            memo,
+            isa: Aarch64Isa,
+        }
+    }
+
+    /// True when running in pump (inline) mode.
+    pub fn is_pump(&self) -> bool {
+        matches!(self.backend, Backend::Pump(_))
+    }
+
+    /// Queues a formation request.
+    pub fn submit(&mut self, req: FormationRequest) {
+        match &mut self.backend {
+            Backend::Pump(queue) => queue.push_back(req),
+            Backend::Threads { req_tx, .. } => {
+                // A send can only fail if every worker died; the caller then
+                // falls back to synchronous formation at the drain point.
+                let _ = req_tx.as_ref().expect("service is live").send(req);
+            }
+        }
+    }
+
+    /// Blocks until one result is available and returns it; `None` when no
+    /// result can ever arrive (pump queue empty, or all workers gone).
+    pub fn recv(&mut self) -> Option<FormationResult> {
+        match &mut self.backend {
+            Backend::Pump(queue) => {
+                let req = queue.pop_front()?;
+                Some(process(&self.isa, &self.memo, req))
+            }
+            Backend::Threads { res_rx, .. } => res_rx.recv().ok(),
+        }
+    }
+}
+
+impl Drop for TierService {
+    fn drop(&mut self) {
+        if let Backend::Threads {
+            req_tx, handles, ..
+        } = &mut self.backend
+        {
+            // Disconnect the request channel so blocked workers wake and
+            // exit, then reap them.
+            req_tx.take();
+            for handle in handles.drain(..) {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guest_aarch64::asm;
+
+    fn snapshot_with_code(words: &[u32], base: u64) -> FormationSnapshot {
+        let mut page = vec![0u8; PAGE_BYTES];
+        for (i, w) in words.iter().enumerate() {
+            let off = (base & 0xFFF) as usize + i * 4;
+            // Words past the page boundary belong to the next page — the
+            // caller decides whether that page is in the snapshot.
+            if off + 4 <= PAGE_BYTES {
+                page[off..off + 4].copy_from_slice(&w.to_le_bytes());
+            }
+        }
+        let mut pages = HashMap::new();
+        pages.insert(base & !0xFFF, page);
+        FormationSnapshot {
+            ctx_gen: 0,
+            mmu_enabled: false,
+            ttbr0: 0,
+            guest_ram: 32 * 1024 * 1024,
+            pages,
+            heats: HashMap::new(),
+        }
+    }
+
+    fn self_loop_words() -> Vec<u32> {
+        let mut a = asm::Assembler::new();
+        a.label("loop");
+        a.push(asm::addi(9, 9, 1));
+        a.push(asm::subi(1, 1, 1));
+        a.cbnz_to(1, "loop");
+        a.push(asm::hlt());
+        a.finish()
+    }
+
+    fn request(snapshot: FormationSnapshot, entry: u64) -> FormationRequest {
+        FormationRequest {
+            seq: 1,
+            key: RegionKey {
+                phys: entry,
+                virt: entry,
+            },
+            snapshot,
+            max_insns: 256,
+            unroll: 4,
+            close_loops: true,
+            fp_mode: FpMode::Hardware,
+            run_opt: true,
+        }
+    }
+
+    #[test]
+    fn worker_forms_a_looping_region_from_a_snapshot() {
+        let mut service = TierService::new(1);
+        service.submit(request(
+            snapshot_with_code(&self_loop_words(), 0x1000),
+            0x1000,
+        ));
+        let result = service.recv().expect("one result");
+        assert_eq!(result.seq, 1);
+        match result.outcome {
+            WorkerOutcome::Formed {
+                region, consumed, ..
+            } => {
+                assert!(region.back_edges > 0, "the self-loop closes internally");
+                assert!(region.unroll > 1, "the body is peeled");
+                assert_eq!(consumed.len(), 1, "one code page consumed");
+                assert_eq!(consumed[0].0, 0x1000);
+            }
+            other => panic!("expected a formed region, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pump_mode_produces_identical_outcomes_inline() {
+        let mut threaded = TierService::new(2);
+        let mut pump = TierService::new(0);
+        assert!(pump.is_pump() && !threaded.is_pump());
+        let words = self_loop_words();
+        threaded.submit(request(snapshot_with_code(&words, 0x1000), 0x1000));
+        pump.submit(request(snapshot_with_code(&words, 0x1000), 0x1000));
+        let a = threaded.recv().expect("threaded result");
+        let b = pump.recv().expect("pump result");
+        match (&a.outcome, &b.outcome) {
+            (
+                WorkerOutcome::Formed {
+                    region: ra,
+                    consumed: ca,
+                    ..
+                },
+                WorkerOutcome::Formed {
+                    region: rb,
+                    consumed: cb,
+                    ..
+                },
+            ) => {
+                assert_eq!(ra.code, rb.code, "identical host code");
+                assert_eq!(ra.constituents, rb.constituents);
+                assert_eq!(ca, cb, "identical consumed-page hashes");
+            }
+            other => panic!("both must form: {other:?}"),
+        }
+        assert!(pump.recv().is_none(), "pump queue is drained");
+    }
+
+    #[test]
+    fn missing_page_round_trips_through_need_pages() {
+        // Code that falls through onto an uncaptured page: the worker must
+        // ask for the page, and the refilled request must then form.
+        let mut a = asm::Assembler::new();
+        // A hot two-block loop whose second block sits on the next page.
+        a.push(asm::movz(1, 100, 0));
+        a.label("loop");
+        a.push(asm::addi(9, 9, 1));
+        a.push(asm::subi(1, 1, 1));
+        a.cbnz_to(1, "loop");
+        a.push(asm::hlt());
+        let words = a.finish();
+        // Entry near the end of the page so the trace crosses into the next.
+        let entry = 0x2000 - 8;
+        let mut snapshot = snapshot_with_code(&words, entry);
+        let mut service = TierService::new(0);
+        service.submit(request(snapshot.clone(), entry));
+        let result = service.recv().expect("first pass");
+        let (req, pages) = match result.outcome {
+            WorkerOutcome::NeedPages { request, pages } => (request, pages),
+            other => panic!("expected NeedPages, got {other:?}"),
+        };
+        assert_eq!(pages, vec![0x2000], "the next page is requested");
+        // Refill: copy the overflowing words onto the requested page.
+        let mut next = vec![0u8; PAGE_BYTES];
+        for (i, w) in words.iter().enumerate() {
+            let addr = entry + i as u64 * 4;
+            if addr >= 0x2000 {
+                let off = (addr - 0x2000) as usize;
+                next[off..off + 4].copy_from_slice(&w.to_le_bytes());
+            }
+        }
+        snapshot.insert_page(0x2000, next.clone());
+        let mut refilled = req;
+        refilled.snapshot.insert_page(0x2000, next);
+        refilled.seq = 2;
+        service.submit(refilled);
+        let result = service.recv().expect("second pass");
+        assert_eq!(result.seq, 2);
+        match result.outcome {
+            WorkerOutcome::Formed { consumed, .. } => {
+                let mut pages: Vec<u64> = consumed.iter().map(|&(p, _)| p).collect();
+                pages.sort_unstable();
+                assert_eq!(pages, vec![0x1000, 0x2000]);
+            }
+            other => panic!("refilled request must form, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_memo_is_shared_across_requests() {
+        let service = TierService::new(0);
+        let memo = Arc::clone(&service.memo);
+        let snapshot = snapshot_with_code(&self_loop_words(), 0x1000);
+        let mut service = service;
+        service.submit(request(snapshot.clone(), 0x1000));
+        service.recv().expect("formed");
+        let after_first = memo.lock().unwrap().len();
+        assert!(after_first > 0, "decodes are memoised");
+        let mut second = request(snapshot, 0x1000);
+        second.seq = 2;
+        service.submit(second);
+        service.recv().expect("formed again");
+        assert_eq!(
+            memo.lock().unwrap().len(),
+            after_first,
+            "the second trace re-used every decode"
+        );
+    }
+}

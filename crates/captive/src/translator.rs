@@ -176,6 +176,102 @@ fn undef_fallback_region(timers: &mut PhaseTimers, pc: u64, pa: u64) -> Region {
 /// Maximum constituent basic blocks stitched into one region.
 pub const REGION_MAX_BLOCKS: usize = 32;
 
+/// Result of one read against a [`TraceSource`].
+pub enum SourceRead<T> {
+    /// The read succeeded.
+    Ok(T),
+    /// The address is not resolvable (unmapped, out of range): the trace
+    /// ends here, exactly as a live walk failure would end it.
+    Fault,
+    /// The backing snapshot does not hold the physical page (base carried
+    /// here): formation must abort and report the page so the requester can
+    /// refill the snapshot and resubmit.  Never produced by a live source.
+    Missing(u64),
+}
+
+/// What the region former reads while tracing: guest address resolution,
+/// code words, decoded instructions and branch-leg profiles.  The run
+/// thread traces against the live machine ([`LiveSource`]); tier-1 workers
+/// trace against an immutable [`crate::tier::FormationSnapshot`], so a
+/// formed region is a pure function of the snapshot.
+pub trait TraceSource {
+    /// Context generation the formation is stamped with.
+    fn ctx_gen(&self) -> u64;
+    /// Resolves a guest virtual address to a physical address for tracing.
+    fn va_to_pa(&mut self, va: u64) -> SourceRead<u64>;
+    /// Reads the guest code word at physical address `pa`.
+    fn read_code_word(&mut self, pa: u64) -> SourceRead<u32>;
+    /// Decodes `word` at `va` (a snapshot source memoizes this, so
+    /// constituents traced by several candidate regions decode once).
+    fn decode(&mut self, isa: &Aarch64Isa, word: u32, va: u64) -> Option<Decoded>;
+    /// Taken/fallthrough link heats of the cached conditional block at
+    /// `key`, when a profile exists (`None` falls back to the static
+    /// backward-taken heuristic).
+    fn branch_heats(&self, key: RegionKey) -> Option<(u64, u64)>;
+}
+
+/// The run thread's trace source: reads the live machine, walks through the
+/// live runtime, and consults live chain-link heats.  [`form_region`] wraps
+/// it, preserving the synchronous formation path bit-for-bit.
+pub struct LiveSource<'a> {
+    /// The live guest machine.
+    pub machine: &'a mut Machine,
+    /// The live runtime (address resolution, context generation).
+    pub runtime: &'a mut CaptiveRuntime,
+    /// The code cache (profile consultation only).
+    pub cache: &'a CodeCache,
+}
+
+impl TraceSource for LiveSource<'_> {
+    fn ctx_gen(&self) -> u64 {
+        self.runtime.context_generation()
+    }
+
+    fn va_to_pa(&mut self, va: u64) -> SourceRead<u64> {
+        match self.runtime.guest_va_to_pa(self.machine, va, false) {
+            Ok(pa) => SourceRead::Ok(pa),
+            Err(_) => SourceRead::Fault,
+        }
+    }
+
+    fn read_code_word(&mut self, pa: u64) -> SourceRead<u32> {
+        // An unreadable word degrades to 0 (an UNDEF), matching the
+        // per-block translator's behaviour.
+        SourceRead::Ok(
+            self.machine
+                .mem
+                .read_uint(layout::GUEST_PHYS_BASE + pa, 4)
+                .unwrap_or(0) as u32,
+        )
+    }
+
+    fn decode(&mut self, isa: &Aarch64Isa, word: u32, va: u64) -> Option<Decoded> {
+        isa.decode(word, va)
+    }
+
+    fn branch_heats(&self, key: RegionKey) -> Option<(u64, u64)> {
+        let b = self.cache.peek(key)?;
+        if matches!(b.exit, BlockExit::Branch { .. }) {
+            Some((b.link_heat(0), b.link_heat(1)))
+        } else {
+            None
+        }
+    }
+}
+
+/// Outcome of a generic region formation.
+pub enum FormOutcome {
+    /// A multi-constituent or looping region was formed (boxed: the other
+    /// variants are a fraction of `Region`'s size).
+    Formed(Box<Region>),
+    /// The trace closed at one constituent with no back-edge (a region
+    /// would add nothing over the plain block), or lowering bailed out.
+    TooShort,
+    /// A snapshot source was missing these physical pages; refill and
+    /// resubmit.
+    NeedPages(Vec<u64>),
+}
+
 /// A recorded constituent start: where in the trace a guest basic block
 /// began, both architecturally (virtual/physical address, guest-instruction
 /// count) and in the emitted LIR (so a later back-edge can bind its loop
@@ -252,7 +348,48 @@ pub fn form_region(
     fp_mode: FpMode,
     run_opt: bool,
 ) -> Option<Region> {
-    let ctx_gen = runtime.context_generation();
+    let mut source = LiveSource {
+        machine,
+        runtime,
+        cache,
+    };
+    match form_region_from(
+        isa,
+        &mut source,
+        timers,
+        entry_pc,
+        entry_pa,
+        max_insns,
+        unroll,
+        close_loops,
+        fp_mode,
+        run_opt,
+    ) {
+        FormOutcome::Formed(region) => Some(*region),
+        // A live source never reports missing pages; TooShort is the
+        // ordinary "a region would add nothing" refusal.
+        FormOutcome::TooShort | FormOutcome::NeedPages(_) => None,
+    }
+}
+
+/// The generic former behind [`form_region`]: identical tracing, stitching,
+/// peeling and closing logic, but every read goes through the
+/// [`TraceSource`] — the live machine on the synchronous path, an immutable
+/// snapshot on a tier-1 worker.
+#[allow(clippy::too_many_arguments)]
+pub fn form_region_from<S: TraceSource + ?Sized>(
+    isa: &Aarch64Isa,
+    source: &mut S,
+    timers: &mut PhaseTimers,
+    entry_pc: u64,
+    entry_pa: u64,
+    max_insns: usize,
+    unroll: usize,
+    close_loops: bool,
+    fp_mode: FpMode,
+    run_opt: bool,
+) -> FormOutcome {
+    let ctx_gen = source.ctx_gen();
     let unroll = unroll.max(1);
     let mut emitter = Emitter::new();
     let mut guest_insns = 0usize;
@@ -284,8 +421,8 @@ pub fn form_region(
             if guest_insns >= max_insns || constituents >= REGION_MAX_BLOCKS {
                 break;
             }
-            match runtime.guest_va_to_pa(machine, va, false) {
-                Ok(pa) => {
+            match source.va_to_pa(va) {
+                SourceRead::Ok(pa) => {
                     page_va = va & !0xFFF;
                     page_pa = pa & !0xFFF;
                     if !pages.contains(&page_pa) {
@@ -305,15 +442,17 @@ pub fn form_region(
                 }
                 // The next page is not translatable right now: end the trace
                 // with a fallthrough exit and let the dispatcher fault.
-                Err(_) => break,
+                SourceRead::Fault => break,
+                SourceRead::Missing(page) => return FormOutcome::NeedPages(vec![page]),
             }
         }
         let pa_i = page_pa | (va & 0xFFF);
-        let word = machine
-            .mem
-            .read_uint(layout::GUEST_PHYS_BASE + pa_i, 4)
-            .unwrap_or(0) as u32;
-        let decoded = timers.time(Phase::Decode, || isa.decode(word, va));
+        let word = match source.read_code_word(pa_i) {
+            SourceRead::Ok(w) => w,
+            SourceRead::Fault => 0,
+            SourceRead::Missing(page) => return FormOutcome::NeedPages(vec![page]),
+        };
+        let decoded = timers.time(Phase::Decode, || source.decode(isa, word, va));
         let Some(d) = decoded else {
             // Undefined instruction: raise a guest UNDEF exception, exactly
             // as the per-block translator does, and end the trace.
@@ -343,7 +482,7 @@ pub fn form_region(
                 let taken = va.wrapping_add(offset as u64);
                 let fallthrough = va.wrapping_add(4);
                 Some(choose_leg(
-                    cache,
+                    source,
                     block_start_pa,
                     block_start_va,
                     va,
@@ -357,9 +496,12 @@ pub fn form_region(
             None => Step::Plain,
             Some(t) if !visited.contains(&t) => {
                 if budget_left {
-                    match runtime.guest_va_to_pa(machine, t, false) {
-                        Ok(p) => Step::Forward(t, p),
-                        Err(_) => Step::Plain,
+                    match source.va_to_pa(t) {
+                        SourceRead::Ok(p) => Step::Forward(t, p),
+                        SourceRead::Fault => Step::Plain,
+                        SourceRead::Missing(page) => {
+                            return FormOutcome::NeedPages(vec![page]);
+                        }
                     }
                 } else {
                     Step::Plain
@@ -493,7 +635,7 @@ pub fn form_region(
     }
 
     if constituents < 2 && back_edges == 0 {
-        return None;
+        return FormOutcome::TooShort;
     }
 
     let exit = emitter
@@ -508,7 +650,7 @@ pub fn form_region(
             // running the constituent blocks and the quarantine/backoff
             // machinery decides when (or whether) to retry.
             timers.lower_bailouts += 1;
-            return None;
+            return FormOutcome::TooShort;
         }
     };
     timers.blocks += 1;
@@ -525,7 +667,7 @@ pub fn form_region(
         .checked_div(guest_insns)
         .unwrap_or(0);
 
-    Some(Region {
+    FormOutcome::Formed(Box::new(Region {
         guest_phys: entry_pa,
         guest_virt: entry_pc,
         guest_insns,
@@ -542,34 +684,31 @@ pub fn form_region(
         back_edges,
         loop_guest_insns,
         loop_elided_insns,
-    })
+    }))
 }
 
 /// Picks the continuation leg of an interior conditional: the hotter chain
-/// link of the cached region holding the branch, falling back to "backward
-/// taken targets are loops" when the profile is empty or tied.
-fn choose_leg(
-    cache: &CodeCache,
+/// link of the block holding the branch (live links or a frozen profile
+/// snapshot, per the source), falling back to "backward taken targets are
+/// loops" when the profile is empty or tied.
+fn choose_leg<S: TraceSource + ?Sized>(
+    source: &S,
     block_pa: u64,
     block_va: u64,
     branch_va: u64,
     taken: u64,
     fallthrough: u64,
 ) -> u64 {
-    if let Some(b) = cache.peek(RegionKey {
+    if let Some((taken_heat, fall_heat)) = source.branch_heats(RegionKey {
         phys: block_pa,
         virt: block_va,
     }) {
-        if matches!(b.exit, BlockExit::Branch { .. }) {
-            let taken_heat = b.link_heat(0);
-            let fall_heat = b.link_heat(1);
-            if taken_heat != fall_heat {
-                return if taken_heat > fall_heat {
-                    taken
-                } else {
-                    fallthrough
-                };
-            }
+        if taken_heat != fall_heat {
+            return if taken_heat > fall_heat {
+                taken
+            } else {
+                fallthrough
+            };
         }
     }
     if taken <= branch_va {

@@ -10,7 +10,7 @@
 //! them; nothing in this module special-cases the multi-constituent shape
 //! beyond the generation gate described below.
 //!
-//! # Indexing
+//! # Indexing and sharding
 //!
 //! Regions are keyed by [`RegionKey`]: the guest *physical* address of the
 //! entry instruction plus its guest *virtual* entry class.  The physical
@@ -23,6 +23,21 @@
 //! The QEMU-style baseline stores its virtually-indexed translations in the
 //! same structure ([`CacheIndex::GuestVirtual`]) and simply flushes
 //! everything on guest translation-state changes.
+//!
+//! The index is **shard-locked**: keys hash onto [`SHARD_COUNT`]
+//! `RwLock`-protected maps, so the run thread's dispatch lookups and the
+//! tier-1 formation workers' profile peeks proceed without a global lock,
+//! and two threads only contend when their keys collide on a shard.  All
+//! statistics (and the invalidation epoch) are atomics, so every method
+//! takes `&self` and the cache is `Send + Sync` — the property the tiered
+//! translation service (`captive::tier`) is built on.
+//!
+//! **Lock order.**  The capacity ring and the shards are the only two lock
+//! classes.  The rule is: a thread may acquire shard locks *while holding*
+//! the ring lock (the eviction sweep does), but must never acquire the ring
+//! lock while holding a shard lock ([`CodeCache::insert`] releases the
+//! shard before touching the ring), and never holds two shard locks at
+//! once.  That total order makes deadlock impossible.
 //!
 //! # Direct block chaining
 //!
@@ -46,7 +61,8 @@
 //! stale link simply falls back to the dispatcher slow path, which
 //! re-resolves and re-patches it.  Links also carry a *heat* counter — the
 //! profile input that drives multi-constituent region formation in the
-//! dispatcher.
+//! dispatcher.  Link slots are mutex-protected so a formation worker can
+//! read a profile snapshot while the run thread keeps heating the links.
 //!
 //! # Multi-constituent and looping regions
 //!
@@ -63,7 +79,11 @@
 //! resulting region is inserted through the ordinary [`CodeCache::insert`],
 //! replacing the plain one-constituent region at the same key — chain links
 //! into the replaced region die with its `Arc`, and the next transfer
-//! re-resolves to the richer translation.
+//! re-resolves to the richer translation.  Under the tiered service the
+//! region may have been *formed on a background worker* against an
+//! immutable snapshot; the replace-at-key install is identical, and the
+//! same generation/epoch/SMC gates decide whether the formed region is
+//! still installable at all.
 //!
 //! **Back-edge rules.** The back-edge is a *virtual* control transfer
 //! decided at formation time, so a looping region obeys three invariants:
@@ -114,20 +134,36 @@
 //! unbounded one (only slower).  [`CacheStats`] reports the eviction count
 //! plus live occupancy (`bytes_live`, `regions_live`).
 //!
+//! # Content-keyed translation reuse
+//!
+//! Forming a region is expensive; forming the *same* region twice because
+//! two runs (or, eventually, two guests) execute the same kernel image is
+//! pure waste.  The [`ReuseCache`] is a second, content-addressed layer:
+//! a formed region is published as a [`ReuseTemplate`] under a
+//! [`ReuseKey`] — entry physical/virtual address, the codegen knobs it was
+//! formed under, and an FNV hash of the entry page's bytes — together with
+//! the content hash of *every* constituent page.  A later run (sharing the
+//! cache via `Arc`) revalidates each candidate template by hashing its
+//! live pages; only a template whose every page still matches is
+//! instantiated, as a fresh [`Region`] with fresh links and the current
+//! context generation.  Self-modified or simply different code therefore
+//! can never be reused by accident: the key and the validation are both
+//! functions of page *content*, not addresses alone.
+//!
 //! # Lookup statistics
 //!
 //! [`CodeCache::get`] is the *only* dispatch-path lookup and it feeds the
-//! interior-mutable hit/miss counters unconditionally (a stale-generation
-//! region counts as a miss: the dispatcher must translate), so
-//! [`CacheStats::hit_rate`] is faithful on region-heavy runs.
-//! [`CodeCache::peek`] is reserved for the region former's profile
-//! consultation and deliberately leaves the statistics alone (it neither
-//! counts nor marks the region referenced).
+//! atomic hit/miss counters unconditionally (a stale-generation region
+//! counts as a miss: the dispatcher must translate), so
+//! [`CacheStats::hit_rate`] is faithful on region-heavy runs and sound
+//! under concurrent lookups.  [`CodeCache::peek`] is reserved for the
+//! region former's profile consultation and deliberately leaves the
+//! statistics alone (it neither counts nor marks the region referenced).
 
 use hvm::MachInsn;
-use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, Weak};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock, Weak};
 
 /// How regions are keyed in the cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -194,10 +230,13 @@ struct ChainLink {
     to: Weak<Region>,
 }
 
-/// The lazily patched successor links of a region.
+/// The lazily patched successor links of a region.  Slots are mutexed so
+/// the run thread can patch and heat links while tier-1 workers read the
+/// profile; contention is per-slot and the critical sections are a few
+/// loads, so the locks are effectively free.
 #[derive(Debug, Default)]
 pub struct ChainLinks {
-    slots: [RefCell<Option<ChainLink>>; 2],
+    slots: [Mutex<Option<ChainLink>>; 2],
 }
 
 /// How the dispatcher entered a region (per-region profile attribution).
@@ -357,8 +396,8 @@ impl Region {
     /// Follows the link in `slot` if it was patched under the current
     /// context generation and cache epoch and its target is still cached.
     pub fn follow_link(&self, slot: usize, ctx_gen: u64, cache_epoch: u64) -> Option<Arc<Region>> {
-        let borrow = self.links.slots[slot].borrow();
-        let link = borrow.as_ref()?;
+        let guard = self.links.slots[slot].lock().unwrap();
+        let link = guard.as_ref()?;
         if link.ctx_gen == ctx_gen && link.cache_epoch == cache_epoch {
             link.to.upgrade()
         } else {
@@ -370,7 +409,7 @@ impl Region {
     /// generation and cache epoch it was resolved under.  Resets the link's
     /// heat: the profile restarts for the new target.
     pub fn set_link(&self, slot: usize, ctx_gen: u64, cache_epoch: u64, to: &Arc<Region>) {
-        *self.links.slots[slot].borrow_mut() = Some(ChainLink {
+        *self.links.slots[slot].lock().unwrap() = Some(ChainLink {
             ctx_gen,
             cache_epoch,
             heat: 0,
@@ -381,7 +420,7 @@ impl Region {
     /// Bumps the transfer counter of the link in `slot`, returning the new
     /// heat (0 when the slot holds no link).
     pub fn heat_up(&self, slot: usize) -> u64 {
-        match self.links.slots[slot].borrow_mut().as_mut() {
+        match self.links.slots[slot].lock().unwrap().as_mut() {
             Some(link) => {
                 link.heat += 1;
                 link.heat
@@ -393,7 +432,8 @@ impl Region {
     /// Current heat of the link in `slot` (0 when unpatched).
     pub fn link_heat(&self, slot: usize) -> u64 {
         self.links.slots[slot]
-            .borrow()
+            .lock()
+            .unwrap()
             .as_ref()
             .map_or(0, |l| l.heat)
     }
@@ -438,39 +478,66 @@ impl CacheStats {
 #[derive(Debug)]
 struct Slot {
     region: Arc<Region>,
-    referenced: Cell<bool>,
+    referenced: AtomicBool,
 }
 
 impl Slot {
     fn new(region: Arc<Region>) -> Self {
         Slot {
             region,
-            referenced: Cell::new(false),
+            referenced: AtomicBool::new(false),
         }
     }
 }
 
-/// The translation cache: one index over every region.
+/// Number of index shards; a power of two so shard selection is a mask.
+pub const SHARD_COUNT: usize = 16;
+
+/// Sentinel meaning "no capacity bound" in the atomic capacity fields.
+const UNBOUNDED: usize = usize::MAX;
+
+/// FNV-1a over a byte slice — the content hash used by the reuse layer
+/// (page bytes → template identity) and by shard selection.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn shard_index(key: RegionKey) -> usize {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for w in [key.phys, key.virt] {
+        h = (h ^ w).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    // Fold the high bits in: consecutive page-aligned keys otherwise cluster.
+    ((h ^ (h >> 32)) as usize) & (SHARD_COUNT - 1)
+}
+
+/// The translation cache: one sharded index over every region.  All methods
+/// take `&self`; the cache is `Send + Sync` and safe to share between the
+/// run thread and tier-1 formation workers.
 #[derive(Debug)]
 pub struct CodeCache {
     index: CacheIndex,
-    regions: HashMap<RegionKey, Slot>,
+    shards: [RwLock<HashMap<RegionKey, Slot>>; SHARD_COUNT],
     /// Insertion-order ring swept by the clock hand on capacity eviction.
     /// May hold keys already removed by invalidation; the sweep skips them.
-    ring: VecDeque<RegionKey>,
-    /// Optional bound on resident encoded host-code bytes.
-    capacity_bytes: Option<usize>,
-    /// Optional bound on resident region count.
-    capacity_regions: Option<usize>,
+    ring: Mutex<VecDeque<RegionKey>>,
+    /// Bound on resident encoded host-code bytes ([`UNBOUNDED`] = none).
+    capacity_bytes: AtomicUsize,
+    /// Bound on resident region count ([`UNBOUNDED`] = none).
+    capacity_regions: AtomicUsize,
     /// Bumped whenever an invalidation removes regions; chain links stamped
     /// with an older epoch are dead.
-    epoch: Cell<u64>,
-    hits: Cell<u64>,
-    misses: Cell<u64>,
-    invalidated_full: Cell<u64>,
-    invalidated_page: Cell<u64>,
-    evicted_stale_regions: Cell<u64>,
-    capacity_evictions: Cell<u64>,
+    epoch: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidated_full: AtomicU64,
+    invalidated_page: AtomicU64,
+    evicted_stale_regions: AtomicU64,
+    capacity_evictions: AtomicU64,
 }
 
 impl CodeCache {
@@ -478,25 +545,31 @@ impl CodeCache {
     pub fn new(index: CacheIndex) -> Self {
         CodeCache {
             index,
-            regions: HashMap::new(),
-            ring: VecDeque::new(),
-            capacity_bytes: None,
-            capacity_regions: None,
-            epoch: Cell::new(0),
-            hits: Cell::new(0),
-            misses: Cell::new(0),
-            invalidated_full: Cell::new(0),
-            invalidated_page: Cell::new(0),
-            evicted_stale_regions: Cell::new(0),
-            capacity_evictions: Cell::new(0),
+            shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+            ring: Mutex::new(VecDeque::new()),
+            capacity_bytes: AtomicUsize::new(UNBOUNDED),
+            capacity_regions: AtomicUsize::new(UNBOUNDED),
+            epoch: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidated_full: AtomicU64::new(0),
+            invalidated_page: AtomicU64::new(0),
+            evicted_stale_regions: AtomicU64::new(0),
+            capacity_evictions: AtomicU64::new(0),
         }
+    }
+
+    fn shard(&self, key: RegionKey) -> &RwLock<HashMap<RegionKey, Slot>> {
+        &self.shards[shard_index(key)]
     }
 
     /// Installs (or lifts, with `None`) the capacity bounds, evicting
     /// immediately if the cache is already over a new bound.
-    pub fn set_capacity(&mut self, bytes: Option<usize>, regions: Option<usize>) {
-        self.capacity_bytes = bytes;
-        self.capacity_regions = regions;
+    pub fn set_capacity(&self, bytes: Option<usize>, regions: Option<usize>) {
+        self.capacity_bytes
+            .store(bytes.unwrap_or(UNBOUNDED), Ordering::Relaxed);
+        self.capacity_regions
+            .store(regions.unwrap_or(UNBOUNDED), Ordering::Relaxed);
         self.enforce_capacity(None);
     }
 
@@ -507,28 +580,26 @@ impl CodeCache {
 
     /// Current invalidation epoch (stamped into chain links at patch time).
     pub fn epoch(&self) -> u64 {
-        self.epoch.get()
+        self.epoch.load(Ordering::Relaxed)
     }
 
     /// Looks up the region dispatchable at `key` under the current context
     /// generation.  A multi-constituent region whose formation generation
-    /// does not match is *not* dispatchable and counts as a miss.  Takes
-    /// `&self` so the chaining dispatcher can probe while holding shared
-    /// references into the cache; hit/miss accounting is interior-mutable
-    /// and fed by every lookup, region-shaped or not.
+    /// does not match is *not* dispatchable and counts as a miss.  Hit/miss
+    /// accounting is atomic and fed by every lookup, region-shaped or not.
     pub fn get(&self, key: RegionKey, ctx_gen: u64) -> Option<Arc<Region>> {
-        let found = self
-            .regions
+        let shard = self.shard(key).read().unwrap();
+        let found = shard
             .get(&key)
             .filter(|s| !s.region.gated() || s.region.ctx_gen == ctx_gen);
         match found {
             Some(slot) => {
-                self.hits.set(self.hits.get() + 1);
-                slot.referenced.set(true);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                slot.referenced.store(true, Ordering::Relaxed);
                 Some(Arc::clone(&slot.region))
             }
             None => {
-                self.misses.set(self.misses.get() + 1);
+                self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
@@ -538,7 +609,11 @@ impl CodeCache {
     /// statistics (used by the region former to consult link heats and to
     /// avoid re-forming an existing multi-constituent region).
     pub fn peek(&self, key: RegionKey) -> Option<Arc<Region>> {
-        self.regions.get(&key).map(|s| Arc::clone(&s.region))
+        self.shard(key)
+            .read()
+            .unwrap()
+            .get(&key)
+            .map(|s| Arc::clone(&s.region))
     }
 
     /// Inserts a region under its key, replacing any previous region there
@@ -549,20 +624,17 @@ impl CodeCache {
     /// pushes the cache over a capacity bound, the clock sweep evicts other
     /// regions until it fits (the new region itself is exempt from this
     /// insert's sweep).
-    // The dispatcher is single-threaded per vCPU by design (the paper's
-    // execution engine runs one guest core per host core); `Arc`/`Weak` are
-    // used for the shared-ownership semantics of chain links, not for
-    // cross-thread sharing, so `RefCell` link slots are fine.
-    #[allow(clippy::arc_with_non_send_sync)]
-    pub fn insert(&mut self, region: Region) -> Arc<Region> {
+    pub fn insert(&self, region: Region) -> Arc<Region> {
         let arc = Arc::new(region);
         let key = arc.key();
-        if self
-            .regions
-            .insert(key, Slot::new(Arc::clone(&arc)))
-            .is_none()
-        {
-            self.ring.push_back(key);
+        let replaced = {
+            let mut shard = self.shard(key).write().unwrap();
+            shard.insert(key, Slot::new(Arc::clone(&arc)))
+        };
+        // Shard lock released before touching the ring (see the lock-order
+        // rule in the module docs).
+        if replaced.is_none() {
+            self.ring.lock().unwrap().push_back(key);
         }
         self.enforce_capacity(Some(key));
         arc
@@ -570,11 +642,12 @@ impl CodeCache {
 
     /// True while a capacity bound is exceeded.
     fn over_capacity(&self) -> bool {
-        if self.capacity_bytes.is_some_and(|b| self.bytes_live() > b) {
+        let byte_bound = self.capacity_bytes.load(Ordering::Relaxed);
+        if byte_bound != UNBOUNDED && self.bytes_live() > byte_bound {
             return true;
         }
-        self.capacity_regions
-            .is_some_and(|r| self.regions.len() > r)
+        let region_bound = self.capacity_regions.load(Ordering::Relaxed);
+        region_bound != UNBOUNDED && self.len() > region_bound
     }
 
     /// Clock (second-chance) sweep: evicts regions from the insertion-order
@@ -582,67 +655,95 @@ impl CodeCache {
     /// region gets its bit cleared and one more trip around the ring; the
     /// region at `keep` (the one just inserted) is never evicted by this
     /// sweep.  Evictions bump the epoch so dispatcher-held chain links die.
-    fn enforce_capacity(&mut self, keep: Option<RegionKey>) {
+    /// Holds the ring lock for the whole sweep (acquiring shard locks
+    /// inside it — the permitted order), so concurrent inserts serialize
+    /// their sweeps rather than double-evicting.
+    fn enforce_capacity(&self, keep: Option<RegionKey>) {
+        let mut ring = self.ring.lock().unwrap();
         let mut evicted = 0u64;
         let mut spared_keep = false;
         while self.over_capacity() {
-            let Some(key) = self.ring.pop_front() else {
+            let Some(key) = ring.pop_front() else {
                 break;
             };
             if Some(key) == keep {
                 if spared_keep {
                     // Only the protected region is left to sweep: admit it
                     // even though it exceeds the bound on its own.
-                    self.ring.push_front(key);
+                    ring.push_front(key);
                     break;
                 }
                 spared_keep = true;
-                self.ring.push_back(key);
+                ring.push_back(key);
                 continue;
             }
-            let Some(slot) = self.regions.get(&key) else {
+            let mut shard = self.shard(key).write().unwrap();
+            let Some(slot) = shard.get(&key) else {
                 continue; // already invalidated; drop the stale ring entry
             };
-            if slot.referenced.get() {
-                slot.referenced.set(false);
-                self.ring.push_back(key);
+            if slot.referenced.swap(false, Ordering::Relaxed) {
+                drop(shard);
+                ring.push_back(key);
                 spared_keep = false; // bit cleared: the next lap can evict
                 continue;
             }
-            self.regions.remove(&key);
+            shard.remove(&key);
+            drop(shard);
             evicted += 1;
             spared_keep = false;
         }
         if evicted > 0 {
             self.capacity_evictions
-                .set(self.capacity_evictions.get() + evicted);
-            self.epoch.set(self.epoch.get() + 1);
+                .fetch_add(evicted, Ordering::Relaxed);
+            self.epoch.fetch_add(1, Ordering::Relaxed);
         }
     }
 
     /// Drops ring entries whose region an invalidation already removed.
-    fn prune_ring(&mut self) {
-        let regions = &self.regions;
-        self.ring.retain(|k| regions.contains_key(k));
+    fn prune_ring(&self) {
+        let mut ring = self.ring.lock().unwrap();
+        ring.retain(|&k| self.shard(k).read().unwrap().contains_key(&k));
     }
 
     /// Number of cached regions.
     pub fn len(&self) -> usize {
-        self.regions.len()
+        self.shards.iter().map(|s| s.read().unwrap().len()).sum()
     }
 
     /// True if no regions are cached.
     pub fn is_empty(&self) -> bool {
-        self.regions.is_empty()
+        self.shards.iter().all(|s| s.read().unwrap().is_empty())
     }
 
     /// Number of cached multi-constituent regions (stale-generation ones
     /// included until they are replaced, invalidated or swept).
     pub fn multi_region_count(&self) -> usize {
-        self.regions
-            .values()
-            .filter(|s| s.region.is_multi())
-            .count()
+        self.shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .unwrap()
+                    .values()
+                    .filter(|slot| slot.region.is_multi())
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Snapshot of the branch-link profile: every cached conditional block's
+    /// (taken, fallthrough) link heats, keyed by region.  A tier-1 formation
+    /// request freezes this at publish time so workers choose continuation
+    /// legs without touching the live cache.
+    pub fn branch_profiles(&self) -> HashMap<RegionKey, (u64, u64)> {
+        let mut heats = HashMap::new();
+        for shard in &self.shards {
+            for (key, slot) in shard.read().unwrap().iter() {
+                if matches!(slot.region.exit, BlockExit::Branch { .. }) {
+                    heats.insert(*key, (slot.region.link_heat(0), slot.region.link_heat(1)));
+                }
+            }
+        }
+        heats
     }
 
     /// Evicts every multi-constituent region whose formation context
@@ -653,13 +754,16 @@ impl CodeCache {
     /// on TLBI-heavy guests.  Dropping the `Arc`s also kills chain links
     /// into them; no epoch bump is needed because generation-stamped links
     /// are already dead.
-    pub fn evict_stale_regions(&mut self, ctx_gen: u64) -> usize {
-        let before = self.regions.len();
-        self.regions
-            .retain(|_, s| !s.region.gated() || s.region.ctx_gen == ctx_gen);
-        let removed = before - self.regions.len();
+    pub fn evict_stale_regions(&self, ctx_gen: u64) -> usize {
+        let mut removed = 0usize;
+        for shard in &self.shards {
+            let mut shard = shard.write().unwrap();
+            let before = shard.len();
+            shard.retain(|_, s| !s.region.gated() || s.region.ctx_gen == ctx_gen);
+            removed += before - shard.len();
+        }
         self.evicted_stale_regions
-            .set(self.evicted_stale_regions.get() + removed as u64);
+            .fetch_add(removed as u64, Ordering::Relaxed);
         if removed > 0 {
             self.prune_ring();
         }
@@ -669,25 +773,29 @@ impl CodeCache {
     /// Cache statistics.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.get(),
-            misses: self.misses.get(),
-            invalidated_full: self.invalidated_full.get(),
-            invalidated_page: self.invalidated_page.get(),
-            evicted_stale_regions: self.evicted_stale_regions.get(),
-            capacity_evictions: self.capacity_evictions.get(),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidated_full: self.invalidated_full.load(Ordering::Relaxed),
+            invalidated_page: self.invalidated_page.load(Ordering::Relaxed),
+            evicted_stale_regions: self.evicted_stale_regions.load(Ordering::Relaxed),
+            capacity_evictions: self.capacity_evictions.load(Ordering::Relaxed),
             bytes_live: self.bytes_live() as u64,
-            regions_live: self.regions.len() as u64,
+            regions_live: self.len() as u64,
         }
     }
 
     /// Discards every translation (the QEMU-style response to a guest
     /// page-table change when indexing by virtual address).
-    pub fn invalidate_all(&mut self) {
-        self.invalidated_full
-            .set(self.invalidated_full.get() + self.regions.len() as u64);
-        self.regions.clear();
-        self.ring.clear();
-        self.epoch.set(self.epoch.get() + 1);
+    pub fn invalidate_all(&self) {
+        let mut removed = 0u64;
+        for shard in &self.shards {
+            let mut shard = shard.write().unwrap();
+            removed += shard.len() as u64;
+            shard.clear();
+        }
+        self.invalidated_full.fetch_add(removed, Ordering::Relaxed);
+        self.ring.lock().unwrap().clear();
+        self.epoch.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Discards regions any of whose constituent guest code pages is
@@ -697,22 +805,33 @@ impl CodeCache {
     /// Dropping the cache's `Arc`s kills chain links into the page; the
     /// epoch bump additionally kills links *from* regions the dispatcher
     /// still holds.
-    pub fn invalidate_phys_page(&mut self, page_base: u64) {
-        let before = self.regions.len();
-        self.regions
-            .retain(|_, s| !s.region.pages.contains(&page_base));
-        let removed = (before - self.regions.len()) as u64;
+    pub fn invalidate_phys_page(&self, page_base: u64) {
+        let mut removed = 0u64;
+        for shard in &self.shards {
+            let mut shard = shard.write().unwrap();
+            let before = shard.len();
+            shard.retain(|_, s| !s.region.pages.contains(&page_base));
+            removed += (before - shard.len()) as u64;
+        }
         if removed > 0 {
-            self.invalidated_page
-                .set(self.invalidated_page.get() + removed);
-            self.epoch.set(self.epoch.get() + 1);
+            self.invalidated_page.fetch_add(removed, Ordering::Relaxed);
+            self.epoch.fetch_add(1, Ordering::Relaxed);
             self.prune_ring();
         }
     }
 
     /// Total bytes of encoded host code currently cached.
     pub fn total_encoded_bytes(&self) -> usize {
-        self.regions.values().map(|s| s.region.encoded_bytes).sum()
+        self.shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .unwrap()
+                    .values()
+                    .map(|slot| slot.region.encoded_bytes)
+                    .sum::<usize>()
+            })
+            .sum()
     }
 
     /// Alias of [`CodeCache::total_encoded_bytes`] used by the capacity
@@ -723,9 +842,253 @@ impl CodeCache {
 
     /// Total guest instructions covered by cached regions.
     pub fn total_guest_insns(&self) -> usize {
-        self.regions.values().map(|s| s.region.guest_insns).sum()
+        self.shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .unwrap()
+                    .values()
+                    .map(|slot| slot.region.guest_insns)
+                    .sum::<usize>()
+            })
+            .sum()
     }
 }
+
+/// Packs the codegen knobs a region was formed under into one word for the
+/// [`ReuseKey`]: a template formed with different optimisation, unrolling
+/// or tracing limits is a different translation and must never be reused
+/// across configurations.
+pub fn pack_knobs(
+    soft_fp: bool,
+    opt: bool,
+    loop_regions: bool,
+    unroll: usize,
+    max_insns: usize,
+) -> u64 {
+    (soft_fp as u64)
+        | ((opt as u64) << 1)
+        | ((loop_regions as u64) << 2)
+        | (((unroll as u64) & 0xFF) << 8)
+        | (((max_insns as u64) & 0xFFFF) << 16)
+}
+
+/// Identity of a reusable translation: where it enters, the knobs it was
+/// formed under, and what the entry page's bytes hashed to at formation
+/// time.  Two images whose entry pages differ can never collide; images
+/// that share an entry page but diverge on an interior page are separated
+/// by per-template validation of every constituent page hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReuseKey {
+    /// Guest physical entry address.
+    pub phys: u64,
+    /// Guest virtual entry address (generated code embeds virtual PCs).
+    pub virt: u64,
+    /// Codegen knobs, packed by [`pack_knobs`].
+    pub knobs: u64,
+    /// FNV-1a hash of the entry page's bytes at formation time.
+    pub entry_page_hash: u64,
+}
+
+/// A formed region published for content-keyed reuse: everything needed to
+/// re-instantiate the region in another run, plus the content hash of every
+/// constituent page for validation.  The host code is shared by `Arc` — a
+/// thousand guests running one kernel image hold one copy.
+#[derive(Debug, Clone)]
+pub struct ReuseTemplate {
+    /// Guest instructions covered (all constituents).
+    pub guest_insns: usize,
+    /// The formed host code, shared between all instantiations.
+    pub code: Arc<Vec<MachInsn>>,
+    /// Encoded host-code size in bytes.
+    pub encoded_bytes: usize,
+    /// Host instructions before dead-code elimination.
+    pub lir_insns: usize,
+    /// LIR instructions eliminated before encoding.
+    pub elided_insns: usize,
+    /// Terminator metadata.
+    pub exit: BlockExit,
+    /// Constituent basic blocks.
+    pub constituents: usize,
+    /// Every constituent page with the FNV-1a hash of its bytes at
+    /// formation time; a candidate is only instantiated after *all* of
+    /// these revalidate against live memory.
+    pub pages: Vec<(u64, u64)>,
+    /// Loop-body copies stitched by unrolling.
+    pub unroll: usize,
+    /// Region-internal back-edges closed.
+    pub back_edges: usize,
+    /// Guest instructions in the looping portion.
+    pub loop_guest_insns: usize,
+    /// Eliminated-LIR share of the looping portion.
+    pub loop_elided_insns: usize,
+}
+
+impl ReuseTemplate {
+    /// Captures a formed region as a template.  `page_hashes` must cover
+    /// exactly the region's constituent pages (base → content hash of the
+    /// bytes the region was formed against).
+    pub fn from_region(region: &Region, page_hashes: &[(u64, u64)]) -> Self {
+        debug_assert_eq!(page_hashes.len(), region.pages.len());
+        ReuseTemplate {
+            guest_insns: region.guest_insns,
+            code: Arc::clone(&region.code),
+            encoded_bytes: region.encoded_bytes,
+            lir_insns: region.lir_insns,
+            elided_insns: region.elided_insns,
+            exit: region.exit,
+            constituents: region.constituents,
+            pages: page_hashes.to_vec(),
+            unroll: region.unroll,
+            back_edges: region.back_edges,
+            loop_guest_insns: region.loop_guest_insns,
+            loop_elided_insns: region.loop_elided_insns,
+        }
+    }
+
+    /// Instantiates the template as a fresh [`Region`] at the given entry,
+    /// stamped with the current context generation and carrying fresh
+    /// (unpatched) chain links.  The host code `Arc` is shared, not cloned.
+    pub fn instantiate(&self, phys: u64, virt: u64, ctx_gen: u64) -> Region {
+        Region {
+            guest_phys: phys,
+            guest_virt: virt,
+            guest_insns: self.guest_insns,
+            code: Arc::clone(&self.code),
+            encoded_bytes: self.encoded_bytes,
+            lir_insns: self.lir_insns,
+            elided_insns: self.elided_insns,
+            exit: self.exit,
+            links: ChainLinks::default(),
+            constituents: self.constituents,
+            pages: self.pages.iter().map(|&(base, _)| base).collect(),
+            ctx_gen,
+            unroll: self.unroll,
+            back_edges: self.back_edges,
+            loop_guest_insns: self.loop_guest_insns,
+            loop_elided_insns: self.loop_elided_insns,
+        }
+    }
+}
+
+/// One recorded refusal: the (page base, content hash) set a formation
+/// attempt consumed while proving no region forms there.
+type RefusalPages = Vec<(u64, u64)>;
+
+/// Content-keyed translation reuse: formed machine code indexed by what it
+/// was formed *from* (entry + knobs + page-content hashes), shareable
+/// between runs via `Arc` so repeated executions of one kernel image pay
+/// for region formation once.
+#[derive(Debug, Default)]
+pub struct ReuseCache {
+    entries: RwLock<HashMap<ReuseKey, Vec<ReuseTemplate>>>,
+    /// Negative knowledge: consumed page-hash sets a formation attempt
+    /// proved to yield *no* region (trace too short, lowering bailed).  A
+    /// validated refusal lets later runs of the same content skip the
+    /// formation round-trip entirely — the outcome is already known.
+    refusals: RwLock<HashMap<ReuseKey, Vec<RefusalPages>>>,
+}
+
+impl ReuseCache {
+    /// Creates an empty reuse cache.
+    pub fn new() -> Self {
+        ReuseCache::default()
+    }
+
+    /// Publishes a template under `key`.  A template whose page set and
+    /// hashes exactly match an existing candidate is dropped (the existing
+    /// one already serves every image this one could).
+    pub fn publish(&self, key: ReuseKey, template: ReuseTemplate) {
+        let mut entries = self.entries.write().unwrap();
+        let candidates = entries.entry(key).or_default();
+        if candidates.iter().any(|c| c.pages == template.pages) {
+            return;
+        }
+        candidates.push(template);
+    }
+
+    /// Records that forming at `key` against content whose consumed pages
+    /// hashed to `pages` produced no region.  Identical page sets dedupe.
+    pub fn publish_refusal(&self, key: ReuseKey, pages: Vec<(u64, u64)>) {
+        let mut refusals = self.refusals.write().unwrap();
+        let sets = refusals.entry(key).or_default();
+        if sets.contains(&pages) {
+            return;
+        }
+        sets.push(pages);
+    }
+
+    /// Whether a prior formation attempt at `key` is recorded to have
+    /// refused on content that still matches — validated page by page with
+    /// `page_matches(page_base, formation_hash)`.
+    pub fn known_refusal(
+        &self,
+        key: ReuseKey,
+        mut page_matches: impl FnMut(u64, u64) -> bool,
+    ) -> bool {
+        let refusals = self.refusals.read().unwrap();
+        let Some(sets) = refusals.get(&key) else {
+            return false;
+        };
+        sets.iter()
+            .any(|s| s.iter().all(|&(base, hash)| page_matches(base, hash)))
+    }
+
+    /// Whether anything — a template or a recorded refusal — is published
+    /// under `key`.  A cheap precheck (no page validation) used to skip
+    /// redundant formation publishes when the outcome is likely already
+    /// known at the install point.
+    pub fn covers(&self, key: ReuseKey) -> bool {
+        self.entries
+            .read()
+            .unwrap()
+            .get(&key)
+            .is_some_and(|c| !c.is_empty())
+            || self
+                .refusals
+                .read()
+                .unwrap()
+                .get(&key)
+                .is_some_and(|s| !s.is_empty())
+    }
+
+    /// Looks up a reusable template for `key`, validating candidates with
+    /// `page_matches(page_base, formation_hash)` — which must hash the live
+    /// bytes of `page_base` and compare.  The first fully validated
+    /// candidate (in publication order, so lookups are deterministic) is
+    /// returned as a clone.
+    pub fn lookup(
+        &self,
+        key: ReuseKey,
+        mut page_matches: impl FnMut(u64, u64) -> bool,
+    ) -> Option<ReuseTemplate> {
+        let entries = self.entries.read().unwrap();
+        let candidates = entries.get(&key)?;
+        candidates
+            .iter()
+            .find(|c| c.pages.iter().all(|&(base, hash)| page_matches(base, hash)))
+            .cloned()
+    }
+
+    /// Number of distinct reuse keys published.
+    pub fn len(&self) -> usize {
+        self.entries.read().unwrap().len()
+    }
+
+    /// True when nothing has been published.
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().unwrap().is_empty()
+    }
+}
+
+// The tiered translation service shares regions, the code cache and the
+// reuse cache across threads; keep the compiler holding that door open.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Region>();
+    assert_send_sync::<CodeCache>();
+    assert_send_sync::<ReuseCache>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -771,7 +1134,7 @@ mod tests {
 
     #[test]
     fn hit_and_miss_accounting() {
-        let mut c = CodeCache::new(CacheIndex::GuestPhysical);
+        let c = CodeCache::new(CacheIndex::GuestPhysical);
         assert!(c.get(key(0x1000, 0x1000), 0).is_none());
         c.insert(block(0x1000, 3));
         assert!(c.get(key(0x1000, 0x1000), 0).is_some());
@@ -784,7 +1147,7 @@ mod tests {
     fn stale_generation_lookups_count_as_misses() {
         // The old `get_super` path bypassed the statistics entirely; the
         // unified lookup must record both the refusal and the later hit.
-        let mut c = CodeCache::new(CacheIndex::GuestPhysical);
+        let c = CodeCache::new(CacheIndex::GuestPhysical);
         c.insert(multi(0x1000, 8, vec![0x1000, 0x2000], 5));
         assert!(c.get(key(0x1000, 0x1000), 6).is_none(), "stale generation");
         assert_eq!(c.stats().misses, 1);
@@ -801,7 +1164,7 @@ mod tests {
 
     #[test]
     fn full_invalidation_clears_everything() {
-        let mut c = CodeCache::new(CacheIndex::GuestVirtual);
+        let c = CodeCache::new(CacheIndex::GuestVirtual);
         c.insert(block(0x1000, 3));
         c.insert(block(0x2000, 5));
         c.insert(multi(0x3000, 8, vec![0x3000], 0));
@@ -812,7 +1175,7 @@ mod tests {
 
     #[test]
     fn page_invalidation_only_hits_overlapping_regions() {
-        let mut c = CodeCache::new(CacheIndex::GuestPhysical);
+        let c = CodeCache::new(CacheIndex::GuestPhysical);
         c.insert(block(0x1000, 4));
         c.insert(block(0x1FF8, 4)); // straddles into 0x2000 page
         c.insert(block(0x3000, 4));
@@ -835,7 +1198,7 @@ mod tests {
 
     #[test]
     fn aggregate_statistics() {
-        let mut c = CodeCache::new(CacheIndex::GuestPhysical);
+        let c = CodeCache::new(CacheIndex::GuestPhysical);
         c.insert(block(0x1000, 2));
         c.insert(block(0x2000, 3));
         assert_eq!(c.len(), 2);
@@ -870,7 +1233,7 @@ mod tests {
 
     #[test]
     fn links_follow_only_under_matching_stamps() {
-        let mut c = CodeCache::new(CacheIndex::GuestPhysical);
+        let c = CodeCache::new(CacheIndex::GuestPhysical);
         let a = c.insert(block_with_exit(
             0x1000,
             1,
@@ -885,7 +1248,7 @@ mod tests {
 
     #[test]
     fn invalidating_the_target_kills_links_into_it() {
-        let mut c = CodeCache::new(CacheIndex::GuestPhysical);
+        let c = CodeCache::new(CacheIndex::GuestPhysical);
         let a = c.insert(block_with_exit(
             0x1000,
             1,
@@ -904,7 +1267,7 @@ mod tests {
         // Promotion path: a formed multi-constituent region replaces the
         // plain region at the same key; a link still pointing at the old
         // `Arc` dies with it, with no epoch bump required.
-        let mut c = CodeCache::new(CacheIndex::GuestPhysical);
+        let c = CodeCache::new(CacheIndex::GuestPhysical);
         let a = c.insert(block_with_exit(
             0x1000,
             1,
@@ -924,7 +1287,7 @@ mod tests {
 
     #[test]
     fn link_heat_accumulates_and_resets_on_repatch() {
-        let mut c = CodeCache::new(CacheIndex::GuestPhysical);
+        let c = CodeCache::new(CacheIndex::GuestPhysical);
         let a = c.insert(block_with_exit(
             0x1000,
             1,
@@ -942,7 +1305,7 @@ mod tests {
 
     #[test]
     fn multi_regions_are_gated_on_generation_and_keyed_by_entry() {
-        let mut c = CodeCache::new(CacheIndex::GuestPhysical);
+        let c = CodeCache::new(CacheIndex::GuestPhysical);
         c.insert(multi(0x1000, 8, vec![0x1000, 0x2000], 5));
         assert!(c.get(key(0x1000, 0x1000), 5).is_some());
         assert!(c.get(key(0x1000, 0x1000), 6).is_none(), "stale generation");
@@ -957,7 +1320,7 @@ mod tests {
     fn virtual_aliases_of_one_entry_hold_separate_live_regions() {
         // Regression for the per-physical single slot: two virtual aliases
         // of one hot physical entry must not evict each other.
-        let mut c = CodeCache::new(CacheIndex::GuestPhysical);
+        let c = CodeCache::new(CacheIndex::GuestPhysical);
         let a = Region {
             guest_virt: 0x4000,
             ..multi(0x1000, 8, vec![0x1000], 3)
@@ -978,7 +1341,7 @@ mod tests {
 
     #[test]
     fn stale_generation_sweep_evicts_only_old_multi_regions() {
-        let mut c = CodeCache::new(CacheIndex::GuestPhysical);
+        let c = CodeCache::new(CacheIndex::GuestPhysical);
         c.insert(block(0x9000, 2)); // plain regions are generation-immune
         c.insert(multi(0x1000, 8, vec![0x1000], 1));
         c.insert(multi(0x3000, 8, vec![0x3000], 2));
@@ -1011,7 +1374,7 @@ mod tests {
         // embeds a virtual control-flow decision (the back-edge targets the
         // entry's virtual address): it must be generation-gated and swept
         // like any stitched trace.
-        let mut c = CodeCache::new(CacheIndex::GuestPhysical);
+        let c = CodeCache::new(CacheIndex::GuestPhysical);
         let looping = Region {
             back_edges: 1,
             loop_guest_insns: 3,
@@ -1027,7 +1390,7 @@ mod tests {
 
     #[test]
     fn smc_on_any_constituent_page_kills_the_region() {
-        let mut c = CodeCache::new(CacheIndex::GuestPhysical);
+        let c = CodeCache::new(CacheIndex::GuestPhysical);
         c.insert(multi(0x1000, 8, vec![0x1000, 0x2000], 0));
         let epoch_before = c.epoch();
         c.invalidate_phys_page(0x2000); // interior page, not the entry page
@@ -1056,7 +1419,7 @@ mod tests {
 
     #[test]
     fn capacity_bound_evicts_oldest_unreferenced_region() {
-        let mut c = CodeCache::new(CacheIndex::GuestPhysical);
+        let c = CodeCache::new(CacheIndex::GuestPhysical);
         c.set_capacity(None, Some(2));
         c.insert(block(0x1000, 1));
         c.insert(block(0x2000, 1));
@@ -1074,7 +1437,7 @@ mod tests {
 
     #[test]
     fn clock_sweep_gives_referenced_regions_a_second_chance() {
-        let mut c = CodeCache::new(CacheIndex::GuestPhysical);
+        let c = CodeCache::new(CacheIndex::GuestPhysical);
         c.set_capacity(None, Some(2));
         c.insert(block(0x1000, 1));
         c.insert(block(0x2000, 1));
@@ -1088,7 +1451,7 @@ mod tests {
 
     #[test]
     fn byte_capacity_bound_is_enforced() {
-        let mut c = CodeCache::new(CacheIndex::GuestPhysical);
+        let c = CodeCache::new(CacheIndex::GuestPhysical);
         // block() gives each region insns * 40 encoded bytes.
         c.set_capacity(Some(100), None);
         c.insert(block(0x1000, 1)); // 40 bytes
@@ -1101,7 +1464,7 @@ mod tests {
 
     #[test]
     fn an_oversized_region_is_still_admitted() {
-        let mut c = CodeCache::new(CacheIndex::GuestPhysical);
+        let c = CodeCache::new(CacheIndex::GuestPhysical);
         c.set_capacity(Some(50), None);
         c.insert(block(0x1000, 4)); // 160 bytes, alone over the bound
         assert_eq!(c.len(), 1, "sole region is exempt from its own sweep");
@@ -1114,7 +1477,7 @@ mod tests {
 
     #[test]
     fn invalidation_leaves_no_stale_ring_entries_to_evict() {
-        let mut c = CodeCache::new(CacheIndex::GuestPhysical);
+        let c = CodeCache::new(CacheIndex::GuestPhysical);
         c.set_capacity(None, Some(2));
         c.insert(block(0x1000, 1));
         c.insert(block(0x2000, 1));
@@ -1128,7 +1491,7 @@ mod tests {
 
     #[test]
     fn unbounded_cache_never_capacity_evicts() {
-        let mut c = CodeCache::new(CacheIndex::GuestPhysical);
+        let c = CodeCache::new(CacheIndex::GuestPhysical);
         for i in 0..64 {
             c.insert(block(0x1000 + i * 0x100, 1));
         }
@@ -1142,7 +1505,7 @@ mod tests {
         // A region chained to itself stays strongly referenced by the
         // dispatcher across its own invalidation; the epoch stamp is what
         // breaks the loop.
-        let mut c = CodeCache::new(CacheIndex::GuestPhysical);
+        let c = CodeCache::new(CacheIndex::GuestPhysical);
         let a = c.insert(block_with_exit(
             0x1000,
             1,
@@ -1156,5 +1519,146 @@ mod tests {
             a.follow_link(0, 0, c.epoch()).is_none(),
             "self-link must die on invalidation even though the Arc lives"
         );
+    }
+
+    #[test]
+    fn concurrent_mutation_is_sound() {
+        // Hammer the sharded index from several threads at once: inserts,
+        // dispatch-path lookups, page invalidations and a capacity bound
+        // tight enough to keep the clock hand sweeping.  The assertions are
+        // (a) no deadlock/panic, (b) the books still balance at the end.
+        use std::sync::atomic::AtomicU64 as Counter;
+        let c = Arc::new(CodeCache::new(CacheIndex::GuestPhysical));
+        c.set_capacity(None, Some(32));
+        let inserted = Arc::new(Counter::new(0));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let c = Arc::clone(&c);
+            let inserted = Arc::clone(&inserted);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200u64 {
+                    let at = 0x1000 + ((t * 200 + i) % 96) * 0x100;
+                    c.insert(block(at, 1));
+                    inserted.fetch_add(1, Ordering::Relaxed);
+                    c.get(key(at, at), 0);
+                    if i % 16 == 0 {
+                        c.invalidate_phys_page(at & !0xFFF);
+                    }
+                    if i % 32 == 0 {
+                        c.evict_stale_regions(0);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = c.stats();
+        assert_eq!(inserted.load(Ordering::Relaxed), 800);
+        assert!(c.len() <= 33, "bound holds modulo one in-flight oversize");
+        assert_eq!(s.regions_live, c.len() as u64);
+        assert!(s.hits + s.misses == 800, "every lookup was counted");
+    }
+
+    #[test]
+    fn reuse_template_round_trips_through_content_validation() {
+        let reuse = ReuseCache::new();
+        let region = multi(0x1000, 8, vec![0x1000, 0x2000], 3);
+        let hashes = [(0x1000u64, 0xAAAAu64), (0x2000, 0xBBBB)];
+        let knobs = pack_knobs(false, true, true, 4, 256);
+        let key = ReuseKey {
+            phys: 0x1000,
+            virt: 0x1000,
+            knobs,
+            entry_page_hash: 0xAAAA,
+        };
+        reuse.publish(key, ReuseTemplate::from_region(&region, &hashes));
+        assert_eq!(reuse.len(), 1);
+        // All pages validate: the template is served.
+        let got = reuse
+            .lookup(key, |base, hash| {
+                hashes.iter().any(|&(b, h)| b == base && h == hash)
+            })
+            .expect("content-valid template");
+        let inst = got.instantiate(0x1000, 0x1000, 7);
+        assert_eq!(inst.ctx_gen, 7);
+        assert_eq!(inst.pages, vec![0x1000, 0x2000]);
+        assert_eq!(inst.constituents, region.constituents);
+        assert!(Arc::ptr_eq(&inst.code, &region.code), "code is shared");
+        // A modified interior page defeats reuse.
+        assert!(
+            reuse
+                .lookup(key, |base, hash| base == 0x1000 && hash == 0xAAAA)
+                .is_none(),
+            "a stale interior page must invalidate the candidate"
+        );
+        // A different knob set is a different key entirely.
+        let other = ReuseKey {
+            knobs: pack_knobs(false, false, true, 4, 256),
+            ..key
+        };
+        assert!(reuse.lookup(other, |_, _| true).is_none());
+    }
+
+    #[test]
+    fn reuse_publish_dedupes_identical_page_sets() {
+        let reuse = ReuseCache::new();
+        let region = block(0x1000, 2);
+        let hashes = [(0x1000u64, 0x1234u64)];
+        let key = ReuseKey {
+            phys: 0x1000,
+            virt: 0x1000,
+            knobs: 0,
+            entry_page_hash: 0x1234,
+        };
+        reuse.publish(key, ReuseTemplate::from_region(&region, &hashes));
+        reuse.publish(key, ReuseTemplate::from_region(&region, &hashes));
+        let entries = reuse.entries.read().unwrap();
+        assert_eq!(entries.get(&key).unwrap().len(), 1, "deduped");
+    }
+
+    #[test]
+    fn reuse_refusals_validate_content_and_dedupe() {
+        let reuse = ReuseCache::new();
+        let key = ReuseKey {
+            phys: 0x1000,
+            virt: 0x1000,
+            knobs: 0,
+            entry_page_hash: 0x1234,
+        };
+        assert!(!reuse.covers(key));
+        let pages = vec![(0x1000u64, 0x1234u64), (0x2000, 0x5678)];
+        reuse.publish_refusal(key, pages.clone());
+        reuse.publish_refusal(key, pages.clone());
+        assert_eq!(reuse.refusals.read().unwrap()[&key].len(), 1, "deduped");
+        // The refusal covers the key (publish precheck) and validates only
+        // while every recorded page still hashes the same.
+        assert!(reuse.covers(key));
+        assert!(reuse.known_refusal(key, |base, hash| {
+            pages.iter().any(|&(b, h)| b == base && h == hash)
+        }));
+        assert!(
+            !reuse.known_refusal(key, |base, hash| base == 0x1000 && hash == 0x1234),
+            "a changed interior page must void the refusal"
+        );
+        // Refusals never surface as installable templates.
+        assert!(reuse.lookup(key, |_, _| true).is_none());
+    }
+
+    #[test]
+    fn knob_packing_distinguishes_every_field() {
+        let base = pack_knobs(false, true, true, 4, 256);
+        assert_ne!(base, pack_knobs(true, true, true, 4, 256));
+        assert_ne!(base, pack_knobs(false, false, true, 4, 256));
+        assert_ne!(base, pack_knobs(false, true, false, 4, 256));
+        assert_ne!(base, pack_knobs(false, true, true, 8, 256));
+        assert_ne!(base, pack_knobs(false, true, true, 4, 128));
+    }
+
+    #[test]
+    fn fnv_hash_is_content_sensitive() {
+        assert_eq!(fnv1a(b"abc"), fnv1a(b"abc"));
+        assert_ne!(fnv1a(b"abc"), fnv1a(b"abd"));
+        assert_ne!(fnv1a(b""), fnv1a(b"\0"));
     }
 }

@@ -41,14 +41,14 @@ pub mod regalloc;
 pub mod timing;
 
 pub use cache::{
-    BlockExit, CacheIndex, CacheStats, ChainLinks, CodeCache, EntryMode, Region, RegionKey,
-    RegionProfile,
+    fnv1a, pack_knobs, BlockExit, CacheIndex, CacheStats, ChainLinks, CodeCache, EntryMode, Region,
+    RegionKey, RegionProfile, ReuseCache, ReuseKey, ReuseTemplate,
 };
 pub use emitter::{Emitter, Node, NodeId, ValueType};
 pub use lir::{LirInsn, RegFileAccess, Vreg, VregClass};
 pub use lower::LowerError;
 pub use opt::OptStats;
-pub use timing::{Phase, PhaseTimers};
+pub use timing::{Phase, PhaseTimers, TierTimers};
 
 use hvm::MachInsn;
 use std::sync::Arc;

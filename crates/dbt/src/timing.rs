@@ -1,4 +1,7 @@
-//! Wall-clock timers for the four JIT compilation phases (Fig. 20).
+//! Wall-clock timers for the four JIT compilation phases (Fig. 20), plus the
+//! tier-level accounting of the two-tier translation service: how much JIT
+//! wall-clock the run thread actually *stalled* on versus what ran hidden on
+//! background formation workers.
 
 use std::time::{Duration, Instant};
 
@@ -99,6 +102,42 @@ impl PhaseTimers {
         self.opt_copies_folded += other.opt_copies_folded;
         self.opt_dce_insns += other.opt_dce_insns;
         self.lower_bailouts += other.lower_bailouts;
+    }
+}
+
+/// Wall-clock accounting of the tiered translation service, kept separate
+/// from the per-phase [`PhaseTimers`]: these attribute time to *who paid for
+/// it* (the run thread vs a background worker), not to a pipeline phase.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TierTimers {
+    /// JIT wall-clock the run thread blocked on: tier-0 block translation,
+    /// snapshot capture, waits for in-flight tier-1 results, and synchronous
+    /// formation fallbacks.  This is the guest-visible translation latency.
+    pub run_thread_stall: Duration,
+    /// Share of `run_thread_stall` spent capturing formation snapshots.
+    pub snapshot_build: Duration,
+    /// Wall-clock spent inside tier-1 workers forming regions (runs hidden
+    /// behind tier-0 execution; overlaps `run_thread_stall` only when the
+    /// run thread had to wait for a result).
+    pub worker_wall: Duration,
+    /// Time from engine construction to the first gated (multi-constituent
+    /// or looping) region install, if one happened.
+    pub first_install: Option<Duration>,
+}
+
+impl TierTimers {
+    /// Runs `f`, charging its wall-clock to the run thread's stall account.
+    pub fn stall<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let r = f();
+        self.run_thread_stall += start.elapsed();
+        r
+    }
+
+    /// Records the first gated-region install at `since_launch` after engine
+    /// construction (later installs are ignored).
+    pub fn record_install(&mut self, since_launch: Duration) {
+        self.first_install.get_or_insert(since_launch);
     }
 }
 

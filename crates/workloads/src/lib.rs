@@ -397,6 +397,37 @@ pub fn loop_kernels(scale: Scale) -> Vec<Workload> {
     ]
 }
 
+/// A queue-flood kernel for the tiered translation service: `loops`
+/// independent self-loops visited round-robin for `passes` outer passes.
+/// With the default formation threshold (16) and `trips` around 9, every
+/// loop head crosses the publish heat during the first outer pass and the
+/// install heat during the second — so many formation requests are in
+/// flight simultaneously, stressing the worker queue and the parked-result
+/// path.  Final x9 = loops × trips × passes.
+pub fn loop_flood(loops: u32, trips: u32, passes: u32) -> Workload {
+    let mut a = Assembler::new();
+    a.mov_imm64(1, passes as u64);
+    a.push(asm::movz(9, 0, 0));
+    a.label("outer");
+    for i in 0..loops {
+        let label = format!("self{i}");
+        a.push(asm::movz(2, trips & 0xFFFF, 0));
+        a.label(&label);
+        a.push(asm::addi(9, 9, 1));
+        a.push(asm::subi(2, 2, 1));
+        a.cbnz_to(2, &label);
+    }
+    a.push(asm::subi(1, 1, 1));
+    a.cbnz_to(1, "outer");
+    a.push(asm::hlt());
+    Workload {
+        name: "tier.flood",
+        suite: Suite::Int,
+        words: a.finish(),
+        entry: CODE_BASE,
+    }
+}
+
 /// The twelve SPEC CPU2006 integer workloads (Fig. 17).
 pub fn spec_int(scale: Scale) -> Vec<Workload> {
     vec![
@@ -443,6 +474,20 @@ mod tests {
                     i
                 );
             }
+        }
+    }
+
+    #[test]
+    fn loop_flood_assembles_and_decodes() {
+        let w = loop_flood(12, 9, 30);
+        assert!(w.words.contains(&guest_aarch64::asm::hlt()));
+        for (i, word) in w.words.iter().enumerate() {
+            assert!(
+                guest_aarch64::decode(*word).is_some(),
+                "{} word {} ({word:#010x}) does not decode",
+                w.name,
+                i
+            );
         }
     }
 
