@@ -1,8 +1,8 @@
 //! Regenerates the paper's tables and figures on the simulated substrate.
 //!
-//! Usage: `cargo run --release -p bench --bin figures -- [all|fig17|fig18|fig19|fig20|jitstats|fig21|fig22|table2|fp_modes|chaining|regions|unroll|scale|opt|storm|tiers]`
+//! Usage: `cargo run --release -p bench --bin figures -- [all|fig17|fig18|fig19|fig20|jitstats|fig21|fig22|table2|fp_modes|chaining|regions|unroll|loops|promote|scale|opt|storm|tiers]`
 //!
-//! The `chaining`, `regions`, `unroll`, `scale`, `opt` and `storm` sections
+//! The `chaining`, `regions`, `unroll`, `promote`, `scale`, `opt` and `storm` sections
 //! double as CI smoke checks: they assert the counter invariants the
 //! dispatcher and optimiser guarantee (chained gaps accounted exactly,
 //! regions no slower than chaining with strictly fewer interpreter entries,
@@ -15,8 +15,8 @@
 
 use bench::{
     geomean, native_model, run_both_raw, run_captive, run_captive_chaining, run_captive_loops,
-    run_captive_opt, run_captive_regions, run_captive_unroll, run_captive_with, run_qemu,
-    run_qemu_chaining, Measurement,
+    run_captive_opt, run_captive_promote, run_captive_regions, run_captive_unroll,
+    run_captive_with, run_qemu, run_qemu_chaining, run_qemu_goto_tb, Measurement,
 };
 use captive::FpMode;
 use workloads::Scale;
@@ -59,6 +59,9 @@ fn main() {
     }
     if all || arg == "loops" {
         loops();
+    }
+    if all || arg == "promote" {
+        promote();
     }
     if all || arg == "json" {
         json();
@@ -514,14 +517,126 @@ fn loops() {
     }
     println!();
     // The acceptance bar: on the dispatch-bound multi-block loop workload,
-    // looping regions must pay for themselves by a wide margin (the stream
-    // kernels' fat loop bodies amortise the dispatch layer, so their gain
-    // is bounded by the body cost until loop-carried register promotion
-    // lands — see ROADMAP).
+    // looping regions must pay for themselves by a wide margin.  (This
+    // section pins `promote: false` so the on/off delta isolates the
+    // back-edge machinery; the `promote` section below measures what
+    // loop-carried register promotion adds on top.)
     assert!(
         micro_gain >= 1.15,
         "the multi-block-loop workload must run >= 1.15x fewer modeled \
          cycles with looping regions on vs off (got {micro_gain:.3}x)"
+    );
+}
+
+fn promote() {
+    println!("== Loop-carried register promotion and invariant hoisting ==");
+    println!("   (off = looping regions without promotion; qemu+gtb = goto_tb baseline)");
+    println!(
+        "{:<18} {:>13} {:>13} {:>13} {:>8} {:>9} {:>9} {:>7} {:>9}",
+        "workload",
+        "cycles (on)",
+        "cycles (off)",
+        "qemu+gtb",
+        "vs off",
+        "promoted",
+        "hoisted",
+        "fpfwd",
+        "gtb-xfers"
+    );
+    let mut stream_gain = 0.0f64;
+    for w in workloads::loop_kernels(Scale(1)) {
+        let on = run_captive_promote(&w, true);
+        let off = run_captive_promote(&w, false);
+        let gtb = run_qemu_goto_tb(&w);
+        // CI smoke invariants: every loop kernel must promote at least one
+        // slot and hoist at least one invariant load, promotion must never
+        // cost modeled cycles, and the honest baseline comparison stays
+        // honest — the goto_tb-enabled QEMU must itself beat the plain
+        // dispatcher on these loop-dominated kernels.
+        assert!(
+            on.opt_promoted_slots >= 1,
+            "{}: no regfile slot promoted to a loop carrier",
+            w.name
+        );
+        assert!(
+            on.opt_hoisted_loads >= 1,
+            "{}: no loop-invariant regfile load hoisted",
+            w.name
+        );
+        assert!(
+            on.cycles <= off.cycles,
+            "{}: promotion regressed cycles ({} > {})",
+            w.name,
+            on.cycles,
+            off.cycles
+        );
+        assert!(
+            gtb.cycles <= run_qemu_chaining(&w, true).cycles,
+            "{}: goto_tb regressed the chained baseline",
+            w.name
+        );
+        let vs_off = off.cycles as f64 / on.cycles as f64;
+        if w.name == "stream.guarded" {
+            stream_gain = vs_off;
+        }
+        println!(
+            "{:<18} {:>13} {:>13} {:>13} {:>7.3}x {:>9} {:>9} {:>7} {:>9}",
+            w.name,
+            on.cycles,
+            off.cycles,
+            gtb.cycles,
+            vs_off,
+            on.opt_promoted_slots,
+            on.opt_hoisted_loads,
+            on.opt_fp_forwarded,
+            gtb.goto_tb_transfers
+        );
+    }
+    // The loop kernels are single-page, so same-page chaining already links
+    // every transfer and goto_tb is quiescent there; the cross-page
+    // direct-branch micro is the shape only goto_tb can link, and keeps the
+    // baseline honest about it.
+    let cross = bench::micro_workload(&simbench::inter_page_direct(5_000));
+    let gtb = run_qemu_goto_tb(&cross);
+    let plain = run_qemu_chaining(&cross, true);
+    assert!(
+        gtb.goto_tb_transfers > 1_000,
+        "the cross-page loop must take goto_tb links (got {})",
+        gtb.goto_tb_transfers
+    );
+    assert!(
+        gtb.cycles < plain.cycles,
+        "goto_tb must beat same-page chaining on the cross-page loop \
+         ({} vs {})",
+        gtb.cycles,
+        plain.cycles
+    );
+    println!(
+        "{:<18} {:>13} {:>13} {:>13} {:>8} {:>9} {:>9} {:>7} {:>9}",
+        cross.name, "-", "-", gtb.cycles, "-", "-", "-", "-", gtb.goto_tb_transfers
+    );
+    // The no-regression rider: on the branchy integer kernels — where trial
+    // allocation should veto most candidates — promotion must never cost
+    // modeled cycles.
+    for w in workloads::spec_int(Scale(1)).into_iter().take(4) {
+        let on = run_captive_promote(&w, true);
+        let off = run_captive_promote(&w, false);
+        assert!(
+            on.cycles <= off.cycles,
+            "{}: promotion regressed a non-loop kernel ({} > {})",
+            w.name,
+            on.cycles,
+            off.cycles
+        );
+    }
+    println!();
+    // The acceptance bar: on the guarded stream kernel — a fat loop body
+    // whose regfile traffic dominates once the dispatch layer is gone —
+    // promotion must cut >= 1.15x modeled cycles over looping regions alone.
+    assert!(
+        stream_gain >= 1.15,
+        "stream.guarded must run >= 1.15x fewer modeled cycles with \
+         promotion on vs off (got {stream_gain:.3}x)"
     );
 }
 
@@ -540,7 +655,9 @@ fn json_record(out: &mut String, kernel: &str, engine: &str, m: &Measurement) {
          \"backedge_transfers\": {}, \"regions_formed\": {}, \
          \"loop_regions_formed\": {}, \"opt_dead_stores\": {}, \
          \"opt_forwarded_loads\": {}, \"opt_partial_forwarded\": {}, \
-         \"opt_copies_folded\": {}, \"elided_dyn_insns\": {}, \
+         \"opt_copies_folded\": {}, \"opt_promoted_slots\": {}, \
+         \"opt_hoisted_loads\": {}, \"opt_fp_forwarded\": {}, \
+         \"goto_tb_transfers\": {}, \"elided_dyn_insns\": {}, \
          \"irqs_delivered\": {}, \"timer_irqs\": {}, \
          \"capacity_evictions\": {}, \"bytes_live\": {}, \
          \"regions_live\": {}, \"formation_failures\": {}, \
@@ -561,6 +678,10 @@ fn json_record(out: &mut String, kernel: &str, engine: &str, m: &Measurement) {
         m.opt_forwarded_loads,
         m.opt_partial_forwarded,
         m.opt_copies_folded,
+        m.opt_promoted_slots,
+        m.opt_hoisted_loads,
+        m.opt_fp_forwarded,
+        m.goto_tb_transfers,
         m.elided_dyn_insns,
         m.irqs_delivered,
         m.timer_irqs,
@@ -601,6 +722,8 @@ fn json() {
     for w in workloads::loop_kernels(Scale(1)) {
         push(w.name, "captive", &run_captive_loops(&w, true));
         push(w.name, "captive-loops-off", &run_captive_loops(&w, false));
+        push(w.name, "captive-promote", &run_captive_promote(&w, true));
+        push(w.name, "qemu+goto_tb", &run_qemu_goto_tb(&w));
         // The tier trajectory: cold run publishes+installs asynchronously,
         // the warm run resurrects regions from the shared reuse cache.
         let reuse = std::sync::Arc::new(dbt::ReuseCache::new());

@@ -338,6 +338,13 @@ pub fn chaos_captive_configs() -> Vec<(&'static str, CaptiveConfig)> {
             },
         ),
         (
+            "captive-nopromote",
+            CaptiveConfig {
+                promote: false,
+                ..CaptiveConfig::default()
+            },
+        ),
+        (
             "captive-tinycache",
             CaptiveConfig {
                 cache_capacity_regions: Some(4),

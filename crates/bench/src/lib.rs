@@ -68,6 +68,18 @@ pub struct Measurement {
     pub opt_copies_folded: u64,
     /// LIR instructions marked dead by iterative DCE (static).
     pub opt_dce_insns: u64,
+    /// Regfile slots promoted to loop-carried host registers (Captive only;
+    /// static).
+    pub opt_promoted_slots: u64,
+    /// In-loop regfile loads satisfied from a carrier register (Captive
+    /// only; static).
+    pub opt_hoisted_loads: u64,
+    /// Vector regfile loads forwarded, including cross-file transfers
+    /// (Captive only; static).
+    pub opt_fp_forwarded: u64,
+    /// Cross-page chained transfers (QEMU-style baseline with `goto_tb`
+    /// only; subset of `chained_transfers`).
+    pub goto_tb_transfers: u64,
     /// Dynamic host instructions saved by elimination (eliminated LIR
     /// instructions × block executions).
     pub elided_dyn_insns: u64,
@@ -240,12 +252,30 @@ pub fn run_captive_unroll(w: &Workload, unroll: usize) -> Measurement {
 
 /// Runs a workload under Captive with looping regions (back-edge closing)
 /// forced on or off; everything else default (chaining, region formation
-/// and unrolling on).
+/// and unrolling on).  Loop promotion is pinned OFF so this entry point
+/// isolates the back-edge-closing machinery — the figures legs built on it
+/// assert exact pre-promotion cycle counts; the promotion comparison lives
+/// in [`run_captive_promote`].
 pub fn run_captive_loops(w: &Workload, loop_regions: bool) -> Measurement {
     run_captive_cfg(
         w,
         CaptiveConfig {
             loop_regions,
+            promote: false,
+            tiered: false,
+            ..CaptiveConfig::default()
+        },
+    )
+}
+
+/// Runs a workload under Captive with loop-carried register promotion forced
+/// on or off; everything else default (chaining, regions, looping regions and
+/// unrolling on) — the `figures -- promote` comparison pair.
+pub fn run_captive_promote(w: &Workload, promote: bool) -> Measurement {
+    run_captive_cfg(
+        w,
+        CaptiveConfig {
+            promote,
             tiered: false,
             ..CaptiveConfig::default()
         },
@@ -290,6 +320,10 @@ pub fn run_captive_cfg(w: &Workload, cfg: CaptiveConfig) -> Measurement {
         opt_partial_forwarded: s.opt_partial_forwarded,
         opt_copies_folded: s.opt_copies_folded,
         opt_dce_insns: s.opt_dce_insns,
+        opt_promoted_slots: s.opt_promoted_slots,
+        opt_hoisted_loads: s.opt_hoisted_loads,
+        opt_fp_forwarded: s.opt_fp_forwarded,
+        goto_tb_transfers: 0,
         elided_dyn_insns: s.elided_dyn_insns,
         irqs_delivered: s.irqs_delivered,
         timer_irqs: s.timer_irqs,
@@ -318,7 +352,17 @@ pub fn run_qemu(w: &Workload) -> Measurement {
 /// Runs a workload under the QEMU-style baseline with same-page chaining
 /// configured explicitly (the tightened baseline of real QEMU).
 pub fn run_qemu_chaining(w: &Workload, chaining: bool) -> Measurement {
-    let mut q = QemuRef::with_chaining(32 * 1024 * 1024, chaining);
+    run_qemu_prepared(w, QemuRef::with_chaining(32 * 1024 * 1024, chaining))
+}
+
+/// Runs a workload under the strongest honest baseline: same-page chaining
+/// plus TCG-style `goto_tb` cross-page linking.  The `figures -- promote`
+/// headline speedups are measured against this configuration.
+pub fn run_qemu_goto_tb(w: &Workload) -> Measurement {
+    run_qemu_prepared(w, QemuRef::with_goto_tb(32 * 1024 * 1024))
+}
+
+fn run_qemu_prepared(w: &Workload, mut q: QemuRef) -> Measurement {
     q.load_program(workloads::CODE_BASE, &w.words);
     q.set_entry(w.entry);
     let exit = q.run(BLOCK_BUDGET);
@@ -354,6 +398,10 @@ pub fn run_qemu_chaining(w: &Workload, chaining: bool) -> Measurement {
         opt_partial_forwarded: 0,
         opt_copies_folded: 0,
         opt_dce_insns: q.timers.opt_dce_insns,
+        opt_promoted_slots: 0,
+        opt_hoisted_loads: 0,
+        opt_fp_forwarded: 0,
+        goto_tb_transfers: s.goto_tb_transfers,
         elided_dyn_insns: 0,
         irqs_delivered: s.irqs_delivered,
         timer_irqs: s.timer_irqs,

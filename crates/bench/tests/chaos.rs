@@ -118,11 +118,13 @@ fn worker_queue_flood_is_deterministic_and_mode_blind() {
     // Workers trace from branch heats frozen at publish time while the
     // synchronous former sees live heats at fire time, so in a dense
     // multi-head program the chosen region shapes (and therefore modeled
-    // cost) may differ slightly — but never by more than a sliver, and the
-    // architectural result (x9 above) is identical in every mode.
+    // cost) may differ slightly — loop promotion widens the stakes, since a
+    // differently-shaped region also promotes a different carrier set — but
+    // never by more than a few percent, and the architectural result (x9
+    // above) is identical in every mode.
     assert!(
-        flooded.cycles <= sync.cycles + sync.cycles / 100,
-        "tiered cost stays within 1% of synchronous: {} vs {}",
+        flooded.cycles <= sync.cycles + sync.cycles * 3 / 100,
+        "tiered cost stays within 3% of synchronous: {} vs {}",
         flooded.cycles,
         sync.cycles
     );

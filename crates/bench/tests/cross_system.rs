@@ -754,6 +754,247 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Loop-carried register promotion is architecturally invisible: a
+    /// memory-marching kernel whose loop carries a dirty index and
+    /// accumulator past a loop-invariant base and mask — the exact shape
+    /// promotion and hoisting feed on — retires identical registers *and*
+    /// NZCV with promotion on, promotion off, and under the QEMU-style
+    /// baseline, for trip counts 0, 1 and a random count crossed with
+    /// unroll factors 1–4.
+    #[test]
+    fn promoted_loops_agree_across_engines(
+        random_trips in 2u32..300,
+        unroll in 1usize..5,
+    ) {
+        use guest_aarch64::isa::Cond;
+        for trips in [0u32, 1, random_trips] {
+            let mut a = Assembler::new();
+            a.push(asm::movz(1, trips, 0)); // countdown (dirty carrier)
+            a.push(asm::movz(9, 0, 0)); // accumulator (dirty carrier)
+            a.mov_imm64(2, 0x10_0000); // data base (invariant, hoisted)
+            a.push(asm::movz(3, 0, 0)); // index (dirty carrier)
+            a.push(asm::movz(4, 7, 0)); // mask (invariant, hoisted)
+            a.cbz_to(1, "done");
+            a.label("loop");
+            a.push(asm::lsli(5, 3, 3));
+            a.push(asm::add(5, 5, 2));
+            a.push(asm::str(3, 5, 0)); // arr[i] = i (may-fault store in span)
+            a.push(asm::ldr(6, 5, 0));
+            a.push(asm::ands(7, 3, 4)); // flag-setting guard
+            a.bcond_to(Cond::Eq, "skip");
+            a.push(asm::addi(6, 6, 1));
+            a.label("skip");
+            a.push(asm::add(9, 9, 6));
+            a.push(asm::addi(3, 3, 1));
+            a.push(asm::subis(1, 1, 1)); // flag-setting loop counter
+            a.bcond_to(Cond::Ne, "loop");
+            a.label("done");
+            a.push(asm::hlt());
+            let words = a.finish();
+
+            let run = |promote: bool, unroll: usize| {
+                let mut c = Captive::new(CaptiveConfig {
+                    promote,
+                    unroll_loops: unroll,
+                    region_threshold: 4,
+                    ..CaptiveConfig::default()
+                });
+                c.load_program(0x1000, &words);
+                c.set_entry(0x1000);
+                assert!(matches!(
+                    c.run(1_000_000),
+                    captive::RunExit::GuestHalted { .. }
+                ));
+                c
+            };
+            let mut on = run(true, unroll);
+            let mut off = run(false, unroll);
+            let mut q = QemuRef::new(32 * 1024 * 1024);
+            q.load_program(0x1000, &words);
+            q.set_entry(0x1000);
+            assert!(matches!(
+                q.run(1_000_000),
+                qemu_ref::RunExit::GuestHalted { .. }
+            ));
+            for r in 0..16 {
+                let v = on.guest_reg(r);
+                prop_assert_eq!(v, off.guest_reg(r), "x{} diverged promote on/off", r);
+                prop_assert_eq!(v, q.guest_reg(r), "x{} diverged from baseline", r);
+            }
+            prop_assert_eq!(on.guest_nzcv(), off.guest_nzcv(), "NZCV promote on/off");
+            prop_assert_eq!(on.guest_nzcv(), q.guest_nzcv(), "NZCV vs baseline");
+            if trips > 16 {
+                let s = on.stats();
+                prop_assert!(
+                    s.loop_regions_formed >= 1,
+                    "trip count {} past the threshold must close a loop",
+                    trips
+                );
+                prop_assert!(
+                    s.opt_promoted_slots >= 1,
+                    "the dirty index/accumulator slots must promote \
+                     (trips {}, unroll {})",
+                    trips,
+                    unroll
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fault_mid_promoted_loop_reconciles_exact_state() {
+    // The striding-store loop from above, with promotion left on: the
+    // marching address x1 is a *dirty promoted carrier* (loaded and stored
+    // every iteration), so when the store finally walks off the end of
+    // guest RAM the fault-time materialization path — not a regfile store
+    // in the loop body — must surface its exact architectural value.  The
+    // vector handler reads ELR, FAR *and* x1 itself; a promote-off run must
+    // be byte-identical, proving promotion never leaks into fault delivery.
+    let mut a = Assembler::new();
+    a.mov_imm64(9, 0x2000);
+    a.push(asm::msr(guest_aarch64::SysReg::Vbar as u32, 9));
+    a.mov_imm64(1, 0x100_0000); // 16 MiB
+    a.mov_imm64(2, 0xBEEF); // invariant store value (hoisted)
+    a.mov_imm64(3, 0x1_0000); // invariant stride (hoisted)
+    a.label("loop");
+    let fault_idx = a.here();
+    a.push(asm::str(2, 1, 0));
+    a.push(asm::add(1, 1, 3));
+    a.b_to("m");
+    a.label("m");
+    a.b_to("loop");
+    let main = a.finish();
+    let fault_pc = 0x1000 + fault_idx as u64 * 4;
+
+    let mut v = Assembler::new();
+    v.push(asm::mrs(10, guest_aarch64::SysReg::Elr as u32));
+    v.push(asm::mrs(11, guest_aarch64::SysReg::Far as u32));
+    v.push(asm::orr(12, 1, 1)); // capture the promoted slot's value at fault
+    v.push(asm::hlt());
+    let handler = v.finish();
+
+    let run = |promote: bool| {
+        let mut c = Captive::new(CaptiveConfig {
+            promote,
+            ..CaptiveConfig::default()
+        });
+        c.load_program(0x1000, &main);
+        c.load_program(0x2000, &handler);
+        c.set_entry(0x1000);
+        assert!(matches!(
+            c.run(1_000_000),
+            captive::RunExit::GuestHalted { .. }
+        ));
+        c
+    };
+    let mut on = run(true);
+    let mut off = run(false);
+    for r in 0..16 {
+        assert_eq!(on.guest_reg(r), off.guest_reg(r), "x{r} diverged");
+    }
+    assert_eq!(on.guest_reg(10), fault_pc, "ELR is the faulting PC");
+    assert_eq!(on.guest_reg(11), 0x200_0000, "FAR is the first OOB address");
+    assert_eq!(
+        on.guest_reg(12),
+        0x200_0000,
+        "the dirty promoted address slot must read its exact value at fault"
+    );
+    let s = on.stats();
+    assert!(
+        s.opt_promoted_slots >= 1,
+        "the marching address must have promoted"
+    );
+    assert!(
+        s.opt_hoisted_loads >= 1,
+        "the invariant value/stride loads must have hoisted"
+    );
+    assert!(s.backedge_transfers > 50, "iterations tripped in-region");
+}
+
+#[test]
+fn smc_mid_promoted_loop_reconciles_carriers() {
+    // The mid-iteration self-patch kernel, promote on vs off: the patch
+    // store hits the loop's own code page from *inside* the looping region,
+    // the back-edge poll yields, and the reconcile compensation block must
+    // write every dirty carrier (countdown x1, accumulator x9, patched-in
+    // x7) back to the regfile before the dispatcher retranslates — any
+    // stale carrier shows up as a wrong final accumulator.
+    const ITERS: u64 = 60;
+    const PATCH_AT: u64 = 20;
+    let make = || {
+        let mut a = Assembler::new();
+        a.push(asm::movz(1, ITERS as u32, 0)); // countdown (dirty carrier)
+        a.push(asm::movz(9, 0, 0)); // accumulator (dirty carrier)
+        a.push(asm::movz(8, PATCH_AT as u32, 0));
+        a.mov_imm64(10, 0x8000); // scratch store target (plain data)
+        a.mov_imm64(4, asm::movz(7, 2, 0) as u64); // the patched word
+        let target_ref = a.here();
+        a.mov_imm64(3, 0); // placeholder: patch-target address (fixed below)
+        a.label("loop");
+        let patch_idx = a.here();
+        a.push(asm::movz(7, 1, 0)); // <- patch target: becomes `movz x7, #2`
+        a.push(asm::add(9, 9, 7));
+        a.b_to("cont"); // split the body: the loop is multi-block
+        a.label("cont");
+        a.push(asm::cmp(1, 8));
+        a.push(asm::csel(5, 3, 10, guest_aarch64::isa::Cond::Eq));
+        a.push(asm::strw(4, 5, 0)); // hits the code page on the patch trip
+        a.push(asm::subi(1, 1, 1));
+        a.cbnz_to(1, "loop");
+        a.push(asm::hlt());
+        let mut words = a.finish();
+        let patch_va = 0x1000 + patch_idx as u64 * 4;
+        let mut fixup = Assembler::new();
+        fixup.mov_imm64(3, patch_va);
+        for (i, w) in fixup.finish().into_iter().enumerate() {
+            words[target_ref + i] = w;
+        }
+        words
+    };
+    let run = |promote: bool| {
+        let words = make();
+        let mut c = Captive::new(CaptiveConfig {
+            promote,
+            unroll_loops: 1,
+            region_threshold: 8,
+            ..CaptiveConfig::default()
+        });
+        c.load_program(0x1000, &words);
+        c.set_entry(0x1000);
+        assert!(matches!(
+            c.run(1_000_000),
+            captive::RunExit::GuestHalted { .. }
+        ));
+        c
+    };
+    let mut on = run(true);
+    let mut off = run(false);
+    for r in 0..16 {
+        assert_eq!(on.guest_reg(r), off.guest_reg(r), "x{r} diverged");
+    }
+    let old_iters = ITERS - PATCH_AT + 1;
+    let new_iters = PATCH_AT - 1;
+    assert_eq!(
+        on.guest_reg(9),
+        old_iters + 2 * new_iters,
+        "carriers must reconcile at the SMC yield: the patched body takes \
+         effect exactly one iteration after the write"
+    );
+    let s = on.stats();
+    assert!(
+        s.opt_promoted_slots >= 1,
+        "the countdown/accumulator must have promoted"
+    );
+    assert!(
+        on.cache.stats().invalidated_page >= 1,
+        "the code-page write invalidated the looping region"
+    );
+}
+
 #[test]
 fn simbench_programs_terminate_on_both_systems() {
     for b in simbench::suite() {

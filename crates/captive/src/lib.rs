@@ -132,6 +132,14 @@ pub struct CaptiveConfig {
     /// disables peeling).  With `loop_regions` off this reverts to the
     /// legacy single-block self-loop peeling.
     pub unroll_loops: usize,
+    /// Loop-carried register promotion (requires `opt`): in a looping
+    /// region the hottest register-file slots live in host registers across
+    /// the back-edge, invariant loads are hoisted to the unit entry, and
+    /// every exit path reconciles the promoted slots — in-code compensation
+    /// stores before each dispatcher return, and fault-time materialisation
+    /// from [`dbt::Region::promoted`] — so the guest always observes a
+    /// precise register file.
+    pub promote: bool,
     /// Maximum guest instructions per translated block.
     pub max_block_insns: usize,
     /// Host machine configuration.
@@ -173,6 +181,7 @@ impl Default for CaptiveConfig {
             region_max_insns: 256,
             loop_regions: true,
             unroll_loops: 4,
+            promote: true,
             max_block_insns: 64,
             machine: MachineConfig::default(),
             per_block_stats: false,
@@ -276,6 +285,14 @@ pub struct RunStats {
     /// LIR instructions marked dead by the allocator's iterative DCE
     /// (static).
     pub opt_dce_insns: u64,
+    /// Register-file slots promoted to loop-carried host registers (static).
+    pub opt_promoted_slots: u64,
+    /// In-loop regfile loads satisfied from a carrier register instead of a
+    /// memory round-trip (static).
+    pub opt_hoisted_loads: u64,
+    /// Vector (XMM) regfile loads forwarded from earlier vector values,
+    /// including cross-file GPR↔XMM transfers (static).
+    pub opt_fp_forwarded: u64,
     /// Dynamic host instructions saved: per block entry, the LIR
     /// instructions eliminated from that translation before encoding.
     pub elided_dyn_insns: u64,
@@ -516,6 +533,9 @@ impl Captive {
         s.opt_partial_forwarded = self.timers.opt_partial_forwarded;
         s.opt_copies_folded = self.timers.opt_copies_folded;
         s.opt_dce_insns = self.timers.opt_dce_insns;
+        s.opt_promoted_slots = self.timers.opt_promoted_slots;
+        s.opt_hoisted_loads = self.timers.opt_hoisted_loads;
+        s.opt_fp_forwarded = self.timers.opt_fp_forwarded;
         s.elided_dyn_insns = self.machine.perf.elided_insns;
         s.irqs_delivered = self.runtime.events.delivered;
         s.timer_irqs = self.runtime.events.timer_delivered;
@@ -634,6 +654,7 @@ impl Captive {
                         self.config.max_block_insns,
                         self.config.fp_mode,
                         self.config.opt,
+                        self.config.promote,
                     );
                     self.tier_timers.run_thread_stall += t0.elapsed();
                     self.runtime.note_code_page(&mut self.machine, pa & !0xFFF);
@@ -783,6 +804,19 @@ impl Captive {
                         // guest.  The machine's guest PC still addresses the
                         // faulting instruction, so ELR is exact even when
                         // the fault happened deep in a chain.
+                        //
+                        // If the region carries loop-promoted slots, their
+                        // authoritative values sit in host registers at the
+                        // fault point (the in-code compensation stores only
+                        // run on dispatcher returns): materialise them so the
+                        // abort handler observes a precise register file.
+                        for &(off, gpr) in block.promoted.iter() {
+                            let value = self.machine.reg(gpr);
+                            self.machine
+                                .mem
+                                .write_u64(self.runtime.regfile_phys + off as u64, value)
+                                .expect("register file is inside host RAM");
+                        }
                         let fault_pc = self.machine.reg(Gpr::R15);
                         self.deliver_event(GuestEvent::DataAbort { vaddr, write }, fault_pc);
                         break;
@@ -908,6 +942,7 @@ impl Captive {
             self.config.loop_regions,
             self.config.fp_mode,
             self.config.opt,
+            self.config.promote,
         );
         self.tier_timers.run_thread_stall += t0.elapsed();
         match formed {
@@ -1025,6 +1060,7 @@ impl Captive {
             close_loops: self.config.loop_regions,
             fp_mode: self.config.fp_mode,
             run_opt: self.config.opt,
+            promote: self.config.promote,
         };
         // Only the snapshot capture counts as run-thread translation stall:
         // the channel hand-off below wakes a sleeping worker, and the host
@@ -1116,7 +1152,7 @@ impl Captive {
                                 .all(|&(page, hash)| self.live_page_hash(page) == hash);
                         if valid {
                             self.stats.regions_installed_async += 1;
-                            return Some(region);
+                            return Some(*region);
                         }
                         self.stats.stale_discards += 1;
                         return None;
@@ -1175,6 +1211,7 @@ impl Captive {
                 self.config.fp_mode == FpMode::Software,
                 self.config.opt,
                 self.config.loop_regions,
+                self.config.promote,
                 self.config.unroll_loops,
                 self.config.region_max_insns,
             ),

@@ -106,6 +106,8 @@ pub struct FormationRequest {
     pub fp_mode: FpMode,
     /// Run the LIR optimiser.
     pub run_opt: bool,
+    /// Run loop-carried register promotion (only meaningful with `run_opt`).
+    pub promote: bool,
 }
 
 /// What a worker produced for one request.
@@ -116,8 +118,9 @@ pub enum WorkerOutcome {
     /// content hash of its captured bytes; the run thread revalidates all of
     /// them against live memory before installing.
     Formed {
-        /// The formed region (stamped with the snapshot's generation).
-        region: Region,
+        /// The formed region (stamped with the snapshot's generation),
+        /// boxed to keep the enum small on the channel.
+        region: Box<Region>,
         /// (page base, FNV-1a of the captured bytes) for every page read.
         consumed: Vec<(u64, u64)>,
         /// JIT phase timers accumulated by this formation.
@@ -301,13 +304,14 @@ fn process(isa: &Aarch64Isa, memo: &DecodeMemo, req: FormationRequest) -> Format
         req.close_loops,
         req.fp_mode,
         req.run_opt,
+        req.promote,
     );
     let consumed = source.consumed_hashes();
     drop(source);
     let (seq, key) = (req.seq, req.key);
     let outcome = match outcome {
         FormOutcome::Formed(region) => WorkerOutcome::Formed {
-            region: *region,
+            region,
             consumed,
             timers,
             wall: start.elapsed(),
@@ -489,6 +493,7 @@ mod tests {
             close_loops: true,
             fp_mode: FpMode::Hardware,
             run_opt: true,
+            promote: true,
         }
     }
 

@@ -36,6 +36,7 @@ pub fn translate_block(
     max_insns: usize,
     fp_mode: FpMode,
     run_opt: bool,
+    promote: bool,
 ) -> Region {
     let mut emitter = Emitter::new();
     let mut guest_insns = 0usize;
@@ -100,7 +101,7 @@ pub fn translate_block(
 
     let lir = emitter.finish();
     let lir_count = lir.len();
-    let (code, encoded, elided) = match dbt::finish_translation(timers, lir, run_opt) {
+    let t = match dbt::finish_translation(timers, lir, run_opt, promote) {
         Ok(t) => t,
         Err(_) => {
             // Graceful degradation: a lowering defect discards the
@@ -118,10 +119,10 @@ pub fn translate_block(
         guest_phys: pa,
         guest_virt: pc,
         guest_insns,
-        encoded_bytes: encoded.len(),
+        encoded_bytes: t.encoded.len(),
         lir_insns: lir_count,
-        elided_insns: elided,
-        code: Arc::new(code),
+        elided_insns: t.elided,
+        code: Arc::new(t.code),
         exit,
         links: ChainLinks::default(),
         constituents: 1,
@@ -131,6 +132,7 @@ pub fn translate_block(
         back_edges: 0,
         loop_guest_insns: 0,
         loop_elided_insns: 0,
+        promoted: t.promoted,
     }
 }
 
@@ -149,7 +151,7 @@ fn undef_fallback_region(timers: &mut PhaseTimers, pc: u64, pa: u64) -> Region {
     emitter.set_end_of_block();
     let lir = emitter.finish();
     let lir_count = lir.len();
-    let (code, encoded, elided) = dbt::finish_translation(timers, lir, false)
+    let t = dbt::finish_translation(timers, lir, false, false)
         .expect("host bug: the UNDEF stub lowers without virtual registers");
     timers.blocks += 1;
     timers.guest_insns += 1;
@@ -157,10 +159,10 @@ fn undef_fallback_region(timers: &mut PhaseTimers, pc: u64, pa: u64) -> Region {
         guest_phys: pa,
         guest_virt: pc,
         guest_insns: 1,
-        encoded_bytes: encoded.len(),
+        encoded_bytes: t.encoded.len(),
         lir_insns: lir_count,
-        elided_insns: elided,
-        code: Arc::new(code),
+        elided_insns: t.elided,
+        code: Arc::new(t.code),
         exit: BlockExit::Indirect,
         links: ChainLinks::default(),
         constituents: 1,
@@ -170,6 +172,7 @@ fn undef_fallback_region(timers: &mut PhaseTimers, pc: u64, pa: u64) -> Region {
         back_edges: 0,
         loop_guest_insns: 0,
         loop_elided_insns: 0,
+        promoted: Vec::new(),
     }
 }
 
@@ -347,6 +350,7 @@ pub fn form_region(
     close_loops: bool,
     fp_mode: FpMode,
     run_opt: bool,
+    promote: bool,
 ) -> Option<Region> {
     let mut source = LiveSource {
         machine,
@@ -364,6 +368,7 @@ pub fn form_region(
         close_loops,
         fp_mode,
         run_opt,
+        promote,
     ) {
         FormOutcome::Formed(region) => Some(*region),
         // A live source never reports missing pages; TooShort is the
@@ -388,6 +393,7 @@ pub fn form_region_from<S: TraceSource + ?Sized>(
     close_loops: bool,
     fp_mode: FpMode,
     run_opt: bool,
+    promote: bool,
 ) -> FormOutcome {
     let ctx_gen = source.ctx_gen();
     let unroll = unroll.max(1);
@@ -643,7 +649,7 @@ pub fn form_region_from<S: TraceSource + ?Sized>(
         .unwrap_or(BlockExit::Fallthrough { next: va });
     let lir = emitter.finish();
     let lir_count = lir.len();
-    let (code, encoded, elided) = match dbt::finish_translation(timers, lir, run_opt) {
+    let t = match dbt::finish_translation(timers, lir, run_opt, promote) {
         Ok(t) => t,
         Err(_) => {
             // A lowering defect abandons the formation; the dispatcher keeps
@@ -663,7 +669,7 @@ pub fn form_region_from<S: TraceSource + ?Sized>(
         .unwrap_or(1);
     // Pro-rated eliminated-LIR share of the looping portion, credited per
     // back-edge transfer by the dynamic instructions-saved accounting.
-    let loop_elided_insns = (elided * loop_guest_insns)
+    let loop_elided_insns = (t.elided * loop_guest_insns)
         .checked_div(guest_insns)
         .unwrap_or(0);
 
@@ -671,10 +677,10 @@ pub fn form_region_from<S: TraceSource + ?Sized>(
         guest_phys: entry_pa,
         guest_virt: entry_pc,
         guest_insns,
-        encoded_bytes: encoded.len(),
+        encoded_bytes: t.encoded.len(),
         lir_insns: lir_count,
-        elided_insns: elided,
-        code: Arc::new(code),
+        elided_insns: t.elided,
+        code: Arc::new(t.code),
         exit,
         links: ChainLinks::default(),
         constituents,
@@ -684,6 +690,7 @@ pub fn form_region_from<S: TraceSource + ?Sized>(
         back_edges,
         loop_guest_insns,
         loop_elided_insns,
+        promoted: t.promoted,
     }))
 }
 

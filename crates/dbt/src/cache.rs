@@ -160,7 +160,7 @@
 //! region former's profile consultation and deliberately leaves the
 //! statistics alone (it neither counts nor marks the region referenced).
 
-use hvm::MachInsn;
+use hvm::{Gpr, MachInsn};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock, Weak};
@@ -345,6 +345,13 @@ pub struct Region {
     /// `elided_insns` by guest-instruction weight): credited once per
     /// back-edge transfer by the dynamic instructions-saved accounting.
     pub loop_elided_insns: usize,
+    /// Dirty loop-promoted register-file slots: (regfile byte offset, host
+    /// register carrying the loop-resident value).  Every in-code exit path
+    /// reconciles these itself; the engine consults this list only on a
+    /// *fault* exit, storing each host register back to its slot before
+    /// delivering the event so the guest observes a precise register file.
+    /// Empty for unpromoted translations.
+    pub promoted: Vec<(i32, Gpr)>,
 }
 
 impl Region {
@@ -863,12 +870,14 @@ pub fn pack_knobs(
     soft_fp: bool,
     opt: bool,
     loop_regions: bool,
+    promote: bool,
     unroll: usize,
     max_insns: usize,
 ) -> u64 {
     (soft_fp as u64)
         | ((opt as u64) << 1)
         | ((loop_regions as u64) << 2)
+        | ((promote as u64) << 3)
         | (((unroll as u64) & 0xFF) << 8)
         | (((max_insns as u64) & 0xFFFF) << 16)
 }
@@ -922,6 +931,10 @@ pub struct ReuseTemplate {
     pub loop_guest_insns: usize,
     /// Eliminated-LIR share of the looping portion.
     pub loop_elided_insns: usize,
+    /// Dirty loop-promoted slots (see [`Region::promoted`]); part of the
+    /// translation's identity, so instantiations reconcile faults exactly
+    /// like the original.
+    pub promoted: Vec<(i32, Gpr)>,
 }
 
 impl ReuseTemplate {
@@ -943,6 +956,7 @@ impl ReuseTemplate {
             back_edges: region.back_edges,
             loop_guest_insns: region.loop_guest_insns,
             loop_elided_insns: region.loop_elided_insns,
+            promoted: region.promoted.clone(),
         }
     }
 
@@ -967,6 +981,7 @@ impl ReuseTemplate {
             back_edges: self.back_edges,
             loop_guest_insns: self.loop_guest_insns,
             loop_elided_insns: self.loop_elided_insns,
+            promoted: self.promoted.clone(),
         }
     }
 }
@@ -1120,6 +1135,7 @@ mod tests {
             back_edges: 0,
             loop_guest_insns: 0,
             loop_elided_insns: 0,
+            promoted: Vec::new(),
         }
     }
 
@@ -1565,7 +1581,7 @@ mod tests {
         let reuse = ReuseCache::new();
         let region = multi(0x1000, 8, vec![0x1000, 0x2000], 3);
         let hashes = [(0x1000u64, 0xAAAAu64), (0x2000, 0xBBBB)];
-        let knobs = pack_knobs(false, true, true, 4, 256);
+        let knobs = pack_knobs(false, true, true, true, 4, 256);
         let key = ReuseKey {
             phys: 0x1000,
             virt: 0x1000,
@@ -1594,7 +1610,7 @@ mod tests {
         );
         // A different knob set is a different key entirely.
         let other = ReuseKey {
-            knobs: pack_knobs(false, false, true, 4, 256),
+            knobs: pack_knobs(false, false, true, true, 4, 256),
             ..key
         };
         assert!(reuse.lookup(other, |_, _| true).is_none());
@@ -1647,12 +1663,13 @@ mod tests {
 
     #[test]
     fn knob_packing_distinguishes_every_field() {
-        let base = pack_knobs(false, true, true, 4, 256);
-        assert_ne!(base, pack_knobs(true, true, true, 4, 256));
-        assert_ne!(base, pack_knobs(false, false, true, 4, 256));
-        assert_ne!(base, pack_knobs(false, true, false, 4, 256));
-        assert_ne!(base, pack_knobs(false, true, true, 8, 256));
-        assert_ne!(base, pack_knobs(false, true, true, 4, 128));
+        let base = pack_knobs(false, true, true, true, 4, 256);
+        assert_ne!(base, pack_knobs(true, true, true, true, 4, 256));
+        assert_ne!(base, pack_knobs(false, false, true, true, 4, 256));
+        assert_ne!(base, pack_knobs(false, true, false, true, 4, 256));
+        assert_ne!(base, pack_knobs(false, true, true, false, 4, 256));
+        assert_ne!(base, pack_knobs(false, true, true, true, 8, 256));
+        assert_ne!(base, pack_knobs(false, true, true, true, 4, 128));
     }
 
     #[test]

@@ -409,7 +409,11 @@ impl Emitter {
     /// past a closed loop — the loop now iterates inside the region and only
     /// leaves through side exits).
     fn close_back_edge(&mut self, pc: u64, label: u32) {
-        self.emit(LirInsn::BackEdge { pc, label });
+        self.emit(LirInsn::BackEdge {
+            pc,
+            label,
+            reconcile: false,
+        });
         self.stitched_back = true;
         self.trace_back = None;
         self.end_of_block = true;

@@ -54,11 +54,10 @@ use hvm::MachInsn;
 use std::sync::Arc;
 
 /// Runs the shared back half of the pipeline on finished LIR: the optional
-/// block-scoped optimiser ([`opt`], when `run_opt`), register allocation
-/// with iterative DCE, and lowering/encoding.  Returns the final code, its
-/// byte encoding, and the total LIR instructions eliminated before encoding
-/// (optimiser deletions plus allocator dead-marks).  Both engines call this
-/// — Captive with `run_opt` from its config, the QEMU-style baseline always
+/// block-scoped optimiser ([`opt`], when `run_opt`; loop-carried register
+/// promotion additionally gated on `promote`), register allocation with
+/// iterative DCE, and lowering/encoding.  Both engines call this — Captive
+/// with `run_opt`/`promote` from its config, the QEMU-style baseline always
 /// without — so the phase and elimination accounting can never desync.
 ///
 /// Fails with a [`LowerError`] when lowering finds a live virtual register
@@ -69,24 +68,67 @@ pub fn finish_translation(
     timers: &mut PhaseTimers,
     mut lir: Vec<LirInsn>,
     run_opt: bool,
-) -> Result<(Vec<MachInsn>, Vec<u8>, usize), LowerError> {
+    promote: bool,
+) -> Result<FinishedTranslation, LowerError> {
     let pre_opt = lir.len();
+    let mut dirty_carriers: Vec<(i32, Vreg)> = Vec::new();
     if run_opt {
         // The optimiser sits between emission and register allocation; its
         // wall-clock cost is accounted to the regalloc phase budget.
-        let stats = timers.time(Phase::RegAlloc, || opt::optimize(&mut lir));
+        let stats = timers.time(Phase::RegAlloc, || opt::optimize(&mut lir, promote));
         timers.opt_dead_stores += stats.dead_stores as u64;
         timers.opt_forwarded_loads += stats.forwarded_loads as u64;
         timers.opt_partial_forwarded += stats.partial_forwarded as u64;
         timers.opt_copies_folded += stats.copies_folded as u64;
+        timers.opt_promoted_slots += stats.promoted_slots as u64;
+        timers.opt_hoisted_loads += stats.hoisted_loads as u64;
+        timers.opt_fp_forwarded += stats.fp_forwarded as u64;
+        dirty_carriers = stats.promoted;
     }
     let allocation = timers.time(Phase::RegAlloc, || regalloc::allocate(&lir));
     let dce = allocation.dead.iter().filter(|d| **d).count();
     timers.opt_dce_insns += dce as u64;
-    let elided = pre_opt - lir.len() + dce;
+    // Promotion can grow the unit (preheader loads, reconcile block), so the
+    // optimiser's net deletion count saturates at zero rather than going
+    // negative.
+    let elided = pre_opt.saturating_sub(lir.len()) + dce;
+    // Dirty carriers are defined at unit entry, so the linear scan hands
+    // them pool registers before anything else can claim one; a spilled
+    // carrier would make fault-time materialisation impossible and can only
+    // mean a broken invariant.
+    let promoted = dirty_carriers
+        .into_iter()
+        .map(|(off, v)| match allocation.assignment.get(&v.id) {
+            Some(regalloc::Assignment::Gpr(g)) => (off, *g),
+            other => panic!("promoted carrier {v:?} not in a host register: {other:?}"),
+        })
+        .collect();
     let code = timers.time(Phase::Encode, || lower::lower(&lir, &allocation))?;
     let encoded = timers.time(Phase::Encode, || hvm::encode::encode_block(&code));
-    Ok((code, encoded, elided))
+    Ok(FinishedTranslation {
+        code,
+        encoded,
+        elided,
+        promoted,
+    })
+}
+
+/// The back half of the pipeline's output (see [`finish_translation`]).
+#[derive(Debug, Clone)]
+pub struct FinishedTranslation {
+    /// Final host instructions (physical registers, jumps resolved).
+    pub code: Vec<MachInsn>,
+    /// Byte-encoded form of `code` (for size statistics).
+    pub encoded: Vec<u8>,
+    /// LIR instructions eliminated before encoding (optimiser deletions plus
+    /// allocator dead-marks).
+    pub elided: usize,
+    /// Dirty promoted slots: (regfile byte offset, host register holding the
+    /// loop-carried value).  On a fault exit — the one path that bypasses the
+    /// in-code compensation stores — the engine stores each register back to
+    /// its slot before delivering the event, restoring the precise register
+    /// file the promotion contract promises (see [`opt`]'s module docs).
+    pub promoted: Vec<(i32, hvm::Gpr)>,
 }
 
 /// A guest instruction-set architecture plugged into the DBT.

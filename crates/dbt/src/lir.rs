@@ -244,8 +244,20 @@ pub enum LirInsn {
     /// Region-internal backward transfer: sets the guest PC to `pc` and
     /// jumps back to `label` (bound at the loop header's first constituent).
     /// The loop-back edge of a looping region; lowers to
-    /// [`hvm::MachInsn::BackEdge`].
-    BackEdge { pc: u64, label: u32 },
+    /// [`hvm::MachInsn::BackEdge`].  `reconcile` marks a promoted loop: a
+    /// loop exit falls through into the compensation stores that follow
+    /// instead of returning to the dispatcher directly (see
+    /// [`crate::opt`]'s promotion pass, which sets it).
+    BackEdge {
+        pc: u64,
+        label: u32,
+        reconcile: bool,
+    },
+    /// XMM-to-XMM register move.  `U64` copies the low lane and zeroes the
+    /// upper lane (the write shape of a `U64` [`LirInsn::LoadXmm`]); `U128`
+    /// copies both lanes.  Produced by XMM store-to-load forwarding in
+    /// [`crate::opt`].
+    MovXmm { dst: Vreg, src: Vreg, size: MemSize },
 }
 
 /// Scratch registers reserved for spill handling and special lowering;
@@ -316,7 +328,9 @@ impl LirInsn {
                 out.push(*src);
                 mem(addr, out);
             }
-            LirInsn::GprToXmm { src, .. } | LirInsn::XmmToGpr { src, .. } => out.push(*src),
+            LirInsn::GprToXmm { src, .. }
+            | LirInsn::XmmToGpr { src, .. }
+            | LirInsn::MovXmm { src, .. } => out.push(*src),
             LirInsn::Fp { dst, src, .. } | LirInsn::Vec { dst, src, .. } => {
                 out.push(*dst);
                 out.push(*src);
@@ -359,6 +373,7 @@ impl LirInsn {
             | LirInsn::LoadXmm { dst, .. }
             | LirInsn::GprToXmm { dst, .. }
             | LirInsn::XmmToGpr { dst, .. }
+            | LirInsn::MovXmm { dst, .. }
             | LirInsn::Fp { dst, .. }
             | LirInsn::FpFma { dst, .. }
             | LirInsn::CvtI2D { dst, .. }
@@ -427,7 +442,9 @@ impl LirInsn {
             LirInsn::CmovCc { src, .. } => reg(src, f, &mut n),
             LirInsn::SetPcReg { src } => reg(src, f, &mut n),
             LirInsn::SetArg { src, .. } => op(src, f, &mut n),
-            LirInsn::GprToXmm { src, .. } | LirInsn::XmmToGpr { src, .. } => reg(src, f, &mut n),
+            LirInsn::GprToXmm { src, .. }
+            | LirInsn::XmmToGpr { src, .. }
+            | LirInsn::MovXmm { src, .. } => reg(src, f, &mut n),
             LirInsn::Fp { src, .. } | LirInsn::Vec { src, .. } => reg(src, f, &mut n),
             LirInsn::FpFma { a, b, .. } => {
                 reg(a, f, &mut n);
@@ -646,6 +663,7 @@ impl LirInsn {
             | LirInsn::ReadPc { .. }
             | LirInsn::GprToXmm { .. }
             | LirInsn::XmmToGpr { .. }
+            | LirInsn::MovXmm { .. }
             | LirInsn::CvtI2D { .. }
             | LirInsn::CvtS2D { .. }
             | LirInsn::CvtD2S { .. } => false,
@@ -737,6 +755,7 @@ mod tests {
             LirInsn::BackEdge {
                 pc: 0x1000,
                 label: 0,
+                reconcile: false,
             },
             LirInsn::Jmp { label: 0 },
             LirInsn::Jcc {

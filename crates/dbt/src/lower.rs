@@ -558,9 +558,29 @@ impl<'a> Lowerer<'a> {
             LirInsn::TlbFlushAll => self.out.push(MachInsn::TlbFlushAll),
             LirInsn::TlbFlushPcid => self.out.push(MachInsn::TlbFlushPcid),
             LirInsn::TraceEdge => self.out.push(MachInsn::TraceEdge),
-            LirInsn::BackEdge { pc, label } => {
+            LirInsn::BackEdge {
+                pc,
+                label,
+                reconcile,
+            } => {
                 self.fixups.push((self.out.len(), *label));
-                self.out.push(MachInsn::BackEdge { pc: *pc, target: 0 });
+                self.out.push(MachInsn::BackEdge {
+                    pc: *pc,
+                    target: 0,
+                    reconcile: *reconcile,
+                });
+            }
+            LirInsn::MovXmm { dst, src, size } => {
+                let s = self.use_xmm(*src);
+                let (d, sb) = self.def_xmm(*dst);
+                self.push(
+                    MachInsn::MovXmm {
+                        dst: d,
+                        src: s,
+                        size: *size,
+                    },
+                    sb,
+                );
             }
         }
     }

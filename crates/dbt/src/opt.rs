@@ -59,19 +59,53 @@
 //! stitched constituents inside one superblock, and the cross-constituent
 //! NZCV death across it is the main superblock payoff.
 //!
-//! # Loop soundness
+//! # Loop soundness: pinning, promotion and reconciliation
 //!
 //! A looping region closes its loop with a [`LirInsn::BackEdge`] to a
-//! `Label` bound at the loop header.  Both are observers, so the slot
-//! passes *pin* every slot architecturally current across the back-edge:
-//! forwarding facts and coverage intervals meet the loop with empty state,
-//! which is the sound meet of "first entry" (nothing known) and "around the
-//! loop" (whatever iteration N left).  Iterating the passes to a cyclic
-//! fixpoint instead would require phi-style reasoning (a value forwarded
-//! around the back-edge is only available on the looping path, not on
-//! first entry) for a payoff the side-exit pinning mostly cancels; pinning
-//! keeps straight-line precision inside the body while staying exact at
-//! every iteration boundary, fault point and side exit.
+//! `Label` bound at the loop header.  Both are observers, so by default the
+//! slot passes *pin* every slot architecturally current across the
+//! back-edge: forwarding facts and coverage intervals meet the loop with
+//! empty state, which is the sound meet of "first entry" (nothing known)
+//! and "around the loop" (whatever iteration N left).  Pinning keeps
+//! straight-line precision inside the body while staying exact at every
+//! iteration boundary, fault point and side exit — but it also re-loads and
+//! re-stores every hot slot once per iteration.
+//!
+//! The **loop-carried promotion pass** (run when the engine enables it)
+//! lifts the hottest slots out of that round-trip under an explicit
+//! *carrier-invariant* contract:
+//!
+//! * Each promoted slot gets a fresh **carrier** virtual register, loaded
+//!   from the slot in a *preheader* at the very start of the unit (which is
+//!   also what hoists loop-invariant loads above the header: a slot only
+//!   read inside the loop costs one entry load instead of one per
+//!   iteration).  Entry-position definition gives carriers first claim on
+//!   the allocator's linear scan, so they live in host registers for the
+//!   whole unit.
+//! * Inside the loop span, loads of a promoted slot become register moves
+//!   of the carrier and stores become moves *into* the carrier (deferred
+//!   stores).  Outside the span, stores are kept and additionally refresh
+//!   the carrier.  The invariant: **at every instruction boundary the
+//!   carrier equals the slot's architectural value**, while the slot's
+//!   memory may lag for *dirty* slots (those stored inside the loop).
+//! * **Reconciliation** restores memory wherever the dispatcher can look:
+//!   compensation stores (carrier → slot) are inserted before *every*
+//!   `Ret` in the unit — side-exit stubs and the loop-exit path alike —
+//!   and the `BackEdge` is flagged `reconcile`, which makes a loop-exit
+//!   poll (IRQ preemption, SMC discard, trip-limit yield) fall through
+//!   into those stores instead of returning directly.  Fault delivery
+//!   cannot run a stub, so the engine also records the dirty
+//!   (slot, carrier) pairs per region and materialises them from the
+//!   host registers before delivering a data abort — the carrier
+//!   invariant makes that write-back exact at any faulting instruction.
+//! * Promotion refuses units containing helper calls, ports, interrupts,
+//!   syscalls, TLB flushes, dynamic regfile addressing or regfile address
+//!   escapes (those channels read or write slots directly), and slots
+//!   with any non-64-bit store, any XMM access, or any access not at the
+//!   slot's own offset.  A guest-memory *store* through a computed
+//!   address is deliberately **not** a barrier: the register file is
+//!   host-mapped, and a guest store that aliases it is non-architectural
+//!   by contract — the relaxed observer rule that makes deferral useful.
 //!
 //! Forwarding additionally requires value identity: only exact
 //! 64-bit-to-64-bit slot matches are forwarded (partial-width forwarding
@@ -84,12 +118,24 @@
 //! only deleted when its covering store lands before any possible fault
 //! point, so no execution can observe the gap.
 
-use crate::lir::{LirInsn, RegFileAccess, Vreg, VregClass};
+use crate::lir::{LirBase, LirInsn, LirMem, RegFileAccess, Vreg, VregClass};
 use hvm::MemSize;
 use std::collections::HashMap;
 
+/// Maximum slots promoted to loop-carried host registers per unit.  This is
+/// only an upper bound on ambition: the actual carrier count is settled by
+/// *trial allocation* — promotion is retried with fewer carriers until the
+/// real register allocator reports no more spills than the unpromoted unit
+/// (see [`promote_loop_slots`]), so a fat loop body that already saturates
+/// the pool simply gets no carriers instead of a spill storm.
+const MAX_PROMOTED_SLOTS: usize = 6;
+
+/// Maximum *dirty* promoted slots (stored inside the loop, so they need
+/// compensation stores on every exit path and fault-time materialisation).
+const MAX_DIRTY_SLOTS: usize = 4;
+
 /// What the optimiser did to one translation unit.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct OptStats {
     /// Regfile stores deleted because a later store fully covered the slot
     /// before any observer.
@@ -107,17 +153,38 @@ pub struct OptStats {
     /// point that can observe the guest PC, or discarded at an absolute PC
     /// write).
     pub pc_coalesced: u32,
+    /// Slots promoted to loop-carried carrier registers by the promotion
+    /// pass (dirty and read-only alike).
+    pub promoted_slots: u32,
+    /// Per-iteration regfile loads of promoted slots rewritten to carrier
+    /// moves — the loads hoisted out of the loop body into the preheader.
+    pub hoisted_loads: u32,
+    /// Vector-register forwards: `LoadXmm`s satisfied from an earlier
+    /// `StoreXmm`/`LoadXmm` (or a GPR value) without a regfile round-trip,
+    /// plus GPR loads satisfied from a vector store.
+    pub fp_forwarded: u32,
+    /// Dirty promoted slots: (regfile byte offset, carrier vreg).  The
+    /// engine resolves the carriers to host registers after allocation and
+    /// materialises them before fault delivery.
+    pub promoted: Vec<(i32, Vreg)>,
 }
 
 /// Runs the block-scoped passes over one translation unit, in order:
-/// store-to-load forwarding first (so forwarded loads no longer pin the
-/// stores they used to read), then copy propagation (folding the `MovReg`s
-/// forwarding just produced), then dead-store elimination.
-pub fn optimize(lir: &mut Vec<LirInsn>) -> OptStats {
+/// loop-carried slot promotion first (when `promote`, so the carrier moves
+/// it plants feed the later passes), then store-to-load forwarding (so
+/// forwarded loads no longer pin the stores they used to read), then copy
+/// propagation (folding the `MovReg`s promotion and forwarding just
+/// produced), then dead-store elimination.
+pub fn optimize(lir: &mut Vec<LirInsn>, promote: bool) -> OptStats {
     let mut stats = OptStats::default();
     coalesce_pc_updates(lir, &mut stats);
+    let carriers = if promote {
+        promote_loop_slots(lir, &mut stats)
+    } else {
+        Vec::new()
+    };
     forward_stores_to_loads(lir, &mut stats);
-    propagate_copies(lir, &mut stats);
+    propagate_copies(lir, &mut stats, &carriers);
     eliminate_dead_stores(lir, &mut stats);
     stats
 }
@@ -187,6 +254,353 @@ fn coalesce_pc_updates(lir: &mut Vec<LirInsn>, stats: &mut OptStats) {
     *lir = out;
 }
 
+/// A candidate slot's access profile, collected over the whole unit.
+#[derive(Debug, Clone, Copy, Default)]
+struct SlotProfile {
+    /// Accesses inside the loop span (the promotion payoff).
+    loop_accesses: u32,
+    /// Loads inside the loop span.  A loaded slot's carrier *substitutes*
+    /// for the body register the load would have produced, so it adds almost
+    /// no register pressure; a store-only slot's carrier (the flags-register
+    /// shape) is a register held live across the whole loop purely for
+    /// deferral, so it ranks behind every loaded slot.
+    loop_loads: u32,
+    /// Stored inside the loop span — needs compensation + fault sync.
+    dirty: bool,
+    /// Disqualified: a non-U64 store, an XMM access, or an access not at
+    /// the slot's own offset touched its bytes.
+    disqualified: bool,
+}
+
+/// Loop-carried register promotion and invariant hoisting (see the module
+/// docs for the contract).  Rewrites the unit in place; records the dirty
+/// (slot, carrier) pairs in [`OptStats::promoted`] for the engine's
+/// fault-time materialisation, and returns every carrier vreg so the later
+/// copy-propagation pass can keep its hands off them.
+///
+/// Carrier count is settled by trial allocation: the most ambitious
+/// promotion whose post-pass unit the real allocator can hold without more
+/// spill slots than the unpromoted unit wins.  A spilled carrier is never
+/// merely slow — every deferred store it absorbed becomes a spill-slot
+/// round-trip — so the pass prices each candidate set against
+/// [`crate::regalloc::allocate`] rather than guessing from instruction
+/// counts.
+fn promote_loop_slots(lir: &mut Vec<LirInsn>, stats: &mut OptStats) -> Vec<Vreg> {
+    // Locate the loop: exactly one back-edge whose header label precedes it.
+    let mut back_edge = None;
+    for (i, insn) in lir.iter().enumerate() {
+        if let LirInsn::BackEdge { label, .. } = insn {
+            if back_edge.is_some() {
+                return Vec::new(); // multiple loops in one unit: stay pinned
+            }
+            back_edge = Some((i, *label));
+        }
+    }
+    let Some((be, header_label)) = back_edge else {
+        return Vec::new();
+    };
+    let Some(header) = lir
+        .iter()
+        .position(|i| matches!(i, LirInsn::Label { id } if *id == header_label))
+    else {
+        return Vec::new();
+    };
+    if header >= be {
+        return Vec::new();
+    }
+
+    // Unit-wide disqualifiers: channels that read or write the register
+    // file outside classified fixed-slot accesses.  A guest-memory *store*
+    // is deliberately absent — the relaxed observer rule (module docs).
+    let dynamic_regfile = |m: &LirMem| matches!(m.base, LirBase::RegFile) && m.index.is_some();
+    for insn in lir.iter() {
+        match insn {
+            LirInsn::CallHelper { .. }
+            | LirInsn::Int { .. }
+            | LirInsn::In { .. }
+            | LirInsn::Out { .. }
+            | LirInsn::Syscall
+            | LirInsn::TlbFlushAll
+            | LirInsn::TlbFlushPcid => return Vec::new(),
+            LirInsn::Lea { addr, .. } if matches!(addr.base, LirBase::RegFile) => {
+                return Vec::new()
+            }
+            LirInsn::Load { addr, .. }
+            | LirInsn::LoadSx { addr, .. }
+            | LirInsn::LoadXmm { addr, .. }
+            | LirInsn::Store { addr, .. }
+            | LirInsn::StoreImm { addr, .. }
+            | LirInsn::StoreXmm { addr, .. }
+                if dynamic_regfile(addr) =>
+            {
+                return Vec::new()
+            }
+            _ => {}
+        }
+    }
+
+    // Collect every fixed regfile access and profile candidate slots.  A
+    // candidate is keyed by the offset of its U64 stores/loads; any
+    // overlapping access that is an XMM access, a non-U64 store, or not at
+    // the slot's own offset disqualifies it.
+    let mut profiles: HashMap<i32, SlotProfile> = HashMap::new();
+    let mut accesses: Vec<(RegFileAccess, bool, bool, bool)> = Vec::new(); // (acc, xmm, store, in_span)
+    for (i, insn) in lir.iter().enumerate() {
+        let in_span = i > header && i < be;
+        let xmm = matches!(insn, LirInsn::LoadXmm { .. } | LirInsn::StoreXmm { .. });
+        if let Some(acc) = insn.regfile_store() {
+            accesses.push((acc, xmm, true, in_span));
+        }
+        if let Some(acc) = insn.regfile_load() {
+            accesses.push((acc, xmm, false, in_span));
+        }
+    }
+    for &(acc, xmm, _, _) in &accesses {
+        // U64 GPR accesses at their own offset seed candidates; loads
+        // narrower than the slot are allowed (rewritten with an explicit
+        // extension), narrow stores are not (they would merge bytes).
+        if !xmm && acc.size == MemSize::U64 {
+            profiles.entry(acc.offset).or_default();
+        }
+    }
+    for &(acc, xmm, store, in_span) in &accesses {
+        for (&off, p) in profiles.iter_mut() {
+            let slot = RegFileAccess {
+                offset: off,
+                size: MemSize::U64,
+            };
+            if !acc.overlaps(&slot) {
+                continue;
+            }
+            if xmm || acc.offset != off || (store && acc.size != MemSize::U64) {
+                p.disqualified = true;
+                continue;
+            }
+            if in_span {
+                p.loop_accesses += 1;
+                if store {
+                    p.dirty = true;
+                } else {
+                    p.loop_loads += 1;
+                }
+            }
+        }
+    }
+
+    // Select the hottest candidates, deterministically: slots *loaded* in
+    // the span first (their carriers take over the body ranges the loads
+    // fed, costing almost nothing), then by access count, then offset.
+    // Store-only slots rank last — a deferral-only carrier is a register
+    // held hostage for the whole loop.
+    let mut candidates: Vec<(i32, SlotProfile)> = profiles
+        .into_iter()
+        .filter(|(_, p)| !p.disqualified && p.loop_accesses > 0)
+        .collect();
+    candidates.sort_by(|a, b| {
+        (b.1.loop_loads > 0)
+            .cmp(&(a.1.loop_loads > 0))
+            .then(b.1.loop_accesses.cmp(&a.1.loop_accesses))
+            .then(a.0.cmp(&b.0))
+    });
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+    let mut next_id = 0u32;
+    let mut scratch = Vec::with_capacity(4);
+    for insn in lir.iter() {
+        scratch.clear();
+        insn.uses(&mut scratch);
+        if let Some(d) = insn.def() {
+            scratch.push(d);
+        }
+        for v in &scratch {
+            next_id = next_id.max(v.id + 1);
+        }
+    }
+    // Price the unpromoted unit once, then grow the carrier set greedily:
+    // each candidate (in priority order) is kept only if the allocator can
+    // hold the unit with it added at no more spill slots than the
+    // unpromoted unit (usually zero), so promotion never *introduces*
+    // spills, while a unit that spills regardless is not denied carriers
+    // that fit.  Per-candidate trials matter because pressure is local: a
+    // hot slot whose carrier would be live through the body's worst window
+    // can fail while a cooler slot whose loads already span that window
+    // substitutes for free.
+    let base_spills = trial_spills(lir.clone(), &[]);
+    let mut promoted: Vec<(i32, Vreg, bool)> = Vec::new(); // (offset, carrier, dirty)
+    let mut dirty_count = 0usize;
+    let mut id = next_id;
+    for &(off, p) in &candidates {
+        if promoted.len() >= MAX_PROMOTED_SLOTS {
+            break;
+        }
+        if p.dirty && dirty_count >= MAX_DIRTY_SLOTS {
+            continue;
+        }
+        promoted.push((
+            off,
+            Vreg {
+                id,
+                class: VregClass::Gpr,
+            },
+            p.dirty,
+        ));
+        id += 1;
+        let mut rewritten = lir.clone();
+        let mut trial = OptStats::default();
+        apply_promotion(&mut rewritten, &promoted, header, be, &mut trial);
+        let carriers: Vec<Vreg> = promoted.iter().map(|p| p.1).collect();
+        if trial_spills(rewritten, &carriers) > base_spills {
+            promoted.pop();
+        } else if p.dirty {
+            dirty_count += 1;
+        }
+    }
+    if promoted.is_empty() {
+        return Vec::new();
+    }
+    apply_promotion(lir, &promoted, header, be, stats);
+    promoted.iter().map(|p| p.1).collect()
+}
+
+/// Runs the scalar cleanup passes and the real allocator over a throwaway
+/// copy of the unit and reports how many spill slots it needs — the cost
+/// model behind promotion's trial allocation.  Translation-time cost is a
+/// handful of extra linear passes per *looping* unit, which region
+/// formation already makes rare.
+fn trial_spills(mut lir: Vec<LirInsn>, carriers: &[Vreg]) -> u32 {
+    let mut scratch = OptStats::default();
+    forward_stores_to_loads(&mut lir, &mut scratch);
+    propagate_copies(&mut lir, &mut scratch, carriers);
+    eliminate_dead_stores(&mut lir, &mut scratch);
+    crate::regalloc::allocate(&lir).spill_slots
+}
+
+/// The promotion rewrite for one settled carrier set: preheader entry
+/// loads, in-span deferral, out-of-span carrier refresh, compensation
+/// stores before every dispatcher return.  `header`/`be` are the loop-span
+/// indices in the *incoming* unit.
+fn apply_promotion(
+    lir: &mut Vec<LirInsn>,
+    promoted: &[(i32, Vreg, bool)],
+    header: usize,
+    be: usize,
+    stats: &mut OptStats,
+) {
+    let carrier_for = |addr: &LirMem, size: MemSize| -> Option<(Vreg, bool)> {
+        if !matches!(addr.base, LirBase::RegFile) || addr.index.is_some() {
+            return None;
+        }
+        promoted
+            .iter()
+            .find(|&&(off, _, _)| off == addr.disp)
+            .map(|&(_, c, dirty)| (c, dirty))
+            .filter(|_| size.bytes() <= MemSize::U64.bytes())
+    };
+    let compensation: Vec<LirInsn> = promoted
+        .iter()
+        .filter(|&&(_, _, dirty)| dirty)
+        .map(|&(off, c, _)| LirInsn::Store {
+            src: c,
+            addr: LirMem::regfile(off),
+            size: MemSize::U64,
+        })
+        .collect();
+    let reconcile = !compensation.is_empty();
+    let mut out = Vec::with_capacity(lir.len() + promoted.len() * 3);
+    for &(off, c, _) in promoted {
+        out.push(LirInsn::Load {
+            dst: c,
+            addr: LirMem::regfile(off),
+            size: MemSize::U64,
+        });
+    }
+    for (i, insn) in lir.drain(..).enumerate() {
+        let in_span = i > header && i < be;
+        match insn {
+            LirInsn::Load { dst, addr, size } if carrier_for(&addr, size).is_some() => {
+                let (c, _) = carrier_for(&addr, size).unwrap();
+                out.push(match size {
+                    MemSize::U64 => LirInsn::MovReg { dst, src: c },
+                    narrow => LirInsn::MovZx {
+                        dst,
+                        src: c,
+                        size: narrow,
+                    },
+                });
+                if in_span {
+                    stats.hoisted_loads += 1;
+                }
+            }
+            LirInsn::LoadSx { dst, addr, size } if carrier_for(&addr, size).is_some() => {
+                let (c, _) = carrier_for(&addr, size).unwrap();
+                out.push(match size {
+                    MemSize::U64 => LirInsn::MovReg { dst, src: c },
+                    narrow => LirInsn::MovSx {
+                        dst,
+                        src: c,
+                        size: narrow,
+                    },
+                });
+                if in_span {
+                    stats.hoisted_loads += 1;
+                }
+            }
+            LirInsn::Store { src, addr, size } if carrier_for(&addr, size).is_some() => {
+                debug_assert_eq!(size, MemSize::U64);
+                if !in_span {
+                    out.push(LirInsn::Store { src, addr, size });
+                }
+                out.push(LirInsn::MovReg {
+                    dst: c_of(promoted, addr.disp),
+                    src,
+                });
+            }
+            LirInsn::StoreImm { imm, addr, size } if carrier_for(&addr, size).is_some() => {
+                debug_assert_eq!(size, MemSize::U64);
+                if !in_span {
+                    out.push(LirInsn::StoreImm { imm, addr, size });
+                }
+                out.push(LirInsn::MovImm {
+                    dst: c_of(promoted, addr.disp),
+                    imm,
+                });
+            }
+            LirInsn::BackEdge { pc, label, .. } => {
+                out.push(LirInsn::BackEdge {
+                    pc,
+                    label,
+                    reconcile,
+                });
+                // The machine's reconcile path *falls through* the yielding
+                // back-edge, so the reconcile block must sit directly after
+                // it — side-exit stubs (which follow the back-edge in a
+                // formed region) are only ever entered by explicit jumps.
+                if reconcile {
+                    out.extend(compensation.iter().copied());
+                    out.push(LirInsn::Ret);
+                }
+            }
+            LirInsn::Ret => {
+                out.extend(compensation.iter().copied());
+                out.push(LirInsn::Ret);
+            }
+            other => out.push(other),
+        }
+    }
+    stats.promoted_slots += promoted.len() as u32;
+    stats
+        .promoted
+        .extend(promoted.iter().filter(|p| p.2).map(|&(off, c, _)| (off, c)));
+    *lir = out;
+}
+
+/// Carrier register of a promoted slot (the rewrite loop's lookups are
+/// guarded by `carrier_for`, so the slot is present).
+fn c_of(promoted: &[(i32, Vreg, bool)], off: i32) -> Vreg {
+    promoted.iter().find(|&&(o, _, _)| o == off).unwrap().1
+}
+
 /// The value a tracked slot holds.  `exact` records whether the register
 /// equals the slot's zero-extended content (a 64-bit store, or any
 /// zero-extending load) or only matches in its low `width` bits (a 32-bit
@@ -234,9 +648,20 @@ fn forward_stores_to_loads(lir: &mut [LirInsn], stats: &mut OptStats) {
                     // loaded value (U64 entries are always exact; a U32
                     // entry must be, or the upper bits would differ).
                     (Some((MemSize::U64, Stored::Reg { v, .. })), MemSize::U64)
-                    | (Some((MemSize::U32, Stored::Reg { v, exact: true })), MemSize::U32) => {
+                    | (Some((MemSize::U32, Stored::Reg { v, exact: true })), MemSize::U32)
+                        if v.class == VregClass::Gpr =>
+                    {
                         *insn = LirInsn::MovReg { dst, src: v };
                         stats.forwarded_loads += 1;
+                    }
+                    // Cross-file forward: the slot's 64-bit value lives in a
+                    // vector register's low lane (a U64 entry, or the first
+                    // eight little-endian bytes of a U128 entry).
+                    (Some((MemSize::U64 | MemSize::U128, Stored::Reg { v, .. })), MemSize::U64)
+                        if v.class == VregClass::Xmm =>
+                    {
+                        *insn = LirInsn::XmmToGpr { dst, src: v };
+                        stats.fp_forwarded += 1;
                     }
                     // Exact-width low-bits match (a 32-bit store of a
                     // 64-bit register): the zero-extension is made explicit.
@@ -253,7 +678,9 @@ fn forward_stores_to_loads(lir: &mut [LirInsn], stats: &mut OptStats) {
                     // half (the W-register read of an X-register write)
                     // forwards with the zero-extension mask made explicit.
                     // Little-endian low half == same offset.
-                    (Some((MemSize::U64, Stored::Reg { v, .. })), MemSize::U32) => {
+                    (Some((MemSize::U64, Stored::Reg { v, .. })), MemSize::U32)
+                        if v.class == VregClass::Gpr =>
+                    {
                         *insn = LirInsn::MovZx {
                             dst,
                             src: v,
@@ -288,6 +715,49 @@ fn forward_stores_to_loads(lir: &mut [LirInsn], stats: &mut OptStats) {
                             },
                         ));
                     }
+                }
+            }
+        }
+        // Vector loads forward the same way: a matching vector entry becomes
+        // a register move (the U64 form of `MovXmm` zeroes the upper lane,
+        // exactly like the load it replaces), and a 64-bit GPR entry crosses
+        // the file with a `movq`-style transfer.
+        if let LirInsn::LoadXmm { dst, addr: _, size } = *insn {
+            if let Some(acc) = insn.regfile_load() {
+                match (slots.get(&acc.offset).copied(), size) {
+                    // A U128 entry covers any load width at the slot; a U64
+                    // entry only a U64 load (its upper lane is unspecified).
+                    (
+                        Some((MemSize::U128, Stored::Reg { v, .. })),
+                        sz @ (MemSize::U64 | MemSize::U128),
+                    )
+                    | (Some((MemSize::U64, Stored::Reg { v, .. })), sz @ MemSize::U64)
+                        if v.class == VregClass::Xmm =>
+                    {
+                        *insn = LirInsn::MovXmm {
+                            dst,
+                            src: v,
+                            size: sz,
+                        };
+                        stats.fp_forwarded += 1;
+                    }
+                    (Some((MemSize::U64, Stored::Reg { v, exact: true })), MemSize::U64)
+                        if v.class == VregClass::Gpr =>
+                    {
+                        *insn = LirInsn::GprToXmm { dst, src: v };
+                        stats.fp_forwarded += 1;
+                    }
+                    _ if matches!(size, MemSize::U64 | MemSize::U128) => {
+                        new_fact = Some((
+                            acc.offset,
+                            size,
+                            Stored::Reg {
+                                v: dst,
+                                exact: true,
+                            },
+                        ));
+                    }
+                    _ => {}
                 }
             }
         }
@@ -326,9 +796,21 @@ fn forward_stores_to_loads(lir: &mut [LirInsn], stats: &mut OptStats) {
                 (LirInsn::StoreImm { imm, .. }, sz @ (MemSize::U32 | MemSize::U64)) => {
                     new_fact = Some((acc.offset, sz, Stored::Imm(*imm & sz.mask())));
                 }
-                // A U64 StoreXmm writes the low lane of a vector value;
-                // there is no cheap GPR move for it, so it only invalidates.
-                // Narrower-than-32-bit stores likewise.
+                // A vector store leaves the slot's value in the source
+                // vector register: U128 covers the whole entry, U64 just the
+                // low lane (`exact: false` records the unspecified upper
+                // lane, though no vector rewrite consults it).
+                (LirInsn::StoreXmm { src, .. }, sz @ (MemSize::U64 | MemSize::U128)) => {
+                    new_fact = Some((
+                        acc.offset,
+                        sz,
+                        Stored::Reg {
+                            v: *src,
+                            exact: sz == MemSize::U128,
+                        },
+                    ));
+                }
+                // Narrower-than-32-bit stores only invalidate.
                 _ => {}
             }
         }
@@ -362,7 +844,15 @@ fn forward_stores_to_loads(lir: &mut [LirInsn], stats: &mut OptStats) {
 ///
 /// Destination operands of read-modify-write instructions are never
 /// rewritten ([`LirInsn::replace_pure_uses`] skips them by construction).
-fn propagate_copies(lir: &mut [LirInsn], stats: &mut OptStats) {
+///
+/// `pinned` holds the promotion pass's carrier registers: a copy *keyed* by
+/// a carrier is never recorded.  Folding one would rewrite the carrier's
+/// readers — above all the compensation stores — to the copied value,
+/// leaving the carrier's own update dead; DCE would then sweep it and
+/// fault-time materialisation would write a stale register back to the
+/// slot.  The carrier invariant (carrier == architectural slot value at
+/// every instruction boundary) must survive every later pass.
+fn propagate_copies(lir: &mut [LirInsn], stats: &mut OptStats, pinned: &[Vreg]) {
     let mut copies: HashMap<Vreg, Vreg> = HashMap::new();
     for insn in lir.iter_mut() {
         // Rewrite first: the instruction reads register state from *before*
@@ -379,7 +869,11 @@ fn propagate_copies(lir: &mut [LirInsn], stats: &mut OptStats) {
             copies.retain(|&k, &mut v| k != d && v != d);
         }
         if let LirInsn::MovReg { dst, src } = *insn {
-            if dst.class == VregClass::Gpr && src.class == VregClass::Gpr && dst != src {
+            if dst.class == VregClass::Gpr
+                && src.class == VregClass::Gpr
+                && dst != src
+                && !pinned.contains(&dst)
+            {
                 // `src` was already rewritten to its root above, so the map
                 // stays flat: no value is ever another entry's key.
                 copies.insert(dst, src);
@@ -504,7 +998,7 @@ mod tests {
             store(1, NZCV),
             LirInsn::Ret,
         ];
-        let stats = optimize(&mut lir);
+        let stats = optimize(&mut lir, false);
         assert_eq!(stats.dead_stores, 1);
         let stores: Vec<_> = lir
             .iter()
@@ -517,7 +1011,7 @@ mod tests {
     #[test]
     fn load_between_stores_keeps_the_first_alive() {
         let mut lir = vec![store(0, NZCV), load(1, NZCV), store(2, NZCV), LirInsn::Ret];
-        let stats = optimize(&mut lir);
+        let stats = optimize(&mut lir, false);
         // The load is forwarded (it reads v0), but the *observing* effect of
         // the original read no longer exists once forwarded — and then the
         // first store is indeed covered.  Use an unforwardable offset to pin
@@ -535,7 +1029,7 @@ mod tests {
             store(2, NZCV),
             LirInsn::Ret,
         ];
-        let stats2 = optimize(&mut lir2);
+        let stats2 = optimize(&mut lir2, false);
         assert_eq!(stats2.forwarded_loads, 0);
         assert_eq!(stats2.dead_stores, 0, "an observed store must survive");
     }
@@ -564,7 +1058,7 @@ mod tests {
             },
             LirInsn::Ret,
         ];
-        let stats = optimize(&mut lir);
+        let stats = optimize(&mut lir, false);
         assert_eq!(stats.forwarded_loads, 2);
         assert_eq!(stats.partial_forwarded, 2);
         assert!(
@@ -595,7 +1089,7 @@ mod tests {
             load(1, 8),
             LirInsn::Ret,
         ];
-        assert_eq!(optimize(&mut lir).forwarded_loads, 0);
+        assert_eq!(optimize(&mut lir, false).forwarded_loads, 0);
 
         let mut lir2 = vec![
             store(0, 8),
@@ -607,7 +1101,7 @@ mod tests {
             },
             LirInsn::Ret,
         ];
-        assert_eq!(optimize(&mut lir2).forwarded_loads, 0);
+        assert_eq!(optimize(&mut lir2, false).forwarded_loads, 0);
     }
 
     #[test]
@@ -623,10 +1117,11 @@ mod tests {
             LirInsn::BackEdge {
                 pc: 0x1000,
                 label: 0,
+                reconcile: false,
             },
             LirInsn::Ret,
         ];
-        let stats = optimize(&mut lir);
+        let stats = optimize(&mut lir, false);
         assert_eq!(stats.dead_stores, 0, "the back-edge pins the store");
         assert_eq!(
             stats.forwarded_loads, 0,
@@ -657,7 +1152,7 @@ mod tests {
         ];
         for obs in observers {
             let mut lir = vec![store(0, NZCV), obs, store(1, NZCV), LirInsn::Ret];
-            let stats = optimize(&mut lir);
+            let stats = optimize(&mut lir, false);
             assert_eq!(stats.dead_stores, 0, "{obs:?} must pin the store");
         }
     }
@@ -674,7 +1169,7 @@ mod tests {
             store(1, NZCV),
             LirInsn::Ret,
         ];
-        let stats = optimize(&mut lir);
+        let stats = optimize(&mut lir, false);
         assert_eq!(stats.dead_stores, 1);
     }
 
@@ -700,7 +1195,7 @@ mod tests {
             store(2, NZCV),
             LirInsn::Ret,
         ];
-        let stats = optimize(&mut lir);
+        let stats = optimize(&mut lir, false);
         assert_eq!(
             stats.dead_stores, 0,
             "slots must stay live across a side-exit stub"
@@ -719,7 +1214,7 @@ mod tests {
             store(1, 8),
             LirInsn::Ret,
         ];
-        let stats = optimize(&mut lir);
+        let stats = optimize(&mut lir, false);
         assert_eq!(stats.dead_stores, 0);
         // But two U64 stores at 0 and 8 together cover the U128 store.
         let mut lir2 = vec![
@@ -732,7 +1227,7 @@ mod tests {
             store(2, 8),
             LirInsn::Ret,
         ];
-        let stats2 = optimize(&mut lir2);
+        let stats2 = optimize(&mut lir2, false);
         assert_eq!(stats2.dead_stores, 1, "merged intervals cover the vector");
         assert!(!lir2.iter().any(|i| matches!(i, LirInsn::StoreXmm { .. })));
     }
@@ -750,7 +1245,7 @@ mod tests {
             load(2, 16),
             LirInsn::Ret,
         ];
-        let stats = optimize(&mut lir);
+        let stats = optimize(&mut lir, false);
         assert_eq!(stats.forwarded_loads, 2);
         assert!(lir
             .iter()
@@ -770,7 +1265,7 @@ mod tests {
             load(1, 8),
             LirInsn::Ret,
         ];
-        assert_eq!(optimize(&mut lir).forwarded_loads, 0);
+        assert_eq!(optimize(&mut lir, false).forwarded_loads, 0);
 
         // Redefining the stored vreg (two-address mutation) drops the entry.
         let mut lir2 = vec![
@@ -783,7 +1278,7 @@ mod tests {
             load(1, 8),
             LirInsn::Ret,
         ];
-        assert_eq!(optimize(&mut lir2).forwarded_loads, 0);
+        assert_eq!(optimize(&mut lir2, false).forwarded_loads, 0);
 
         // An overlapping store of another width invalidates without
         // replacing.
@@ -797,7 +1292,7 @@ mod tests {
             load(1, 8),
             LirInsn::Ret,
         ];
-        assert_eq!(optimize(&mut lir3).forwarded_loads, 0);
+        assert_eq!(optimize(&mut lir3, false).forwarded_loads, 0);
     }
 
     #[test]
@@ -820,7 +1315,7 @@ mod tests {
             store(2, 8), // x1 <- v2: covers the first store
             LirInsn::Ret,
         ];
-        let stats = optimize(&mut lir);
+        let stats = optimize(&mut lir, false);
         assert_eq!(stats.forwarded_loads, 1);
         assert_eq!(stats.dead_stores, 1);
     }
@@ -840,7 +1335,7 @@ mod tests {
             store(2, 8),
             LirInsn::Ret,
         ];
-        let stats = optimize(&mut lir);
+        let stats = optimize(&mut lir, false);
         assert!(stats.copies_folded >= 2, "both copy uses fold");
         assert!(
             lir.iter()
@@ -871,7 +1366,7 @@ mod tests {
             store(1, 8),
             LirInsn::Ret,
         ];
-        let stats = optimize(&mut lir);
+        let stats = optimize(&mut lir, false);
         assert_eq!(stats.copies_folded, 0);
         assert!(lir
             .iter()
@@ -893,7 +1388,7 @@ mod tests {
             store(1, 8),
             LirInsn::Ret,
         ];
-        let stats2 = optimize(&mut lir2);
+        let stats2 = optimize(&mut lir2, false);
         assert_eq!(stats2.copies_folded, 0);
         assert!(lir2
             .iter()
@@ -916,7 +1411,7 @@ mod tests {
             store(1, 8),
             LirInsn::Ret,
         ];
-        let stats = optimize(&mut lir);
+        let stats = optimize(&mut lir, false);
         assert_eq!(stats.copies_folded, 0);
         assert!(lir
             .iter()
@@ -933,7 +1428,7 @@ mod tests {
             store(1, 16), // x2 <- v1, folded to v0
             LirInsn::Ret,
         ];
-        let stats = optimize(&mut lir);
+        let stats = optimize(&mut lir, false);
         assert_eq!(stats.forwarded_loads, 1);
         assert!(stats.copies_folded >= 1);
         assert!(
@@ -959,5 +1454,306 @@ mod tests {
         assert_eq!(c, vec![(0, 8), (16, 24)]);
         assert!(!is_covered(&c, 4, 12));
         assert!(is_covered(&c, 16, 24));
+    }
+
+    fn xv(id: u32) -> Vreg {
+        Vreg {
+            id,
+            class: VregClass::Xmm,
+        }
+    }
+
+    /// A minimal looping unit: `Label 0; <body>; BackEdge; Ret`.
+    fn loop_unit(body: Vec<LirInsn>) -> Vec<LirInsn> {
+        let mut lir = vec![LirInsn::Label { id: 0 }];
+        lir.extend(body);
+        lir.push(LirInsn::BackEdge {
+            pc: 0x1000,
+            label: 0,
+            reconcile: false,
+        });
+        lir.push(LirInsn::Ret);
+        lir
+    }
+
+    fn backedge_pos(lir: &[LirInsn]) -> usize {
+        lir.iter()
+            .position(|i| matches!(i, LirInsn::BackEdge { .. }))
+            .expect("unit keeps its back-edge")
+    }
+
+    #[test]
+    fn promotion_hoists_loads_and_defers_stores() {
+        // x1 += 1 each trip: the slot is promoted dirty — the in-loop
+        // load/store round-trip disappears, the back-edge reconciles, and a
+        // compensation store precedes the dispatcher return.
+        let mut lir = loop_unit(vec![
+            load(1, 8),
+            LirInsn::Alu {
+                op: AluOp::Add,
+                dst: v(1),
+                src: LirOperand::Imm(1),
+            },
+            store(1, 8),
+        ]);
+        let stats = optimize(&mut lir, true);
+        assert_eq!(stats.promoted_slots, 1);
+        assert_eq!(stats.hoisted_loads, 1);
+        assert_eq!(stats.promoted.len(), 1, "one dirty slot to materialise");
+        assert_eq!(stats.promoted[0].0, 8);
+        assert!(
+            matches!(lir[0], LirInsn::Load { addr, size: MemSize::U64, .. } if addr.disp == 8),
+            "the carrier is loaded in the preheader: {:?}",
+            lir[0]
+        );
+        let be = backedge_pos(&lir);
+        assert!(
+            matches!(
+                lir[be],
+                LirInsn::BackEdge {
+                    reconcile: true,
+                    ..
+                }
+            ),
+            "a dirty promotion must reconcile at the back-edge"
+        );
+        let header = lir
+            .iter()
+            .position(|i| matches!(i, LirInsn::Label { .. }))
+            .unwrap();
+        assert!(
+            !lir[header..be].iter().any(|i| {
+                matches!(i, LirInsn::Load { addr, .. } | LirInsn::Store { addr, .. } if addr.disp == 8)
+            }),
+            "no regfile round-trip survives inside the loop"
+        );
+        assert!(
+            lir[be..].iter().any(
+                |i| matches!(i, LirInsn::Store { addr, size: MemSize::U64, .. } if addr.disp == 8)
+            ),
+            "the compensation store materialises the slot before Ret"
+        );
+    }
+
+    #[test]
+    fn clean_promotion_skips_reconciliation() {
+        // A loop-invariant operand: promoted clean, so the back-edge yield
+        // path stays the cheap one and nothing is materialised anywhere.
+        let mut lir = loop_unit(vec![
+            load(1, 8),
+            load(2, 8),
+            LirInsn::Alu {
+                op: AluOp::Add,
+                dst: v(2),
+                src: LirOperand::Vreg(v(1)),
+            },
+        ]);
+        let stats = optimize(&mut lir, true);
+        assert_eq!(stats.promoted_slots, 1);
+        assert_eq!(stats.hoisted_loads, 2);
+        assert!(stats.promoted.is_empty(), "clean slots need no fault map");
+        let be = backedge_pos(&lir);
+        assert!(matches!(
+            lir[be],
+            LirInsn::BackEdge {
+                reconcile: false,
+                ..
+            }
+        ));
+        assert!(
+            !lir.iter()
+                .any(|i| matches!(i, LirInsn::Store { addr, .. } if addr.disp == 8)),
+            "a never-written slot gets no compensation store"
+        );
+    }
+
+    #[test]
+    fn narrow_loads_extend_from_the_carrier() {
+        // W-register and sign-extending reads of a promoted slot become
+        // explicit extensions of the carrier instead of memory loads.
+        let mut lir = loop_unit(vec![
+            LirInsn::Load {
+                dst: v(1),
+                addr: LirMem::regfile(8),
+                size: MemSize::U32,
+            },
+            LirInsn::LoadSx {
+                dst: v(2),
+                addr: LirMem::regfile(8),
+                size: MemSize::U32,
+            },
+            store(3, 8),
+        ]);
+        let stats = optimize(&mut lir, true);
+        assert_eq!(stats.promoted_slots, 1);
+        assert_eq!(stats.hoisted_loads, 2);
+        assert!(lir
+            .iter()
+            .any(|i| matches!(i, LirInsn::MovZx { dst, size: MemSize::U32, .. } if *dst == v(1))));
+        assert!(lir
+            .iter()
+            .any(|i| matches!(i, LirInsn::MovSx { dst, size: MemSize::U32, .. } if *dst == v(2))));
+    }
+
+    #[test]
+    fn promotion_disqualifiers() {
+        // A helper call anywhere in the unit pins every slot.
+        let mut lir = loop_unit(vec![
+            load(1, 8),
+            LirInsn::CallHelper { helper: 1 },
+            store(1, 8),
+        ]);
+        assert_eq!(optimize(&mut lir, true).promoted_slots, 0);
+
+        // Dynamically-indexed regfile access pins every slot.
+        let mut lir2 = loop_unit(vec![
+            load(1, 8),
+            LirInsn::Load {
+                dst: v(2),
+                addr: LirMem {
+                    base: LirBase::RegFile,
+                    index: Some((v(1), 3)),
+                    disp: 0,
+                },
+                size: MemSize::U64,
+            },
+            store(1, 8),
+        ]);
+        assert_eq!(optimize(&mut lir2, true).promoted_slots, 0);
+
+        // An XMM access overlapping one slot pins only that slot.
+        let mut lir3 = loop_unit(vec![
+            load(1, 8),
+            LirInsn::StoreXmm {
+                src: xv(9),
+                addr: LirMem::regfile(8),
+                size: MemSize::U128,
+            },
+            load(2, 64),
+            store(2, 64),
+        ]);
+        let stats3 = optimize(&mut lir3, true);
+        assert_eq!(stats3.promoted_slots, 1, "only the GPR-pure slot promotes");
+        assert_eq!(stats3.promoted[0].0, 64);
+
+        // A narrow store merges bytes into the slot: disqualified.
+        let mut lir4 = loop_unit(vec![
+            load(1, 8),
+            LirInsn::Store {
+                src: v(1),
+                addr: LirMem::regfile(8),
+                size: MemSize::U32,
+            },
+        ]);
+        assert_eq!(optimize(&mut lir4, true).promoted_slots, 0);
+
+        // With the pass gated off nothing is rewritten.
+        let mut lir5 = loop_unit(vec![load(1, 8), store(1, 8)]);
+        let stats5 = optimize(&mut lir5, false);
+        assert_eq!(stats5.promoted_slots, 0);
+        assert_eq!(stats5.hoisted_loads, 0);
+        assert!(matches!(
+            lir5[backedge_pos(&lir5)],
+            LirInsn::BackEdge {
+                reconcile: false,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn promotion_respects_slot_and_dirty_caps() {
+        // Five dirty candidates (two accesses each) and two clean ones (one
+        // access): the dirty cap admits four, then the slot cap fills with
+        // the clean slots.  The bodies are tiny, so trial allocation never
+        // vetoes — the caps alone decide.
+        let mut body = Vec::new();
+        for off in [0, 8, 16, 24, 32] {
+            body.push(load(1, off));
+            body.push(store(1, off));
+        }
+        body.push(load(2, 40));
+        body.push(load(3, 48));
+        let mut lir = loop_unit(body);
+        let stats = optimize(&mut lir, true);
+        assert_eq!(stats.promoted_slots, MAX_PROMOTED_SLOTS as u32);
+        assert_eq!(stats.promoted.len(), MAX_DIRTY_SLOTS);
+        let dirty: Vec<i32> = stats.promoted.iter().map(|p| p.0).collect();
+        assert_eq!(dirty, vec![0, 8, 16, 24], "hottest-first, offset tie-break");
+    }
+
+    #[test]
+    fn xmm_stores_forward_to_xmm_loads() {
+        // Full-width and low-lane vector reuse; a narrower vector load must
+        // NOT forward (MovXmm's write shape would widen it).
+        let mut lir = vec![
+            LirInsn::StoreXmm {
+                src: xv(0),
+                addr: LirMem::regfile(64),
+                size: MemSize::U128,
+            },
+            LirInsn::LoadXmm {
+                dst: xv(1),
+                addr: LirMem::regfile(64),
+                size: MemSize::U128,
+            },
+            LirInsn::LoadXmm {
+                dst: xv(2),
+                addr: LirMem::regfile(64),
+                size: MemSize::U64,
+            },
+            LirInsn::LoadXmm {
+                dst: xv(3),
+                addr: LirMem::regfile(64),
+                size: MemSize::U32,
+            },
+            LirInsn::Ret,
+        ];
+        let stats = optimize(&mut lir, false);
+        assert_eq!(stats.fp_forwarded, 2);
+        assert_eq!(stats.forwarded_loads, 0, "vector reuse is counted apart");
+        assert!(lir.iter().any(|i| matches!(
+            i,
+            LirInsn::MovXmm { dst, src, size: MemSize::U128 } if *dst == xv(1) && *src == xv(0)
+        )));
+        assert!(lir.iter().any(|i| matches!(
+            i,
+            LirInsn::MovXmm { dst, src, size: MemSize::U64 } if *dst == xv(2) && *src == xv(0)
+        )));
+        assert!(
+            lir.iter()
+                .any(|i| matches!(i, LirInsn::LoadXmm { dst, .. } if *dst == xv(3))),
+            "narrow vector loads keep the memory access"
+        );
+    }
+
+    #[test]
+    fn cross_file_forwarding_uses_transfer_moves() {
+        // GPR store feeding a vector load (FMOV D<n>, X<n> idiom) and a
+        // vector store feeding a GPR load both forward through explicit
+        // cross-file transfers.
+        let mut lir = vec![
+            store(0, 64),
+            LirInsn::LoadXmm {
+                dst: xv(1),
+                addr: LirMem::regfile(64),
+                size: MemSize::U64,
+            },
+            LirInsn::StoreXmm {
+                src: xv(2),
+                addr: LirMem::regfile(80),
+                size: MemSize::U64,
+            },
+            load(3, 80),
+            LirInsn::Ret,
+        ];
+        let stats = optimize(&mut lir, false);
+        assert_eq!(stats.fp_forwarded, 2);
+        assert!(lir
+            .iter()
+            .any(|i| matches!(i, LirInsn::GprToXmm { dst, src } if *dst == xv(1) && *src == v(0))));
+        assert!(lir
+            .iter()
+            .any(|i| matches!(i, LirInsn::XmmToGpr { dst, src } if *dst == v(3) && *src == xv(2))));
     }
 }

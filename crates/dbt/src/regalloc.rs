@@ -101,11 +101,28 @@ fn mark_dead(lir: &[LirInsn]) -> Vec<bool> {
             // backward targets (loop back-edges) carry the previous pass's
             // state, which is what the outer fixpoint loop converges.
             match insn {
-                LirInsn::Jmp { label } | LirInsn::BackEdge { label, .. } => {
+                LirInsn::Jmp { label } => {
                     // The label is the sole successor.
                     let s = label_state.get(label).cloned().unwrap_or_default();
                     live = s.live;
                     flags_demanded = s.flags;
+                }
+                LirInsn::BackEdge {
+                    label, reconcile, ..
+                } => {
+                    // The machine *falls through* a yielding back-edge when
+                    // `reconcile` is set (into the compensation block the
+                    // promotion pass placed right after it), so that path is
+                    // a second successor and its state — the carriers the
+                    // compensation stores read — must stay live.
+                    let s = label_state.get(label).cloned().unwrap_or_default();
+                    if *reconcile {
+                        live.extend(s.live.iter().copied());
+                        flags_demanded |= s.flags;
+                    } else {
+                        live = s.live;
+                        flags_demanded = s.flags;
+                    }
                 }
                 LirInsn::Jcc { label, .. } => {
                     // Successors: the fallthrough (current state) and the
@@ -663,6 +680,7 @@ mod tests {
             LirInsn::BackEdge {
                 pc: 0x1000,
                 label: 0,
+                reconcile: false,
             },
             LirInsn::Ret,
         ];
@@ -691,6 +709,7 @@ mod tests {
             LirInsn::BackEdge {
                 pc: 0x1000,
                 label: 0,
+                reconcile: false,
             },
             LirInsn::Ret,
         ];
@@ -729,6 +748,7 @@ mod tests {
         lir.push(LirInsn::BackEdge {
             pc: 0x1000,
             label: 0,
+            reconcile: false,
         });
         lir.push(LirInsn::Ret);
         let alloc = allocate(&lir);

@@ -46,6 +46,14 @@ pub struct PhaseTimers {
     pub opt_copies_folded: u64,
     /// LIR instructions marked dead by the allocator's iterative DCE.
     pub opt_dce_insns: u64,
+    /// Register-file slots promoted to loop-carried host registers.
+    pub opt_promoted_slots: u64,
+    /// In-loop regfile loads hoisted into the preheader (satisfied from a
+    /// carrier register instead of memory).
+    pub opt_hoisted_loads: u64,
+    /// Vector (XMM) regfile loads forwarded from earlier vector stores or
+    /// loads, including cross-file GPR<->XMM transfers.
+    pub opt_fp_forwarded: u64,
     /// Translations abandoned because lowering found an unassigned virtual
     /// register (the engine fell back to an UNDEF stub or dropped the
     /// region).
@@ -101,6 +109,9 @@ impl PhaseTimers {
         self.opt_partial_forwarded += other.opt_partial_forwarded;
         self.opt_copies_folded += other.opt_copies_folded;
         self.opt_dce_insns += other.opt_dce_insns;
+        self.opt_promoted_slots += other.opt_promoted_slots;
+        self.opt_hoisted_loads += other.opt_hoisted_loads;
+        self.opt_fp_forwarded += other.opt_fp_forwarded;
         self.lower_bailouts += other.lower_bailouts;
     }
 }

@@ -110,17 +110,16 @@ fn write_d(e: &mut Emitter, i: u32, value: NodeId) {
 }
 
 /// Computes and stores NZCV for an add or subtract.
+///
+/// The flags are folded into one accumulator in V, C, Z, N order rather
+/// than computed side by side and combined at the end.  V is the only flag
+/// that needs both operands *and* the result, so producing it first lets
+/// the operand values die before the remaining flags are materialised; the
+/// left-deep accumulator chain then keeps at most five values live where
+/// the compute-all-then-combine shape kept eight.  That head-room is what
+/// lets unrolled loop bodies coexist with the optimiser's promoted loop
+/// carriers inside the eight-register allocator pool.
 fn set_nzcv_addsub(e: &mut Emitter, is_sub: bool, rn: NodeId, op2: NodeId, result: NodeId) {
-    let zero = e.const_u64(0);
-    let n = e.compare(HCond::SLt, result, zero);
-    let z = e.compare(HCond::Eq, result, zero);
-    let c = if is_sub {
-        // Carry = no borrow = rn >= op2 (unsigned).
-        e.compare(HCond::Ge, rn, op2)
-    } else {
-        // Carry = unsigned overflow = result < rn.
-        e.compare(HCond::Lt, result, rn)
-    };
     let v = {
         let a_xor = if is_sub {
             e.binary(BinOp::Xor, rn, op2)
@@ -136,15 +135,25 @@ fn set_nzcv_addsub(e: &mut Emitter, is_sub: bool, rn: NodeId, op2: NodeId, resul
         let c63 = e.const_u64(63);
         e.binary(BinOp::Shr, both, c63)
     };
-    let three = e.const_u64(3);
-    let two = e.const_u64(2);
+    let c = if is_sub {
+        // Carry = no borrow = rn >= op2 (unsigned).
+        e.compare(HCond::Ge, rn, op2)
+    } else {
+        // Carry = unsigned overflow = result < rn.
+        e.compare(HCond::Lt, result, rn)
+    };
     let one = e.const_u64(1);
-    let n_sh = e.binary(BinOp::Shl, n, three);
-    let z_sh = e.binary(BinOp::Shl, z, two);
     let c_sh = e.binary(BinOp::Shl, c, one);
-    let nz = e.binary(BinOp::Or, n_sh, z_sh);
-    let cv = e.binary(BinOp::Or, c_sh, v);
-    let nzcv = e.binary(BinOp::Or, nz, cv);
+    let acc = e.binary(BinOp::Or, v, c_sh);
+    let zero = e.const_u64(0);
+    let z = e.compare(HCond::Eq, result, zero);
+    let two = e.const_u64(2);
+    let z_sh = e.binary(BinOp::Shl, z, two);
+    let acc = e.binary(BinOp::Or, acc, z_sh);
+    let n = e.compare(HCond::SLt, result, zero);
+    let three = e.const_u64(3);
+    let n_sh = e.binary(BinOp::Shl, n, three);
+    let nzcv = e.binary(BinOp::Or, acc, n_sh);
     e.store_register(regs::NZCV_OFF, nzcv);
 }
 

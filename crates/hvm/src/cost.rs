@@ -127,6 +127,7 @@ impl CostModel {
             MachInsn::Ret => self.branch_indirect,
             MachInsn::CallHelper { .. } => self.helper_call,
             MachInsn::MovGprToXmm { .. } | MachInsn::MovXmmToGpr { .. } => self.alu,
+            MachInsn::MovXmm { .. } => self.alu,
             MachInsn::Fp { op, .. } => match op {
                 FpOp::DivD | FpOp::DivS | FpOp::SqrtD | FpOp::SqrtS => self.fp_div,
                 _ => self.fp,

@@ -530,10 +530,21 @@ pub fn encode(insn: &MachInsn, out: &mut Vec<u8>) -> usize {
         }
         MachInsn::Hlt => w.u8(0x2C),
         MachInsn::TraceEdge => w.u8(0x2D),
-        MachInsn::BackEdge { pc, target } => {
+        MachInsn::BackEdge {
+            pc,
+            target,
+            reconcile,
+        } => {
             w.u8(0x2E);
+            w.u8(*reconcile as u8);
             w.u64(*pc);
             w.i32(*target);
+        }
+        MachInsn::MovXmm { dst, src, size } => {
+            w.u8(0x2F);
+            w.u8(size_code(*size));
+            w.xmm(*dst);
+            w.xmm(*src);
         }
     }
     out.len() - start
@@ -747,10 +758,22 @@ pub fn decode(buf: &[u8], pos: &mut usize) -> Result<MachInsn, CodecError> {
         0x2B => MachInsn::Invlpg { addr: r.gpr()? },
         0x2C => MachInsn::Hlt,
         0x2D => MachInsn::TraceEdge,
-        0x2E => MachInsn::BackEdge {
-            pc: r.u64()?,
-            target: r.i32()?,
-        },
+        0x2E => {
+            let reconcile = r.u8()? != 0;
+            MachInsn::BackEdge {
+                pc: r.u64()?,
+                target: r.i32()?,
+                reconcile,
+            }
+        }
+        0x2F => {
+            let size = size_from(r.u8()?)?;
+            MachInsn::MovXmm {
+                dst: r.xmm()?,
+                src: r.xmm()?,
+                size,
+            }
+        }
         v => return Err(CodecError::Invalid(v)),
     };
     *pos = r.pos;
@@ -932,6 +955,22 @@ mod tests {
             MachInsn::BackEdge {
                 pc: 0x1000,
                 target: -9,
+                reconcile: false,
+            },
+            MachInsn::BackEdge {
+                pc: 0x2000,
+                target: -3,
+                reconcile: true,
+            },
+            MachInsn::MovXmm {
+                dst: Xmm(4),
+                src: Xmm(5),
+                size: MemSize::U64,
+            },
+            MachInsn::MovXmm {
+                dst: Xmm(6),
+                src: Xmm(7),
+                size: MemSize::U128,
             },
         ]
     }

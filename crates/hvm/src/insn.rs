@@ -490,7 +490,19 @@ pub enum MachInsn {
         pc: u64,
         /// Relative jump distance (negative: backward within the block).
         target: i32,
+        /// Loop-exit discipline.  `false`: a pending-event poll (or the trip
+        /// limit) returns straight to the dispatcher — every slot was pinned
+        /// architecturally current by the optimiser, so nothing remains to
+        /// do.  `true`: the region holds *promoted* loop-carried slots in
+        /// host registers, and a loop exit must instead fall through to the
+        /// reconcile block that follows this instruction (compensation
+        /// stores materialising the promoted slots, then `Ret`).
+        reconcile: bool,
     },
+    /// Register-to-register vector move.  `U64` copies the low lane and
+    /// zeroes the upper (the same write shape as a `U64` [`MachInsn::LoadXmm`]);
+    /// `U128` copies both lanes.
+    MovXmm { dst: Xmm, src: Xmm, size: MemSize },
 }
 
 impl MachInsn {
@@ -571,7 +583,21 @@ impl fmt::Display for MachInsn {
             MachInsn::Invlpg { addr } => write!(f, "invlpg ({addr})"),
             MachInsn::Hlt => write!(f, "hlt"),
             MachInsn::TraceEdge => write!(f, "trace-edge"),
-            MachInsn::BackEdge { pc, target } => write!(f, "back-edge {pc:#x}, {target}"),
+            MachInsn::BackEdge {
+                pc,
+                target,
+                reconcile,
+            } => {
+                if *reconcile {
+                    write!(f, "back-edge.r {pc:#x}, {target}")
+                } else {
+                    write!(f, "back-edge {pc:#x}, {target}")
+                }
+            }
+            MachInsn::MovXmm { dst, src, size } => match size {
+                MemSize::U128 => write!(f, "movdqa {src}, {dst}"),
+                _ => write!(f, "movq {src}, {dst}"),
+            },
         }
     }
 }

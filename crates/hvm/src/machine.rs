@@ -884,6 +884,15 @@ impl Machine {
                     let v = self.reg(src);
                     self.set_xmm(dst, [v, 0]);
                 }
+                MachInsn::MovXmm { dst, src, size } => {
+                    let v = self.xmm_reg(src);
+                    match size {
+                        MemSize::U128 => self.set_xmm(dst, v),
+                        // Low-lane move zeroes the upper lane, mirroring a
+                        // U64 LoadXmm.
+                        _ => self.set_xmm(dst, [v[0], 0]),
+                    }
+                }
                 MachInsn::MovXmmToGpr { dst, src } => {
                     let v = self.xmm_reg(src)[0];
                     self.set_reg(dst, v);
@@ -1090,7 +1099,11 @@ impl Machine {
                 MachInsn::TraceEdge => {
                     self.perf.superblock_transfers += 1;
                 }
-                MachInsn::BackEdge { pc: header, target } => {
+                MachInsn::BackEdge {
+                    pc: header,
+                    target,
+                    reconcile,
+                } => {
                     // The PC update is folded into the transfer: state is
                     // precise at the loop header whether the jump is taken or
                     // the pending-event poll exits to the dispatcher.
@@ -1098,13 +1111,20 @@ impl Machine {
                     if rt.loop_exit_pending(self.perf.cycles)
                         || backedges_taken >= self.loop_trip_limit
                     {
-                        return ExitReason::BlockEnd;
-                    }
-                    backedges_taken += 1;
-                    self.perf.backedge_transfers += 1;
-                    pc = pc - 1 + target as i64;
-                    if pc < 0 || pc as usize > code.len() {
-                        return ExitReason::Error(format!("back-edge out of range to {pc}"));
+                        if !reconcile {
+                            return ExitReason::BlockEnd;
+                        }
+                        // Promoted region: fall through into the reconcile
+                        // block (compensation stores + Ret) so the promoted
+                        // slots are materialised before the dispatcher sees
+                        // the register file.
+                    } else {
+                        backedges_taken += 1;
+                        self.perf.backedge_transfers += 1;
+                        pc = pc - 1 + target as i64;
+                        if pc < 0 || pc as usize > code.len() {
+                            return ExitReason::Error(format!("back-edge out of range to {pc}"));
+                        }
                     }
                 }
             }

@@ -171,6 +171,27 @@ pub fn same_page_direct(iters: u32) -> MicroBench {
     mb("Same-Page-Direct", a)
 }
 
+/// Inter-Page-Direct: direct branches bouncing between two pages — the
+/// shape same-page chaining must refuse to link but a TCG-style `goto_tb`
+/// baseline links directly.
+pub fn inter_page_direct(iters: u32) -> MicroBench {
+    let mut a = Assembler::new();
+    a.mov_imm64(2, iters as u64);
+    a.label("loop");
+    a.b_to("far");
+    a.label("back");
+    a.push(asm::subi(2, 2, 1));
+    a.cbnz_to(2, "loop");
+    a.push(asm::hlt());
+    // Pad to push "far" onto the next page.
+    while a.here() < 1024 {
+        a.push(asm::nop());
+    }
+    a.label("far");
+    a.b_to("back");
+    mb("Inter-Page-Direct", a)
+}
+
 /// Inter-Page-Indirect: indirect branches bouncing between two pages.
 pub fn inter_page_indirect(iters: u32) -> MicroBench {
     let mut a = Assembler::new();
@@ -200,6 +221,7 @@ pub fn suite() -> Vec<MicroBench> {
         small_blocks(1_500),
         large_blocks(120),
         same_page_direct(10_000),
+        inter_page_direct(5_000),
         inter_page_indirect(5_000),
         tlb_flush(2_000),
         tlb_evict(1024, 20),
