@@ -1,22 +1,24 @@
 //! Regenerates the paper's tables and figures on the simulated substrate.
 //!
-//! Usage: `cargo run --release -p bench --bin figures -- [all|fig17|fig18|fig19|fig20|jitstats|fig21|fig22|table2|fp_modes|chaining|regions|unroll|loops|promote|scale|opt|storm|tiers]`
+//! Usage: `cargo run --release -p bench --bin figures -- [all|fig17|fig18|fig19|fig20|jitstats|fig21|fig22|table2|fp_modes|chaining|regions|unroll|loops|promote|scale|opt|idioms|storm|tiers]`
 //!
-//! The `chaining`, `regions`, `unroll`, `promote`, `scale`, `opt` and `storm` sections
-//! double as CI smoke checks: they assert the counter invariants the
-//! dispatcher and optimiser guarantee (chained gaps accounted exactly,
-//! regions no slower than chaining with strictly fewer interpreter entries,
-//! self-loop unrolling forming regions on the pointer-chase kernels at no
-//! cycle cost, cycles growing monotonically with workload scale, optimised
-//! translations no slower than unoptimised with nonzero elimination
-//! counters on flag-heavy workloads, and — under an interrupt storm —
-//! regions still forming and tripping with every IRQ delivered on both
-//! engines) and panic on regression.
+//! The `chaining`, `regions`, `unroll`, `promote`, `scale`, `opt`, `idioms`
+//! and `storm` sections double as CI smoke checks: they assert the counter
+//! invariants the dispatcher and optimiser guarantee (chained gaps accounted
+//! exactly, regions no slower than chaining with strictly fewer interpreter
+//! entries, self-loop unrolling forming regions on the pointer-chase kernels
+//! at no cycle cost, cycles growing monotonically with workload scale,
+//! optimised translations no slower than unoptimised with nonzero
+//! elimination counters on flag-heavy workloads, every shipped idiom rule
+//! firing somewhere on the idiom kernels at a cycle win, and — under an
+//! interrupt storm — regions still forming and tripping with every IRQ
+//! delivered on both engines) and panic on regression.
 
 use bench::{
-    geomean, native_model, run_both_raw, run_captive, run_captive_chaining, run_captive_loops,
-    run_captive_opt, run_captive_promote, run_captive_regions, run_captive_unroll,
-    run_captive_with, run_qemu, run_qemu_chaining, run_qemu_goto_tb, Measurement,
+    geomean, native_model, run_both_raw, run_captive, run_captive_chaining, run_captive_idioms,
+    run_captive_idioms_mined, run_captive_loops, run_captive_opt, run_captive_promote,
+    run_captive_regions, run_captive_unroll, run_captive_with, run_qemu, run_qemu_chaining,
+    run_qemu_goto_tb, Measurement,
 };
 use captive::FpMode;
 use workloads::Scale;
@@ -71,6 +73,9 @@ fn main() {
     }
     if all || arg == "opt" {
         opt();
+    }
+    if all || arg == "idioms" {
+        idioms();
     }
     if all || arg == "storm" {
         storm();
@@ -648,6 +653,14 @@ fn json_record(out: &mut String, kernel: &str, engine: &str, m: &Measurement) {
     } else {
         m.guest_insns as f64 / (m.cycles as f64 / 3.5e9) / 1e6
     };
+    // Keys are engine-generated identifiers ([a-z0-9._] only), so no JSON
+    // string escaping is needed.
+    let counters = m
+        .counters
+        .iter()
+        .map(|(k, v)| format!("\"{k}\": {v}"))
+        .collect::<Vec<_>>()
+        .join(", ");
     out.push_str(&format!(
         "    {{\"kernel\": \"{kernel}\", \"engine\": \"{engine}\", \
          \"cycles\": {}, \"guest_insns\": {}, \"mips\": {mips:.1}, \
@@ -657,6 +670,7 @@ fn json_record(out: &mut String, kernel: &str, engine: &str, m: &Measurement) {
          \"opt_forwarded_loads\": {}, \"opt_partial_forwarded\": {}, \
          \"opt_copies_folded\": {}, \"opt_promoted_slots\": {}, \
          \"opt_hoisted_loads\": {}, \"opt_fp_forwarded\": {}, \
+         \"opt_idioms_fused\": {}, \
          \"goto_tb_transfers\": {}, \"elided_dyn_insns\": {}, \
          \"irqs_delivered\": {}, \"timer_irqs\": {}, \
          \"capacity_evictions\": {}, \"bytes_live\": {}, \
@@ -665,7 +679,7 @@ fn json_record(out: &mut String, kernel: &str, engine: &str, m: &Measurement) {
          \"tier1_requests\": {}, \"regions_installed_async\": {}, \
          \"stale_discards\": {}, \"reuse_hits\": {}, \"reuse_misses\": {}, \
          \"jit_wall_ns\": {}, \"tier_worker_wall_ns\": {}, \
-         \"first_region_install_ns\": {}}}",
+         \"first_region_install_ns\": {}, \"counters\": {{{counters}}}}}",
         m.cycles,
         m.guest_insns,
         m.blocks,
@@ -681,6 +695,7 @@ fn json_record(out: &mut String, kernel: &str, engine: &str, m: &Measurement) {
         m.opt_promoted_slots,
         m.opt_hoisted_loads,
         m.opt_fp_forwarded,
+        m.opt_idioms_fused,
         m.goto_tb_transfers,
         m.elided_dyn_insns,
         m.irqs_delivered,
@@ -743,6 +758,13 @@ fn json() {
         workloads::timer_tick(20_000, 200_000),
     ] {
         push(w.name, "captive", &run_captive(&w));
+        push(w.name, "qemu", &run_qemu(&w));
+    }
+    // The guest-idiom trajectory: per-rule hit/candidate counters land in
+    // each record's "counters" object.
+    for w in workloads::idiom_kernels(Scale(1)) {
+        push(w.name, "captive-idiom", &run_captive_idioms(&w, true));
+        push(w.name, "captive-noidiom", &run_captive_idioms(&w, false));
         push(w.name, "qemu", &run_qemu(&w));
     }
     // A deliberately starved code cache, so the eviction counters have a
@@ -895,6 +917,144 @@ fn opt() {
     println!(
         "totals: {} dead stores, {} cycles saved across the set\n",
         total_dead, total_saved
+    );
+}
+
+fn idioms() {
+    println!("== Guest-idiom layer: fusion, address folding and bulk rewriting ==");
+    println!(
+        "{:<14} {:>13} {:>13} {:>8} {:>7} {:>7} {:>6} {:>6} {:>6}",
+        "workload",
+        "cycles (on)",
+        "cycles (off)",
+        "vs off",
+        "fused",
+        "cmpbr",
+        "tstbr",
+        "cbz",
+        "bulk"
+    );
+    let kernels = workloads::idiom_kernels(Scale(1));
+    let mut per_rule = [0u64; dbt::RULE_COUNT];
+    let mut total_fused = 0u64;
+    let mut branch_gain = 0.0f64;
+    for w in &kernels {
+        let on = run_captive_idioms(w, true);
+        let off = run_captive_idioms(w, false);
+        // CI smoke invariants: the idiom layer must never cost modeled
+        // cycles, it must actually rewrite something on its own kernels, and
+        // with the layer off its counters must stay exactly zero.
+        assert!(
+            on.cycles <= off.cycles,
+            "{}: idiom layer regressed cycles ({} > {})",
+            w.name,
+            on.cycles,
+            off.cycles
+        );
+        assert!(
+            on.opt_idioms_fused > 0,
+            "{}: no idiom fused on an idiom kernel",
+            w.name
+        );
+        assert_eq!(
+            off.opt_idioms_fused, 0,
+            "{}: idioms fused with the layer disabled",
+            w.name
+        );
+        for (i, kind) in dbt::RuleKind::ALL.iter().enumerate() {
+            per_rule[i] += on.counter(&format!("idiom.hit.{}", kind.name()));
+        }
+        total_fused += on.opt_idioms_fused;
+        let vs_off = off.cycles as f64 / on.cycles as f64;
+        if w.name == "idiom.branch" {
+            branch_gain = vs_off;
+        }
+        println!(
+            "{:<14} {:>13} {:>13} {:>7.3}x {:>7} {:>7} {:>6} {:>6} {:>6}",
+            w.name,
+            on.cycles,
+            off.cycles,
+            vs_off,
+            on.opt_idioms_fused,
+            on.counter("idiom.hit.fuse.cmpbr"),
+            on.counter("idiom.hit.fuse.tstbr"),
+            on.counter("idiom.hit.fuse.cbz"),
+            on.counter("idiom.hit.bulk.memset"),
+        );
+    }
+    // Every shipped rule must pay its way: at least one hit somewhere on the
+    // idiom kernels, and a nonzero grand total.
+    for (i, kind) in dbt::RuleKind::ALL.iter().enumerate() {
+        assert!(
+            per_rule[i] > 0,
+            "rule {} never fired on any idiom kernel",
+            kind.name()
+        );
+    }
+    assert!(total_fused > 0, "no idiom fused across the kernel set");
+    // The no-regression rider: on the general workloads the layer must be
+    // free or better.
+    for w in workloads::spec_int(Scale(1))
+        .into_iter()
+        .take(4)
+        .chain(workloads::loop_kernels(Scale(1)))
+    {
+        let on = run_captive_idioms(&w, true);
+        let off = run_captive_idioms(&w, false);
+        assert!(
+            on.cycles <= off.cycles,
+            "{}: idiom layer regressed a non-idiom kernel ({} > {})",
+            w.name,
+            on.cycles,
+            off.cycles
+        );
+    }
+    // The mining flow: observe-only candidates on the branch kernel must
+    // mine a table that keeps the branch-fusion rules enabled, and running
+    // under the mined table must match the hand-enabled full table.
+    let branch = &kernels[0];
+    assert_eq!(branch.name, "idiom.branch");
+    let (observe, mined, table) = run_captive_idioms_mined(branch);
+    assert_eq!(
+        observe.opt_idioms_fused, 0,
+        "observe-only mode must not rewrite anything"
+    );
+    assert!(
+        observe.counter("idiom.cand.fuse.cmpbr") > 0,
+        "observe-only mode must still count candidates"
+    );
+    for kind in [
+        dbt::RuleKind::FuseCmpBr,
+        dbt::RuleKind::FuseTstBr,
+        dbt::RuleKind::FuseCbz,
+    ] {
+        assert!(
+            table.enabled(kind) && table.weight(kind) > 0,
+            "mined table dropped {} despite hot candidates",
+            kind.name()
+        );
+    }
+    assert!(
+        mined.opt_idioms_fused > 0 && mined.cycles <= observe.cycles,
+        "mined table must fuse and win on the kernel it was mined from \
+         ({} fused, {} vs {} cycles)",
+        mined.opt_idioms_fused,
+        mined.cycles,
+        observe.cycles
+    );
+    println!(
+        "mined from idiom.branch: {} (mined run {} cycles, observe {} cycles)",
+        table.serialize().replace('\n', " "),
+        mined.cycles,
+        observe.cycles
+    );
+    println!();
+    // The acceptance bar: on the flag-heavy branch kernel the NZCV-free
+    // fusion path must cut >= 1.10x modeled cycles over the layer being off.
+    assert!(
+        branch_gain >= 1.10,
+        "idiom.branch must run >= 1.10x fewer modeled cycles with the idiom \
+         layer on vs off (got {branch_gain:.3}x)"
     );
 }
 

@@ -344,6 +344,16 @@ pub fn chaos_captive_configs() -> Vec<(&'static str, CaptiveConfig)> {
                 ..CaptiveConfig::default()
             },
         ),
+        // The default config runs the guest-idiom layer; this leg pins the
+        // idiom-on/idiom-off/QEMU architectural outcomes byte-identical on
+        // every chaos seed.
+        (
+            "captive-noidiom",
+            CaptiveConfig {
+                idioms: false,
+                ..CaptiveConfig::default()
+            },
+        ),
         (
             "captive-tinycache",
             CaptiveConfig {

@@ -77,6 +77,8 @@ pub struct Measurement {
     /// Vector regfile loads forwarded, including cross-file transfers
     /// (Captive only; static).
     pub opt_fp_forwarded: u64,
+    /// Guest-idiom rewrites applied across all rules (Captive only; static).
+    pub opt_idioms_fused: u64,
     /// Cross-page chained transfers (QEMU-style baseline with `goto_tb`
     /// only; subset of `chained_transfers`).
     pub goto_tb_transfers: u64,
@@ -126,6 +128,11 @@ pub struct Measurement {
     /// Nanoseconds from engine construction to the first region install
     /// (0 when no region was installed).
     pub first_region_install_ns: u64,
+    /// String-keyed counters that don't warrant a dedicated field: per-rule
+    /// idiom hit/candidate counts (`idiom.hit.<rule>`, `idiom.cand.<rule>`)
+    /// today, anything cheap-to-name tomorrow.  Serialized by the `figures`
+    /// binary as a `"counters"` JSON object per record.
+    pub counters: Vec<(String, u64)>,
 }
 
 impl Measurement {
@@ -138,6 +145,14 @@ impl Measurement {
         } else {
             self.itlb_hits as f64 / total as f64
         }
+    }
+
+    /// Looks up a string-keyed counter; 0 when the key was never recorded.
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == key)
+            .map_or(0, |(_, v)| *v)
     }
 }
 
@@ -282,9 +297,49 @@ pub fn run_captive_promote(w: &Workload, promote: bool) -> Measurement {
     )
 }
 
+/// Runs a workload under Captive with the guest-idiom layer forced on or
+/// off (tiered pinned off for single-threaded accounting; everything else
+/// default) — the `figures -- idioms` comparison pair.
+pub fn run_captive_idioms(w: &Workload, idioms: bool) -> Measurement {
+    run_captive_cfg(
+        w,
+        CaptiveConfig {
+            idioms,
+            tiered: false,
+            ..CaptiveConfig::default()
+        },
+    )
+}
+
+/// The profile-mined idiom flow: one observe-only pass (candidates counted,
+/// nothing rewritten), mine a [`dbt::RuleTable`] from the hot-region
+/// profiles, then re-run with the mined table applied.  Returns
+/// `(observe, mined, table)`.
+pub fn run_captive_idioms_mined(w: &Workload) -> (Measurement, Measurement, dbt::RuleTable) {
+    let cfg = || CaptiveConfig {
+        tiered: false,
+        ..CaptiveConfig::default()
+    };
+    let mut observer = Captive::new(cfg());
+    observer.set_idiom_rules(dbt::RuleTable::observe_only());
+    let observe = drive_captive(w, &mut observer);
+    let table = observer.mine_idiom_rules();
+    let mut miner = Captive::new(cfg());
+    miner.set_idiom_rules(table.clone());
+    let mined = drive_captive(w, &mut miner);
+    (observe, mined, table)
+}
+
 /// Runs a workload under Captive with a fully explicit configuration.
 pub fn run_captive_cfg(w: &Workload, cfg: CaptiveConfig) -> Measurement {
     let mut c = Captive::new(cfg);
+    drive_captive(w, &mut c)
+}
+
+/// Loads, runs to the halt and extracts a [`Measurement`] from an already
+/// constructed engine (so callers can pre-seat a rule table or inspect the
+/// engine afterwards).
+fn drive_captive(w: &Workload, c: &mut Captive) -> Measurement {
     c.load_program(workloads::CODE_BASE, &w.words);
     c.set_entry(w.entry);
     let exit = c.run(BLOCK_BUDGET);
@@ -294,6 +349,13 @@ pub fn run_captive_cfg(w: &Workload, cfg: CaptiveConfig) -> Measurement {
         w.name
     );
     let s = c.stats();
+    let mut counters: Vec<(String, u64)> = Vec::new();
+    for (name, n) in &s.idiom_hits {
+        counters.push((format!("idiom.hit.{name}"), *n));
+    }
+    for (name, n) in &s.idiom_candidates {
+        counters.push((format!("idiom.cand.{name}"), *n));
+    }
     Measurement {
         cycles: s.cycles,
         host_insns: s.host_insns,
@@ -323,6 +385,7 @@ pub fn run_captive_cfg(w: &Workload, cfg: CaptiveConfig) -> Measurement {
         opt_promoted_slots: s.opt_promoted_slots,
         opt_hoisted_loads: s.opt_hoisted_loads,
         opt_fp_forwarded: s.opt_fp_forwarded,
+        opt_idioms_fused: s.opt_idioms_fused,
         goto_tb_transfers: 0,
         elided_dyn_insns: s.elided_dyn_insns,
         irqs_delivered: s.irqs_delivered,
@@ -341,6 +404,7 @@ pub fn run_captive_cfg(w: &Workload, cfg: CaptiveConfig) -> Measurement {
         jit_wall_ns: s.jit_wall_ns,
         tier_worker_wall_ns: s.tier_worker_wall_ns,
         first_region_install_ns: s.first_region_install_ns,
+        counters,
     }
 }
 
@@ -401,6 +465,7 @@ fn run_qemu_prepared(w: &Workload, mut q: QemuRef) -> Measurement {
         opt_promoted_slots: 0,
         opt_hoisted_loads: 0,
         opt_fp_forwarded: 0,
+        opt_idioms_fused: 0,
         goto_tb_transfers: s.goto_tb_transfers,
         elided_dyn_insns: 0,
         irqs_delivered: s.irqs_delivered,
@@ -419,6 +484,7 @@ fn run_qemu_prepared(w: &Workload, mut q: QemuRef) -> Measurement {
         jit_wall_ns: 0,
         tier_worker_wall_ns: 0,
         first_region_install_ns: 0,
+        counters: Vec::new(),
     }
 }
 

@@ -73,7 +73,8 @@ pub mod translator;
 
 use dbt::{
     fnv1a, pack_knobs, CacheIndex, CodeCache, EntryMode, PhaseTimers, Region, RegionKey,
-    RegionProfile, ReuseCache, ReuseKey, ReuseTemplate, TierTimers,
+    RegionProfile, ReuseCache, ReuseKey, ReuseTemplate, RuleKind, RuleTable, TierTimers,
+    RULE_COUNT,
 };
 use guest_aarch64::Aarch64Isa;
 use hvm::{ExitReason, Gpr, Machine, MachineConfig, Ring};
@@ -115,6 +116,13 @@ pub struct CaptiveConfig {
     /// regfile-store elimination, with the allocator's iterative DCE
     /// sweeping the value chains feeding eliminated stores.
     pub opt: bool,
+    /// Enable the guest-idiom rewrite layer (`dbt::idiom`, requires `opt`):
+    /// NZCV-free compare+branch fusion, address-mode folding and bulk-move
+    /// rewriting, applied under the engine's [`dbt::RuleTable`] (the full
+    /// built-in table unless [`Captive::set_idiom_rules`] installs a mined
+    /// one).  The table's content hash joins the reuse key, so engines with
+    /// different tables never share templates.
+    pub idioms: bool,
     /// Chain-link transfer count at which the link's target becomes a
     /// region trace head.
     pub region_threshold: u64,
@@ -177,6 +185,7 @@ impl Default for CaptiveConfig {
             chaining: true,
             form_regions: true,
             opt: true,
+            idioms: true,
             region_threshold: 16,
             region_max_insns: 256,
             loop_regions: true,
@@ -293,6 +302,14 @@ pub struct RunStats {
     /// Vector (XMM) regfile loads forwarded from earlier vector values,
     /// including cross-file GPR↔XMM transfers (static).
     pub opt_fp_forwarded: u64,
+    /// Guest-idiom rewrites applied across all translations (static total
+    /// over every rule; see [`dbt::idiom`]).
+    pub opt_idioms_fused: u64,
+    /// Per-rule idiom rewrites applied, keyed by rule name (static).
+    pub idiom_hits: Vec<(String, u64)>,
+    /// Per-rule idiom candidate sites — matched and proven sound whether or
+    /// not the rule was enabled; the rule miner's input (static).
+    pub idiom_candidates: Vec<(String, u64)>,
     /// Dynamic host instructions saved: per block entry, the LIR
     /// instructions eliminated from that translation before encoding.
     pub elided_dyn_insns: u64,
@@ -378,6 +395,11 @@ pub struct Captive {
     /// Content-keyed translation reuse (tiered mode only): shared across
     /// instances when the config supplies one, private otherwise.
     reuse: Option<Arc<ReuseCache>>,
+    /// The guest-idiom rule table every translation applies when
+    /// `config.idioms` is on.  Shared by `Arc` with background formation
+    /// workers so the synchronous path and tier-1 apply the *same* table;
+    /// its content hash joins the reuse key (see [`Captive::reuse_key_for`]).
+    idiom_rules: Arc<RuleTable>,
     /// Tier-level wall-clock accounting (run-thread stall vs worker time).
     tier_timers: TierTimers,
     /// Construction time, the zero point for time-to-first-region-install.
@@ -453,9 +475,24 @@ impl Captive {
             parked_results: HashMap::new(),
             next_seq: 0,
             reuse,
+            idiom_rules: Arc::new(RuleTable::full()),
             tier_timers: TierTimers::default(),
             launch: Instant::now(),
         }
+    }
+
+    /// Installs a guest-idiom rule table (e.g. one mined by
+    /// [`Captive::mine_idiom_rules`] from a profiling run).  Takes effect
+    /// for every later translation; already-cached code is unaffected.  The
+    /// table's hash changes the content-reuse key, so translations made
+    /// under different tables never alias in a shared [`ReuseCache`].
+    pub fn set_idiom_rules(&mut self, table: RuleTable) {
+        self.idiom_rules = Arc::new(table);
+    }
+
+    /// The engine's current guest-idiom rule table.
+    pub fn idiom_rules(&self) -> &RuleTable {
+        &self.idiom_rules
     }
 
     /// Loads a guest program (little-endian instruction words) at a guest
@@ -536,6 +573,20 @@ impl Captive {
         s.opt_promoted_slots = self.timers.opt_promoted_slots;
         s.opt_hoisted_loads = self.timers.opt_hoisted_loads;
         s.opt_fp_forwarded = self.timers.opt_fp_forwarded;
+        s.opt_idioms_fused = self.timers.opt_idioms_fused;
+        s.idiom_hits = RuleKind::ALL
+            .iter()
+            .map(|k| (k.name().to_string(), self.timers.idiom_hits[k.index()]))
+            .collect();
+        s.idiom_candidates = RuleKind::ALL
+            .iter()
+            .map(|k| {
+                (
+                    k.name().to_string(),
+                    self.timers.idiom_candidates[k.index()],
+                )
+            })
+            .collect();
         s.elided_dyn_insns = self.machine.perf.elided_insns;
         s.irqs_delivered = self.runtime.events.delivered;
         s.timer_irqs = self.runtime.events.timer_delivered;
@@ -576,6 +627,52 @@ impl Captive {
     /// Per-region execution profiles (region key → per-entry-mode record).
     pub fn region_profiles(&self) -> &HashMap<RegionKey, RegionProfile> {
         &self.per_region
+    }
+
+    /// Mines a guest-idiom [`RuleTable`] from this run's hot-region
+    /// profiles: each rule is ranked by its dynamic candidate count —
+    /// Σ over profiled regions of (static candidate sites in the region ×
+    /// the region's recorded executions) — and rules that never matched a
+    /// candidate anywhere are pruned (disabled), so a guest that exhibits
+    /// no instance of an idiom ships a table that never looks for it.
+    ///
+    /// Needs `per_block_stats` for non-zero dynamic weights; without
+    /// profiles the static candidate counters from the translation timers
+    /// still seed the ranking, so pruning remains meaningful.
+    ///
+    /// The bulk-move rewrite consumes the *output* of the zero-test fusion
+    /// rule (its loop-exit matcher expects a fused `Cmp/Jcc` pair), so a
+    /// mined table that keeps `bulk.memset` also keeps `fuse.cbz`.
+    pub fn mine_idiom_rules(&self) -> RuleTable {
+        let gen = self.runtime.context_generation();
+        let mut weights = [0u64; RULE_COUNT];
+        // Dynamic ranking: candidates weighted by how often the region ran.
+        for (key, profile) in &self.per_region {
+            let Some(region) = self.cache.get(*key, gen) else {
+                continue;
+            };
+            let execs = profile.total_executions();
+            for (w, &c) in weights.iter_mut().zip(region.idiom_candidates.iter()) {
+                *w += c as u64 * execs;
+            }
+        }
+        // Static fallback: every candidate the translator ever saw counts
+        // once, so a rule with real sites survives even if its regions were
+        // evicted or never profiled.
+        for (w, &c) in weights.iter_mut().zip(self.timers.idiom_candidates.iter()) {
+            *w += c;
+        }
+        let mut table = RuleTable::full();
+        for kind in RuleKind::ALL {
+            table.set_weight(kind, weights[kind.index()]);
+            if weights[kind.index()] == 0 {
+                table.set_enabled(kind, false);
+            }
+        }
+        if table.enabled(RuleKind::BulkMemset) && !table.enabled(RuleKind::FuseCbz) {
+            table.set_enabled(RuleKind::FuseCbz, true);
+        }
+        table
     }
 
     /// Translates the guest virtual address of an *instruction fetch* to a
@@ -645,6 +742,7 @@ impl Captive {
                     // needs this code *now*); its wall-clock is what the
                     // run thread visibly stalls on.
                     let t0 = Instant::now();
+                    let idioms = self.config.idioms.then(|| Arc::clone(&self.idiom_rules));
                     let region = translate_block(
                         &self.isa,
                         &mut self.machine,
@@ -655,6 +753,7 @@ impl Captive {
                         self.config.fp_mode,
                         self.config.opt,
                         self.config.promote,
+                        idioms.as_deref(),
                     );
                     self.tier_timers.run_thread_stall += t0.elapsed();
                     self.runtime.note_code_page(&mut self.machine, pa & !0xFFF);
@@ -929,7 +1028,8 @@ impl Captive {
             }
         }
         let t0 = Instant::now();
-        let formed = form_region(
+        let idioms = self.config.idioms.then(|| Arc::clone(&self.idiom_rules));
+        let (formed, consumed) = form_region(
             &self.isa,
             &mut self.machine,
             &mut self.runtime,
@@ -943,6 +1043,7 @@ impl Captive {
             self.config.fp_mode,
             self.config.opt,
             self.config.promote,
+            idioms.as_deref(),
         );
         self.tier_timers.run_thread_stall += t0.elapsed();
         match formed {
@@ -952,6 +1053,19 @@ impl Captive {
                 // the translation bailed out).  Record the failure and back
                 // off: the next attempt requires twice the heat, and
                 // repeated failures quarantine the head for good.
+                //
+                // Publish the refusal under the content key just like the
+                // async path does for a worker's TooShort answer: engines
+                // sharing the reuse cache then skip the worker round-trip
+                // for these exact bytes.  Refusals only short-circuit that
+                // wait — the install point still falls through to a
+                // synchronous attempt — so this can never suppress a
+                // formation that would have succeeded.
+                if !consumed.is_empty() {
+                    if let Some(reuse) = &self.reuse {
+                        reuse.publish_refusal(self.reuse_key_for(key), consumed);
+                    }
+                }
                 self.record_formation_failure(key, heat);
                 next
             }
@@ -1061,6 +1175,7 @@ impl Captive {
             fp_mode: self.config.fp_mode,
             run_opt: self.config.opt,
             promote: self.config.promote,
+            idioms: self.config.idioms.then(|| Arc::clone(&self.idiom_rules)),
         };
         // Only the snapshot capture counts as run-thread translation stall:
         // the channel hand-off below wakes a sleeping worker, and the host
@@ -1212,8 +1327,10 @@ impl Captive {
                 self.config.opt,
                 self.config.loop_regions,
                 self.config.promote,
+                self.config.idioms,
                 self.config.unroll_loops,
                 self.config.region_max_insns,
+                self.idiom_rules.hash(),
             ),
             entry_page_hash: self.live_page_hash(key.phys & !0xFFF),
         }

@@ -39,6 +39,7 @@
 
 use crate::translator::{form_region_from, FormOutcome, SourceRead, TraceSource};
 use crate::FpMode;
+use dbt::idiom::RuleTable;
 use dbt::{fnv1a, GuestIsa, PhaseTimers, Region, RegionKey};
 use guest_aarch64::gen::Decoded;
 use guest_aarch64::{mmu, Aarch64Isa};
@@ -108,6 +109,11 @@ pub struct FormationRequest {
     pub run_opt: bool,
     /// Run loop-carried register promotion (only meaningful with `run_opt`).
     pub promote: bool,
+    /// The idiom rule set to translate with (`None` = idiom layer off).
+    /// Shared by `Arc` so the run thread and every worker apply the *same*
+    /// table; its hash is part of the reuse key, so results formed under a
+    /// different table can never be installed.
+    pub idioms: Option<Arc<RuleTable>>,
 }
 
 /// What a worker produced for one request.
@@ -305,6 +311,7 @@ fn process(isa: &Aarch64Isa, memo: &DecodeMemo, req: FormationRequest) -> Format
         req.fp_mode,
         req.run_opt,
         req.promote,
+        req.idioms.as_deref(),
     );
     let consumed = source.consumed_hashes();
     drop(source);
@@ -494,6 +501,7 @@ mod tests {
             fp_mode: FpMode::Hardware,
             run_opt: true,
             promote: true,
+            idioms: Some(std::sync::Arc::new(RuleTable::full())),
         }
     }
 

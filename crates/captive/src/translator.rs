@@ -15,6 +15,7 @@ use crate::layout;
 use crate::runtime::{sf_helpers, CaptiveRuntime};
 use crate::FpMode;
 use dbt::emitter::ValueType;
+use dbt::idiom::RuleTable;
 use dbt::{
     BlockExit, ChainLinks, CodeCache, Emitter, GuestIsa, Phase, PhaseTimers, Region, RegionKey,
 };
@@ -37,6 +38,7 @@ pub fn translate_block(
     fp_mode: FpMode,
     run_opt: bool,
     promote: bool,
+    idioms: Option<&RuleTable>,
 ) -> Region {
     let mut emitter = Emitter::new();
     let mut guest_insns = 0usize;
@@ -101,7 +103,7 @@ pub fn translate_block(
 
     let lir = emitter.finish();
     let lir_count = lir.len();
-    let t = match dbt::finish_translation(timers, lir, run_opt, promote) {
+    let t = match dbt::finish_translation(timers, lir, run_opt, promote, idioms) {
         Ok(t) => t,
         Err(_) => {
             // Graceful degradation: a lowering defect discards the
@@ -133,6 +135,7 @@ pub fn translate_block(
         loop_guest_insns: 0,
         loop_elided_insns: 0,
         promoted: t.promoted,
+        idiom_candidates: t.idioms.candidates,
     }
 }
 
@@ -151,7 +154,7 @@ fn undef_fallback_region(timers: &mut PhaseTimers, pc: u64, pa: u64) -> Region {
     emitter.set_end_of_block();
     let lir = emitter.finish();
     let lir_count = lir.len();
-    let t = dbt::finish_translation(timers, lir, false, false)
+    let t = dbt::finish_translation(timers, lir, false, false, None)
         .expect("host bug: the UNDEF stub lowers without virtual registers");
     timers.blocks += 1;
     timers.guest_insns += 1;
@@ -173,6 +176,7 @@ fn undef_fallback_region(timers: &mut PhaseTimers, pc: u64, pa: u64) -> Region {
         loop_guest_insns: 0,
         loop_elided_insns: 0,
         promoted: Vec::new(),
+        idiom_candidates: [0; dbt::RULE_COUNT],
     }
 }
 
@@ -223,6 +227,50 @@ pub struct LiveSource<'a> {
     pub runtime: &'a mut CaptiveRuntime,
     /// The code cache (profile consultation only).
     pub cache: &'a CodeCache,
+    /// Guest physical code pages the trace read, in first-touch order — the
+    /// live-path mirror of [`crate::tier::SnapshotSource`]'s consumed set,
+    /// so a synchronous refusal can be published to the reuse cache with the
+    /// pages that prove it.  Unlike the snapshot source, the live walker
+    /// does not expose the page-table pages it touches, so on an MMU-on
+    /// guest the set covers code pages only; a refusal keyed on it can at
+    /// worst over-apply (skipping a worker round-trip that would have
+    /// refused anyway), never corrupt an installed translation.
+    pub consumed: Vec<u64>,
+}
+
+impl<'a> LiveSource<'a> {
+    /// Creates a live source with an empty consumed set.
+    pub fn new(
+        machine: &'a mut Machine,
+        runtime: &'a mut CaptiveRuntime,
+        cache: &'a CodeCache,
+    ) -> Self {
+        LiveSource {
+            machine,
+            runtime,
+            cache,
+            consumed: Vec::new(),
+        }
+    }
+
+    /// The consumed code pages with the FNV-1a hash of their *live* bytes,
+    /// read at call time (the synchronous path has no snapshot to hash).
+    pub fn consumed_hashes(&self) -> Vec<(u64, u64)> {
+        self.consumed
+            .iter()
+            .map(|&page| {
+                let mut bytes = vec![0u8; 4096];
+                for (i, b) in bytes.iter_mut().enumerate() {
+                    *b = self
+                        .machine
+                        .mem
+                        .read_uint(layout::GUEST_PHYS_BASE + page + i as u64, 1)
+                        .unwrap_or(0) as u8;
+                }
+                (page, dbt::fnv1a(&bytes))
+            })
+            .collect()
+    }
 }
 
 impl TraceSource for LiveSource<'_> {
@@ -238,6 +286,10 @@ impl TraceSource for LiveSource<'_> {
     }
 
     fn read_code_word(&mut self, pa: u64) -> SourceRead<u32> {
+        let page = pa & !0xFFF;
+        if !self.consumed.contains(&page) {
+            self.consumed.push(page);
+        }
         // An unreadable word degrades to 0 (an UNDEF), matching the
         // per-block translator's behaviour.
         SourceRead::Ok(
@@ -351,12 +403,9 @@ pub fn form_region(
     fp_mode: FpMode,
     run_opt: bool,
     promote: bool,
-) -> Option<Region> {
-    let mut source = LiveSource {
-        machine,
-        runtime,
-        cache,
-    };
+    idioms: Option<&RuleTable>,
+) -> (Option<Region>, Vec<(u64, u64)>) {
+    let mut source = LiveSource::new(machine, runtime, cache);
     match form_region_from(
         isa,
         &mut source,
@@ -369,11 +418,17 @@ pub fn form_region(
         fp_mode,
         run_opt,
         promote,
+        idioms,
     ) {
-        FormOutcome::Formed(region) => Some(*region),
+        FormOutcome::Formed(region) => (Some(*region), Vec::new()),
         // A live source never reports missing pages; TooShort is the
-        // ordinary "a region would add nothing" refusal.
-        FormOutcome::TooShort | FormOutcome::NeedPages(_) => None,
+        // ordinary "a region would add nothing" refusal, reported with the
+        // code pages the abandoned trace consumed so the caller can publish
+        // it to the reuse cache.
+        FormOutcome::TooShort | FormOutcome::NeedPages(_) => {
+            let consumed = source.consumed_hashes();
+            (None, consumed)
+        }
     }
 }
 
@@ -394,6 +449,7 @@ pub fn form_region_from<S: TraceSource + ?Sized>(
     fp_mode: FpMode,
     run_opt: bool,
     promote: bool,
+    idioms: Option<&RuleTable>,
 ) -> FormOutcome {
     let ctx_gen = source.ctx_gen();
     let unroll = unroll.max(1);
@@ -649,7 +705,7 @@ pub fn form_region_from<S: TraceSource + ?Sized>(
         .unwrap_or(BlockExit::Fallthrough { next: va });
     let lir = emitter.finish();
     let lir_count = lir.len();
-    let t = match dbt::finish_translation(timers, lir, run_opt, promote) {
+    let t = match dbt::finish_translation(timers, lir, run_opt, promote, idioms) {
         Ok(t) => t,
         Err(_) => {
             // A lowering defect abandons the formation; the dispatcher keeps
@@ -691,6 +747,7 @@ pub fn form_region_from<S: TraceSource + ?Sized>(
         loop_guest_insns,
         loop_elided_insns,
         promoted: t.promoted,
+        idiom_candidates: t.idioms.candidates,
     }))
 }
 

@@ -352,6 +352,11 @@ pub struct Region {
     /// delivering the event so the guest observes a precise register file.
     /// Empty for unpromoted translations.
     pub promoted: Vec<(i32, Gpr)>,
+    /// Per-rule idiom-recogniser candidate counts from this region's
+    /// translation (see [`crate::idiom::IdiomStats::candidates`]).  The rule
+    /// miner weighs these by the region's profiled executions to rank rules
+    /// by dynamic relevance.
+    pub idiom_candidates: [u32; crate::idiom::RULE_COUNT],
 }
 
 impl Region {
@@ -865,21 +870,30 @@ impl CodeCache {
 /// Packs the codegen knobs a region was formed under into one word for the
 /// [`ReuseKey`]: a template formed with different optimisation, unrolling
 /// or tracing limits is a different translation and must never be reused
-/// across configurations.
+/// across configurations.  `idiom_table` is [`crate::idiom::RuleTable::hash`]
+/// of the active idiom rule set (0 when the idiom layer is off): its low 32
+/// bits join the key, so code generated under one mined rule set is never
+/// instantiated under another.
+#[allow(clippy::too_many_arguments)]
 pub fn pack_knobs(
     soft_fp: bool,
     opt: bool,
     loop_regions: bool,
     promote: bool,
+    idioms: bool,
     unroll: usize,
     max_insns: usize,
+    idiom_table: u64,
 ) -> u64 {
+    let table = if idioms { idiom_table } else { 0 };
     (soft_fp as u64)
         | ((opt as u64) << 1)
         | ((loop_regions as u64) << 2)
         | ((promote as u64) << 3)
+        | ((idioms as u64) << 4)
         | (((unroll as u64) & 0xFF) << 8)
         | (((max_insns as u64) & 0xFFFF) << 16)
+        | ((table & 0xFFFF_FFFF) << 32)
 }
 
 /// Identity of a reusable translation: where it enters, the knobs it was
@@ -935,6 +949,9 @@ pub struct ReuseTemplate {
     /// translation's identity, so instantiations reconcile faults exactly
     /// like the original.
     pub promoted: Vec<(i32, Gpr)>,
+    /// Per-rule idiom candidate counts of the original translation, carried
+    /// so instantiated regions feed the rule miner like freshly-formed ones.
+    pub idiom_candidates: [u32; crate::idiom::RULE_COUNT],
 }
 
 impl ReuseTemplate {
@@ -957,6 +974,7 @@ impl ReuseTemplate {
             loop_guest_insns: region.loop_guest_insns,
             loop_elided_insns: region.loop_elided_insns,
             promoted: region.promoted.clone(),
+            idiom_candidates: region.idiom_candidates,
         }
     }
 
@@ -982,6 +1000,7 @@ impl ReuseTemplate {
             loop_guest_insns: self.loop_guest_insns,
             loop_elided_insns: self.loop_elided_insns,
             promoted: self.promoted.clone(),
+            idiom_candidates: self.idiom_candidates,
         }
     }
 }
@@ -1136,6 +1155,7 @@ mod tests {
             loop_guest_insns: 0,
             loop_elided_insns: 0,
             promoted: Vec::new(),
+            idiom_candidates: [0; crate::idiom::RULE_COUNT],
         }
     }
 
@@ -1581,7 +1601,7 @@ mod tests {
         let reuse = ReuseCache::new();
         let region = multi(0x1000, 8, vec![0x1000, 0x2000], 3);
         let hashes = [(0x1000u64, 0xAAAAu64), (0x2000, 0xBBBB)];
-        let knobs = pack_knobs(false, true, true, true, 4, 256);
+        let knobs = pack_knobs(false, true, true, true, true, 4, 256, 0);
         let key = ReuseKey {
             phys: 0x1000,
             virt: 0x1000,
@@ -1610,7 +1630,7 @@ mod tests {
         );
         // A different knob set is a different key entirely.
         let other = ReuseKey {
-            knobs: pack_knobs(false, false, true, true, 4, 256),
+            knobs: pack_knobs(false, false, true, true, true, 4, 256, 0),
             ..key
         };
         assert!(reuse.lookup(other, |_, _| true).is_none());
@@ -1663,13 +1683,29 @@ mod tests {
 
     #[test]
     fn knob_packing_distinguishes_every_field() {
-        let base = pack_knobs(false, true, true, true, 4, 256);
-        assert_ne!(base, pack_knobs(true, true, true, true, 4, 256));
-        assert_ne!(base, pack_knobs(false, false, true, true, 4, 256));
-        assert_ne!(base, pack_knobs(false, true, false, true, 4, 256));
-        assert_ne!(base, pack_knobs(false, true, true, false, 4, 256));
-        assert_ne!(base, pack_knobs(false, true, true, true, 8, 256));
-        assert_ne!(base, pack_knobs(false, true, true, true, 4, 128));
+        let base = pack_knobs(false, true, true, true, true, 4, 256, 0);
+        assert_ne!(base, pack_knobs(true, true, true, true, true, 4, 256, 0));
+        assert_ne!(base, pack_knobs(false, false, true, true, true, 4, 256, 0));
+        assert_ne!(base, pack_knobs(false, true, false, true, true, 4, 256, 0));
+        assert_ne!(base, pack_knobs(false, true, true, false, true, 4, 256, 0));
+        assert_ne!(base, pack_knobs(false, true, true, true, true, 8, 256, 0));
+        assert_ne!(base, pack_knobs(false, true, true, true, true, 4, 128, 0));
+        assert_ne!(base, pack_knobs(false, true, true, true, false, 4, 256, 0));
+    }
+
+    #[test]
+    fn knob_packing_keys_on_idiom_table_only_when_idioms_run() {
+        let with =
+            |idioms: bool, table: u64| pack_knobs(false, true, true, true, idioms, 4, 256, table);
+        // Different rule tables generate different code, so they must land
+        // in different reuse keys...
+        assert_ne!(with(true, 0xDEAD_BEEF), with(true, 0x1234_5678));
+        assert_eq!(with(true, 0xDEAD_BEEF) >> 32, 0xDEAD_BEEF);
+        // ...but with the idiom layer off the table is inert, and every
+        // table value must collapse onto the same key so idiom-off
+        // translations stay shareable.
+        assert_eq!(with(false, 0xDEAD_BEEF), with(false, 0x1234_5678));
+        assert_eq!(with(false, 0xDEAD_BEEF), with(false, 0));
     }
 
     #[test]

@@ -413,6 +413,7 @@ impl Emitter {
             pc,
             label,
             reconcile: false,
+            weight: 1,
         });
         self.stitched_back = true;
         self.trace_back = None;

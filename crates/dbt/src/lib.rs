@@ -34,6 +34,7 @@
 
 pub mod cache;
 pub mod emitter;
+pub mod idiom;
 pub mod lir;
 pub mod lower;
 pub mod opt;
@@ -45,6 +46,7 @@ pub use cache::{
     RegionKey, RegionProfile, ReuseCache, ReuseKey, ReuseTemplate,
 };
 pub use emitter::{Emitter, Node, NodeId, ValueType};
+pub use idiom::{IdiomStats, Rule, RuleKind, RuleTable, RULE_COUNT};
 pub use lir::{LirInsn, RegFileAccess, Vreg, VregClass};
 pub use lower::LowerError;
 pub use opt::OptStats;
@@ -69,13 +71,15 @@ pub fn finish_translation(
     mut lir: Vec<LirInsn>,
     run_opt: bool,
     promote: bool,
+    idioms: Option<&idiom::RuleTable>,
 ) -> Result<FinishedTranslation, LowerError> {
     let pre_opt = lir.len();
     let mut dirty_carriers: Vec<(i32, Vreg)> = Vec::new();
+    let mut idiom_stats = idiom::IdiomStats::default();
     if run_opt {
         // The optimiser sits between emission and register allocation; its
         // wall-clock cost is accounted to the regalloc phase budget.
-        let stats = timers.time(Phase::RegAlloc, || opt::optimize(&mut lir, promote));
+        let stats = timers.time(Phase::RegAlloc, || opt::optimize(&mut lir, promote, idioms));
         timers.opt_dead_stores += stats.dead_stores as u64;
         timers.opt_forwarded_loads += stats.forwarded_loads as u64;
         timers.opt_partial_forwarded += stats.partial_forwarded as u64;
@@ -83,6 +87,12 @@ pub fn finish_translation(
         timers.opt_promoted_slots += stats.promoted_slots as u64;
         timers.opt_hoisted_loads += stats.hoisted_loads as u64;
         timers.opt_fp_forwarded += stats.fp_forwarded as u64;
+        timers.opt_idioms_fused += stats.idioms.total_fused() as u64;
+        for i in 0..idiom::RULE_COUNT {
+            timers.idiom_hits[i] += stats.idioms.fused[i] as u64;
+            timers.idiom_candidates[i] += stats.idioms.candidates[i] as u64;
+        }
+        idiom_stats = stats.idioms;
         dirty_carriers = stats.promoted;
     }
     let allocation = timers.time(Phase::RegAlloc, || regalloc::allocate(&lir));
@@ -110,6 +120,7 @@ pub fn finish_translation(
         encoded,
         elided,
         promoted,
+        idioms: idiom_stats,
     })
 }
 
@@ -129,6 +140,8 @@ pub struct FinishedTranslation {
     /// its slot before delivering the event, restoring the precise register
     /// file the promotion contract promises (see [`opt`]'s module docs).
     pub promoted: Vec<(i32, hvm::Gpr)>,
+    /// Per-rule idiom counters for this translation (see [`idiom`]).
+    pub idioms: idiom::IdiomStats,
 }
 
 /// A guest instruction-set architecture plugged into the DBT.

@@ -247,11 +247,17 @@ pub enum LirInsn {
     /// [`hvm::MachInsn::BackEdge`].  `reconcile` marks a promoted loop: a
     /// loop exit falls through into the compensation stores that follow
     /// instead of returning to the dispatcher directly (see
-    /// [`crate::opt`]'s promotion pass, which sets it).
+    /// [`crate::opt`]'s promotion pass, which sets it).  `weight` is the
+    /// number of guest loop iterations one transfer covers: 1 for ordinary
+    /// back-edges, >1 when [`crate::idiom`]'s bulk-move rewrite compresses
+    /// several byte-wide iterations into one wide trip — the machine credits
+    /// `weight` back-edge transfers so trip accounting and the trip limit
+    /// stay exact.
     BackEdge {
         pc: u64,
         label: u32,
         reconcile: bool,
+        weight: u32,
     },
     /// XMM-to-XMM register move.  `U64` copies the low lane and zeroes the
     /// upper lane (the write shape of a `U64` [`LirInsn::LoadXmm`]); `U128`
@@ -756,6 +762,7 @@ mod tests {
                 pc: 0x1000,
                 label: 0,
                 reconcile: false,
+                weight: 1,
             },
             LirInsn::Jmp { label: 0 },
             LirInsn::Jcc {

@@ -562,12 +562,14 @@ impl<'a> Lowerer<'a> {
                 pc,
                 label,
                 reconcile,
+                weight,
             } => {
                 self.fixups.push((self.out.len(), *label));
                 self.out.push(MachInsn::BackEdge {
                     pc: *pc,
                     target: 0,
                     reconcile: *reconcile,
+                    weight: *weight,
                 });
             }
             LirInsn::MovXmm { dst, src, size } => {

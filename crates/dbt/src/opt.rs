@@ -6,10 +6,27 @@
 //! program can observe: every flag-setting guest instruction stores NZCV even
 //! when the next one overwrites it unread, and values round-trip through the
 //! register file (`%rbp`) between adjacent guest instructions.  This module
-//! runs four passes over the finished LIR of one translation unit (a
-//! region: a plain basic block, a stitched trace, or a looping region),
+//! runs the *generic* passes over the finished LIR of one translation unit
+//! (a region: a plain basic block, a stitched trace, or a looping region),
 //! the slot-aware ones using the regfile-slot metadata classified by
-//! [`LirInsn::regfile_store`]/[`LirInsn::regfile_load`]:
+//! [`LirInsn::regfile_store`]/[`LirInsn::regfile_load`], and brackets them
+//! with the *idiom layer* ([`crate::idiom`]) when the engine supplies a
+//! rule table — pattern rewrites mined from region profiles rather than
+//! shape-preserving cleanups.  The full [`optimize`] order:
+//!
+//! * **Idiom fusion and bulk rewriting** ([`crate::idiom::apply_early`])
+//!   run *first*, on the emitter's pristine LIR: compare+branch fusion and
+//!   memset-loop widening match the exact instruction shapes the frontend
+//!   generators emit, so they must see the unit before batching or
+//!   promotion reorders it.
+//! * The four generic passes below.
+//! * **Address-mode folding** ([`crate::idiom::fold_addressing`]) runs
+//!   *between* copy propagation and dead-store elimination: it needs
+//!   forwarding and copy propagation to have connected register-file
+//!   round-trips into visible `shift/add → memory operand` chains, and the
+//!   arithmetic it strands is then swept with everything else.
+//!
+//! The generic passes:
 //!
 //! 0. **Lazy-PC batching**: per-instruction `IncPc` updates are deferred to
 //!    the next point that can observe the guest PC (faulting accesses,
@@ -167,16 +184,31 @@ pub struct OptStats {
     /// engine resolves the carriers to host registers after allocation and
     /// materialises them before fault delivery.
     pub promoted: Vec<(i32, Vreg)>,
+    /// Per-rule idiom recogniser counters (see [`crate::idiom`]): rewrites
+    /// and candidates, zero when no rule table was supplied.
+    pub idioms: crate::idiom::IdiomStats,
 }
 
-/// Runs the block-scoped passes over one translation unit, in order:
-/// loop-carried slot promotion first (when `promote`, so the carrier moves
-/// it plants feed the later passes), then store-to-load forwarding (so
-/// forwarded loads no longer pin the stores they used to read), then copy
+/// Runs the block-scoped passes over one translation unit, in order: the
+/// idiom layer's branch fusion and bulk-move rewriting first (when an
+/// `idioms` table is supplied — they match the emitter's pristine LIR
+/// shapes, so they must see the unit before anything reorders it), then
+/// lazy-PC batching, loop-carried slot promotion (when `promote`, so the
+/// carrier moves it plants feed the later passes), store-to-load forwarding
+/// (so forwarded loads no longer pin the stores they used to read), copy
 /// propagation (folding the `MovReg`s promotion and forwarding just
-/// produced), then dead-store elimination.
-pub fn optimize(lir: &mut Vec<LirInsn>, promote: bool) -> OptStats {
+/// produced), the idiom layer's address-mode folding (which needs
+/// forwarding and copy propagation to have connected register-file
+/// round-trips into visible register chains), and dead-store elimination.
+pub fn optimize(
+    lir: &mut Vec<LirInsn>,
+    promote: bool,
+    idioms: Option<&crate::idiom::RuleTable>,
+) -> OptStats {
     let mut stats = OptStats::default();
+    if let Some(table) = idioms {
+        crate::idiom::apply_early(lir, table, &mut stats.idioms);
+    }
     coalesce_pc_updates(lir, &mut stats);
     let carriers = if promote {
         promote_loop_slots(lir, &mut stats)
@@ -185,6 +217,9 @@ pub fn optimize(lir: &mut Vec<LirInsn>, promote: bool) -> OptStats {
     };
     forward_stores_to_loads(lir, &mut stats);
     propagate_copies(lir, &mut stats, &carriers);
+    if let Some(table) = idioms {
+        crate::idiom::fold_addressing(lir, table, &mut stats.idioms);
+    }
     eliminate_dead_stores(lir, &mut stats);
     stats
 }
@@ -566,11 +601,14 @@ fn apply_promotion(
                     imm,
                 });
             }
-            LirInsn::BackEdge { pc, label, .. } => {
+            LirInsn::BackEdge {
+                pc, label, weight, ..
+            } => {
                 out.push(LirInsn::BackEdge {
                     pc,
                     label,
                     reconcile,
+                    weight,
                 });
                 // The machine's reconcile path *falls through* the yielding
                 // back-edge, so the reconcile block must sit directly after
@@ -998,7 +1036,7 @@ mod tests {
             store(1, NZCV),
             LirInsn::Ret,
         ];
-        let stats = optimize(&mut lir, false);
+        let stats = optimize(&mut lir, false, None);
         assert_eq!(stats.dead_stores, 1);
         let stores: Vec<_> = lir
             .iter()
@@ -1011,7 +1049,7 @@ mod tests {
     #[test]
     fn load_between_stores_keeps_the_first_alive() {
         let mut lir = vec![store(0, NZCV), load(1, NZCV), store(2, NZCV), LirInsn::Ret];
-        let stats = optimize(&mut lir, false);
+        let stats = optimize(&mut lir, false, None);
         // The load is forwarded (it reads v0), but the *observing* effect of
         // the original read no longer exists once forwarded — and then the
         // first store is indeed covered.  Use an unforwardable offset to pin
@@ -1029,7 +1067,7 @@ mod tests {
             store(2, NZCV),
             LirInsn::Ret,
         ];
-        let stats2 = optimize(&mut lir2, false);
+        let stats2 = optimize(&mut lir2, false, None);
         assert_eq!(stats2.forwarded_loads, 0);
         assert_eq!(stats2.dead_stores, 0, "an observed store must survive");
     }
@@ -1058,7 +1096,7 @@ mod tests {
             },
             LirInsn::Ret,
         ];
-        let stats = optimize(&mut lir, false);
+        let stats = optimize(&mut lir, false, None);
         assert_eq!(stats.forwarded_loads, 2);
         assert_eq!(stats.partial_forwarded, 2);
         assert!(
@@ -1089,7 +1127,7 @@ mod tests {
             load(1, 8),
             LirInsn::Ret,
         ];
-        assert_eq!(optimize(&mut lir, false).forwarded_loads, 0);
+        assert_eq!(optimize(&mut lir, false, None).forwarded_loads, 0);
 
         let mut lir2 = vec![
             store(0, 8),
@@ -1101,7 +1139,7 @@ mod tests {
             },
             LirInsn::Ret,
         ];
-        assert_eq!(optimize(&mut lir2, false).forwarded_loads, 0);
+        assert_eq!(optimize(&mut lir2, false, None).forwarded_loads, 0);
     }
 
     #[test]
@@ -1118,10 +1156,11 @@ mod tests {
                 pc: 0x1000,
                 label: 0,
                 reconcile: false,
+                weight: 1,
             },
             LirInsn::Ret,
         ];
-        let stats = optimize(&mut lir, false);
+        let stats = optimize(&mut lir, false, None);
         assert_eq!(stats.dead_stores, 0, "the back-edge pins the store");
         assert_eq!(
             stats.forwarded_loads, 0,
@@ -1152,7 +1191,7 @@ mod tests {
         ];
         for obs in observers {
             let mut lir = vec![store(0, NZCV), obs, store(1, NZCV), LirInsn::Ret];
-            let stats = optimize(&mut lir, false);
+            let stats = optimize(&mut lir, false, None);
             assert_eq!(stats.dead_stores, 0, "{obs:?} must pin the store");
         }
     }
@@ -1169,7 +1208,7 @@ mod tests {
             store(1, NZCV),
             LirInsn::Ret,
         ];
-        let stats = optimize(&mut lir, false);
+        let stats = optimize(&mut lir, false, None);
         assert_eq!(stats.dead_stores, 1);
     }
 
@@ -1195,7 +1234,7 @@ mod tests {
             store(2, NZCV),
             LirInsn::Ret,
         ];
-        let stats = optimize(&mut lir, false);
+        let stats = optimize(&mut lir, false, None);
         assert_eq!(
             stats.dead_stores, 0,
             "slots must stay live across a side-exit stub"
@@ -1214,7 +1253,7 @@ mod tests {
             store(1, 8),
             LirInsn::Ret,
         ];
-        let stats = optimize(&mut lir, false);
+        let stats = optimize(&mut lir, false, None);
         assert_eq!(stats.dead_stores, 0);
         // But two U64 stores at 0 and 8 together cover the U128 store.
         let mut lir2 = vec![
@@ -1227,7 +1266,7 @@ mod tests {
             store(2, 8),
             LirInsn::Ret,
         ];
-        let stats2 = optimize(&mut lir2, false);
+        let stats2 = optimize(&mut lir2, false, None);
         assert_eq!(stats2.dead_stores, 1, "merged intervals cover the vector");
         assert!(!lir2.iter().any(|i| matches!(i, LirInsn::StoreXmm { .. })));
     }
@@ -1245,7 +1284,7 @@ mod tests {
             load(2, 16),
             LirInsn::Ret,
         ];
-        let stats = optimize(&mut lir, false);
+        let stats = optimize(&mut lir, false, None);
         assert_eq!(stats.forwarded_loads, 2);
         assert!(lir
             .iter()
@@ -1265,7 +1304,7 @@ mod tests {
             load(1, 8),
             LirInsn::Ret,
         ];
-        assert_eq!(optimize(&mut lir, false).forwarded_loads, 0);
+        assert_eq!(optimize(&mut lir, false, None).forwarded_loads, 0);
 
         // Redefining the stored vreg (two-address mutation) drops the entry.
         let mut lir2 = vec![
@@ -1278,7 +1317,7 @@ mod tests {
             load(1, 8),
             LirInsn::Ret,
         ];
-        assert_eq!(optimize(&mut lir2, false).forwarded_loads, 0);
+        assert_eq!(optimize(&mut lir2, false, None).forwarded_loads, 0);
 
         // An overlapping store of another width invalidates without
         // replacing.
@@ -1292,7 +1331,7 @@ mod tests {
             load(1, 8),
             LirInsn::Ret,
         ];
-        assert_eq!(optimize(&mut lir3, false).forwarded_loads, 0);
+        assert_eq!(optimize(&mut lir3, false, None).forwarded_loads, 0);
     }
 
     #[test]
@@ -1315,7 +1354,7 @@ mod tests {
             store(2, 8), // x1 <- v2: covers the first store
             LirInsn::Ret,
         ];
-        let stats = optimize(&mut lir, false);
+        let stats = optimize(&mut lir, false, None);
         assert_eq!(stats.forwarded_loads, 1);
         assert_eq!(stats.dead_stores, 1);
     }
@@ -1335,7 +1374,7 @@ mod tests {
             store(2, 8),
             LirInsn::Ret,
         ];
-        let stats = optimize(&mut lir, false);
+        let stats = optimize(&mut lir, false, None);
         assert!(stats.copies_folded >= 2, "both copy uses fold");
         assert!(
             lir.iter()
@@ -1366,7 +1405,7 @@ mod tests {
             store(1, 8),
             LirInsn::Ret,
         ];
-        let stats = optimize(&mut lir, false);
+        let stats = optimize(&mut lir, false, None);
         assert_eq!(stats.copies_folded, 0);
         assert!(lir
             .iter()
@@ -1388,7 +1427,7 @@ mod tests {
             store(1, 8),
             LirInsn::Ret,
         ];
-        let stats2 = optimize(&mut lir2, false);
+        let stats2 = optimize(&mut lir2, false, None);
         assert_eq!(stats2.copies_folded, 0);
         assert!(lir2
             .iter()
@@ -1411,7 +1450,7 @@ mod tests {
             store(1, 8),
             LirInsn::Ret,
         ];
-        let stats = optimize(&mut lir, false);
+        let stats = optimize(&mut lir, false, None);
         assert_eq!(stats.copies_folded, 0);
         assert!(lir
             .iter()
@@ -1428,7 +1467,7 @@ mod tests {
             store(1, 16), // x2 <- v1, folded to v0
             LirInsn::Ret,
         ];
-        let stats = optimize(&mut lir, false);
+        let stats = optimize(&mut lir, false, None);
         assert_eq!(stats.forwarded_loads, 1);
         assert!(stats.copies_folded >= 1);
         assert!(
@@ -1471,6 +1510,7 @@ mod tests {
             pc: 0x1000,
             label: 0,
             reconcile: false,
+            weight: 1,
         });
         lir.push(LirInsn::Ret);
         lir
@@ -1496,7 +1536,7 @@ mod tests {
             },
             store(1, 8),
         ]);
-        let stats = optimize(&mut lir, true);
+        let stats = optimize(&mut lir, true, None);
         assert_eq!(stats.promoted_slots, 1);
         assert_eq!(stats.hoisted_loads, 1);
         assert_eq!(stats.promoted.len(), 1, "one dirty slot to materialise");
@@ -1548,7 +1588,7 @@ mod tests {
                 src: LirOperand::Vreg(v(1)),
             },
         ]);
-        let stats = optimize(&mut lir, true);
+        let stats = optimize(&mut lir, true, None);
         assert_eq!(stats.promoted_slots, 1);
         assert_eq!(stats.hoisted_loads, 2);
         assert!(stats.promoted.is_empty(), "clean slots need no fault map");
@@ -1584,7 +1624,7 @@ mod tests {
             },
             store(3, 8),
         ]);
-        let stats = optimize(&mut lir, true);
+        let stats = optimize(&mut lir, true, None);
         assert_eq!(stats.promoted_slots, 1);
         assert_eq!(stats.hoisted_loads, 2);
         assert!(lir
@@ -1603,7 +1643,7 @@ mod tests {
             LirInsn::CallHelper { helper: 1 },
             store(1, 8),
         ]);
-        assert_eq!(optimize(&mut lir, true).promoted_slots, 0);
+        assert_eq!(optimize(&mut lir, true, None).promoted_slots, 0);
 
         // Dynamically-indexed regfile access pins every slot.
         let mut lir2 = loop_unit(vec![
@@ -1619,7 +1659,7 @@ mod tests {
             },
             store(1, 8),
         ]);
-        assert_eq!(optimize(&mut lir2, true).promoted_slots, 0);
+        assert_eq!(optimize(&mut lir2, true, None).promoted_slots, 0);
 
         // An XMM access overlapping one slot pins only that slot.
         let mut lir3 = loop_unit(vec![
@@ -1632,7 +1672,7 @@ mod tests {
             load(2, 64),
             store(2, 64),
         ]);
-        let stats3 = optimize(&mut lir3, true);
+        let stats3 = optimize(&mut lir3, true, None);
         assert_eq!(stats3.promoted_slots, 1, "only the GPR-pure slot promotes");
         assert_eq!(stats3.promoted[0].0, 64);
 
@@ -1645,11 +1685,11 @@ mod tests {
                 size: MemSize::U32,
             },
         ]);
-        assert_eq!(optimize(&mut lir4, true).promoted_slots, 0);
+        assert_eq!(optimize(&mut lir4, true, None).promoted_slots, 0);
 
         // With the pass gated off nothing is rewritten.
         let mut lir5 = loop_unit(vec![load(1, 8), store(1, 8)]);
-        let stats5 = optimize(&mut lir5, false);
+        let stats5 = optimize(&mut lir5, false, None);
         assert_eq!(stats5.promoted_slots, 0);
         assert_eq!(stats5.hoisted_loads, 0);
         assert!(matches!(
@@ -1675,7 +1715,7 @@ mod tests {
         body.push(load(2, 40));
         body.push(load(3, 48));
         let mut lir = loop_unit(body);
-        let stats = optimize(&mut lir, true);
+        let stats = optimize(&mut lir, true, None);
         assert_eq!(stats.promoted_slots, MAX_PROMOTED_SLOTS as u32);
         assert_eq!(stats.promoted.len(), MAX_DIRTY_SLOTS);
         let dirty: Vec<i32> = stats.promoted.iter().map(|p| p.0).collect();
@@ -1709,7 +1749,7 @@ mod tests {
             },
             LirInsn::Ret,
         ];
-        let stats = optimize(&mut lir, false);
+        let stats = optimize(&mut lir, false, None);
         assert_eq!(stats.fp_forwarded, 2);
         assert_eq!(stats.forwarded_loads, 0, "vector reuse is counted apart");
         assert!(lir.iter().any(|i| matches!(
@@ -1747,7 +1787,7 @@ mod tests {
             load(3, 80),
             LirInsn::Ret,
         ];
-        let stats = optimize(&mut lir, false);
+        let stats = optimize(&mut lir, false, None);
         assert_eq!(stats.fp_forwarded, 2);
         assert!(lir
             .iter()

@@ -224,6 +224,65 @@ fn mark_dead(lir: &[LirInsn]) -> Vec<bool> {
     dead
 }
 
+/// Conservative host-flag liveness for the idiom recognizer: `out[i]` is
+/// `true` when some instruction that may execute after instruction `i`
+/// reads the host flags (`SetCc`/`CmovCc`/`Jcc`) before any instruction
+/// overwrites them.  The bookkeeping mirrors [`mark_dead`]'s flag demand
+/// exactly — `Jmp` replaces the linear state with its target label's,
+/// `BackEdge` does too (unioning when `reconcile` falls through into a
+/// compensation block), `Jcc` unions, `Ret` clears — but every instruction
+/// is treated as *kept*, so the answer is sound against any subsequent
+/// dead-code outcome: a fusion site where `out[jcc]` is `false` can
+/// clobber the flags freely, no matter what the allocator later sweeps.
+pub fn host_flags_live_after(lir: &[LirInsn]) -> Vec<bool> {
+    let mut label_flags: HashMap<u32, bool> = HashMap::new();
+    let mut out = vec![false; lir.len()];
+    loop {
+        let mut changed = false;
+        let mut flags = false;
+        for (i, insn) in lir.iter().enumerate().rev() {
+            match insn {
+                LirInsn::Jmp { label } => {
+                    flags = label_flags.get(label).copied().unwrap_or(false);
+                }
+                LirInsn::BackEdge {
+                    label, reconcile, ..
+                } => {
+                    let s = label_flags.get(label).copied().unwrap_or(false);
+                    if *reconcile {
+                        flags |= s;
+                    } else {
+                        flags = s;
+                    }
+                }
+                LirInsn::Jcc { label, .. } => {
+                    flags |= label_flags.get(label).copied().unwrap_or(false);
+                }
+                LirInsn::Ret => flags = false,
+                _ => {}
+            }
+            out[i] = flags;
+            if insn.writes_host_flags() {
+                flags = false;
+            }
+            if insn.reads_host_flags() {
+                flags = true;
+            }
+            if let LirInsn::Label { id } = insn {
+                let e = label_flags.entry(*id).or_default();
+                if flags && !*e {
+                    *e = true;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    out
+}
+
 /// The original one-shot marking: pure instructions whose destination is
 /// never read anywhere in the unit.  Kept only as a debug-build cross-check
 /// for the fixpoint pass (its kill set must be a subset of the fixpoint's).
@@ -681,6 +740,7 @@ mod tests {
                 pc: 0x1000,
                 label: 0,
                 reconcile: false,
+                weight: 1,
             },
             LirInsn::Ret,
         ];
@@ -710,6 +770,7 @@ mod tests {
                 pc: 0x1000,
                 label: 0,
                 reconcile: false,
+                weight: 1,
             },
             LirInsn::Ret,
         ];
@@ -749,6 +810,7 @@ mod tests {
             pc: 0x1000,
             label: 0,
             reconcile: false,
+            weight: 1,
         });
         lir.push(LirInsn::Ret);
         let alloc = allocate(&lir);

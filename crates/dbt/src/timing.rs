@@ -58,6 +58,13 @@ pub struct PhaseTimers {
     /// register (the engine fell back to an UNDEF stub or dropped the
     /// region).
     pub lower_bailouts: u64,
+    /// Total idiom-layer rewrites across all rules (see [`crate::idiom`]).
+    pub opt_idioms_fused: u64,
+    /// Per-rule idiom rewrites, indexed by [`crate::idiom::RuleKind::index`].
+    pub idiom_hits: [u64; crate::idiom::RULE_COUNT],
+    /// Per-rule idiom candidates (sites that matched and passed soundness,
+    /// enabled or not) — the rule miner's input.
+    pub idiom_candidates: [u64; crate::idiom::RULE_COUNT],
 }
 
 impl PhaseTimers {
@@ -113,6 +120,11 @@ impl PhaseTimers {
         self.opt_hoisted_loads += other.opt_hoisted_loads;
         self.opt_fp_forwarded += other.opt_fp_forwarded;
         self.lower_bailouts += other.lower_bailouts;
+        self.opt_idioms_fused += other.opt_idioms_fused;
+        for i in 0..crate::idiom::RULE_COUNT {
+            self.idiom_hits[i] += other.idiom_hits[i];
+            self.idiom_candidates[i] += other.idiom_candidates[i];
+        }
     }
 }
 

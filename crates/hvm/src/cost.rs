@@ -65,6 +65,12 @@ pub struct CostModel {
     /// the guest PC update folded into the jump.  At most as expensive as a
     /// chained transfer — the whole point of keeping the loop inside one
     /// region is that not even an inter-translation jump is paid.
+    ///
+    /// The cost is per *executed transfer instruction*, not per credited
+    /// trip: a weighted back-edge (a wide bulk-move trip covering `weight`
+    /// guest iterations, see `dbt::idiom`) still costs one branch — that the
+    /// per-iteration loop-back and bookkeeping collapse into one trip is
+    /// exactly the bulk rewrite's payoff.
     pub backedge: u64,
 }
 

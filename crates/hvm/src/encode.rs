@@ -202,6 +202,9 @@ impl Writer<'_> {
     fn i32(&mut self, v: i32) {
         self.0.extend_from_slice(&v.to_le_bytes());
     }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
     fn u64(&mut self, v: u64) {
         self.0.extend_from_slice(&v.to_le_bytes());
     }
@@ -268,6 +271,14 @@ impl Reader<'_> {
             .ok_or(CodecError::Truncated)?;
         self.pos += 4;
         Ok(i32::from_le_bytes(b.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        let b = self
+            .buf
+            .get(self.pos..self.pos + 4)
+            .ok_or(CodecError::Truncated)?;
+        self.pos += 4;
+        Ok(u32::from_le_bytes(b.try_into().unwrap()))
     }
     fn u64(&mut self) -> Result<u64, CodecError> {
         let b = self
@@ -534,11 +545,13 @@ pub fn encode(insn: &MachInsn, out: &mut Vec<u8>) -> usize {
             pc,
             target,
             reconcile,
+            weight,
         } => {
             w.u8(0x2E);
             w.u8(*reconcile as u8);
             w.u64(*pc);
             w.i32(*target);
+            w.u32(*weight);
         }
         MachInsn::MovXmm { dst, src, size } => {
             w.u8(0x2F);
@@ -764,6 +777,7 @@ pub fn decode(buf: &[u8], pos: &mut usize) -> Result<MachInsn, CodecError> {
                 pc: r.u64()?,
                 target: r.i32()?,
                 reconcile,
+                weight: r.u32()?,
             }
         }
         0x2F => {
@@ -956,11 +970,13 @@ mod tests {
                 pc: 0x1000,
                 target: -9,
                 reconcile: false,
+                weight: 1,
             },
             MachInsn::BackEdge {
                 pc: 0x2000,
                 target: -3,
                 reconcile: true,
+                weight: 8,
             },
             MachInsn::MovXmm {
                 dst: Xmm(4),

@@ -498,6 +498,11 @@ pub enum MachInsn {
         /// reconcile block that follows this instruction (compensation
         /// stores materialising the promoted slots, then `Ret`).
         reconcile: bool,
+        /// Guest loop iterations one transfer covers (1 for ordinary
+        /// back-edges; >1 for a wide bulk-move trip, see `dbt::idiom`).
+        /// The interpreter credits `weight` transfers per taken jump so the
+        /// trip limit and iteration accounting stay exact.
+        weight: u32,
     },
     /// Register-to-register vector move.  `U64` copies the low lane and
     /// zeroes the upper (the same write shape as a `U64` [`MachInsn::LoadXmm`]);
@@ -587,11 +592,17 @@ impl fmt::Display for MachInsn {
                 pc,
                 target,
                 reconcile,
+                weight,
             } => {
-                if *reconcile {
-                    write!(f, "back-edge.r {pc:#x}, {target}")
+                let w = if *weight > 1 {
+                    format!(" x{weight}")
                 } else {
-                    write!(f, "back-edge {pc:#x}, {target}")
+                    String::new()
+                };
+                if *reconcile {
+                    write!(f, "back-edge.r {pc:#x}, {target}{w}")
+                } else {
+                    write!(f, "back-edge {pc:#x}, {target}{w}")
                 }
             }
             MachInsn::MovXmm { dst, src, size } => match size {

@@ -1103,6 +1103,7 @@ impl Machine {
                     pc: header,
                     target,
                     reconcile,
+                    weight,
                 } => {
                     // The PC update is folded into the transfer: state is
                     // precise at the loop header whether the jump is taken or
@@ -1119,8 +1120,12 @@ impl Machine {
                         // slots are materialised before the dispatcher sees
                         // the register file.
                     } else {
-                        backedges_taken += 1;
-                        self.perf.backedge_transfers += 1;
+                        // A wide bulk-move trip covers `weight` guest
+                        // iterations: credit them all so the trip limit and
+                        // the engine's per-trip guest-instruction accounting
+                        // stay exact.
+                        backedges_taken += weight as u64;
+                        self.perf.backedge_transfers += weight as u64;
                         pc = pc - 1 + target as i64;
                         if pc < 0 || pc as usize > code.len() {
                             return ExitReason::Error(format!("back-edge out of range to {pc}"));

@@ -831,7 +831,7 @@ impl QemuRef {
         // The baseline deliberately skips the `dbt::opt` phase (TCG-style
         // translation quality); it still benefits from the allocator's
         // iterative dead-code marking, which is part of the shared pipeline.
-        let t = match dbt::finish_translation(&mut self.timers, lir, false, false) {
+        let t = match dbt::finish_translation(&mut self.timers, lir, false, false, None) {
             Ok(t) => t,
             Err(_) => {
                 // Same degradation as Captive: discard the defective
@@ -861,6 +861,7 @@ impl QemuRef {
             loop_guest_insns: 0,
             loop_elided_insns: 0,
             promoted: Vec::new(),
+            idiom_candidates: [0; dbt::RULE_COUNT],
         }
     }
 
@@ -876,7 +877,7 @@ impl QemuRef {
         e.set_end_of_block();
         let lir = e.finish();
         let lir_count = lir.len();
-        let t = dbt::finish_translation(&mut self.timers, lir, false, false)
+        let t = dbt::finish_translation(&mut self.timers, lir, false, false, None)
             .expect("host bug: the UNDEF stub lowers without virtual registers");
         self.timers.blocks += 1;
         self.timers.guest_insns += 1;
@@ -898,6 +899,7 @@ impl QemuRef {
             loop_guest_insns: 0,
             loop_elided_insns: 0,
             promoted: Vec::new(),
+            idiom_candidates: [0; dbt::RULE_COUNT],
         }
     }
 }

@@ -428,6 +428,106 @@ pub fn loop_flood(loops: u32, trips: u32, passes: u32) -> Workload {
     }
 }
 
+/// Flag-heavy branch kernel for the guest-idiom layer: every iteration
+/// hashes, then takes three data-dependent branches — an *unsigned*
+/// compare (`b.hi`), a *signed* compare (`b.ge`) and a logic test
+/// (`ands`+`b.eq`) — plus the `subi`+`cbnz` back-edge.  Four fusible
+/// compare+branch pairs per trip and zero other work, so NZCV
+/// materialisation dominates and the `fuse.*` rules carry the kernel.
+fn branch_mix(name: &'static str, iters: u32, scale: Scale) -> Workload {
+    let mut a = Assembler::new();
+    a.mov_imm64(0, 0x9E37_79B9_7F4A_7C15);
+    a.push(asm::movz(1, 0x1234, 0));
+    a.mov_imm64(2, (iters * scale.0) as u64);
+    a.mov_imm64(12, 0x8000_0000_0000_0000);
+    a.push(asm::movz(9, 0, 0));
+    a.push(asm::movz(10, 0, 0));
+    a.push(asm::movz(11, 0, 0));
+    a.label("loop");
+    a.push(asm::mul(4, 1, 0));
+    a.push(asm::eor(1, 1, 4));
+    a.push(asm::lsri(5, 1, 17));
+    a.push(asm::add(1, 1, 5));
+    // Unsigned compare + branch (C|Z path through the flags).
+    a.push(asm::cmp(1, 12));
+    a.bcond_to(Cond::Hi, "hi_skip");
+    a.push(asm::addi(9, 9, 1));
+    a.label("hi_skip");
+    // Signed compare + branch (N^V path).
+    a.push(asm::cmp(1, 12));
+    a.bcond_to(Cond::Ge, "ge_skip");
+    a.push(asm::addi(10, 10, 1));
+    a.label("ge_skip");
+    // Logic test + branch (Z-only path, C=V=0).
+    a.push(asm::ands(6, 1, 12));
+    a.bcond_to(Cond::Eq, "eq_skip");
+    a.push(asm::addi(11, 11, 1));
+    a.label("eq_skip");
+    a.push(asm::subi(2, 2, 1));
+    a.cbnz_to(2, "loop");
+    a.push(asm::hlt());
+    finish(name, Suite::Int, a)
+}
+
+/// Byte-wise memset kernel (`strb` do-while over a page, repeated): the
+/// shape the `bulk.memset` rule rewrites to wide 64-bit host stores.  The
+/// pass loop re-reads the buffer head so the stores stay architecturally
+/// observable.
+fn memset_loop(name: &'static str, bytes: u32, passes: u32, scale: Scale) -> Workload {
+    let mut a = Assembler::new();
+    a.mov_imm64(1, DATA_BASE);
+    a.mov_imm64(10, (passes * scale.0) as u64);
+    a.push(asm::movz(3, 0xAB, 0)); // fill value
+    a.push(asm::movz(9, 0, 0)); // checksum
+    a.label("pass");
+    a.push(asm::orr(4, 1, 1)); // cur = base
+    a.push(asm::movz(5, bytes & 0xFFFF, 0)); // count
+    a.label("ms");
+    a.push(asm::strb(3, 4, 0));
+    a.push(asm::addi(4, 4, 1));
+    a.push(asm::subi(5, 5, 1));
+    a.cbnz_to(5, "ms");
+    a.push(asm::ldr(6, 1, 0));
+    a.push(asm::add(9, 9, 6));
+    a.push(asm::subi(10, 10, 1));
+    a.cbnz_to(10, "pass");
+    a.push(asm::hlt());
+    finish(name, Suite::Int, a)
+}
+
+/// Scaled-index address-generation kernel: `lsl` + register-offset
+/// load/store in the hot loop — the guest idiom the `addr.fold` rule turns
+/// into one x86 scaled-index memory operand.
+fn addr_gen(name: &'static str, iters: u32, scale: Scale) -> Workload {
+    let mut a = Assembler::new();
+    a.mov_imm64(1, DATA_BASE);
+    a.mov_imm64(2, (iters * scale.0) as u64);
+    a.push(asm::movz(4, 0, 0)); // i
+    a.push(asm::movz(7, 1023, 0)); // index mask
+    a.label("loop");
+    a.push(asm::and(5, 4, 7)); // idx = i & 1023
+    a.push(asm::lsli(6, 5, 3)); // off = idx * 8
+    a.push(asm::ldr_reg(8, 1, 6));
+    a.push(asm::addi(8, 8, 1));
+    a.push(asm::str_reg(8, 1, 6));
+    a.push(asm::addi(4, 4, 1));
+    a.push(asm::subi(2, 2, 1));
+    a.cbnz_to(2, "loop");
+    a.push(asm::hlt());
+    finish(name, Suite::Int, a)
+}
+
+/// The guest-idiom kernel set exercised by `figures -- idioms`: one kernel
+/// per idiom family (compare+branch fusion, bulk memset rewriting, address
+/// mode folding), kept out of the pinned SPEC suites.
+pub fn idiom_kernels(scale: Scale) -> Vec<Workload> {
+    vec![
+        branch_mix("idiom.branch", 60_000, scale),
+        memset_loop("idiom.memset", 4096, 20, scale),
+        addr_gen("idiom.addr", 60_000, scale),
+    ]
+}
+
 /// The twelve SPEC CPU2006 integer workloads (Fig. 17).
 pub fn spec_int(scale: Scale) -> Vec<Workload> {
     vec![
@@ -488,6 +588,23 @@ mod tests {
                 w.name,
                 i
             );
+        }
+    }
+
+    #[test]
+    fn idiom_kernels_assemble_and_decode() {
+        let kernels = idiom_kernels(Scale(1));
+        assert_eq!(kernels.len(), 3);
+        for w in kernels {
+            assert!(w.words.contains(&guest_aarch64::asm::hlt()), "{}", w.name);
+            for (i, word) in w.words.iter().enumerate() {
+                assert!(
+                    guest_aarch64::decode(*word).is_some(),
+                    "{} word {} ({word:#010x}) does not decode",
+                    w.name,
+                    i
+                );
+            }
         }
     }
 
