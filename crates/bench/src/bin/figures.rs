@@ -1,6 +1,6 @@
 //! Regenerates the paper's tables and figures on the simulated substrate.
 //!
-//! Usage: `cargo run --release -p bench --bin figures -- [all|fig17|fig18|fig19|fig20|jitstats|fig21|fig22|table2|fp_modes|chaining|regions|unroll|loops|promote|scale|opt|idioms|storm|tiers]`
+//! Usage: `cargo run --release -p bench --bin figures -- [all|fig17|fig18|fig19|fig20|jitstats|fig21|fig22|table2|fp_modes|chaining|regions|unroll|loops|promote|scale|opt|idioms|storm|tiers|io]`
 //!
 //! The `chaining`, `regions`, `unroll`, `promote`, `scale`, `opt`, `idioms`
 //! and `storm` sections double as CI smoke checks: they assert the counter
@@ -83,6 +83,113 @@ fn main() {
     if all || arg == "tiers" {
         tiers();
     }
+    if all || arg == "io" {
+        io();
+    }
+}
+
+fn io() {
+    println!("== Virtio-blk I/O: DMA kernels, fault injection, device-originated SMC ==");
+    println!(
+        "{:<14} {:<10} {:>12} {:>6} {:>9} {:>7} {:>7} {:>10}",
+        "kernel", "engine", "cycles", "compl", "dma-bytes", "faults", "io-err", "ext-inval"
+    );
+    let vcfg = workloads::vblk_config();
+    let row = |kernel: &str, engine: &str, m: &Measurement| {
+        println!(
+            "{:<14} {:<10} {:>12} {:>6} {:>9} {:>7} {:>7} {:>10}",
+            kernel,
+            engine,
+            m.cycles,
+            m.counter("virtio.completions"),
+            m.counter("virtio.dma_bytes"),
+            m.counter("virtio.fault_injections"),
+            m.counter("virtio.io_errors"),
+            m.counter("virtio.external_invalidations"),
+        );
+    };
+    // Clean-disk kernels: both engines must retire every request with no
+    // errors and move the same DMA byte count.
+    for w in workloads::io_kernels() {
+        let c = bench::run_captive_io(&w, vcfg.clone(), captive::CaptiveConfig::default());
+        let q = bench::run_qemu_io(&w, vcfg.clone());
+        row(w.name, "captive", &c);
+        row(w.name, "qemu", &q);
+        assert!(
+            c.counter("virtio.completions") > 0,
+            "{}: device did no work",
+            w.name
+        );
+        for key in ["virtio.completions", "virtio.dma_bytes", "virtio.io_errors"] {
+            assert_eq!(
+                c.counter(key),
+                q.counter(key),
+                "{}: {key} diverged across engines",
+                w.name
+            );
+        }
+        assert_eq!(c.counter("virtio.io_errors"), 0, "{}: clean disk", w.name);
+    }
+    // Fault-injection leg: a seed chosen (deterministically) to bite inside
+    // the first three of io.read's four requests.  Faults must surface as
+    // typed statuses — the run still halts — and identically on both engines.
+    let fault_seed = (1u64..)
+        .find(|&s| {
+            let plan = hvm::FaultPlan::seeded(s, 3);
+            (0..3).any(|q| plan.decide(q, false) != hvm::FaultKind::None)
+        })
+        .unwrap();
+    let faulty = hvm::VirtioBlkConfig {
+        fault_seed: Some(fault_seed),
+        exempt_after: 3,
+        ..workloads::vblk_config()
+    };
+    let w = workloads::vblk_read(4);
+    let c = bench::run_captive_io(&w, faulty.clone(), captive::CaptiveConfig::default());
+    let q = bench::run_qemu_io(&w, faulty);
+    row("io.read+fault", "captive", &c);
+    row("io.read+fault", "qemu", &q);
+    assert!(
+        c.counter("virtio.fault_injections") > 0,
+        "the chosen fault seed must inject"
+    );
+    assert_eq!(
+        c.counter("virtio.fault_injections"),
+        q.counter("virtio.fault_injections")
+    );
+    assert_eq!(c.counter("virtio.io_errors"), q.counter("virtio.io_errors"));
+    // Device-originated SMC: the io.smc kernel's completion DMAs over its
+    // own (live, looping) spin page, so both engines must walk their
+    // external-invalidation path to terminate.
+    let (w, sector0) = workloads::vblk_smc();
+    let smc_cfg = workloads::vblk_smc_config(sector0);
+    let c = bench::run_captive_io(&w, smc_cfg.clone(), captive::CaptiveConfig::default());
+    let q = bench::run_qemu_io(&w, smc_cfg);
+    row(w.name, "captive", &c);
+    row(w.name, "qemu", &q);
+    assert!(
+        c.counter("virtio.external_invalidations") > 0
+            && q.counter("virtio.external_invalidations") > 0,
+        "device DMA onto translated code must invalidate on both engines"
+    );
+    assert!(
+        c.loop_regions_formed > 0,
+        "the spin must be a formed looping region when the DMA lands"
+    );
+    // Idle-device parity: attaching the device without touching it must not
+    // move the modeled cycle count of a non-I/O workload.
+    let w = workloads::loop_flood(4, 8, 20);
+    let idle = bench::run_captive_io(&w, vcfg, captive::CaptiveConfig::default());
+    let bare = bench::run_captive(&w);
+    assert_eq!(idle.counter("virtio.kicks"), 0);
+    assert_eq!(
+        idle.cycles, bare.cycles,
+        "an idle attached device must be cycle-free"
+    );
+    println!(
+        "   idle-device parity: {} cycles with and without the device\n",
+        bare.cycles
+    );
 }
 
 fn fig17() {
@@ -767,6 +874,25 @@ fn json() {
         push(w.name, "captive-noidiom", &run_captive_idioms(&w, false));
         push(w.name, "qemu", &run_qemu(&w));
     }
+    // The virtio-blk I/O kernels, including the device-originated-SMC case;
+    // the virtio.* counters land in each record's "counters" object.
+    let vcfg = workloads::vblk_config();
+    for w in workloads::io_kernels() {
+        push(
+            w.name,
+            "captive",
+            &bench::run_captive_io(&w, vcfg.clone(), captive::CaptiveConfig::default()),
+        );
+        push(w.name, "qemu", &bench::run_qemu_io(&w, vcfg.clone()));
+    }
+    let (smc, sector0) = workloads::vblk_smc();
+    let smc_cfg = workloads::vblk_smc_config(sector0);
+    push(
+        smc.name,
+        "captive",
+        &bench::run_captive_io(&smc, smc_cfg.clone(), captive::CaptiveConfig::default()),
+    );
+    push(smc.name, "qemu", &bench::run_qemu_io(&smc, smc_cfg));
     // A deliberately starved code cache, so the eviction counters have a
     // tracked non-zero baseline.
     let mcf = workloads::spec_int(Scale(1)).remove(3);

@@ -6,8 +6,18 @@
 //! the engine must survive: stores onto its own (translated) code pages,
 //! TLB invalidates, system-register writebacks that tear down translation
 //! state, undefined instructions, out-of-bounds loads that take data aborts,
-//! supervisor calls, a one-shot timer and externally scheduled "spurious"
-//! device interrupts.
+//! supervisor calls, a one-shot timer, externally scheduled "spurious"
+//! device interrupts, and seed-drawn virtio-blk requests against a
+//! fault-injecting disk ([`hvm::FaultPlan`]) whose DMA completions land in
+//! guest memory asynchronously.
+//!
+//! Every plan ends with a *forced* virtio read of disk sector 0, whose data
+//! descriptor is patched at runtime to point at the `used.idx` wait loop the
+//! guest is about to spin in.  Sector 0 holds a byte-identical copy of that
+//! code (built from the assembled program below), so the DMA is
+//! architecturally invisible — but it is device-originated external SMC onto
+//! a page holding a *live looping region*, and must force the engine down
+//! its invalidation path on every seed.
 //!
 //! # Why the outcome is engine-independent
 //!
@@ -27,7 +37,13 @@
 //!   "last exception" state leaks into the final register file;
 //! - spurious interrupts are scheduled inside a cycle window that every
 //!   engine reaches *after* installing the vector and *before* finishing a
-//!   long countdown tail, so every engine drains exactly the same set.
+//!   long countdown tail, so every engine drains exactly the same set;
+//! - virtio completion *order* is fixed at kick time (program order) and
+//!   write payloads snapshot at the kick, so although each engine retires a
+//!   completion at a different cycle, the architectural effects — used-ring
+//!   contents, DMA'd data, status bytes, IRQ count — are count-driven and
+//!   identical; the guest spins on `used.idx` before its countdown tail so
+//!   every completion has landed by `hlt`.
 //!
 //! Consequently the same seed must produce byte-identical final registers,
 //! flags and guest memory on Captive (any configuration) and on the QEMU
@@ -37,8 +53,13 @@ use captive::{Captive, CaptiveConfig, RunExit};
 use guest_aarch64::asm::{self, Assembler};
 use guest_aarch64::isa::Cond;
 use guest_aarch64::SysReg;
+use hvm::virtio::{mmio, DESC_F_NEXT, DESC_F_WRITE, REQ_READ, REQ_WRITE, SECTOR_SIZE};
+use hvm::VirtioBlkConfig;
 use qemu_ref::QemuRef;
-use workloads::{Workload, CODE_BASE, DATA_BASE};
+use workloads::{
+    Workload, CODE_BASE, DATA_BASE, VBLK_AVAIL, VBLK_BUF, VBLK_DESC, VBLK_HDR, VBLK_MMIO_BASE,
+    VBLK_STATUS, VBLK_USED,
+};
 
 /// Words per fault-injection op slot (longest op + nop padding), so every
 /// op's address is `ops_start + index * OP_WORDS` and a patch op can target
@@ -53,6 +74,11 @@ const TAIL_ITERS: u64 = 100_000;
 /// engine has installed the vector, before the fastest engine's tail ends.
 const SCHEDULE_MIN_CYCLE: u64 = 30_000;
 const SCHEDULE_MAX_CYCLE: u64 = 80_000;
+
+/// Cap on seed-drawn virtio submissions (excess draws degrade to ALU ops):
+/// with the forced final request that is 15 chains of 3 descriptors each,
+/// comfortably inside the device's 64-entry queue.
+const MAX_CHAOS_SUBMITS: usize = 14;
 
 /// xorshift64* — tiny, seedable, and good enough to derive op mixes.
 struct ChaosRng(u64);
@@ -102,6 +128,11 @@ enum Op {
     OobLoad,
     /// Supervisor call.
     Svc(u16),
+    /// Publish the next prebuilt virtio request chain and kick the device:
+    /// bump the x27 submission counter, store it as `avail.idx`, `msr`
+    /// notify.  Which chain (read/write, which sector) was fixed at plan
+    /// time and prebuilt by the prologue.
+    VblkSubmit,
 }
 
 /// A seed-derived chaos run plan: the guest program plus the external
@@ -118,6 +149,12 @@ pub struct ChaosPlan {
     pub patches: usize,
     /// Number of ops that take a synchronous exception (UNDEF + abort + SVC).
     pub sync_ops: usize,
+    /// Device configuration (fault plan seed, identity disk image) to attach
+    /// to whichever engine runs the plan.
+    pub virtio: VirtioBlkConfig,
+    /// Total virtio submissions, *including* the forced final identity-SMC
+    /// read (so this is the expected completion and device-IRQ count).
+    pub virtio_submits: u64,
 }
 
 fn emit_op(a: &mut Assembler, op: &Op, ops_start: usize) {
@@ -166,6 +203,11 @@ fn emit_op(a: &mut Assembler, op: &Op, ops_start: usize) {
         Op::Svc(imm) => {
             a.push(asm::svc(imm as u32));
         }
+        Op::VblkSubmit => {
+            a.push(asm::addi(27, 27, 1));
+            a.push(asm::str(27, 28, 0)); // avail.idx = x27
+            a.push(asm::msr(SysReg::VblkNotify as u32, 27));
+        }
     }
     let used = a.here() - slot_start;
     assert!(used <= OP_WORDS, "op {op:?} overran its slot");
@@ -174,14 +216,27 @@ fn emit_op(a: &mut Assembler, op: &Op, ops_start: usize) {
     }
 }
 
+/// Stores the 64-bit immediate `val` at `[x<base> + off]`.  The scratch is
+/// x6, deliberately *not* a register the exception vector zeroes: the
+/// one-shot timer (or a scheduled spurious IRQ) may preempt the prologue at
+/// an engine-dependent instruction, and a vector-clobbered scratch would
+/// make the prebuilt descriptor tables engine-dependent.
+fn emit_store_imm(a: &mut Assembler, base: u32, off: u64, val: u64) {
+    a.mov_imm64(6, val);
+    a.push(asm::str(6, base, off as u32));
+}
+
 /// Derives the full chaos plan for `seed`.
 pub fn chaos_plan(seed: u64) -> ChaosPlan {
     let mut rng = ChaosRng::new(seed);
 
     // Op kinds first, so patch ops can be aimed at *future* placeholders.
+    // Virtio submissions record their direction/sector here in draw order;
+    // the prologue prebuilds one descriptor chain per entry.
+    let mut subs: Vec<(bool, u64)> = Vec::new();
     let n_ops = 48 + rng.below(17) as usize; // 48..=64
     let mut ops: Vec<Op> = (0..n_ops)
-        .map(|_| match rng.below(16) {
+        .map(|_| match rng.below(20) {
             0..=3 => Op::Alu(rng.below(0x10000) as u16),
             4..=6 => Op::Mem((rng.below(0x200) * 8) as u16),
             7..=8 => Op::Placeholder(rng.below(0x10000) as u16),
@@ -195,7 +250,24 @@ pub fn chaos_plan(seed: u64) -> ChaosPlan {
             },
             13 => Op::Undef,
             14 => Op::OobLoad,
-            _ => Op::Svc(rng.below(0x10000) as u16),
+            15 => Op::Svc(rng.below(0x10000) as u16),
+            _ => {
+                // Reads pull from the pattern half of the disk; writes land
+                // in sectors 32..56, never sector 0, so the identity image
+                // the forced final request DMAs stays intact.
+                let is_write = rng.below(3) == 0;
+                let sector = if is_write {
+                    32 + rng.below(24)
+                } else {
+                    rng.below(32)
+                };
+                if subs.len() < MAX_CHAOS_SUBMITS {
+                    subs.push((is_write, sector));
+                    Op::VblkSubmit
+                } else {
+                    Op::Alu(sector as u16 | 0x4000)
+                }
+            }
         })
         .collect();
     for i in 0..ops.len() {
@@ -233,10 +305,77 @@ pub fn chaos_plan(seed: u64) -> ChaosPlan {
     a.push(asm::movz(2, 2_000 + rng.below(8_000) as u32, 0));
     a.push(asm::msr(SysReg::CntTval as u32, 2)); // one-shot timer
 
+    // Virtio device bring-up: program the queue windows, enable completion
+    // IRQs, and prebuild every request chain (in submission order) so each
+    // VblkSubmit op slot is a fixed-size counter-bump-and-kick.  Chain i
+    // uses descriptors 3i..3i+2.  The final chain (index n_subs) is the
+    // forced identity-SMC read of sector 0; its data-descriptor address is
+    // left 0 here and patched at runtime to the `chaos_vwait` spin loop.
+    let n_subs = subs.len();
+    a.mov_imm64(8, VBLK_MMIO_BASE);
+    a.mov_imm64(18, VBLK_DESC);
+    a.mov_imm64(28, VBLK_AVAIL);
+    a.mov_imm64(22, VBLK_USED);
+    a.push(asm::str(18, 8, mmio::QUEUE_DESC as u32));
+    a.push(asm::str(28, 8, mmio::QUEUE_AVAIL as u32));
+    a.push(asm::str(22, 8, mmio::QUEUE_USED as u32));
+    a.push(asm::movz(6, 1, 0));
+    a.push(asm::str(6, 8, mmio::IRQ_ENABLE as u32));
+    a.push(asm::movz(27, 0, 0)); // submission counter
+    a.mov_imm64(7, VBLK_HDR);
+    // The extra (read, sector 0) entry is the forced final identity request.
+    for (i, &(is_write, sector)) in subs.iter().chain(std::iter::once(&(false, 0))).enumerate() {
+        let d0 = (i * 3) as u64;
+        // Header descriptor: device reads { type, sector }.
+        emit_store_imm(&mut a, 18, d0 * 32, VBLK_HDR + i as u64 * 16);
+        emit_store_imm(&mut a, 18, d0 * 32 + 8, 16);
+        emit_store_imm(&mut a, 18, d0 * 32 + 16, DESC_F_NEXT);
+        emit_store_imm(&mut a, 18, d0 * 32 + 24, d0 + 1);
+        // Data descriptor: reads DMA into a private buffer slot; writes
+        // snapshot the live Mem-op scratch area at DATA_BASE at kick time.
+        let (daddr, dflags) = if i == n_subs {
+            (0, DESC_F_NEXT | DESC_F_WRITE) // patched to the wait loop
+        } else if is_write {
+            (DATA_BASE, DESC_F_NEXT)
+        } else {
+            (VBLK_BUF + i as u64 * 0x200, DESC_F_NEXT | DESC_F_WRITE)
+        };
+        emit_store_imm(&mut a, 18, (d0 + 1) * 32, daddr);
+        emit_store_imm(&mut a, 18, (d0 + 1) * 32 + 8, SECTOR_SIZE);
+        emit_store_imm(&mut a, 18, (d0 + 1) * 32 + 16, dflags);
+        emit_store_imm(&mut a, 18, (d0 + 1) * 32 + 24, d0 + 2);
+        // Status descriptor: device writes the 8-byte status word.
+        emit_store_imm(&mut a, 18, (d0 + 2) * 32, VBLK_STATUS + i as u64 * 8);
+        emit_store_imm(&mut a, 18, (d0 + 2) * 32 + 8, 8);
+        emit_store_imm(&mut a, 18, (d0 + 2) * 32 + 16, DESC_F_WRITE);
+        emit_store_imm(&mut a, 18, (d0 + 2) * 32 + 24, 0);
+        // Request header content and the avail-ring entry for this chain.
+        let req = if is_write { REQ_WRITE } else { REQ_READ };
+        emit_store_imm(&mut a, 7, i as u64 * 16, req);
+        emit_store_imm(&mut a, 7, i as u64 * 16 + 8, sector);
+        emit_store_imm(&mut a, 28, 8 + i as u64 * 8, d0);
+    }
+
     let ops_start = a.here();
     for op in &ops {
         emit_op(&mut a, op, ops_start);
     }
+
+    // Forced final request: patch the prebuilt data descriptor to aim the
+    // identity read of sector 0 at the wait loop itself, submit it, then
+    // spin until the device has retired every request.  The spin is a hot
+    // looping region by the time the completion's DMA lands on its page —
+    // the device-originated external-SMC case every engine must survive.
+    a.adr_to(8, "chaos_vwait");
+    a.push(asm::str(8, 18, (n_subs as u32 * 3 + 1) * 32));
+    a.push(asm::addi(27, 27, 1));
+    a.push(asm::str(27, 28, 0));
+    a.push(asm::msr(SysReg::VblkNotify as u32, 27));
+    let wait_word = a.here();
+    a.label("chaos_vwait");
+    a.push(asm::ldr(7, 22, 0));
+    a.push(asm::cmpi(7, (n_subs + 1) as u32));
+    a.bcond_to(Cond::Ne, "chaos_vwait");
 
     // Countdown tail: keeps the guest alive (and polling for events at the
     // loop back-edge) until the whole interrupt schedule has drained.
@@ -269,6 +408,13 @@ pub fn chaos_plan(seed: u64) -> ChaosPlan {
     a.push(asm::movz(17, 0, 0));
     a.push(asm::eret());
 
+    // Pad the program so a full sector of code exists from the wait loop
+    // onward, then freeze that window as disk sector 0: the forced final
+    // read DMAs these exact bytes back over themselves.
+    while a.here() < wait_word + SECTOR_SIZE as usize / 4 {
+        a.push(asm::nop());
+    }
+
     // Each spurious interrupt gets a *distinct* line: the latch is a
     // pending bitmask, so two raises of one line could collapse into a
     // single delivery — or not — depending on where each engine's cycle
@@ -281,17 +427,35 @@ pub fn chaos_plan(seed: u64) -> ChaosPlan {
         })
         .collect();
 
+    let words = a.finish();
+    let sector0: Vec<u8> = words[wait_word..wait_word + SECTOR_SIZE as usize / 4]
+        .iter()
+        .flat_map(|w| w.to_le_bytes())
+        .collect();
+    let virtio = VirtioBlkConfig {
+        mmio_base: VBLK_MMIO_BASE,
+        completion_latency: 3_000,
+        disk_image: Some(sector0),
+        fault_seed: Some(seed ^ 0xFA17_5EED),
+        // The forced final identity read must land verbatim; everything
+        // before it is fair game for the fault plan.
+        exempt_after: n_subs as u64,
+        ..VirtioBlkConfig::default()
+    };
+
     ChaosPlan {
         seed,
         workload: Workload {
             name: "chaos",
             suite: workloads::Suite::Int,
-            words: a.finish(),
+            words,
             entry: CODE_BASE,
         },
         schedule,
         patches,
         sync_ops,
+        virtio,
+        virtio_submits: n_subs as u64 + 1,
     }
 }
 
@@ -307,8 +471,17 @@ pub struct ChaosOutcome {
     /// FNV digest of the guest data region.
     pub data_digest: u64,
     /// IRQs the engine delivered (must equal x20 and the plan's schedule
-    /// length + 1 timer fire).
+    /// length + 1 timer fire + one per virtio completion).
     pub irqs_delivered: u64,
+    /// Virtio completions the device retired (must equal the plan's
+    /// `virtio_submits`).
+    pub completions: u64,
+    /// Completions retired with a non-OK status — a pure function of the
+    /// plan's fault seed, so engine-independent.
+    pub io_errors: u64,
+    /// Faults the device's plan injected; engine-independent for the same
+    /// reason.
+    pub fault_injections: u64,
 }
 
 /// Engine counters captured for the same-seed determinism check; not part
@@ -373,6 +546,10 @@ pub fn chaos_captive_configs() -> Vec<(&'static str, CaptiveConfig)> {
 
 /// Runs the plan under Captive with the given configuration.
 pub fn run_chaos_captive(plan: &ChaosPlan, cfg: CaptiveConfig) -> (ChaosOutcome, ChaosCounters) {
+    let cfg = CaptiveConfig {
+        virtio: Some(plan.virtio.clone()),
+        ..cfg
+    };
     let mut c = Captive::new(cfg);
     c.load_program(CODE_BASE, &plan.workload.words);
     c.set_entry(plan.workload.entry);
@@ -396,6 +573,9 @@ pub fn run_chaos_captive(plan: &ChaosPlan, cfg: CaptiveConfig) -> (ChaosOutcome,
         code_digest: c.guest_mem_digest(CODE_BASE, CODE_DIGEST_LEN),
         data_digest: c.guest_mem_digest(DATA_BASE, DATA_DIGEST_LEN),
         irqs_delivered: s.irqs_delivered,
+        completions: s.virtio_completions,
+        io_errors: s.virtio_io_errors,
+        fault_injections: s.virtio_fault_injections,
     };
     let counters = vec![
         ("cycles", s.cycles),
@@ -423,6 +603,16 @@ pub fn run_chaos_captive(plan: &ChaosPlan, cfg: CaptiveConfig) -> (ChaosOutcome,
         ("stale_discards", s.stale_discards),
         ("reuse_hits", s.reuse_hits),
         ("reuse_misses", s.reuse_misses),
+        // Virtio counters: completion order and payloads are fixed at kick
+        // time, so every one of these is deterministic per seed.
+        ("virtio_kicks", s.virtio_kicks),
+        ("virtio_submissions", s.virtio_submissions),
+        ("virtio_completions", s.virtio_completions),
+        ("virtio_irqs", s.virtio_irqs),
+        ("virtio_fault_injections", s.virtio_fault_injections),
+        ("virtio_dma_bytes", s.virtio_dma_bytes),
+        ("virtio_io_errors", s.virtio_io_errors),
+        ("external_invalidations", s.external_invalidations),
     ];
     (outcome, counters)
 }
@@ -432,6 +622,7 @@ pub fn run_chaos_qemu(plan: &ChaosPlan) -> (ChaosOutcome, ChaosCounters) {
     let mut q = QemuRef::new(32 * 1024 * 1024);
     q.load_program(CODE_BASE, &plan.workload.words);
     q.set_entry(plan.workload.entry);
+    q.attach_virtio(plan.virtio.clone());
     for &(cycle, line) in &plan.schedule {
         q.runtime.events.latch.raise_at(cycle, line);
     }
@@ -452,6 +643,9 @@ pub fn run_chaos_qemu(plan: &ChaosPlan) -> (ChaosOutcome, ChaosCounters) {
         code_digest: q.guest_mem_digest(CODE_BASE, CODE_DIGEST_LEN),
         data_digest: q.guest_mem_digest(DATA_BASE, DATA_DIGEST_LEN),
         irqs_delivered: s.irqs_delivered,
+        completions: s.virtio_completions,
+        io_errors: s.virtio_io_errors,
+        fault_injections: s.virtio_fault_injections,
     };
     let counters = vec![
         ("cycles", s.cycles),
@@ -462,6 +656,14 @@ pub fn run_chaos_qemu(plan: &ChaosPlan) -> (ChaosOutcome, ChaosCounters) {
         ("guest_exceptions", s.guest_exceptions),
         ("irqs_delivered", s.irqs_delivered),
         ("timer_irqs", s.timer_irqs),
+        ("virtio_kicks", s.virtio_kicks),
+        ("virtio_submissions", s.virtio_submissions),
+        ("virtio_completions", s.virtio_completions),
+        ("virtio_irqs", s.virtio_irqs),
+        ("virtio_fault_injections", s.virtio_fault_injections),
+        ("virtio_dma_bytes", s.virtio_dma_bytes),
+        ("virtio_io_errors", s.virtio_io_errors),
+        ("external_invalidations", s.external_invalidations),
     ];
     (outcome, counters)
 }
@@ -488,11 +690,27 @@ mod tests {
         // Across a handful of seeds every op class should appear.
         let mut saw_patch = false;
         let mut saw_sync = false;
+        let mut saw_vblk_op = false;
         for seed in 0..8u64 {
             let p = chaos_plan(seed);
             saw_patch |= p.patches > 0;
             saw_sync |= p.sync_ops > 0;
+            saw_vblk_op |= p.virtio_submits > 1;
             assert!(p.workload.words.contains(&asm::hlt()), "seed {seed}");
+            assert!(
+                (1..=MAX_CHAOS_SUBMITS as u64 + 1).contains(&p.virtio_submits),
+                "seed {seed}: always the forced final, never past the cap"
+            );
+            assert_eq!(
+                p.virtio.exempt_after,
+                p.virtio_submits - 1,
+                "seed {seed}: only the forced final identity read is exempt"
+            );
+            assert_eq!(
+                p.virtio.disk_image.as_ref().map(Vec::len),
+                Some(SECTOR_SIZE as usize),
+                "seed {seed}: identity image is exactly one sector"
+            );
             assert!(p.schedule.len() >= 2, "seed {seed} schedules spurious IRQs");
             for &(cycle, line) in &p.schedule {
                 assert!((SCHEDULE_MIN_CYCLE..SCHEDULE_MAX_CYCLE).contains(&cycle));
@@ -507,7 +725,25 @@ mod tests {
                 "seed {seed}: scheduled lines must be distinct"
             );
         }
-        assert!(saw_patch && saw_sync);
+        assert!(saw_patch && saw_sync && saw_vblk_op);
+    }
+
+    #[test]
+    fn identity_sector_matches_the_wait_loop_bytes() {
+        for seed in 0..4u64 {
+            let p = chaos_plan(seed);
+            let img = p.virtio.disk_image.as_ref().unwrap();
+            let code: Vec<u8> = p
+                .workload
+                .words
+                .iter()
+                .flat_map(|w| w.to_le_bytes())
+                .collect();
+            assert!(
+                code.windows(img.len()).any(|w| w == &img[..]),
+                "seed {seed}: sector 0 must be a verbatim slice of the program"
+            );
+        }
     }
 
     #[test]

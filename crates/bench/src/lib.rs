@@ -356,6 +356,19 @@ fn drive_captive(w: &Workload, c: &mut Captive) -> Measurement {
     for (name, n) in &s.idiom_candidates {
         counters.push((format!("idiom.cand.{name}"), *n));
     }
+    if s.virtio_kicks > 0 || s.external_invalidations > 0 {
+        counters.push(("virtio.kicks".into(), s.virtio_kicks));
+        counters.push(("virtio.submissions".into(), s.virtio_submissions));
+        counters.push(("virtio.completions".into(), s.virtio_completions));
+        counters.push(("virtio.irqs".into(), s.virtio_irqs));
+        counters.push(("virtio.fault_injections".into(), s.virtio_fault_injections));
+        counters.push(("virtio.dma_bytes".into(), s.virtio_dma_bytes));
+        counters.push(("virtio.io_errors".into(), s.virtio_io_errors));
+        counters.push((
+            "virtio.external_invalidations".into(),
+            s.external_invalidations,
+        ));
+    }
     Measurement {
         cycles: s.cycles,
         host_insns: s.host_insns,
@@ -436,6 +449,20 @@ fn run_qemu_prepared(w: &Workload, mut q: QemuRef) -> Measurement {
         w.name
     );
     let s = q.stats();
+    let mut counters: Vec<(String, u64)> = Vec::new();
+    if s.virtio_kicks > 0 || s.external_invalidations > 0 {
+        counters.push(("virtio.kicks".into(), s.virtio_kicks));
+        counters.push(("virtio.submissions".into(), s.virtio_submissions));
+        counters.push(("virtio.completions".into(), s.virtio_completions));
+        counters.push(("virtio.irqs".into(), s.virtio_irqs));
+        counters.push(("virtio.fault_injections".into(), s.virtio_fault_injections));
+        counters.push(("virtio.dma_bytes".into(), s.virtio_dma_bytes));
+        counters.push(("virtio.io_errors".into(), s.virtio_io_errors));
+        counters.push((
+            "virtio.external_invalidations".into(),
+            s.external_invalidations,
+        ));
+    }
     Measurement {
         cycles: s.cycles,
         host_insns: s.host_insns,
@@ -484,8 +511,28 @@ fn run_qemu_prepared(w: &Workload, mut q: QemuRef) -> Measurement {
         jit_wall_ns: 0,
         tier_worker_wall_ns: 0,
         first_region_install_ns: 0,
-        counters: Vec::new(),
+        counters,
     }
+}
+
+/// Runs a workload under Captive with a virtio-blk device attached on top
+/// of an arbitrary engine configuration.
+pub fn run_captive_io(w: &Workload, vcfg: hvm::VirtioBlkConfig, cfg: CaptiveConfig) -> Measurement {
+    run_captive_cfg(
+        w,
+        CaptiveConfig {
+            virtio: Some(vcfg),
+            ..cfg
+        },
+    )
+}
+
+/// Runs a workload under the QEMU-style baseline with a virtio-blk device
+/// attached (plain non-chaining configuration, like [`run_qemu`]).
+pub fn run_qemu_io(w: &Workload, vcfg: hvm::VirtioBlkConfig) -> Measurement {
+    let mut q = QemuRef::new(32 * 1024 * 1024);
+    q.attach_virtio(vcfg);
+    run_qemu_prepared(w, q)
 }
 
 /// Wraps a SimBench micro-benchmark as a [`Workload`] so it can go through

@@ -20,11 +20,12 @@ fn assert_one_outcome(seed: u64) -> ChaosOutcome {
     let plan = chaos_plan(seed);
     let (reference, _) = run_chaos_qemu(&plan);
     // The guest's own books must balance: x20 counted one IRQ per delivery
-    // (the scheduled lines plus exactly one one-shot timer fire), and x21
-    // counted one synchronous exception per injected faulting op.
+    // (the scheduled lines plus exactly one one-shot timer fire plus one per
+    // virtio completion), and x21 counted one synchronous exception per
+    // injected faulting op.
     assert_eq!(
         reference.regs[20],
-        plan.schedule.len() as u64 + 1,
+        plan.schedule.len() as u64 + 1 + plan.virtio_submits,
         "seed {seed:#x}: IRQ deliveries"
     );
     assert_eq!(reference.regs[20], reference.irqs_delivered);
@@ -32,12 +33,32 @@ fn assert_one_outcome(seed: u64) -> ChaosOutcome {
         reference.regs[21], plan.sync_ops as u64,
         "seed {seed:#x}: synchronous exceptions"
     );
+    assert_eq!(
+        reference.completions, plan.virtio_submits,
+        "seed {seed:#x}: every submitted request retires"
+    );
     for (name, cfg) in chaos_captive_configs() {
-        let (outcome, _) = run_chaos_captive(&plan, cfg);
+        let (outcome, counters) = run_chaos_captive(&plan, cfg);
         assert_eq!(
             outcome, reference,
             "seed {seed:#x}: {name} diverged from the QEMU baseline"
         );
+        // The forced final identity read DMAs over the live used.idx wait
+        // loop, so the default engine must have walked its external
+        // invalidation path (the tiny cache may legitimately have evicted
+        // the page's translations first, so only the full-cache configs are
+        // held to it).
+        if name == "captive" {
+            let ext = counters
+                .iter()
+                .find(|(n, _)| *n == "external_invalidations")
+                .map(|&(_, v)| v)
+                .unwrap();
+            assert!(
+                ext > 0,
+                "seed {seed:#x}: device DMA onto live code must invalidate"
+            );
+        }
     }
     reference
 }

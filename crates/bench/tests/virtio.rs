@@ -1,0 +1,222 @@
+//! Cross-engine virtio-blk tests: the I/O kernels, the fault-injecting
+//! disk, and device-originated code invalidation must leave every Captive
+//! configuration byte-identical to the QEMU-style baseline.
+//!
+//! The `io.smc` kernel is the sharp case: its one read request DMAs disk
+//! sector 0 over the kernel's own spin loop *while the loop is hot* — by
+//! the time the completion retires, the loop is a formed (and, on the
+//! default configuration, promoted) looping region.  The sector holds an
+//! almost-identical copy of the code with the spin's back-edge replaced by
+//! a NOP, so the loop terminates only if the engine notices the external
+//! store, invalidates the region, reconciles any promoted loop carriers,
+//! and retranslates.
+
+use bench::chaos::chaos_captive_configs;
+use captive::{Captive, CaptiveConfig, RunExit};
+use hvm::{FaultKind, FaultPlan, VirtioBlkConfig};
+use qemu_ref::QemuRef;
+use workloads::{io_kernels, vblk_config, vblk_read, vblk_smc, vblk_smc_config, Workload};
+use workloads::{CODE_BASE, DATA_BASE};
+
+const CODE_DIGEST_LEN: u64 = 16 * 1024;
+const DATA_DIGEST_LEN: u64 = 64 * 1024;
+
+/// Final architectural state after an I/O run; must be engine-independent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct IoOutcome {
+    regs: [u64; 31],
+    nzcv: u64,
+    code_digest: u64,
+    data_digest: u64,
+}
+
+fn run_captive_io(
+    w: &Workload,
+    vcfg: &VirtioBlkConfig,
+    cfg: CaptiveConfig,
+) -> (IoOutcome, captive::RunStats) {
+    let mut c = Captive::new(CaptiveConfig {
+        virtio: Some(vcfg.clone()),
+        ..cfg
+    });
+    c.load_program(CODE_BASE, &w.words);
+    c.set_entry(w.entry);
+    let exit = c.run(bench::BLOCK_BUDGET);
+    assert!(
+        matches!(exit, RunExit::GuestHalted { .. }),
+        "{}: unexpected captive exit {exit:?}",
+        w.name
+    );
+    let mut regs = [0u64; 31];
+    for (i, r) in regs.iter_mut().enumerate() {
+        *r = c.guest_reg(i as u32);
+    }
+    let outcome = IoOutcome {
+        regs,
+        nzcv: c.guest_nzcv(),
+        code_digest: c.guest_mem_digest(CODE_BASE, CODE_DIGEST_LEN),
+        data_digest: c.guest_mem_digest(DATA_BASE, DATA_DIGEST_LEN),
+    };
+    (outcome, c.stats())
+}
+
+fn run_qemu_io(w: &Workload, vcfg: &VirtioBlkConfig) -> (IoOutcome, qemu_ref::RunStats) {
+    let mut q = QemuRef::new(32 * 1024 * 1024);
+    q.load_program(CODE_BASE, &w.words);
+    q.set_entry(w.entry);
+    q.attach_virtio(vcfg.clone());
+    let exit = q.run(bench::BLOCK_BUDGET);
+    assert!(
+        matches!(exit, qemu_ref::RunExit::GuestHalted { .. }),
+        "{}: unexpected qemu exit {exit:?}",
+        w.name
+    );
+    let mut regs = [0u64; 31];
+    for (i, r) in regs.iter_mut().enumerate() {
+        *r = q.guest_reg(i as u32);
+    }
+    let outcome = IoOutcome {
+        regs,
+        nzcv: q.guest_nzcv(),
+        code_digest: q.guest_mem_digest(CODE_BASE, CODE_DIGEST_LEN),
+        data_digest: q.guest_mem_digest(DATA_BASE, DATA_DIGEST_LEN),
+    };
+    (outcome, q.stats())
+}
+
+#[test]
+fn io_kernels_agree_across_engines_on_a_clean_disk() {
+    let vcfg = vblk_config();
+    for w in io_kernels() {
+        let (reference, qs) = run_qemu_io(&w, &vcfg);
+        assert!(qs.virtio_completions > 0, "{}: device did work", w.name);
+        assert_eq!(qs.virtio_io_errors, 0, "{}: clean disk", w.name);
+        assert_eq!(
+            qs.virtio_completions, qs.virtio_submissions,
+            "{}: every request retires",
+            w.name
+        );
+        for (name, cfg) in chaos_captive_configs() {
+            let (outcome, cs) = run_captive_io(&w, &vcfg, cfg);
+            assert_eq!(outcome, reference, "{}: {name} diverged", w.name);
+            assert_eq!(cs.virtio_completions, qs.virtio_completions, "{name}");
+            assert_eq!(cs.virtio_dma_bytes, qs.virtio_dma_bytes, "{name}");
+        }
+    }
+}
+
+#[test]
+fn smc_kernel_invalidates_a_live_looping_region_on_every_engine() {
+    let (w, sector0) = vblk_smc();
+    let vcfg = vblk_smc_config(sector0);
+    let (reference, qs) = run_qemu_io(&w, &vcfg);
+    assert!(
+        qs.external_invalidations > 0,
+        "device DMA over live code must flush the baseline's cache"
+    );
+    for (name, cfg) in chaos_captive_configs() {
+        let (outcome, cs) = run_captive_io(&w, &vcfg, cfg);
+        assert_eq!(outcome, reference, "{name} diverged on io.smc");
+        if name == "captive" {
+            assert!(
+                cs.external_invalidations > 0,
+                "device DMA must invalidate the translated page"
+            );
+            assert!(
+                cs.loop_regions_formed > 0,
+                "the spin loop must actually be a formed looping region"
+            );
+        }
+    }
+}
+
+#[test]
+fn promoted_loop_carriers_reconcile_across_device_invalidation() {
+    // The spin loop promotes its registers into host loop carriers on the
+    // default configuration; the device's asynchronous invalidation forces a
+    // region exit, so the carriers must reconcile back to the register file
+    // before retranslation.  Promotion on vs off must be invisible.
+    let (w, sector0) = vblk_smc();
+    let vcfg = vblk_smc_config(sector0);
+    let (with_promote, ps) = run_captive_io(&w, &vcfg, CaptiveConfig::default());
+    let (without_promote, _) = run_captive_io(
+        &w,
+        &vcfg,
+        CaptiveConfig {
+            promote: false,
+            ..CaptiveConfig::default()
+        },
+    );
+    assert_eq!(with_promote, without_promote);
+    assert!(
+        ps.opt_promoted_slots > 0,
+        "the default config must have promoted loop carriers to reconcile"
+    );
+    assert!(ps.external_invalidations > 0);
+}
+
+#[test]
+fn injected_faults_degrade_to_typed_errors_identically() {
+    // Find a fault seed that actually bites inside the first three requests
+    // (the fourth is exempt so a Reordered fault can never wait on a kick
+    // that will not come), then hold every engine to one outcome.
+    let fault_seed = (1u64..)
+        .find(|&s| {
+            let plan = FaultPlan::seeded(s, 3);
+            (0..3).any(|q| plan.decide(q, false) != FaultKind::None)
+        })
+        .unwrap();
+    let vcfg = VirtioBlkConfig {
+        fault_seed: Some(fault_seed),
+        exempt_after: 3,
+        ..vblk_config()
+    };
+    let w = vblk_read(4);
+    let (reference, qs) = run_qemu_io(&w, &vcfg);
+    assert!(qs.virtio_fault_injections > 0, "the chosen seed injects");
+    assert_eq!(qs.virtio_completions, 4, "faults never lose completions");
+    for (name, cfg) in chaos_captive_configs() {
+        let (outcome, cs) = run_captive_io(&w, &vcfg, cfg);
+        assert_eq!(outcome, reference, "{name} diverged under injected faults");
+        assert_eq!(cs.virtio_fault_injections, qs.virtio_fault_injections);
+        assert_eq!(cs.virtio_io_errors, qs.virtio_io_errors);
+    }
+}
+
+#[test]
+fn attached_but_idle_device_changes_nothing() {
+    // A non-I/O workload with the device attached must behave — and cost —
+    // exactly as if the device were absent: the poll path may not perturb
+    // the modeled cycle count.  The data digest stops short of the MMIO
+    // window, which legitimately differs (init_mmio populates the device ID
+    // registers there).
+    let data_len = workloads::VBLK_MMIO_BASE - DATA_BASE;
+    let w = workloads::loop_flood(4, 8, 20);
+    let run = |virtio: Option<VirtioBlkConfig>| {
+        let mut c = Captive::new(CaptiveConfig {
+            virtio,
+            ..CaptiveConfig::default()
+        });
+        c.load_program(CODE_BASE, &w.words);
+        c.set_entry(w.entry);
+        let exit = c.run(bench::BLOCK_BUDGET);
+        assert!(matches!(exit, RunExit::GuestHalted { .. }));
+        let mut regs = [0u64; 31];
+        for (i, r) in regs.iter_mut().enumerate() {
+            *r = c.guest_reg(i as u32);
+        }
+        let outcome = IoOutcome {
+            regs,
+            nzcv: c.guest_nzcv(),
+            code_digest: c.guest_mem_digest(CODE_BASE, CODE_DIGEST_LEN),
+            data_digest: c.guest_mem_digest(DATA_BASE, data_len),
+        };
+        (outcome, c.stats())
+    };
+    let (with_dev, ds) = run(Some(vblk_config()));
+    let (without_dev, ns) = run(None);
+    assert_eq!(ds.virtio_kicks, 0);
+    assert_eq!(ds.virtio_completions, 0);
+    assert_eq!(with_dev, without_dev);
+    assert_eq!(ds.cycles, ns.cycles, "idle device is cycle-free");
+}

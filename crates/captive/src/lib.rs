@@ -175,6 +175,10 @@ pub struct CaptiveConfig {
     /// instances (the N-guests-one-image story).  `None` gives this
     /// instance a private cache.  Only consulted when `tiered` is on.
     pub reuse_cache: Option<Arc<ReuseCache>>,
+    /// Attach a virtio-blk DMA device ([`hvm::virtio`]) with this
+    /// configuration.  `None` (the default) runs with no device and zero
+    /// dispatcher overhead.
+    pub virtio: Option<hvm::VirtioBlkConfig>,
 }
 
 impl Default for CaptiveConfig {
@@ -199,6 +203,7 @@ impl Default for CaptiveConfig {
             tiered: true,
             tier_workers: 2,
             reuse_cache: None,
+            virtio: None,
         }
     }
 }
@@ -353,6 +358,23 @@ pub struct RunStats {
     /// Nanoseconds from engine construction to the first gated-region
     /// install (0 when none was installed).
     pub first_region_install_ns: u64,
+    /// Virtio queue notifications (`msr VblkNotify`) the device received.
+    pub virtio_kicks: u64,
+    /// Virtio requests submitted (available-ring entries consumed).
+    pub virtio_submissions: u64,
+    /// Virtio completions retired (used-ring entries written).
+    pub virtio_completions: u64,
+    /// IRQs the virtio device raised on its latch line.
+    pub virtio_irqs: u64,
+    /// Requests whose seeded fault decision was not `None`.
+    pub virtio_fault_injections: u64,
+    /// Bytes DMA'd into guest memory through the external-store path.
+    pub virtio_dma_bytes: u64,
+    /// Completions retired with a non-OK status (typed device errors).
+    pub virtio_io_errors: u64,
+    /// DMA completion stores that invalidated live translations
+    /// (device-originated external SMC).
+    pub external_invalidations: u64,
 }
 
 /// The hypervisor.
@@ -438,7 +460,13 @@ impl Captive {
     /// host page tables for the Captive area are built and paging is enabled.
     pub fn new(config: CaptiveConfig) -> Self {
         let mut machine = Machine::new(config.machine.clone());
-        let runtime = CaptiveRuntime::new(&mut machine, config.guest_ram, config.fp_mode);
+        let mut runtime = CaptiveRuntime::new(&mut machine, config.guest_ram, config.fp_mode);
+        if let Some(vcfg) = &config.virtio {
+            let dev = hvm::VirtioBlk::new(vcfg.clone(), layout::GUEST_PHYS_BASE, config.guest_ram);
+            dev.init_mmio(&mut machine.mem)
+                .expect("virtio MMIO window must lie inside guest RAM");
+            runtime.virtio = Some(dev);
+        }
         // The register-file base pointer lives in %rbp for the whole run.
         machine.set_reg(Gpr::Rbp, layout::REGFILE_VA);
         // Bare-metal guests boot in EL1 (kernel mode).
@@ -600,6 +628,16 @@ impl Captive {
             .tier_timers
             .first_install
             .map_or(0, |d| d.as_nanos() as u64);
+        if let Some(dev) = &self.runtime.virtio {
+            s.virtio_kicks = dev.stats.kicks;
+            s.virtio_submissions = dev.stats.submissions;
+            s.virtio_completions = dev.stats.completions;
+            s.virtio_irqs = dev.stats.irqs_raised;
+            s.virtio_fault_injections = dev.stats.fault_injections;
+            s.virtio_dma_bytes = dev.stats.dma_bytes;
+            s.virtio_io_errors = dev.stats.io_errors;
+        }
+        s.external_invalidations = self.runtime.external_invalidations;
         s
     }
 
@@ -697,6 +735,16 @@ impl Captive {
         while budget > 0 {
             if let Some(code) = self.runtime.exit_code {
                 return RunExit::GuestHalted { code };
+            }
+            // Due device completions retire here, before event delivery and
+            // before any translated code runs: the DMA lands through the
+            // external-store path and every touched page holding live
+            // translations is invalidated — the device's completion IRQ (if
+            // any) is then taken below with the data already visible.
+            if self.runtime.poll_virtio(&mut self.machine) {
+                for page in self.runtime.take_smc_dirty() {
+                    self.cache.invalidate_phys_page(page);
+                }
             }
             let pc = self.machine.reg(Gpr::R15);
             // Deterministic event sources deliver here (and at back-edge
@@ -863,6 +911,12 @@ impl Captive {
                         // A due event source leaves the chained loop so the
                         // slow path can deliver the IRQ with a precise PC.
                         if self.runtime.events.due(self.machine.perf.cycles) {
+                            break;
+                        }
+                        // A due device completion also leaves: retirement
+                        // happens only at the dispatcher top, and a
+                        // self-chaining loop would otherwise starve it.
+                        if self.runtime.virtio_due(self.machine.perf.cycles) {
                             break;
                         }
                         let next_pc = self.machine.reg(Gpr::R15);

@@ -8,7 +8,7 @@ use crate::FpMode;
 use guest_aarch64::gen::helpers;
 use guest_aarch64::{esr_class, mmu, SysReg};
 use hvm::paging::{self, FrameAlloc, PageFlags};
-use hvm::{EventSources, FaultAction, Gpr, HelperResult, Machine, Ring, Runtime};
+use hvm::{EventSources, FaultAction, Gpr, HelperResult, Machine, Ring, Runtime, VirtioBlk};
 use std::collections::HashSet;
 
 /// Cycle cost of taking a data-side host fault and evaluating guest
@@ -101,6 +101,12 @@ pub struct CaptiveRuntime {
     /// Deterministic guest event sources (programmable timer + interrupt
     /// latch), polled at back-edges and block boundaries.
     pub events: EventSources,
+    /// Attached virtio-blk device, if any.  Kicked from `MSR_NOTIFY`,
+    /// retired from the dispatcher via [`CaptiveRuntime::poll_virtio`].
+    pub virtio: Option<VirtioBlk>,
+    /// DMA completion stores that landed on pages holding live translations
+    /// (each one forced a `CodeCache::invalidate_phys_page`).
+    pub external_invalidations: u64,
 }
 
 impl CaptiveRuntime {
@@ -148,7 +154,44 @@ impl CaptiveRuntime {
             fetch_tlb: FetchTlb::new(),
             data_tlb: DataTlb::new(),
             events: EventSources::default(),
+            virtio: None,
+            external_invalidations: 0,
         }
+    }
+
+    /// Retires due virtio completions: DMA lands in guest memory through the
+    /// external-store path, and any touched page holding translated code is
+    /// queued for invalidation exactly like a trapped self-modifying store —
+    /// except no write-protection fault announces it, so this *must* run
+    /// before translated code is re-entered.  Returns true when anything
+    /// retired (the dispatcher then drains `take_smc_dirty`).
+    pub fn poll_virtio(&mut self, machine: &mut Machine) -> bool {
+        let Some(dev) = self.virtio.as_mut() else {
+            return false;
+        };
+        if !dev.poll(
+            &mut machine.mem,
+            machine.perf.cycles,
+            &mut self.events.latch,
+        ) {
+            return false;
+        }
+        for page in dev.take_touched_pages() {
+            if self.code_pages.remove(&page) {
+                self.smc_dirty.push(page);
+                self.external_invalidations += 1;
+            }
+        }
+        true
+    }
+
+    /// True when the attached device's queue head may retire at `cycles` —
+    /// the dispatcher and every looping region's back-edge must yield so
+    /// the completion is not starved by chained translated code.
+    pub fn virtio_due(&self, cycles: u64) -> bool {
+        self.virtio
+            .as_ref()
+            .is_some_and(|d| d.due(cycles, &self.events.latch))
     }
 
     /// Current translation-context generation.
@@ -397,7 +440,9 @@ impl Runtime for CaptiveRuntime {
                     // (re)arm against the deterministic cycle counter.
                     Some(SysReg::CntTval) => {
                         let delta = self.read_gregfile(machine, guest_aarch64::CNT_TVAL_OFF);
-                        self.events.timer.arm_oneshot(machine.perf.cycles + delta);
+                        self.events
+                            .timer
+                            .arm_oneshot(machine.perf.cycles.saturating_add(delta));
                     }
                     Some(SysReg::CntCtl) => {
                         let period = self.read_gregfile(machine, guest_aarch64::CNT_CTL_OFF);
@@ -406,7 +451,15 @@ impl Runtime for CaptiveRuntime {
                         } else {
                             self.events
                                 .timer
-                                .arm_periodic(machine.perf.cycles + period, period);
+                                .arm_periodic(machine.perf.cycles.saturating_add(period), period);
+                        }
+                    }
+                    // Queue notification: consume newly-published
+                    // available-ring entries at this precise program point.
+                    Some(SysReg::VblkNotify) => {
+                        if let Some(dev) = self.virtio.as_mut() {
+                            let now = machine.perf.cycles;
+                            dev.kick(&mut machine.mem, now);
                         }
                     }
                     _ => {}
@@ -459,6 +512,7 @@ impl Runtime for CaptiveRuntime {
             || self.pending.is_some()
             || self.exit_code.is_some()
             || self.events.due(cycles)
+            || self.virtio_due(cycles)
     }
 
     fn page_fault(&mut self, vaddr: u64, write: bool, machine: &mut Machine) -> FaultAction {

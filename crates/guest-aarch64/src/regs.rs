@@ -53,6 +53,9 @@ pub const CNT_TVAL_OFF: i32 = 856;
 /// Timer control: an `MSR` of 0 cancels the timer; a non-zero value arms a
 /// periodic timer with that cycle interval.
 pub const CNT_CTL_OFF: i32 = 864;
+/// Virtio-blk queue notification: an `MSR` kicks the block device, which
+/// consumes newly-published available-ring entries.
+pub const VBLK_NOTIFY_OFF: i32 = 872;
 
 /// System register identifiers used by `MRS`/`MSR`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,6 +80,8 @@ pub enum SysReg {
     CntTval = 8,
     /// Timer control (0 = cancel, non-zero = periodic interval).
     CntCtl = 9,
+    /// Virtio-blk queue notification (any value kicks the device).
+    VblkNotify = 10,
 }
 
 impl SysReg {
@@ -93,6 +98,7 @@ impl SysReg {
             7 => SysReg::CurrentEl,
             8 => SysReg::CntTval,
             9 => SysReg::CntCtl,
+            10 => SysReg::VblkNotify,
             _ => return None,
         })
     }
@@ -110,6 +116,7 @@ impl SysReg {
             SysReg::CurrentEl => CURRENT_EL_OFF,
             SysReg::CntTval => CNT_TVAL_OFF,
             SysReg::CntCtl => CNT_CTL_OFF,
+            SysReg::VblkNotify => VBLK_NOTIFY_OFF,
         }
     }
 }
@@ -140,12 +147,12 @@ mod tests {
         assert!(v_off(0) >= NZCV_OFF + 8);
         assert_eq!(v_off(31), 272 + 31 * 16);
         assert!(TTBR0_OFF >= v_off(31) + 16);
-        assert!((CNT_CTL_OFF as usize) + 8 <= REGFILE_SIZE);
+        assert!((VBLK_NOTIFY_OFF as usize) + 8 <= REGFILE_SIZE);
     }
 
     #[test]
     fn sysreg_roundtrip() {
-        for id in 0..10u32 {
+        for id in 0..11u32 {
             let r = SysReg::from_id(id).unwrap();
             assert_eq!(r as u32, id);
         }

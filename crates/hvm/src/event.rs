@@ -68,11 +68,15 @@ impl Timer {
         self.fires += 1;
         match self.period {
             Some(p) => {
-                let mut next = d;
-                while next <= cycles {
-                    next += p;
-                }
-                self.deadline = Some(next);
+                // Closed-form advance with checked math: a device programming
+                // an enormous period (or a deadline near `u64::MAX`) must not
+                // wrap the scheduler; if the next expiry is unrepresentable
+                // the timer simply disarms instead of overflowing.
+                let missed = (cycles - d) / p;
+                self.deadline = missed
+                    .checked_add(1)
+                    .and_then(|n| n.checked_mul(p))
+                    .and_then(|delta| d.checked_add(delta));
             }
             None => self.deadline = None,
         }
@@ -121,6 +125,14 @@ impl InterruptLatch {
     /// True when a line is pending (or a scheduled raise has arrived).
     pub fn due(&self, cycles: u64) -> bool {
         self.pending != 0 || self.schedule.first().is_some_and(|&(c, _)| c <= cycles)
+    }
+
+    /// True while `line` is latched but not yet taken.  Devices that gate
+    /// their next completion on the previous interrupt actually reaching the
+    /// guest (e.g. [`crate::virtio`]) poll this instead of re-raising, so no
+    /// two deliveries ever collapse into one pending bit.
+    pub fn is_pending(&self, line: u32) -> bool {
+        self.pending & (1u64 << (line & 63)) != 0
     }
 
     /// Pops the lowest-numbered pending line, servicing the schedule first.
@@ -242,6 +254,41 @@ mod tests {
         assert_eq!(ev.take(20), Some(TIMER_LINE));
         assert_eq!(ev.delivered, 1);
         assert_eq!(ev.timer_delivered, 1);
+    }
+
+    #[test]
+    fn periodic_near_u64_max_disarms_instead_of_wrapping() {
+        let mut t = Timer::default();
+        t.arm_periodic(u64::MAX - 10, u64::MAX / 2);
+        assert!(t.take(u64::MAX - 5));
+        // The reload deadline would overflow; the timer must disarm, not wrap
+        // around to a tiny cycle count and fire forever.
+        assert!(!t.due(u64::MAX));
+        assert!(!t.take(u64::MAX));
+        assert_eq!(t.fires, 1);
+    }
+
+    #[test]
+    fn periodic_far_behind_advances_in_constant_time() {
+        let mut t = Timer::default();
+        t.arm_periodic(1, 3);
+        // Billions of elapsed periods collapse into one delivery without a
+        // per-period loop.
+        assert!(t.take(10_000_000_000));
+        assert!(!t.due(10_000_000_002));
+        assert!(t.due(10_000_000_003));
+        assert_eq!(t.fires, 1);
+    }
+
+    #[test]
+    fn is_pending_tracks_latch_state() {
+        let mut l = InterruptLatch::default();
+        assert!(!l.is_pending(7));
+        l.raise(7);
+        assert!(l.is_pending(7));
+        assert!(!l.is_pending(8));
+        assert_eq!(l.take(0), Some(7));
+        assert!(!l.is_pending(7));
     }
 
     #[test]

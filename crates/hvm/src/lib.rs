@@ -35,6 +35,7 @@ pub mod mem;
 pub mod paging;
 pub mod perf;
 pub mod tlb;
+pub mod virtio;
 
 pub use cost::CostModel;
 pub use event::{EventSources, InterruptLatch, Timer, TIMER_LINE};
@@ -47,3 +48,4 @@ pub use mem::PhysMem;
 pub use paging::{PageFlags, PageWalk, WalkError, PAGE_SIZE};
 pub use perf::PerfCounters;
 pub use tlb::{Tlb, TlbEntry};
+pub use virtio::{FaultKind, FaultPlan, VirtioBlk, VirtioBlkConfig, VirtioStats, VBLK_LINE};

@@ -101,19 +101,59 @@ impl PhysMem {
 
     /// Reads a 128-bit value as a `[u64; 2]` (low, high).
     pub fn read_u128(&self, addr: u64) -> Result<[u64; 2], PhysAccessError> {
-        Ok([self.read_uint(addr, 8)?, self.read_uint(addr + 8, 8)?])
+        // Check the full 16-byte span up front so an `addr` near `u64::MAX`
+        // cannot overflow the high-half address computation.
+        let a = self.check(addr, 16)? as u64;
+        Ok([self.read_uint(a, 8)?, self.read_uint(a + 8, 8)?])
     }
 
     /// Writes a 128-bit value from a `[u64; 2]` (low, high).
     pub fn write_u128(&mut self, addr: u64, value: [u64; 2]) -> Result<(), PhysAccessError> {
-        self.write_uint(addr, value[0], 8)?;
-        self.write_uint(addr + 8, value[1], 8)
+        let a = self.check(addr, 16)? as u64;
+        self.write_uint(a, value[0], 8)?;
+        self.write_uint(a + 8, value[1], 8)
     }
 
     /// Fills `[addr, addr+len)` with a byte value.
     pub fn fill(&mut self, addr: u64, len: u64, value: u8) -> Result<(), PhysAccessError> {
         let a = self.check(addr, len)?;
         self.bytes[a..a + len as usize].fill(value);
+        Ok(())
+    }
+
+    /// Device-originated ("external") store: writes `buf` at `addr` and
+    /// records the 4 KiB page base of every page the write touched in
+    /// `touched_pages` (deduplicated against its current tail).
+    ///
+    /// This is the DMA path: stores that land in memory from *outside* the
+    /// vCPU, behind the translator's back.  The caller (the execution
+    /// engine's runtime) intersects the touched pages with its set of
+    /// translated-code pages to invalidate stale translations — the same
+    /// self-modifying-code discipline guest stores get from write-protected
+    /// host mappings, which external stores bypass.  A failed bounds check
+    /// writes nothing and touches nothing.
+    pub fn write_external(
+        &mut self,
+        addr: u64,
+        buf: &[u8],
+        touched_pages: &mut Vec<u64>,
+    ) -> Result<(), PhysAccessError> {
+        const PAGE: u64 = crate::paging::PAGE_SIZE;
+        self.write(addr, buf)?;
+        if buf.is_empty() {
+            return Ok(());
+        }
+        let mut page = addr & !(PAGE - 1);
+        let last = (addr + buf.len() as u64 - 1) & !(PAGE - 1);
+        loop {
+            if touched_pages.last() != Some(&page) {
+                touched_pages.push(page);
+            }
+            if page == last {
+                break;
+            }
+            page += PAGE;
+        }
         Ok(())
     }
 }
@@ -138,6 +178,35 @@ mod tests {
         assert!(m.read_u64(60).is_err());
         assert!(m.write_u64(u64::MAX - 3, 0).is_err());
         assert!(m.read_u64(56).is_ok());
+    }
+
+    #[test]
+    fn u128_near_end_of_memory_is_an_error_not_a_wrap() {
+        let mut m = PhysMem::new(64);
+        assert!(m.read_u128(56).is_err());
+        assert!(m.write_u128(u64::MAX - 7, [1, 2]).is_err());
+        assert!(m.read_u128(48).is_ok());
+    }
+
+    #[test]
+    fn external_store_reports_touched_pages() {
+        let mut m = PhysMem::new(4 * 4096);
+        let mut pages = Vec::new();
+        // Spans the page boundary at 0x1000: both pages reported once.
+        m.write_external(0xFF0, &[0xAA; 0x20], &mut pages).unwrap();
+        assert_eq!(pages, vec![0x0000, 0x1000]);
+        // Same-page follow-up write does not duplicate the tail entry.
+        m.write_external(0x1800, &[1, 2, 3], &mut pages).unwrap();
+        assert_eq!(pages, vec![0x0000, 0x1000]);
+        assert_eq!(m.read_uint(0xFF0, 1).unwrap(), 0xAA);
+        assert_eq!(m.read_uint(0x1800, 1).unwrap(), 1);
+        // Out-of-range external store fails typed and touches nothing.
+        let before = pages.clone();
+        assert!(m.write_external(4 * 4096 - 2, &[0; 8], &mut pages).is_err());
+        assert_eq!(pages, before);
+        // Empty write is a no-op.
+        m.write_external(0x2000, &[], &mut pages).unwrap();
+        assert_eq!(pages, before);
     }
 
     #[test]

@@ -41,7 +41,7 @@ use guest_aarch64::isa::{AccessSize, FpKind, Insn};
 use guest_aarch64::{esr_class, mmu, v_off, x_off, Aarch64Isa, SysReg};
 use hvm::{
     EventSources, ExitReason, FaultAction, Gpr, HelperResult, Machine, MachineConfig, MemSize,
-    Runtime,
+    Runtime, VirtioBlk,
 };
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -102,6 +102,24 @@ pub struct RunStats {
     pub irqs_delivered: u64,
     /// Timer-originated IRQs delivered (subset of `irqs_delivered`).
     pub timer_irqs: u64,
+    /// Virtio queue notifications (doorbell writes) observed.
+    pub virtio_kicks: u64,
+    /// Virtio requests accepted off the available ring.
+    pub virtio_submissions: u64,
+    /// Virtio completions retired to the used ring.
+    pub virtio_completions: u64,
+    /// Completion interrupts the device raised.
+    pub virtio_irqs: u64,
+    /// Faults the seeded plan injected.
+    pub virtio_fault_injections: u64,
+    /// Bytes moved by device DMA (both directions).
+    pub virtio_dma_bytes: u64,
+    /// Requests completed with a non-OK status.
+    pub virtio_io_errors: u64,
+    /// Full-cache flushes forced by device DMA landing behind the
+    /// translator's back (the virtually-indexed analogue of Captive's
+    /// per-page external invalidations).
+    pub external_invalidations: u64,
 }
 
 /// The QEMU-style runtime: software TLB, softfloat state, console.
@@ -128,6 +146,12 @@ pub struct QemuRuntime {
     /// identical in behaviour to Captive's so cross-engine runs observe the
     /// same events.
     pub events: EventSources,
+    /// Optional virtio-mmio block device (same model Captive attaches, so
+    /// cross-engine runs observe identical DMA and completion behaviour).
+    pub virtio: Option<VirtioBlk>,
+    /// Full flushes forced by device DMA (sampled into
+    /// [`RunStats::external_invalidations`]).
+    pub external_invalidations: u64,
 }
 
 impl QemuRuntime {
@@ -144,7 +168,41 @@ impl QemuRuntime {
             soft_tlb_hits: 0,
             soft_tlb_misses: 0,
             events: EventSources::default(),
+            virtio: None,
+            external_invalidations: 0,
         }
+    }
+
+    /// Retires due virtio completions.  Any DMA the device performed landed
+    /// behind the translator's back; a virtually-indexed cache has no
+    /// per-physical-page index to invalidate through, so the honest QEMU
+    /// response is the same one translation-state changes get: request a
+    /// full flush.  Returns `true` when at least one completion retired.
+    pub fn poll_virtio(&mut self, machine: &mut Machine) -> bool {
+        let Some(dev) = self.virtio.as_mut() else {
+            return false;
+        };
+        if !dev.poll(
+            &mut machine.mem,
+            machine.perf.cycles,
+            &mut self.events.latch,
+        ) {
+            return false;
+        }
+        if !dev.take_touched_pages().is_empty() {
+            self.flush_requested = true;
+            self.external_invalidations += 1;
+        }
+        true
+    }
+
+    /// True when the attached device has a completion ready to retire at
+    /// `cycles` (polled from the chained dispatch loop so device latency is
+    /// bounded by one block, mirroring Captive's back-edge poll).
+    pub fn virtio_due(&self, cycles: u64) -> bool {
+        self.virtio
+            .as_ref()
+            .is_some_and(|d| d.due(cycles, &self.events.latch))
     }
 
     fn read_gregfile(&self, machine: &Machine, offset: i32) -> u64 {
@@ -374,7 +432,11 @@ impl Runtime for QemuRuntime {
                     }
                     Some(SysReg::CntTval) => {
                         let delta = self.read_gregfile(machine, guest_aarch64::CNT_TVAL_OFF);
-                        self.events.timer.arm_oneshot(machine.perf.cycles + delta);
+                        // Saturate: a guest programming a near-u64::MAX delta
+                        // must disarm-at-infinity, not wrap to the past.
+                        self.events
+                            .timer
+                            .arm_oneshot(machine.perf.cycles.saturating_add(delta));
                     }
                     Some(SysReg::CntCtl) => {
                         let period = self.read_gregfile(machine, guest_aarch64::CNT_CTL_OFF);
@@ -383,7 +445,13 @@ impl Runtime for QemuRuntime {
                         } else {
                             self.events
                                 .timer
-                                .arm_periodic(machine.perf.cycles + period, period);
+                                .arm_periodic(machine.perf.cycles.saturating_add(period), period);
+                        }
+                    }
+                    Some(SysReg::VblkNotify) => {
+                        if let Some(dev) = self.virtio.as_mut() {
+                            let now = machine.perf.cycles;
+                            dev.kick(&mut machine.mem, now);
                         }
                     }
                     _ => {}
@@ -440,7 +508,6 @@ pub struct QemuRef {
     /// JIT phase timers.
     pub timers: PhaseTimers,
     isa: Aarch64Isa,
-    #[allow(dead_code)]
     guest_ram: u64,
     max_block_insns: usize,
     stats: RunStats,
@@ -501,6 +568,15 @@ impl QemuRef {
             )
             .expect("register file inside RAM");
         q
+    }
+
+    /// Attaches a virtio-mmio block device (identical model to Captive's,
+    /// so cross-engine runs stay byte-identical under injected faults).
+    pub fn attach_virtio(&mut self, cfg: hvm::VirtioBlkConfig) {
+        let dev = VirtioBlk::new(cfg, layout::GUEST_PHYS_BASE, self.guest_ram);
+        dev.init_mmio(&mut self.machine.mem)
+            .expect("virtio MMIO window must lie inside guest RAM");
+        self.runtime.virtio = Some(dev);
     }
 
     /// Loads a guest program at a guest physical address.
@@ -570,6 +646,16 @@ impl QemuRef {
         s.cycles = self.machine.perf.cycles;
         s.host_insns = self.machine.perf.insns;
         s.code_bytes = self.cache.total_encoded_bytes() as u64;
+        if let Some(dev) = &self.runtime.virtio {
+            s.virtio_kicks = dev.stats.kicks;
+            s.virtio_submissions = dev.stats.submissions;
+            s.virtio_completions = dev.stats.completions;
+            s.virtio_irqs = dev.stats.irqs_raised;
+            s.virtio_fault_injections = dev.stats.fault_injections;
+            s.virtio_dma_bytes = dev.stats.dma_bytes;
+            s.virtio_io_errors = dev.stats.io_errors;
+        }
+        s.external_invalidations = self.runtime.external_invalidations;
         s
     }
 
@@ -604,6 +690,10 @@ impl QemuRef {
             if let Some(code) = self.runtime.exit_code {
                 return RunExit::GuestHalted { code };
             }
+            // Retire due device completions before the flush check so a DMA
+            // write that landed on translated code is flushed on this very
+            // iteration, not the next.
+            self.runtime.poll_virtio(&mut self.machine);
             if self.runtime.flush_requested {
                 // Virtual indexing forces a full cache flush on guest
                 // translation-state changes.
@@ -685,6 +775,7 @@ impl QemuRef {
                             || !self.qemu_chaining
                             || budget == 0
                             || self.runtime.events.due(self.machine.perf.cycles)
+                            || self.runtime.virtio_due(self.machine.perf.cycles)
                         {
                             break;
                         }

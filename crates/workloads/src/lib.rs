@@ -14,6 +14,7 @@
 
 use guest_aarch64::asm::{self, Assembler};
 use guest_aarch64::isa::Cond;
+use hvm::virtio::{DESC_F_NEXT, DESC_F_WRITE, REQ_READ, REQ_WRITE, SECTOR_SIZE};
 
 /// Base guest physical address where workload code is loaded.
 pub const CODE_BASE: u64 = 0x1000;
@@ -528,6 +529,302 @@ pub fn idiom_kernels(scale: Scale) -> Vec<Workload> {
     ]
 }
 
+// ---------------------------------------------------------------------------
+// Virtio-blk I/O kernels.
+//
+// Guest-side drivers for the `hvm::virtio` block device: each kernel builds
+// its descriptor chains and rings in the data region, kicks the queue with
+// `msr VblkNotify`, and synchronizes on *counts* (spinning on `used.idx`),
+// never on cycle timing — so both execution engines, which retire different
+// cycle totals, end byte-identical.  All device structures live inside the
+// chaos harness's 64 KiB data-digest window so any cross-engine divergence
+// in DMA behaviour is caught byte-for-byte.
+// ---------------------------------------------------------------------------
+
+/// Guest-physical base of the virtio-mmio register window the I/O kernels
+/// program (inside the data region, so small-RAM configurations work).
+pub const VBLK_MMIO_BASE: u64 = DATA_BASE + 0x8000;
+/// Guest-physical address of the descriptor table.
+pub const VBLK_DESC: u64 = DATA_BASE + 0x9000;
+/// Guest-physical address of the available ring.
+pub const VBLK_AVAIL: u64 = DATA_BASE + 0xA000;
+/// Guest-physical address of the used ring.
+pub const VBLK_USED: u64 = DATA_BASE + 0xB000;
+/// Guest-physical base of the kernels' DMA data buffers.
+pub const VBLK_BUF: u64 = DATA_BASE + 0xC000;
+/// Guest-physical base of the request header blocks (16 bytes per request).
+pub const VBLK_HDR: u64 = VBLK_BUF + 0x2000;
+/// Guest-physical base of the status words (8 bytes per request).
+pub const VBLK_STATUS: u64 = VBLK_BUF + 0x2800;
+/// Minimum guest RAM for the I/O kernels (covers the data region).
+pub const VBLK_MIN_RAM: u64 = DATA_BASE + 0x10000;
+
+/// Attach-time device configuration matching the I/O kernels' ring layout.
+/// Both engines must be handed the same configuration.
+pub fn vblk_config() -> hvm::VirtioBlkConfig {
+    hvm::VirtioBlkConfig {
+        mmio_base: VBLK_MMIO_BASE,
+        completion_latency: 2_000,
+        ..Default::default()
+    }
+}
+
+/// Emits the device-register prologue: x1..x4 = MMIO/desc/avail/used bases,
+/// queue addresses programmed, IRQs off (the kernels poll `used.idx`).
+fn vblk_prologue(a: &mut Assembler) {
+    a.mov_imm64(1, VBLK_MMIO_BASE);
+    a.mov_imm64(2, VBLK_DESC);
+    a.mov_imm64(3, VBLK_AVAIL);
+    a.mov_imm64(4, VBLK_USED);
+    a.push(asm::str(2, 1, 0x28)); // QUEUE_DESC
+    a.push(asm::str(3, 1, 0x30)); // QUEUE_AVAIL
+    a.push(asm::str(4, 1, 0x38)); // QUEUE_USED
+    a.push(asm::movz(17, 0, 0));
+    a.push(asm::str(17, 1, 0x40)); // IRQ_ENABLE = 0 (polling)
+}
+
+/// Emits stores filling descriptor `idx` (`{addr, len, flags, next}`).
+fn emit_desc(a: &mut Assembler, idx: u64, addr: u64, len: u64, flags: u64, next: u64) {
+    let off = (idx * 32) as u32;
+    for (field, value) in [(0, addr), (8, len), (16, flags), (24, next)] {
+        a.mov_imm64(17, value);
+        a.push(asm::str(17, 2, off + field));
+    }
+}
+
+/// Emits one full request chain at descriptor slots `first_desc ..`:
+/// header desc → one data desc per `(gpa, len)` segment → status desc,
+/// plus the header block itself.  Data segments are device-writable for
+/// reads.  Returns the number of descriptors consumed.
+fn emit_chain(
+    a: &mut Assembler,
+    req: u64,
+    first_desc: u64,
+    req_type: u64,
+    sector: u64,
+    data: &[(u64, u64)],
+) -> u64 {
+    let hdr = VBLK_HDR + req * 16;
+    let status = VBLK_STATUS + req * 8;
+    a.mov_imm64(16, hdr);
+    a.mov_imm64(17, req_type);
+    a.push(asm::str(17, 16, 0));
+    a.mov_imm64(17, sector);
+    a.push(asm::str(17, 16, 8));
+    let n = data.len() as u64;
+    emit_desc(a, first_desc, hdr, 16, DESC_F_NEXT, first_desc + 1);
+    for (k, &(gpa, len)) in data.iter().enumerate() {
+        let k = k as u64;
+        let flags = DESC_F_NEXT
+            | if req_type == REQ_READ {
+                DESC_F_WRITE
+            } else {
+                0
+            };
+        emit_desc(a, first_desc + 1 + k, gpa, len, flags, first_desc + 2 + k);
+    }
+    emit_desc(a, first_desc + 1 + n, status, 8, DESC_F_WRITE, 0);
+    n + 2
+}
+
+/// Emits the available-ring entry for `slot` pointing at head `head`.
+fn emit_avail(a: &mut Assembler, slot: u64, head: u64) {
+    a.mov_imm64(17, head);
+    a.push(asm::str(17, 3, (8 + slot * 8) as u32));
+}
+
+/// Publishes `avail.idx = idx` and kicks the queue (`msr VblkNotify`).
+fn emit_publish_and_kick(a: &mut Assembler, idx: u64) {
+    a.mov_imm64(17, idx);
+    a.push(asm::str(17, 3, 0));
+    a.push(asm::msr(guest_aarch64::SysReg::VblkNotify as u32, 17));
+}
+
+/// Emits a spin on `used.idx == target` (count-driven synchronization).
+fn emit_wait_used(a: &mut Assembler, label: &str, target: u64) {
+    a.label(label);
+    a.push(asm::ldr(7, 4, 0));
+    a.push(asm::cmpi(7, target as u32));
+    a.bcond_to(Cond::Ne, label);
+}
+
+/// Emits a checksum loop accumulating `words` 64-bit words at `gpa` into x9.
+fn emit_checksum(a: &mut Assembler, label: &str, gpa: u64, words: u64) {
+    a.mov_imm64(10, gpa);
+    a.mov_imm64(11, words);
+    a.label(label);
+    a.push(asm::ldr(12, 10, 0));
+    a.push(asm::add(9, 9, 12));
+    a.push(asm::addi(10, 10, 8));
+    a.push(asm::subi(11, 11, 1));
+    a.cbnz_to(11, label);
+}
+
+/// Sequential-read kernel: `n` one-sector read requests submitted as one
+/// batch and kicked once; the guest spins on `used.idx == n`, then
+/// checksums the DMA'd data and the status words into x9.
+pub fn vblk_read(n: u32) -> Workload {
+    assert!(n >= 1 && (n as u64) * 3 <= 64, "descriptor table overflow");
+    let mut a = Assembler::new();
+    vblk_prologue(&mut a);
+    for i in 0..n as u64 {
+        emit_chain(
+            &mut a,
+            i,
+            i * 3,
+            REQ_READ,
+            i,
+            &[(VBLK_BUF + i * SECTOR_SIZE, SECTOR_SIZE)],
+        );
+        emit_avail(&mut a, i, i * 3);
+    }
+    emit_publish_and_kick(&mut a, n as u64);
+    emit_wait_used(&mut a, "wait", n as u64);
+    a.push(asm::movz(9, 0, 0));
+    emit_checksum(&mut a, "sum", VBLK_BUF, n as u64 * (SECTOR_SIZE / 8));
+    emit_checksum(&mut a, "sumst", VBLK_STATUS, n as u64);
+    a.push(asm::hlt());
+    finish("io.read", Suite::Int, a)
+}
+
+/// Write-then-read-back kernel: fills a two-sector buffer with a computed
+/// pattern, writes it to disk, waits for the completion, reads it back into
+/// a second buffer, and checksums the round-trip plus both status words.
+pub fn vblk_write_read() -> Workload {
+    let mut a = Assembler::new();
+    vblk_prologue(&mut a);
+    a.mov_imm64(10, VBLK_BUF);
+    a.mov_imm64(11, 2 * (SECTOR_SIZE / 8));
+    a.mov_imm64(12, 0x0101_0203_0405_0607);
+    a.label("fill");
+    a.push(asm::str(12, 10, 0));
+    a.push(asm::addi(12, 12, 1));
+    a.push(asm::addi(10, 10, 8));
+    a.push(asm::subi(11, 11, 1));
+    a.cbnz_to(11, "fill");
+    emit_chain(&mut a, 0, 0, REQ_WRITE, 4, &[(VBLK_BUF, 2 * SECTOR_SIZE)]);
+    emit_avail(&mut a, 0, 0);
+    emit_publish_and_kick(&mut a, 1);
+    emit_wait_used(&mut a, "wait_w", 1);
+    emit_chain(
+        &mut a,
+        1,
+        3,
+        REQ_READ,
+        4,
+        &[(VBLK_BUF + 0x1000, 2 * SECTOR_SIZE)],
+    );
+    emit_avail(&mut a, 1, 3);
+    emit_publish_and_kick(&mut a, 2);
+    emit_wait_used(&mut a, "wait_r", 2);
+    a.push(asm::movz(9, 0, 0));
+    emit_checksum(&mut a, "sum", VBLK_BUF + 0x1000, 2 * (SECTOR_SIZE / 8));
+    emit_checksum(&mut a, "sumst", VBLK_STATUS, 2);
+    a.push(asm::hlt());
+    finish("io.writeread", Suite::Int, a)
+}
+
+/// Scatter-gather kernel: one read request whose two disk sectors land in
+/// four non-contiguous 256-byte guest buffers via a 6-descriptor chain.
+pub fn vblk_scatter() -> Workload {
+    let mut a = Assembler::new();
+    vblk_prologue(&mut a);
+    let segs: Vec<(u64, u64)> = (0..4).map(|k| (VBLK_BUF + k * 0x400, 256)).collect();
+    emit_chain(&mut a, 0, 0, REQ_READ, 8, &segs);
+    emit_avail(&mut a, 0, 0);
+    emit_publish_and_kick(&mut a, 1);
+    emit_wait_used(&mut a, "wait", 1);
+    a.push(asm::movz(9, 0, 0));
+    for (k, &(gpa, len)) in segs.iter().enumerate() {
+        emit_checksum(&mut a, &format!("sum{k}"), gpa, len / 8);
+    }
+    emit_checksum(&mut a, "sumst", VBLK_STATUS, 1);
+    a.push(asm::hlt());
+    finish("io.scatter", Suite::Int, a)
+}
+
+/// Word offset of the `vblk_smc` spin loop (the DMA patch target).
+pub const VBLK_SMC_LOOP_WORD: usize = 0x100;
+
+/// Guest-physical address the `vblk_smc` completion DMA-writes: the page
+/// holding the guest's own spin loop.
+pub const VBLK_SMC_PATCH_GPA: u64 = CODE_BASE + (VBLK_SMC_LOOP_WORD as u64) * 4;
+
+/// DMA-onto-executed-page kernel: the guest submits a one-sector read whose
+/// target is **its own spin loop**, then spins in a hot, idempotent,
+/// always-taken loop with no architectural exit.  Disk sector 0 (returned
+/// as the disk image to attach) holds a byte-identical copy of those 512
+/// code bytes with the loop's back-edge replaced by NOP — so the only way
+/// out of the loop is the device's completion DMA landing on the executing
+/// page: asynchronous external self-modifying code.  Engines retire
+/// different cycle counts, so the patch lands after a different number of
+/// trips on each — the loop body is idempotent (x6/x22 recompute the same
+/// values every trip) precisely so the trip count leaves no architectural
+/// trace and final state stays byte-identical.
+///
+/// Attach with [`vblk_smc_config`]; the completion latency is generous so
+/// every engine configuration (including tiered background formation) has
+/// promoted the spin loop into a live looping region before the patch hits.
+pub fn vblk_smc() -> (Workload, Vec<u8>) {
+    let mut a = Assembler::new();
+    vblk_prologue(&mut a);
+    emit_chain(
+        &mut a,
+        0,
+        0,
+        REQ_READ,
+        0,
+        &[(VBLK_SMC_PATCH_GPA, SECTOR_SIZE)],
+    );
+    emit_avail(&mut a, 0, 0);
+    a.mov_imm64(7, 0x55AA);
+    a.mov_imm64(8, 0x0F0F);
+    a.push(asm::movz(6, 0, 0));
+    a.push(asm::movz(22, 0, 0));
+    emit_publish_and_kick(&mut a, 1);
+    pad_to(&mut a, VBLK_SMC_LOOP_WORD);
+    a.label("spin");
+    a.push(asm::add(6, 7, 8)); // idempotent body: same values every trip
+    a.push(asm::orr(22, 6, 7));
+    a.cbnz_to(7, "spin"); // always taken (x7 = 0x55AA) — exit is the patch
+    a.push(asm::movz(9, 0, 0));
+    emit_checksum(&mut a, "sum", VBLK_SMC_PATCH_GPA, SECTOR_SIZE / 8);
+    emit_checksum(&mut a, "sumst", VBLK_STATUS, 1);
+    a.push(asm::hlt());
+    pad_to(&mut a, VBLK_SMC_LOOP_WORD + (SECTOR_SIZE as usize) / 4);
+    let w = finish("io.smc", Suite::Int, a);
+    let start = VBLK_SMC_LOOP_WORD;
+    let mut sector: Vec<u8> = w.words[start..start + (SECTOR_SIZE as usize) / 4]
+        .iter()
+        .flat_map(|x| x.to_le_bytes())
+        .collect();
+    let back_edge = asm::cbnz(7, -8); // two words back to "spin"
+    let at = w.words[start..start + (SECTOR_SIZE as usize) / 4]
+        .iter()
+        .position(|&x| x == back_edge)
+        .expect("vblk_smc contains its spin back-edge");
+    sector[at * 4..at * 4 + 4].copy_from_slice(&asm::nop().to_le_bytes());
+    (w, sector)
+}
+
+/// Device configuration for [`vblk_smc`]: the patched sector as the disk
+/// image and a completion latency long enough for the spin loop to get hot
+/// (region-formed and promoted) on every engine configuration first.
+pub fn vblk_smc_config(disk_sector0: Vec<u8>) -> hvm::VirtioBlkConfig {
+    hvm::VirtioBlkConfig {
+        mmio_base: VBLK_MMIO_BASE,
+        completion_latency: 60_000,
+        disk_image: Some(disk_sector0),
+        ..Default::default()
+    }
+}
+
+/// The clean I/O kernel set exercised by `figures -- io` (the `io.smc`
+/// kernel is separate because it carries its own disk image).
+pub fn io_kernels() -> Vec<Workload> {
+    vec![vblk_read(4), vblk_write_read(), vblk_scatter()]
+}
+
 /// The twelve SPEC CPU2006 integer workloads (Fig. 17).
 pub fn spec_int(scale: Scale) -> Vec<Workload> {
     vec![
@@ -606,6 +903,47 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn io_kernels_assemble_and_decode() {
+        let (smc, _) = vblk_smc();
+        for w in io_kernels().into_iter().chain([smc]) {
+            assert!(w.words.contains(&guest_aarch64::asm::hlt()), "{}", w.name);
+            for (i, word) in w.words.iter().enumerate() {
+                assert!(
+                    guest_aarch64::decode(*word).is_some(),
+                    "{} word {} ({word:#010x}) does not decode",
+                    w.name,
+                    i
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vblk_smc_sector_patches_exactly_the_back_edge() {
+        let (w, sector) = vblk_smc();
+        assert_eq!(sector.len(), SECTOR_SIZE as usize);
+        let code: Vec<u8> = w.words
+            [VBLK_SMC_LOOP_WORD..VBLK_SMC_LOOP_WORD + (SECTOR_SIZE as usize) / 4]
+            .iter()
+            .flat_map(|x| x.to_le_bytes())
+            .collect();
+        let diffs: Vec<usize> = (0..sector.len())
+            .filter(|&i| sector[i] != code[i])
+            .collect();
+        assert!(!diffs.is_empty(), "sector must differ from the live code");
+        assert!(
+            diffs.iter().all(|&i| i / 4 == diffs[0] / 4),
+            "only one word may differ"
+        );
+        let at = (diffs[0] / 4) * 4;
+        assert_eq!(
+            u32::from_le_bytes(sector[at..at + 4].try_into().unwrap()),
+            asm::nop(),
+            "the patched word must be a NOP"
+        );
     }
 
     #[test]
